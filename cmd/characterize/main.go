@@ -1,0 +1,65 @@
+// Command characterize runs the full library characterisation flow of the
+// paper's Fig. 5 — Monte-Carlo moment extraction over the operating grid,
+// Table-I quantile regression, slew surfaces, and the wire X_FI/X_FO
+// calibration — and writes the resulting coefficients file.
+//
+//	characterize -profile standard -out coeffs.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/experiments"
+	"repro/internal/liberty"
+)
+
+func main() {
+	var (
+		profileName = flag.String("profile", "standard", "effort profile: quick | standard | paper")
+		out         = flag.String("out", "coeffs.json", "output coefficients file")
+		libertyOut  = flag.String("liberty", "", "also export a Liberty (.lib) document with LVF tables")
+		seed        = flag.Uint64("seed", 1, "master random seed")
+		workers     = flag.Int("workers", 0, "Monte-Carlo workers (0 = GOMAXPROCS)")
+	)
+	flag.Parse()
+
+	profile, err := experiments.ProfileByName(*profileName)
+	if err != nil {
+		fatal(err)
+	}
+	ctx := experiments.NewContext(profile, *seed)
+	ctx.Log = os.Stderr
+	ctx.Cfg.Workers = *workers
+
+	t0 := time.Now()
+	f, err := ctx.BuildTimingFile()
+	if err != nil {
+		fatal(err)
+	}
+	if err := f.Save(*out); err != nil {
+		fatal(err)
+	}
+	if *libertyOut != "" {
+		lf, err := os.Create(*libertyOut)
+		if err != nil {
+			fatal(err)
+		}
+		if err := liberty.Export(lf, "nsigma28", f); err != nil {
+			fatal(err)
+		}
+		if err := lf.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote Liberty/LVF export %s\n", *libertyOut)
+	}
+	fmt.Printf("wrote %s: %d arcs, %d cells, wire calibration over %d cells (took %v)\n",
+		*out, len(f.Arcs), len(f.Cells), len(f.Wire.XFI), time.Since(t0).Round(time.Second))
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "characterize:", err)
+	os.Exit(1)
+}

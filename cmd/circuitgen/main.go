@@ -1,0 +1,110 @@
+// Command circuitgen emits benchmark netlists and their extracted
+// parasitics: the statistics-matched ISCAS85 substitutes (c432…c7552), the
+// PULPino functional units (ADD/SUB/MUL/DIV), or a custom random circuit.
+//
+//	circuitgen -name c432 -netlist c432.json -spef c432.spef
+//	circuitgen -random 5000 -seed 7 -netlist r5k.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"repro/internal/circuits"
+	"repro/internal/device"
+	"repro/internal/layout"
+	"repro/internal/netlist"
+	"repro/internal/rctree"
+	"repro/internal/stdcell"
+)
+
+func main() {
+	var (
+		name        = flag.String("name", "", "benchmark name (c432..c7552, ADD, SUB, MUL, DIV)")
+		randomCells = flag.Int("random", 0, "generate a random circuit with this many cells instead")
+		seed        = flag.Uint64("seed", 1, "seed for -random and placement")
+		netOut      = flag.String("netlist", "", "netlist JSON output path (default stdout)")
+		verilogOut  = flag.String("verilog", "", "also write structural Verilog to this path")
+		spefOut     = flag.String("spef", "", "SPEF output path (omit to skip extraction)")
+	)
+	flag.Parse()
+
+	var nl *netlist.Netlist
+	var err error
+	switch {
+	case *randomCells > 0:
+		nl, err = circuits.Random(fmt.Sprintf("rand%d", *randomCells),
+			circuits.RandomOptions{Cells: *randomCells, Seed: *seed})
+	case *name != "":
+		nl, err = circuits.ByName(*name)
+	default:
+		err = fmt.Errorf("need -name or -random (see -h)")
+	}
+	if err != nil {
+		fatal(err)
+	}
+
+	var netW *os.File = os.Stdout
+	if *netOut != "" {
+		netW, err = os.Create(*netOut)
+		if err != nil {
+			fatal(err)
+		}
+		defer netW.Close()
+	}
+	if err := netlist.WriteJSON(netW, nl); err != nil {
+		fatal(err)
+	}
+
+	if *verilogOut != "" {
+		vf, err := os.Create(*verilogOut)
+		if err != nil {
+			fatal(err)
+		}
+		if err := netlist.WriteVerilog(vf, nl); err != nil {
+			fatal(err)
+		}
+		if err := vf.Close(); err != nil {
+			fatal(err)
+		}
+	}
+
+	if *spefOut != "" {
+		lib := stdcell.NewLibrary(device.Default28nm())
+		par := layout.Default28nm()
+		pl, err := layout.Place(nl, par, *seed)
+		if err != nil {
+			fatal(err)
+		}
+		trees, err := layout.Extract(nl, lib, par, pl)
+		if err != nil {
+			fatal(err)
+		}
+		names := make([]string, 0, len(trees))
+		for n := range trees {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		ordered := make([]*rctree.Tree, len(names))
+		for i, n := range names {
+			ordered[i] = trees[n]
+		}
+		f, err := os.Create(*spefOut)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		if err := rctree.WriteSPEF(f, nl.Name, ordered); err != nil {
+			fatal(err)
+		}
+	}
+	fmt.Fprintf(os.Stderr, "%s: %d cells, %d nets, %d inputs, %d outputs\n",
+		nl.Name, len(nl.Gates), nl.NumNets(), len(nl.Inputs), len(nl.Outputs))
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "circuitgen:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,145 @@
+// Command debugpath is a development diagnostic: it times a uniform
+// inverter chain with the N-sigma flow and compares the path quantiles
+// against golden path Monte Carlo, isolating the eq. (10) summation error
+// from library-size effects.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/charlib"
+	"repro/internal/experiments"
+	"repro/internal/layout"
+	"repro/internal/netlist"
+	"repro/internal/nsigma"
+	"repro/internal/sta"
+	"repro/internal/stdcell"
+	"repro/internal/timinglib"
+	"repro/internal/waveform"
+	"repro/internal/wire"
+)
+
+func main() {
+	stages := flag.Int("stages", 20, "chain length")
+	samples := flag.Int("samples", 400, "golden MC samples")
+	charN := flag.Int("char", 1200, "characterisation samples per point")
+	flag.Parse()
+
+	ctx := experiments.NewContext(experiments.Profile{
+		Name: "quick", CharSamples: *charN, EvalSamples: 1000,
+		SlewGrid: []float64{10e-12, 60e-12, 150e-12, 300e-12, 600e-12},
+		LoadGrid: []float64{0.1e-15, 0.4e-15, 1.2e-15, 3e-15, 6e-15, 10e-15},
+	}, 1)
+	ctx.Log = os.Stderr
+
+	// Chain netlist: in -> INVx2 ^ N -> out.
+	nl := &netlist.Netlist{Name: "chain", Inputs: []string{"n0"}, Outputs: []string{fmt.Sprintf("n%d", *stages)}}
+	for i := 0; i < *stages; i++ {
+		nl.Gates = append(nl.Gates, netlist.Gate{
+			Name: fmt.Sprintf("U%d", i+1), Cell: "INVx2",
+			Pins: map[string]string{"A": fmt.Sprintf("n%d", i), "Y": fmt.Sprintf("n%d", i+1)},
+		})
+	}
+	if err := nl.Validate(); err != nil {
+		panic(err)
+	}
+
+	// Mini library: INVx2 and INVx4 (pad) arcs only.
+	lib := timinglib.New(ctx.Cfg.Lib)
+	for _, cell := range []string{"INVx2", "INVx4"} {
+		for _, e := range []waveform.Edge{waveform.Rising, waveform.Falling} {
+			ch, err := ctx.CharacterizeArc(charlib.Arc{Cell: cell, Pin: "A", InEdge: e})
+			if err != nil {
+				panic(err)
+			}
+			m, err := nsigma.FitArc(ch)
+			if err != nil {
+				panic(err)
+			}
+			lib.AddArc(m)
+		}
+	}
+	// Wire model: single fitted point is irrelevant for a chain with short
+	// nets; use a fixed Xw via a stub calibration.
+	lib.Wire = nil
+
+	par := layout.Default28nm()
+	pl, err := layout.Place(nl, par, 3)
+	if err != nil {
+		panic(err)
+	}
+	trees, err := layout.Extract(nl, ctx.Cfg.Lib, par, pl)
+	if err != nil {
+		panic(err)
+	}
+	timer, err := sta.NewTimer(lib, nl, trees, sta.Options{})
+	if err != nil {
+		panic(err)
+	}
+	res, err := timer.Analyze()
+	if err != nil {
+		panic(err)
+	}
+	p := res.Critical
+	fmt.Printf("STA: stages=%d q-3=%0.f q0=%0.f q+3=%0.f ps (spread %.2f)\n",
+		len(p.Stages), p.Quantile(-3)*1e12, p.Quantile(0)*1e12, p.Quantile(3)*1e12,
+		p.Quantile(3)/p.Quantile(-3))
+
+	golden, err := experiments.PathMC(ctx, p, *samples, 7)
+	if err != nil {
+		panic(err)
+	}
+	q := golden.Quantiles()
+	mo := golden.Moments()
+	fmt.Printf("MC:  q-3=%0.f q0=%0.f q+3=%0.f ps (spread %.2f)  mu=%0.f sig=%0.f\n",
+		q[-3]*1e12, q[0]*1e12, q[3]*1e12, q[3]/q[-3], mo.Mean*1e12, mo.Std*1e12)
+	fmt.Printf("errors: -3s %.1f%%  0s %.1f%%  +3s %.1f%%\n",
+		(p.Quantile(-3)-q[-3])/q[-3]*100, (p.Quantile(0)-q[0])/q[0]*100, (p.Quantile(3)-q[3])/q[3]*100)
+	_ = stdcell.KeyFromString
+	compareNominal(ctx, p)
+}
+
+// compareNominal chains nominal stage sims and prints per-stage deltas
+// against the STA's LUT view.
+func compareNominal(ctx *experiments.Context, p *sta.Path) {
+	slew := p.Stages[0].InSlew
+	fmt.Printf("%3s %-7s %8s %8s | %8s %8s | %8s %8s\n", "#", "cell", "staTc", "nomTc", "staSlw", "nomSlw", "staTw", "nomTw")
+	for si, s := range p.Stages {
+		if s.Cell == "" {
+			slew = s.LeafSlew
+			continue
+		}
+		st := wireStageFrom(ctx, &s)
+		st.InSlew = slew
+		g, err := wire.MeasureStageOnce(ctx.Cfg, st, nil)
+		if err != nil {
+			panic(err)
+		}
+		if si < 6 || si == len(p.Stages)-1 {
+			fmt.Printf("%3d %-7s %8.2f %8.2f | %8.2f %8.2f | %8.3f %8.3f\n",
+				si, s.Cell, s.CellMoments.Mean*1e12, g.CellDelay*1e12,
+				s.LeafSlew*1e12, g.LeafSlew*1e12, s.Elmore*1e12, g.WireDelay*1e12)
+		}
+		slew = g.LeafSlew
+	}
+}
+
+func wireStageFrom(ctx *experiments.Context, s *sta.Stage) *wire.Stage {
+	st := &wire.Stage{
+		Driver: s.Cell, DriverPin: s.InPin, InEdge: s.InEdge,
+		Tree: s.Tree.Clone(),
+	}
+	loadCell, loadPin := s.SinkCell, s.SinkPin
+	if loadCell == "" {
+		loadCell, loadPin = "INVx4", "A"
+	} else {
+		st.Tree.Nodes[s.SinkLeaf].C -= s.SinkPinCap
+		if st.Tree.Nodes[s.SinkLeaf].C < 0 {
+			st.Tree.Nodes[s.SinkLeaf].C = 0
+		}
+	}
+	st.Loads = []wire.LoadSpec{{Leaf: s.SinkLeaf, Cell: loadCell, Pin: loadPin}}
+	return st
+}

@@ -1,0 +1,96 @@
+// Command fullchain is a development diagnostic comparing three views of
+// the same nominal inverter chain: a flat whole-chain transient (truth),
+// the stage-chained simulation with PWL waveform handoff, and the
+// stage-chained simulation with ramp reconstruction.
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/charlib"
+	"repro/internal/circuit"
+	"repro/internal/rctree"
+	"repro/internal/waveform"
+	"repro/internal/wire"
+)
+
+const stages = 12
+
+func stageTree() *rctree.Tree {
+	t := rctree.NewTree("w", 0.05e-15)
+	t.AddNode("s", 0, 50, 0.2e-15)
+	return t
+}
+
+func main() {
+	cfg := charlib.DefaultConfig()
+	tech := cfg.Tech
+	cell := cfg.Lib.MustCell("INVx2")
+
+	// --- flat truth ---
+	ck := circuit.New()
+	vdd := ck.NodeByName("vdd")
+	ck.AddSource(vdd, circuit.DC(tech.Vdd))
+	in := ck.NodeByName("n0")
+	ramp := circuit.Ramp{T0: 5e-12, TRamp: waveform.RampTimeForSlew(10e-12), V0: 0, V1: tech.Vdd}
+	ck.AddSource(in, ramp)
+	prev := in
+	var last circuit.Node
+	for i := 0; i < stages; i++ {
+		mid := ck.NodeByName(fmt.Sprintf("m%d", i))
+		out := ck.NodeByName(fmt.Sprintf("n%d", i+1))
+		cell.Build(ck, map[string]circuit.Node{"vdd": vdd, "A": prev, "Y": mid}, nil)
+		ck.AddResistor(mid, out, 50)
+		ck.AddCapacitor(mid, circuit.Ground, 0.05e-15)
+		ck.AddCapacitor(out, circuit.Ground, 0.2e-15)
+		prev = out
+		last = out
+	}
+	ck.AddCapacitor(last, circuit.Ground, cell.PinCap("A")) // terminal load
+	res, err := ck.Transient(circuit.SimOptions{TStop: 700e-12, DT: 0.2e-12})
+	if err != nil {
+		panic(err)
+	}
+	edge := waveform.Rising
+	if stages%2 == 1 {
+		edge = waveform.Falling
+	}
+	inCross := 5e-12 + 0.5*ramp.TRamp
+	tc, err := waveform.CrossTime(res.Times, res.Waveform(last), tech.Vdd/2, bool(edge), 0)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("flat truth:     %7.2f ps\n", (tc-inCross)*1e12)
+
+	// --- chained, PWL handoff / ramp handoff ---
+	for _, handoff := range []bool{true, false} {
+		total := 0.0
+		slew := 10e-12
+		var wave *circuit.PWL
+		ed := waveform.Rising
+		for i := 0; i < stages; i++ {
+			st := &wire.Stage{
+				Driver: "INVx2", DriverPin: "A", InEdge: ed, InSlew: slew,
+				Tree:            stageTree(),
+				Loads:           []wire.LoadSpec{{Leaf: 1, Cell: "INVx2", Pin: "A"}},
+				CaptureLeafWave: handoff,
+			}
+			if handoff {
+				st.InWave = wave
+			}
+			s, err := wire.MeasureStageOnce(cfg, st, nil)
+			if err != nil {
+				panic(fmt.Sprint(i, " ", err))
+			}
+			total += s.CellDelay + s.WireDelay
+			slew = s.LeafSlew
+			wave = s.LeafWave
+			ed = ed.Opposite()
+		}
+		name := "ramp handoff"
+		if handoff {
+			name = "PWL handoff "
+		}
+		fmt.Printf("chained %s: %7.2f ps\n", name, total*1e12)
+	}
+}

@@ -1,0 +1,160 @@
+// Command nsigma-sta runs N-sigma statistical timing analysis on a netlist:
+// the paper's Fig. 1 flow, from the coefficients file and parasitics to the
+// critical path's nσ quantiles (eq. 10).
+//
+//	nsigma-sta -lib coeffs.json -circuit c432
+//	nsigma-sta -lib coeffs.json -netlist my.json -spef my.spef
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"repro/internal/baseline"
+	"repro/internal/circuits"
+	"repro/internal/device"
+	"repro/internal/layout"
+	"repro/internal/netlist"
+	"repro/internal/rctree"
+	"repro/internal/sta"
+	"repro/internal/stats"
+	"repro/internal/stdcell"
+	"repro/internal/timinglib"
+)
+
+func main() {
+	var (
+		libPath = flag.String("lib", "coeffs.json", "coefficients file (from cmd/characterize)")
+		circuit = flag.String("circuit", "", "built-in benchmark name (c432.., ADD, SUB, MUL, DIV)")
+		netPath = flag.String("netlist", "", "netlist file: .json, .v (structural Verilog) or .bench")
+		spef    = flag.String("spef", "", "SPEF parasitics (with -netlist; omit to re-extract)")
+		seed    = flag.Uint64("seed", 1, "placement seed when extracting parasitics")
+		full    = flag.Bool("path", false, "print the full critical path, stage by stage")
+		period  = flag.Float64("period", 0, "clock period in ps for a setup/slack report (0 = skip)")
+	)
+	flag.Parse()
+
+	lib, err := timinglib.Load(*libPath)
+	if err != nil {
+		fatal(err)
+	}
+
+	var nl *netlist.Netlist
+	switch {
+	case *circuit != "":
+		nl, err = circuits.ByName(*circuit)
+	case *netPath != "":
+		nl, err = loadNetlist(*netPath)
+	default:
+		err = fmt.Errorf("need -circuit or -netlist")
+	}
+	if err != nil {
+		fatal(err)
+	}
+
+	var trees map[string]*rctree.Tree
+	if *spef != "" {
+		f, err := os.Open(*spef)
+		if err != nil {
+			fatal(err)
+		}
+		trees, err = rctree.ParseSPEF(f)
+		f.Close()
+		if err != nil {
+			fatal(err)
+		}
+	} else {
+		cellLib := stdcell.NewLibrary(device.Default28nm())
+		par := layout.Default28nm()
+		pl, err := layout.Place(nl, par, *seed)
+		if err != nil {
+			fatal(err)
+		}
+		trees, err = layout.Extract(nl, cellLib, par, pl)
+		if err != nil {
+			fatal(err)
+		}
+	}
+
+	timer, err := sta.NewTimer(lib, nl, trees, sta.Options{})
+	if err != nil {
+		fatal(err)
+	}
+	t0 := time.Now()
+	res, err := timer.Analyze()
+	if err != nil {
+		fatal(err)
+	}
+	took := time.Since(t0)
+
+	p := res.Critical
+	fmt.Printf("design %s: %d cells, %d nets, %d endpoints, %d arcs timed in %v\n",
+		nl.Name, len(nl.Gates), nl.NumNets(), res.Endpoints, res.GatesTimed, took.Round(time.Microsecond))
+	fmt.Printf("critical path: endpoint %s, launch %s, %d stages\n",
+		p.Endpoint, p.Launch, len(p.Stages))
+	fmt.Printf("%8s %14s\n", "level", "path delay (ps)")
+	for _, n := range stats.SigmaLevels {
+		fmt.Printf("%+7dσ %14.1f\n", n, p.Quantile(n)*1e12)
+	}
+	fmt.Printf("corner (PT-like) +3σ bound: %.1f ps\n",
+		baseline.CornerPathDelay(p, baseline.CornerOptions{})*1e12)
+
+	if *period > 0 {
+		rep, err := res.Slack(*period*1e-12, 3)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("\nsetup check at %.0f ps (+3σ): WNS %.1f ps, TNS %.1f ps, %d/%d endpoints violated (worst: %s)\n",
+			*period, rep.WNS*1e12, rep.TNS*1e12, rep.Violations, rep.Endpoints, rep.Worst)
+		minP, err := res.MinPeriod(3)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("minimum +3σ period: %.1f ps\n", minP*1e12)
+	}
+
+	if *full {
+		fmt.Printf("\n%4s %-10s %-4s %-14s %10s %10s %10s %8s\n",
+			"#", "cell", "pin", "net", "Tc µ(ps)", "Tc+3σ(ps)", "Elm(ps)", "Xw")
+		for i, s := range p.Stages {
+			cell := s.Cell
+			if cell == "" {
+				cell = "(input)"
+			}
+			var q3 float64
+			if s.CellQ != nil {
+				q3 = s.CellQ[3]
+			}
+			fmt.Printf("%4d %-10s %-4s %-14s %10.2f %10.2f %10.3f %8.4f\n",
+				i, cell, s.InPin, s.Net, s.CellMoments.Mean*1e12, q3*1e12, s.Elmore*1e12, s.XW)
+		}
+	}
+}
+
+// loadNetlist reads a netlist as JSON, structural Verilog (.v), or ISCAS85
+// bench (.bench), dispatching on the extension.
+func loadNetlist(path string) (*netlist.Netlist, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	switch {
+	case strings.HasSuffix(path, ".v"):
+		return netlist.ParseVerilog(f)
+	case strings.HasSuffix(path, ".bench"):
+		base := filepath.Base(path)
+		return netlist.ParseBench(f, strings.TrimSuffix(base, ".bench"), nil)
+	default:
+		return netlist.ReadJSON(f)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "nsigma-sta:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,70 @@
+// cellchar reproduces the paper's Table II experiment in miniature: for a
+// handful of cells, compare the ±3σ delay estimates of the LSN and Burr
+// distribution fits against the N-sigma model, all scored on golden
+// Monte-Carlo quantiles under the FO4 constraint.
+//
+//	go run ./examples/cellchar [-samples 1500]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"repro"
+	"repro/internal/baseline"
+	"repro/internal/stats"
+)
+
+func main() {
+	samples := flag.Int("samples", 1500, "Monte-Carlo samples per measurement")
+	flag.Parse()
+
+	cfg := repro.DefaultConfig()
+	cells := []string{"NOR2x1", "NAND2x2", "AOI2x4"}
+
+	fmt.Printf("%-9s %10s %10s | %7s %7s | %7s %7s | %7s %7s\n",
+		"cell", "-3s (ps)", "+3s (ps)", "LSN-3", "LSN+3", "Burr-3", "Burr+3", "ours-3", "ours+3")
+
+	for _, name := range cells {
+		cell := cfg.Lib.MustCell(name)
+		arc := repro.Arc{Cell: name, Pin: cell.Inputs[0], InEdge: repro.Rising}
+		fo4 := 4 * cell.PinCap(cell.Inputs[0])
+
+		// Golden distribution at the FO4 point.
+		smp, err := cfg.MCArc(arc, repro.Reference.Slew, fo4, *samples, 7)
+		if err != nil {
+			log.Fatal(err)
+		}
+		q := smp.SigmaQuantiles()
+
+		lsn, err := baseline.FitLSN(smp.Delay)
+		if err != nil {
+			log.Fatal(err)
+		}
+		burr, err := baseline.FitBurr(smp.Delay)
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		char, err := repro.CharacterizeArc(cfg, arc,
+			[]float64{10e-12, 100e-12, 300e-12},
+			[]float64{0.4e-15 * float64(cell.Strength), fo4, 2 * fo4},
+			*samples, 11)
+		if err != nil {
+			log.Fatal(err)
+		}
+		model, err := repro.FitArc(char)
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		fmt.Printf("%-9s %10.2f %10.2f | %7.2f %7.2f | %7.2f %7.2f | %7.2f %7.2f\n",
+			name, q[-3]*1e12, q[3]*1e12,
+			stats.RelErr(lsn.SigmaQuantile(-3), q[-3]), stats.RelErr(lsn.SigmaQuantile(3), q[3]),
+			stats.RelErr(burr.SigmaQuantile(-3), q[-3]), stats.RelErr(burr.SigmaQuantile(3), q[3]),
+			stats.RelErr(model.Quantile(-3, repro.Reference.Slew, fo4), q[-3]),
+			stats.RelErr(model.Quantile(3, repro.Reference.Slew, fo4), q[3]))
+	}
+	fmt.Println("\n(error columns are % vs the golden MC quantiles; cf. paper Table II)")
+}

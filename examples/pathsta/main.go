@@ -1,0 +1,93 @@
+// pathsta runs the full paper flow on a benchmark circuit: generate the
+// netlist, place it and extract parasitics, load (or build) a coefficients
+// file, run N-sigma statistical timing, and print the critical path with
+// its nσ delay quantiles (eq. 10).
+//
+// With no -lib argument it characterises a coefficients file first, which
+// takes several minutes; reuse one from cmd/characterize to skip that:
+//
+//	go run ./cmd/characterize -profile quick -out coeffs.json
+//	go run ./examples/pathsta -lib coeffs.json -circuit c1355
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"repro"
+	"repro/internal/experiments"
+)
+
+func main() {
+	libPath := flag.String("lib", "", "coefficients file (empty = characterise now at quick effort)")
+	circuit := flag.String("circuit", "c432", "benchmark name")
+	flag.Parse()
+
+	var lib *repro.TimingFile
+	if *libPath != "" {
+		var err error
+		lib, err = repro.LoadTimingFile(*libPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+	} else {
+		fmt.Println("no -lib given: characterising the library at quick effort (minutes)...")
+		ctx := experiments.NewContext(experiments.Quick, 1)
+		ctx.Log = os.Stderr
+		var err error
+		lib, err = ctx.BuildTimingFile()
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	nl, err := repro.GenerateBenchmark(*circuit)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg := repro.DefaultConfig()
+	trees, err := repro.ExtractParasitics(cfg, nl, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	timer, err := repro.NewTimer(lib, nl, trees, repro.STAOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	t0 := time.Now()
+	res, err := timer.Analyze()
+	if err != nil {
+		log.Fatal(err)
+	}
+	took := time.Since(t0)
+
+	p := res.Critical
+	fmt.Printf("\n%s: %d cells, %d nets — timed in %v (%d arcs)\n",
+		nl.Name, len(nl.Gates), nl.NumNets(), took.Round(time.Millisecond), res.GatesTimed)
+	fmt.Printf("critical path: %d stages ending at %s (launch %s)\n",
+		len(p.Stages), p.Endpoint, p.Launch)
+
+	fmt.Printf("\n%8s %16s\n", "level", "path delay (ps)")
+	for _, n := range []int{-3, -2, -1, 0, 1, 2, 3} {
+		fmt.Printf("%+7dσ %16.1f\n", n, p.Quantile(n)*1e12)
+	}
+
+	fmt.Printf("\nfirst stages of the path:\n")
+	fmt.Printf("%4s %-9s %-4s %10s %10s %8s\n", "#", "cell", "pin", "Tc 0σ(ps)", "Tw 0σ(ps)", "Xw")
+	for i, s := range p.Stages {
+		if i >= 8 {
+			fmt.Printf("   ... %d more stages\n", len(p.Stages)-i)
+			break
+		}
+		cell := s.Cell
+		if cell == "" {
+			cell = "(input)"
+		}
+		fmt.Printf("%4d %-9s %-4s %10.2f %10.3f %8.4f\n",
+			i, cell, s.InPin, s.CellMoments.Mean*1e12, s.Elmore*1e12, s.XW)
+	}
+}

@@ -1,0 +1,86 @@
+// wirecal demonstrates the statistical wire-delay model (paper §IV and
+// Figs. 7–8): it measures how the delay distribution of one RC tree changes
+// with the driver/load inverter strengths, evaluates the Elmore and D2M
+// metrics against the golden mean, and shows the (1 + n·X_w)·T_Elmore
+// quantile form with a measured X_w.
+//
+//	go run ./examples/wirecal
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+	"repro/internal/charlib"
+	"repro/internal/layout"
+	"repro/internal/stats"
+	"repro/internal/wire"
+)
+
+func main() {
+	cfg := repro.DefaultConfig()
+	par := layout.Default28nm()
+	tree := layout.RandomTree("demo", 1, par, 0xCAFE)
+	leaf := tree.NodeIndex("sink0")
+
+	fmt.Println("RC tree:", len(tree.Nodes), "nodes, total cap",
+		fmt.Sprintf("%.2f fF", tree.TotalCap()*1e15))
+
+	fmt.Printf("\n%8s %8s | %9s %9s %9s | %8s\n",
+		"driver", "load", "mu (ps)", "sig (ps)", "Xw", "elm (ps)")
+	for _, ds := range []int{1, 2, 4} {
+		for _, ls := range []int{1, 2, 4} {
+			driver := fmt.Sprintf("INVx%d", ds)
+			load := fmt.Sprintf("INVx%d", ls)
+			lc := cfg.Lib.MustCell(load)
+
+			st := &wire.Stage{
+				Driver: driver, DriverPin: "A", InEdge: repro.Rising, InSlew: 20e-12,
+				Tree:  tree,
+				Loads: []wire.LoadSpec{{Leaf: leaf, Cell: load, Pin: "A"}},
+			}
+			ss, err := wire.MCStage(cfg, st, 800, uint64(ds*10+ls))
+			if err != nil {
+				log.Fatal(err)
+			}
+			m := stats.ComputeMoments(ss.Wire)
+
+			// Elmore with the load pin cap folded onto the leaf.
+			withPin := tree.Clone()
+			withPin.Nodes[leaf].C += lc.PinCap("A")
+			elm := withPin.Elmore(leaf)
+
+			fmt.Printf("%8s %8s | %9.3f %9.3f %9.4f | %8.3f\n",
+				driver, load, m.Mean*1e12, m.Std*1e12, m.Std/m.Mean, elm*1e12)
+		}
+	}
+	fmt.Println("\nobservations to compare with the paper's Fig. 8:")
+	fmt.Println("  sigma/mu falls as the driver strengthens and rises with the load.")
+
+	// Quantiles via eq. (9) with the measured X_w of the FO4/FO4 case.
+	lc := cfg.Lib.MustCell("INVx4")
+	st := &wire.Stage{
+		Driver: "INVx4", DriverPin: "A", InEdge: repro.Rising, InSlew: 20e-12,
+		Tree:  tree,
+		Loads: []wire.LoadSpec{{Leaf: leaf, Cell: "INVx4", Pin: "A"}},
+	}
+	ss, err := wire.MCStage(cfg, st, 1500, 99)
+	if err != nil {
+		log.Fatal(err)
+	}
+	m := stats.ComputeMoments(ss.Wire)
+	q := stats.SigmaQuantiles(ss.Wire)
+	withPin := tree.Clone()
+	withPin.Nodes[leaf].C += lc.PinCap("A")
+	elm := withPin.Elmore(leaf)
+	xw := m.Std / m.Mean
+
+	fmt.Printf("\nFO4/FO4 case: Elmore %.3fps, D2M %.3fps, golden mean %.3fps\n",
+		elm*1e12, withPin.D2M(leaf)*1e12, m.Mean*1e12)
+	fmt.Printf("%8s %14s %14s\n", "level", "golden (ps)", "eq.9 (ps)")
+	for _, n := range []int{-3, 0, 3} {
+		fmt.Printf("%+7dσ %14.3f %14.3f\n", n, q[n]*1e12, repro.WireQuantile(elm, xw, n)*1e12)
+	}
+	_ = charlib.Reference
+}

@@ -1,0 +1,254 @@
+package baseline
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/rng"
+	"repro/internal/stats"
+)
+
+func TestNelderMeadQuadratic(t *testing.T) {
+	f := func(x []float64) float64 {
+		return (x[0]-3)*(x[0]-3) + 2*(x[1]+1)*(x[1]+1)
+	}
+	best := nelderMead(f, []float64{0, 0}, 1, 500)
+	if math.Abs(best[0]-3) > 1e-4 || math.Abs(best[1]+1) > 1e-4 {
+		t.Fatalf("minimum at %v", best)
+	}
+}
+
+func TestNelderMeadRosenbrockish(t *testing.T) {
+	f := func(x []float64) float64 {
+		a := 1 - x[0]
+		b := x[1] - x[0]*x[0]
+		return a*a + 10*b*b
+	}
+	best := nelderMead(f, []float64{-1, 1}, 0.5, 4000)
+	if f(best) > 1e-5 {
+		t.Fatalf("failed to descend: f=%v at %v", f(best), best)
+	}
+}
+
+func TestOwensTProperties(t *testing.T) {
+	// T(h, 0) = 0.
+	if v := owensT(1.2, 0); v != 0 {
+		t.Errorf("T(h,0)=%v", v)
+	}
+	// T(0, a) = atan(a)/(2π).
+	for _, a := range []float64{0.3, 1, 2.5} {
+		want := math.Atan(a) / (2 * math.Pi)
+		if got := owensT(0, a); math.Abs(got-want) > 1e-8 {
+			t.Errorf("T(0,%v)=%v want %v", a, got, want)
+		}
+	}
+	// T(h, 1) = ½Φ(h)(1−Φ(h)).
+	for _, h := range []float64{0.5, 1.5} {
+		p := stats.NormalCDF(h)
+		want := 0.5 * p * (1 - p)
+		if got := owensT(h, 1); math.Abs(got-want) > 1e-8 {
+			t.Errorf("T(%v,1)=%v want %v", h, got, want)
+		}
+	}
+	// Odd in a.
+	if got := owensT(0.7, -2); math.Abs(got+owensT(0.7, 2)) > 1e-12 {
+		t.Error("T not odd in a")
+	}
+}
+
+func TestSkewNormalReducesToNormal(t *testing.T) {
+	sn := SkewNormal{Xi: 2, Omega: 3, Alpha: 0}
+	for _, p := range []float64{0.0013499, 0.5, 0.9986501} {
+		want := 2 + 3*stats.NormalQuantile(p)
+		if got := sn.Quantile(p); math.Abs(got-want) > 1e-6 {
+			t.Errorf("α=0 quantile(%v)=%v want %v", p, got, want)
+		}
+	}
+}
+
+func TestSkewNormalCDFMonotone(t *testing.T) {
+	sn := SkewNormal{Xi: 0, Omega: 1, Alpha: 4}
+	prev := -1.0
+	for x := -3.0; x <= 5; x += 0.25 {
+		c := sn.CDF(x)
+		if c < prev-1e-12 || c < 0 || c > 1 {
+			t.Fatalf("CDF not monotone/bounded at %v: %v", x, c)
+		}
+		prev = c
+	}
+}
+
+func sampleSkewNormal(r *rng.Stream, xi, omega, alpha float64, n int) []float64 {
+	delta := alpha / math.Sqrt(1+alpha*alpha)
+	out := make([]float64, n)
+	for i := range out {
+		z0 := r.NormFloat64()
+		z1 := r.NormFloat64()
+		z := delta*math.Abs(z0) + math.Sqrt(1-delta*delta)*z1
+		out[i] = xi + omega*z
+	}
+	return out
+}
+
+func TestFitSkewNormalMoments(t *testing.T) {
+	r := rng.New(11)
+	xs := sampleSkewNormal(r, 1, 0.5, 3, 200000)
+	sn, err := FitSkewNormalMoments(xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Check the fitted quantiles against empirical ones.
+	for _, p := range []float64{0.05, 0.5, 0.95} {
+		want := stats.Quantile(xs, p)
+		got := sn.Quantile(p)
+		if math.Abs(got-want) > 0.02 {
+			t.Errorf("fit quantile(%v) = %v want ≈%v", p, got, want)
+		}
+	}
+}
+
+func TestLSNOnLognormal(t *testing.T) {
+	// A pure lognormal is the α=0 special case of the LSN family, so the
+	// fit must nail its quantiles.
+	r := rng.New(12)
+	xs := make([]float64, 100000)
+	for i := range xs {
+		xs[i] = r.LogNormFloat64(-24.5, 0.18) // delay-like magnitudes
+	}
+	l, err := FitLSN(xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range []int{-3, 0, 3} {
+		want := stats.Quantile(xs, stats.SigmaProbability(float64(n)))
+		got := l.SigmaQuantile(n)
+		if stats.RelErr(got, want) > 3 {
+			t.Errorf("LSN %+dσ: %v want %v", n, got, want)
+		}
+	}
+}
+
+func TestLSNRejectsNonPositive(t *testing.T) {
+	if _, err := FitLSN([]float64{1e-12, -1e-12, 2e-12, 1e-12, 1e-12, 1e-12, 1e-12, 1e-12}); err == nil {
+		t.Fatal("negative delay accepted")
+	}
+}
+
+func TestBurrQuantileCDFInverse(t *testing.T) {
+	b := &Burr{C: 4, K: 1.5, Lambda: 2e-11}
+	for _, p := range []float64{0.01, 0.3, 0.5, 0.9, 0.999} {
+		x := b.Quantile(p)
+		if got := b.CDF(x); math.Abs(got-p) > 1e-10 {
+			t.Errorf("CDF(Q(%v)) = %v", p, got)
+		}
+	}
+	if b.CDF(-1) != 0 {
+		t.Error("CDF negative domain")
+	}
+	if b.Quantile(0) != 0 || !math.IsInf(b.Quantile(1), 1) {
+		t.Error("Quantile bounds")
+	}
+}
+
+func TestBurrFitOnBurrData(t *testing.T) {
+	truth := &Burr{C: 5, K: 2, Lambda: 1.8e-11}
+	r := rng.New(13)
+	xs := make([]float64, 60000)
+	for i := range xs {
+		xs[i] = truth.Quantile(r.Float64())
+	}
+	fit, err := FitBurr(xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []float64{0.1, 0.5, 0.9, 0.9986} {
+		if stats.RelErr(fit.Quantile(p), truth.Quantile(p)) > 3 {
+			t.Errorf("Burr refit quantile(%v): %v want %v", p, fit.Quantile(p), truth.Quantile(p))
+		}
+	}
+}
+
+func TestBurrRejectsBadInput(t *testing.T) {
+	if _, err := FitBurr([]float64{1, 2, 3}); err == nil {
+		t.Fatal("too-few samples accepted")
+	}
+	neg := []float64{-1, 1, 1, 1, 1, 1, 1, 1}
+	if _, err := FitBurr(neg); err == nil {
+		t.Fatal("negative samples accepted")
+	}
+}
+
+func TestMLWireLearnsLinearMap(t *testing.T) {
+	// Targets are a noiseless linear function of the features: a tanh MLP
+	// must approximate it tightly inside the training range.
+	r := rng.New(14)
+	var train []TrainSample
+	for i := 0; i < 400; i++ {
+		f := []float64{r.Float64(), r.Float64() * 2, r.Float64()}
+		train = append(train, TrainSample{
+			Features: f,
+			Targets:  []float64{2*f[0] + f[1] - 0.5*f[2] + 1, f[0] - f[2]},
+		})
+	}
+	m, err := TrainMLWire(train, TrainOptions{Seed: 3, Epochs: 400})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var worst float64
+	for i := 0; i < 50; i++ {
+		f := []float64{r.Float64(), r.Float64() * 2, r.Float64()}
+		want0 := 2*f[0] + f[1] - 0.5*f[2] + 1
+		got := m.Predict(f)
+		if e := math.Abs(got[0] - want0); e > worst {
+			worst = e
+		}
+	}
+	if worst > 0.15 {
+		t.Fatalf("MLP worst-case error %v on a linear map", worst)
+	}
+}
+
+func TestMLWireDeterministic(t *testing.T) {
+	r := rng.New(15)
+	var train []TrainSample
+	for i := 0; i < 50; i++ {
+		f := []float64{r.Float64(), r.Float64()}
+		train = append(train, TrainSample{Features: f, Targets: []float64{f[0] + f[1]}})
+	}
+	m1, err := TrainMLWire(train, TrainOptions{Seed: 9, Epochs: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := TrainMLWire(train, TrainOptions{Seed: 9, Epochs: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	probe := []float64{0.4, 0.6}
+	if m1.Predict(probe)[0] != m2.Predict(probe)[0] {
+		t.Fatal("training not deterministic for equal seeds")
+	}
+}
+
+func TestMLWireRejectsTinyTrainingSet(t *testing.T) {
+	if _, err := TrainMLWire([]TrainSample{{Features: []float64{1}, Targets: []float64{1}}}, TrainOptions{}); err == nil {
+		t.Fatal("tiny training set accepted")
+	}
+}
+
+func TestMLWireSigmaQuantile(t *testing.T) {
+	r := rng.New(16)
+	var train []TrainSample
+	for i := 0; i < 100; i++ {
+		f := []float64{1 + r.Float64()}
+		train = append(train, TrainSample{Features: f, Targets: []float64{10 * f[0], f[0]}})
+	}
+	m, err := TrainMLWire(train, TrainOptions{Seed: 1, Epochs: 300})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := []float64{1.5}
+	p := m.Predict(f)
+	if got := m.SigmaQuantile(f, 3); math.Abs(got-(p[0]+3*p[1])) > 1e-12 {
+		t.Fatal("SigmaQuantile must be µ + nσ of the prediction")
+	}
+}

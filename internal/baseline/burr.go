@@ -1,0 +1,96 @@
+package baseline
+
+import (
+	"errors"
+	"math"
+	"sort"
+
+	"repro/internal/stats"
+)
+
+// Burr is the three-parameter Burr type-XII delay model of [13] (Moshrefi
+// et al.): F(x) = 1 − [1 + (x/λ)^c]^(−k) for x > 0.
+type Burr struct {
+	C      float64 // shape
+	K      float64 // shape
+	Lambda float64 // scale
+}
+
+// FitBurr fits Burr XII parameters to positive delay samples by maximum
+// likelihood (Nelder-Mead over log-parameters; initialised from the sample
+// median so the optimiser starts on the right scale).
+func FitBurr(delays []float64) (*Burr, error) {
+	if len(delays) < 8 {
+		return nil, errors.New("baseline: too few samples for a Burr fit")
+	}
+	xs := append([]float64(nil), delays...)
+	sort.Float64s(xs)
+	if xs[0] <= 0 {
+		return nil, errors.New("baseline: Burr requires positive delays")
+	}
+	median := stats.QuantileSorted(xs, 0.5)
+
+	nll := func(p []float64) float64 {
+		c := math.Exp(p[0])
+		k := math.Exp(p[1])
+		lam := math.Exp(p[2])
+		if c > 200 || k > 200 {
+			return math.Inf(1)
+		}
+		var sum float64
+		for _, x := range xs {
+			z := x / lam
+			logz := math.Log(z)
+			// log pdf = log(c·k/λ) + (c−1)·log z − (k+1)·log(1+z^c)
+			log1p := math.Log1p(math.Exp(minf(c*logz, 500)))
+			sum -= math.Log(c*k/lam) + (c-1)*logz - (k+1)*log1p
+		}
+		if math.IsNaN(sum) {
+			return math.Inf(1)
+		}
+		return sum
+	}
+	x0 := []float64{math.Log(4), math.Log(1), math.Log(median)}
+	best := nelderMead(nll, x0, 0.5, 400)
+	b := &Burr{
+		C:      math.Exp(best[0]),
+		K:      math.Exp(best[1]),
+		Lambda: math.Exp(best[2]),
+	}
+	if math.IsNaN(b.C) || math.IsNaN(b.K) || math.IsNaN(b.Lambda) {
+		return nil, errors.New("baseline: Burr fit diverged")
+	}
+	return b, nil
+}
+
+// CDF evaluates the Burr XII distribution function.
+func (b *Burr) CDF(x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	return 1 - math.Pow(1+math.Pow(x/b.Lambda, b.C), -b.K)
+}
+
+// Quantile inverts the CDF in closed form:
+// x = λ·[(1−p)^(−1/k) − 1]^(1/c).
+func (b *Burr) Quantile(p float64) float64 {
+	if p <= 0 {
+		return 0
+	}
+	if p >= 1 {
+		return math.Inf(1)
+	}
+	return b.Lambda * math.Pow(math.Pow(1-p, -1/b.K)-1, 1/b.C)
+}
+
+// SigmaQuantile returns the delay at sigma level n.
+func (b *Burr) SigmaQuantile(n int) float64 {
+	return b.Quantile(stats.SigmaProbability(float64(n)))
+}
+
+func minf(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
+}

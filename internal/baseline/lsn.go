@@ -1,0 +1,148 @@
+package baseline
+
+import (
+	"errors"
+	"math"
+
+	"repro/internal/stats"
+)
+
+// SkewNormal is the three-parameter skew-normal distribution
+// SN(ξ location, ω scale, α shape), pdf (2/ω)·φ(z)·Φ(αz) with z=(x−ξ)/ω.
+type SkewNormal struct {
+	Xi    float64
+	Omega float64
+	Alpha float64
+}
+
+// maxSkew is the supremum of the skew-normal's skewness (|γ1| < 0.9953);
+// moment matching clamps sample skewness below it.
+const maxSkew = 0.99
+
+// FitSkewNormalMoments fits SN parameters by the method of moments.
+func FitSkewNormalMoments(xs []float64) (*SkewNormal, error) {
+	if len(xs) < 8 {
+		return nil, errors.New("baseline: too few samples for a skew-normal fit")
+	}
+	m := stats.ComputeMoments(xs)
+	g := m.Skewness
+	sign := 1.0
+	if g < 0 {
+		sign = -1.0
+		g = -g
+	}
+	if g > maxSkew {
+		g = maxSkew
+	}
+	g23 := math.Pow(g, 2.0/3.0)
+	c23 := math.Pow((4-math.Pi)/2, 2.0/3.0)
+	delta := sign * math.Sqrt(math.Pi/2*g23/(g23+c23))
+	omega := m.Std / math.Sqrt(1-2*delta*delta/math.Pi)
+	xi := m.Mean - omega*delta*math.Sqrt(2/math.Pi)
+	alpha := delta / math.Sqrt(1-delta*delta)
+	return &SkewNormal{Xi: xi, Omega: omega, Alpha: alpha}, nil
+}
+
+// CDF evaluates the skew-normal CDF Φ(z) − 2·T(z, α) via Owen's T.
+func (sn *SkewNormal) CDF(x float64) float64 {
+	z := (x - sn.Xi) / sn.Omega
+	return stats.NormalCDF(z) - 2*owensT(z, sn.Alpha)
+}
+
+// Quantile inverts the CDF by bisection.
+func (sn *SkewNormal) Quantile(p float64) float64 {
+	lo := sn.Xi - 12*sn.Omega
+	hi := sn.Xi + 12*sn.Omega
+	for i := 0; i < 200; i++ {
+		mid := (lo + hi) / 2
+		if sn.CDF(mid) < p {
+			lo = mid
+		} else {
+			hi = mid
+		}
+		if hi-lo < 1e-12*sn.Omega {
+			break
+		}
+	}
+	return (lo + hi) / 2
+}
+
+// owensT computes Owen's T function T(h, a) by adaptive-free Simpson
+// quadrature of its defining integral — accurate to ~1e-9 for the |a| ≤ ~40
+// range the LSN fit produces.
+func owensT(h, a float64) float64 {
+	if a == 0 {
+		return 0
+	}
+	neg := false
+	if a < 0 {
+		a = -a
+		neg = true
+	}
+	// T(h, a) for a > 1 via the standard identity keeps the integrand tame:
+	// T(h,a) = ½Φ(h)+½Φ(ah) − Φ(h)Φ(ah) − T(ah, 1/a).
+	var t float64
+	if a <= 1 {
+		t = owensTIntegral(h, a)
+	} else {
+		ph := stats.NormalCDF(h)
+		pah := stats.NormalCDF(a * h)
+		t = 0.5*ph + 0.5*pah - ph*pah - owensTIntegral(a*h, 1/a)
+	}
+	if neg {
+		t = -t
+	}
+	return t
+}
+
+func owensTIntegral(h, a float64) float64 {
+	const nIntervals = 240 // even
+	h2 := h * h
+	f := func(x float64) float64 {
+		return math.Exp(-0.5*h2*(1+x*x)) / (1 + x*x)
+	}
+	w := a / nIntervals
+	sum := f(0) + f(a)
+	for i := 1; i < nIntervals; i++ {
+		x := float64(i) * w
+		if i%2 == 1 {
+			sum += 4 * f(x)
+		} else {
+			sum += 2 * f(x)
+		}
+	}
+	return sum * w / 3 / (2 * math.Pi)
+}
+
+// LSN is the log-skew-normal cell-delay model of [12] (Balef et al.): the
+// logarithm of delay is fitted to a skew-normal density.
+type LSN struct {
+	SN SkewNormal
+}
+
+// FitLSN fits the model to delay samples (seconds, all positive).
+func FitLSN(delays []float64) (*LSN, error) {
+	logs := make([]float64, len(delays))
+	for i, d := range delays {
+		if d <= 0 {
+			return nil, errors.New("baseline: LSN requires positive delays")
+		}
+		logs[i] = math.Log(d)
+	}
+	sn, err := FitSkewNormalMoments(logs)
+	if err != nil {
+		return nil, err
+	}
+	return &LSN{SN: *sn}, nil
+}
+
+// Quantile returns the delay at probability p.
+func (l *LSN) Quantile(p float64) float64 {
+	return math.Exp(l.SN.Quantile(p))
+}
+
+// SigmaQuantile returns the delay at sigma level n (the paper's convention:
+// the Φ(n) probability point).
+func (l *LSN) SigmaQuantile(n int) float64 {
+	return l.Quantile(stats.SigmaProbability(float64(n)))
+}

@@ -1,0 +1,225 @@
+package baseline
+
+import (
+	"errors"
+	"math"
+
+	"repro/internal/rctree"
+	"repro/internal/rng"
+)
+
+// MLWire is the machine-learning wire-timing estimator standing in for [9]
+// (Cheng et al., DAC'20): a small feed-forward network trained on golden
+// wire-delay statistics, taking the moments of the RC tree "and many other
+// features" (paper §V-D) and predicting the mean and σ of the wire delay.
+// It shares the failure mode of the original: accuracy degrades on nets
+// unlike its training distribution.
+type MLWire struct {
+	net             *mlp
+	featMu, featSd  []float64
+	tgtMu, tgtSd    []float64
+	nFeat, nTargets int
+}
+
+// WireFeatures builds the model's feature vector for a net leaf: first and
+// second impulse-response moments, structural totals, and the boundary
+// conditions (driver strength, load cap, input slew).
+func WireFeatures(t *rctree.Tree, leaf int, driverStrength int, loadCap, inSlew float64) []float64 {
+	var totalR float64
+	for _, n := range t.Nodes[1:] {
+		totalR += n.R
+	}
+	return []float64{
+		t.Elmore(leaf),
+		math.Sqrt(math.Abs(t.SecondMoment(leaf))),
+		totalR,
+		t.TotalCap(),
+		float64(len(t.Nodes)),
+		float64(driverStrength),
+		loadCap,
+		inSlew,
+	}
+}
+
+// TrainSample is one supervised example.
+type TrainSample struct {
+	Features []float64
+	Targets  []float64 // [µ_w, σ_w]
+}
+
+// TrainOptions tunes training.
+type TrainOptions struct {
+	Hidden int     // hidden units (default 12)
+	Epochs int     // full passes (default 600)
+	LR     float64 // learning rate (default 0.01)
+	Seed   uint64
+}
+
+// TrainMLWire trains the estimator. Feature/target standardisation is
+// learned from the training set and baked into the model.
+func TrainMLWire(samples []TrainSample, opt TrainOptions) (*MLWire, error) {
+	if len(samples) < 4 {
+		return nil, errors.New("baseline: too few ML training samples")
+	}
+	if opt.Hidden <= 0 {
+		opt.Hidden = 12
+	}
+	if opt.Epochs <= 0 {
+		opt.Epochs = 600
+	}
+	if opt.LR == 0 {
+		opt.LR = 0.01
+	}
+	nf := len(samples[0].Features)
+	nt := len(samples[0].Targets)
+	m := &MLWire{nFeat: nf, nTargets: nt}
+	m.featMu, m.featSd = standardise(samples, func(s TrainSample) []float64 { return s.Features }, nf)
+	m.tgtMu, m.tgtSd = standardise(samples, func(s TrainSample) []float64 { return s.Targets }, nt)
+
+	r := rng.New(opt.Seed ^ 0x3117)
+	m.net = newMLP(nf, opt.Hidden, nt, r)
+
+	x := make([]float64, nf)
+	y := make([]float64, nt)
+	for epoch := 0; epoch < opt.Epochs; epoch++ {
+		perm := r.Perm(len(samples))
+		for _, i := range perm {
+			s := samples[i]
+			for j := 0; j < nf; j++ {
+				x[j] = (s.Features[j] - m.featMu[j]) / m.featSd[j]
+			}
+			for j := 0; j < nt; j++ {
+				y[j] = (s.Targets[j] - m.tgtMu[j]) / m.tgtSd[j]
+			}
+			m.net.step(x, y, opt.LR)
+		}
+	}
+	return m, nil
+}
+
+// Predict returns [µ_w, σ_w] estimates for a feature vector.
+func (m *MLWire) Predict(features []float64) []float64 {
+	x := make([]float64, m.nFeat)
+	for j := range x {
+		x[j] = (features[j] - m.featMu[j]) / m.featSd[j]
+	}
+	out := m.net.forward(x)
+	res := make([]float64, m.nTargets)
+	for j := range res {
+		res[j] = out[j]*m.tgtSd[j] + m.tgtMu[j]
+	}
+	return res
+}
+
+// SigmaQuantile turns a prediction into a wire nσ delay, Gaussian-style
+// (µ + n·σ), matching how [9]'s two predicted moments would be used.
+func (m *MLWire) SigmaQuantile(features []float64, n int) float64 {
+	p := m.Predict(features)
+	return p[0] + float64(n)*p[1]
+}
+
+func standardise(samples []TrainSample, get func(TrainSample) []float64, n int) (mu, sd []float64) {
+	mu = make([]float64, n)
+	sd = make([]float64, n)
+	for _, s := range samples {
+		v := get(s)
+		for j := 0; j < n; j++ {
+			mu[j] += v[j]
+		}
+	}
+	for j := range mu {
+		mu[j] /= float64(len(samples))
+	}
+	for _, s := range samples {
+		v := get(s)
+		for j := 0; j < n; j++ {
+			d := v[j] - mu[j]
+			sd[j] += d * d
+		}
+	}
+	for j := range sd {
+		sd[j] = math.Sqrt(sd[j] / float64(len(samples)))
+		if sd[j] < 1e-30 {
+			sd[j] = 1
+		}
+	}
+	return mu, sd
+}
+
+// mlp is a one-hidden-layer tanh network with linear output, trained by
+// plain SGD — deliberately small, like the original method's "sophisticated
+// process" scaled to this repository's stdlib-only constraint.
+type mlp struct {
+	nin, nh, nout int
+	w1            []float64 // nh × nin
+	b1            []float64
+	w2            []float64 // nout × nh
+	b2            []float64
+	// scratch
+	h, dh, out []float64
+}
+
+func newMLP(nin, nh, nout int, r *rng.Stream) *mlp {
+	m := &mlp{
+		nin: nin, nh: nh, nout: nout,
+		w1: make([]float64, nh*nin),
+		b1: make([]float64, nh),
+		w2: make([]float64, nout*nh),
+		b2: make([]float64, nout),
+		h:  make([]float64, nh), dh: make([]float64, nh), out: make([]float64, nout),
+	}
+	s1 := 1 / math.Sqrt(float64(nin))
+	for i := range m.w1 {
+		m.w1[i] = s1 * r.NormFloat64()
+	}
+	s2 := 1 / math.Sqrt(float64(nh))
+	for i := range m.w2 {
+		m.w2[i] = s2 * r.NormFloat64()
+	}
+	return m
+}
+
+func (m *mlp) forward(x []float64) []float64 {
+	for i := 0; i < m.nh; i++ {
+		s := m.b1[i]
+		row := m.w1[i*m.nin : (i+1)*m.nin]
+		for j, w := range row {
+			s += w * x[j]
+		}
+		m.h[i] = math.Tanh(s)
+	}
+	for o := 0; o < m.nout; o++ {
+		s := m.b2[o]
+		row := m.w2[o*m.nh : (o+1)*m.nh]
+		for j, w := range row {
+			s += w * m.h[j]
+		}
+		m.out[o] = s
+	}
+	return m.out
+}
+
+// step performs one SGD update on example (x, y) with squared loss.
+func (m *mlp) step(x, y []float64, lr float64) {
+	out := m.forward(x)
+	for i := range m.dh {
+		m.dh[i] = 0
+	}
+	for o := 0; o < m.nout; o++ {
+		e := out[o] - y[o]
+		row := m.w2[o*m.nh : (o+1)*m.nh]
+		for j := range row {
+			m.dh[j] += e * row[j]
+			row[j] -= lr * e * m.h[j]
+		}
+		m.b2[o] -= lr * e
+	}
+	for i := 0; i < m.nh; i++ {
+		g := m.dh[i] * (1 - m.h[i]*m.h[i])
+		row := m.w1[i*m.nin : (i+1)*m.nin]
+		for j := range row {
+			row[j] -= lr * g * x[j]
+		}
+		m.b1[i] -= lr * g
+	}
+}

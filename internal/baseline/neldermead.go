@@ -1,0 +1,95 @@
+// Package baseline implements the comparison methods of the paper's
+// evaluation: the LSN (log-skew-normal) and Burr distribution cell-delay
+// models of Table II, and the PrimeTime-like corner, correction-based and
+// ML-based path/wire timers of Table III.
+package baseline
+
+import "math"
+
+// nelderMead minimises f over dim dimensions starting from x0, with a
+// classic (reflection/expansion/contraction/shrink) simplex. It is the
+// fitting engine of the Burr MLE; tolerances are fixed for that use.
+func nelderMead(f func([]float64) float64, x0 []float64, scale float64, maxIter int) []float64 {
+	dim := len(x0)
+	n := dim + 1
+	simplex := make([][]float64, n)
+	vals := make([]float64, n)
+	for i := range simplex {
+		p := append([]float64(nil), x0...)
+		if i > 0 {
+			p[i-1] += scale
+		}
+		simplex[i] = p
+		vals[i] = f(p)
+	}
+	const (
+		alpha = 1.0
+		gamma = 2.0
+		rho   = 0.5
+		sigma = 0.5
+	)
+	for iter := 0; iter < maxIter; iter++ {
+		// Order simplex.
+		for i := 1; i < n; i++ {
+			for j := i; j > 0 && vals[j] < vals[j-1]; j-- {
+				vals[j], vals[j-1] = vals[j-1], vals[j]
+				simplex[j], simplex[j-1] = simplex[j-1], simplex[j]
+			}
+		}
+		if math.Abs(vals[n-1]-vals[0]) < 1e-12*(math.Abs(vals[0])+1e-12) {
+			break
+		}
+		// Centroid of all but worst.
+		cen := make([]float64, dim)
+		for i := 0; i < n-1; i++ {
+			for d := range cen {
+				cen[d] += simplex[i][d]
+			}
+		}
+		for d := range cen {
+			cen[d] /= float64(n - 1)
+		}
+		point := func(coef float64) []float64 {
+			p := make([]float64, dim)
+			for d := range p {
+				p[d] = cen[d] + coef*(simplex[n-1][d]-cen[d])
+			}
+			return p
+		}
+		refl := point(-alpha)
+		fr := f(refl)
+		switch {
+		case fr < vals[0]:
+			exp := point(-alpha * gamma)
+			fe := f(exp)
+			if fe < fr {
+				simplex[n-1], vals[n-1] = exp, fe
+			} else {
+				simplex[n-1], vals[n-1] = refl, fr
+			}
+		case fr < vals[n-2]:
+			simplex[n-1], vals[n-1] = refl, fr
+		default:
+			con := point(rho)
+			fc := f(con)
+			if fc < vals[n-1] {
+				simplex[n-1], vals[n-1] = con, fc
+			} else {
+				// Shrink towards the best vertex.
+				for i := 1; i < n; i++ {
+					for d := range simplex[i] {
+						simplex[i][d] = simplex[0][d] + sigma*(simplex[i][d]-simplex[0][d])
+					}
+					vals[i] = f(simplex[i])
+				}
+			}
+		}
+	}
+	best := 0
+	for i := 1; i < n; i++ {
+		if vals[i] < vals[best] {
+			best = i
+		}
+	}
+	return simplex[best]
+}

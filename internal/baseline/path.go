@@ -1,0 +1,104 @@
+package baseline
+
+import (
+	"math"
+
+	"repro/internal/sta"
+)
+
+// This file implements the Table-III path-delay comparison methods on top
+// of an extracted sta.Path. All three reuse the same per-stage moments the
+// coefficients file provides; they differ in how per-stage numbers combine
+// into a path number — which is exactly where their pessimism or optimism
+// comes from.
+
+// CornerOptions parameterises the PrimeTime-like corner timer.
+type CornerOptions struct {
+	// WireDerate multiplies Elmore wire delays (slow-corner interconnect
+	// margin). Default 1.10.
+	WireDerate float64
+	// OCVMargin is the extra global on-chip-variation margin multiplying
+	// the whole path. Default 1.05.
+	OCVMargin float64
+}
+
+func (o *CornerOptions) setDefaults() {
+	if o.WireDerate == 0 {
+		o.WireDerate = 1.10
+	}
+	if o.OCVMargin == 0 {
+		o.OCVMargin = 1.05
+	}
+}
+
+// CornerPathDelay is the PrimeTime-like single-corner signoff number [7]:
+// every cell contributes its stage-local worst case µ+3σ, wires a derated
+// Elmore, and a global OCV margin multiplies the sum. Summing per-stage
+// worst cases ignores the statistical averaging across stages, which is
+// why this number lands far above the true +3σ on long paths (the 24–43 %
+// PT errors of Table III).
+func CornerPathDelay(p *sta.Path, opt CornerOptions) float64 {
+	opt.setDefaults()
+	var sum float64
+	for _, s := range p.Stages {
+		if s.Cell != "" {
+			sum += s.CellMoments.Mean + 3*s.CellMoments.Std
+		}
+		sum += opt.WireDerate * s.Elmore
+	}
+	return opt.OCVMargin * sum
+}
+
+// CorrectionModel is the correction-based calibration of [8]: a single
+// multiplicative factor per design family, fitted so the cheap timer
+// (per-stage corner cells + raw Elmore wires) matches a reference +3σ path
+// delay on a training circuit, then applied unchanged elsewhere. Its error
+// on other circuits measures how transferable one scalar calibration is.
+type CorrectionModel struct {
+	Factor float64
+}
+
+// uncorrected is the cheap timer the correction factor scales.
+func uncorrected(p *sta.Path) float64 {
+	var sum float64
+	for _, s := range p.Stages {
+		if s.Cell != "" {
+			sum += s.CellMoments.Mean + 3*s.CellMoments.Std
+		}
+		sum += s.Elmore
+	}
+	return sum
+}
+
+// FitCorrection fits the factor on a training path against a reference +3σ
+// delay (the "PrimeTime report" role is played by the golden MC).
+func FitCorrection(train *sta.Path, refPlus3Sigma float64) *CorrectionModel {
+	u := uncorrected(train)
+	if u <= 0 {
+		return &CorrectionModel{Factor: 1}
+	}
+	return &CorrectionModel{Factor: refPlus3Sigma / u}
+}
+
+// PathDelay applies the fitted correction to a path.
+func (c *CorrectionModel) PathDelay(p *sta.Path) float64 {
+	return c.Factor * uncorrected(p)
+}
+
+// RSSPathQuantile is the independent-stage statistical sum
+// Σµ + n·√(Σσ²): the classic SSTA simplification that *under*-estimates
+// spread whenever a shared global corner correlates the stages. Exposed for
+// the ablation benches.
+func RSSPathQuantile(p *sta.Path, n int) float64 {
+	var mu, var_ float64
+	for _, s := range p.Stages {
+		if s.Cell != "" {
+			mu += s.CellMoments.Mean
+			var_ += s.CellMoments.Std * s.CellMoments.Std
+		}
+		mu += s.Elmore
+		sw := s.XW * s.Elmore
+		var_ += sw * sw
+	}
+	return mu + float64(n)*math.Sqrt(var_)
+}

@@ -1,0 +1,114 @@
+package baseline
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/sta"
+	"repro/internal/stats"
+)
+
+// synthPath builds a uniform path of n cell stages with the given stage
+// moments and wire numbers.
+func synthPath(n int, mu, sigma, elmore, xw float64) *sta.Path {
+	p := &sta.Path{}
+	for i := 0; i < n; i++ {
+		p.Stages = append(p.Stages, sta.Stage{
+			Cell:        "INVx1",
+			CellMoments: stats.Moments{Mean: mu, Std: sigma, Kurtosis: 3},
+			Elmore:      elmore,
+			XW:          xw,
+		})
+	}
+	return p
+}
+
+func TestCornerPathDelayPessimism(t *testing.T) {
+	p := synthPath(10, 10e-12, 1e-12, 1e-12, 0.1)
+	corner := CornerPathDelay(p, CornerOptions{})
+	// Sum of per-stage µ+3σ with wire derate and OCV margin must exceed
+	// both the mean sum and the RSS +3σ.
+	mean := p.Mean()
+	rss := RSSPathQuantile(p, 3)
+	if corner <= mean || corner <= rss {
+		t.Fatalf("corner %v not above mean %v and RSS %v", corner, mean, rss)
+	}
+	// Exact value: 1.05·(10·(13ps) + 10·1.10·1ps).
+	want := 1.05 * (10*13e-12 + 10*1.10*1e-12)
+	if math.Abs(corner-want) > 1e-18 {
+		t.Fatalf("corner %v want %v", corner, want)
+	}
+}
+
+func TestCornerOptionsDefaults(t *testing.T) {
+	p := synthPath(4, 10e-12, 1e-12, 1e-12, 0.1)
+	def := CornerPathDelay(p, CornerOptions{})
+	custom := CornerPathDelay(p, CornerOptions{WireDerate: 1.10, OCVMargin: 1.05})
+	if def != custom {
+		t.Fatal("defaults differ from explicit 1.10/1.05")
+	}
+	bigger := CornerPathDelay(p, CornerOptions{WireDerate: 1.5, OCVMargin: 1.2})
+	if bigger <= def {
+		t.Fatal("larger margins must increase the corner number")
+	}
+}
+
+func TestRSSUnderestimatesComonotonicSum(t *testing.T) {
+	p := synthPath(16, 10e-12, 1e-12, 0, 0)
+	// Comonotonic (eq. 10-style) +3σ would be Σ(µ+3σ); RSS replaces 3Σσ
+	// with 3√(Σσ²) = 3σ√n.
+	rss := RSSPathQuantile(p, 3)
+	wantMu := 16 * 10e-12
+	wantSpread := 3 * 1e-12 * 4 // √16
+	if math.Abs(rss-(wantMu+wantSpread)) > 1e-18 {
+		t.Fatalf("RSS %v want %v", rss, wantMu+wantSpread)
+	}
+	comono := wantMu + 3*16e-12*1e-12/1e-12 // Σµ + 3·n·σ
+	_ = comono
+	if rss >= wantMu+3*16*1e-12 {
+		t.Fatal("RSS should be below the comonotonic sum")
+	}
+}
+
+func TestRSSIncludesWireSigma(t *testing.T) {
+	noWire := RSSPathQuantile(synthPath(4, 10e-12, 1e-12, 0, 0), 3)
+	withWire := RSSPathQuantile(synthPath(4, 10e-12, 1e-12, 2e-12, 0.2), 3)
+	if withWire <= noWire {
+		t.Fatal("wire variance ignored by RSS")
+	}
+}
+
+func TestCorrectionModelFitAndTransfer(t *testing.T) {
+	train := synthPath(10, 10e-12, 1e-12, 1e-12, 0.1)
+	ref := 150e-12
+	m := FitCorrection(train, ref)
+	if got := m.PathDelay(train); math.Abs(got-ref) > 1e-18 {
+		t.Fatalf("correction on its training path: %v want %v", got, ref)
+	}
+	// On a path with a different cell/wire balance, the single scalar
+	// cannot be exact — but it must scale monotonically with path size.
+	small := m.PathDelay(synthPath(5, 10e-12, 1e-12, 1e-12, 0.1))
+	large := m.PathDelay(synthPath(20, 10e-12, 1e-12, 1e-12, 0.1))
+	if !(small < ref && ref < large) {
+		t.Fatalf("correction scaling broken: %v %v %v", small, ref, large)
+	}
+}
+
+func TestCorrectionDegenerate(t *testing.T) {
+	m := FitCorrection(&sta.Path{}, 1e-10)
+	if m.Factor != 1 {
+		t.Fatalf("degenerate training path factor %v", m.Factor)
+	}
+}
+
+func TestPathMeanAndQuantileConsistency(t *testing.T) {
+	p := synthPath(6, 10e-12, 1e-12, 2e-12, 0.1)
+	if math.Abs(p.Mean()-(6*12e-12)) > 1e-18 {
+		t.Fatalf("path mean %v", p.Mean())
+	}
+	// eq. (10) at level 0 with symmetric stage quantile maps absent: the
+	// synthetic path has no CellQ, so Quantile counts only wires.
+	if got := p.Quantile(0); math.Abs(got-6*2e-12) > 1e-18 {
+		t.Fatalf("wire-only quantile %v", got)
+	}
+}

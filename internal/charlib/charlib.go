@@ -1,0 +1,215 @@
+// Package charlib characterises standard cells by Monte-Carlo transient
+// simulation, playing the role of the paper's HSPICE + LVF characterisation
+// flow: for a timing arc (cell, input pin, edge) at an operating condition
+// (input slew S, output load C) it produces delay/slew samples, their first
+// four moments and the empirical nσ quantiles that the N-sigma model is
+// fitted against.
+package charlib
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"repro/internal/circuit"
+	"repro/internal/device"
+	"repro/internal/rng"
+	"repro/internal/stats"
+	"repro/internal/stdcell"
+	"repro/internal/variation"
+	"repro/internal/waveform"
+)
+
+// Arc identifies a timing arc: a cell, the switching input pin, and the
+// input edge direction. All library cells invert, so the output edge is
+// always the opposite of InEdge.
+type Arc struct {
+	Cell   string        `json:"cell"`
+	Pin    string        `json:"pin"`
+	InEdge waveform.Edge `json:"inEdge"`
+}
+
+func (a Arc) String() string {
+	return fmt.Sprintf("%s/%s (%s in)", a.Cell, a.Pin, a.InEdge)
+}
+
+// Config bundles the technology, library, variation model and simulator
+// detail knobs shared by all characterisation runs.
+type Config struct {
+	Tech *device.Tech
+	Lib  *stdcell.Library
+	Var  *variation.Model
+
+	// Steps is the number of base timesteps per transient (default 400).
+	Steps int
+	// Workers bounds Monte-Carlo parallelism (default GOMAXPROCS).
+	Workers int
+}
+
+// DefaultConfig returns a Config over the default 28-nm-class technology.
+func DefaultConfig() *Config {
+	tech := device.Default28nm()
+	return &Config{
+		Tech: tech,
+		Lib:  stdcell.NewLibrary(tech),
+		Var:  variation.Default28nm(),
+	}
+}
+
+func (c *Config) steps() int {
+	if c.Steps <= 0 {
+		return 400
+	}
+	return c.Steps
+}
+
+func (c *Config) workers() int {
+	if c.Workers > 0 {
+		return c.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// inputStartTime is the quiet interval before the input ramp begins, giving
+// the DC operating point room to settle numerically.
+const inputStartTime = 5e-12
+
+// estimateTau returns a crude nominal time constant of the arc, used only
+// to size the simulation window.
+func (c *Config) estimateTau(cell *stdcell.Cell, loadC float64) float64 {
+	// Effective drive current: a unit inverter's on current scaled by the
+	// cell strength, derated by the stack depth.
+	nUnit := c.Tech.NominalParams(device.NMOS, c.Tech.Wmin)
+	ion := nUnit.OnCurrent(c.Tech.Vdd) * float64(cell.Strength) / float64(cell.Stack)
+	ctot := loadC + cell.OutputCap() + 2e-16
+	return ctot * c.Tech.Vdd / ion
+}
+
+// MeasureArcOnce runs a single transient of one arc instance and measures
+// delay and output slew. sampler may be nil for a nominal run. extraTau
+// stretches the simulation window (used on settle-failure retries).
+func (c *Config) MeasureArcOnce(arc Arc, slew, loadC float64, sampler *stdcell.Sampler) (waveform.StageMeasurement, error) {
+	cell := c.Lib.Cell(arc.Cell)
+	if cell == nil {
+		return waveform.StageMeasurement{}, fmt.Errorf("charlib: unknown cell %q", arc.Cell)
+	}
+	if !cell.HasInput(arc.Pin) {
+		return waveform.StageMeasurement{}, fmt.Errorf("charlib: %s has no pin %q", arc.Cell, arc.Pin)
+	}
+	tau := c.estimateTau(cell, loadC)
+	window := 30 * tau
+	for attempt := 0; attempt < 4; attempt++ {
+		m, err := c.measureAttempt(cell, arc, slew, loadC, sampler, window)
+		if err == nil && m.Settled {
+			return m, nil
+		}
+		if err != nil && attempt == 3 {
+			return m, fmt.Errorf("charlib: %s S=%.3g C=%.3g: %w", arc, slew, loadC, err)
+		}
+		window *= 3
+	}
+	return waveform.StageMeasurement{}, fmt.Errorf("charlib: %s did not settle", arc)
+}
+
+func (c *Config) measureAttempt(cell *stdcell.Cell, arc Arc, slew, loadC float64,
+	sampler *stdcell.Sampler, window float64) (waveform.StageMeasurement, error) {
+	ck := circuit.New()
+	vdd := ck.NodeByName("vdd")
+	ck.AddSource(vdd, circuit.DC(c.Tech.Vdd))
+	out := ck.NodeByName("out")
+	in := ck.NodeByName("in")
+
+	ramp := circuit.Ramp{T0: inputStartTime, TRamp: waveform.RampTimeForSlew(slew)}
+	if arc.InEdge == waveform.Rising {
+		ramp.V0, ramp.V1 = 0, c.Tech.Vdd
+	} else {
+		ramp.V0, ramp.V1 = c.Tech.Vdd, 0
+	}
+	ck.AddSource(in, ramp)
+
+	pins := map[string]circuit.Node{"vdd": vdd, "Y": out, arc.Pin: in}
+	for pin, level := range cell.SensitizingLevels(arc.Pin) {
+		n := ck.NodeByName("bias_" + pin)
+		if level {
+			ck.AddSource(n, circuit.DC(c.Tech.Vdd))
+		} else {
+			ck.AddSource(n, circuit.DC(0))
+		}
+		pins[pin] = n
+	}
+	cell.Build(ck, pins, sampler)
+	ck.AddCapacitor(out, circuit.Ground, loadC)
+
+	tstop := inputStartTime + ramp.TRamp + window
+	res, err := ck.Transient(circuit.SimOptions{TStop: tstop, DT: tstop / float64(c.steps())})
+	if err != nil {
+		return waveform.StageMeasurement{}, err
+	}
+	// The input is an ideal ramp: its 50 % crossing is analytic. The output
+	// search starts at the ramp onset so early (negative-delay) switches of
+	// fast cells under slow inputs are still captured.
+	inCross := inputStartTime + 0.5*ramp.TRamp
+	outEdge := arc.InEdge.Opposite()
+	return waveform.MeasureStage(nil, nil, inCross, arc.InEdge,
+		res.Times, res.Waveform(out), outEdge, c.Tech.Vdd, inputStartTime)
+}
+
+// Samples holds Monte-Carlo measurements of one arc at one operating point.
+type Samples struct {
+	Delay   []float64
+	OutSlew []float64
+}
+
+// Moments returns the first four moments of the delay samples.
+func (s *Samples) Moments() stats.Moments { return stats.ComputeMoments(s.Delay) }
+
+// SigmaQuantiles returns the empirical delay quantiles at the seven paper
+// sigma levels.
+func (s *Samples) SigmaQuantiles() map[int]float64 { return stats.SigmaQuantiles(s.Delay) }
+
+// MCArc runs n Monte-Carlo samples of the arc at (slew, loadC). Sample i
+// derives its variation draws from seed's i-th sub-stream, so results are
+// independent of worker count. Rare non-settling samples are retried with a
+// longer window inside MeasureArcOnce; hard failures abort the run.
+func (c *Config) MCArc(arc Arc, slew, loadC float64, n int, seed uint64) (*Samples, error) {
+	out := &Samples{Delay: make([]float64, n), OutSlew: make([]float64, n)}
+	base := rng.New(seed)
+	var wg sync.WaitGroup
+	errCh := make(chan error, c.workers())
+	next := make(chan int, n)
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
+	for w := 0; w < c.workers(); w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				r := base.At(i)
+				sampler := &stdcell.Sampler{
+					Model:  c.Var,
+					Corner: c.Var.SampleCorner(r),
+					R:      r,
+				}
+				m, err := c.MeasureArcOnce(arc, slew, loadC, sampler)
+				if err != nil {
+					select {
+					case errCh <- fmt.Errorf("sample %d: %w", i, err):
+					default:
+					}
+					return
+				}
+				out.Delay[i] = m.Delay
+				out.OutSlew[i] = m.OutSlew
+			}
+		}()
+	}
+	wg.Wait()
+	select {
+	case err := <-errCh:
+		return nil, err
+	default:
+	}
+	return out, nil
+}

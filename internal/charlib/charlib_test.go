@@ -1,0 +1,213 @@
+package charlib
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"repro/internal/waveform"
+)
+
+// smallCfg shrinks the simulator detail so MC tests stay fast.
+func smallCfg() *Config {
+	cfg := DefaultConfig()
+	cfg.Steps = 250
+	return cfg
+}
+
+func TestMeasureArcOnceNominal(t *testing.T) {
+	cfg := smallCfg()
+	arc := Arc{Cell: "INVx1", Pin: "A", InEdge: waveform.Rising}
+	m, err := cfg.MeasureArcOnce(arc, Reference.Slew, Reference.Load, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Unit inverter at the paper's reference point: delay in the ~5–50 ps
+	// band for a 0.6 V near-threshold 28-nm-class cell.
+	if m.Delay < 5e-12 || m.Delay > 50e-12 {
+		t.Fatalf("nominal INVx1 delay %v out of expected band", m.Delay)
+	}
+	if m.OutSlew <= 0 {
+		t.Fatalf("output slew %v", m.OutSlew)
+	}
+	if !m.Settled {
+		t.Fatal("nominal run did not settle")
+	}
+}
+
+func TestMeasureArcBothEdges(t *testing.T) {
+	cfg := smallCfg()
+	for _, e := range []waveform.Edge{waveform.Rising, waveform.Falling} {
+		arc := Arc{Cell: "NAND2x2", Pin: "B", InEdge: e}
+		m, err := cfg.MeasureArcOnce(arc, 20e-12, 1e-15, nil)
+		if err != nil {
+			t.Fatalf("%s: %v", e, err)
+		}
+		if m.Delay <= -20e-12 || m.Delay > 100e-12 {
+			t.Fatalf("%s delay %v implausible", e, m.Delay)
+		}
+	}
+}
+
+func TestMeasureArcValidation(t *testing.T) {
+	cfg := smallCfg()
+	if _, err := cfg.MeasureArcOnce(Arc{Cell: "GHOSTx1", Pin: "A"}, 1e-11, 1e-15, nil); err == nil {
+		t.Fatal("unknown cell accepted")
+	}
+	if _, err := cfg.MeasureArcOnce(Arc{Cell: "INVx1", Pin: "Q"}, 1e-11, 1e-15, nil); err == nil {
+		t.Fatal("unknown pin accepted")
+	}
+}
+
+func TestMCArcDeterministicAcrossWorkers(t *testing.T) {
+	arc := Arc{Cell: "INVx1", Pin: "A", InEdge: waveform.Rising}
+	run := func(workers int) *Samples {
+		cfg := smallCfg()
+		cfg.Workers = workers
+		s, err := cfg.MCArc(arc, Reference.Slew, Reference.Load, 24, 42)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+	a := run(1)
+	b := run(8)
+	if !reflect.DeepEqual(a.Delay, b.Delay) {
+		t.Fatal("MC results depend on worker count")
+	}
+	c := run(4)
+	if !reflect.DeepEqual(a.OutSlew, c.OutSlew) {
+		t.Fatal("slew samples depend on worker count")
+	}
+}
+
+func TestMCArcSeedSensitivity(t *testing.T) {
+	cfg := smallCfg()
+	arc := Arc{Cell: "INVx1", Pin: "A", InEdge: waveform.Rising}
+	a, err := cfg.MCArc(arc, Reference.Slew, Reference.Load, 16, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := cfg.MCArc(arc, Reference.Slew, Reference.Load, 16, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reflect.DeepEqual(a.Delay, b.Delay) {
+		t.Fatal("different seeds produced identical samples")
+	}
+}
+
+func TestMCArcDistributionShape(t *testing.T) {
+	cfg := smallCfg()
+	arc := Arc{Cell: "INVx1", Pin: "A", InEdge: waveform.Rising}
+	s, err := cfg.MCArc(arc, Reference.Slew, Reference.Load, 400, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := s.Moments()
+	if m.Mean <= 0 || m.Std <= 0 {
+		t.Fatalf("degenerate moments %+v", m)
+	}
+	// Near-threshold delay must be right-skewed — the premise of the whole
+	// paper. (The kurtosis bound is loose: its sampling error at 400
+	// samples is a few tenths.)
+	if m.Skewness < 0.2 {
+		t.Errorf("skewness %v: near-threshold delay should lean right", m.Skewness)
+	}
+	if m.Kurtosis < 2.5 {
+		t.Errorf("kurtosis %v implausibly light-tailed", m.Kurtosis)
+	}
+	q := s.SigmaQuantiles()
+	if !(q[-3] < q[0] && q[0] < q[3]) {
+		t.Fatalf("quantiles not ordered: %v", q)
+	}
+	// Positive skew ⇒ the +3σ tail stretches further than the -3σ tail.
+	if (q[3] - q[0]) <= (q[0] - q[-3]) {
+		t.Errorf("tail asymmetry missing: %v", q)
+	}
+}
+
+func TestDelayIncreasesWithSlewAndLoad(t *testing.T) {
+	cfg := smallCfg()
+	arc := Arc{Cell: "INVx1", Pin: "A", InEdge: waveform.Rising}
+	base, err := cfg.MeasureArcOnce(arc, 10e-12, 0.4e-15, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	slower, err := cfg.MeasureArcOnce(arc, 300e-12, 0.4e-15, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := cfg.MeasureArcOnce(arc, 10e-12, 6e-15, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if slower.Delay <= base.Delay {
+		t.Errorf("slew 300ps delay %v not above base %v", slower.Delay, base.Delay)
+	}
+	if loaded.Delay <= 2*base.Delay {
+		t.Errorf("6fF load delay %v not well above base %v", loaded.Delay, base.Delay)
+	}
+	if loaded.OutSlew <= base.OutSlew {
+		t.Errorf("loaded output slew %v not above base %v", loaded.OutSlew, base.OutSlew)
+	}
+}
+
+func TestCharacterizeArcGrid(t *testing.T) {
+	cfg := smallCfg()
+	arc := Arc{Cell: "INVx1", Pin: "A", InEdge: waveform.Rising}
+	ch, err := cfg.CharacterizeArc(arc,
+		[]float64{10e-12, 100e-12},
+		[]float64{0.4e-15, 2e-15},
+		60, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ch.Grid[0].Op != Reference {
+		t.Fatalf("grid[0] is %+v, want the reference point", ch.Grid[0].Op)
+	}
+	if len(ch.Grid) != 4 {
+		t.Fatalf("grid has %d points want 4 (2x2 with ref included)", len(ch.Grid))
+	}
+	for _, g := range ch.Grid {
+		if g.Moments.Mean <= 0 || g.Samples != 60 {
+			t.Fatalf("bad grid point %+v", g)
+		}
+		if len(g.Quantiles) != 7 {
+			t.Fatalf("grid point missing quantiles: %v", g.Quantiles)
+		}
+	}
+}
+
+func TestCharacterizeArcUnionsReference(t *testing.T) {
+	cfg := smallCfg()
+	arc := Arc{Cell: "INVx1", Pin: "A", InEdge: waveform.Rising}
+	// Axes that do NOT contain the reference values.
+	ch, err := cfg.CharacterizeArc(arc, []float64{50e-12}, []float64{1e-15}, 40, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Axes become {50, 10(ref)} × {1, 0.4(ref)} = 4 points.
+	if len(ch.Grid) != 4 {
+		t.Fatalf("reference union failed: %d points", len(ch.Grid))
+	}
+}
+
+func TestCharacterizeArcRejectsTinySampleCount(t *testing.T) {
+	cfg := smallCfg()
+	arc := Arc{Cell: "INVx1", Pin: "A", InEdge: waveform.Rising}
+	if _, err := cfg.CharacterizeArc(arc, []float64{1e-11}, []float64{1e-15}, 4, 1); err == nil {
+		t.Fatal("4 samples accepted for four-moment characterisation")
+	}
+}
+
+func TestScaleLoads(t *testing.T) {
+	in := []float64{1e-15, 2e-15}
+	if got := ScaleLoads(in, 1); &got[0] != &in[0] {
+		t.Fatal("strength 1 should return the input unchanged")
+	}
+	got := ScaleLoads(in, 4)
+	if math.Abs(got[1]-8e-15) > 1e-27 || in[1] != 2e-15 {
+		t.Fatal("scaling wrong or mutated input")
+	}
+}

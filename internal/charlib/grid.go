@@ -1,0 +1,113 @@
+package charlib
+
+import (
+	"fmt"
+
+	"repro/internal/stats"
+)
+
+// OpPoint is an operating condition: input slew and output load.
+type OpPoint struct {
+	Slew float64 `json:"slew"` // seconds (10-90)
+	Load float64 `json:"load"` // farads
+}
+
+// Reference operating condition of the paper: S_ref = 10 ps, C_ref = 0.4 fF.
+var Reference = OpPoint{Slew: 10e-12, Load: 0.4e-15}
+
+// GridPoint is the characterisation outcome at one operating condition.
+type GridPoint struct {
+	Op          OpPoint         `json:"op"`
+	Moments     stats.Moments   `json:"moments"`
+	Quantiles   map[int]float64 `json:"quantiles"` // sigma level → delay (s)
+	MeanOutSlew float64         `json:"meanOutSlew"`
+	Samples     int             `json:"samples"`
+}
+
+// ArcChar is the full Monte-Carlo characterisation of one timing arc over
+// an operating-condition grid. Grid[0] is always the reference point.
+type ArcChar struct {
+	Arc  Arc         `json:"arc"`
+	Ref  OpPoint     `json:"ref"`
+	Grid []GridPoint `json:"grid"`
+}
+
+// RefPoint returns the reference grid point.
+func (a *ArcChar) RefPoint() *GridPoint { return &a.Grid[0] }
+
+// DefaultSlewGrid spans the paper's Fig. 4 sweep (10 ps … 300 ps) extended
+// to 600 ps: near-threshold slews on deep paths exceed the paper's plotted
+// range and the LUT must cover what STA will look up.
+func DefaultSlewGrid() []float64 {
+	return []float64{10e-12, 40e-12, 100e-12, 200e-12, 350e-12, 600e-12}
+}
+
+// DefaultLoadGrid spans the paper's Fig. 4 sweep (0.1 fF … 6 fF) for a
+// unit-strength cell. Characterisation scales this axis by the cell's drive
+// strength (ScaleLoads) so every cell is tabulated over its own realistic
+// FO1–FO8 operating range.
+func DefaultLoadGrid() []float64 {
+	return []float64{0.1e-15, 0.4e-15, 1.2e-15, 3.0e-15, 6.0e-15, 10.0e-15}
+}
+
+// ScaleLoads multiplies a load axis by a cell strength.
+func ScaleLoads(loads []float64, strength int) []float64 {
+	if strength <= 1 {
+		return loads
+	}
+	out := make([]float64, len(loads))
+	for i, l := range loads {
+		out[i] = l * float64(strength)
+	}
+	return out
+}
+
+// withValue returns xs with v appended unless already present.
+func withValue(xs []float64, v float64) []float64 {
+	for _, x := range xs {
+		if x == v {
+			return xs
+		}
+	}
+	return append(append([]float64(nil), xs...), v)
+}
+
+// CharacterizeArc measures the arc at the reference point and at every
+// (slew, load) pair from the two axis grids, with n Monte-Carlo samples per
+// point. The resulting grid is the cross product, so it supports fitting
+// the cross terms ΔS·ΔC of eqs. (2)–(3).
+func (c *Config) CharacterizeArc(arc Arc, slews, loads []float64, n int, seed uint64) (*ArcChar, error) {
+	if n < 8 {
+		return nil, fmt.Errorf("charlib: %d samples cannot support four moments", n)
+	}
+	out := &ArcChar{Arc: arc, Ref: Reference}
+	// The grid must contain the reference point and be a full cross
+	// product (the LUT requires it), so union the reference values into
+	// the axes.
+	slews = withValue(slews, Reference.Slew)
+	loads = withValue(loads, Reference.Load)
+	points := []OpPoint{Reference}
+	for _, s := range slews {
+		for _, l := range loads {
+			if s == Reference.Slew && l == Reference.Load {
+				continue
+			}
+			points = append(points, OpPoint{Slew: s, Load: l})
+		}
+	}
+	for i, op := range points {
+		// Decorrelate points while keeping each deterministic.
+		smp, err := c.MCArc(arc, op.Slew, op.Load, n, seed+uint64(i)*0x9e37)
+		if err != nil {
+			return nil, fmt.Errorf("charlib: point S=%.3g C=%.3g: %w", op.Slew, op.Load, err)
+		}
+		out.Grid = append(out.Grid, GridPoint{
+			Op:          op,
+			Moments:     smp.Moments(),
+			Quantiles:   smp.SigmaQuantiles(),
+			MeanOutSlew: stats.Mean(smp.OutSlew),
+			Samples:     n,
+		})
+	}
+	return out, nil
+}

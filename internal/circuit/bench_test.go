@@ -1,0 +1,62 @@
+package circuit
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/device"
+)
+
+// Simulator micro-benchmarks: the golden Monte-Carlo throughput bounds
+// every experiment in this repository, so regressions here matter more
+// than anywhere else.
+
+func benchInverterChain(n int) *Circuit {
+	tech := device.Default28nm()
+	ck := New()
+	vdd := ck.NodeByName("vdd")
+	ck.AddSource(vdd, DC(tech.Vdd))
+	in := ck.NodeByName("in")
+	ck.AddSource(in, Ramp{T0: 5e-12, TRamp: 12.5e-12, V0: 0, V1: tech.Vdd})
+	prev := in
+	for i := 0; i < n; i++ {
+		out := ck.NodeByName(fmt.Sprintf("n%d", i))
+		ck.AddMOS(out, prev, Ground, tech.NominalParams(device.NMOS, 2*tech.Wmin))
+		ck.AddMOS(out, prev, vdd, tech.NominalParams(device.PMOS, 3*tech.Wmin))
+		ck.AddCapacitor(out, Ground, 0.4e-15)
+		prev = out
+	}
+	return ck
+}
+
+func benchTransient(b *testing.B, stages int) {
+	ck := benchInverterChain(stages)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ck.Transient(SimOptions{TStop: 4e-10, DT: 1e-12}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTransientInverter(b *testing.B) { benchTransient(b, 1) }
+func BenchmarkTransientChain5(b *testing.B)   { benchTransient(b, 5) }
+func BenchmarkTransientChain20(b *testing.B)  { benchTransient(b, 20) }
+func BenchmarkTransientRCLadder(b *testing.B) {
+	ck := New()
+	src := ck.NodeByName("src")
+	ck.AddSource(src, Ramp{T0: 1e-12, TRamp: 10e-12, V0: 0, V1: 0.6})
+	prev := src
+	for i := 0; i < 20; i++ {
+		n := ck.NodeByName(fmt.Sprintf("n%d", i))
+		ck.AddResistor(prev, n, 200)
+		ck.AddCapacitor(n, Ground, 0.5e-15)
+		prev = n
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ck.Transient(SimOptions{TStop: 2e-10, DT: 0.5e-12}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

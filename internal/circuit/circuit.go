@@ -1,0 +1,239 @@
+// Package circuit provides a transistor-level circuit representation and a
+// transient simulator — the stand-in for the paper's HSPICE golden runs.
+//
+// The simulator performs modified nodal analysis with ideal node-to-ground
+// voltage sources eliminated from the unknown vector, Backward-Euler time
+// integration, and a damped Newton solve of the nonlinear device equations
+// at every timestep. Circuits in this repository are small (one logic stage
+// plus an RC tree, tens of nodes), so dense factorisation per Newton
+// iteration is fast and robust.
+package circuit
+
+import (
+	"fmt"
+
+	"repro/internal/device"
+)
+
+// Node identifies a circuit node. Ground is always node 0.
+type Node int
+
+// Ground is the reference node.
+const Ground Node = 0
+
+// Waveform is a time-dependent source voltage.
+type Waveform interface {
+	// V returns the source voltage at time t (seconds).
+	V(t float64) float64
+}
+
+// DC is a constant-voltage waveform.
+type DC float64
+
+// V implements Waveform.
+func (d DC) V(float64) float64 { return float64(d) }
+
+// Ramp is a saturating linear ramp from V0 to V1 starting at T0 with total
+// transition time TRamp. TRamp = 0 yields an ideal step.
+type Ramp struct {
+	T0    float64
+	TRamp float64
+	V0    float64
+	V1    float64
+}
+
+// V implements Waveform.
+func (r Ramp) V(t float64) float64 {
+	switch {
+	case t <= r.T0 || r.TRamp <= 0:
+		if t > r.T0 {
+			return r.V1
+		}
+		return r.V0
+	case t >= r.T0+r.TRamp:
+		return r.V1
+	default:
+		return r.V0 + (r.V1-r.V0)*(t-r.T0)/r.TRamp
+	}
+}
+
+// PWL is a piecewise-linear waveform through (Times, Values) samples,
+// clamped to the end values outside the sampled span. It is how the golden
+// path Monte-Carlo hands the *actual* output waveform of one stage to the
+// next — a ramp reconstruction would misrepresent near-threshold
+// transitions, whose fast middle and slow tails differ wildly.
+type PWL struct {
+	Times  []float64 // ascending
+	Values []float64
+}
+
+// NewPWL validates and builds a PWL source.
+func NewPWL(times, values []float64) (*PWL, error) {
+	if len(times) != len(values) || len(times) == 0 {
+		return nil, fmt.Errorf("circuit: PWL needs equal, non-empty samples")
+	}
+	for i := 1; i < len(times); i++ {
+		if times[i] < times[i-1] {
+			return nil, fmt.Errorf("circuit: PWL times not ascending at %d", i)
+		}
+	}
+	return &PWL{Times: times, Values: values}, nil
+}
+
+// V implements Waveform by binary search + linear interpolation.
+func (p *PWL) V(t float64) float64 {
+	n := len(p.Times)
+	if t <= p.Times[0] {
+		return p.Values[0]
+	}
+	if t >= p.Times[n-1] {
+		return p.Values[n-1]
+	}
+	lo, hi := 0, n-1
+	for hi-lo > 1 {
+		mid := (lo + hi) / 2
+		if p.Times[mid] <= t {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	t0, t1 := p.Times[lo], p.Times[hi]
+	if t1 == t0 {
+		return p.Values[hi]
+	}
+	f := (t - t0) / (t1 - t0)
+	return p.Values[lo] + f*(p.Values[hi]-p.Values[lo])
+}
+
+// End returns the last sampled time.
+func (p *PWL) End() float64 { return p.Times[len(p.Times)-1] }
+
+type resistor struct {
+	a, b Node
+	g    float64 // conductance (S)
+}
+
+type capacitor struct {
+	a, b Node
+	c    float64 // farads
+}
+
+// Mosfet is a transistor instance with its (possibly variation-shifted)
+// parameters.
+type Mosfet struct {
+	D, G, S Node
+	P       device.Params
+}
+
+type source struct {
+	n Node
+	w Waveform
+}
+
+// Circuit is a flat transistor/R/C netlist under construction.
+type Circuit struct {
+	names     map[string]Node
+	nodeNames []string
+
+	resistors  []resistor
+	capacitors []capacitor
+	mosfets    []Mosfet
+	sources    []source
+
+	// Cmin is a small grounding capacitance added to every non-driven node
+	// to keep the Backward-Euler system well conditioned even at nodes that
+	// would otherwise be purely resistive. Defaults to 1 aF.
+	Cmin float64
+	// Gmin is a small leakage conductance to ground at every node,
+	// the standard SPICE convergence aid. Defaults to 1 pS.
+	Gmin float64
+}
+
+// New returns an empty circuit containing only the ground node.
+func New() *Circuit {
+	return &Circuit{
+		names:     map[string]Node{"0": Ground, "gnd": Ground},
+		nodeNames: []string{"gnd"},
+		Cmin:      1e-18,
+		Gmin:      1e-12,
+	}
+}
+
+// NodeByName returns the node with the given name, creating it on first use.
+func (c *Circuit) NodeByName(name string) Node {
+	if n, ok := c.names[name]; ok {
+		return n
+	}
+	n := Node(len(c.nodeNames))
+	c.names[name] = n
+	c.nodeNames = append(c.nodeNames, name)
+	return n
+}
+
+// NewNode creates an anonymous node with a generated name.
+func (c *Circuit) NewNode(prefix string) Node {
+	return c.NodeByName(fmt.Sprintf("%s#%d", prefix, len(c.nodeNames)))
+}
+
+// NumNodes returns the node count including ground.
+func (c *Circuit) NumNodes() int { return len(c.nodeNames) }
+
+// NameOf returns the name of node n.
+func (c *Circuit) NameOf(n Node) string { return c.nodeNames[n] }
+
+// AddResistor connects a resistance of r ohms between a and b.
+func (c *Circuit) AddResistor(a, b Node, r float64) {
+	if r <= 0 {
+		panic("circuit: resistor must have positive resistance")
+	}
+	c.resistors = append(c.resistors, resistor{a: a, b: b, g: 1 / r})
+}
+
+// AddCapacitor connects a capacitance of f farads between a and b.
+func (c *Circuit) AddCapacitor(a, b Node, f float64) {
+	if f < 0 {
+		panic("circuit: negative capacitance")
+	}
+	if f == 0 {
+		return
+	}
+	c.capacitors = append(c.capacitors, capacitor{a: a, b: b, c: f})
+}
+
+// AddMOS adds a transistor and stamps its parasitic capacitances: the
+// overlap portion Cgd couples gate and drain (Miller), the rest of the gate
+// capacitance goes gate→ground, and the junction capacitance drain→ground.
+func (c *Circuit) AddMOS(d, g, s Node, p device.Params) {
+	c.mosfets = append(c.mosfets, Mosfet{D: d, G: g, S: s, P: p})
+	cgd := p.Cgd
+	if cgd > p.Cg {
+		cgd = p.Cg
+	}
+	c.AddCapacitor(g, Ground, p.Cg-cgd)
+	c.AddCapacitor(g, d, cgd)
+	c.AddCapacitor(d, Ground, p.Cd)
+}
+
+// AddSource pins node n to the ideal voltage waveform w. A node may have at
+// most one source; the simulator removes driven nodes from the unknowns.
+func (c *Circuit) AddSource(n Node, w Waveform) {
+	if n == Ground {
+		panic("circuit: cannot drive ground")
+	}
+	for _, s := range c.sources {
+		if s.n == n {
+			panic("circuit: node driven by two sources: " + c.nodeNames[n])
+		}
+	}
+	c.sources = append(c.sources, source{n: n, w: w})
+}
+
+// Mosfets exposes the transistor list (read-only use) for diagnostics.
+func (c *Circuit) Mosfets() []Mosfet { return c.mosfets }
+
+// Stats summarises the netlist size.
+func (c *Circuit) Stats() string {
+	return fmt.Sprintf("%d nodes, %d MOS, %d R, %d C, %d sources",
+		c.NumNodes(), len(c.mosfets), len(c.resistors), len(c.capacitors), len(c.sources))
+}

@@ -1,0 +1,389 @@
+package circuit
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/linalg"
+)
+
+// SimOptions controls a transient run.
+type SimOptions struct {
+	TStop float64 // simulation end time (s)
+	DT    float64 // base timestep (s)
+
+	// MaxNewton bounds Newton iterations per (sub)step. Default 40.
+	MaxNewton int
+	// VTol is the Newton convergence tolerance on |ΔV| (V). Default 1 µV.
+	VTol float64
+	// DVMax damps Newton by clamping per-iteration voltage updates (V).
+	// Default 0.3 V.
+	DVMax float64
+	// MaxHalvings bounds local timestep subdivision on Newton failure.
+	// Default 6.
+	MaxHalvings int
+}
+
+func (o *SimOptions) setDefaults() {
+	if o.MaxNewton == 0 {
+		o.MaxNewton = 40
+	}
+	if o.VTol == 0 {
+		o.VTol = 1e-6
+	}
+	if o.DVMax == 0 {
+		o.DVMax = 0.3
+	}
+	if o.MaxHalvings == 0 {
+		o.MaxHalvings = 6
+	}
+}
+
+// Result holds sampled node waveforms of a transient run.
+type Result struct {
+	Times []float64
+	// vByNode[node] is nil for ground; driven and free nodes are recorded.
+	vByNode [][]float64
+	names   []string
+}
+
+// Waveform returns the sampled voltage trace of node n (aliasing internal
+// storage; callers must not mutate it).
+func (r *Result) Waveform(n Node) []float64 {
+	w := r.vByNode[n]
+	if w == nil {
+		// ground
+		w = make([]float64, len(r.Times))
+		r.vByNode[n] = w
+	}
+	return w
+}
+
+// ErrNoConvergence reports that Newton failed even at the minimum timestep.
+var ErrNoConvergence = errors.New("circuit: transient solver did not converge")
+
+// Transient runs a Backward-Euler transient simulation and returns sampled
+// waveforms at every multiple of opts.DT.
+func (c *Circuit) Transient(opts SimOptions) (*Result, error) {
+	opts.setDefaults()
+	if opts.TStop <= 0 || opts.DT <= 0 {
+		return nil, errors.New("circuit: TStop and DT must be positive")
+	}
+	s, err := newSolver(c)
+	if err != nil {
+		return nil, err
+	}
+	nsteps := int(math.Ceil(opts.TStop/opts.DT)) + 1
+	res := &Result{
+		Times:   make([]float64, 0, nsteps),
+		vByNode: make([][]float64, c.NumNodes()),
+		names:   c.nodeNames,
+	}
+	for n := 1; n < c.NumNodes(); n++ {
+		res.vByNode[n] = make([]float64, 0, nsteps)
+	}
+
+	if err := s.dcOperatingPoint(&opts); err != nil {
+		return nil, fmt.Errorf("DC operating point: %w", err)
+	}
+	record := func(t float64) {
+		res.Times = append(res.Times, t)
+		for n := 1; n < c.NumNodes(); n++ {
+			res.vByNode[n] = append(res.vByNode[n], s.voltageOf(Node(n), t))
+		}
+	}
+	record(0)
+
+	t := 0.0
+	for t < opts.TStop-1e-21 {
+		h := opts.DT
+		if t+h > opts.TStop {
+			h = opts.TStop - t
+		}
+		if err := s.advance(t, h, &opts, 0); err != nil {
+			return nil, fmt.Errorf("t=%.4g: %w", t, err)
+		}
+		t += h
+		record(t)
+	}
+	return res, nil
+}
+
+// solver holds the assembled system for one circuit.
+type solver struct {
+	ckt *Circuit
+
+	free   []int // node -> free index, -1 for ground/driven
+	driven []Waveform
+	nf     int
+
+	x     []float64 // free-node voltages at current accepted time
+	xNew  []float64 // Newton iterate
+	f     []float64 // residual
+	dx    []float64
+	jac   *linalg.Matrix
+	lu    *linalg.LU
+	gcmin []capacitor // per-node Cmin capacitors (free nodes only)
+}
+
+func newSolver(c *Circuit) (*solver, error) {
+	n := c.NumNodes()
+	s := &solver{
+		ckt:    c,
+		free:   make([]int, n),
+		driven: make([]Waveform, n),
+	}
+	for i := range s.free {
+		s.free[i] = -1
+	}
+	for _, src := range c.sources {
+		s.driven[src.n] = src.w
+	}
+	for i := 1; i < n; i++ {
+		if s.driven[i] == nil {
+			s.free[i] = s.nf
+			s.nf++
+		}
+	}
+	if s.nf == 0 {
+		return nil, errors.New("circuit: no free nodes to solve")
+	}
+	for i := 1; i < n; i++ {
+		if s.free[i] >= 0 && c.Cmin > 0 {
+			s.gcmin = append(s.gcmin, capacitor{a: Node(i), b: Ground, c: c.Cmin})
+		}
+	}
+	s.x = make([]float64, s.nf)
+	s.xNew = make([]float64, s.nf)
+	s.f = make([]float64, s.nf)
+	s.dx = make([]float64, s.nf)
+	s.jac = linalg.NewMatrix(s.nf, s.nf)
+	s.lu = linalg.NewLU(s.nf)
+	return s, nil
+}
+
+// voltageOf returns the voltage of any node given the accepted free-node
+// solution s.x and time t (for driven nodes).
+func (s *solver) voltageOf(n Node, t float64) float64 {
+	if n == Ground {
+		return 0
+	}
+	if w := s.driven[n]; w != nil {
+		return w.V(t)
+	}
+	return s.x[s.free[n]]
+}
+
+// vAt reads a node voltage from a candidate iterate.
+func (s *solver) vAt(n Node, x []float64, t float64) float64 {
+	if n == Ground {
+		return 0
+	}
+	if w := s.driven[n]; w != nil {
+		return w.V(t)
+	}
+	return x[s.free[n]]
+}
+
+// assemble builds the residual f and Jacobian jac at candidate x for the
+// implicit step from (tPrev, xPrev) to tNew with step h. h <= 0 means a DC
+// solve (capacitors open).
+func (s *solver) assemble(x, xPrev []float64, tPrev, tNew, h float64) {
+	s.jac.Zero()
+	for i := range s.f {
+		s.f[i] = 0
+	}
+	c := s.ckt
+
+	stampG := func(a, b Node, g float64) {
+		va := s.vAt(a, x, tNew)
+		vb := s.vAt(b, x, tNew)
+		i := va - vb // leaving a
+		if fa := s.freeOf(a); fa >= 0 {
+			s.f[fa] += g * i
+			s.jac.Add(fa, fa, g)
+			if fb := s.freeOf(b); fb >= 0 {
+				s.jac.Add(fa, fb, -g)
+			}
+		}
+		if fb := s.freeOf(b); fb >= 0 {
+			s.f[fb] -= g * i
+			s.jac.Add(fb, fb, g)
+			if fa := s.freeOf(a); fa >= 0 {
+				s.jac.Add(fb, fa, -g)
+			}
+		}
+	}
+
+	for _, r := range c.resistors {
+		stampG(r.a, r.b, r.g)
+	}
+	// Gmin leakage on every free node.
+	if c.Gmin > 0 {
+		for n := 1; n < c.NumNodes(); n++ {
+			if fi := s.free[n]; fi >= 0 {
+				s.f[fi] += c.Gmin * x[fi]
+				s.jac.Add(fi, fi, c.Gmin)
+			}
+		}
+	}
+
+	if h > 0 {
+		geq := 1 / h
+		stampC := func(cp capacitor) {
+			va := s.vAt(cp.a, x, tNew)
+			vb := s.vAt(cp.b, x, tNew)
+			vaPrev := s.vPrev(cp.a, xPrev, tPrev)
+			vbPrev := s.vPrev(cp.b, xPrev, tPrev)
+			// Backward Euler companion: i = C/h·((va−vb)−(vaPrev−vbPrev))
+			i := cp.c * geq * ((va - vb) - (vaPrev - vbPrev))
+			g := cp.c * geq
+			if fa := s.freeOf(cp.a); fa >= 0 {
+				s.f[fa] += i
+				s.jac.Add(fa, fa, g)
+				if fb := s.freeOf(cp.b); fb >= 0 {
+					s.jac.Add(fa, fb, -g)
+				}
+			}
+			if fb := s.freeOf(cp.b); fb >= 0 {
+				s.f[fb] -= i
+				s.jac.Add(fb, fb, g)
+				if fa := s.freeOf(cp.a); fa >= 0 {
+					s.jac.Add(fb, fa, -g)
+				}
+			}
+		}
+		for _, cp := range c.capacitors {
+			stampC(cp)
+		}
+		for _, cp := range s.gcmin {
+			stampC(cp)
+		}
+	}
+
+	for i := range c.mosfets {
+		m := &c.mosfets[i]
+		vg := s.vAt(m.G, x, tNew)
+		vd := s.vAt(m.D, x, tNew)
+		vs := s.vAt(m.S, x, tNew)
+		ids, dg, dd, ds := m.P.Ids(vg, vd, vs)
+		fd := s.freeOf(m.D)
+		fs := s.freeOf(m.S)
+		fg := s.freeOf(m.G)
+		if fd >= 0 {
+			s.f[fd] += ids
+			s.jac.Add(fd, fd, dd)
+			if fs >= 0 {
+				s.jac.Add(fd, fs, ds)
+			}
+			if fg >= 0 {
+				s.jac.Add(fd, fg, dg)
+			}
+		}
+		if fs >= 0 {
+			s.f[fs] -= ids
+			s.jac.Add(fs, fs, -ds)
+			if fd >= 0 {
+				s.jac.Add(fs, fd, -dd)
+			}
+			if fg >= 0 {
+				s.jac.Add(fs, fg, -dg)
+			}
+		}
+	}
+}
+
+func (s *solver) freeOf(n Node) int {
+	if n == Ground {
+		return -1
+	}
+	return s.free[n]
+}
+
+// vPrev reads the voltage of a node at the previous accepted time.
+func (s *solver) vPrev(n Node, xPrev []float64, tPrev float64) float64 {
+	if n == Ground {
+		return 0
+	}
+	if w := s.driven[n]; w != nil {
+		return w.V(tPrev)
+	}
+	return xPrev[s.free[n]]
+}
+
+// newton iterates to convergence; x is used as the initial guess and
+// overwritten with the solution.
+func (s *solver) newton(x, xPrev []float64, tPrev, tNew, h float64, opts *SimOptions) error {
+	for iter := 0; iter < opts.MaxNewton; iter++ {
+		s.assemble(x, xPrev, tPrev, tNew, h)
+		if err := s.lu.Factor(s.jac); err != nil {
+			return fmt.Errorf("newton iteration %d: %w", iter, err)
+		}
+		s.lu.Solve(s.f, s.dx)
+		var maxStep float64
+		for i := range x {
+			d := s.dx[i]
+			if d > opts.DVMax {
+				d = opts.DVMax
+			} else if d < -opts.DVMax {
+				d = -opts.DVMax
+			}
+			x[i] -= d
+			if a := math.Abs(d); a > maxStep {
+				maxStep = a
+			}
+		}
+		if maxStep < opts.VTol {
+			return nil
+		}
+	}
+	return ErrNoConvergence
+}
+
+// advance integrates one step of size h from time t, recursively halving on
+// Newton failure.
+func (s *solver) advance(t, h float64, opts *SimOptions, depth int) error {
+	xPrev := append([]float64(nil), s.x...)
+	copy(s.xNew, s.x)
+	err := s.newton(s.xNew, xPrev, t, t+h, h, opts)
+	if err == nil {
+		copy(s.x, s.xNew)
+		return nil
+	}
+	if depth >= opts.MaxHalvings {
+		return err
+	}
+	// Subdivide: two half-steps.
+	if err := s.advance(t, h/2, opts, depth+1); err != nil {
+		return err
+	}
+	return s.advance(t+h/2, h/2, opts, depth+1)
+}
+
+// dcOperatingPoint solves the t=0 steady state with capacitors open.
+func (s *solver) dcOperatingPoint(opts *SimOptions) error {
+	// Initial guess: mid-rail everywhere biases Newton away from the flat
+	// sub-threshold region of every device at once.
+	guess := 0.3
+	for i := range s.x {
+		s.x[i] = guess
+	}
+	dcOpts := *opts
+	dcOpts.MaxNewton = 200
+	if err := s.newton(s.x, s.x, 0, 0, 0, &dcOpts); err == nil {
+		return nil
+	}
+	// Fall back to pseudo-transient ramp-up: march a few large implicit
+	// steps which always converge thanks to the capacitive loading.
+	for i := range s.x {
+		s.x[i] = 0
+	}
+	h := opts.DT * 100
+	for k := 0; k < 60; k++ {
+		if err := s.advance(0, h, opts, 0); err != nil {
+			return err
+		}
+	}
+	return nil
+}

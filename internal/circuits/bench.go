@@ -1,0 +1,354 @@
+package circuits
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/netlist"
+)
+
+// ISCAS85Spec records the per-circuit size the paper's Table III lists
+// (#Nets / #Cells of the synthesised netlists). The generators target the
+// cell count; net count follows structurally.
+type ISCAS85Spec struct {
+	Name  string
+	Nets  int
+	Cells int
+}
+
+// ISCAS85Table mirrors the eight ISCAS85 rows of Table III.
+var ISCAS85Table = []ISCAS85Spec{
+	{"c432", 734, 655},
+	{"c1355", 1091, 977},
+	{"c1908", 1184, 1093},
+	{"c2670", 2415, 1810},
+	{"c3540", 2290, 2168},
+	{"c6288", 3725, 3246},
+	{"c5315", 5371, 5275},
+	{"c7552", 4536, 4041},
+}
+
+// ISCAS85 generates the statistics-matched substitute of the named ISCAS85
+// circuit (see the package comment for why a substitute is used). The seed
+// is derived from the circuit name, so repeated calls agree.
+func ISCAS85(name string) (*netlist.Netlist, error) {
+	for _, spec := range ISCAS85Table {
+		if spec.Name == name {
+			return Random(spec.Name, RandomOptions{
+				Cells: spec.Cells,
+				Seed:  nameSeed(spec.Name),
+			})
+		}
+	}
+	return nil, fmt.Errorf("circuits: unknown ISCAS85 circuit %q", name)
+}
+
+// ISCAS85Names lists the supported circuit names in Table III order.
+func ISCAS85Names() []string {
+	out := make([]string, len(ISCAS85Table))
+	for i, s := range ISCAS85Table {
+		out[i] = s.Name
+	}
+	return out
+}
+
+func nameSeed(name string) uint64 {
+	var h uint64 = 14695981039346656037
+	for i := 0; i < len(name); i++ {
+		h ^= uint64(name[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
+// PULPinoUnit generates one of the paper's PULPino functional-unit rows:
+// ADD, SUB, MUL or DIV. Bit widths are chosen so the generated cell counts
+// land near the paper's Table III sizes (see each generator).
+func PULPinoUnit(name string) (*netlist.Netlist, error) {
+	switch name {
+	case "ADD":
+		// Table III lists 4088 cells; a 455-bit ripple-carry adder at 9
+		// cells/bit lands nearby.
+		return Adder("ADD", 455)
+	case "SUB":
+		return Subtractor("SUB", 310)
+	case "MUL":
+		// 64×64 array multiplier ≈ paper's 49570 cells.
+		return Multiplier("MUL", 64)
+	case "DIV":
+		// 122/61 restoring array divider lands near the paper's 51654.
+		return Divider("DIV", 122)
+	default:
+		return nil, fmt.Errorf("circuits: unknown PULPino unit %q", name)
+	}
+}
+
+// PULPinoNames lists the functional units of Table III.
+func PULPinoNames() []string { return []string{"ADD", "SUB", "MUL", "DIV"} }
+
+// AllTable3Names lists every circuit row of Table III in order.
+func AllTable3Names() []string {
+	out := append([]string(nil), ISCAS85Names()...)
+	return append(out, PULPinoNames()...)
+}
+
+// ByName dispatches to the ISCAS85 or PULPino generator.
+func ByName(name string) (*netlist.Netlist, error) {
+	for _, s := range ISCAS85Table {
+		if s.Name == name {
+			return ISCAS85(name)
+		}
+	}
+	for _, u := range PULPinoNames() {
+		if u == name {
+			return PULPinoUnit(name)
+		}
+	}
+	return nil, fmt.Errorf("circuits: unknown benchmark %q", name)
+}
+
+// builder accumulates gates for the structural generators.
+type builder struct {
+	nl   *netlist.Netlist
+	auto int
+}
+
+func newBuilder(name string) *builder {
+	return &builder{nl: &netlist.Netlist{Name: name}}
+}
+
+func (b *builder) input(name string) string {
+	b.nl.Inputs = append(b.nl.Inputs, name)
+	return name
+}
+
+func (b *builder) output(net string) {
+	b.nl.Outputs = append(b.nl.Outputs, net)
+}
+
+func (b *builder) fresh() string {
+	b.auto++
+	return fmt.Sprintf("w%d", b.auto)
+}
+
+func (b *builder) gate(cell, out string, ins ...string) string {
+	if out == "" {
+		out = b.fresh()
+	}
+	pins := map[string]string{"Y": out}
+	names := []string{"A", "B", "C"}
+	for i, in := range ins {
+		pins[names[i]] = in
+	}
+	b.nl.Gates = append(b.nl.Gates, netlist.Gate{
+		Name: fmt.Sprintf("U%d", len(b.nl.Gates)+1),
+		Cell: cell,
+		Pins: pins,
+	})
+	return out
+}
+
+func (b *builder) inv(in string) string     { return b.gate("INVx1", "", in) }
+func (b *builder) nand(a, bb string) string { return b.gate("NAND2x1", "", a, bb) }
+func (b *builder) and(a, bb string) string  { return b.inv(b.nand(a, bb)) }
+func (b *builder) or(a, bb string) string   { return b.inv(b.gate("NOR2x1", "", a, bb)) }
+func (b *builder) xor(a, bb string) (x string) {
+	m := b.nand(a, bb)
+	return b.nand2pair(a, bb, m)
+}
+
+func (b *builder) nand2pair(a, bb, m string) string {
+	am := b.nand(a, m)
+	bm := b.nand(bb, m)
+	return b.nand(am, bm)
+}
+
+// fullAdder returns (sum, carry) of a+b+cin using the classic 9-NAND2
+// decomposition (XOR-XOR for sum, majority via NANDs for carry).
+func (b *builder) fullAdder(a, bb, cin string) (sum, cout string) {
+	m1 := b.nand(a, bb)
+	axb := b.nand2pair(a, bb, m1) // a XOR b
+	m2 := b.nand(axb, cin)
+	sum = b.nand2pair(axb, cin, m2) // (a XOR b) XOR cin
+	cout = b.nand(m1, m2)           // NAND(NAND(a,b), NAND(axb,cin))
+	return sum, cout
+}
+
+func (b *builder) finish() (*netlist.Netlist, error) {
+	// Expose dangling nets as outputs so every cone is observable.
+	fan := b.nl.FanoutMap()
+	onOutput := map[string]bool{}
+	for _, o := range b.nl.Outputs {
+		onOutput[o] = true
+	}
+	var dangling []string
+	for gi := range b.nl.Gates {
+		out := b.nl.Gates[gi].Output()
+		if len(fan[out]) == 0 && !onOutput[out] {
+			dangling = append(dangling, out)
+		}
+	}
+	sort.Strings(dangling)
+	b.nl.Outputs = append(b.nl.Outputs, dangling...)
+	SizeByFanout(b.nl)
+	if err := b.nl.Validate(); err != nil {
+		return nil, err
+	}
+	return b.nl, nil
+}
+
+// Adder builds a width-bit ripple-carry adder (PULPino ADD substitute).
+func Adder(name string, width int) (*netlist.Netlist, error) {
+	b := newBuilder(name)
+	carry := b.input("cin")
+	for i := 0; i < width; i++ {
+		a := b.input(fmt.Sprintf("a%d", i))
+		bb := b.input(fmt.Sprintf("b%d", i))
+		var sum string
+		sum, carry = b.fullAdder(a, bb, carry)
+		b.output(sum)
+	}
+	b.output(carry)
+	return b.finish()
+}
+
+// Subtractor builds a width-bit ripple-borrow subtractor a−b (PULPino SUB
+// substitute): b is inverted and the carry-in forced by an extra stage.
+func Subtractor(name string, width int) (*netlist.Netlist, error) {
+	b := newBuilder(name)
+	// cin=1 is synthesised from an input and its inverse through OR, so the
+	// netlist stays purely combinational with no constant nets.
+	seed := b.input("one")
+	carry := b.or(seed, b.inv(seed)) // always-1 net
+	for i := 0; i < width; i++ {
+		a := b.input(fmt.Sprintf("a%d", i))
+		bi := b.inv(b.input(fmt.Sprintf("b%d", i)))
+		var diff string
+		diff, carry = b.fullAdder(a, bi, carry)
+		b.output(diff)
+	}
+	b.output(carry)
+	return b.finish()
+}
+
+// Multiplier builds a width×width unsigned array multiplier (PULPino MUL
+// substitute): AND partial products reduced by a carry-save adder array.
+func Multiplier(name string, width int) (*netlist.Netlist, error) {
+	b := newBuilder(name)
+	a := make([]string, width)
+	bb := make([]string, width)
+	for i := 0; i < width; i++ {
+		a[i] = b.input(fmt.Sprintf("a%d", i))
+	}
+	for i := 0; i < width; i++ {
+		bb[i] = b.input(fmt.Sprintf("b%d", i))
+	}
+	if width < 2 {
+		return nil, fmt.Errorf("circuits: multiplier width %d too small", width)
+	}
+	// pp(i, j) = a[i]·b[j], weight 2^(i+j).
+	pp := func(i, j int) string { return b.and(a[i], bb[j]) }
+
+	// Row 0 initialises the running sum: after row j, sum[i] carries weight
+	// 2^(j+i) and product bit j has been emitted.
+	sum := make([]string, width)
+	for i := 0; i < width; i++ {
+		sum[i] = pp(i, 0)
+	}
+	b.output(sum[0]) // product bit 0
+	pending := ""    // carry of weight 2^(j+width) deferred to the next row's top
+	for j := 1; j < width; j++ {
+		carry := ""
+		next := make([]string, width)
+		for i := 0; i < width-1; i++ {
+			p := pp(i, j) // weight j+i, same as sum[i+1]
+			if carry == "" {
+				next[i] = b.xor(sum[i+1], p)
+				carry = b.and(sum[i+1], p)
+			} else {
+				next[i], carry = b.fullAdder(sum[i+1], p, carry)
+			}
+		}
+		// Top position (weight j+width-1): the fresh partial product, the
+		// row's ripple carry, and the previous row's pending carry all
+		// share this weight.
+		p := pp(width-1, j)
+		switch {
+		case carry == "" && pending == "":
+			next[width-1] = p
+		case pending == "":
+			next[width-1] = b.xor(p, carry)
+			pending = b.and(p, carry)
+		case carry == "":
+			next[width-1] = b.xor(p, pending)
+			pending = b.and(p, pending)
+		default:
+			next[width-1], pending = b.fullAdder(p, carry, pending)
+		}
+		sum = next
+		b.output(sum[0]) // product bit j
+	}
+	// After the last row, sum[1..width-1] are product bits width..2width-2
+	// and the pending carry is bit 2width-1.
+	for i := 1; i < width; i++ {
+		b.output(sum[i])
+	}
+	if pending != "" {
+		b.output(pending)
+	}
+	return b.finish()
+}
+
+// Divider builds a width/(width/2)-bit restoring array divider (PULPino DIV
+// substitute) from controlled add/subtract cells.
+func Divider(name string, width int) (*netlist.Netlist, error) {
+	b := newBuilder(name)
+	half := width / 2
+	if half < 2 {
+		return nil, fmt.Errorf("circuits: divider width %d too small", width)
+	}
+	n := make([]string, width)
+	d := make([]string, half)
+	for i := 0; i < width; i++ {
+		n[i] = b.input(fmt.Sprintf("n%d", i))
+	}
+	for i := 0; i < half; i++ {
+		d[i] = b.input(fmt.Sprintf("d%d", i))
+	}
+	// Restoring division: each row conditionally subtracts the divisor from
+	// the running remainder; the select (quotient bit) is the inverted
+	// borrow-out.
+	rem := make([]string, half)
+	for i := range rem {
+		// Initial partial remainder: top bits of the dividend.
+		rem[i] = n[width-half+i]
+	}
+	rows := width - half
+	for row := 0; row < rows; row++ {
+		// Shift in the next dividend bit (LSB side).
+		shifted := append([]string{n[width-half-1-row]}, rem[:half-1]...)
+		msb := rem[half-1]
+		// Subtract d: full adders with inverted d and cin=1 (borrow chain).
+		one := b.or(shifted[0], b.inv(shifted[0]))
+		carry := one
+		diff := make([]string, half)
+		for i := 0; i < half; i++ {
+			di := b.inv(d[i])
+			diff[i], carry = b.fullAdder(shifted[i], di, carry)
+		}
+		// Quotient bit: 1 if no borrow (carry | msb of shifted remainder).
+		q := b.or(carry, msb)
+		b.output(q)
+		// Restoring mux per bit: rem = q ? diff : shifted.
+		for i := 0; i < half; i++ {
+			// mux(q, diff, shifted) = NAND(NAND(q,diff), NAND(!q,shifted))
+			t1 := b.nand(q, diff[i])
+			t2 := b.nand(b.inv(q), shifted[i])
+			rem[i] = b.nand(t1, t2)
+		}
+	}
+	for i := 0; i < half; i++ {
+		b.output(rem[i])
+	}
+	return b.finish()
+}

@@ -1,0 +1,296 @@
+package circuits
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/netlist"
+	"repro/internal/rng"
+)
+
+func TestRandomMatchesRequestedSize(t *testing.T) {
+	nl, err := Random("r", RandomOptions{Cells: 500, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(nl.Gates) != 500 {
+		t.Fatalf("got %d cells want 500", len(nl.Gates))
+	}
+	if err := nl.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRandomDeterministic(t *testing.T) {
+	a, err := Random("r", RandomOptions{Cells: 200, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Random("r", RandomOptions{Cells: 200, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same seed produced different circuits")
+	}
+	c, err := Random("r", RandomOptions{Cells: 200, Seed: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reflect.DeepEqual(a.Gates, c.Gates) {
+		t.Fatal("different seeds produced identical circuits")
+	}
+}
+
+func TestRandomRejectsBadOptions(t *testing.T) {
+	if _, err := Random("r", RandomOptions{}); err == nil {
+		t.Fatal("zero cells accepted")
+	}
+}
+
+func TestSizeByFanout(t *testing.T) {
+	nl, err := Random("r", RandomOptions{Cells: 800, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fan := nl.FanoutMap()
+	for gi := range nl.Gates {
+		g := &nl.Gates[gi]
+		fo := len(fan[g.Output()])
+		want := 1
+		switch {
+		case fo <= 1:
+			want = 1
+		case fo <= 2:
+			want = 2
+		case fo <= 4:
+			want = 4
+		default:
+			want = 8
+		}
+		if g.Cell[len(g.Cell)-1] != byte('0'+want) {
+			t.Fatalf("gate %s fanout %d has cell %s (want strength %d)", g.Name, fo, g.Cell, want)
+		}
+	}
+}
+
+func TestISCAS85SizesMatchTable(t *testing.T) {
+	for _, spec := range ISCAS85Table {
+		nl, err := ISCAS85(spec.Name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(nl.Gates) != spec.Cells {
+			t.Errorf("%s: %d cells want %d", spec.Name, len(nl.Gates), spec.Cells)
+		}
+	}
+}
+
+func TestISCAS85Unknown(t *testing.T) {
+	if _, err := ISCAS85("c9999"); err == nil {
+		t.Fatal("unknown circuit accepted")
+	}
+}
+
+func TestByNameDispatch(t *testing.T) {
+	for _, n := range AllTable3Names() {
+		if _, err := ByName(n); err != nil {
+			t.Errorf("%s: %v", n, err)
+		}
+	}
+	if _, err := ByName("nonesuch"); err == nil {
+		t.Fatal("unknown benchmark accepted")
+	}
+}
+
+// evalAdd drives the adder generator with integers and checks the sum.
+func evalAdd(t *testing.T, nl *netlist.Netlist, width int, a, b uint64, cin bool) uint64 {
+	t.Helper()
+	in := map[string]bool{"cin": cin}
+	for i := 0; i < width; i++ {
+		in[key("a", i)] = a>>uint(i)&1 == 1
+		in[key("b", i)] = b>>uint(i)&1 == 1
+	}
+	out, err := nl.Evaluate(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum uint64
+	// The first width outputs are the sum bits, then the carry.
+	for i := 0; i < width; i++ {
+		if out[nl.Outputs[i]] {
+			sum |= 1 << uint(i)
+		}
+	}
+	if out[nl.Outputs[width]] {
+		sum |= 1 << uint(width)
+	}
+	return sum
+}
+
+func key(prefix string, i int) string {
+	return prefix + itoa(i)
+}
+
+func itoa(i int) string {
+	if i == 0 {
+		return "0"
+	}
+	var buf [8]byte
+	pos := len(buf)
+	for i > 0 {
+		pos--
+		buf[pos] = byte('0' + i%10)
+		i /= 10
+	}
+	return string(buf[pos:])
+}
+
+func TestAdderComputesSum(t *testing.T) {
+	const width = 16
+	nl, err := Adder("add16", width)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(5)
+	for trial := 0; trial < 50; trial++ {
+		a := r.Uint64() & 0xFFFF
+		b := r.Uint64() & 0xFFFF
+		cin := r.Float64() < 0.5
+		want := a + b
+		if cin {
+			want++
+		}
+		if got := evalAdd(t, nl, width, a, b, cin); got != want {
+			t.Fatalf("add(%d,%d,%v) = %d want %d", a, b, cin, got, want)
+		}
+	}
+}
+
+func TestSubtractorComputesDifference(t *testing.T) {
+	const width = 12
+	nl, err := Subtractor("sub12", width)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(6)
+	for trial := 0; trial < 50; trial++ {
+		a := r.Uint64() & 0xFFF
+		b := r.Uint64() & 0xFFF
+		in := map[string]bool{"one": trial%2 == 0} // value must not matter
+		for i := 0; i < width; i++ {
+			in[key("a", i)] = a>>uint(i)&1 == 1
+			in[key("b", i)] = b>>uint(i)&1 == 1
+		}
+		out, err := nl.Evaluate(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var diff uint64
+		for i := 0; i < width; i++ {
+			if out[nl.Outputs[i]] {
+				diff |= 1 << uint(i)
+			}
+		}
+		want := (a - b) & 0xFFF
+		if diff != want {
+			t.Fatalf("sub(%d,%d) = %d want %d", a, b, diff, want)
+		}
+	}
+}
+
+func TestMultiplierComputesProduct(t *testing.T) {
+	const width = 8
+	nl, err := Multiplier("mul8", width)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(7)
+	for trial := 0; trial < 30; trial++ {
+		a := r.Uint64() & 0xFF
+		b := r.Uint64() & 0xFF
+		in := map[string]bool{}
+		for i := 0; i < width; i++ {
+			in[key("a", i)] = a>>uint(i)&1 == 1
+			in[key("b", i)] = b>>uint(i)&1 == 1
+		}
+		out, err := nl.Evaluate(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var prod uint64
+		for i := 0; i < 2*width; i++ {
+			if i < len(nl.Outputs) && out[nl.Outputs[i]] {
+				prod |= 1 << uint(i)
+			}
+		}
+		if prod != a*b {
+			t.Fatalf("mul(%d,%d) = %d want %d", a, b, prod, a*b)
+		}
+	}
+}
+
+func TestDividerComputesQuotient(t *testing.T) {
+	const width = 8 // dividend bits; divisor = 4 bits
+	nl, err := Divider("div8", width)
+	if err != nil {
+		t.Fatal(err)
+	}
+	half := width / 2
+	r := rng.New(8)
+	for trial := 0; trial < 40; trial++ {
+		n := r.Uint64() & 0xFF
+		d := (r.Uint64() & 0xF)
+		if d == 0 {
+			d = 1
+		}
+		// Restoring array dividers require the quotient to fit: top half of
+		// the dividend must be < divisor.
+		if n>>uint(half) >= d {
+			continue
+		}
+		in := map[string]bool{}
+		for i := 0; i < width; i++ {
+			in[key("n", i)] = n>>uint(i)&1 == 1
+		}
+		for i := 0; i < half; i++ {
+			in[key("d", i)] = d>>uint(i)&1 == 1
+		}
+		out, err := nl.Evaluate(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Outputs: quotient bits MSB-first (row order), then remainder.
+		rows := width - half
+		var q uint64
+		for rIdx := 0; rIdx < rows; rIdx++ {
+			if out[nl.Outputs[rIdx]] {
+				q |= 1 << uint(rows-1-rIdx)
+			}
+		}
+		var rem uint64
+		for i := 0; i < half; i++ {
+			if out[nl.Outputs[rows+i]] {
+				rem |= 1 << uint(i)
+			}
+		}
+		if q != n/d || rem != n%d {
+			t.Fatalf("div(%d,%d) = q%d r%d want q%d r%d", n, d, q, rem, n/d, n%d)
+		}
+	}
+}
+
+func TestPULPinoSizesNearPaper(t *testing.T) {
+	paper := map[string]int{"ADD": 4088, "SUB": 3066, "MUL": 49570, "DIV": 51654}
+	for name, want := range paper {
+		nl, err := PULPinoUnit(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := len(nl.Gates)
+		ratio := float64(got) / float64(want)
+		if ratio < 0.6 || ratio > 1.4 {
+			t.Errorf("%s: %d cells vs paper %d (ratio %.2f) — generator drifted", name, got, want, ratio)
+		}
+	}
+}

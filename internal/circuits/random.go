@@ -1,0 +1,228 @@
+// Package circuits generates the benchmark netlists of the paper's
+// evaluation: ISCAS85-scale random combinational circuits (matched to the
+// per-circuit cell/net counts of Table III) and structural PULPino-style
+// functional units — ripple-carry adder/subtractor, array multiplier and
+// restoring array divider — built from the stdcell library.
+//
+// The exact Design-Compiler netlists the paper timed are not public, so the
+// ISCAS85 rows are reproduced by *statistics-matched* synthetic circuits:
+// levelised random DAGs with the same cell count, a realistic cell-kind
+// mix, and fan-in locality, which is what path-delay accuracy actually
+// depends on. Every generator is seeded and deterministic.
+package circuits
+
+import (
+	"fmt"
+
+	"repro/internal/netlist"
+	"repro/internal/rng"
+	"repro/internal/stdcell"
+)
+
+// RandomOptions shapes a random levelised circuit.
+type RandomOptions struct {
+	Cells   int // total gate count (required)
+	Inputs  int // primary inputs (default max(8, Cells/40))
+	Outputs int // primary outputs (default max(4, Cells/60))
+	// Depth is the target logic depth (default ≈ 4·√Cells/3, an empirical
+	// ISCAS85-like aspect ratio).
+	Depth int
+	// Seed drives all random choices.
+	Seed uint64
+}
+
+// kindMix is the cell-kind distribution of generated logic, loosely
+// matching a mapped ISCAS85 profile (NAND-rich, some NOR/AOI, inverters).
+var kindMix = []struct {
+	kind   stdcell.Kind
+	weight int
+}{
+	{stdcell.NAND2, 45},
+	{stdcell.NOR2, 20},
+	{stdcell.AOI2, 12},
+	{stdcell.INV, 23},
+}
+
+// strengthMix is the drive-strength distribution (mostly x1/x2 with a tail
+// of stronger drivers, as a sized netlist would show).
+var strengthMix = []struct {
+	s      int
+	weight int
+}{
+	{1, 35},
+	{2, 40},
+	{4, 18},
+	{8, 7},
+}
+
+func pickWeighted(r *rng.Stream, total int, pick func(i int) int, n int) int {
+	v := r.Intn(total)
+	for i := 0; i < n; i++ {
+		v -= pick(i)
+		if v < 0 {
+			return i
+		}
+	}
+	return n - 1
+}
+
+func pickKind(r *rng.Stream) stdcell.Kind {
+	total := 0
+	for _, k := range kindMix {
+		total += k.weight
+	}
+	i := pickWeighted(r, total, func(i int) int { return kindMix[i].weight }, len(kindMix))
+	return kindMix[i].kind
+}
+
+func pickStrength(r *rng.Stream) int {
+	total := 0
+	for _, s := range strengthMix {
+		total += s.weight
+	}
+	i := pickWeighted(r, total, func(i int) int { return strengthMix[i].weight }, len(strengthMix))
+	return strengthMix[i].s
+}
+
+// Random generates a levelised random combinational circuit.
+func Random(name string, opt RandomOptions) (*netlist.Netlist, error) {
+	if opt.Cells <= 0 {
+		return nil, fmt.Errorf("circuits: Cells must be positive")
+	}
+	r := rng.New(opt.Seed ^ 0xC1C5)
+	inputs := opt.Inputs
+	if inputs <= 0 {
+		inputs = max(8, opt.Cells/40)
+	}
+	outputs := opt.Outputs
+	if outputs <= 0 {
+		outputs = max(4, opt.Cells/60)
+	}
+	depth := opt.Depth
+	if depth <= 0 {
+		depth = max(6, isqrt(opt.Cells)*4/3)
+	}
+	if depth > opt.Cells {
+		depth = opt.Cells
+	}
+
+	nl := &netlist.Netlist{Name: name}
+	for i := 0; i < inputs; i++ {
+		nl.Inputs = append(nl.Inputs, fmt.Sprintf("pi%d", i))
+	}
+
+	// Distribute gates over levels: at least one per level, remainder
+	// spread with a mid-heavy profile.
+	perLevel := make([]int, depth)
+	for i := range perLevel {
+		perLevel[i] = 1
+	}
+	for extra := opt.Cells - depth; extra > 0; extra-- {
+		perLevel[r.Intn(depth)]++
+	}
+
+	// levelNets[l] holds nets produced at level l (level 0 = PIs).
+	levelNets := [][]string{append([]string(nil), nl.Inputs...)}
+	gateNum := 0
+	for l := 1; l <= depth; l++ {
+		var produced []string
+		for k := 0; k < perLevel[l-1]; k++ {
+			gateNum++
+			out := fmt.Sprintf("n%d", gateNum)
+			kind := pickKind(r)
+			strength := pickStrength(r)
+			cell := stdcell.CellName(kind, strength)
+			pins := map[string]string{"Y": out}
+			nin := 1
+			switch kind {
+			case stdcell.NAND2, stdcell.NOR2:
+				nin = 2
+			case stdcell.AOI2:
+				nin = 3
+			}
+			pinNames := []string{"A", "B", "C"}
+			// The first input comes from the previous level (guaranteeing
+			// the level structure); the rest from nearby earlier levels
+			// (fan-in locality).
+			for p := 0; p < nin; p++ {
+				var srcLevel int
+				if p == 0 {
+					srcLevel = l - 1
+				} else {
+					back := 1 + r.Intn(min(l, 4))
+					srcLevel = l - back
+				}
+				nets := levelNets[srcLevel]
+				pins[pinNames[p]] = nets[r.Intn(len(nets))]
+			}
+			nl.Gates = append(nl.Gates, netlist.Gate{
+				Name: fmt.Sprintf("U%d", gateNum),
+				Cell: cell,
+				Pins: pins,
+			})
+			produced = append(produced, out)
+		}
+		levelNets = append(levelNets, produced)
+	}
+
+	// Primary outputs: sample from the deepest levels, preferring nets with
+	// no fanout yet so the circuit has no dangling logic cones.
+	fan := nl.FanoutMap()
+	var candidates []string
+	for l := depth; l >= 1 && len(candidates) < outputs*3; l-- {
+		for _, net := range levelNets[l] {
+			if len(fan[net]) == 0 {
+				candidates = append(candidates, net)
+			}
+		}
+	}
+	for l := depth; l >= 1 && len(candidates) < outputs; l-- {
+		candidates = append(candidates, levelNets[l]...)
+	}
+	seen := map[string]bool{}
+	for _, c := range candidates {
+		if len(nl.Outputs) >= outputs {
+			break
+		}
+		if !seen[c] {
+			seen[c] = true
+			nl.Outputs = append(nl.Outputs, c)
+		}
+	}
+	// Any remaining dangling nets become outputs too (nothing unobservable).
+	for l := depth; l >= 1; l-- {
+		for _, net := range levelNets[l] {
+			if len(fan[net]) == 0 && !seen[net] {
+				seen[net] = true
+				nl.Outputs = append(nl.Outputs, net)
+			}
+		}
+	}
+	SizeByFanout(nl)
+	if err := nl.Validate(); err != nil {
+		return nil, err
+	}
+	return nl, nil
+}
+
+func isqrt(n int) int {
+	x := 1
+	for x*x < n {
+		x++
+	}
+	return x
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

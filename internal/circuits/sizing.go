@@ -1,0 +1,39 @@
+package circuits
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/netlist"
+)
+
+// SizeByFanout reassigns every gate's drive strength from its output
+// fanout, the role Design Compiler's sizing pass plays in the paper's flow:
+// without it, unit-strength cells end up driving tens of fF, far outside
+// any characterised operating range (and outside what a signed-off netlist
+// would ever contain).
+//
+//	fanout ≤ 1 → x1, ≤ 2 → x2, ≤ 4 → x4, else x8
+func SizeByFanout(nl *netlist.Netlist) {
+	fan := nl.FanoutMap()
+	for gi := range nl.Gates {
+		g := &nl.Gates[gi]
+		fo := len(fan[g.Output()])
+		strength := 1
+		switch {
+		case fo <= 1:
+			strength = 1
+		case fo <= 2:
+			strength = 2
+		case fo <= 4:
+			strength = 4
+		default:
+			strength = 8
+		}
+		kind := g.Cell
+		if i := strings.LastIndexByte(kind, 'x'); i > 0 {
+			kind = kind[:i]
+		}
+		g.Cell = fmt.Sprintf("%sx%d", kind, strength)
+	}
+}

@@ -1,0 +1,196 @@
+// Package device implements a compact MOSFET current model in the spirit of
+// EKV (Enz-Krummenacher-Vittoz). The EKV interpolation function is smooth
+// and accurate from weak (sub-threshold) through strong inversion, which is
+// exactly the property a near-threshold (V_dd ≈ 0.6 V, |V_th| ≈ 0.35 V)
+// study needs: around V_dd ≈ V_th + 5·U_T the drain current — and hence cell
+// delay — responds exponentially to threshold-voltage variation, producing
+// the skewed, heavy-tailed delay distributions the N-sigma model targets.
+//
+// The model is symmetric in source/drain, has continuous derivatives
+// (Newton-friendly), and deliberately omits second-order effects (DIBL,
+// velocity saturation) that change absolute currents but not the
+// variability mechanism under study.
+package device
+
+import "math"
+
+// Polarity distinguishes NMOS from PMOS devices.
+type Polarity int
+
+// Device polarities.
+const (
+	NMOS Polarity = iota
+	PMOS
+)
+
+func (p Polarity) String() string {
+	if p == PMOS {
+		return "PMOS"
+	}
+	return "NMOS"
+}
+
+// Params is the electrical parameter set of one transistor instance, after
+// process variation has been applied.
+type Params struct {
+	Polarity Polarity
+	W        float64 // channel width (m)
+	L        float64 // channel length (m)
+	Vth      float64 // threshold voltage magnitude (V), > 0 for both polarities
+	KP       float64 // transconductance factor µ·Cox (A/V²)
+	N        float64 // subthreshold slope factor (≈1.3)
+	Ut       float64 // thermal voltage kT/q (V)
+	Cg       float64 // total gate capacitance (F), used for loading
+	Cgd      float64 // gate-drain overlap portion of Cg (F), Miller coupling
+	Cd       float64 // drain junction capacitance (F)
+}
+
+// Tech is a synthetic 28-nm-class technology card. All Monte-Carlo
+// instances derive from one Tech plus variation draws.
+type Tech struct {
+	L        float64 // drawn channel length (m)
+	Wmin     float64 // unit-strength NMOS width (m)
+	PNRatio  float64 // PMOS/NMOS width ratio for balanced rise/fall
+	VthN     float64 // nominal NMOS threshold (V)
+	VthP     float64 // nominal PMOS threshold magnitude (V)
+	KPN      float64 // NMOS µ·Cox (A/V²)
+	KPP      float64 // PMOS µ·Cox (A/V²)
+	SlopeN   float64 // subthreshold slope factor
+	Ut       float64 // thermal voltage at operating temperature (V)
+	CoxArea  float64 // gate oxide capacitance per area (F/m²)
+	CovWidth float64 // overlap/fringe capacitance per width (F/m)
+	CjWidth  float64 // drain junction capacitance per width (F/m)
+	Vdd      float64 // nominal supply (V)
+}
+
+// Default28nm returns the technology card used throughout the repository:
+// a 28-nm-class low-power flavour operated at 0.6 V / 25 °C like the paper.
+func Default28nm() *Tech {
+	return &Tech{
+		L:        30e-9,
+		Wmin:     100e-9,
+		PNRatio:  1.5,
+		VthN:     0.36,
+		VthP:     0.34,
+		KPN:      260e-6,
+		KPP:      120e-6,
+		SlopeN:   1.32,
+		Ut:       0.02585, // 25 °C
+		CoxArea:  0.028,   // 28 fF/µm² ≈ EOT ~1.2 nm
+		CovWidth: 0.35e-9, // 0.35 fF/µm
+		CjWidth:  0.45e-9, // 0.45 fF/µm
+		Vdd:      0.6,
+	}
+}
+
+// GateCap returns the gate capacitance of a device of width w (m).
+func (t *Tech) GateCap(w float64) float64 {
+	return t.CoxArea*w*t.L + t.CovWidth*w
+}
+
+// DrainCap returns the drain parasitic capacitance of a device of width w.
+func (t *Tech) DrainCap(w float64) float64 { return t.CjWidth * w }
+
+// NominalParams instantiates variation-free device parameters for a device
+// of the given polarity and width.
+func (t *Tech) NominalParams(pol Polarity, w float64) Params {
+	p := Params{
+		Polarity: pol,
+		W:        w,
+		L:        t.L,
+		N:        t.SlopeN,
+		Ut:       t.Ut,
+		Cg:       t.GateCap(w),
+		Cgd:      t.CovWidth * w,
+		Cd:       t.DrainCap(w),
+	}
+	if pol == NMOS {
+		p.Vth = t.VthN
+		p.KP = t.KPN
+	} else {
+		p.Vth = t.VthP
+		p.KP = t.KPP
+	}
+	return p
+}
+
+// ekvF is the EKV interpolation function F(x) = ln²(1 + e^{x/2}).
+func ekvF(x float64) float64 {
+	l := softplusHalf(x)
+	return l * l
+}
+
+// ekvFPrime is dF/dx = ln(1+e^{x/2}) · σ(x/2) where σ is the logistic
+// function.
+func ekvFPrime(x float64) float64 {
+	l := softplusHalf(x)
+	return l * logisticHalf(x)
+}
+
+// softplusHalf computes ln(1 + e^{x/2}) without overflow.
+func softplusHalf(x float64) float64 {
+	h := x / 2
+	if h > 30 {
+		return h // e^{-h} negligible
+	}
+	return math.Log1p(math.Exp(h))
+}
+
+// logisticHalf computes 1/(1+e^{-x/2}) without overflow.
+func logisticHalf(x float64) float64 {
+	h := x / 2
+	if h > 30 {
+		return 1
+	}
+	if h < -30 {
+		return math.Exp(h)
+	}
+	return 1 / (1 + math.Exp(-h))
+}
+
+// Ids returns the drain-source current and its partial derivatives with
+// respect to the terminal voltages (all referred to ground, the simulator's
+// reference). For NMOS the current flows drain→source when positive; for
+// PMOS terminal voltages are mirrored internally and the returned current
+// keeps the drain→source sign convention so the simulator can stamp both
+// polarities identically.
+func (p *Params) Ids(vg, vd, vs float64) (ids, dIdVg, dIdVd, dIdVs float64) {
+	sign := 1.0
+	if p.Polarity == PMOS {
+		// Mirror: a PMOS with terminals (g,d,s) behaves like an NMOS with
+		// voltages negated.
+		vg, vd, vs = -vg, -vd, -vs
+		sign = -1.0
+	}
+	// The EKV forward/reverse decomposition is symmetric in source and
+	// drain, so no terminal ordering is required: reversing vd and vs just
+	// flips the sign of ids.
+	is := 2 * p.N * p.KP * (p.W / p.L) * p.Ut * p.Ut
+	vp := (vg - p.Vth) / p.N // pinch-off voltage
+	xf := (vp - vs) / p.Ut
+	xr := (vp - vd) / p.Ut
+	ids = is * (ekvF(xf) - ekvF(xr))
+	dF := is / p.Ut
+	dIdVg = dF * (ekvFPrime(xf) - ekvFPrime(xr)) / p.N
+	dIdVs = -dF * ekvFPrime(xf)
+	dIdVd = dF * ekvFPrime(xr)
+	if sign < 0 {
+		// PMOS: ids_p(v) = -ids_n(-v), so by the chain rule each partial
+		// derivative keeps the NMOS value while the current flips sign.
+		ids = -ids
+	}
+	return ids, dIdVg, dIdVd, dIdVs
+}
+
+// OnCurrent is a convenience returning |Ids| with the device fully on at
+// supply vdd (gate and drain at the rails), used by tests and sizing sanity
+// checks.
+func (p *Params) OnCurrent(vdd float64) float64 {
+	var i float64
+	if p.Polarity == NMOS {
+		i, _, _, _ = p.Ids(vdd, vdd, 0)
+	} else {
+		i, _, _, _ = p.Ids(0, 0, vdd)
+	}
+	return math.Abs(i)
+}

@@ -1,0 +1,156 @@
+package device
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func nmosUnit() Params {
+	t := Default28nm()
+	return t.NominalParams(NMOS, t.Wmin)
+}
+
+func pmosUnit() Params {
+	t := Default28nm()
+	return t.NominalParams(PMOS, t.Wmin*t.PNRatio)
+}
+
+func TestZeroVdsZeroCurrent(t *testing.T) {
+	p := nmosUnit()
+	for _, vg := range []float64{0, 0.3, 0.6} {
+		ids, _, _, _ := p.Ids(vg, 0.25, 0.25)
+		if math.Abs(ids) > 1e-18 {
+			t.Errorf("vg=%v vds=0: ids=%v", vg, ids)
+		}
+	}
+}
+
+func TestDrainSourceAntiSymmetry(t *testing.T) {
+	p := nmosUnit()
+	err := quick.Check(func(vgRaw, vdRaw, vsRaw float64) bool {
+		vg := math.Mod(math.Abs(vgRaw), 0.6)
+		vd := math.Mod(math.Abs(vdRaw), 0.6)
+		vs := math.Mod(math.Abs(vsRaw), 0.6)
+		i1, _, _, _ := p.Ids(vg, vd, vs)
+		i2, _, _, _ := p.Ids(vg, vs, vd)
+		return math.Abs(i1+i2) <= 1e-12*(math.Abs(i1)+1e-15)
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNMOSOnOffRatio(t *testing.T) {
+	p := nmosUnit()
+	on, _, _, _ := p.Ids(0.6, 0.6, 0)
+	off, _, _, _ := p.Ids(0, 0.6, 0)
+	if on <= 0 {
+		t.Fatalf("on current %v not positive", on)
+	}
+	if off <= 0 {
+		t.Fatalf("subthreshold leakage %v not positive", off)
+	}
+	if on/off < 1e3 {
+		t.Fatalf("on/off ratio %v too small for Vth=0.36 at 0.6V", on/off)
+	}
+}
+
+func TestPMOSPullUpDirection(t *testing.T) {
+	p := pmosUnit()
+	// Gate low, source at VDD, drain (output) at 0: current must flow
+	// source→drain, i.e. ids (drain→source convention) negative.
+	ids, _, _, _ := p.Ids(0, 0, 0.6)
+	if ids >= 0 {
+		t.Fatalf("PMOS pull-up ids=%v, want negative (current into drain node)", ids)
+	}
+}
+
+func TestGateMonotonicityNMOS(t *testing.T) {
+	p := nmosUnit()
+	prev := -1.0
+	for vg := 0.0; vg <= 0.61; vg += 0.05 {
+		ids, _, _, _ := p.Ids(vg, 0.6, 0)
+		if ids <= prev {
+			t.Fatalf("Ids not increasing in vg at vg=%v: %v <= %v", vg, ids, prev)
+		}
+		prev = ids
+	}
+}
+
+func TestDerivativesMatchFiniteDifference(t *testing.T) {
+	for _, p := range []Params{nmosUnit(), pmosUnit()} {
+		const h = 1e-7
+		for _, v := range [][3]float64{
+			{0.3, 0.5, 0}, {0.6, 0.6, 0}, {0.2, 0.1, 0.05}, {0.5, 0.05, 0.3},
+		} {
+			vg, vd, vs := v[0], v[1], v[2]
+			_, dg, dd, ds := p.Ids(vg, vd, vs)
+			num := func(f func(float64) float64) float64 {
+				return (f(h) - f(-h)) / (2 * h)
+			}
+			ng := num(func(e float64) float64 { i, _, _, _ := p.Ids(vg+e, vd, vs); return i })
+			nd := num(func(e float64) float64 { i, _, _, _ := p.Ids(vg, vd+e, vs); return i })
+			ns := num(func(e float64) float64 { i, _, _, _ := p.Ids(vg, vd, vs+e); return i })
+			scale := math.Abs(ng) + math.Abs(nd) + math.Abs(ns) + 1e-12
+			if math.Abs(dg-ng)/scale > 1e-4 {
+				t.Errorf("%v at %v: dIdVg analytic %v numeric %v", p.Polarity, v, dg, ng)
+			}
+			if math.Abs(dd-nd)/scale > 1e-4 {
+				t.Errorf("%v at %v: dIdVd analytic %v numeric %v", p.Polarity, v, dd, nd)
+			}
+			if math.Abs(ds-ns)/scale > 1e-4 {
+				t.Errorf("%v at %v: dIdVs analytic %v numeric %v", p.Polarity, v, ds, ns)
+			}
+		}
+	}
+}
+
+func TestOnCurrentScalesWithWidth(t *testing.T) {
+	tech := Default28nm()
+	p1 := tech.NominalParams(NMOS, tech.Wmin)
+	p4 := tech.NominalParams(NMOS, 4*tech.Wmin)
+	r := p4.OnCurrent(tech.Vdd) / p1.OnCurrent(tech.Vdd)
+	if math.Abs(r-4) > 1e-9 {
+		t.Fatalf("on-current width scaling %v, want 4", r)
+	}
+}
+
+func TestVthSensitivityNearThreshold(t *testing.T) {
+	// Near threshold, a +30 mV Vth shift must cut the on current by a
+	// factor ≳1.5 — the exponential sensitivity the study depends on.
+	tech := Default28nm()
+	p := tech.NominalParams(NMOS, tech.Wmin)
+	base := p.OnCurrent(tech.Vdd)
+	p.Vth += 0.030
+	shifted := p.OnCurrent(tech.Vdd)
+	if ratio := base / shifted; ratio < 1.2 {
+		t.Fatalf("Vth sensitivity too weak: +30mV only scales current by %v", ratio)
+	}
+}
+
+func TestCapacitancesPositive(t *testing.T) {
+	tech := Default28nm()
+	for _, pol := range []Polarity{NMOS, PMOS} {
+		p := tech.NominalParams(pol, 2*tech.Wmin)
+		if p.Cg <= 0 || p.Cd <= 0 || p.Cgd <= 0 {
+			t.Errorf("%v caps: %+v", pol, p)
+		}
+		if p.Cgd >= p.Cg {
+			t.Errorf("%v overlap cap exceeds total gate cap", pol)
+		}
+	}
+}
+
+func TestGateCapScalesWithWidth(t *testing.T) {
+	tech := Default28nm()
+	if r := tech.GateCap(4*tech.Wmin) / tech.GateCap(tech.Wmin); math.Abs(r-4) > 1e-9 {
+		t.Fatalf("gate cap width scaling %v", r)
+	}
+}
+
+func TestPolarityString(t *testing.T) {
+	if NMOS.String() != "NMOS" || PMOS.String() != "PMOS" {
+		t.Fatal("Polarity.String broken")
+	}
+}

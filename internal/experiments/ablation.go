@@ -1,0 +1,133 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/charlib"
+	"repro/internal/nsigma"
+	"repro/internal/stats"
+	"repro/internal/stdcell"
+	"repro/internal/waveform"
+	"repro/internal/wire"
+)
+
+// AblationCalibResult compares the LUT moment calibration against the
+// global polynomial form of eqs. (2)–(3) at off-grid operating points.
+type AblationCalibResult struct {
+	// Mean absolute ±3σ errors (%) vs golden MC across the probes.
+	LUTErrM3, LUTErrP3   float64
+	PolyErrM3, PolyErrP3 float64
+	Probes               int
+}
+
+// RunAblationCalibration quantifies the design choice DESIGN.md calls out:
+// storing the calibration as a LUT with local interpolation versus fitting
+// eqs. (2)–(3) as one global response surface.
+func (c *Context) RunAblationCalibration() (*AblationCalibResult, error) {
+	res := &AblationCalibResult{}
+	arcs := []charlib.Arc{
+		{Cell: "INVx1", Pin: "A", InEdge: waveform.Rising},
+		{Cell: "NAND2x2", Pin: "A", InEdge: waveform.Falling},
+	}
+	probes := []charlib.OpPoint{
+		{Slew: 75e-12, Load: 0.8e-15},
+		{Slew: 180e-12, Load: 4e-15},
+	}
+	for _, arc := range arcs {
+		ch, err := c.CharacterizeArc(arc)
+		if err != nil {
+			return nil, err
+		}
+		am, err := nsigma.FitArc(ch)
+		if err != nil {
+			return nil, err
+		}
+		for pi, op := range probes {
+			load := op.Load * float64(c.Cfg.Lib.MustCell(arc.Cell).Strength)
+			smp, err := c.Cfg.MCArc(arc, op.Slew, load, c.Profile.EvalSamples,
+				c.Seed^stdcell.KeyFromString(fmt.Sprintf("abl:%s:%d", arc, pi)))
+			if err != nil {
+				return nil, err
+			}
+			q := smp.SigmaQuantiles()
+			res.LUTErrM3 += stats.RelErr(am.Quantile(-3, op.Slew, load), q[-3])
+			res.LUTErrP3 += stats.RelErr(am.Quantile(3, op.Slew, load), q[3])
+			res.PolyErrM3 += stats.RelErr(am.QuantileGlobalCalib(-3, op.Slew, load), q[-3])
+			res.PolyErrP3 += stats.RelErr(am.QuantileGlobalCalib(3, op.Slew, load), q[3])
+			res.Probes++
+		}
+	}
+	n := float64(res.Probes)
+	res.LUTErrM3 /= n
+	res.LUTErrP3 /= n
+	res.PolyErrM3 /= n
+	res.PolyErrP3 /= n
+	return res, nil
+}
+
+// Format renders the comparison.
+func (r *AblationCalibResult) Format() string {
+	var sb strings.Builder
+	sb.WriteString("Ablation: LUT vs global-polynomial moment calibration (off-grid probes)\n")
+	sb.WriteString(fmt.Sprintf("  LUT        -3s %.2f%%  +3s %.2f%%\n", r.LUTErrM3, r.LUTErrP3))
+	sb.WriteString(fmt.Sprintf("  polynomial -3s %.2f%%  +3s %.2f%%\n", r.PolyErrM3, r.PolyErrP3))
+	return sb.String()
+}
+
+// AblationWireResult compares the fitted wire model against its
+// simplifications on the calibration scenarios.
+type AblationWireResult struct {
+	FittedErr     float64 // fitted X_FI/X_FO linear combination (eq. 7)
+	PriorOnlyErr  float64 // Pelgrom prior, no fitting (eq. 5 used directly)
+	DriverOnlyErr float64 // load term dropped (doubled driver half)
+	Scenarios     int
+}
+
+// RunAblationWire quantifies what the fit and the load term buy over the
+// closed-form Pelgrom prior.
+func (c *Context) RunAblationWire() (*AblationWireResult, error) {
+	cal, err := c.CalibrateWires()
+	if err != nil {
+		return nil, err
+	}
+	res := &AblationWireResult{}
+	for _, sc := range c.wireObs {
+		fitted, err := cal.XW(sc.Driver, sc.Load)
+		if err != nil {
+			return nil, err
+		}
+		dInfo := c.Cfg.Lib.MustCell(sc.Driver)
+		lInfo := c.Cfg.Lib.MustCell(sc.Load)
+		// Prior-only: each side contributes half its Pelgrom-predicted
+		// variability ratio (prior × FO4 baseline).
+		prior := 0.5*pelgrom(dInfo)*cal.R4 + 0.5*pelgrom(lInfo)*cal.R4
+		// Driver-only: the fitted driver half doubled.
+		driverOnly := 2 * cal.XFI[sc.Driver] * cal.CellRatio[sc.Driver]
+
+		res.FittedErr += stats.RelErr(fitted, sc.XW)
+		res.PriorOnlyErr += stats.RelErr(prior, sc.XW)
+		res.DriverOnlyErr += stats.RelErr(driverOnly, sc.XW)
+		res.Scenarios++
+	}
+	n := float64(res.Scenarios)
+	res.FittedErr /= n
+	res.PriorOnlyErr /= n
+	res.DriverOnlyErr /= n
+	return res, nil
+}
+
+func pelgrom(cell *stdcell.Cell) float64 {
+	return wire.PelgromPrior(cell.Stack, cell.Strength)
+}
+
+// Format renders the comparison.
+func (r *AblationWireResult) Format() string {
+	var sb strings.Builder
+	sb.WriteString("Ablation: wire variability model vs simplifications\n")
+	sb.WriteString(fmt.Sprintf("  fitted X_FI/X_FO (eq.7)   %.2f%%\n", r.FittedErr))
+	sb.WriteString(fmt.Sprintf("  Pelgrom prior only (eq.5) %.2f%%\n", r.PriorOnlyErr))
+	sb.WriteString(fmt.Sprintf("  driver-only (no X_FO)     %.2f%%\n", r.DriverOnlyErr))
+	sb.WriteString(fmt.Sprintf("  over %d golden scenarios\n", r.Scenarios))
+	return sb.String()
+}

@@ -1,0 +1,223 @@
+// Package experiments contains the harnesses that regenerate every table
+// and figure of the paper's evaluation (Table II, Table III, Figs. 2–4 and
+// 7–11), shared by cmd/repro and the top-level benchmarks. Each harness
+// returns a typed result plus a formatted text rendering that mirrors the
+// paper's presentation, and EXPERIMENTS.md records paper-vs-measured.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"time"
+
+	"repro/internal/baseline"
+	"repro/internal/charlib"
+	"repro/internal/nsigma"
+	"repro/internal/stdcell"
+	"repro/internal/timinglib"
+	"repro/internal/waveform"
+	"repro/internal/wire"
+)
+
+// Profile scales the Monte-Carlo effort of every experiment.
+type Profile struct {
+	Name string
+	// CharSamples per characterisation grid point (paper: 10k).
+	CharSamples int
+	// EvalSamples for golden verification distributions.
+	EvalSamples int
+	// PathSamples for golden critical-path Monte Carlo.
+	PathSamples int
+	// PathSamplesHuge for the very deep MUL/DIV paths.
+	PathSamplesHuge int
+	// SlewGrid / LoadGrid axes for characterisation.
+	SlewGrid []float64
+	LoadGrid []float64
+}
+
+// Profiles selectable from the command line.
+var (
+	// Quick is sized for CI smoke runs: minutes, noisy tails.
+	Quick = Profile{
+		Name: "quick", CharSamples: 500, EvalSamples: 1000,
+		PathSamples: 150, PathSamplesHuge: 30,
+		SlewGrid: []float64{10e-12, 100e-12, 300e-12, 600e-12},
+		LoadGrid: []float64{0.1e-15, 0.4e-15, 2e-15, 6e-15, 10e-15},
+	}
+	// Standard is the default reproduction profile.
+	Standard = Profile{
+		Name: "standard", CharSamples: 2500, EvalSamples: 4000,
+		PathSamples: 500, PathSamplesHuge: 120,
+		SlewGrid: charlib.DefaultSlewGrid(),
+		LoadGrid: charlib.DefaultLoadGrid(),
+	}
+	// Paper matches the paper's 10k-sample characterisation.
+	Paper = Profile{
+		Name: "paper", CharSamples: 10000, EvalSamples: 10000,
+		PathSamples: 1000, PathSamplesHuge: 250,
+		SlewGrid: charlib.DefaultSlewGrid(),
+		LoadGrid: charlib.DefaultLoadGrid(),
+	}
+)
+
+// ProfileByName resolves a profile name.
+func ProfileByName(name string) (Profile, error) {
+	switch name {
+	case "quick":
+		return Quick, nil
+	case "", "standard":
+		return Standard, nil
+	case "paper":
+		return Paper, nil
+	}
+	return Profile{}, fmt.Errorf("experiments: unknown profile %q", name)
+}
+
+// Context owns the shared artefacts — the characterisation config and a
+// lazily built coefficients file — so the table/figure harnesses don't
+// re-characterise the library each time.
+type Context struct {
+	Cfg     *charlib.Config
+	Profile Profile
+	Seed    uint64
+	// Log receives progress lines (nil silences them).
+	Log io.Writer
+
+	file     *timinglib.File
+	arcChars map[string]*charlib.ArcChar
+	// fo4Ratio caches σ/µ per cell under the FO4 constraint.
+	fo4Ratio map[string]float64
+	wireCal  *wire.Calibration
+	// wireObs caches the golden calibration scenarios for the wire figures.
+	wireObs []*wireScenario
+	mlWire  *baseline.MLWire
+}
+
+// NewContext builds a Context over the default technology.
+func NewContext(p Profile, seed uint64) *Context {
+	return &Context{
+		Cfg:      charlib.DefaultConfig(),
+		Profile:  p,
+		Seed:     seed,
+		arcChars: make(map[string]*charlib.ArcChar),
+		fo4Ratio: make(map[string]float64),
+	}
+}
+
+func (c *Context) logf(format string, args ...any) {
+	if c.Log != nil {
+		fmt.Fprintf(c.Log, format+"\n", args...)
+	}
+}
+
+// CharacterizeArc characterises (and caches) one arc over the profile grid.
+// The load axis is scaled by the cell's drive strength so every cell covers
+// its own FO1–FO8 range.
+func (c *Context) CharacterizeArc(arc charlib.Arc) (*charlib.ArcChar, error) {
+	key := timinglib.ArcKey(arc.Cell, arc.Pin, arc.InEdge)
+	if ch, ok := c.arcChars[key]; ok {
+		return ch, nil
+	}
+	loads := c.Profile.LoadGrid
+	if cell := c.Cfg.Lib.Cell(arc.Cell); cell != nil {
+		loads = charlib.ScaleLoads(loads, cell.Strength)
+	}
+	t0 := time.Now()
+	ch, err := c.Cfg.CharacterizeArc(arc, c.Profile.SlewGrid, loads,
+		c.Profile.CharSamples, c.Seed^stdcell.KeyFromString(key))
+	if err != nil {
+		return nil, err
+	}
+	c.logf("characterized %s (%d points, %d samples/point) in %v",
+		key, len(ch.Grid), c.Profile.CharSamples, time.Since(t0).Round(time.Millisecond))
+	c.arcChars[key] = ch
+	return ch, nil
+}
+
+// FO4Load returns the FO4 output load of a cell: four copies of its first
+// input pin capacitance (the paper's "FO4 constraint").
+func (c *Context) FO4Load(cell *stdcell.Cell) float64 {
+	return 4 * cell.PinCap(cell.Inputs[0])
+}
+
+// FO4Ratio measures (and caches) σ/µ of a cell's delay under the FO4
+// constraint at the reference input slew — the per-cell variability ratio
+// the wire model's eq. (6) scales.
+func (c *Context) FO4Ratio(cellName string) (float64, error) {
+	if r, ok := c.fo4Ratio[cellName]; ok {
+		return r, nil
+	}
+	cell := c.Cfg.Lib.Cell(cellName)
+	if cell == nil {
+		return 0, fmt.Errorf("experiments: unknown cell %q", cellName)
+	}
+	arc := charlib.Arc{Cell: cellName, Pin: cell.Inputs[0], InEdge: waveform.Rising}
+	smp, err := c.Cfg.MCArc(arc, charlib.Reference.Slew, c.FO4Load(cell),
+		c.Profile.EvalSamples, c.Seed^stdcell.KeyFromString("fo4:"+cellName))
+	if err != nil {
+		return 0, err
+	}
+	m := smp.Moments()
+	r := m.Std / m.Mean
+	c.fo4Ratio[cellName] = r
+	return r, nil
+}
+
+// BuildTimingFile characterises every arc of the library and calibrates the
+// wire model, producing the coefficients file. It is idempotent and cached.
+func (c *Context) BuildTimingFile() (*timinglib.File, error) {
+	if c.file != nil {
+		return c.file, nil
+	}
+	f := timinglib.New(c.Cfg.Lib)
+	for _, cell := range c.Cfg.Lib.Cells() {
+		for _, pin := range cell.Inputs {
+			for _, edge := range []waveform.Edge{waveform.Rising, waveform.Falling} {
+				ch, err := c.CharacterizeArc(charlib.Arc{Cell: cell.Name, Pin: pin, InEdge: edge})
+				if err != nil {
+					return nil, err
+				}
+				m, err := nsigma.FitArc(ch)
+				if err != nil {
+					return nil, err
+				}
+				f.AddArc(m)
+			}
+		}
+	}
+	cal, err := c.CalibrateWires()
+	if err != nil {
+		return nil, err
+	}
+	f.Wire = cal
+	c.file = f
+	return f, nil
+}
+
+// UseTimingFile injects a pre-built coefficients file (e.g. loaded from
+// disk by cmd/repro) so experiments skip characterisation.
+func (c *Context) UseTimingFile(f *timinglib.File) { c.file = f }
+
+// sortedCellNames is a small helper for deterministic iteration.
+func sortedCellNames(m map[string]float64) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// WireTrainingCells are the driver/load cells the wire calibration is
+// fitted over: the inverter strength ladder (the paper constrains
+// driver/load cells to FO1–FO8) plus one representative stacked cell per
+// kind so X coefficients exist for every library cell.
+func (c *Context) WireTrainingCells() []string {
+	return []string{
+		"INVx1", "INVx2", "INVx4", "INVx8",
+		"NAND2x1", "NAND2x2", "NAND2x4", "NAND2x8",
+		"NOR2x1", "NOR2x2", "NOR2x4", "NOR2x8",
+		"AOI2x1", "AOI2x2", "AOI2x4", "AOI2x8",
+	}
+}

@@ -1,0 +1,86 @@
+package experiments
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+	"time"
+)
+
+// CSV emitters so downstream tooling (plots, regression tracking) can
+// consume the reproduction results without scraping the formatted tables.
+
+// WriteCSV renders Table II as CSV.
+func (r *Table2Result) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{
+		"cell", "lsn_m3_pct", "lsn_p3_pct", "burr_m3_pct", "burr_p3_pct",
+		"nsigma_m3_pct", "nsigma_p3_pct", "gauss_m3_pct", "gauss_p3_pct",
+		"golden_m3_s", "golden_p3_s",
+	}); err != nil {
+		return err
+	}
+	for _, row := range append(r.Rows, r.Avg) {
+		rec := []string{
+			row.Cell,
+			f(row.LSNm3), f(row.LSNp3), f(row.Burrm3), f(row.Burrp3),
+			f(row.NSigmam3), f(row.NSigmap3), f(row.GaussM3), f(row.GaussP3),
+			f(row.GoldenM3), f(row.GoldenP3),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteCSV renders Table III as CSV.
+func (r *Table3Result) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{
+		"circuit", "nets", "cells", "stages",
+		"mc_m3_s", "mc_p3_s", "pt_s", "ml_s", "corr_s", "ours_m3_s", "ours_p3_s",
+		"err_pt_pct", "err_ml_pct", "err_corr_pct", "err_ours_m3_pct", "err_ours_p3_pct",
+		"time_mc", "time_ours",
+	}); err != nil {
+		return err
+	}
+	for _, row := range r.Rows {
+		rec := []string{
+			row.Name, strconv.Itoa(row.Nets), strconv.Itoa(row.Cells), strconv.Itoa(row.Stages),
+			f(row.MCm3), f(row.MCp3), f(row.PT), f(row.ML), f(row.Corr), f(row.OursM3), f(row.OursP3),
+			f(row.ErrPT), f(row.ErrML), f(row.ErrCorr), f(row.ErrOursM3), f(row.ErrOursP3),
+			durStr(row.TimeMC), durStr(row.TimeOurs),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteCSV renders the Fig. 10 sweep as CSV.
+func (r *Fig10Result) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"tree", "strength", "ours_m3_pct", "ours_p3_pct", "elmore_p3_pct"}); err != nil {
+		return err
+	}
+	for _, row := range r.Rows {
+		rec := []string{
+			strconv.Itoa(row.Tree), strconv.Itoa(row.Strength),
+			f(row.ErrM3), f(row.ErrP3), f(row.ElmoreP3),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+func f(v float64) string { return fmt.Sprintf("%.6g", v) }
+
+func durStr(d time.Duration) string { return d.String() }

@@ -1,0 +1,199 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/charlib"
+	"repro/internal/waveform"
+)
+
+// tiny is an ultra-small profile so experiment plumbing tests finish in
+// seconds; statistical tightness is covered by the Monte-Carlo tests of the
+// lower-level packages.
+var tiny = Profile{
+	Name: "quick", CharSamples: 150, EvalSamples: 150,
+	PathSamples: 6, PathSamplesHuge: 4,
+	SlewGrid: []float64{10e-12, 100e-12, 300e-12, 600e-12},
+	LoadGrid: []float64{0.1e-15, 0.4e-15, 3e-15, 10e-15},
+}
+
+func tinyCtx() *Context {
+	ctx := NewContext(tiny, 3)
+	ctx.Cfg.Steps = 220
+	return ctx
+}
+
+func TestProfileByName(t *testing.T) {
+	for _, name := range []string{"quick", "standard", "paper", ""} {
+		if _, err := ProfileByName(name); err != nil {
+			t.Errorf("profile %q: %v", name, err)
+		}
+	}
+	if _, err := ProfileByName("warp"); err == nil {
+		t.Error("unknown profile accepted")
+	}
+}
+
+func TestCharacterizeArcCachesAndScalesLoads(t *testing.T) {
+	ctx := tinyCtx()
+	arc := charlib.Arc{Cell: "INVx4", Pin: "A", InEdge: waveform.Rising}
+	a, err := ctx.CharacterizeArc(arc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ctx.CharacterizeArc(arc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatal("characterisation not cached")
+	}
+	// Load axis must be scaled by strength 4 (plus the unscaled reference).
+	var maxLoad float64
+	for _, g := range a.Grid {
+		if g.Op.Load > maxLoad {
+			maxLoad = g.Op.Load
+		}
+	}
+	if maxLoad < 4*10e-15*0.99 {
+		t.Fatalf("x4 load axis tops at %v, want 40 fF", maxLoad)
+	}
+}
+
+func TestFO4RatioPlausible(t *testing.T) {
+	ctx := tinyCtx()
+	r, err := ctx.FO4Ratio("INVx4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r <= 0.01 || r > 1 {
+		t.Fatalf("FO4 sigma/mu ratio %v implausible", r)
+	}
+	// Pelgrom ordering at cell level: the weak cell varies more.
+	r1, err := ctx.FO4Ratio("INVx1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1 <= r {
+		t.Errorf("INVx1 ratio %v not above INVx4 ratio %v", r1, r)
+	}
+}
+
+func TestRunFig3Shape(t *testing.T) {
+	ctx := tinyCtx()
+	res, err := ctx.RunFig3()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.SkewSweep) != 3 || len(res.KurtSweep) != 3 {
+		t.Fatalf("sweep sizes: %d, %d", len(res.SkewSweep), len(res.KurtSweep))
+	}
+	// Higher alpha ⇒ more skew; quantile offsets grow in the +3σ tail.
+	if !(res.SkewSweep[2].Skewness > res.SkewSweep[1].Skewness) {
+		t.Error("skew sweep not increasing")
+	}
+	// Heavier tails ⇒ the ±3σ offsets move outward symmetrically.
+	heavy := res.KurtSweep[2]
+	if !(heavy.Offset[6] > 0.3 && heavy.Offset[0] < -0.3) {
+		t.Errorf("kurtosis effect on ±3σ missing: %+v", heavy.Offset)
+	}
+	if !strings.Contains(res.Format(), "student-t") {
+		t.Error("Format lost series labels")
+	}
+}
+
+func TestWireScenarioAndCalibrationPipeline(t *testing.T) {
+	if testing.Short() {
+		t.Skip("golden MC pipeline")
+	}
+	ctx := tinyCtx()
+	sc, err := ctx.buildWireStage("INVx2", "INVx4", 11, 20e-12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc.Elmore <= 0 {
+		t.Fatal("scenario Elmore not positive")
+	}
+	if err := ctx.measureWireScenario(sc, 60, 5); err != nil {
+		t.Fatal(err)
+	}
+	if sc.Mu <= 0 || sc.XW <= 0 || len(sc.Quantiles) != 7 {
+		t.Fatalf("scenario stats: %+v", sc)
+	}
+}
+
+func TestCalibrationScenarioCoverage(t *testing.T) {
+	ctx := tinyCtx()
+	pairs := ctx.calibrationScenarios()
+	cells := ctx.WireTrainingCells()
+	haveDrv := map[string]bool{}
+	haveLoad := map[string]bool{}
+	vsINVx4Drv := map[string]bool{}
+	vsINVx4Load := map[string]bool{}
+	seen := map[[2]string]bool{}
+	for _, p := range pairs {
+		if seen[p] {
+			t.Fatalf("duplicate scenario %v", p)
+		}
+		seen[p] = true
+		haveDrv[p[0]] = true
+		haveLoad[p[1]] = true
+		if p[1] == "INVx4" {
+			vsINVx4Drv[p[0]] = true
+		}
+		if p[0] == "INVx4" {
+			vsINVx4Load[p[1]] = true
+		}
+	}
+	for _, c := range cells {
+		if !haveDrv[c] || !haveLoad[c] {
+			t.Errorf("cell %s missing from driver or load role", c)
+		}
+		if !vsINVx4Drv[c] || !vsINVx4Load[c] {
+			t.Errorf("cell %s missing from the FO4 sweeps (Fig. 9 needs them)", c)
+		}
+	}
+}
+
+func TestPrepareCircuitSmallRandom(t *testing.T) {
+	if testing.Short() {
+		t.Skip("characterises a mini library")
+	}
+	// Full pipeline on a tiny circuit: characterise only the arcs a tiny
+	// library needs would still be all 64, so this test is the expensive
+	// one; keep the profile minimal.
+	ctx := tinyCtx()
+	lib, err := ctx.BuildTimingFile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(lib.Arcs) != 64 {
+		t.Fatalf("library has %d arcs want 64", len(lib.Arcs))
+	}
+	art, err := ctx.prepareCircuit("c432", lib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := art.res.Critical
+	if len(p.Stages) < 5 {
+		t.Fatalf("critical path suspiciously short: %d stages", len(p.Stages))
+	}
+	// At this sample count the per-level quantile fits are noisy; assert
+	// the coarse ordering only (tight ordering is covered by the synthetic
+	// nsigma tests and the quick-profile runs).
+	if p.Quantile(3) <= p.Quantile(-3) || p.Quantile(0) <= 0 {
+		t.Fatalf("path quantiles degenerate: -3s=%v 0s=%v +3s=%v",
+			p.Quantile(-3), p.Quantile(0), p.Quantile(3))
+	}
+	// Golden path MC at token depth: just proves the chain simulates.
+	golden, err := PathMC(ctx, p, 4, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range golden.Total {
+		if v <= 0 {
+			t.Fatalf("golden path sample %v", v)
+		}
+	}
+}

@@ -1,0 +1,91 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/stats"
+	"repro/internal/stdcell"
+	"repro/internal/wire"
+)
+
+// Fig11Wire is one wire of the c432 critical path with the +3σ delay of
+// each estimator.
+type Fig11Wire struct {
+	Index    int
+	Net      string
+	GoldenP3 float64
+	OursP3   float64
+	Elmore   float64
+	ErrOurs  float64
+	ErrElm   float64
+}
+
+// Fig11Result compares per-wire +3σ estimates along the c432 critical path.
+type Fig11Result struct {
+	Wires []Fig11Wire
+}
+
+// RunFig11 reproduces Fig. 11: for every wire on the c432 critical path,
+// the +3σ wire delay from golden stage MC vs the N-sigma wire model vs raw
+// Elmore (which, carrying no variability, undershoots the +3σ point).
+func (c *Context) RunFig11() (*Fig11Result, error) {
+	lib, err := c.BuildTimingFile()
+	if err != nil {
+		return nil, err
+	}
+	art, err := c.prepareCircuit("c432", lib)
+	if err != nil {
+		return nil, err
+	}
+	path := art.res.Critical
+	stages, err := buildMCStages(c, path)
+	if err != nil {
+		return nil, err
+	}
+	res := &Fig11Result{}
+	maxWires := 10 // the paper plots ~10 wires of the path
+	for si, s := range path.Stages {
+		if len(res.Wires) >= maxWires {
+			break
+		}
+		if s.Elmore <= 0 {
+			continue
+		}
+		st := stages[si].tmpl
+		st.InSlew = s.InSlew
+		ss, err := wire.MCStage(c.Cfg, &st, c.wireSamples(),
+			c.Seed^stdcell.KeyFromString(fmt.Sprintf("fig11:%d", si)))
+		if err != nil {
+			return nil, fmt.Errorf("fig11 stage %d: %w", si, err)
+		}
+		gq := stats.SigmaQuantiles(ss.Wire)
+		ours := (1 + 3*s.XW) * s.Elmore
+		w := Fig11Wire{
+			Index:    len(res.Wires) + 1,
+			Net:      s.Net,
+			GoldenP3: gq[3],
+			OursP3:   ours,
+			Elmore:   s.Elmore,
+			ErrOurs:  stats.RelErr(ours, gq[3]),
+			ErrElm:   stats.RelErr(s.Elmore, gq[3]),
+		}
+		res.Wires = append(res.Wires, w)
+		c.logf("fig11 wire%d (%s): golden +3s %.3fps ours %.3fps (%.1f%%) elmore %.3fps (%.1f%%)",
+			w.Index, w.Net, w.GoldenP3*1e12, w.OursP3*1e12, w.ErrOurs, w.Elmore*1e12, w.ErrElm)
+	}
+	return res, nil
+}
+
+// Format renders the per-wire comparison.
+func (r *Fig11Result) Format() string {
+	var sb strings.Builder
+	sb.WriteString("Fig. 11: +3sigma prediction error per wire on the c432 critical path\n")
+	sb.WriteString(fmt.Sprintf("%6s %-14s %12s %12s %12s %10s %10s\n",
+		"wire", "net", "golden(ps)", "ours(ps)", "elmore(ps)", "ours err%", "elm err%"))
+	for _, w := range r.Wires {
+		sb.WriteString(fmt.Sprintf("%6d %-14s %12.3f %12.3f %12.3f %10.2f %10.2f\n",
+			w.Index, w.Net, w.GoldenP3*1e12, w.OursP3*1e12, w.Elmore*1e12, w.ErrOurs, w.ErrElm))
+	}
+	return sb.String()
+}

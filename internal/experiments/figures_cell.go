@@ -1,0 +1,245 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"repro/internal/charlib"
+	"repro/internal/device"
+	"repro/internal/rng"
+	"repro/internal/stats"
+	"repro/internal/stdcell"
+	"repro/internal/waveform"
+)
+
+// --- Fig. 2: inverter delay PDFs across supply voltages ---------------------
+
+// Fig2Series is the delay distribution of the inverter at one supply.
+type Fig2Series struct {
+	Vdd       float64
+	Moments   stats.Moments
+	Quantiles map[int]float64
+	// Histogram (bin centres in seconds, normalised density).
+	Centres []float64
+	Density []float64
+}
+
+// Fig2Result collects all voltage series.
+type Fig2Result struct {
+	Series []Fig2Series
+}
+
+// RunFig2 reproduces Fig. 2: the INVx1 delay distribution at V_dd from
+// 0.5 V to 0.8 V (25 °C), showing the growing skew and tail as the supply
+// approaches the threshold voltage.
+func (c *Context) RunFig2() (*Fig2Result, error) {
+	res := &Fig2Result{}
+	for _, vdd := range []float64{0.5, 0.6, 0.7, 0.8} {
+		tech := device.Default28nm()
+		tech.Vdd = vdd
+		cfg := &charlib.Config{
+			Tech:    tech,
+			Lib:     stdcell.NewLibrary(tech),
+			Var:     c.Cfg.Var,
+			Steps:   c.Cfg.Steps,
+			Workers: c.Cfg.Workers,
+		}
+		cell := cfg.Lib.MustCell("INVx1")
+		arc := charlib.Arc{Cell: "INVx1", Pin: "A", InEdge: waveform.Rising}
+		smp, err := cfg.MCArc(arc, charlib.Reference.Slew, 4*cell.PinCap("A"),
+			c.Profile.EvalSamples, c.Seed^uint64(vdd*1000))
+		if err != nil {
+			return nil, fmt.Errorf("fig2 vdd=%.2f: %w", vdd, err)
+		}
+		lo, hi := stats.MinMax(smp.Delay)
+		centres, density, err := stats.Histogram(smp.Delay, 40, lo, hi)
+		if err != nil {
+			return nil, err
+		}
+		res.Series = append(res.Series, Fig2Series{
+			Vdd:       vdd,
+			Moments:   smp.Moments(),
+			Quantiles: smp.SigmaQuantiles(),
+			Centres:   centres,
+			Density:   density,
+		})
+		c.logf("fig2 vdd=%.2f: mu=%.3gps sigma=%.3gps skew=%.2f kurt=%.2f",
+			vdd, smp.Moments().Mean*1e12, smp.Moments().Std*1e12,
+			smp.Moments().Skewness, smp.Moments().Kurtosis)
+	}
+	return res, nil
+}
+
+// Format renders the per-voltage summary (the figure's content in numbers).
+func (r *Fig2Result) Format() string {
+	var sb strings.Builder
+	sb.WriteString("Fig. 2: INVx1 delay distribution vs supply voltage (FO4 load, 25C)\n")
+	sb.WriteString(fmt.Sprintf("%6s %10s %10s %8s %8s %10s %10s %10s\n",
+		"Vdd", "mu(ps)", "sigma(ps)", "skew", "kurt", "-2s(ps)", "median", "+3s(ps)"))
+	for _, s := range r.Series {
+		sb.WriteString(fmt.Sprintf("%6.2f %10.3f %10.3f %8.2f %8.2f %10.3f %10.3f %10.3f\n",
+			s.Vdd, s.Moments.Mean*1e12, s.Moments.Std*1e12,
+			s.Moments.Skewness, s.Moments.Kurtosis,
+			s.Quantiles[-2]*1e12, s.Quantiles[0]*1e12, s.Quantiles[3]*1e12))
+	}
+	return sb.String()
+}
+
+// --- Fig. 3: effect of skewness and kurtosis on the quantiles ---------------
+
+// Fig3Point is one synthetic distribution with its quantile offsets from
+// the Gaussian µ + nσ positions (in units of σ).
+type Fig3Point struct {
+	Label    string
+	Skewness float64
+	Kurtosis float64
+	// Offset[level+3] = (q_level − (µ + level·σ))/σ
+	Offset [7]float64
+}
+
+// Fig3Result sweeps skewness (at κ≈3) and kurtosis (at γ≈0).
+type Fig3Result struct {
+	SkewSweep []Fig3Point
+	KurtSweep []Fig3Point
+}
+
+// RunFig3 reproduces Fig. 3: how nonzero skewness shifts the inner
+// quantiles (±2σ inward) and excess kurtosis swings the ±3σ tails, using
+// synthetic skew-normal (γ sweep) and Student-t (κ sweep) samples.
+func (c *Context) RunFig3() (*Fig3Result, error) {
+	const n = 200000
+	r := rng.New(c.Seed ^ 0xf193)
+	res := &Fig3Result{}
+
+	sample := func(gen func(*rng.Stream) float64, label string) Fig3Point {
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = gen(r)
+		}
+		m := stats.ComputeMoments(xs)
+		q := stats.SigmaQuantiles(xs)
+		var p Fig3Point
+		p.Label = label
+		p.Skewness = m.Skewness
+		p.Kurtosis = m.Kurtosis
+		for _, lvl := range stats.SigmaLevels {
+			p.Offset[lvl+3] = (q[lvl] - (m.Mean + float64(lvl)*m.Std)) / m.Std
+		}
+		return p
+	}
+
+	// Skewness sweep: skew-normal via the delta representation.
+	for _, alpha := range []float64{0, 2, 5} {
+		delta := alpha / math.Sqrt(1+alpha*alpha)
+		gen := func(rs *rng.Stream) float64 {
+			z0 := rs.NormFloat64()
+			z1 := rs.NormFloat64()
+			return delta*math.Abs(z0) + math.Sqrt(1-delta*delta)*z1
+		}
+		res.SkewSweep = append(res.SkewSweep, sample(gen, fmt.Sprintf("skew-normal alpha=%.0f", alpha)))
+	}
+	// Kurtosis sweep: Student-t with decreasing dof (κ = 3 + 6/(ν−4)).
+	for _, nu := range []int{60, 10, 6} {
+		gen := func(rs *rng.Stream) float64 {
+			var chi2 float64
+			for i := 0; i < nu; i++ {
+				z := rs.NormFloat64()
+				chi2 += z * z
+			}
+			return rs.NormFloat64() / math.Sqrt(chi2/float64(nu))
+		}
+		res.KurtSweep = append(res.KurtSweep, sample(gen, fmt.Sprintf("student-t nu=%d", nu)))
+	}
+	return res, nil
+}
+
+// Format renders the quantile offsets.
+func (r *Fig3Result) Format() string {
+	var sb strings.Builder
+	sb.WriteString("Fig. 3: quantile offsets (q_n - (mu+n*sigma))/sigma for synthetic distributions\n")
+	hdr := fmt.Sprintf("%-24s %6s %6s |", "distribution", "skew", "kurt")
+	for _, lvl := range stats.SigmaLevels {
+		hdr += fmt.Sprintf(" %+d sig", lvl)
+	}
+	sb.WriteString(hdr + "\n")
+	row := func(p Fig3Point) {
+		line := fmt.Sprintf("%-24s %6.2f %6.2f |", p.Label, p.Skewness, p.Kurtosis)
+		for _, lvl := range stats.SigmaLevels {
+			line += fmt.Sprintf(" %+.3f", p.Offset[lvl+3])
+		}
+		sb.WriteString(line + "\n")
+	}
+	for _, p := range r.SkewSweep {
+		row(p)
+	}
+	for _, p := range r.KurtSweep {
+		row(p)
+	}
+	return sb.String()
+}
+
+// --- Fig. 4: moments vs operating conditions --------------------------------
+
+// Fig4Point is the four moments at one operating condition.
+type Fig4Point struct {
+	Op      charlib.OpPoint
+	Moments stats.Moments
+}
+
+// Fig4Result holds the two sweeps of the paper's Fig. 4.
+type Fig4Result struct {
+	SlewSweep []Fig4Point // load fixed at 0.4 fF
+	LoadSweep []Fig4Point // slew fixed at 10 ps
+}
+
+// RunFig4 reproduces Fig. 4: the INVx1 delay moments as functions of the
+// input slew (10–300 ps at 0.4 fF) and of the output load (0.1–6 fF at
+// 10 ps); µ and σ respond near-linearly while γ and κ bend, motivating the
+// bilinear/cubic split of eqs. (2)–(3).
+func (c *Context) RunFig4() (*Fig4Result, error) {
+	arc := charlib.Arc{Cell: "INVx1", Pin: "A", InEdge: waveform.Rising}
+	res := &Fig4Result{}
+	measure := func(slew, load float64, tag string) (Fig4Point, error) {
+		smp, err := c.Cfg.MCArc(arc, slew, load, c.Profile.CharSamples,
+			c.Seed^stdcell.KeyFromString(fmt.Sprintf("fig4:%s:%g:%g", tag, slew, load)))
+		if err != nil {
+			return Fig4Point{}, err
+		}
+		return Fig4Point{Op: charlib.OpPoint{Slew: slew, Load: load}, Moments: smp.Moments()}, nil
+	}
+	for _, s := range []float64{10e-12, 50e-12, 100e-12, 150e-12, 200e-12, 250e-12, 300e-12} {
+		p, err := measure(s, 0.4e-15, "s")
+		if err != nil {
+			return nil, err
+		}
+		res.SlewSweep = append(res.SlewSweep, p)
+	}
+	for _, l := range []float64{0.1e-15, 0.5e-15, 1e-15, 2e-15, 3e-15, 4.5e-15, 6e-15} {
+		p, err := measure(10e-12, l, "c")
+		if err != nil {
+			return nil, err
+		}
+		res.LoadSweep = append(res.LoadSweep, p)
+	}
+	return res, nil
+}
+
+// Format renders both sweeps.
+func (r *Fig4Result) Format() string {
+	var sb strings.Builder
+	sb.WriteString("Fig. 4: INVx1 delay moments vs operating conditions\n")
+	sb.WriteString("slew sweep (load = 0.4 fF):\n")
+	sb.WriteString(fmt.Sprintf("%10s %10s %10s %8s %8s\n", "slew(ps)", "mu(ps)", "sigma(ps)", "skew", "kurt"))
+	for _, p := range r.SlewSweep {
+		sb.WriteString(fmt.Sprintf("%10.0f %10.3f %10.3f %8.3f %8.3f\n",
+			p.Op.Slew*1e12, p.Moments.Mean*1e12, p.Moments.Std*1e12, p.Moments.Skewness, p.Moments.Kurtosis))
+	}
+	sb.WriteString("load sweep (slew = 10 ps):\n")
+	sb.WriteString(fmt.Sprintf("%10s %10s %10s %8s %8s\n", "load(fF)", "mu(ps)", "sigma(ps)", "skew", "kurt"))
+	for _, p := range r.LoadSweep {
+		sb.WriteString(fmt.Sprintf("%10.2f %10.3f %10.3f %8.3f %8.3f\n",
+			p.Op.Load*1e15, p.Moments.Mean*1e12, p.Moments.Std*1e12, p.Moments.Skewness, p.Moments.Kurtosis))
+	}
+	return sb.String()
+}

@@ -1,0 +1,303 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/layout"
+	"repro/internal/rctree"
+	"repro/internal/stats"
+	"repro/internal/stdcell"
+	"repro/internal/wire"
+)
+
+// --- Fig. 7: Elmore vs golden wire-delay distribution -----------------------
+
+// Fig7Result compares the classical metrics to the golden distribution on
+// one long net driven and loaded by INVx4.
+type Fig7Result struct {
+	Elmore    float64 // including the load pin cap
+	D2M       float64
+	Moments   stats.Moments
+	Quantiles map[int]float64
+	Centres   []float64
+	Density   []float64
+}
+
+// RunFig7 reproduces Fig. 7: on a long interconnect the deterministic
+// Elmore number sits near the distribution mean while the +3σ quantile is
+// far above it — the miscorrelation the wire calibration corrects.
+func (c *Context) RunFig7() (*Fig7Result, error) {
+	sc, err := c.buildWireStage("INVx4", "INVx4", 0xf17, 20e-12)
+	if err != nil {
+		return nil, err
+	}
+	// Replace the random tree with a long 300 µm line so the wire delay is
+	// in the tens of picoseconds like the paper's example.
+	par := layout.Default28nm()
+	tree := lineTree("fig7", par, 300, 12)
+	leaf := len(tree.Nodes) - 1
+	lc := c.Cfg.Lib.MustCell("INVx4")
+	sc.Stage.Tree = tree
+	sc.Stage.Loads[0].Leaf = leaf
+	withPin := tree.Clone()
+	withPin.Nodes[leaf].C += lc.PinCap("A")
+	sc.Elmore = withPin.Elmore(leaf)
+
+	samples, err := wire.MCStage(c.Cfg, sc.Stage, c.Profile.EvalSamples, c.Seed^0x716)
+	if err != nil {
+		return nil, err
+	}
+	lo, hi := stats.MinMax(samples.Wire)
+	centres, density, err := stats.Histogram(samples.Wire, 40, lo, hi)
+	if err != nil {
+		return nil, err
+	}
+	return &Fig7Result{
+		Elmore:    sc.Elmore,
+		D2M:       withPin.D2M(leaf),
+		Moments:   stats.ComputeMoments(samples.Wire),
+		Quantiles: stats.SigmaQuantiles(samples.Wire),
+		Centres:   centres,
+		Density:   density,
+	}, nil
+}
+
+// Format renders the comparison.
+func (r *Fig7Result) Format() string {
+	var sb strings.Builder
+	sb.WriteString("Fig. 7: Elmore vs golden wire-delay distribution (INVx4 driver/load, 300um net)\n")
+	sb.WriteString(fmt.Sprintf("Elmore  = %8.3f ps\n", r.Elmore*1e12))
+	sb.WriteString(fmt.Sprintf("D2M     = %8.3f ps\n", r.D2M*1e12))
+	sb.WriteString(fmt.Sprintf("mean    = %8.3f ps   sigma = %.3f ps (sigma/mu = %.3f)\n",
+		r.Moments.Mean*1e12, r.Moments.Std*1e12, r.Moments.Std/r.Moments.Mean))
+	sb.WriteString(fmt.Sprintf("-3sigma = %8.3f ps   +3sigma = %.3f ps\n",
+		r.Quantiles[-3]*1e12, r.Quantiles[3]*1e12))
+	sb.WriteString(fmt.Sprintf("Elmore error vs +3sigma quantile: %.1f%%\n",
+		stats.RelErr(r.Elmore, r.Quantiles[3])))
+	return sb.String()
+}
+
+// lineTree builds a uniform RC line of the given length (µm) in n segments
+// (π-sections), its last node named like a RandomTree sink.
+func lineTree(name string, par *layout.Parasitics, lenUm float64, n int) *rctree.Tree {
+	t := rctree.NewTree(name, 0.05e-15)
+	segLen := lenUm / float64(n)
+	segR := par.ROhmPerUm * segLen
+	segC := par.CfFPerUm * segLen
+	cur := 0
+	for i := 0; i < n; i++ {
+		t.Nodes[cur].C += segC / 2
+		nm := fmt.Sprintf("l%d", i)
+		if i == n-1 {
+			nm = "sink0"
+		}
+		cur = t.AddNode(nm, cur, segR, segC/2)
+	}
+	return t
+}
+
+// --- Fig. 8: wire delay vs driver/load strengths -----------------------------
+
+// Fig8Cell is one (driver strength, load strength) measurement.
+type Fig8Cell struct {
+	DriverStrength int
+	LoadStrength   int
+	Mu, Sigma      float64
+	XW             float64
+}
+
+// Fig8Result is the 3×3 strength sweep of the paper's Fig. 8.
+type Fig8Result struct {
+	Cells []Fig8Cell
+}
+
+// RunFig8 reproduces Fig. 8: the same RC tree measured with driver/load
+// inverters of strength 1, 2 and 4. The paper's observations to confirm:
+// σ_w/µ_w grows with the load strength and shrinks with the driver
+// strength.
+func (c *Context) RunFig8() (*Fig8Result, error) {
+	res := &Fig8Result{}
+	for _, ds := range []int{1, 2, 4} {
+		for _, ls := range []int{1, 2, 4} {
+			driver := fmt.Sprintf("INVx%d", ds)
+			load := fmt.Sprintf("INVx%d", ls)
+			sc, err := c.buildWireStage(driver, load, 0x818, 20e-12)
+			if err != nil {
+				return nil, err
+			}
+			seed := c.Seed ^ stdcell.KeyFromString(fmt.Sprintf("fig8:%d:%d", ds, ls))
+			if err := c.measureWireScenario(sc, c.wireSamples(), seed); err != nil {
+				return nil, err
+			}
+			res.Cells = append(res.Cells, Fig8Cell{
+				DriverStrength: ds, LoadStrength: ls,
+				Mu: sc.Mu, Sigma: sc.Sigma, XW: sc.XW,
+			})
+			c.logf("fig8 drv=x%d load=x%d: mu=%.3gps sigma/mu=%.3f", ds, ls, sc.Mu*1e12, sc.XW)
+		}
+	}
+	return res, nil
+}
+
+// Format renders the sweep.
+func (r *Fig8Result) Format() string {
+	var sb strings.Builder
+	sb.WriteString("Fig. 8: wire delay vs driver/load INV strength (same RC tree)\n")
+	sb.WriteString(fmt.Sprintf("%8s %8s %10s %10s %10s\n", "driver", "load", "mu(ps)", "sigma(ps)", "sigma/mu"))
+	for _, cell := range r.Cells {
+		sb.WriteString(fmt.Sprintf("%8s %8s %10.3f %10.3f %10.4f\n",
+			fmt.Sprintf("INVx%d", cell.DriverStrength), fmt.Sprintf("INVx%d", cell.LoadStrength),
+			cell.Mu*1e12, cell.Sigma*1e12, cell.XW))
+	}
+	return sb.String()
+}
+
+// --- Fig. 9: errors of the fitted X_FI / X_FO coefficients ------------------
+
+// Fig9Result reports how well the fitted linear combination (eq. 7)
+// reproduces the measured wire variability on the driver sweep (X_FI role)
+// and the load sweep (X_FO role).
+type Fig9Result struct {
+	DriverErrs map[string]float64 // per driver cell, load = INVx4
+	LoadErrs   map[string]float64 // per load cell, driver = INVx4
+	AvgXFIErr  float64
+	AvgXFOErr  float64
+}
+
+// RunFig9 reproduces Fig. 9 from the cached calibration scenarios.
+func (c *Context) RunFig9() (*Fig9Result, error) {
+	cal, err := c.CalibrateWires()
+	if err != nil {
+		return nil, err
+	}
+	res := &Fig9Result{
+		DriverErrs: map[string]float64{},
+		LoadErrs:   map[string]float64{},
+	}
+	counts := map[string]int{}
+	loadCounts := map[string]int{}
+	for _, sc := range c.wireObs {
+		pred, err := cal.XW(sc.Driver, sc.Load)
+		if err != nil {
+			return nil, err
+		}
+		e := stats.RelErr(pred, sc.XW)
+		if sc.Load == "INVx4" {
+			res.DriverErrs[sc.Driver] += e
+			counts[sc.Driver]++
+		}
+		if sc.Driver == "INVx4" {
+			res.LoadErrs[sc.Load] += e
+			loadCounts[sc.Load]++
+		}
+	}
+	var sumFI, sumFO float64
+	for d, tot := range res.DriverErrs {
+		res.DriverErrs[d] = tot / float64(counts[d])
+		sumFI += res.DriverErrs[d]
+	}
+	for l, tot := range res.LoadErrs {
+		res.LoadErrs[l] = tot / float64(loadCounts[l])
+		sumFO += res.LoadErrs[l]
+	}
+	res.AvgXFIErr = sumFI / float64(len(res.DriverErrs))
+	res.AvgXFOErr = sumFO / float64(len(res.LoadErrs))
+	return res, nil
+}
+
+// Format renders the per-cell errors.
+func (r *Fig9Result) Format() string {
+	var sb strings.Builder
+	sb.WriteString("Fig. 9: X_FI / X_FO estimation errors (% of measured sigma_w/mu_w)\n")
+	sb.WriteString("driver sweep (load fixed INVx4):\n")
+	for _, d := range sortedCellNames(r.DriverErrs) {
+		sb.WriteString(fmt.Sprintf("  %-9s %6.2f%%\n", d, r.DriverErrs[d]))
+	}
+	sb.WriteString("load sweep (driver fixed INVx4):\n")
+	for _, l := range sortedCellNames(r.LoadErrs) {
+		sb.WriteString(fmt.Sprintf("  %-9s %6.2f%%\n", l, r.LoadErrs[l]))
+	}
+	sb.WriteString(fmt.Sprintf("average X_FI error = %.2f%%, average X_FO error = %.2f%%\n",
+		r.AvgXFIErr, r.AvgXFOErr))
+	return sb.String()
+}
+
+// --- Fig. 10: ±3σ wire delay accuracy on random RC circuits ------------------
+
+// Fig10Row is one (tree, strength) verification point.
+type Fig10Row struct {
+	Tree     int
+	Strength int
+	ErrM3    float64 // our model, -3σ
+	ErrP3    float64 // our model, +3σ
+	ElmoreP3 float64 // raw Elmore vs +3σ (baseline contrast)
+}
+
+// Fig10Result is the full verification sweep plus averages.
+type Fig10Result struct {
+	Rows         []Fig10Row
+	AvgM3, AvgP3 float64
+	AvgElmoreP3  float64
+}
+
+// RunFig10 reproduces Fig. 10: five random RC interconnect circuits with
+// FO1/FO2/FO4/FO8 driver/load constraints; our T_w(nσ) = (1+n·X_w)·Elmore
+// against golden ±3σ, with the raw Elmore number as contrast.
+func (c *Context) RunFig10() (*Fig10Result, error) {
+	cal, err := c.CalibrateWires()
+	if err != nil {
+		return nil, err
+	}
+	res := &Fig10Result{}
+	strengths := []int{1, 2, 4, 8}
+	var n float64
+	for ti := 0; ti < 5; ti++ {
+		for _, s := range strengths {
+			cellName := fmt.Sprintf("INVx%d", s)
+			sc, err := c.buildWireStage(cellName, cellName, uint64(0xF10+ti*7), 20e-12)
+			if err != nil {
+				return nil, err
+			}
+			seed := c.Seed ^ stdcell.KeyFromString(fmt.Sprintf("fig10:%d:%d", ti, s))
+			if err := c.measureWireScenario(sc, c.wireSamples(), seed); err != nil {
+				return nil, err
+			}
+			xw, err := cal.XW(cellName, cellName)
+			if err != nil {
+				return nil, err
+			}
+			row := Fig10Row{
+				Tree: ti, Strength: s,
+				ErrM3:    stats.RelErr(wire.Quantile(sc.Elmore, xw, -3), sc.Quantiles[-3]),
+				ErrP3:    stats.RelErr(wire.Quantile(sc.Elmore, xw, 3), sc.Quantiles[3]),
+				ElmoreP3: stats.RelErr(sc.Elmore, sc.Quantiles[3]),
+			}
+			res.Rows = append(res.Rows, row)
+			res.AvgM3 += row.ErrM3
+			res.AvgP3 += row.ErrP3
+			res.AvgElmoreP3 += row.ElmoreP3
+			n++
+			c.logf("fig10 tree=%d FO%d: ours -3s %.2f%% +3s %.2f%% (elmore vs +3s %.1f%%)",
+				ti, s, row.ErrM3, row.ErrP3, row.ElmoreP3)
+		}
+	}
+	res.AvgM3 /= n
+	res.AvgP3 /= n
+	res.AvgElmoreP3 /= n
+	return res, nil
+}
+
+// Format renders the sweep.
+func (r *Fig10Result) Format() string {
+	var sb strings.Builder
+	sb.WriteString("Fig. 10: +/-3sigma wire delay errors on 5 random RC circuits x FO1/2/4/8\n")
+	sb.WriteString(fmt.Sprintf("%6s %6s %12s %12s %14s\n", "tree", "FO", "ours -3s(%)", "ours +3s(%)", "elmore +3s(%)"))
+	for _, row := range r.Rows {
+		sb.WriteString(fmt.Sprintf("%6d %6d %12.2f %12.2f %14.2f\n",
+			row.Tree, row.Strength, row.ErrM3, row.ErrP3, row.ElmoreP3))
+	}
+	sb.WriteString(fmt.Sprintf("avg: ours -3s %.2f%%  +3s %.2f%%  | raw elmore vs +3s %.2f%%\n",
+		r.AvgM3, r.AvgP3, r.AvgElmoreP3))
+	return sb.String()
+}

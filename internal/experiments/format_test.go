@@ -1,0 +1,144 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/stats"
+)
+
+// Rendering tests: every harness result must format into the table/figure
+// layout cmd/repro prints, without panics and with the key fields present.
+
+func TestTable2Format(t *testing.T) {
+	r := &Table2Result{
+		Rows: []Table2Row{{
+			Cell: "NOR2x1", LSNm3: 5.04, LSNp3: 7.89,
+			Burrm3: 11.66, Burrp3: 10.67, NSigmam3: 3.57, NSigmap3: 4.81,
+		}},
+		Avg: Table2Row{Cell: "Avg.", LSNm3: 5.5, NSigmap3: 2.73},
+	}
+	doc := r.Format()
+	for _, want := range []string{"TABLE II", "NOR2x1", "Avg.", "11.66", "4.81"} {
+		if !strings.Contains(doc, want) {
+			t.Errorf("Table II rendering missing %q", want)
+		}
+	}
+}
+
+func TestTable3Format(t *testing.T) {
+	r := &Table3Result{
+		Rows: []Table3Row{{
+			Name: "c432", Nets: 671, Cells: 655, Stages: 35,
+			MCm3: 2e-9, MCp3: 3.5e-9, PT: 4.2e-9, ML: 4e-9, Corr: 3.9e-9,
+			OursM3: 2.1e-9, OursP3: 3.6e-9,
+			ErrPT: 20, ErrML: 14, ErrCorr: 11, ErrOursM3: 5, ErrOursP3: 3,
+			TimeMC: 3 * time.Second, TimeOurs: 10 * time.Millisecond,
+			TimePT: 11 * time.Millisecond, TimeML: 12 * time.Millisecond,
+			TimeCorr: 13 * time.Millisecond,
+		}},
+		AvgPT: 20, AvgML: 14, AvgCorr: 11, AvgOursM3: 5, AvgOursP3: 3,
+	}
+	doc := r.Format()
+	for _, want := range []string{"TABLE III", "c432", "Runtimes", "speedup", "300X"} {
+		if !strings.Contains(doc, want) {
+			t.Errorf("Table III rendering missing %q", want)
+		}
+	}
+}
+
+func TestFigureFormats(t *testing.T) {
+	f2 := &Fig2Result{Series: []Fig2Series{{
+		Vdd:     0.6,
+		Moments: stats.Moments{Mean: 15e-12, Std: 3e-12, Skewness: 1.1, Kurtosis: 5},
+		Quantiles: map[int]float64{
+			-3: 9e-12, -2: 10e-12, -1: 12e-12, 0: 14e-12, 1: 17e-12, 2: 21e-12, 3: 27e-12,
+		},
+	}}}
+	if doc := f2.Format(); !strings.Contains(doc, "0.60") || !strings.Contains(doc, "Fig. 2") {
+		t.Error("Fig2 rendering broken")
+	}
+
+	f7 := &Fig7Result{
+		Elmore: 22e-12, D2M: 18e-12,
+		Moments:   stats.Moments{Mean: 23e-12, Std: 3e-12},
+		Quantiles: map[int]float64{-3: 16e-12, 3: 31.65e-12},
+	}
+	doc := f7.Format()
+	if !strings.Contains(doc, "31.650") || !strings.Contains(doc, "Elmore") {
+		t.Errorf("Fig7 rendering broken:\n%s", doc)
+	}
+
+	f8 := &Fig8Result{Cells: []Fig8Cell{{DriverStrength: 1, LoadStrength: 4, Mu: 2e-12, Sigma: 0.3e-12, XW: 0.15}}}
+	if doc := f8.Format(); !strings.Contains(doc, "INVx1") || !strings.Contains(doc, "0.1500") {
+		t.Error("Fig8 rendering broken")
+	}
+
+	f9 := &Fig9Result{
+		DriverErrs: map[string]float64{"INVx1": 1.9},
+		LoadErrs:   map[string]float64{"NAND2x2": 3.3},
+		AvgXFIErr:  1.92, AvgXFOErr: 3.31,
+	}
+	if doc := f9.Format(); !strings.Contains(doc, "X_FI") || !strings.Contains(doc, "1.92") {
+		t.Error("Fig9 rendering broken")
+	}
+
+	f10 := &Fig10Result{
+		Rows:  []Fig10Row{{Tree: 0, Strength: 4, ErrM3: 1.6, ErrP3: 2.4, ElmoreP3: 30}},
+		AvgM3: 1.61, AvgP3: 2.39, AvgElmoreP3: 30,
+	}
+	if doc := f10.Format(); !strings.Contains(doc, "1.61") || !strings.Contains(doc, "elmore") {
+		t.Error("Fig10 rendering broken")
+	}
+
+	f11 := &Fig11Result{Wires: []Fig11Wire{{
+		Index: 1, Net: "n42", GoldenP3: 3e-12, OursP3: 3.1e-12, Elmore: 2.2e-12,
+		ErrOurs: 3.3, ErrElm: 26.7,
+	}}}
+	if doc := f11.Format(); !strings.Contains(doc, "n42") || !strings.Contains(doc, "26.70") {
+		t.Error("Fig11 rendering broken")
+	}
+
+	ac := &AblationCalibResult{LUTErrM3: 2, LUTErrP3: 3, PolyErrM3: 5, PolyErrP3: 8, Probes: 4}
+	if doc := ac.Format(); !strings.Contains(doc, "polynomial") {
+		t.Error("calibration ablation rendering broken")
+	}
+	aw := &AblationWireResult{FittedErr: 3, PriorOnlyErr: 9, DriverOnlyErr: 14, Scenarios: 10}
+	if doc := aw.Format(); !strings.Contains(doc, "Pelgrom") {
+		t.Error("wire ablation rendering broken")
+	}
+}
+
+func TestCSVEmitters(t *testing.T) {
+	t2 := &Table2Result{Rows: []Table2Row{{Cell: "NOR2x1", LSNm3: 5, GoldenP3: 3e-11}}}
+	var buf strings.Builder
+	if err := t2.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "cell,lsn_m3_pct") || !strings.Contains(buf.String(), "NOR2x1") {
+		t.Fatalf("table2 csv:\n%s", buf.String())
+	}
+
+	t3 := &Table3Result{Rows: []Table3Row{{
+		Name: "c432", Nets: 1, Cells: 2, Stages: 3,
+		TimeMC: 2 * time.Second, TimeOurs: 9 * time.Millisecond,
+	}}}
+	buf.Reset()
+	if err := t3.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 2 || !strings.HasPrefix(lines[1], "c432,1,2,3") {
+		t.Fatalf("table3 csv:\n%s", buf.String())
+	}
+
+	f10 := &Fig10Result{Rows: []Fig10Row{{Tree: 1, Strength: 4, ErrM3: 1.5}}}
+	buf.Reset()
+	if err := f10.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "1,4,1.5") {
+		t.Fatalf("fig10 csv:\n%s", buf.String())
+	}
+}

@@ -1,0 +1,195 @@
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"repro/internal/circuit"
+	"repro/internal/rng"
+	"repro/internal/sta"
+	"repro/internal/stats"
+	"repro/internal/stdcell"
+	"repro/internal/wire"
+)
+
+// PathSamples holds golden Monte-Carlo results of one critical path.
+type PathSamples struct {
+	Total []float64 // path delay per sample (s)
+}
+
+// Quantiles returns the sigma-level quantiles of the path delay.
+func (p *PathSamples) Quantiles() map[int]float64 { return stats.SigmaQuantiles(p.Total) }
+
+// Moments returns the sample moments of the path delay.
+func (p *PathSamples) Moments() stats.Moments { return stats.ComputeMoments(p.Total) }
+
+// PathMC is the golden reference for Table III: the critical path is
+// re-simulated at transistor level, sample by sample, stage by stage. Each
+// sample draws one shared global corner; each gate instance derives its
+// local variation from a stable per-gate key, so the cell that loads stage
+// k *is* (parameter-identical to) the cell that drives stage k+1 — the
+// cell/wire interaction under study. Within a sample, the measured leaf
+// slew of each stage becomes the (ramp-approximated) input of the next.
+//
+// This staged transistor-level MC replaces flattening the whole path into
+// one matrix, which would be quadratically more expensive without changing
+// the variability mechanisms being measured (see DESIGN.md).
+func PathMC(ctx *Context, path *sta.Path, n int, seed uint64) (*PathSamples, error) {
+	stages, err := buildMCStages(ctx, path)
+	if err != nil {
+		return nil, err
+	}
+	out := &PathSamples{Total: make([]float64, n)}
+	base := rng.New(seed)
+	workers := ctx.Cfg.Workers
+	if workers <= 0 {
+		workers = defaultMCWorkers()
+	}
+	next := make(chan int, n)
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
+	errCh := make(chan error, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				r := base.At(i)
+				sctx := &stdcell.SampleCtx{Model: ctx.Cfg.Var, Corner: ctx.Cfg.Var.SampleCorner(r), Base: r}
+				total, err := simulatePathSample(ctx, stages, path.Stages[0].InSlew, sctx)
+				if err != nil {
+					select {
+					case errCh <- fmt.Errorf("path sample %d: %w", i, err):
+					default:
+					}
+					return
+				}
+				out.Total[i] = total
+			}
+		}()
+	}
+	wg.Wait()
+	select {
+	case err := <-errCh:
+		return nil, err
+	default:
+	}
+	return out, nil
+}
+
+// mcStage is a prepared wire.Stage template for one path stage.
+type mcStage struct {
+	tmpl wire.Stage
+	// wireOnly marks the PI stage: the pad driver is scaffolding and its
+	// cell delay is not part of the path.
+	wireOnly bool
+}
+
+// buildMCStages converts sta path stages into simulator stages. The PI
+// stage (no driving cell) contributes its wire via an idealised pad driver
+// (the STA's InputDriver assumption); gate stages simulate driver + net +
+// on-path load cell. The sink leaf's lumped pin cap is removed from the
+// tree copy because the load cell's transistors supply it physically.
+func buildMCStages(ctx *Context, path *sta.Path) ([]mcStage, error) {
+	var stages []mcStage
+	for si, s := range path.Stages {
+		var tmpl wire.Stage
+		wireOnly := false
+		if s.Cell == "" {
+			wireOnly = true
+			// PI stage: model the pad with the STA's assumed input driver.
+			drv := ctx.Cfg.Lib.Cell("INVx4")
+			tmpl.Driver = drv.Name
+			tmpl.DriverPin = drv.Inputs[0]
+			tmpl.DriverKey = stdcell.KeyFromString("pi-driver:" + s.Net)
+			// The pad driver inverts; launch the opposite edge so the net
+			// sees the analysis edge.
+			tmpl.InEdge = s.InEdge.Opposite()
+		} else {
+			tmpl.Driver = s.Cell
+			tmpl.DriverPin = s.InPin
+			tmpl.InEdge = s.InEdge
+			tmpl.DriverKey = stdcell.KeyFromString("gate:" + gateName(ctx, path, si))
+		}
+		tree := s.Tree.Clone()
+		loadCell := s.SinkCell
+		loadPin := s.SinkPin
+		loadKey := stdcell.KeyFromString("gate:" + sinkGateName(ctx, path, si))
+		if loadCell == "" {
+			// Endpoint PO: keep the lumped pad load that is already in the
+			// tree; attach a reference load cell for realism.
+			loadCell = "INVx4"
+			loadPin = "A"
+			loadKey = stdcell.KeyFromString("po-load:" + s.Net)
+		} else {
+			// Remove the lumped pin cap; the transistor instance replaces it.
+			tree.Nodes[s.SinkLeaf].C -= s.SinkPinCap
+			if tree.Nodes[s.SinkLeaf].C < 0 {
+				tree.Nodes[s.SinkLeaf].C = 0
+			}
+		}
+		tmpl.Tree = tree
+		tmpl.TreeKey = stdcell.KeyFromString("net:" + s.Net)
+		tmpl.Loads = []wire.LoadSpec{{Leaf: s.SinkLeaf, Cell: loadCell, Pin: loadPin, Key: loadKey}}
+		stages = append(stages, mcStage{tmpl: tmpl, wireOnly: wireOnly})
+	}
+	return stages, nil
+}
+
+func gateName(ctx *Context, path *sta.Path, si int) string {
+	s := path.Stages[si]
+	if s.GateIdx < 0 {
+		return "pi:" + s.Net
+	}
+	return pathGate(ctx, path, si)
+}
+
+func sinkGateName(ctx *Context, path *sta.Path, si int) string {
+	if si+1 < len(path.Stages) {
+		return gateName(ctx, path, si+1)
+	}
+	return "po:" + path.Stages[si].Net
+}
+
+// pathGate names the driving gate of a stage; the Context carries no
+// netlist, so the stage's net name (unique per gate output) is the stable
+// identity.
+func pathGate(ctx *Context, path *sta.Path, si int) string {
+	return "drv:" + path.Stages[si].Net
+}
+
+// simulatePathSample runs all stages for one sample and sums cell + wire
+// delays (the golden counterpart of eq. 10). Stage 0 is driven by the
+// synthetic input ramp; every later stage is driven by the previous
+// stage's recorded leaf waveform (PWL handoff), so the chained simulation
+// tracks a flat whole-path transient closely — ramp reconstruction of
+// near-threshold waveforms would not.
+func simulatePathSample(ctx *Context, stages []mcStage, inSlew float64, sctx *stdcell.SampleCtx) (float64, error) {
+	total := 0.0
+	slew := inSlew
+	var wave *circuit.PWL
+	for si := range stages {
+		st := stages[si].tmpl // copy
+		st.InSlew = slew
+		st.InWave = wave
+		st.CaptureLeafWave = si+1 < len(stages)
+		s, err := wire.MeasureStageOnce(ctx.Cfg, &st, sctx)
+		if err != nil {
+			return 0, fmt.Errorf("stage %d: %w", si, err)
+		}
+		if stages[si].wireOnly {
+			total += s.WireDelay
+		} else {
+			total += s.CellDelay + s.WireDelay
+		}
+		slew = s.LeafSlew
+		wave = s.LeafWave
+	}
+	return total, nil
+}
+
+func defaultMCWorkers() int { return runtime.GOMAXPROCS(0) }

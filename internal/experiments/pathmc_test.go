@@ -1,0 +1,105 @@
+package experiments
+
+import (
+	"testing"
+
+	"repro/internal/rctree"
+	"repro/internal/sta"
+	"repro/internal/waveform"
+)
+
+// synthTwoStagePath builds PI → netA → (U1 NAND2x2) → netB → PO.
+func synthTwoStagePath() *sta.Path {
+	treeA := rctree.NewTree("netA", 0.05e-15)
+	leafA := treeA.AddNode("pin:U1:A", 0, 100, 2.5e-15)
+	treeB := rctree.NewTree("netB", 0.05e-15)
+	leafB := treeB.AddNode("pin:PO0", 0, 120, 1.0e-15)
+	return &sta.Path{
+		Launch:   waveform.Rising,
+		Endpoint: "netB",
+		Stages: []sta.Stage{
+			{
+				GateIdx: -1, Net: "netA", Tree: treeA,
+				InEdge: waveform.Rising, InSlew: 10e-12,
+				SinkLeaf: leafA, SinkCell: "NAND2x2", SinkPin: "A", SinkPinCap: 2.2e-15,
+			},
+			{
+				GateIdx: 0, Cell: "NAND2x2", InPin: "A", InEdge: waveform.Rising,
+				InSlew: 15e-12, Net: "netB", Tree: treeB,
+				SinkLeaf: leafB, SinkCell: "", SinkPin: "",
+			},
+		},
+	}
+}
+
+func TestBuildMCStagesStructure(t *testing.T) {
+	ctx := tinyCtx()
+	p := synthTwoStagePath()
+	stages, err := buildMCStages(ctx, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stages) != 2 {
+		t.Fatalf("%d stages", len(stages))
+	}
+	pi := stages[0]
+	if !pi.wireOnly {
+		t.Fatal("PI stage not wire-only")
+	}
+	if pi.tmpl.Driver != "INVx4" {
+		t.Fatalf("PI pad driver %q", pi.tmpl.Driver)
+	}
+	// The pad driver inverts: its input edge must be opposite the net edge.
+	if pi.tmpl.InEdge != waveform.Falling {
+		t.Fatal("PI stage input edge not inverted for the pad driver")
+	}
+	gate := stages[1]
+	if gate.wireOnly || gate.tmpl.Driver != "NAND2x2" || gate.tmpl.DriverPin != "A" {
+		t.Fatalf("gate stage template wrong: %+v", gate.tmpl)
+	}
+	// PO stage keeps the lumped pad load and attaches a reference cell.
+	if gate.tmpl.Loads[0].Cell != "INVx4" {
+		t.Fatalf("PO load cell %q", gate.tmpl.Loads[0].Cell)
+	}
+}
+
+func TestBuildMCStagesCorrelationKeys(t *testing.T) {
+	ctx := tinyCtx()
+	p := synthTwoStagePath()
+	stages, err := buildMCStages(ctx, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The load of the PI stage IS the driver of the gate stage: their
+	// variation keys must match so one transistor set serves both sims.
+	if stages[0].tmpl.Loads[0].Key != stages[1].tmpl.DriverKey {
+		t.Fatal("adjacent-stage gate keys differ — cell/wire correlation broken")
+	}
+	if stages[0].tmpl.TreeKey == stages[1].tmpl.TreeKey {
+		t.Fatal("different nets share a tree key")
+	}
+}
+
+func TestBuildMCStagesRemovesLumpedPinCap(t *testing.T) {
+	ctx := tinyCtx()
+	p := synthTwoStagePath()
+	stages, err := buildMCStages(ctx, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Stage 0's sink leaf had 2.5 fF including a 2.2 fF pin cap; the MC
+	// template must carry only the wire's own 0.3 fF (the load cell's
+	// transistors supply the rest physically).
+	got := stages[0].tmpl.Tree.Nodes[p.Stages[0].SinkLeaf].C
+	if got < 0.29e-15 || got > 0.31e-15 {
+		t.Fatalf("leaf cap after pin-cap removal: %v", got)
+	}
+	// The original path tree is untouched.
+	if p.Stages[0].Tree.Nodes[p.Stages[0].SinkLeaf].C != 2.5e-15 {
+		t.Fatal("buildMCStages mutated the analysis tree")
+	}
+	// PO stage keeps its lumped load.
+	if stages[1].tmpl.Tree.Nodes[p.Stages[1].SinkLeaf].C != 1.0e-15 {
+		t.Fatal("PO lumped load should remain in the tree")
+	}
+}

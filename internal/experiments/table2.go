@@ -1,0 +1,131 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/baseline"
+	"repro/internal/charlib"
+	"repro/internal/nsigma"
+	"repro/internal/stats"
+	"repro/internal/stdcell"
+	"repro/internal/waveform"
+)
+
+// Table2Cells are the twelve cells of the paper's Table II.
+var Table2Cells = []string{
+	"NOR2x1", "NOR2x2", "NOR2x4", "NOR2x8",
+	"NAND2x1", "NAND2x2", "NAND2x4", "NAND2x8",
+	"AOI2x1", "AOI2x2", "AOI2x4", "AOI2x8",
+}
+
+// Table2Row is one row of the reproduction: ±3σ estimation errors (%) of
+// each model against the golden MC quantiles.
+type Table2Row struct {
+	Cell     string
+	LSNm3    float64
+	LSNp3    float64
+	Burrm3   float64
+	Burrp3   float64
+	NSigmam3 float64
+	NSigmap3 float64
+	GoldenM3 float64 // golden -3σ delay (s), for reference
+	GoldenP3 float64
+	GaussM3  float64 // naive µ±3σ errors, extra baseline
+	GaussP3  float64
+}
+
+// Table2Result is the full table plus averages.
+type Table2Result struct {
+	Rows []Table2Row
+	Avg  Table2Row
+}
+
+// RunTable2 reproduces Table II: for every cell, golden MC delay samples
+// under the FO4 constraint are fitted by the LSN and Burr baselines, while
+// the N-sigma model evaluates its calibrated quantiles at the same
+// operating point; all three are scored against the golden ±3σ quantiles.
+func (c *Context) RunTable2() (*Table2Result, error) {
+	res := &Table2Result{}
+	for _, cellName := range Table2Cells {
+		cell := c.Cfg.Lib.Cell(cellName)
+		if cell == nil {
+			return nil, fmt.Errorf("experiments: unknown Table II cell %q", cellName)
+		}
+		arc := charlib.Arc{Cell: cellName, Pin: cell.Inputs[0], InEdge: waveform.Rising}
+		load := c.FO4Load(cell)
+
+		// Golden distribution at the FO4 test point.
+		smp, err := c.Cfg.MCArc(arc, charlib.Reference.Slew, load,
+			c.Profile.EvalSamples, c.Seed^stdcell.KeyFromString("t2:"+cellName))
+		if err != nil {
+			return nil, err
+		}
+		q := smp.SigmaQuantiles()
+
+		// Baselines fitted to the same golden samples.
+		lsn, err := baseline.FitLSN(smp.Delay)
+		if err != nil {
+			return nil, err
+		}
+		burr, err := baseline.FitBurr(smp.Delay)
+		if err != nil {
+			return nil, err
+		}
+
+		// Our model: characterised across the operating grid, evaluated at
+		// the test point through the calibrated moments.
+		ch, err := c.CharacterizeArc(arc)
+		if err != nil {
+			return nil, err
+		}
+		am, err := nsigma.FitArc(ch)
+		if err != nil {
+			return nil, err
+		}
+		moms := am.MomentsAt(charlib.Reference.Slew, load)
+
+		row := Table2Row{
+			Cell:     cellName,
+			GoldenM3: q[-3],
+			GoldenP3: q[3],
+			LSNm3:    stats.RelErr(lsn.SigmaQuantile(-3), q[-3]),
+			LSNp3:    stats.RelErr(lsn.SigmaQuantile(3), q[3]),
+			Burrm3:   stats.RelErr(burr.SigmaQuantile(-3), q[-3]),
+			Burrp3:   stats.RelErr(burr.SigmaQuantile(3), q[3]),
+			NSigmam3: stats.RelErr(am.Quantile(-3, charlib.Reference.Slew, load), q[-3]),
+			NSigmap3: stats.RelErr(am.Quantile(3, charlib.Reference.Slew, load), q[3]),
+			GaussM3:  stats.RelErr(nsigma.GaussianQuantile(moms, -3), q[-3]),
+			GaussP3:  stats.RelErr(nsigma.GaussianQuantile(moms, 3), q[3]),
+		}
+		res.Rows = append(res.Rows, row)
+		c.logf("table2 %-8s LSN %5.2f/%5.2f  Burr %5.2f/%5.2f  ours %5.2f/%5.2f",
+			cellName, row.LSNm3, row.LSNp3, row.Burrm3, row.Burrp3, row.NSigmam3, row.NSigmap3)
+	}
+	n := float64(len(res.Rows))
+	for _, r := range res.Rows {
+		res.Avg.LSNm3 += r.LSNm3 / n
+		res.Avg.LSNp3 += r.LSNp3 / n
+		res.Avg.Burrm3 += r.Burrm3 / n
+		res.Avg.Burrp3 += r.Burrp3 / n
+		res.Avg.NSigmam3 += r.NSigmam3 / n
+		res.Avg.NSigmap3 += r.NSigmap3 / n
+		res.Avg.GaussM3 += r.GaussM3 / n
+		res.Avg.GaussP3 += r.GaussP3 / n
+	}
+	res.Avg.Cell = "Avg."
+	return res, nil
+}
+
+// Format renders the table in the paper's layout.
+func (r *Table2Result) Format() string {
+	var sb strings.Builder
+	sb.WriteString("TABLE II: accuracy of estimating the +/-3sigma cell delay (errors, %)\n")
+	sb.WriteString(fmt.Sprintf("%-9s %7s %7s %7s %7s %7s %7s\n",
+		"Std cell", "LSN-3s", "LSN+3s", "Burr-3s", "Burr+3s", "Ours-3s", "Ours+3s"))
+	for _, row := range append(r.Rows, r.Avg) {
+		sb.WriteString(fmt.Sprintf("%-9s %7.2f %7.2f %7.2f %7.2f %7.2f %7.2f\n",
+			row.Cell, row.LSNm3, row.LSNp3, row.Burrm3, row.Burrp3, row.NSigmam3, row.NSigmap3))
+	}
+	return sb.String()
+}

@@ -1,0 +1,183 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/layout"
+	"repro/internal/stats"
+	"repro/internal/stdcell"
+	"repro/internal/timinglib"
+	"repro/internal/waveform"
+	"repro/internal/wire"
+)
+
+// wireSamples returns the Monte-Carlo depth for wire-stage golden runs.
+func (c *Context) wireSamples() int {
+	switch c.Profile.Name {
+	case "bench":
+		return 120
+	case "quick":
+		return 150
+	case "paper":
+		return 2000
+	default:
+		return 800
+	}
+}
+
+// wireScenario is one calibration/verification measurement.
+type wireScenario struct {
+	Driver, Load string
+	TreeSeed     uint64
+	Stage        *wire.Stage
+	// Golden statistics.
+	Mu, Sigma float64
+	XW        float64
+	Quantiles map[int]float64
+	Elmore    float64 // including the load pin cap at the sink leaf
+}
+
+// buildWireStage assembles a driver→tree→load stage over a random tree.
+// The tree's sink leaf gets the load cell attached as transistors (not as a
+// lumped cap), so Elmore for model evaluation must add the pin cap
+// explicitly — done here once and stored.
+func (c *Context) buildWireStage(driver, load string, treeSeed uint64, inSlew float64) (*wireScenario, error) {
+	par := layout.Default28nm()
+	tree := layout.RandomTree(fmt.Sprintf("cal_%s_%s_%d", driver, load, treeSeed), 1, par, treeSeed)
+	leaf := tree.NodeIndex("sink0")
+	if leaf < 0 {
+		return nil, fmt.Errorf("experiments: random tree has no sink leaf")
+	}
+	lc := c.Cfg.Lib.Cell(load)
+	if lc == nil {
+		return nil, fmt.Errorf("experiments: unknown load cell %q", load)
+	}
+	dc := c.Cfg.Lib.Cell(driver)
+	if dc == nil {
+		return nil, fmt.Errorf("experiments: unknown driver cell %q", driver)
+	}
+	// Elmore with the sink pin cap folded onto the leaf, as the layout
+	// extractor would emit it.
+	treeWithPin := tree.Clone()
+	treeWithPin.Nodes[leaf].C += lc.PinCap(lc.Inputs[0])
+
+	st := &wire.Stage{
+		Driver:    driver,
+		DriverPin: dc.Inputs[0],
+		InEdge:    waveform.Rising,
+		InSlew:    inSlew,
+		Tree:      tree,
+		Loads:     []wire.LoadSpec{{Leaf: leaf, Cell: load, Pin: lc.Inputs[0]}},
+	}
+	return &wireScenario{
+		Driver: driver, Load: load, TreeSeed: treeSeed,
+		Stage:  st,
+		Elmore: treeWithPin.Elmore(leaf),
+	}, nil
+}
+
+// measureWireScenario runs the golden MC of a scenario and fills its
+// statistics.
+func (c *Context) measureWireScenario(sc *wireScenario, samples int, seed uint64) error {
+	ss, err := wire.MCStage(c.Cfg, sc.Stage, samples, seed)
+	if err != nil {
+		return fmt.Errorf("scenario %s→%s: %w", sc.Driver, sc.Load, err)
+	}
+	m := stats.ComputeMoments(ss.Wire)
+	sc.Mu, sc.Sigma = m.Mean, m.Std
+	sc.XW = m.Std / m.Mean
+	sc.Quantiles = stats.SigmaQuantiles(ss.Wire)
+	return nil
+}
+
+// calibrationScenarios pairs every training cell as driver and as load with
+// a spread of partners — enough coverage for the X_FI/X_FO least squares
+// without the full 16×16 cross product. Every cell appears opposite the
+// INVx4 baseline (the FO4 sweeps Fig. 9 scores), plus shifted pairings for
+// cross coverage.
+func (c *Context) calibrationScenarios() [][2]string {
+	cells := c.WireTrainingCells()
+	seen := map[[2]string]bool{}
+	var pairs [][2]string
+	add := func(d, l string) {
+		p := [2]string{d, l}
+		if !seen[p] {
+			seen[p] = true
+			pairs = append(pairs, p)
+		}
+	}
+	for _, d := range cells {
+		add(d, "INVx4")
+	}
+	for _, l := range cells {
+		add("INVx4", l)
+	}
+	for i, d := range cells {
+		add(d, cells[(i+5)%len(cells)])
+		add(d, cells[(i+11)%len(cells)])
+	}
+	return pairs
+}
+
+// CalibrateWires fits the X_FI/X_FO wire calibration from golden stage
+// measurements (the paper's Fig. 9 fitting step). The per-scenario golden
+// observations are cached for the wire-accuracy figures.
+func (c *Context) CalibrateWires() (*wire.Calibration, error) {
+	if c.wireCal != nil {
+		return c.wireCal, nil
+	}
+	t0 := time.Now()
+	cells := c.WireTrainingCells()
+	ratios := make(map[string]float64, len(cells))
+	for _, cell := range cells {
+		r, err := c.FO4Ratio(cell)
+		if err != nil {
+			return nil, err
+		}
+		ratios[cell] = r
+	}
+	r4, ok := ratios["INVx4"]
+	if !ok {
+		return nil, fmt.Errorf("experiments: INVx4 baseline ratio missing")
+	}
+
+	prior := make(map[string]float64, len(cells))
+	for _, cell := range cells {
+		sc := c.Cfg.Lib.Cell(cell)
+		prior[cell] = wire.PelgromPrior(sc.Stack, sc.Strength)
+	}
+
+	var obs []wire.Observation
+	samples := c.wireSamples()
+	treeSeeds := []uint64{11, 29}
+	for pi, pair := range c.calibrationScenarios() {
+		for _, ts := range treeSeeds {
+			sc, err := c.buildWireStage(pair[0], pair[1], ts, 20e-12)
+			if err != nil {
+				return nil, err
+			}
+			seed := c.Seed ^ stdcell.KeyFromString(fmt.Sprintf("wirecal%d_%d", pi, ts))
+			if err := c.measureWireScenario(sc, samples, seed); err != nil {
+				return nil, err
+			}
+			obs = append(obs, wire.Observation{Driver: sc.Driver, Load: sc.Load, XW: sc.XW})
+			c.wireObs = append(c.wireObs, sc)
+		}
+	}
+	cal, err := wire.Fit(obs, ratios, r4, wire.FitOptions{Prior: prior})
+	if err != nil {
+		return nil, err
+	}
+	c.logf("wire calibration fitted from %d scenarios in %v",
+		len(obs), time.Since(t0).Round(time.Millisecond))
+	c.wireCal = cal
+	return cal, nil
+}
+
+// TimingFileWithWire is a convenience: the coefficients file including the
+// wire calibration (BuildTimingFile already includes it; this accessor
+// exists for call sites that only need wire data).
+func (c *Context) TimingFileWithWire() (*timinglib.File, error) {
+	return c.BuildTimingFile()
+}

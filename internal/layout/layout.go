@@ -1,0 +1,225 @@
+// Package layout plays the role of the paper's place-and-route + extraction
+// flow (IC Compiler emitting SPEF): it assigns cells of a netlist to
+// positions on a row grid, estimates per-net wirelengths from the placement,
+// and synthesises an RC tree for every net from a 28-nm-class parasitic
+// table. Leaf nodes of each tree coincide with sink pins, and the sink pin
+// capacitance is attached there, so Elmore on the emitted tree is the full
+// net delay metric.
+//
+// The placement is intentionally simple (topological-order rows with
+// seeded jitter): what the timing experiments need from it is a realistic
+// *distribution* of wire lengths and fanouts, not a legal 28-nm layout.
+package layout
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/netlist"
+	"repro/internal/rctree"
+	"repro/internal/rng"
+	"repro/internal/stdcell"
+)
+
+// Parasitics is the per-unit-length RC table of the synthetic technology's
+// default routing layer, plus geometry constants for the toy placement.
+type Parasitics struct {
+	ROhmPerUm float64 // wire resistance per µm
+	CfFPerUm  float64 // wire capacitance per µm (farads per µm)
+
+	CellPitchUm float64 // placement grid pitch
+	MaxSegUm    float64 // max RC segment length before subdividing
+}
+
+// Default28nm returns interconnect constants representative of an
+// intermediate 28-nm metal layer.
+func Default28nm() *Parasitics {
+	return &Parasitics{
+		ROhmPerUm:   2.2,
+		CfFPerUm:    0.19e-15,
+		CellPitchUm: 1.4,
+		MaxSegUm:    25,
+	}
+}
+
+// Placement maps gate index → (x, y) in µm; primary inputs get synthetic
+// positions on the left edge.
+type Placement struct {
+	GateXY  map[int][2]float64
+	InputXY map[string][2]float64
+}
+
+// Place assigns positions: gates in topological order fill a near-square
+// grid row by row, with seeded jitter so net lengths vary like a real
+// placement (short nets dominate, a tail of long nets remains).
+func Place(nl *netlist.Netlist, par *Parasitics, seed uint64) (*Placement, error) {
+	order, err := nl.Levelize()
+	if err != nil {
+		return nil, err
+	}
+	r := rng.New(seed ^ 0x91ac)
+	side := int(math.Ceil(math.Sqrt(float64(len(order) + len(nl.Inputs)))))
+	if side < 2 {
+		side = 2
+	}
+	p := &Placement{
+		GateXY:  make(map[int][2]float64, len(order)),
+		InputXY: make(map[string][2]float64, len(nl.Inputs)),
+	}
+	pitch := par.CellPitchUm
+	for i, in := range nl.Inputs {
+		p.InputXY[in] = [2]float64{0, float64(i%side) * pitch}
+	}
+	for i, gi := range order {
+		x := float64(1+i/side) * pitch
+		y := float64(i%side) * pitch
+		// Jitter breaks the perfect grid correlation between topological
+		// distance and geometric distance.
+		x += (r.Float64() - 0.5) * pitch * 3
+		y += (r.Float64() - 0.5) * pitch * 3
+		p.GateXY[gi] = [2]float64{x, y}
+	}
+	return p, nil
+}
+
+// pinCapOf returns the input capacitance a sink presents.
+func pinCapOf(lib *stdcell.Library, nl *netlist.Netlist, s netlist.Sink) (float64, error) {
+	if s.Gate < 0 {
+		// Primary output: model a fixed pad/flop load.
+		return 0.8e-15, nil
+	}
+	g := &nl.Gates[s.Gate]
+	cell := lib.Cell(g.Cell)
+	if cell == nil {
+		return 0, fmt.Errorf("layout: gate %s uses unknown cell %q", g.Name, g.Cell)
+	}
+	return cell.PinCap(s.Pin), nil
+}
+
+// Extract synthesises one RC tree per net as a star of π-ladder routes: an
+// independent route leaves the driver towards each sink, subdivided into
+// π-sections of at most MaxSegUm, with length set by the placed Manhattan
+// distance. Sink pin capacitance is placed on the leaf named after the sink
+// ("pin:<gate>:<pin>" / "pin:PO<i>"), so tree leaves correspond 1:1 to
+// fanout pins.
+func Extract(nl *netlist.Netlist, lib *stdcell.Library, par *Parasitics, pl *Placement) (map[string]*rctree.Tree, error) {
+	fan := nl.FanoutMap()
+	drv := nl.DriverMap()
+	trees := make(map[string]*rctree.Tree, len(fan))
+	for net, sinks := range fan {
+		if len(sinks) == 0 {
+			continue
+		}
+		var src [2]float64
+		if gi, ok := drv[net]; ok {
+			src = pl.GateXY[gi]
+		} else if xy, ok := pl.InputXY[net]; ok {
+			src = xy
+		} else {
+			return nil, fmt.Errorf("layout: net %s has no placed driver", net)
+		}
+		t := rctree.NewTree(net, 0.05e-15) // small root (via/pin) cap
+		for si, s := range sinks {
+			var dst [2]float64
+			var leafName string
+			if s.Gate >= 0 {
+				dst = pl.GateXY[s.Gate]
+				leafName = fmt.Sprintf("pin:%s:%s", nl.Gates[s.Gate].Name, s.Pin)
+			} else {
+				dst = [2]float64{src[0] + 2*par.CellPitchUm, src[1]}
+				leafName = fmt.Sprintf("pin:PO%d", si)
+			}
+			lenUm := math.Abs(dst[0]-src[0]) + math.Abs(dst[1]-src[1])
+			if lenUm < 0.5 {
+				lenUm = 0.5 // minimum route to a neighbouring pin
+			}
+			pc, err := pinCapOf(lib, nl, s)
+			if err != nil {
+				return nil, err
+			}
+			attachRoute(t, 0, leafName, lenUm, pc, par)
+		}
+		trees[net] = t
+	}
+	return trees, nil
+}
+
+// attachRoute adds a π-ladder of total length lenUm from `from` to a new
+// leaf carrying cap pinCap.
+func attachRoute(t *rctree.Tree, from int, leafName string, lenUm, pinCap float64, par *Parasitics) {
+	nseg := int(math.Ceil(lenUm / par.MaxSegUm))
+	if nseg < 1 {
+		nseg = 1
+	}
+	segLen := lenUm / float64(nseg)
+	segR := par.ROhmPerUm * segLen
+	segC := par.CfFPerUm * segLen
+	cur := from
+	for i := 0; i < nseg; i++ {
+		name := fmt.Sprintf("%s.s%d", leafName, i)
+		c := segC
+		if i == nseg-1 {
+			name = leafName
+			c = segC/2 + pinCap
+		}
+		// π-model: half the segment cap at each end; the upstream half
+		// accumulates onto the parent.
+		t.Nodes[cur].C += segC / 2
+		if i == nseg-1 {
+			cur = t.AddNode(name, cur, segR, c)
+		} else {
+			cur = t.AddNode(name, cur, segR, segC/2)
+		}
+	}
+}
+
+// LeafFor returns the tree leaf index carrying the given sink's pin, using
+// the naming convention of Extract.
+func LeafFor(t *rctree.Tree, nl *netlist.Netlist, s netlist.Sink, sinkIdx int) (int, error) {
+	var name string
+	if s.Gate >= 0 {
+		name = fmt.Sprintf("pin:%s:%s", nl.Gates[s.Gate].Name, s.Pin)
+	} else {
+		name = fmt.Sprintf("pin:PO%d", sinkIdx)
+	}
+	idx := t.NodeIndex(name)
+	if idx < 0 {
+		return 0, fmt.Errorf("layout: tree %s has no leaf %q", t.Net, name)
+	}
+	return idx, nil
+}
+
+// RandomTree synthesises a standalone random RC tree (the paper's "five
+// examples of RC interconnect circuits... randomly chosen from the
+// parasitic files", §V-C): nSinks branches of random length off a random
+// trunk. Sink pin caps are NOT included; callers attach load cells.
+func RandomTree(name string, nSinks int, par *Parasitics, seed uint64) *rctree.Tree {
+	r := rng.New(seed ^ 0x7ee5)
+	t := rctree.NewTree(name, 0.05e-15)
+	trunkLen := 4 + r.Float64()*40 // µm
+	nTrunk := 2 + r.Intn(3)
+	cur := 0
+	for i := 0; i < nTrunk; i++ {
+		segLen := trunkLen / float64(nTrunk)
+		cur = t.AddNode(fmt.Sprintf("t%d", i), cur, par.ROhmPerUm*segLen, par.CfFPerUm*segLen)
+	}
+	trunk := make([]int, 0, len(t.Nodes))
+	for i := range t.Nodes {
+		trunk = append(trunk, i)
+	}
+	for s := 0; s < nSinks; s++ {
+		at := trunk[r.Intn(len(trunk))]
+		branchLen := 1 + r.Float64()*15
+		nb := 1 + r.Intn(2)
+		cur := at
+		for i := 0; i < nb; i++ {
+			segLen := branchLen / float64(nb)
+			nm := fmt.Sprintf("b%d_%d", s, i)
+			if i == nb-1 {
+				nm = fmt.Sprintf("sink%d", s)
+			}
+			cur = t.AddNode(nm, cur, par.ROhmPerUm*segLen, par.CfFPerUm*segLen)
+		}
+	}
+	return t
+}

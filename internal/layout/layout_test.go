@@ -1,0 +1,141 @@
+package layout
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"repro/internal/circuits"
+	"repro/internal/device"
+	"repro/internal/netlist"
+	"repro/internal/rctree"
+	"repro/internal/stdcell"
+)
+
+type design struct {
+	nl    *netlist.Netlist
+	trees map[string]*rctree.Tree
+}
+
+func testDesign(t *testing.T) (*stdcell.Library, *Parasitics, *Placement, design) {
+	t.Helper()
+	lib := stdcell.NewLibrary(device.Default28nm())
+	nl, err := circuits.Random("t", circuits.RandomOptions{Cells: 120, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	par := Default28nm()
+	pl, err := Place(nl, par, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trees, err := Extract(nl, lib, par, pl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return lib, par, pl, design{nl: nl, trees: trees}
+}
+
+func TestPlaceCoversEverything(t *testing.T) {
+	_, _, pl, d := testDesign(t)
+	for gi := range d.nl.Gates {
+		if _, ok := pl.GateXY[gi]; !ok {
+			t.Fatalf("gate %d unplaced", gi)
+		}
+	}
+	for _, in := range d.nl.Inputs {
+		if _, ok := pl.InputXY[in]; !ok {
+			t.Fatalf("input %s unplaced", in)
+		}
+	}
+}
+
+func TestExtractTreesStructurallySound(t *testing.T) {
+	lib, _, _, d := testDesign(t)
+	fan := d.nl.FanoutMap()
+	for net, sinks := range fan {
+		tree := d.trees[net]
+		if tree == nil {
+			t.Fatalf("net %s missing tree", net)
+		}
+		if err := tree.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		// Every sink must map to a distinct leaf carrying its pin cap.
+		for si, s := range sinks {
+			leaf, err := LeafFor(tree, d.nl, s, si)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var pinCap float64
+			if s.Gate >= 0 {
+				pinCap = lib.MustCell(d.nl.Gates[s.Gate].Cell).PinCap(s.Pin)
+			} else {
+				pinCap = 0.8e-15
+			}
+			if tree.Nodes[leaf].C < pinCap {
+				t.Fatalf("net %s leaf %d carries %v < pin cap %v", net, leaf, tree.Nodes[leaf].C, pinCap)
+			}
+			if e := tree.Elmore(leaf); e <= 0 {
+				t.Fatalf("net %s leaf %d: non-positive Elmore %v", net, leaf, e)
+			}
+		}
+	}
+}
+
+func TestExtractDeterministic(t *testing.T) {
+	_, _, _, a := testDesign(t)
+	_, _, _, b := testDesign(t)
+	if !reflect.DeepEqual(a.trees, b.trees) {
+		t.Fatal("extraction not deterministic")
+	}
+}
+
+func TestLeafForUnknown(t *testing.T) {
+	_, _, _, d := testDesign(t)
+	fan := d.nl.FanoutMap()
+	for net, sinks := range fan {
+		tree := d.trees[net]
+		if _, err := LeafFor(tree, d.nl, sinks[0], 9999); err == nil && sinks[0].Gate < 0 {
+			t.Fatalf("net %s: bogus PO sink index accepted", net)
+		}
+		break
+	}
+}
+
+func TestRandomTreeProperties(t *testing.T) {
+	par := Default28nm()
+	for seed := uint64(0); seed < 8; seed++ {
+		tr := RandomTree(fmt.Sprintf("t%d", seed), 3, par, seed)
+		if err := tr.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		for s := 0; s < 3; s++ {
+			leaf := tr.NodeIndex(fmt.Sprintf("sink%d", s))
+			if leaf < 0 {
+				t.Fatalf("seed %d: sink%d missing", seed, s)
+			}
+			if tr.Elmore(leaf) <= 0 {
+				t.Fatalf("seed %d: sink%d Elmore non-positive", seed, s)
+			}
+		}
+	}
+	a := RandomTree("x", 2, par, 42)
+	b := RandomTree("x", 2, par, 42)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("RandomTree not deterministic")
+	}
+}
+
+func TestParasiticScalesSane(t *testing.T) {
+	par := Default28nm()
+	// A 10 µm route should land in the tens-of-ohms / few-fF regime.
+	r := par.ROhmPerUm * 10
+	c := par.CfFPerUm * 10
+	if r < 5 || r > 200 {
+		t.Errorf("10um wire resistance %v out of 28nm-class band", r)
+	}
+	if c < 0.5e-15 || c > 10e-15 {
+		t.Errorf("10um wire capacitance %v out of 28nm-class band", c)
+	}
+}

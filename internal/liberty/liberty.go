@@ -1,0 +1,155 @@
+// Package liberty exports the characterised library as a Liberty (.lib)
+// document with LVF-style variation tables. The paper positions the
+// N-sigma model against the industry's Liberty Variation Format ("it
+// calculates delay variation by indexing the input slew and the output
+// load"); this exporter shows the characterisation artefacts of this
+// repository are exactly LVF-shaped: per-arc cell_rise/cell_fall delay
+// tables plus ocv_sigma tables on the same (slew, load) axes, with the
+// higher moments carried as ocv_skewness / ocv_kurtosis extensions.
+//
+// The emitted subset is structural Liberty: enough for a reader to index
+// and interpolate, not a drop-in for commercial signoff (no power, no
+// constraint arcs).
+package liberty
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"repro/internal/nsigma"
+	"repro/internal/timinglib"
+	"repro/internal/waveform"
+)
+
+// Export writes the coefficients file as a Liberty document.
+func Export(w io.Writer, libName string, f *timinglib.File) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "library (%s) {\n", libName)
+	fmt.Fprintf(bw, "  delay_model : table_lookup;\n")
+	fmt.Fprintf(bw, "  time_unit : \"1ps\";\n")
+	fmt.Fprintf(bw, "  capacitive_load_unit (1, ff);\n")
+	fmt.Fprintf(bw, "  voltage_unit : \"1V\";\n")
+	fmt.Fprintf(bw, "  nom_voltage : %.3g;\n", f.Vdd)
+	fmt.Fprintf(bw, "  slew_derate_from_library : 1.0;\n")
+	fmt.Fprintf(bw, "  default_max_transition : 600;\n\n")
+
+	// Template declarations: one per distinct axis pair.
+	type axes struct{ slews, loads string }
+	templates := map[axes]string{}
+	tmplOrder := []string{}
+	tmplFor := func(lut *nsigma.MomentLUT) string {
+		a := axes{joinPS(lut.Slews, 1e12), joinPS(lut.Loads, 1e15)}
+		if name, ok := templates[a]; ok {
+			return name
+		}
+		name := fmt.Sprintf("tmpl_%d", len(templates)+1)
+		templates[a] = name
+		tmplOrder = append(tmplOrder, name)
+		fmt.Fprintf(bw, "  lu_table_template (%s) {\n", name)
+		fmt.Fprintf(bw, "    variable_1 : input_net_transition;\n")
+		fmt.Fprintf(bw, "    variable_2 : total_output_net_capacitance;\n")
+		fmt.Fprintf(bw, "    index_1 (\"%s\");\n", a.slews)
+		fmt.Fprintf(bw, "    index_2 (\"%s\");\n", a.loads)
+		fmt.Fprintf(bw, "  }\n")
+		return name
+	}
+
+	// Pre-declare templates in a deterministic pass.
+	cellNames := make([]string, 0, len(f.Cells))
+	for name := range f.Cells {
+		cellNames = append(cellNames, name)
+	}
+	sort.Strings(cellNames)
+	for _, cellName := range cellNames {
+		info := f.Cells[cellName]
+		for _, pin := range info.Inputs {
+			for _, e := range []waveform.Edge{waveform.Rising, waveform.Falling} {
+				if m, err := f.Arc(cellName, pin, e); err == nil {
+					tmplFor(&m.LUT)
+				}
+			}
+		}
+	}
+	fmt.Fprintln(bw)
+
+	for _, cellName := range cellNames {
+		info := f.Cells[cellName]
+		fmt.Fprintf(bw, "  cell (%s) {\n", cellName)
+		for _, pin := range info.Inputs {
+			fmt.Fprintf(bw, "    pin (%s) {\n", pin)
+			fmt.Fprintf(bw, "      direction : input;\n")
+			fmt.Fprintf(bw, "      capacitance : %.6g;\n", info.PinCaps[pin]*1e15)
+			fmt.Fprintf(bw, "    }\n")
+		}
+		fmt.Fprintf(bw, "    pin (Y) {\n")
+		fmt.Fprintf(bw, "      direction : output;\n")
+		for _, pin := range info.Inputs {
+			// Timing groups per related input pin. All library cells
+			// invert, so a rising input produces cell_fall and vice versa.
+			rise, errR := f.Arc(cellName, pin, waveform.Falling) // output rise
+			fall, errF := f.Arc(cellName, pin, waveform.Rising)  // output fall
+			if errR != nil && errF != nil {
+				continue
+			}
+			fmt.Fprintf(bw, "      timing () {\n")
+			fmt.Fprintf(bw, "        related_pin : \"%s\";\n", pin)
+			fmt.Fprintf(bw, "        timing_sense : negative_unate;\n")
+			if errR == nil {
+				writeTables(bw, "cell_rise", "rise_transition", tmplFor(&rise.LUT), &rise.LUT)
+				writeOCV(bw, "rise", tmplFor(&rise.LUT), &rise.LUT)
+			}
+			if errF == nil {
+				writeTables(bw, "cell_fall", "fall_transition", tmplFor(&fall.LUT), &fall.LUT)
+				writeOCV(bw, "fall", tmplFor(&fall.LUT), &fall.LUT)
+			}
+			fmt.Fprintf(bw, "      }\n")
+		}
+		fmt.Fprintf(bw, "    }\n")
+		fmt.Fprintf(bw, "  }\n\n")
+	}
+	fmt.Fprintf(bw, "}\n")
+	return bw.Flush()
+}
+
+// writeTables emits the delay (µ) and transition tables of one arc.
+func writeTables(w io.Writer, delayGroup, slewGroup, tmpl string, lut *nsigma.MomentLUT) {
+	writeTable(w, delayGroup, tmpl, lut.Slews, lut.Mu, 1e12)
+	writeTable(w, slewGroup, tmpl, lut.Slews, lut.OutSlew, 1e12)
+}
+
+// writeOCV emits the LVF-style variation tables: the σ table plus the
+// higher-moment extensions the N-sigma model adds.
+func writeOCV(w io.Writer, edge, tmpl string, lut *nsigma.MomentLUT) {
+	writeTable(w, fmt.Sprintf("ocv_sigma_cell_%s", edge), tmpl, lut.Slews, lut.Sigma, 1e12)
+	writeTable(w, fmt.Sprintf("ocv_skewness_cell_%s", edge), tmpl, lut.Slews, lut.Gamma, 1)
+	writeTable(w, fmt.Sprintf("ocv_kurtosis_cell_%s", edge), tmpl, lut.Slews, lut.Kappa, 1)
+}
+
+func writeTable(w io.Writer, group, tmpl string, slews []float64, plane [][]float64, scale float64) {
+	fmt.Fprintf(w, "        %s (%s) {\n", group, tmpl)
+	fmt.Fprintf(w, "          values ( \\\n")
+	for i := range slews {
+		row := make([]string, len(plane[i]))
+		for j, v := range plane[i] {
+			row[j] = fmt.Sprintf("%.6g", v*scale)
+		}
+		sep := ", \\"
+		if i == len(slews)-1 {
+			sep = " \\"
+		}
+		fmt.Fprintf(w, "            \"%s\"%s\n", strings.Join(row, ", "), sep)
+	}
+	fmt.Fprintf(w, "          );\n")
+	fmt.Fprintf(w, "        }\n")
+}
+
+func joinPS(vals []float64, scale float64) string {
+	out := make([]string, len(vals))
+	for i, v := range vals {
+		out[i] = fmt.Sprintf("%.6g", v*scale)
+	}
+	return strings.Join(out, ", ")
+}

@@ -1,0 +1,116 @@
+package liberty
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/charlib"
+	"repro/internal/device"
+	"repro/internal/nsigma"
+	"repro/internal/stdcell"
+	"repro/internal/timinglib"
+	"repro/internal/waveform"
+)
+
+func sampleFile() *timinglib.File {
+	lib := stdcell.NewLibrary(device.Default28nm())
+	f := timinglib.New(lib)
+	mk := func(cell, pin string, e waveform.Edge, base float64) *nsigma.ArcModel {
+		var quant nsigma.QuantileModel
+		for i := range quant.Coeffs {
+			quant.Coeffs[i] = make([]float64, len(nsigma.FeatureNames(i-3)))
+		}
+		return &nsigma.ArcModel{
+			Arc: charlib.Arc{Cell: cell, Pin: pin, InEdge: e},
+			LUT: nsigma.MomentLUT{
+				Slews:   []float64{10e-12, 100e-12},
+				Loads:   []float64{0.4e-15, 2e-15},
+				Mu:      [][]float64{{base, 2 * base}, {1.5 * base, 3 * base}},
+				Sigma:   [][]float64{{base / 10, base / 5}, {base / 10, base / 5}},
+				Gamma:   [][]float64{{1, 1.2}, {0.9, 1.1}},
+				Kappa:   [][]float64{{4, 5}, {4, 5}},
+				OutSlew: [][]float64{{2 * base, 3 * base}, {2 * base, 3 * base}},
+			},
+			Quant: quant,
+		}
+	}
+	f.AddArc(mk("INVx1", "A", waveform.Rising, 10e-12))
+	f.AddArc(mk("INVx1", "A", waveform.Falling, 12e-12))
+	f.AddArc(mk("NAND2x2", "B", waveform.Rising, 15e-12))
+	return f
+}
+
+func TestExportStructure(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Export(&buf, "nsigma28", sampleFile()); err != nil {
+		t.Fatal(err)
+	}
+	doc := buf.String()
+
+	for _, want := range []string{
+		"library (nsigma28) {",
+		"delay_model : table_lookup;",
+		"lu_table_template (tmpl_1)",
+		"index_1 (\"10, 100\");",
+		"index_2 (\"0.4, 2\");",
+		"cell (INVx1) {",
+		"pin (A) {",
+		"pin (Y) {",
+		"related_pin : \"A\";",
+		"timing_sense : negative_unate;",
+		"cell_rise (tmpl_1)",
+		"cell_fall (tmpl_1)",
+		"ocv_sigma_cell_rise",
+		"ocv_skewness_cell_fall",
+		"ocv_kurtosis_cell_rise",
+		"cell (NAND2x2) {",
+		"related_pin : \"B\";",
+	} {
+		if !strings.Contains(doc, want) {
+			t.Errorf("Liberty output missing %q", want)
+		}
+	}
+	// Balanced braces.
+	if strings.Count(doc, "{") != strings.Count(doc, "}") {
+		t.Fatalf("unbalanced braces: %d vs %d", strings.Count(doc, "{"), strings.Count(doc, "}"))
+	}
+}
+
+func TestExportValues(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Export(&buf, "x", sampleFile()); err != nil {
+		t.Fatal(err)
+	}
+	doc := buf.String()
+	// The INVx1 rise-output arc (falling input) has base 12 ps at the
+	// reference corner; Liberty units are ps.
+	if !strings.Contains(doc, "\"12, 24\"") {
+		t.Error("cell_rise values not in ps or misplaced")
+	}
+	// Pin capacitance in fF.
+	if !strings.Contains(doc, "capacitance :") {
+		t.Error("pin capacitance missing")
+	}
+	// Every cell of the library must appear even without arcs (structural
+	// completeness).
+	for _, cell := range []string{"NOR2x8", "AOI2x4"} {
+		if !strings.Contains(doc, "cell ("+cell+")") {
+			t.Errorf("cell %s missing from export", cell)
+		}
+	}
+}
+
+func TestExportDeterministic(t *testing.T) {
+	var a, b bytes.Buffer
+	f := sampleFile()
+	if err := Export(&a, "x", f); err != nil {
+		t.Fatal(err)
+	}
+	if err := Export(&b, "x", f); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Fatal("export not deterministic")
+	}
+}

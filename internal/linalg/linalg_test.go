@@ -1,0 +1,232 @@
+package linalg
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+)
+
+func TestMatrixBasics(t *testing.T) {
+	m := NewMatrix(2, 3)
+	m.Set(0, 0, 1)
+	m.Set(1, 2, 5)
+	m.Add(1, 2, 2)
+	if m.At(0, 0) != 1 || m.At(1, 2) != 7 {
+		t.Fatalf("set/add/at broken: %v", m)
+	}
+	c := m.Clone()
+	c.Set(0, 0, 9)
+	if m.At(0, 0) != 1 {
+		t.Fatal("Clone aliases the original")
+	}
+	m.Zero()
+	if m.MaxAbs() != 0 {
+		t.Fatal("Zero left residue")
+	}
+}
+
+func TestFromRowsPanicsOnRagged(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("ragged rows did not panic")
+		}
+	}()
+	FromRows([][]float64{{1, 2}, {3}})
+}
+
+func TestMulVec(t *testing.T) {
+	m := FromRows([][]float64{{1, 2}, {3, 4}})
+	y := m.MulVec([]float64{5, 6})
+	if y[0] != 17 || y[1] != 39 {
+		t.Fatalf("MulVec wrong: %v", y)
+	}
+}
+
+func TestTransposeMul(t *testing.T) {
+	a := FromRows([][]float64{{1, 2, 3}, {4, 5, 6}})
+	at := a.Transpose()
+	if at.Rows != 3 || at.Cols != 2 || at.At(2, 1) != 6 {
+		t.Fatalf("transpose wrong: %v", at)
+	}
+	p := a.Mul(at) // 2x2
+	if p.At(0, 0) != 14 || p.At(1, 1) != 77 || p.At(0, 1) != 32 {
+		t.Fatalf("Mul wrong: %v", p)
+	}
+}
+
+func TestLUSolveKnown(t *testing.T) {
+	a := FromRows([][]float64{
+		{2, 1, -1},
+		{-3, -1, 2},
+		{-2, 1, 2},
+	})
+	x, err := SolveSystem(a, []float64{8, -11, -3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{2, 3, -1}
+	for i := range want {
+		if math.Abs(x[i]-want[i]) > 1e-12 {
+			t.Fatalf("solution %v, want %v", x, want)
+		}
+	}
+}
+
+func TestLUSingular(t *testing.T) {
+	a := FromRows([][]float64{{1, 2}, {2, 4}})
+	if _, err := SolveSystem(a, []float64{1, 2}); err == nil {
+		t.Fatal("singular matrix not detected")
+	}
+}
+
+func TestLURandomRoundTrip(t *testing.T) {
+	r := rng.New(5)
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + r.Intn(12)
+		a := NewMatrix(n, n)
+		for i := range a.Data {
+			a.Data[i] = r.NormFloat64()
+		}
+		// Diagonal dominance keeps the random systems well conditioned.
+		for i := 0; i < n; i++ {
+			a.Add(i, i, 5)
+		}
+		want := make([]float64, n)
+		for i := range want {
+			want[i] = r.NormFloat64()
+		}
+		b := a.MulVec(want)
+		got, err := SolveSystem(a, b)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		for i := range want {
+			if math.Abs(got[i]-want[i]) > 1e-9 {
+				t.Fatalf("trial %d: x[%d]=%v want %v", trial, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestLUFactorReuse(t *testing.T) {
+	a := FromRows([][]float64{{4, 1}, {1, 3}})
+	f := NewLU(2)
+	if err := f.Factor(a); err != nil {
+		t.Fatal(err)
+	}
+	x := make([]float64, 2)
+	f.Solve([]float64{1, 2}, x)
+	// Refactor a different matrix with the same workspace.
+	b := FromRows([][]float64{{10, 0}, {0, 10}})
+	if err := f.Factor(b); err != nil {
+		t.Fatal(err)
+	}
+	f.Solve([]float64{5, -5}, x)
+	if math.Abs(x[0]-0.5) > 1e-12 || math.Abs(x[1]+0.5) > 1e-12 {
+		t.Fatalf("reused workspace solve wrong: %v", x)
+	}
+}
+
+func TestLeastSquaresExact(t *testing.T) {
+	// Square, consistent system: LS must reproduce the exact solution.
+	a := FromRows([][]float64{{1, 0}, {0, 2}, {1, 1}})
+	want := []float64{3, -1}
+	b := a.MulVec(want)
+	x, err := LeastSquares(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if math.Abs(x[i]-want[i]) > 1e-10 {
+			t.Fatalf("x=%v want %v", x, want)
+		}
+	}
+}
+
+func TestLeastSquaresResidualOrthogonality(t *testing.T) {
+	// The LS residual must be orthogonal to the column space.
+	r := rng.New(6)
+	a := NewMatrix(20, 4)
+	for i := range a.Data {
+		a.Data[i] = r.NormFloat64()
+	}
+	b := make([]float64, 20)
+	for i := range b {
+		b[i] = r.NormFloat64()
+	}
+	x, err := LeastSquares(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := a.MulVec(x)
+	for i := range res {
+		res[i] = b[i] - res[i]
+	}
+	at := a.Transpose()
+	proj := at.MulVec(res)
+	for j, v := range proj {
+		if math.Abs(v) > 1e-8 {
+			t.Fatalf("residual not orthogonal to column %d: %v", j, v)
+		}
+	}
+}
+
+func TestLeastSquaresUnderdetermined(t *testing.T) {
+	a := NewMatrix(2, 3)
+	if _, err := LeastSquares(a, []float64{1, 2}); err == nil {
+		t.Fatal("underdetermined system not rejected")
+	}
+}
+
+func TestLeastSquaresRankDeficient(t *testing.T) {
+	a := FromRows([][]float64{{1, 1}, {2, 2}, {3, 3}})
+	if _, err := LeastSquares(a, []float64{1, 2, 3}); err == nil {
+		t.Fatal("rank-deficient system not rejected")
+	}
+}
+
+func TestPolyFitRecoversPolynomial(t *testing.T) {
+	coeffs := []float64{2, -1, 0.5} // 2 - x + 0.5x²
+	var xs, ys []float64
+	for x := -3.0; x <= 3; x += 0.5 {
+		xs = append(xs, x)
+		ys = append(ys, PolyEval(coeffs, x))
+	}
+	got, err := PolyFit(xs, ys, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range coeffs {
+		if math.Abs(got[i]-coeffs[i]) > 1e-9 {
+			t.Fatalf("coeffs %v want %v", got, coeffs)
+		}
+	}
+}
+
+func TestPolyFitErrors(t *testing.T) {
+	if _, err := PolyFit([]float64{1}, []float64{1, 2}, 1); err == nil {
+		t.Fatal("length mismatch not rejected")
+	}
+	if _, err := PolyFit([]float64{1, 2}, []float64{1, 2}, 3); err == nil {
+		t.Fatal("too few points not rejected")
+	}
+}
+
+func TestPolyEvalProperty(t *testing.T) {
+	// Horner evaluation must agree with the naive power sum.
+	err := quick.Check(func(c0, c1, c2, xRaw float64) bool {
+		x := math.Mod(xRaw, 10)
+		if math.IsNaN(x) {
+			return true
+		}
+		c := []float64{c0 / 100, c1 / 100, c2 / 100}
+		naive := c[0] + c[1]*x + c[2]*x*x
+		horner := PolyEval(c, x)
+		return math.Abs(naive-horner) <= 1e-9*(math.Abs(naive)+1)
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,141 @@
+package linalg
+
+import (
+	"errors"
+	"math"
+)
+
+// LeastSquares solves min ‖A·x − b‖₂ for x via Householder QR with column
+// norms checked for rank deficiency. A must have Rows ≥ Cols.
+//
+// Model fitting in this repository (Table-I quantile coefficients, the
+// moment-calibration interpolation vectors P/Q/R/K, wire X coefficients)
+// always reduces to small overdetermined systems, so a dense QR is both
+// simple and numerically adequate.
+func LeastSquares(a *Matrix, b []float64) ([]float64, error) {
+	m, n := a.Rows, a.Cols
+	if len(b) != m {
+		return nil, errors.New("linalg: least-squares dimension mismatch")
+	}
+	if m < n {
+		return nil, errors.New("linalg: underdetermined least-squares system")
+	}
+	// Work on copies; Householder QR factorises R in place. Columns are
+	// equilibrated to unit norm first — regression features in this
+	// repository span many orders of magnitude (seconds next to
+	// dimensionless moments), and without scaling the rank test would
+	// misclassify small-but-independent columns.
+	r := a.Clone()
+	rhs := make([]float64, m)
+	copy(rhs, b)
+
+	colScale := make([]float64, n)
+	for j := 0; j < n; j++ {
+		var norm float64
+		for i := 0; i < m; i++ {
+			norm = math.Hypot(norm, r.At(i, j))
+		}
+		if norm == 0 {
+			return nil, ErrSingular
+		}
+		colScale[j] = norm
+		for i := 0; i < m; i++ {
+			r.Set(i, j, r.At(i, j)/norm)
+		}
+	}
+
+	// Rank-deficiency threshold: after equilibration every column has unit
+	// norm, so a column whose remaining norm collapses below tol after
+	// earlier reflectors is numerically dependent.
+	const tol = 1e-10
+
+	for k := 0; k < n; k++ {
+		// Householder vector for column k.
+		var norm float64
+		for i := k; i < m; i++ {
+			norm = math.Hypot(norm, r.At(i, k))
+		}
+		if norm <= tol {
+			return nil, ErrSingular
+		}
+		if r.At(k, k) > 0 {
+			norm = -norm
+		}
+		for i := k; i < m; i++ {
+			r.Set(i, k, r.At(i, k)/norm)
+		}
+		r.Set(k, k, r.At(k, k)+1)
+
+		// Apply the reflector to the remaining columns.
+		for j := k + 1; j < n; j++ {
+			var s float64
+			for i := k; i < m; i++ {
+				s += r.At(i, k) * r.At(i, j)
+			}
+			s = -s / r.At(k, k)
+			for i := k; i < m; i++ {
+				r.Add(i, j, s*r.At(i, k))
+			}
+		}
+		// Apply the reflector to the right-hand side.
+		var s float64
+		for i := k; i < m; i++ {
+			s += r.At(i, k) * rhs[i]
+		}
+		s = -s / r.At(k, k)
+		for i := k; i < m; i++ {
+			rhs[i] += s * r.At(i, k)
+		}
+		// Store the diagonal of R (negated norm) in place of the v head.
+		r.Set(k, k, norm)
+	}
+
+	// Back-substitute R·x = Qᵀb. The stored diagonal is -‖·‖ with the sign
+	// folded in; R's true diagonal is -r[k][k].
+	x := make([]float64, n)
+	for i := n - 1; i >= 0; i-- {
+		s := rhs[i]
+		for j := i + 1; j < n; j++ {
+			s -= r.At(i, j) * x[j]
+		}
+		d := -r.At(i, i)
+		if d == 0 || math.IsNaN(d) {
+			return nil, ErrSingular
+		}
+		x[i] = s / d
+	}
+	// Undo the column equilibration.
+	for i := range x {
+		x[i] /= colScale[i]
+	}
+	return x, nil
+}
+
+// PolyFit fits a polynomial of the given degree to (xs, ys) by least squares
+// and returns coefficients lowest-order first.
+func PolyFit(xs, ys []float64, degree int) ([]float64, error) {
+	if len(xs) != len(ys) {
+		return nil, errors.New("linalg: PolyFit length mismatch")
+	}
+	if len(xs) < degree+1 {
+		return nil, errors.New("linalg: PolyFit needs at least degree+1 points")
+	}
+	a := NewMatrix(len(xs), degree+1)
+	for i, x := range xs {
+		p := 1.0
+		for j := 0; j <= degree; j++ {
+			a.Set(i, j, p)
+			p *= x
+		}
+	}
+	return LeastSquares(a, ys)
+}
+
+// PolyEval evaluates a polynomial with coefficients lowest-order first.
+func PolyEval(coeffs []float64, x float64) float64 {
+	var y float64
+	for i := len(coeffs) - 1; i >= 0; i-- {
+		y = y*x + coeffs[i]
+	}
+	return y
+}

@@ -1,0 +1,116 @@
+package linalg
+
+import (
+	"errors"
+	"math"
+)
+
+// ErrSingular is returned when a factorisation meets a (numerically)
+// singular matrix.
+var ErrSingular = errors.New("linalg: singular matrix")
+
+// LU holds an in-place LU factorisation with partial pivoting (Doolittle,
+// PA = LU). It is designed for repeated factor/solve cycles on a matrix of
+// fixed size, as in Newton iterations: Factor reuses the backing storage.
+type LU struct {
+	n    int
+	lu   []float64 // packed L (unit diagonal, below) and U (on/above)
+	piv  []int
+	work []float64
+}
+
+// NewLU allocates an LU workspace for n×n systems.
+func NewLU(n int) *LU {
+	return &LU{n: n, lu: make([]float64, n*n), piv: make([]int, n), work: make([]float64, n)}
+}
+
+// Factor computes the factorisation of a (which must be n×n). The contents
+// of a are copied; a is left untouched.
+func (f *LU) Factor(a *Matrix) error {
+	n := f.n
+	if a.Rows != n || a.Cols != n {
+		return errors.New("linalg: LU dimension mismatch")
+	}
+	copy(f.lu, a.Data)
+	lu := f.lu
+	for i := range f.piv {
+		f.piv[i] = i
+	}
+	for k := 0; k < n; k++ {
+		// Partial pivot: largest |entry| in column k at or below the diagonal.
+		p := k
+		mx := math.Abs(lu[k*n+k])
+		for i := k + 1; i < n; i++ {
+			if v := math.Abs(lu[i*n+k]); v > mx {
+				mx, p = v, i
+			}
+		}
+		if mx == 0 || math.IsNaN(mx) {
+			return ErrSingular
+		}
+		if p != k {
+			rk, rp := lu[k*n:(k+1)*n], lu[p*n:(p+1)*n]
+			for j := range rk {
+				rk[j], rp[j] = rp[j], rk[j]
+			}
+			f.piv[k], f.piv[p] = f.piv[p], f.piv[k]
+		}
+		pivVal := lu[k*n+k]
+		for i := k + 1; i < n; i++ {
+			m := lu[i*n+k] / pivVal
+			lu[i*n+k] = m
+			if m == 0 {
+				continue
+			}
+			ri, rk := lu[i*n:(i+1)*n], lu[k*n:(k+1)*n]
+			for j := k + 1; j < n; j++ {
+				ri[j] -= m * rk[j]
+			}
+		}
+	}
+	return nil
+}
+
+// Solve overwrites x with the solution of A·x = b using the current
+// factorisation. b and x may alias.
+func (f *LU) Solve(b, x []float64) {
+	n := f.n
+	if len(b) != n || len(x) != n {
+		panic("linalg: LU solve dimension mismatch")
+	}
+	// Apply permutation into the workspace.
+	for i := 0; i < n; i++ {
+		f.work[i] = b[f.piv[i]]
+	}
+	lu := f.lu
+	// Forward substitution with unit-diagonal L.
+	for i := 1; i < n; i++ {
+		s := f.work[i]
+		row := lu[i*n : i*n+i]
+		for j, v := range row {
+			s -= v * f.work[j]
+		}
+		f.work[i] = s
+	}
+	// Back substitution with U.
+	for i := n - 1; i >= 0; i-- {
+		s := f.work[i]
+		row := lu[i*n : (i+1)*n]
+		for j := i + 1; j < n; j++ {
+			s -= row[j] * f.work[j]
+		}
+		f.work[i] = s / row[i]
+	}
+	copy(x, f.work[:n])
+}
+
+// SolveSystem is a convenience one-shot solve of A·x = b.
+func SolveSystem(a *Matrix, b []float64) ([]float64, error) {
+	f := NewLU(a.Rows)
+	if err := f.Factor(a); err != nil {
+		return nil, err
+	}
+	x := make([]float64, len(b))
+	f.Solve(b, x)
+	return x, nil
+}

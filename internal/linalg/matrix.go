@@ -1,0 +1,137 @@
+// Package linalg provides the small dense linear-algebra kernel used by the
+// circuit simulator (LU-factorised nodal solves) and the model-fitting code
+// (QR least squares). Circuit matrices in this project are tiny (tens of
+// nodes), so a cache-friendly dense representation beats any sparse scheme.
+package linalg
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Matrix is a dense row-major matrix.
+type Matrix struct {
+	Rows, Cols int
+	Data       []float64 // len Rows*Cols, row-major
+}
+
+// NewMatrix returns a zero matrix of the given shape.
+func NewMatrix(rows, cols int) *Matrix {
+	if rows < 0 || cols < 0 {
+		panic("linalg: negative matrix dimension")
+	}
+	return &Matrix{Rows: rows, Cols: cols, Data: make([]float64, rows*cols)}
+}
+
+// FromRows builds a matrix from row slices. All rows must share a length.
+func FromRows(rows [][]float64) *Matrix {
+	if len(rows) == 0 {
+		return NewMatrix(0, 0)
+	}
+	m := NewMatrix(len(rows), len(rows[0]))
+	for i, r := range rows {
+		if len(r) != m.Cols {
+			panic("linalg: ragged rows")
+		}
+		copy(m.Data[i*m.Cols:(i+1)*m.Cols], r)
+	}
+	return m
+}
+
+// At returns element (i, j).
+func (m *Matrix) At(i, j int) float64 { return m.Data[i*m.Cols+j] }
+
+// Set assigns element (i, j).
+func (m *Matrix) Set(i, j int, v float64) { m.Data[i*m.Cols+j] = v }
+
+// Add accumulates v into element (i, j). This is the hot path when stamping
+// MNA matrices.
+func (m *Matrix) Add(i, j int, v float64) { m.Data[i*m.Cols+j] += v }
+
+// Zero resets all elements to 0 without reallocating.
+func (m *Matrix) Zero() {
+	for i := range m.Data {
+		m.Data[i] = 0
+	}
+}
+
+// Clone returns a deep copy.
+func (m *Matrix) Clone() *Matrix {
+	out := NewMatrix(m.Rows, m.Cols)
+	copy(out.Data, m.Data)
+	return out
+}
+
+// MulVec computes y = m·x.
+func (m *Matrix) MulVec(x []float64) []float64 {
+	if len(x) != m.Cols {
+		panic("linalg: MulVec dimension mismatch")
+	}
+	y := make([]float64, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		row := m.Data[i*m.Cols : (i+1)*m.Cols]
+		var s float64
+		for j, v := range row {
+			s += v * x[j]
+		}
+		y[i] = s
+	}
+	return y
+}
+
+// Transpose returns mᵀ.
+func (m *Matrix) Transpose() *Matrix {
+	t := NewMatrix(m.Cols, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		for j := 0; j < m.Cols; j++ {
+			t.Set(j, i, m.At(i, j))
+		}
+	}
+	return t
+}
+
+// Mul returns m·b.
+func (m *Matrix) Mul(b *Matrix) *Matrix {
+	if m.Cols != b.Rows {
+		panic("linalg: Mul dimension mismatch")
+	}
+	out := NewMatrix(m.Rows, b.Cols)
+	for i := 0; i < m.Rows; i++ {
+		for k := 0; k < m.Cols; k++ {
+			a := m.At(i, k)
+			if a == 0 {
+				continue
+			}
+			brow := b.Data[k*b.Cols : (k+1)*b.Cols]
+			orow := out.Data[i*out.Cols : (i+1)*out.Cols]
+			for j, v := range brow {
+				orow[j] += a * v
+			}
+		}
+	}
+	return out
+}
+
+// String renders the matrix for debugging.
+func (m *Matrix) String() string {
+	var sb strings.Builder
+	for i := 0; i < m.Rows; i++ {
+		for j := 0; j < m.Cols; j++ {
+			fmt.Fprintf(&sb, "% .6g\t", m.At(i, j))
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// MaxAbs returns the largest absolute element (0 for an empty matrix).
+func (m *Matrix) MaxAbs() float64 {
+	var mx float64
+	for _, v := range m.Data {
+		if a := math.Abs(v); a > mx {
+			mx = a
+		}
+	}
+	return mx
+}

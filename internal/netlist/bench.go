@@ -1,0 +1,253 @@
+package netlist
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// This file reads the ISCAS85 .bench netlist format:
+//
+//	INPUT(G1)
+//	OUTPUT(G17)
+//	G10 = NAND(G1, G3)
+//	G11 = NOT(G10)
+//
+// and technology-maps it onto the stdcell library. The library is
+// inverting-only (INV/NAND2/NOR2/AOI2), so non-inverting and wide gates are
+// decomposed:
+//
+//	BUF      → INV·INV
+//	AND(a,b) → INV(NAND2(a,b))
+//	OR(a,b)  → INV(NOR2(a,b))
+//	XOR(a,b) → NAND2(NAND2(a,m), NAND2(b,m)), m = NAND2(a,b)
+//	XNOR     → XOR → INV
+//	k-input  → balanced tree of 2-input gates
+//
+// Mapped gates default to the given drive strength.
+
+// BenchOptions controls .bench technology mapping.
+type BenchOptions struct {
+	// Strength selects the drive strength of mapped cells (default 2).
+	Strength int
+}
+
+// ParseBench reads a .bench document and returns the mapped netlist.
+func ParseBench(r io.Reader, name string, opt *BenchOptions) (*Netlist, error) {
+	strength := 2
+	if opt != nil && opt.Strength > 0 {
+		strength = opt.Strength
+	}
+	nl := &Netlist{Name: name}
+	m := &mapper{nl: nl, strength: strength}
+
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 64*1024*1024)
+	lineNum := 0
+	for sc.Scan() {
+		lineNum++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		switch {
+		case strings.HasPrefix(strings.ToUpper(line), "INPUT("):
+			netName, err := insideParens(line)
+			if err != nil {
+				return nil, fmt.Errorf("bench line %d: %w", lineNum, err)
+			}
+			nl.Inputs = append(nl.Inputs, netName)
+		case strings.HasPrefix(strings.ToUpper(line), "OUTPUT("):
+			netName, err := insideParens(line)
+			if err != nil {
+				return nil, fmt.Errorf("bench line %d: %w", lineNum, err)
+			}
+			nl.Outputs = append(nl.Outputs, netName)
+		default:
+			if err := m.mapAssignment(line, lineNum); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if err := nl.Validate(); err != nil {
+		return nil, err
+	}
+	return nl, nil
+}
+
+func insideParens(line string) (string, error) {
+	open := strings.IndexByte(line, '(')
+	closeIdx := strings.LastIndexByte(line, ')')
+	if open < 0 || closeIdx <= open {
+		return "", fmt.Errorf("malformed declaration %q", line)
+	}
+	return strings.TrimSpace(line[open+1 : closeIdx]), nil
+}
+
+type mapper struct {
+	nl       *Netlist
+	strength int
+	auto     int
+}
+
+func (m *mapper) freshNet() string {
+	m.auto++
+	return fmt.Sprintf("_map%d", m.auto)
+}
+
+func (m *mapper) addGate(kind string, out string, ins ...string) {
+	cell := fmt.Sprintf("%sx%d", kind, m.strength)
+	pins := map[string]string{"Y": out}
+	pinNames := []string{"A", "B", "C"}
+	for i, in := range ins {
+		pins[pinNames[i]] = in
+	}
+	m.nl.Gates = append(m.nl.Gates, Gate{
+		Name: fmt.Sprintf("U%d", len(m.nl.Gates)+1),
+		Cell: cell,
+		Pins: pins,
+	})
+}
+
+// inv emits an inverter driving a fresh (or given) net and returns the net.
+func (m *mapper) inv(in, out string) string {
+	if out == "" {
+		out = m.freshNet()
+	}
+	m.addGate("INV", out, in)
+	return out
+}
+
+// nand2 emits NAND2 and returns the output net.
+func (m *mapper) nand2(a, b, out string) string {
+	if out == "" {
+		out = m.freshNet()
+	}
+	m.addGate("NAND2", out, a, b)
+	return out
+}
+
+func (m *mapper) nor2(a, b, out string) string {
+	if out == "" {
+		out = m.freshNet()
+	}
+	m.addGate("NOR2", out, a, b)
+	return out
+}
+
+// reduceTree folds a k-ary associative op into a balanced 2-input tree,
+// where pair(a,b,out) emits one 2-input stage. The final stage drives out.
+func (m *mapper) reduceTree(ins []string, out string, pair func(a, b, out string) string) string {
+	if len(ins) == 1 {
+		// Degenerate: single input; callers handle separately.
+		return ins[0]
+	}
+	for len(ins) > 2 {
+		var next []string
+		for i := 0; i+1 < len(ins); i += 2 {
+			next = append(next, pair(ins[i], ins[i+1], ""))
+		}
+		if len(ins)%2 == 1 {
+			next = append(next, ins[len(ins)-1])
+		}
+		ins = next
+	}
+	return pair(ins[0], ins[1], out)
+}
+
+func (m *mapper) mapAssignment(line string, lineNum int) error {
+	eq := strings.IndexByte(line, '=')
+	if eq < 0 {
+		return fmt.Errorf("bench line %d: expected assignment, got %q", lineNum, line)
+	}
+	out := strings.TrimSpace(line[:eq])
+	rhs := strings.TrimSpace(line[eq+1:])
+	open := strings.IndexByte(rhs, '(')
+	closeIdx := strings.LastIndexByte(rhs, ')')
+	if open < 0 || closeIdx <= open {
+		return fmt.Errorf("bench line %d: malformed gate %q", lineNum, rhs)
+	}
+	op := strings.ToUpper(strings.TrimSpace(rhs[:open]))
+	var ins []string
+	for _, f := range strings.Split(rhs[open+1:closeIdx], ",") {
+		f = strings.TrimSpace(f)
+		if f != "" {
+			ins = append(ins, f)
+		}
+	}
+	if len(ins) == 0 {
+		return fmt.Errorf("bench line %d: gate with no inputs", lineNum)
+	}
+
+	switch op {
+	case "NOT", "INV":
+		m.inv(ins[0], out)
+	case "BUF", "BUFF":
+		m.inv(m.inv(ins[0], ""), out)
+	case "NAND":
+		if len(ins) == 1 {
+			m.inv(ins[0], out)
+			break
+		}
+		if len(ins) == 2 {
+			m.nand2(ins[0], ins[1], out)
+			break
+		}
+		// NAND(k) = NOT(AND(k)): AND-tree then final NAND on last pair.
+		andOf := m.reduceTree(ins[:len(ins)-1], "", func(a, b, o string) string {
+			return m.inv(m.nand2(a, b, ""), o)
+		})
+		m.nand2(andOf, ins[len(ins)-1], out)
+	case "AND":
+		if len(ins) == 1 {
+			m.inv(m.inv(ins[0], ""), out)
+			break
+		}
+		and2 := func(a, b, o string) string { return m.inv(m.nand2(a, b, ""), o) }
+		m.reduceTree(ins, out, and2)
+	case "NOR":
+		if len(ins) == 1 {
+			m.inv(ins[0], out)
+			break
+		}
+		if len(ins) == 2 {
+			m.nor2(ins[0], ins[1], out)
+			break
+		}
+		orOf := m.reduceTree(ins[:len(ins)-1], "", func(a, b, o string) string {
+			return m.inv(m.nor2(a, b, ""), o)
+		})
+		m.nor2(orOf, ins[len(ins)-1], out)
+	case "OR":
+		if len(ins) == 1 {
+			m.inv(m.inv(ins[0], ""), out)
+			break
+		}
+		or2 := func(a, b, o string) string { return m.inv(m.nor2(a, b, ""), o) }
+		m.reduceTree(ins, out, or2)
+	case "XOR":
+		m.reduceTree(ins, out, m.xor2)
+	case "XNOR":
+		x := m.reduceTree(ins, "", m.xor2)
+		m.inv(x, out)
+	default:
+		return fmt.Errorf("bench line %d: unsupported gate %q", lineNum, op)
+	}
+	return nil
+}
+
+// xor2 maps a XOR b onto four NAND2 cells.
+func (m *mapper) xor2(a, b, out string) string {
+	if out == "" {
+		out = m.freshNet()
+	}
+	mid := m.nand2(a, b, "")
+	am := m.nand2(a, mid, "")
+	bm := m.nand2(b, mid, "")
+	m.nand2(am, bm, out)
+	return out
+}

@@ -1,0 +1,98 @@
+package netlist
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Evaluate computes the boolean function of the netlist for one input
+// assignment — the functional check that the structural generators (adder,
+// multiplier, divider…) implement the arithmetic they claim. Cell logic is
+// derived from the cell name's kind prefix (INV/NAND2/NOR2/AOI2).
+func (n *Netlist) Evaluate(inputs map[string]bool) (map[string]bool, error) {
+	values := make(map[string]bool, n.NumNets())
+	for _, in := range n.Inputs {
+		v, ok := inputs[in]
+		if !ok {
+			return nil, fmt.Errorf("netlist %s: missing input %s", n.Name, in)
+		}
+		values[in] = v
+	}
+	order, err := n.Levelize()
+	if err != nil {
+		return nil, err
+	}
+	for _, gi := range order {
+		g := &n.Gates[gi]
+		get := func(pin string) (bool, error) {
+			net, ok := g.Pins[pin]
+			if !ok {
+				return false, fmt.Errorf("gate %s: missing pin %s", g.Name, pin)
+			}
+			v, ok := values[net]
+			if !ok {
+				return false, fmt.Errorf("gate %s: input net %s unevaluated", g.Name, net)
+			}
+			return v, nil
+		}
+		var out bool
+		switch kind := kindOf(g.Cell); kind {
+		case "INV":
+			a, err := get("A")
+			if err != nil {
+				return nil, err
+			}
+			out = !a
+		case "NAND2":
+			a, err := get("A")
+			if err != nil {
+				return nil, err
+			}
+			b, err := get("B")
+			if err != nil {
+				return nil, err
+			}
+			out = !(a && b)
+		case "NOR2":
+			a, err := get("A")
+			if err != nil {
+				return nil, err
+			}
+			b, err := get("B")
+			if err != nil {
+				return nil, err
+			}
+			out = !(a || b)
+		case "AOI2":
+			a, err := get("A")
+			if err != nil {
+				return nil, err
+			}
+			b, err := get("B")
+			if err != nil {
+				return nil, err
+			}
+			cc, err := get("C")
+			if err != nil {
+				return nil, err
+			}
+			out = !((a && b) || cc)
+		default:
+			return nil, fmt.Errorf("gate %s: unknown cell kind %q", g.Name, g.Cell)
+		}
+		values[g.Output()] = out
+	}
+	outs := make(map[string]bool, len(n.Outputs))
+	for _, o := range n.Outputs {
+		outs[o] = values[o]
+	}
+	return outs, nil
+}
+
+// kindOf strips the strength suffix of a cell name (NAND2x4 → NAND2).
+func kindOf(cell string) string {
+	if i := strings.LastIndexByte(cell, 'x'); i > 0 {
+		return cell[:i]
+	}
+	return cell
+}

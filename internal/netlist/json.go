@@ -1,0 +1,30 @@
+package netlist
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// WriteJSON serialises the netlist as indented JSON (the repository's
+// native interchange format; see also WriteVerilog).
+func WriteJSON(w io.Writer, nl *Netlist) error {
+	if err := nl.Validate(); err != nil {
+		return err
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(nl)
+}
+
+// ReadJSON parses and validates a JSON netlist.
+func ReadJSON(r io.Reader) (*Netlist, error) {
+	var nl Netlist
+	if err := json.NewDecoder(r).Decode(&nl); err != nil {
+		return nil, fmt.Errorf("netlist: %w", err)
+	}
+	if err := nl.Validate(); err != nil {
+		return nil, err
+	}
+	return &nl, nil
+}

@@ -1,0 +1,40 @@
+package netlist
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestJSONRoundTrip(t *testing.T) {
+	nl := chain()
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, nl); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(nl, got) {
+		t.Fatalf("round trip changed the netlist:\n%+v\n%+v", nl, got)
+	}
+}
+
+func TestJSONRejectsInvalid(t *testing.T) {
+	if _, err := ReadJSON(strings.NewReader("{nope")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	// Structurally invalid (undriven output) must fail validation on read.
+	bad := `{"name":"x","inputs":["a"],"outputs":["ghost"],"gates":[]}`
+	if _, err := ReadJSON(strings.NewReader(bad)); err == nil {
+		t.Fatal("invalid netlist accepted")
+	}
+	// And on write.
+	nl := chain()
+	nl.Outputs = append(nl.Outputs, "ghost")
+	if err := WriteJSON(&bytes.Buffer{}, nl); err == nil {
+		t.Fatal("invalid netlist serialised")
+	}
+}

@@ -1,0 +1,203 @@
+// Package netlist represents gate-level combinational netlists mapped onto
+// the stdcell library, with an ISCAS85 .bench reader (including technology
+// mapping of AND/OR/XOR/BUF onto the inverting cell set) and structural
+// utilities: levelisation, fan-out maps and validation.
+package netlist
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Gate is one cell instance. Pins maps the cell's pin names (inputs and
+// "Y") to net names.
+type Gate struct {
+	Name string            `json:"name"`
+	Cell string            `json:"cell"`
+	Pins map[string]string `json:"pins"`
+}
+
+// Output returns the net driven by the gate.
+func (g *Gate) Output() string { return g.Pins["Y"] }
+
+// InputNets returns the nets feeding the gate's input pins, sorted by pin
+// name for determinism.
+func (g *Gate) InputNets() []string {
+	pins := make([]string, 0, len(g.Pins)-1)
+	for p := range g.Pins {
+		if p != "Y" {
+			pins = append(pins, p)
+		}
+	}
+	sort.Strings(pins)
+	nets := make([]string, len(pins))
+	for i, p := range pins {
+		nets[i] = g.Pins[p]
+	}
+	return nets
+}
+
+// Netlist is a combinational gate-level circuit.
+type Netlist struct {
+	Name    string   `json:"name"`
+	Inputs  []string `json:"inputs"`  // primary input nets
+	Outputs []string `json:"outputs"` // primary output nets
+	Gates   []Gate   `json:"gates"`
+}
+
+// NumNets counts distinct nets (primary inputs plus gate outputs).
+func (n *Netlist) NumNets() int {
+	seen := make(map[string]bool)
+	for _, in := range n.Inputs {
+		seen[in] = true
+	}
+	for i := range n.Gates {
+		seen[n.Gates[i].Output()] = true
+	}
+	return len(seen)
+}
+
+// Sink is one fan-out endpoint of a net.
+type Sink struct {
+	Gate int    // index into Gates, or -1 for a primary output
+	Pin  string // input pin on that gate ("" for a primary output)
+}
+
+// FanoutMap returns, for every net, its sinks in deterministic order.
+func (n *Netlist) FanoutMap() map[string][]Sink {
+	m := make(map[string][]Sink)
+	for gi := range n.Gates {
+		g := &n.Gates[gi]
+		pins := make([]string, 0, len(g.Pins))
+		for p := range g.Pins {
+			if p != "Y" {
+				pins = append(pins, p)
+			}
+		}
+		sort.Strings(pins)
+		for _, p := range pins {
+			net := g.Pins[p]
+			m[net] = append(m[net], Sink{Gate: gi, Pin: p})
+		}
+	}
+	for _, out := range n.Outputs {
+		m[out] = append(m[out], Sink{Gate: -1})
+	}
+	return m
+}
+
+// DriverMap returns the index of the gate driving each net (primary inputs
+// are absent).
+func (n *Netlist) DriverMap() map[string]int {
+	m := make(map[string]int, len(n.Gates))
+	for gi := range n.Gates {
+		m[n.Gates[gi].Output()] = gi
+	}
+	return m
+}
+
+// Validate checks the structural invariants a timing flow relies on:
+// single driver per net, every gate input driven, no combinational cycles,
+// driven primary outputs.
+func (n *Netlist) Validate() error {
+	driven := make(map[string]string) // net -> driver description
+	for _, in := range n.Inputs {
+		if d, ok := driven[in]; ok {
+			return fmt.Errorf("netlist %s: input %s conflicts with %s", n.Name, in, d)
+		}
+		driven[in] = "primary input"
+	}
+	for gi := range n.Gates {
+		g := &n.Gates[gi]
+		out := g.Output()
+		if out == "" {
+			return fmt.Errorf("netlist %s: gate %s has no output net", n.Name, g.Name)
+		}
+		if d, ok := driven[out]; ok {
+			return fmt.Errorf("netlist %s: net %s driven by both %s and gate %s", n.Name, out, d, g.Name)
+		}
+		driven[out] = "gate " + g.Name
+	}
+	for gi := range n.Gates {
+		for _, net := range n.Gates[gi].InputNets() {
+			if _, ok := driven[net]; !ok {
+				return fmt.Errorf("netlist %s: gate %s input net %s is undriven",
+					n.Name, n.Gates[gi].Name, net)
+			}
+		}
+	}
+	for _, out := range n.Outputs {
+		if _, ok := driven[out]; !ok {
+			return fmt.Errorf("netlist %s: primary output %s is undriven", n.Name, out)
+		}
+	}
+	if _, err := n.Levelize(); err != nil {
+		return err
+	}
+	return nil
+}
+
+// Levelize returns gate indices in topological order (inputs before the
+// gates they feed). It fails on combinational cycles.
+func (n *Netlist) Levelize() ([]int, error) {
+	drv := n.DriverMap()
+	indeg := make([]int, len(n.Gates))
+	succ := make([][]int, len(n.Gates))
+	for gi := range n.Gates {
+		for _, net := range n.Gates[gi].InputNets() {
+			if di, ok := drv[net]; ok {
+				succ[di] = append(succ[di], gi)
+				indeg[gi]++
+			}
+		}
+	}
+	queue := make([]int, 0, len(n.Gates))
+	for gi := range n.Gates {
+		if indeg[gi] == 0 {
+			queue = append(queue, gi)
+		}
+	}
+	order := make([]int, 0, len(n.Gates))
+	for len(queue) > 0 {
+		gi := queue[0]
+		queue = queue[1:]
+		order = append(order, gi)
+		for _, s := range succ[gi] {
+			indeg[s]--
+			if indeg[s] == 0 {
+				queue = append(queue, s)
+			}
+		}
+	}
+	if len(order) != len(n.Gates) {
+		return nil, fmt.Errorf("netlist %s: combinational cycle detected", n.Name)
+	}
+	return order, nil
+}
+
+// Levels returns the logic depth of every gate (longest path from a primary
+// input, in gate counts) and the overall depth.
+func (n *Netlist) Levels() (map[int]int, int, error) {
+	order, err := n.Levelize()
+	if err != nil {
+		return nil, 0, err
+	}
+	drv := n.DriverMap()
+	lv := make(map[int]int, len(n.Gates))
+	depth := 0
+	for _, gi := range order {
+		l := 0
+		for _, net := range n.Gates[gi].InputNets() {
+			if di, ok := drv[net]; ok {
+				if cand := lv[di] + 1; cand > l {
+					l = cand
+				}
+			}
+		}
+		lv[gi] = l
+		if l+1 > depth {
+			depth = l + 1
+		}
+	}
+	return lv, depth, nil
+}

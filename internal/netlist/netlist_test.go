@@ -1,0 +1,302 @@
+package netlist
+
+import (
+	"strings"
+	"testing"
+)
+
+// chain builds in → U1(INV) → m → U2(INV) → out.
+func chain() *Netlist {
+	return &Netlist{
+		Name:    "chain",
+		Inputs:  []string{"in"},
+		Outputs: []string{"out"},
+		Gates: []Gate{
+			{Name: "U1", Cell: "INVx1", Pins: map[string]string{"A": "in", "Y": "m"}},
+			{Name: "U2", Cell: "INVx1", Pins: map[string]string{"A": "m", "Y": "out"}},
+		},
+	}
+}
+
+func TestValidateOK(t *testing.T) {
+	if err := chain().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateMultiDriver(t *testing.T) {
+	nl := chain()
+	nl.Gates = append(nl.Gates, Gate{Name: "U3", Cell: "INVx1",
+		Pins: map[string]string{"A": "in", "Y": "m"}})
+	if err := nl.Validate(); err == nil || !strings.Contains(err.Error(), "driven by both") {
+		t.Fatalf("multi-driver not caught: %v", err)
+	}
+}
+
+func TestValidateUndrivenInput(t *testing.T) {
+	nl := chain()
+	nl.Gates[1].Pins["A"] = "ghost"
+	if err := nl.Validate(); err == nil || !strings.Contains(err.Error(), "undriven") {
+		t.Fatalf("undriven input not caught: %v", err)
+	}
+}
+
+func TestValidateUndrivenOutput(t *testing.T) {
+	nl := chain()
+	nl.Outputs = append(nl.Outputs, "phantom")
+	if err := nl.Validate(); err == nil {
+		t.Fatal("undriven PO not caught")
+	}
+}
+
+func TestValidateCycle(t *testing.T) {
+	nl := &Netlist{
+		Name:    "cyc",
+		Inputs:  []string{"in"},
+		Outputs: []string{"b"},
+		Gates: []Gate{
+			{Name: "U1", Cell: "NAND2x1", Pins: map[string]string{"A": "in", "B": "b", "Y": "a"}},
+			{Name: "U2", Cell: "INVx1", Pins: map[string]string{"A": "a", "Y": "b"}},
+		},
+	}
+	if err := nl.Validate(); err == nil || !strings.Contains(err.Error(), "cycle") {
+		t.Fatalf("cycle not caught: %v", err)
+	}
+}
+
+func TestLevelizeOrderProperty(t *testing.T) {
+	nl := chain()
+	order, err := nl.Levelize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pos := map[int]int{}
+	for i, gi := range order {
+		pos[gi] = i
+	}
+	drv := nl.DriverMap()
+	for gi := range nl.Gates {
+		for _, net := range nl.Gates[gi].InputNets() {
+			if di, ok := drv[net]; ok && pos[di] >= pos[gi] {
+				t.Fatalf("gate %d scheduled before its driver %d", gi, di)
+			}
+		}
+	}
+}
+
+func TestLevels(t *testing.T) {
+	nl := chain()
+	lv, depth, err := nl.Levels()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if depth != 2 || lv[0] != 0 || lv[1] != 1 {
+		t.Fatalf("levels %v depth %d", lv, depth)
+	}
+}
+
+func TestFanoutAndDriverMaps(t *testing.T) {
+	nl := chain()
+	fan := nl.FanoutMap()
+	if len(fan["in"]) != 1 || fan["in"][0].Gate != 0 || fan["in"][0].Pin != "A" {
+		t.Fatalf("fanout of in: %v", fan["in"])
+	}
+	if len(fan["out"]) != 1 || fan["out"][0].Gate != -1 {
+		t.Fatalf("PO sink missing: %v", fan["out"])
+	}
+	drv := nl.DriverMap()
+	if drv["m"] != 0 || drv["out"] != 1 {
+		t.Fatalf("driver map %v", drv)
+	}
+}
+
+func TestNumNets(t *testing.T) {
+	if n := chain().NumNets(); n != 3 {
+		t.Fatalf("NumNets %d want 3", n)
+	}
+}
+
+func TestEvaluateChain(t *testing.T) {
+	out, err := chain().Evaluate(map[string]bool{"in": true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out["out"] != true { // two inversions
+		t.Fatalf("chain(true) = %v", out["out"])
+	}
+}
+
+func TestEvaluateGateFunctions(t *testing.T) {
+	mk := func(cell string, ins ...string) *Netlist {
+		pins := map[string]string{"Y": "y"}
+		names := []string{"A", "B", "C"}
+		for i, in := range ins {
+			pins[names[i]] = in
+		}
+		return &Netlist{
+			Name: "g", Inputs: ins, Outputs: []string{"y"},
+			Gates: []Gate{{Name: "U1", Cell: cell, Pins: pins}},
+		}
+	}
+	type tc struct {
+		cell string
+		ins  []string
+		in   map[string]bool
+		want bool
+	}
+	cases := []tc{
+		{"INVx2", []string{"a"}, map[string]bool{"a": false}, true},
+		{"NAND2x1", []string{"a", "b"}, map[string]bool{"a": true, "b": true}, false},
+		{"NAND2x1", []string{"a", "b"}, map[string]bool{"a": true, "b": false}, true},
+		{"NOR2x4", []string{"a", "b"}, map[string]bool{"a": false, "b": false}, true},
+		{"NOR2x4", []string{"a", "b"}, map[string]bool{"a": true, "b": false}, false},
+		{"AOI2x1", []string{"a", "b", "c"}, map[string]bool{"a": true, "b": true, "c": false}, false},
+		{"AOI2x1", []string{"a", "b", "c"}, map[string]bool{"a": true, "b": false, "c": false}, true},
+		{"AOI2x1", []string{"a", "b", "c"}, map[string]bool{"a": false, "b": false, "c": true}, false},
+	}
+	for _, c := range cases {
+		out, err := mk(c.cell, c.ins...).Evaluate(c.in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if out["y"] != c.want {
+			t.Errorf("%s(%v) = %v want %v", c.cell, c.in, out["y"], c.want)
+		}
+	}
+}
+
+func TestEvaluateMissingInput(t *testing.T) {
+	if _, err := chain().Evaluate(map[string]bool{}); err == nil {
+		t.Fatal("missing input accepted")
+	}
+}
+
+const c17Bench = `
+# ISCAS85 c17
+INPUT(1)
+INPUT(2)
+INPUT(3)
+INPUT(6)
+INPUT(7)
+OUTPUT(22)
+OUTPUT(23)
+10 = NAND(1, 3)
+11 = NAND(3, 6)
+16 = NAND(2, 11)
+19 = NAND(11, 7)
+22 = NAND(10, 16)
+23 = NAND(16, 19)
+`
+
+func TestParseBenchC17(t *testing.T) {
+	nl, err := ParseBench(strings.NewReader(c17Bench), "c17", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(nl.Gates) != 6 {
+		t.Fatalf("c17 mapped to %d gates, want 6 NAND2", len(nl.Gates))
+	}
+	if len(nl.Inputs) != 5 || len(nl.Outputs) != 2 {
+		t.Fatalf("c17 IO: %d in %d out", len(nl.Inputs), len(nl.Outputs))
+	}
+	// Functional spot checks against the known c17 truth table.
+	eval := func(v1, v2, v3, v6, v7 bool) (bool, bool) {
+		out, err := nl.Evaluate(map[string]bool{"1": v1, "2": v2, "3": v3, "6": v6, "7": v7})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out["22"], out["23"]
+	}
+	// All zeros: 10=1, 11=1, 16=1, 19=1 → 22=NAND(1,1)=0, 23=0.
+	if o22, o23 := eval(false, false, false, false, false); o22 || o23 {
+		t.Fatalf("c17(00000) = %v %v want 0 0", o22, o23)
+	}
+	// 3=1, 6=1 → 11=0 → 16=1, 19=1; 1=0 → 10=1 → 22=NAND(1,1)=0.
+	if o22, _ := eval(false, false, true, true, false); o22 {
+		t.Fatal("c17 logic mismatch on pattern 00110")
+	}
+}
+
+func TestParseBenchXORDecomposition(t *testing.T) {
+	src := `
+INPUT(a)
+INPUT(b)
+OUTPUT(y)
+y = XOR(a, b)
+`
+	nl, err := ParseBench(strings.NewReader(src), "x", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(nl.Gates) != 4 {
+		t.Fatalf("XOR should map to 4 NAND2, got %d gates", len(nl.Gates))
+	}
+	for _, tc := range []struct{ a, b, want bool }{
+		{false, false, false}, {true, false, true}, {false, true, true}, {true, true, false},
+	} {
+		out, err := nl.Evaluate(map[string]bool{"a": tc.a, "b": tc.b})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if out["y"] != tc.want {
+			t.Fatalf("XOR(%v,%v)=%v", tc.a, tc.b, out["y"])
+		}
+	}
+}
+
+func TestParseBenchWideGatesAndBuf(t *testing.T) {
+	src := `
+INPUT(a)
+INPUT(b)
+INPUT(c)
+INPUT(d)
+OUTPUT(y)
+OUTPUT(z)
+OUTPUT(w)
+y = AND(a, b, c, d)
+z = BUF(a)
+w = XNOR(a, b)
+`
+	nl, err := ParseBench(strings.NewReader(src), "wide", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth := func(in map[string]bool) map[string]bool {
+		out, err := nl.Evaluate(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	all := map[string]bool{"a": true, "b": true, "c": true, "d": true}
+	if out := truth(all); !out["y"] || !out["z"] || !out["w"] {
+		t.Fatalf("wide gates wrong on all-ones: %v", out)
+	}
+	one := map[string]bool{"a": true, "b": false, "c": true, "d": true}
+	if out := truth(one); out["y"] || !out["z"] || out["w"] {
+		t.Fatalf("wide gates wrong: %v", out)
+	}
+}
+
+func TestParseBenchStrengthOption(t *testing.T) {
+	src := "INPUT(a)\nOUTPUT(y)\ny = NOT(a)\n"
+	nl, err := ParseBench(strings.NewReader(src), "s", &BenchOptions{Strength: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nl.Gates[0].Cell != "INVx4" {
+		t.Fatalf("strength option ignored: %s", nl.Gates[0].Cell)
+	}
+}
+
+func TestParseBenchErrors(t *testing.T) {
+	for _, src := range []string{
+		"INPUT(a)\ny = FROB(a)\n",
+		"INPUT(a\n",
+		"garbage line\n",
+	} {
+		if _, err := ParseBench(strings.NewReader(src), "bad", nil); err == nil {
+			t.Errorf("accepted %q", src)
+		}
+	}
+}

@@ -1,0 +1,215 @@
+package netlist
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// This file reads and writes gate-level structural Verilog — the exchange
+// format a Design-Compiler-style flow (the paper's netlist source) emits:
+//
+//	module c432 (pi0, pi1, ..., n42, n43);
+//	  input pi0, pi1;
+//	  output n42, n43;
+//	  wire w1, w2;
+//	  NAND2x2 U1 (.A(pi0), .B(pi1), .Y(w1));
+//	endmodule
+//
+// The supported subset is instances of library cells with named port
+// connections plus input/output/wire declarations; behavioural constructs
+// are rejected.
+
+// WriteVerilog serialises the netlist as structural Verilog.
+func WriteVerilog(w io.Writer, nl *Netlist) error {
+	if err := nl.Validate(); err != nil {
+		return err
+	}
+	bw := bufio.NewWriter(w)
+	ports := append(append([]string{}, nl.Inputs...), nl.Outputs...)
+	fmt.Fprintf(bw, "module %s (%s);\n", sanitizeID(nl.Name), strings.Join(mapIDs(ports), ", "))
+	fmt.Fprintf(bw, "  input %s;\n", strings.Join(mapIDs(nl.Inputs), ", "))
+	fmt.Fprintf(bw, "  output %s;\n", strings.Join(mapIDs(nl.Outputs), ", "))
+
+	// Internal wires: every gate output that is not a primary output.
+	onPort := map[string]bool{}
+	for _, p := range ports {
+		onPort[p] = true
+	}
+	var wires []string
+	for i := range nl.Gates {
+		if out := nl.Gates[i].Output(); !onPort[out] {
+			wires = append(wires, out)
+		}
+	}
+	sort.Strings(wires)
+	if len(wires) > 0 {
+		fmt.Fprintf(bw, "  wire %s;\n", strings.Join(mapIDs(wires), ", "))
+	}
+	fmt.Fprintln(bw)
+	for i := range nl.Gates {
+		g := &nl.Gates[i]
+		pins := make([]string, 0, len(g.Pins))
+		for p := range g.Pins {
+			pins = append(pins, p)
+		}
+		sort.Strings(pins)
+		conns := make([]string, len(pins))
+		for j, p := range pins {
+			conns[j] = fmt.Sprintf(".%s(%s)", p, sanitizeID(g.Pins[p]))
+		}
+		fmt.Fprintf(bw, "  %s %s (%s);\n", g.Cell, sanitizeID(g.Name), strings.Join(conns, ", "))
+	}
+	fmt.Fprintf(bw, "endmodule\n")
+	return bw.Flush()
+}
+
+// sanitizeID maps net/instance names onto Verilog identifiers; names
+// emitted by this repository are already clean, but generated map names
+// (e.g. "_map1") and dotted names get escaped-by-substitution.
+func sanitizeID(s string) string {
+	var sb strings.Builder
+	for i, r := range s {
+		ok := r == '_' || r >= 'a' && r <= 'z' || r >= 'A' && r <= 'Z' || r >= '0' && r <= '9'
+		if i == 0 && r >= '0' && r <= '9' {
+			sb.WriteByte('n') // identifiers cannot start with a digit
+		}
+		if ok {
+			sb.WriteRune(r)
+		} else {
+			sb.WriteByte('_')
+		}
+	}
+	return sb.String()
+}
+
+func mapIDs(ss []string) []string {
+	out := make([]string, len(ss))
+	for i, s := range ss {
+		out[i] = sanitizeID(s)
+	}
+	return out
+}
+
+// ParseVerilog reads one structural Verilog module.
+func ParseVerilog(r io.Reader) (*Netlist, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 64*1024*1024)
+
+	// Join statements: Verilog statements end at ';' (or the module
+	// header's ');'), so accumulate lines until one completes.
+	var statements []string
+	var cur strings.Builder
+	for sc.Scan() {
+		line := sc.Text()
+		if i := strings.Index(line, "//"); i >= 0 {
+			line = line[:i]
+		}
+		cur.WriteString(line)
+		cur.WriteByte(' ')
+		for {
+			s := cur.String()
+			i := strings.IndexByte(s, ';')
+			if i < 0 {
+				break
+			}
+			statements = append(statements, strings.TrimSpace(s[:i]))
+			cur.Reset()
+			cur.WriteString(s[i+1:])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if tail := strings.TrimSpace(cur.String()); tail != "" && tail != "endmodule" {
+		return nil, fmt.Errorf("verilog: trailing content %q", tail)
+	}
+
+	nl := &Netlist{}
+	for _, st := range statements {
+		fields := strings.Fields(st)
+		if len(fields) == 0 {
+			continue
+		}
+		switch fields[0] {
+		case "module":
+			rest := strings.TrimSpace(st[len("module"):])
+			if i := strings.IndexByte(rest, '('); i >= 0 {
+				rest = rest[:i]
+			}
+			nl.Name = strings.TrimSpace(rest)
+		case "input":
+			nl.Inputs = append(nl.Inputs, splitIDList(st[len("input"):])...)
+		case "output":
+			nl.Outputs = append(nl.Outputs, splitIDList(st[len("output"):])...)
+		case "wire":
+			// declarations only; connectivity comes from instances
+		case "endmodule":
+		default:
+			g, err := parseInstance(st)
+			if err != nil {
+				return nil, err
+			}
+			nl.Gates = append(nl.Gates, *g)
+		}
+	}
+	if nl.Name == "" {
+		return nil, fmt.Errorf("verilog: no module declaration")
+	}
+	return nl, nl.Validate()
+}
+
+func splitIDList(s string) []string {
+	var out []string
+	for _, f := range strings.Split(s, ",") {
+		f = strings.TrimSpace(f)
+		if f != "" {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// parseInstance parses `CELL name (.A(n1), .B(n2), .Y(n3))`.
+func parseInstance(st string) (*Gate, error) {
+	open := strings.IndexByte(st, '(')
+	if open < 0 || !strings.HasSuffix(strings.TrimSpace(st), ")") {
+		return nil, fmt.Errorf("verilog: unsupported statement %q", st)
+	}
+	head := strings.Fields(st[:open])
+	if len(head) != 2 {
+		return nil, fmt.Errorf("verilog: malformed instance header %q", st[:open])
+	}
+	g := &Gate{Cell: head[0], Name: head[1], Pins: map[string]string{}}
+	body := strings.TrimSpace(st[open+1:])
+	body = strings.TrimSuffix(body, ")")
+	for _, conn := range strings.Split(body, ",") {
+		conn = strings.TrimSpace(conn)
+		if conn == "" {
+			continue
+		}
+		if !strings.HasPrefix(conn, ".") {
+			return nil, fmt.Errorf("verilog: only named connections supported, got %q", conn)
+		}
+		p := strings.IndexByte(conn, '(')
+		q := strings.LastIndexByte(conn, ')')
+		if p < 0 || q <= p {
+			return nil, fmt.Errorf("verilog: malformed connection %q", conn)
+		}
+		pin := strings.TrimSpace(conn[1:p])
+		net := strings.TrimSpace(conn[p+1 : q])
+		if pin == "" || net == "" {
+			return nil, fmt.Errorf("verilog: empty pin or net in %q", conn)
+		}
+		if _, dup := g.Pins[pin]; dup {
+			return nil, fmt.Errorf("verilog: duplicate pin %s on %s", pin, g.Name)
+		}
+		g.Pins[pin] = net
+	}
+	if _, ok := g.Pins["Y"]; !ok {
+		return nil, fmt.Errorf("verilog: instance %s has no output pin Y", g.Name)
+	}
+	return g, nil
+}

@@ -1,0 +1,151 @@
+package netlist
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+func TestVerilogRoundTripChain(t *testing.T) {
+	nl := chain()
+	var buf bytes.Buffer
+	if err := WriteVerilog(&buf, nl); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ParseVerilog(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != nl.Name || len(got.Gates) != len(nl.Gates) {
+		t.Fatalf("round trip lost structure: %+v", got)
+	}
+	// Function must survive the round trip.
+	for _, in := range []bool{false, true} {
+		a, err := nl.Evaluate(map[string]bool{"in": in})
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := got.Evaluate(map[string]bool{"in": in})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a["out"] != b["out"] {
+			t.Fatalf("function changed for in=%v", in)
+		}
+	}
+}
+
+func TestVerilogRoundTripRandomFunction(t *testing.T) {
+	// A bigger netlist with every cell kind: round-trip and compare the
+	// boolean function on random vectors.
+	src := `
+module blob (a, b, c, y1, y2);
+  input a, b, c;
+  output y1, y2;
+  wire w1, w2, w3;
+
+  NAND2x2 U1 (.A(a), .B(b), .Y(w1));
+  NOR2x1 U2 (.A(w1), .B(c), .Y(w2));
+  AOI2x4 U3 (.A(a), .B(w2), .C(c), .Y(w3));
+  INVx8 U4 (.A(w3), .Y(y1));
+  NAND2x1 U5 (.A(w3), .B(w1), .Y(y2));
+endmodule
+`
+	nl, err := ParseVerilog(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteVerilog(&buf, nl); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ParseVerilog(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(3)
+	for trial := 0; trial < 16; trial++ {
+		in := map[string]bool{
+			"a": r.Float64() < 0.5,
+			"b": r.Float64() < 0.5,
+			"c": r.Float64() < 0.5,
+		}
+		x, err := nl.Evaluate(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		y, err := back.Evaluate(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if x["y1"] != y["y1"] || x["y2"] != y["y2"] {
+			t.Fatalf("function mismatch on %v", in)
+		}
+	}
+}
+
+func TestVerilogMultiLineStatements(t *testing.T) {
+	src := `
+module m (a,
+          y);
+  input a;
+  output y;
+  INVx1 U1 (.A(a),
+            .Y(y));
+endmodule
+`
+	nl, err := ParseVerilog(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(nl.Gates) != 1 || nl.Gates[0].Pins["A"] != "a" {
+		t.Fatalf("multi-line parse wrong: %+v", nl.Gates)
+	}
+}
+
+func TestVerilogComments(t *testing.T) {
+	src := `
+module m (a, y); // ports
+  input a;  // the input
+  output y;
+  INVx1 U1 (.A(a), .Y(y)); // an inverter
+endmodule
+`
+	if _, err := ParseVerilog(strings.NewReader(src)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVerilogRejects(t *testing.T) {
+	cases := []string{
+		// positional connections
+		"module m (a, y);\n input a;\n output y;\n INVx1 U1 (a, y);\nendmodule\n",
+		// behavioural content
+		"module m (a, y);\n input a;\n output y;\n assign y = ~a;\nendmodule\n",
+		// no module
+		"INVx1 U1 (.A(a), .Y(y));\n",
+		// no output pin
+		"module m (a, y);\n input a;\n output y;\n INVx1 U1 (.A(a));\nendmodule\n",
+		// duplicate pin
+		"module m (a, y);\n input a;\n output y;\n INVx1 U1 (.A(a), .A(a), .Y(y));\nendmodule\n",
+	}
+	for _, src := range cases {
+		if _, err := ParseVerilog(strings.NewReader(src)); err == nil {
+			t.Errorf("accepted %q", src)
+		}
+	}
+}
+
+func TestSanitizeID(t *testing.T) {
+	if sanitizeID("_map1") != "_map1" {
+		t.Error("clean name mangled")
+	}
+	if got := sanitizeID("3bad"); got != "n3bad" {
+		t.Errorf("leading digit: %q", got)
+	}
+	if got := sanitizeID("a.b:c"); got != "a_b_c" {
+		t.Errorf("punctuation: %q", got)
+	}
+}

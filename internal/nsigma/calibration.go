@@ -1,0 +1,255 @@
+package nsigma
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/charlib"
+	"repro/internal/linalg"
+	"repro/internal/stats"
+)
+
+// Feature scaling: the interpolation polynomials of eqs. (2)–(3) are fitted
+// on ΔS and ΔC normalised to roughly the grid span (100 ps, 2 fF), keeping
+// every polynomial feature O(1). Without this the cubic terms (ΔS³ ~ 1e-31
+// in SI) would destroy the conditioning of the regression matrix.
+// Evaluation applies the same scaling, so stored coefficients are
+// self-consistent.
+const (
+	slewUnit = 100e-12 // 100 ps
+	loadUnit = 2e-15   // 2 fF
+)
+
+// MomentCalib calibrates the four moments for operating-condition
+// deviations {ΔS, ΔC} from the reference point, per eqs. (1)–(3):
+//
+//	[µ', σ'] = [µ0, σ0] + P·[ΔS, ΔC]                      + K·ΔS·ΔC      (2)
+//	[γ', κ'] = [γ0, κ0] + P·[ΔS, ΔC] + Q·[ΔS², ΔC²]
+//	                     + R·[ΔS³, ΔC³]                   + K·ΔS·ΔC      (3)
+//
+// µ and σ use the bilinear form; γ and κ the cubic form.
+type MomentCalib struct {
+	RefSlew float64       `json:"refSlew"` // seconds
+	RefLoad float64       `json:"refLoad"` // farads
+	Ref     stats.Moments `json:"ref"`
+
+	// Bilinear coefficient vectors for µ and σ: [P_S, P_C, K].
+	Mu    [3]float64 `json:"mu"`
+	Sigma [3]float64 `json:"sigma"`
+	// Cubic coefficient vectors for γ and κ:
+	// [P_S, P_C, Q_S, Q_C, R_S, R_C, K].
+	Gamma [7]float64 `json:"gamma"`
+	Kappa [7]float64 `json:"kappa"`
+
+	// GammaRange and KappaRange bound the calibrated higher moments to the
+	// envelope observed across the characterisation grid (with margin).
+	// Cubic response surfaces extrapolate violently outside their support;
+	// physically the moments stay within the characterised envelope, so
+	// evaluation clamps to it.
+	GammaRange [2]float64 `json:"gammaRange"`
+	KappaRange [2]float64 `json:"kappaRange"`
+}
+
+func bilinearFeatures(dS, dC float64) []float64 {
+	return []float64{dS, dC, dS * dC}
+}
+
+func cubicFeatures(dS, dC float64) []float64 {
+	return []float64{dS, dC, dS * dS, dC * dC, dS * dS * dS, dC * dC * dC, dS * dC}
+}
+
+// MomentsAt returns the calibrated moments [µ', σ', γ', κ'] at the given
+// operating condition (SI units).
+func (mc *MomentCalib) MomentsAt(slew, load float64) stats.Moments {
+	dS := (slew - mc.RefSlew) / slewUnit
+	dC := (load - mc.RefLoad) / loadUnit
+	bf := bilinearFeatures(dS, dC)
+	cf := cubicFeatures(dS, dC)
+	out := mc.Ref
+	for i, f := range bf {
+		out.Mean += mc.Mu[i] * f
+		out.Std += mc.Sigma[i] * f
+	}
+	for i, f := range cf {
+		out.Skewness += mc.Gamma[i] * f
+		out.Kurtosis += mc.Kappa[i] * f
+	}
+	// Keep the calibrated moments physical: clamp γ and κ to the
+	// characterised envelope, keep σ positive, and respect the Pearson
+	// bound κ ≥ γ² + 1.
+	if out.Std < 1e-18 {
+		out.Std = 1e-18
+	}
+	out.Skewness = clamp(out.Skewness, mc.GammaRange)
+	out.Kurtosis = clamp(out.Kurtosis, mc.KappaRange)
+	if min := out.Skewness*out.Skewness + 1; out.Kurtosis < min {
+		out.Kurtosis = min
+	}
+	return out
+}
+
+func clamp(v float64, r [2]float64) float64 {
+	if r[0] == 0 && r[1] == 0 {
+		return v // unset range: no clamping
+	}
+	if v < r[0] {
+		return r[0]
+	}
+	if v > r[1] {
+		return r[1]
+	}
+	return v
+}
+
+// FitMomentCalib fits the interpolation vectors from a characterised grid.
+// The first grid point must be the reference condition.
+func FitMomentCalib(char *charlib.ArcChar) (*MomentCalib, error) {
+	if len(char.Grid) < 8 {
+		return nil, errors.New("nsigma: moment calibration needs at least 8 grid points")
+	}
+	ref := char.RefPoint()
+	if ref.Op != char.Ref {
+		return nil, errors.New("nsigma: grid[0] is not the reference point")
+	}
+	// The cubic terms of eq. (3) need ≥4 distinct values per axis: on 3
+	// support points the ΔS, ΔS², ΔS³ columns are linearly dependent.
+	slews := map[float64]bool{}
+	loads := map[float64]bool{}
+	for _, g := range char.Grid {
+		slews[g.Op.Slew] = true
+		loads[g.Op.Load] = true
+	}
+	if len(slews) < 4 || len(loads) < 4 {
+		return nil, fmt.Errorf("nsigma: cubic calibration needs ≥4 distinct slews and loads (got %d×%d)",
+			len(slews), len(loads))
+	}
+	mc := &MomentCalib{
+		RefSlew: char.Ref.Slew,
+		RefLoad: char.Ref.Load,
+		Ref:     ref.Moments,
+	}
+	gamLo, gamHi := ref.Moments.Skewness, ref.Moments.Skewness
+	kapLo, kapHi := ref.Moments.Kurtosis, ref.Moments.Kurtosis
+	for _, g := range char.Grid {
+		gamLo = minf(gamLo, g.Moments.Skewness)
+		gamHi = maxf(gamHi, g.Moments.Skewness)
+		kapLo = minf(kapLo, g.Moments.Kurtosis)
+		kapHi = maxf(kapHi, g.Moments.Kurtosis)
+	}
+	// 25 % span margin so mild extrapolation beyond the grid stays smooth.
+	gm := 0.25 * (gamHi - gamLo)
+	km := 0.25 * (kapHi - kapLo)
+	mc.GammaRange = [2]float64{gamLo - gm, gamHi + gm}
+	mc.KappaRange = [2]float64{kapLo - km, kapHi + km}
+
+	var bRows, cRows [][]float64
+	var dMu, dSig, dGam, dKap []float64
+	for _, g := range char.Grid[1:] {
+		dS := (g.Op.Slew - mc.RefSlew) / slewUnit
+		dC := (g.Op.Load - mc.RefLoad) / loadUnit
+		bRows = append(bRows, bilinearFeatures(dS, dC))
+		cRows = append(cRows, cubicFeatures(dS, dC))
+		dMu = append(dMu, g.Moments.Mean-mc.Ref.Mean)
+		dSig = append(dSig, g.Moments.Std-mc.Ref.Std)
+		dGam = append(dGam, g.Moments.Skewness-mc.Ref.Skewness)
+		dKap = append(dKap, g.Moments.Kurtosis-mc.Ref.Kurtosis)
+	}
+	fit3 := func(rhs []float64, dst *[3]float64, what string) error {
+		c, err := linalg.LeastSquares(linalg.FromRows(bRows), rhs)
+		if err != nil {
+			return fmt.Errorf("nsigma: fitting %s: %w", what, err)
+		}
+		copy(dst[:], c)
+		return nil
+	}
+	fit7 := func(rhs []float64, dst *[7]float64, what string) error {
+		c, err := linalg.LeastSquares(linalg.FromRows(cRows), rhs)
+		if err != nil {
+			return fmt.Errorf("nsigma: fitting %s: %w", what, err)
+		}
+		copy(dst[:], c)
+		return nil
+	}
+	if err := fit3(dMu, &mc.Mu, "mu"); err != nil {
+		return nil, err
+	}
+	if err := fit3(dSig, &mc.Sigma, "sigma"); err != nil {
+		return nil, err
+	}
+	if err := fit7(dGam, &mc.Gamma, "gamma"); err != nil {
+		return nil, err
+	}
+	if err := fit7(dKap, &mc.Kappa, "kappa"); err != nil {
+		return nil, err
+	}
+	return mc, nil
+}
+
+// SlewModel predicts the mean output transition time of an arc as a
+// quadratic-with-cross-term response surface in (ΔS, ΔC). STA uses it to
+// propagate slews stage to stage.
+type SlewModel struct {
+	RefSlew    float64    `json:"refSlew"` // seconds (input slew at reference)
+	RefLoad    float64    `json:"refLoad"`
+	RefOutSlew float64    `json:"refOutSlew"`
+	C          [5]float64 `json:"c"` // [ΔS, ΔC, ΔS², ΔC², ΔS·ΔC]
+}
+
+func minf(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func maxf(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func slewFeatures(dS, dC float64) []float64 {
+	return []float64{dS, dC, dS * dS, dC * dC, dS * dC}
+}
+
+// OutSlew returns the predicted 10-90 output transition time (seconds).
+func (sm *SlewModel) OutSlew(slew, load float64) float64 {
+	dS := (slew - sm.RefSlew) / slewUnit
+	dC := (load - sm.RefLoad) / loadUnit
+	out := sm.RefOutSlew
+	for i, f := range slewFeatures(dS, dC) {
+		out += sm.C[i] * f
+	}
+	if out < 1e-13 {
+		out = 1e-13
+	}
+	return out
+}
+
+// FitSlewModel fits the output-slew surface from a characterised grid.
+func FitSlewModel(char *charlib.ArcChar) (*SlewModel, error) {
+	if len(char.Grid) < 6 {
+		return nil, errors.New("nsigma: slew model needs at least 6 grid points")
+	}
+	ref := char.RefPoint()
+	sm := &SlewModel{
+		RefSlew:    char.Ref.Slew,
+		RefLoad:    char.Ref.Load,
+		RefOutSlew: ref.MeanOutSlew,
+	}
+	var rows [][]float64
+	var rhs []float64
+	for _, g := range char.Grid[1:] {
+		dS := (g.Op.Slew - sm.RefSlew) / slewUnit
+		dC := (g.Op.Load - sm.RefLoad) / loadUnit
+		rows = append(rows, slewFeatures(dS, dC))
+		rhs = append(rhs, g.MeanOutSlew-sm.RefOutSlew)
+	}
+	c, err := linalg.LeastSquares(linalg.FromRows(rows), rhs)
+	if err != nil {
+		return nil, fmt.Errorf("nsigma: fitting slew model: %w", err)
+	}
+	copy(sm.C[:], c)
+	return sm, nil
+}

@@ -1,0 +1,209 @@
+package nsigma
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"repro/internal/charlib"
+	"repro/internal/stats"
+)
+
+// MomentLUT is the look-up-table form of the moment calibration (Fig. 5 of
+// the paper stores the coefficients "in the look-up table form"): moments
+// characterised on a (slew, load) grid, interpolated locally at evaluation
+// time — bilinear for µ and σ (eq. 2's form within a grid cell) and cubic
+// for γ and κ (eq. 3's form), per axis.
+//
+// The global polynomial MomentCalib remains available as an ablation; the
+// LUT is what the timing flow uses, exactly like a Liberty/LVF table.
+type MomentLUT struct {
+	Slews []float64 `json:"slews"` // ascending, seconds
+	Loads []float64 `json:"loads"` // ascending, farads
+
+	// Value planes indexed [slew][load].
+	Mu      [][]float64 `json:"mu"`
+	Sigma   [][]float64 `json:"sigma"`
+	Gamma   [][]float64 `json:"gamma"`
+	Kappa   [][]float64 `json:"kappa"`
+	OutSlew [][]float64 `json:"outSlew"`
+}
+
+// BuildLUT assembles the LUT from a characterised grid, which must contain
+// the full cross product of its slew and load axes.
+func BuildLUT(char *charlib.ArcChar) (*MomentLUT, error) {
+	slewSet := map[float64]bool{}
+	loadSet := map[float64]bool{}
+	for _, g := range char.Grid {
+		slewSet[g.Op.Slew] = true
+		loadSet[g.Op.Load] = true
+	}
+	lut := &MomentLUT{
+		Slews: sortedFloats(slewSet),
+		Loads: sortedFloats(loadSet),
+	}
+	ns, nc := len(lut.Slews), len(lut.Loads)
+	if ns < 2 || nc < 2 {
+		return nil, errors.New("nsigma: LUT needs at least a 2x2 grid")
+	}
+	alloc := func() [][]float64 {
+		m := make([][]float64, ns)
+		for i := range m {
+			m[i] = make([]float64, nc)
+		}
+		return m
+	}
+	lut.Mu, lut.Sigma, lut.Gamma, lut.Kappa, lut.OutSlew = alloc(), alloc(), alloc(), alloc(), alloc()
+	seen := alloc()
+	idxOf := func(axis []float64, v float64) int {
+		for i, a := range axis {
+			if a == v {
+				return i
+			}
+		}
+		return -1
+	}
+	for _, g := range char.Grid {
+		i := idxOf(lut.Slews, g.Op.Slew)
+		j := idxOf(lut.Loads, g.Op.Load)
+		lut.Mu[i][j] = g.Moments.Mean
+		lut.Sigma[i][j] = g.Moments.Std
+		lut.Gamma[i][j] = g.Moments.Skewness
+		lut.Kappa[i][j] = g.Moments.Kurtosis
+		lut.OutSlew[i][j] = g.MeanOutSlew
+		seen[i][j] = 1
+	}
+	for i := 0; i < ns; i++ {
+		for j := 0; j < nc; j++ {
+			if seen[i][j] == 0 {
+				return nil, fmt.Errorf("nsigma: grid is not a full cross product (missing S=%.3g C=%.3g)",
+					lut.Slews[i], lut.Loads[j])
+			}
+		}
+	}
+	return lut, nil
+}
+
+func sortedFloats(set map[float64]bool) []float64 {
+	out := make([]float64, 0, len(set))
+	for v := range set {
+		out = append(out, v)
+	}
+	sort.Float64s(out)
+	return out
+}
+
+// MomentsAt interpolates the four moments at an operating condition.
+func (l *MomentLUT) MomentsAt(slew, load float64) stats.Moments {
+	m := stats.Moments{
+		Mean:     l.interp(l.Mu, slew, load, false),
+		Std:      l.interp(l.Sigma, slew, load, false),
+		Skewness: l.interp(l.Gamma, slew, load, true),
+		Kurtosis: l.interp(l.Kappa, slew, load, true),
+	}
+	if m.Std < 1e-18 {
+		m.Std = 1e-18
+	}
+	if min := m.Skewness*m.Skewness + 1; m.Kurtosis < min {
+		m.Kurtosis = min
+	}
+	return m
+}
+
+// OutSlewAt interpolates the mean output transition time.
+func (l *MomentLUT) OutSlewAt(slew, load float64) float64 {
+	v := l.interp(l.OutSlew, slew, load, false)
+	if v < 1e-13 {
+		v = 1e-13
+	}
+	return v
+}
+
+// interp performs separable interpolation of plane at (slew, load):
+// per-axis linear (cubic=false) or 4-point Lagrange cubic (cubic=true).
+// Queries outside the grid clamp to the edge.
+func (l *MomentLUT) interp(plane [][]float64, slew, load float64, cubic bool) float64 {
+	// First interpolate along the load axis at every slew row the slew-axis
+	// stencil needs, then along the slew axis.
+	si, sn := stencil(l.Slews, slew, cubic)
+	vals := make([]float64, sn)
+	for k := 0; k < sn; k++ {
+		vals[k] = interp1D(l.Loads, plane[si+k], load, cubic)
+	}
+	return interp1DAt(l.Slews[si:si+sn], vals, slew, cubic)
+}
+
+// stencil returns the starting index and width of the interpolation stencil
+// around x: 2 points for linear, up to 4 for cubic.
+func stencil(axis []float64, x float64, cubic bool) (start, n int) {
+	n = 2
+	if cubic {
+		n = 4
+	}
+	if n > len(axis) {
+		n = len(axis)
+	}
+	// Find the cell containing x.
+	i := sort.SearchFloat64s(axis, x)
+	if i > 0 {
+		i--
+	}
+	start = i - (n-2)/2
+	if start < 0 {
+		start = 0
+	}
+	if start+n > len(axis) {
+		start = len(axis) - n
+	}
+	return start, n
+}
+
+func interp1D(axis, vals []float64, x float64, cubic bool) float64 {
+	s, n := stencil(axis, x, cubic)
+	return interp1DAt(axis[s:s+n], vals[s:s+n], x, cubic)
+}
+
+// interp1DAt interpolates within a small stencil: Lagrange polynomial
+// through all stencil points for cubic, linear with edge clamping otherwise.
+func interp1DAt(axis, vals []float64, x float64, cubic bool) float64 {
+	n := len(axis)
+	if n == 1 {
+		return vals[0]
+	}
+	if !cubic || n == 2 {
+		// Piecewise linear with clamped extrapolation.
+		if x <= axis[0] {
+			x = axis[0]
+		}
+		if x >= axis[n-1] {
+			x = axis[n-1]
+		}
+		i := sort.SearchFloat64s(axis, x)
+		if i > 0 {
+			i--
+		}
+		if i >= n-1 {
+			i = n - 2
+		}
+		t := (x - axis[i]) / (axis[i+1] - axis[i])
+		return vals[i]*(1-t) + vals[i+1]*t
+	}
+	// Clamp cubic queries to the stencil span to avoid polynomial runaway.
+	if x < axis[0] {
+		x = axis[0]
+	}
+	if x > axis[n-1] {
+		x = axis[n-1]
+	}
+	var sum float64
+	for i := 0; i < n; i++ {
+		li := 1.0
+		for j := 0; j < n; j++ {
+			if j != i {
+				li *= (x - axis[j]) / (axis[i] - axis[j])
+			}
+		}
+		sum += li * vals[i]
+	}
+	return sum
+}

@@ -1,0 +1,91 @@
+package nsigma
+
+import (
+	"fmt"
+
+	"repro/internal/charlib"
+	"repro/internal/stats"
+)
+
+// ArcModel is the complete N-sigma model of one timing arc: calibrated
+// moments, Table-I quantile coefficients, and the output-slew surface. It
+// answers the two questions STA asks of a cell arc — "what is the nσ delay
+// at this (slew, load)?" and "what slew does it hand downstream?".
+type ArcModel struct {
+	Arc charlib.Arc `json:"arc"`
+	// LUT is the moment/slew look-up table (Fig. 5's "coefficients file in
+	// the look-up table form") — the calibration the timing flow uses.
+	LUT MomentLUT `json:"lut"`
+	// Calib is the global polynomial response surface of eqs. (2)–(3),
+	// retained for the calibration ablation study.
+	Calib MomentCalib   `json:"calib"`
+	Quant QuantileModel `json:"quant"`
+	Slew  SlewModel     `json:"slew"`
+}
+
+// FitArc builds an ArcModel from a Monte-Carlo characterisation. The
+// quantile coefficients are regressed across every grid point, so one
+// coefficient set serves all operating conditions of the arc — the paper's
+// "A_ni and B_nj are fixed and still apply when the operating condition
+// changes".
+func FitArc(char *charlib.ArcChar) (*ArcModel, error) {
+	lut, err := BuildLUT(char)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", char.Arc, err)
+	}
+	calib, err := FitMomentCalib(char)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", char.Arc, err)
+	}
+	slew, err := FitSlewModel(char)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", char.Arc, err)
+	}
+	obs := make([]Observation, len(char.Grid))
+	for i, g := range char.Grid {
+		obs[i] = Observation{Moments: g.Moments, Quantiles: g.Quantiles}
+	}
+	quant, err := FitQuantileModel(obs)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", char.Arc, err)
+	}
+	return &ArcModel{Arc: char.Arc, LUT: *lut, Calib: *calib, Quant: *quant, Slew: *slew}, nil
+}
+
+// MomentsAt returns the calibrated moments at an operating condition
+// (LUT-interpolated).
+func (a *ArcModel) MomentsAt(slew, load float64) stats.Moments {
+	return a.LUT.MomentsAt(slew, load)
+}
+
+// MomentsAtGlobal evaluates the global polynomial calibration of
+// eqs. (2)–(3) instead of the LUT — the ablation variant.
+func (a *ArcModel) MomentsAtGlobal(slew, load float64) stats.Moments {
+	return a.Calib.MomentsAt(slew, load)
+}
+
+// Quantile returns T_c(nσ) at the given operating condition.
+func (a *ArcModel) Quantile(n int, slew, load float64) float64 {
+	return a.Quant.Quantile(a.LUT.MomentsAt(slew, load), n)
+}
+
+// QuantileGlobalCalib is Quantile evaluated through the global polynomial
+// calibration (ablation).
+func (a *ArcModel) QuantileGlobalCalib(n int, slew, load float64) float64 {
+	return a.Quant.Quantile(a.Calib.MomentsAt(slew, load), n)
+}
+
+// OutSlew returns the mean output transition time at an operating condition.
+func (a *ArcModel) OutSlew(slew, load float64) float64 {
+	return a.LUT.OutSlewAt(slew, load)
+}
+
+// Variability returns the delay variability ratio σ/µ at an operating
+// condition — the quantity the wire model's X coefficients scale (eq. 6).
+func (a *ArcModel) Variability(slew, load float64) float64 {
+	m := a.LUT.MomentsAt(slew, load)
+	if m.Mean <= 0 {
+		return 0
+	}
+	return m.Std / m.Mean
+}

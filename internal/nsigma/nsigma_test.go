@@ -1,0 +1,305 @@
+package nsigma
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/charlib"
+	"repro/internal/rng"
+	"repro/internal/stats"
+)
+
+// gaussQuantiles returns exact Gaussian quantiles for moments m.
+func gaussQuantiles(m stats.Moments) map[int]float64 {
+	q := map[int]float64{}
+	for _, n := range stats.SigmaLevels {
+		q[n] = m.Mean + float64(n)*m.Std
+	}
+	return q
+}
+
+func TestFitQuantileModelGaussian(t *testing.T) {
+	// Gaussian observations (γ=0, κ=3): features σγ and γκ vanish, σκ
+	// stays, but the target correction is 0, so every prediction must
+	// reduce to µ + nσ.
+	var obs []Observation
+	r := rng.New(1)
+	for i := 0; i < 30; i++ {
+		m := stats.Moments{Mean: 1e-11 + r.Float64()*1e-11, Std: 1e-12 + r.Float64()*1e-12, Skewness: 0, Kurtosis: 3}
+		obs = append(obs, Observation{Moments: m, Quantiles: gaussQuantiles(m)})
+	}
+	q, err := FitQuantileModel(obs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := stats.Moments{Mean: 2e-11, Std: 1.5e-12, Skewness: 0, Kurtosis: 3}
+	for _, n := range stats.SigmaLevels {
+		got := q.Quantile(m, n)
+		want := m.Mean + float64(n)*m.Std
+		if math.Abs(got-want) > 1e-15 {
+			t.Errorf("level %+d: %v want %v", n, got, want)
+		}
+	}
+}
+
+func TestFitQuantileModelRecoversPlantedCoefficients(t *testing.T) {
+	// Synthesise observations from a known coefficient set and refit.
+	want := QuantileModel{}
+	want.Coeffs[0] = []float64{0.05, 2e-13}       // -3: σκ, γκ
+	want.Coeffs[1] = []float64{-0.2, 0.03, 1e-13} // -2: σγ, σκ, γκ
+	want.Coeffs[2] = []float64{-0.3, 5e-14}       // -1: σγ, γκ
+	want.Coeffs[3] = []float64{-0.15, 2e-14}      // 0
+	want.Coeffs[4] = []float64{0.25, -4e-14}      // +1
+	want.Coeffs[5] = []float64{0.3, 0.08, -2e-13} // +2
+	want.Coeffs[6] = []float64{0.12, 6e-13}       // +3
+
+	r := rng.New(2)
+	var obs []Observation
+	for i := 0; i < 60; i++ {
+		m := stats.Moments{
+			Mean:     1e-11 * (1 + r.Float64()),
+			Std:      1e-12 * (0.5 + r.Float64()),
+			Skewness: 0.3 + 1.5*r.Float64(),
+			Kurtosis: 3 + 5*r.Float64(),
+		}
+		qs := map[int]float64{}
+		for _, n := range stats.SigmaLevels {
+			qs[n] = want.Quantile(m, n)
+		}
+		obs = append(obs, Observation{Moments: m, Quantiles: qs})
+	}
+	got, err := FitQuantileModel(obs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for lvl := range want.Coeffs {
+		for i := range want.Coeffs[lvl] {
+			w := want.Coeffs[lvl][i]
+			g := got.Coeffs[lvl][i]
+			if math.Abs(g-w) > 1e-6*(math.Abs(w)+1e-13) {
+				t.Errorf("level %d coeff %d: got %v want %v", lvl-3, i, g, w)
+			}
+		}
+	}
+}
+
+func TestQuantileExtension6Sigma(t *testing.T) {
+	// The ±6σ extension must reuse the ±3σ coefficients with the ±6σ base.
+	var q QuantileModel
+	for i := range q.Coeffs {
+		q.Coeffs[i] = make([]float64, len(FeatureNames(i-3)))
+	}
+	q.Coeffs[6] = []float64{0.1, 0}
+	m := stats.Moments{Mean: 10, Std: 1, Skewness: 1, Kurtosis: 5}
+	got6 := q.Quantile(m, 6)
+	want := m.Mean + 6*m.Std + 0.1*m.Std*m.Kurtosis
+	if math.Abs(got6-want) > 1e-12 {
+		t.Fatalf("+6σ extension: %v want %v", got6, want)
+	}
+	if q.Quantile(m, 6) <= q.Quantile(m, 3) {
+		t.Fatal("+6σ not beyond +3σ")
+	}
+}
+
+func TestFitQuantileModelErrors(t *testing.T) {
+	if _, err := FitQuantileModel(nil); err == nil {
+		t.Fatal("empty observations accepted")
+	}
+	// One observation cannot support 3 coefficients at ±2σ.
+	m := stats.Moments{Mean: 1, Std: 0.1, Skewness: 1, Kurtosis: 4}
+	obs := []Observation{{Moments: m, Quantiles: gaussQuantiles(m)}}
+	if _, err := FitQuantileModel(obs); err == nil {
+		t.Fatal("underdetermined fit accepted")
+	}
+}
+
+// plantedQuantileModel is the coefficient set synthChar generates quantiles
+// from, with level-appropriate feature sets.
+func plantedQuantileModel() *QuantileModel {
+	var pm QuantileModel
+	pm.Coeffs[0] = []float64{0.04, 1e-13}
+	pm.Coeffs[1] = []float64{-0.15, 0.02, 5e-14}
+	pm.Coeffs[2] = []float64{-0.25, 3e-14}
+	pm.Coeffs[3] = []float64{-0.1, 1e-14}
+	pm.Coeffs[4] = []float64{0.2, -2e-14}
+	pm.Coeffs[5] = []float64{0.25, 0.05, -1e-13}
+	pm.Coeffs[6] = []float64{0.1, 4e-13}
+	return &pm
+}
+
+// synthChar builds an ArcChar whose moments follow known smooth surfaces.
+func synthChar() *charlib.ArcChar {
+	slews := []float64{10e-12, 60e-12, 150e-12, 300e-12}
+	loads := []float64{0.1e-15, 0.4e-15, 1.2e-15, 3e-15, 6e-15}
+	ch := &charlib.ArcChar{Ref: charlib.Reference}
+	momAt := func(s, l float64) stats.Moments {
+		sp := s / 100e-12
+		lp := l / 2e-15
+		return stats.Moments{
+			Mean:     1e-11 * (1 + 0.8*sp + 1.5*lp + 0.1*sp*lp),
+			Std:      1e-12 * (1 + 0.3*sp + 0.5*lp),
+			Skewness: 1.2 + 0.2*sp - 0.1*lp + 0.05*sp*sp,
+			Kurtosis: 6 + 0.5*sp - 0.3*lp,
+		}
+	}
+	pm := plantedQuantileModel()
+	add := func(s, l float64) {
+		m := momAt(s, l)
+		qs := map[int]float64{}
+		for _, n := range stats.SigmaLevels {
+			qs[n] = pm.Quantile(m, n)
+		}
+		ch.Grid = append(ch.Grid, charlib.GridPoint{
+			Op:          charlib.OpPoint{Slew: s, Load: l},
+			Moments:     m,
+			Quantiles:   qs,
+			MeanOutSlew: 1.2*s + 5e-12 + 1e3*l,
+			Samples:     1000,
+		})
+	}
+	add(charlib.Reference.Slew, charlib.Reference.Load)
+	for _, s := range slews {
+		for _, l := range loads {
+			if s == charlib.Reference.Slew && l == charlib.Reference.Load {
+				continue
+			}
+			add(s, l)
+		}
+	}
+	return ch
+}
+
+func TestBuildLUTExactAtNodes(t *testing.T) {
+	ch := synthChar()
+	lut, err := BuildLUT(ch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, g := range ch.Grid {
+		m := lut.MomentsAt(g.Op.Slew, g.Op.Load)
+		if math.Abs(m.Mean-g.Moments.Mean) > 1e-18 {
+			t.Fatalf("LUT not exact at node S=%v C=%v: %v vs %v", g.Op.Slew, g.Op.Load, m.Mean, g.Moments.Mean)
+		}
+		if math.Abs(m.Kurtosis-g.Moments.Kurtosis) > 1e-9 {
+			t.Fatalf("kurtosis not node-exact: %v vs %v", m.Kurtosis, g.Moments.Kurtosis)
+		}
+	}
+}
+
+func TestLUTInterpolatesBetweenNodes(t *testing.T) {
+	ch := synthChar()
+	lut, err := BuildLUT(ch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Off-grid point: bilinear µ interpolation of a bilinear surface is
+	// exact.
+	s, l := 35e-12, 0.8e-15
+	sp := s / 100e-12
+	lp := l / 2e-15
+	wantMu := 1e-11 * (1 + 0.8*sp + 1.5*lp + 0.1*sp*lp)
+	got := lut.MomentsAt(s, l)
+	if math.Abs(got.Mean-wantMu)/wantMu > 0.01 {
+		t.Fatalf("off-grid µ %v want %v", got.Mean, wantMu)
+	}
+	// Clamped outside the grid: no explosion.
+	far := lut.MomentsAt(5e-9, 100e-15)
+	if far.Mean <= 0 || math.IsNaN(far.Kurtosis) || far.Kurtosis > 100 {
+		t.Fatalf("off-grid clamp failed: %+v", far)
+	}
+}
+
+func TestBuildLUTRejectsPartialGrid(t *testing.T) {
+	ch := synthChar()
+	ch.Grid = ch.Grid[:len(ch.Grid)-1]
+	if _, err := BuildLUT(ch); err == nil {
+		t.Fatal("partial cross product accepted")
+	}
+}
+
+func TestFitMomentCalibSmoothSurface(t *testing.T) {
+	ch := synthChar()
+	mc, err := FitMomentCalib(ch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The planted µ surface is exactly bilinear-with-cross, so the global
+	// polynomial must reproduce it off grid.
+	s, l := 80e-12, 2e-15
+	sp := s / 100e-12
+	lp := l / 2e-15
+	wantMu := 1e-11 * (1 + 0.8*sp + 1.5*lp + 0.1*sp*lp)
+	got := mc.MomentsAt(s, l)
+	if math.Abs(got.Mean-wantMu)/wantMu > 1e-6 {
+		t.Fatalf("global calib µ %v want %v", got.Mean, wantMu)
+	}
+	// γ surface has a quadratic term — cubic fit must capture it.
+	wantGamma := 1.2 + 0.2*sp - 0.1*lp + 0.05*sp*sp
+	if math.Abs(got.Skewness-wantGamma) > 1e-5 {
+		t.Fatalf("global calib γ %v want %v", got.Skewness, wantGamma)
+	}
+}
+
+func TestMomentCalibClampsToEnvelope(t *testing.T) {
+	ch := synthChar()
+	mc, err := FitMomentCalib(ch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Far outside the grid the cubic would run away; the envelope clamp
+	// must bound γ and κ.
+	m := mc.MomentsAt(3e-9, 60e-15)
+	if m.Skewness < mc.GammaRange[0]-1e-9 || m.Skewness > mc.GammaRange[1]+1e-9 {
+		t.Fatalf("γ %v escaped envelope %v", m.Skewness, mc.GammaRange)
+	}
+	if m.Kurtosis < m.Skewness*m.Skewness+1-1e-9 {
+		t.Fatalf("Pearson bound violated: κ=%v γ=%v", m.Kurtosis, m.Skewness)
+	}
+}
+
+func TestFitSlewModel(t *testing.T) {
+	ch := synthChar()
+	sm, err := FitSlewModel(ch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, l := 120e-12, 2.5e-15
+	want := 1.2*s + 5e-12 + 1e3*l
+	if got := sm.OutSlew(s, l); math.Abs(got-want)/want > 1e-6 {
+		t.Fatalf("slew model %v want %v", got, want)
+	}
+	if sm.OutSlew(-1e-9, -1e-12) < 1e-13 {
+		t.Fatal("slew floor not applied")
+	}
+}
+
+func TestFitArcEndToEnd(t *testing.T) {
+	ch := synthChar()
+	am, err := FitArc(ch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// At a grid node the model must reproduce the planted quantiles.
+	g := ch.Grid[3]
+	for _, n := range []int{-3, 0, 3} {
+		got := am.Quantile(n, g.Op.Slew, g.Op.Load)
+		want := g.Quantiles[n]
+		if math.Abs(got-want)/math.Abs(want) > 1e-6 {
+			t.Errorf("level %+d at node: %v want %v", n, got, want)
+		}
+	}
+	if v := am.Variability(g.Op.Slew, g.Op.Load); math.Abs(v-g.Moments.Std/g.Moments.Mean) > 1e-9 {
+		t.Errorf("Variability %v", v)
+	}
+	// Ablation accessor must evaluate through the polynomial surface.
+	if am.QuantileGlobalCalib(0, g.Op.Slew, g.Op.Load) <= 0 {
+		t.Error("global-calib quantile broken")
+	}
+}
+
+func TestGaussianQuantileHelper(t *testing.T) {
+	m := stats.Moments{Mean: 10, Std: 2}
+	if g := GaussianQuantile(m, 3); g != 16 {
+		t.Fatalf("GaussianQuantile %v", g)
+	}
+}

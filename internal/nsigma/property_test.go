@@ -1,0 +1,90 @@
+package nsigma
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+	"repro/internal/stats"
+)
+
+func TestLUTInterpolationBoundedProperty(t *testing.T) {
+	// Linear interpolation of µ and σ can never leave the envelope of the
+	// node values, for any query point.
+	ch := synthChar()
+	lut, err := BuildLUT(ch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var muLo, muHi = math.Inf(1), math.Inf(-1)
+	for _, g := range ch.Grid {
+		muLo = math.Min(muLo, g.Moments.Mean)
+		muHi = math.Max(muHi, g.Moments.Mean)
+	}
+	err = quick.Check(func(sRaw, lRaw float64) bool {
+		s := math.Mod(math.Abs(sRaw), 1e-9)
+		l := math.Mod(math.Abs(lRaw), 2e-14)
+		m := lut.MomentsAt(s, l)
+		return m.Mean >= muLo-1e-18 && m.Mean <= muHi+1e-18 && m.Std > 0
+	}, &quick.Config{MaxCount: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuantileOrderingUnderGaussianModel(t *testing.T) {
+	// With zero correction coefficients the model is exactly µ + nσ, which
+	// must be strictly increasing in n for any positive σ.
+	var q QuantileModel
+	for i := range q.Coeffs {
+		q.Coeffs[i] = make([]float64, len(FeatureNames(i-3)))
+	}
+	r := rng.New(55)
+	err := quick.Check(func(seed uint64) bool {
+		rr := r.Split(seed)
+		m := stats.Moments{
+			Mean:     1e-11 * (0.5 + rr.Float64()),
+			Std:      1e-12 * (0.1 + rr.Float64()),
+			Skewness: rr.NormFloat64(),
+			Kurtosis: 3 + math.Abs(rr.NormFloat64()),
+		}
+		prev := math.Inf(-1)
+		for n := -6; n <= 6; n++ {
+			v := q.Quantile(m, n)
+			if v <= prev {
+				return false
+			}
+			prev = v
+		}
+		return true
+	}, &quick.Config{MaxCount: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCalibratedMomentsAlwaysPhysicalProperty(t *testing.T) {
+	// Whatever operating point is queried, the calibrated moments must be
+	// physical: σ > 0 and the Pearson bound κ ≥ γ² + 1.
+	ch := synthChar()
+	am, err := FitArc(ch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	check := func(f func(s, l float64) stats.Moments) func(float64, float64) bool {
+		return func(sRaw, lRaw float64) bool {
+			s := math.Mod(math.Abs(sRaw), 5e-9)
+			l := math.Mod(math.Abs(lRaw), 1e-13)
+			m := f(s, l)
+			return m.Std > 0 && m.Kurtosis >= m.Skewness*m.Skewness+1-1e-9 &&
+				!math.IsNaN(m.Mean) && !math.IsInf(m.Mean, 0)
+		}
+	}
+	if err := quick.Check(check(am.MomentsAt), &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal("LUT path:", err)
+	}
+	if err := quick.Check(check(am.MomentsAtGlobal), &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal("polynomial path:", err)
+	}
+}

@@ -1,0 +1,220 @@
+// Package nsigma implements the paper's primary contribution: the N-sigma
+// delay model. A cell-delay distribution is summarised by its first four
+// moments [µ, σ, γ, κ]; each nσ quantile (-3σ…+3σ, the 0.14 %…99.86 % points
+// of Table I) is a closed form in those moments with regression
+// coefficients A_ni / B_nj; and the moments themselves are calibrated for
+// operating conditions (input slew S, output load C) by the interpolation of
+// eqs. (1)–(3). The fitted artefacts serialise into the "coefficients file"
+// of Fig. 5 (see package timinglib).
+package nsigma
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/linalg"
+	"repro/internal/stats"
+)
+
+// MinSigmaLevel and MaxSigmaLevel bound the native Table-I levels. Eval
+// accepts levels beyond this range (the paper's ±6σ extension) by reusing
+// the ±3σ coefficient sets with the µ + nσ base term.
+const (
+	MinSigmaLevel = -3
+	MaxSigmaLevel = 3
+)
+
+// quantileFeatures returns the Table-I regression features for sigma level
+// n given moments m. The base term µ + n·σ is NOT included; it is added
+// analytically, so the regression only learns the non-Gaussian correction.
+//
+//	|n| ≤ 1 : [σγ, γκ]          (skewness-dominated region)
+//	|n| = 2 : [σγ, σκ, γκ]      (both effects visible)
+//	|n| = 3 : [σκ, γκ]          (tail, kurtosis-dominated)
+func quantileFeatures(n int, m stats.Moments) []float64 {
+	sg := m.Std * m.Skewness
+	sk := m.Std * m.Kurtosis
+	gk := m.Skewness * m.Kurtosis
+	switch abs(n) {
+	case 0, 1:
+		return []float64{sg, gk}
+	case 2:
+		return []float64{sg, sk, gk}
+	default:
+		return []float64{sk, gk}
+	}
+}
+
+// FeatureNames documents the feature layout of each level's coefficients.
+func FeatureNames(n int) []string {
+	switch abs(n) {
+	case 0, 1:
+		return []string{"sigma*gamma", "gamma*kappa"}
+	case 2:
+		return []string{"sigma*gamma", "sigma*kappa", "gamma*kappa"}
+	default:
+		return []string{"sigma*kappa", "gamma*kappa"}
+	}
+}
+
+func abs(n int) int {
+	if n < 0 {
+		return -n
+	}
+	return n
+}
+
+// clampLevel maps any requested level onto the coefficient set used to
+// evaluate it (the ±6σ extension reuses the ±3σ coefficients).
+func clampLevel(n int) int {
+	if n > MaxSigmaLevel {
+		return MaxSigmaLevel
+	}
+	if n < MinSigmaLevel {
+		return MinSigmaLevel
+	}
+	return n
+}
+
+// QuantileModel holds the fitted A_ni/B_nj coefficients of Table I: one
+// coefficient vector per sigma level -3…+3 (indexed by level+3), matching
+// quantileFeatures.
+type QuantileModel struct {
+	Coeffs [7][]float64 `json:"coeffs"`
+}
+
+// Quantile evaluates T_c(nσ) for moments m. Levels beyond ±3 use the ±3
+// coefficient sets with the µ + n·σ base (the paper's ±6σ extension).
+func (q *QuantileModel) Quantile(m stats.Moments, n int) float64 {
+	base := m.Mean + float64(n)*m.Std
+	cl := clampLevel(n)
+	coeffs := q.Coeffs[cl+3]
+	feats := quantileFeatures(cl, m)
+	for i, c := range coeffs {
+		base += c * feats[i]
+	}
+	return base
+}
+
+// GaussianQuantile is the naive µ + n·σ estimate the paper's model corrects;
+// exported for baseline comparisons and ablations.
+func GaussianQuantile(m stats.Moments, n int) float64 {
+	return m.Mean + float64(n)*m.Std
+}
+
+// Observation pairs measured moments with the measured quantiles they must
+// reproduce — one row of the regression input set (one operating condition).
+type Observation struct {
+	Moments   stats.Moments
+	Quantiles map[int]float64 // sigma level → golden quantile
+}
+
+// timeScaled reports which features of level n carry time units (contain
+// σ); the rest (γκ) are dimensionless. Fitting normalises the time-unit
+// columns by the observation set's σ scale so that degenerate-column
+// detection compares like with like.
+func timeScaled(n int) []bool {
+	switch abs(n) {
+	case 0, 1:
+		return []bool{true, false} // σγ, γκ
+	case 2:
+		return []bool{true, true, false} // σγ, σκ, γκ
+	default:
+		return []bool{true, false} // σκ, γκ
+	}
+}
+
+// FitQuantileModel regresses the Table-I coefficients from golden
+// Monte-Carlo observations. Each sigma level is fitted independently by
+// least squares of (q_golden − (µ + nσ)) on that level's features.
+func FitQuantileModel(obs []Observation) (*QuantileModel, error) {
+	if len(obs) == 0 {
+		return nil, errors.New("nsigma: no observations")
+	}
+	// Natural time scale of the observation set, used to make every
+	// feature column dimensionless before conditioning checks.
+	var ts float64
+	for _, o := range obs {
+		ts += o.Moments.Std
+	}
+	ts /= float64(len(obs))
+	if ts <= 0 {
+		ts = 1
+	}
+	var q QuantileModel
+	for _, n := range stats.SigmaLevels {
+		nf := len(FeatureNames(n))
+		scaleMask := timeScaled(n)
+		rows := make([][]float64, 0, len(obs))
+		rhs := make([]float64, 0, len(obs))
+		for _, o := range obs {
+			golden, ok := o.Quantiles[n]
+			if !ok {
+				continue
+			}
+			feats := quantileFeatures(n, o.Moments)
+			for j := range feats {
+				if scaleMask[j] {
+					feats[j] /= ts
+				}
+			}
+			rows = append(rows, feats)
+			// The target is a time, scaled to the same unit system.
+			rhs = append(rhs, (golden-GaussianQuantile(o.Moments, n))/ts)
+		}
+		if len(rows) < nf {
+			return nil, fmt.Errorf("nsigma: level %+d has %d observations for %d coefficients", n, len(rows), nf)
+		}
+		// Characterisation data can make a feature column degenerate — e.g.
+		// σγ over a grid with vanishing skewness. Such a feature carries no
+		// information; its coefficient is pinned to zero and the fit runs
+		// over the remaining columns.
+		norms := make([]float64, nf)
+		var maxNorm float64
+		for j := 0; j < nf; j++ {
+			for _, row := range rows {
+				norms[j] += row[j] * row[j]
+			}
+			norms[j] = math.Sqrt(norms[j])
+			if norms[j] > maxNorm {
+				maxNorm = norms[j]
+			}
+		}
+		var keep []int
+		for j := 0; j < nf; j++ {
+			if norms[j] > 1e-12*maxNorm {
+				keep = append(keep, j)
+			}
+		}
+		if len(keep) == 0 {
+			q.Coeffs[n+3] = make([]float64, nf)
+			continue
+		}
+		sub := make([][]float64, len(rows))
+		for i, row := range rows {
+			sr := make([]float64, len(keep))
+			for k, j := range keep {
+				sr[k] = row[j]
+			}
+			sub[i] = sr
+		}
+		coef, err := linalg.LeastSquares(linalg.FromRows(sub), rhs)
+		if err != nil {
+			return nil, fmt.Errorf("nsigma: level %+d: %w", n, err)
+		}
+		// Undo the unit scaling: with target and time features both divided
+		// by ts, time-feature coefficients are already in final units while
+		// dimensionless-feature coefficients absorb one factor of ts.
+		full := make([]float64, nf)
+		for k, j := range keep {
+			if scaleMask[j] {
+				full[j] = coef[k]
+			} else {
+				full[j] = coef[k] * ts
+			}
+		}
+		q.Coeffs[n+3] = full
+	}
+	return &q, nil
+}

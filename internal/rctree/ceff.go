@@ -1,0 +1,53 @@
+package rctree
+
+import "math"
+
+// EffectiveCap returns an effective-capacitance approximation of the load
+// a driver sees from this tree: total capacitance derated for resistive
+// shielding, in the spirit of the O'Brien/Savarino two-π reduction the
+// LVF flow the paper cites uses ("the effective capacitance is added to
+// the output load of cells").
+//
+// The derating uses the ratio of the tree's intrinsic time constant to the
+// driver's transition time: capacitance hidden behind wire resistance that
+// cannot charge within the transition does not load the driver.
+//
+//	Ceff = Croot + Σ_k C_k / (1 + m·τ_k/T)
+//
+// where τ_k is the RC time constant from the root to node k and T the
+// transition time. m = 2 fits the classic two-π behaviour: τ_k ≪ T →
+// full loading; τ_k ≫ T → shielded.
+func (t *Tree) EffectiveCap(transition float64) float64 {
+	if transition <= 0 {
+		return t.TotalCap()
+	}
+	// Resistance from root to each node.
+	rUp := make([]float64, len(t.Nodes))
+	for i := 1; i < len(t.Nodes); i++ {
+		rUp[i] = rUp[t.Nodes[i].Parent] + t.Nodes[i].R
+	}
+	const m = 2.0
+	var ceff float64
+	for i, n := range t.Nodes {
+		tau := rUp[i] * n.C
+		ceff += n.C / (1 + m*tau/transition)
+	}
+	if ceff > t.TotalCap() {
+		return t.TotalCap()
+	}
+	return ceff
+}
+
+// ShieldingFactor reports how much of the total capacitance the driver
+// actually sees at the given transition time (Ceff/Ctotal ∈ (0, 1]).
+func (t *Tree) ShieldingFactor(transition float64) float64 {
+	tot := t.TotalCap()
+	if tot <= 0 {
+		return 1
+	}
+	f := t.EffectiveCap(transition) / tot
+	if math.IsNaN(f) {
+		return 1
+	}
+	return f
+}

@@ -1,0 +1,58 @@
+package rctree
+
+import (
+	"math"
+	"testing"
+)
+
+func TestEffectiveCapBounds(t *testing.T) {
+	tr, _, _ := ladder(500, 2e-15, 800, 3e-15)
+	tot := tr.TotalCap()
+	for _, tr8 := range []float64{1e-12, 10e-12, 100e-12} {
+		ceff := tr.EffectiveCap(tr8)
+		if ceff <= 0 || ceff > tot+1e-30 {
+			t.Fatalf("Ceff %v outside (0, %v] at T=%v", ceff, tot, tr8)
+		}
+	}
+}
+
+func TestEffectiveCapMonotoneInTransition(t *testing.T) {
+	tr, _, _ := ladder(500, 2e-15, 800, 3e-15)
+	prev := 0.0
+	for _, tr8 := range []float64{1e-12, 5e-12, 20e-12, 100e-12, 1e-9} {
+		ceff := tr.EffectiveCap(tr8)
+		if ceff < prev {
+			t.Fatalf("Ceff not increasing with transition time at %v", tr8)
+		}
+		prev = ceff
+	}
+	// Slow transitions see essentially the whole load.
+	if f := tr.ShieldingFactor(1e-8); f < 0.99 {
+		t.Fatalf("slow-transition shielding factor %v", f)
+	}
+}
+
+func TestEffectiveCapShieldsDistantLoad(t *testing.T) {
+	// Same total cap, but one tree hides it behind 10 kΩ: at fast
+	// transitions the shielded tree must present less load.
+	near := NewTree("near", 0)
+	near.AddNode("a", 0, 1, 5e-15)
+	far := NewTree("far", 0)
+	far.AddNode("a", 0, 10e3, 5e-15)
+	const tr8 = 5e-12
+	if far.EffectiveCap(tr8) >= near.EffectiveCap(tr8) {
+		t.Fatalf("resistive shielding missing: far %v vs near %v",
+			far.EffectiveCap(tr8), near.EffectiveCap(tr8))
+	}
+}
+
+func TestEffectiveCapDegenerate(t *testing.T) {
+	tr, _, _ := ladder(500, 2e-15, 800, 3e-15)
+	if got := tr.EffectiveCap(0); math.Abs(got-tr.TotalCap()) > 1e-30 {
+		t.Fatal("zero transition should fall back to total cap")
+	}
+	empty := NewTree("e", 0)
+	if f := empty.ShieldingFactor(1e-12); f != 1 {
+		t.Fatalf("empty-tree shielding factor %v", f)
+	}
+}

@@ -1,0 +1,108 @@
+package rctree
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+)
+
+// randomTreeFrom builds a random valid tree with n extra nodes.
+func randomTreeFrom(r *rng.Stream, n int) *Tree {
+	t := NewTree("p", r.Float64()*1e-15)
+	for i := 0; i < n; i++ {
+		parent := r.Intn(len(t.Nodes))
+		t.AddNode("", parent, 10+900*r.Float64(), r.Float64()*3e-15)
+	}
+	return t
+}
+
+func TestElmoreScalingProperty(t *testing.T) {
+	// Elmore is bilinear: scaling every R by a scales every Elmore by a;
+	// same for C.
+	r := rng.New(31)
+	err := quick.Check(func(seed uint64, kRaw float64) bool {
+		k := 0.1 + math.Mod(math.Abs(kRaw), 10)
+		rr := r.Split(seed)
+		tr := randomTreeFrom(rr, 1+rr.Intn(12))
+		scaledR := tr.Clone()
+		scaledC := tr.Clone()
+		for i := range scaledR.Nodes {
+			if i > 0 {
+				scaledR.Nodes[i].R *= k
+			}
+			scaledC.Nodes[i].C *= k
+		}
+		for i := 1; i < len(tr.Nodes); i++ {
+			base := tr.Elmore(i)
+			if base == 0 {
+				continue
+			}
+			if math.Abs(scaledR.Elmore(i)-k*base) > 1e-9*k*base {
+				return false
+			}
+			if math.Abs(scaledC.Elmore(i)-k*base) > 1e-9*k*base {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestElmoreMonotoneAlongPathProperty(t *testing.T) {
+	// Elmore can only grow walking away from the root.
+	r := rng.New(32)
+	err := quick.Check(func(seed uint64) bool {
+		rr := r.Split(seed)
+		tr := randomTreeFrom(rr, 1+rr.Intn(15))
+		for i := 1; i < len(tr.Nodes); i++ {
+			if tr.Elmore(i) < tr.Elmore(tr.Nodes[i].Parent)-1e-30 {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 60})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestD2MNeverExceedsElmoreProperty(t *testing.T) {
+	// For RC trees, m2 ≥ m1² (Cauchy-Schwarz over the impulse response),
+	// so D2M = ln2·m1²/√m2 ≤ ln2·m1 < m1.
+	r := rng.New(33)
+	err := quick.Check(func(seed uint64) bool {
+		rr := r.Split(seed)
+		tr := randomTreeFrom(rr, 1+rr.Intn(15))
+		for i := 1; i < len(tr.Nodes); i++ {
+			if tr.Elmore(i) == 0 {
+				continue
+			}
+			if tr.D2M(i) > tr.Elmore(i)*(1+1e-12) {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 60})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEffectiveCapBoundedProperty(t *testing.T) {
+	r := rng.New(34)
+	err := quick.Check(func(seed uint64, trRaw float64) bool {
+		rr := r.Split(seed)
+		tr := randomTreeFrom(rr, 1+rr.Intn(15))
+		T := math.Mod(math.Abs(trRaw), 1e-10) + 1e-13
+		ceff := tr.EffectiveCap(T)
+		return ceff > 0 && ceff <= tr.TotalCap()+1e-30
+	}, &quick.Config{MaxCount: 60})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,214 @@
+package rctree
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// This file implements a pragmatic subset of the Standard Parasitic
+// Exchange Format: a header plus *D_NET blocks with *CAP and *RES sections.
+// It is what the layout extractor emits and what the STA flow consumes —
+// the same role SPEF files from IC Compiler play in the paper's flow.
+//
+// Units follow the emitted header: *T_UNIT 1 PS, *C_UNIT 1 FF, *R_UNIT 1 OHM.
+// In-memory trees are always SI (seconds, farads, ohms).
+
+const (
+	spefCapUnit = 1e-15 // fF
+	spefResUnit = 1.0   // ohm
+)
+
+// WriteSPEF serialises the given trees as a SPEF subset document.
+func WriteSPEF(w io.Writer, design string, trees []*Tree) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "*SPEF \"IEEE 1481 subset\"\n*DESIGN \"%s\"\n", design)
+	fmt.Fprintf(bw, "*T_UNIT 1 PS\n*C_UNIT 1 FF\n*R_UNIT 1 OHM\n\n")
+	for _, t := range trees {
+		if err := t.Validate(); err != nil {
+			return err
+		}
+		fmt.Fprintf(bw, "*D_NET %s %.6g\n", t.Net, t.TotalCap()/spefCapUnit)
+		fmt.Fprintf(bw, "*CAP\n")
+		for i, n := range t.Nodes {
+			if n.C != 0 {
+				fmt.Fprintf(bw, "%d %s:%s %.6g\n", i+1, t.Net, n.Name, n.C/spefCapUnit)
+			}
+		}
+		fmt.Fprintf(bw, "*RES\n")
+		idx := 1
+		for i := 1; i < len(t.Nodes); i++ {
+			n := t.Nodes[i]
+			fmt.Fprintf(bw, "%d %s:%s %s:%s %.6g\n", idx,
+				t.Net, t.Nodes[n.Parent].Name, t.Net, n.Name, n.R/spefResUnit)
+			idx++
+		}
+		fmt.Fprintf(bw, "*END\n\n")
+	}
+	return bw.Flush()
+}
+
+// ParseSPEF reads a SPEF subset document and reconstructs the RC trees,
+// keyed by net name. Only *D_NET/*CAP/*RES/*END blocks are interpreted;
+// header lines are validated for the units this package emits.
+func ParseSPEF(r io.Reader) (map[string]*Tree, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 16*1024*1024)
+	trees := make(map[string]*Tree)
+
+	var (
+		curNet  string
+		caps    map[string]float64
+		edges   []resPair
+		lineNum int
+	)
+	flush := func() error {
+		if curNet == "" {
+			return nil
+		}
+		t, err := assembleTree(curNet, caps, edges)
+		if err != nil {
+			return err
+		}
+		trees[curNet] = t
+		curNet, caps, edges = "", nil, nil
+		return nil
+	}
+	section := ""
+	for sc.Scan() {
+		lineNum++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "//") {
+			continue
+		}
+		switch {
+		case strings.HasPrefix(line, "*D_NET"):
+			if err := flush(); err != nil {
+				return nil, err
+			}
+			fields := strings.Fields(line)
+			if len(fields) < 2 {
+				return nil, fmt.Errorf("spef line %d: malformed *D_NET", lineNum)
+			}
+			curNet = fields[1]
+			caps = make(map[string]float64)
+			section = ""
+		case line == "*CAP":
+			section = "cap"
+		case line == "*RES":
+			section = "res"
+		case line == "*END":
+			if err := flush(); err != nil {
+				return nil, err
+			}
+			section = ""
+		case strings.HasPrefix(line, "*"):
+			// Header directives; only sanity-check the units we rely on.
+			fields := strings.Fields(line)
+			unit := ""
+			if len(fields) >= 3 {
+				unit = strings.ToUpper(fields[len(fields)-1])
+			}
+			if strings.HasPrefix(line, "*C_UNIT") && unit != "FF" {
+				return nil, fmt.Errorf("spef line %d: unsupported C unit %q", lineNum, line)
+			}
+			if strings.HasPrefix(line, "*R_UNIT") && unit != "OHM" {
+				return nil, fmt.Errorf("spef line %d: unsupported R unit %q", lineNum, line)
+			}
+		default:
+			fields := strings.Fields(line)
+			switch section {
+			case "cap":
+				if len(fields) != 3 {
+					return nil, fmt.Errorf("spef line %d: malformed cap entry", lineNum)
+				}
+				v, err := strconv.ParseFloat(fields[2], 64)
+				if err != nil {
+					return nil, fmt.Errorf("spef line %d: %w", lineNum, err)
+				}
+				caps[nodePart(fields[1])] += v * spefCapUnit
+			case "res":
+				if len(fields) != 4 {
+					return nil, fmt.Errorf("spef line %d: malformed res entry", lineNum)
+				}
+				v, err := strconv.ParseFloat(fields[3], 64)
+				if err != nil {
+					return nil, fmt.Errorf("spef line %d: %w", lineNum, err)
+				}
+				edges = append(edges, resPair{a: nodePart(fields[1]), b: nodePart(fields[2]), r: v * spefResUnit})
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if err := flush(); err != nil {
+		return nil, err
+	}
+	return trees, nil
+}
+
+// nodePart strips the "net:" prefix of a SPEF node reference. Only the
+// first colon separates net from node — node names themselves may contain
+// colons (the extractor emits leaves like "pin:U1:A").
+func nodePart(ref string) string {
+	if i := strings.IndexByte(ref, ':'); i >= 0 {
+		return ref[i+1:]
+	}
+	return ref
+}
+
+type resPair struct {
+	a, b string
+	r    float64
+}
+
+// assembleTree rebuilds a Tree from node capacitances and resistor edges.
+// The node named "root" anchors the tree; edges may appear in any order and
+// orientation.
+func assembleTree(net string, caps map[string]float64, edges []resPair) (*Tree, error) {
+	adj := make(map[string][]resPair)
+	names := make(map[string]bool)
+	for _, e := range edges {
+		adj[e.a] = append(adj[e.a], e)
+		adj[e.b] = append(adj[e.b], resPair{a: e.b, b: e.a, r: e.r})
+		names[e.a] = true
+		names[e.b] = true
+	}
+	for n := range caps {
+		names[n] = true
+	}
+	if !names["root"] {
+		return nil, fmt.Errorf("spef net %s: no node named root", net)
+	}
+	t := NewTree(net, caps["root"])
+	// BFS from root; deterministic order via sorted adjacency.
+	for n := range adj {
+		sort.Slice(adj[n], func(i, j int) bool { return adj[n][i].b < adj[n][j].b })
+	}
+	index := map[string]int{"root": 0}
+	queue := []string{"root"}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		for _, e := range adj[cur] {
+			if _, seen := index[e.b]; seen {
+				continue
+			}
+			idx := t.AddNode(e.b, index[cur], e.r, caps[e.b])
+			index[e.b] = idx
+			queue = append(queue, e.b)
+		}
+	}
+	if len(index) != len(names) {
+		return nil, fmt.Errorf("spef net %s: disconnected parasitics (%d of %d nodes reachable)",
+			net, len(index), len(names))
+	}
+	if len(t.Nodes) != len(edges)+1 {
+		return nil, fmt.Errorf("spef net %s: parasitics contain loops", net)
+	}
+	return t, t.Validate()
+}

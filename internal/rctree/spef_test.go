@@ -1,0 +1,134 @@
+package rctree
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+func sampleTrees() []*Tree {
+	a := NewTree("net_a", 0.05e-15)
+	n1 := a.AddNode("n1", 0, 120, 0.7e-15)
+	a.AddNode("pin:U1:A", n1, 80, 1.3e-15)
+	a.AddNode("pin:U2:B", n1, 95, 0.9e-15)
+
+	b := NewTree("net_b", 0)
+	b.AddNode("pin:U3:A", 0, 240, 2.1e-15)
+	return []*Tree{a, b}
+}
+
+func TestSPEFRoundTrip(t *testing.T) {
+	trees := sampleTrees()
+	var buf bytes.Buffer
+	if err := WriteSPEF(&buf, "testdesign", trees); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ParseSPEF(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(trees) {
+		t.Fatalf("parsed %d nets want %d", len(got), len(trees))
+	}
+	for _, want := range trees {
+		g := got[want.Net]
+		if g == nil {
+			t.Fatalf("net %s missing", want.Net)
+		}
+		// Topology may be re-ordered by BFS; compare the timing-relevant
+		// invariants per leaf instead of node order.
+		if math.Abs(g.TotalCap()-want.TotalCap()) > 1e-21 {
+			t.Fatalf("net %s total cap %v want %v", want.Net, g.TotalCap(), want.TotalCap())
+		}
+		for _, leaf := range want.Leaves() {
+			name := want.Nodes[leaf].Name
+			gLeaf := g.NodeIndex(name)
+			if gLeaf < 0 {
+				t.Fatalf("net %s leaf %s missing after round trip", want.Net, name)
+			}
+			// SPEF text carries 6 significant digits.
+			if math.Abs(g.Elmore(gLeaf)-want.Elmore(leaf)) > 1e-5*want.Elmore(leaf) {
+				t.Fatalf("net %s leaf %s Elmore %v want %v",
+					want.Net, name, g.Elmore(gLeaf), want.Elmore(leaf))
+			}
+		}
+	}
+}
+
+func TestParseSPEFRejectsLoops(t *testing.T) {
+	doc := `*SPEF "x"
+*C_UNIT 1 FF
+*R_UNIT 1 OHM
+*D_NET loopy 1.0
+*CAP
+1 loopy:root 0.5
+2 loopy:a 0.5
+*RES
+1 loopy:root loopy:a 100
+2 loopy:a loopy:root 100
+*END
+`
+	if _, err := ParseSPEF(strings.NewReader(doc)); err == nil {
+		t.Fatal("looped parasitics accepted")
+	}
+}
+
+func TestParseSPEFRejectsDisconnected(t *testing.T) {
+	doc := `*D_NET island 1.0
+*CAP
+1 island:root 0.5
+2 island:far 0.5
+*RES
+1 island:a island:b 100
+*END
+`
+	if _, err := ParseSPEF(strings.NewReader(doc)); err == nil {
+		t.Fatal("disconnected parasitics accepted")
+	}
+}
+
+func TestParseSPEFRejectsMissingRoot(t *testing.T) {
+	doc := `*D_NET norootnet 1.0
+*CAP
+1 norootnet:a 0.5
+*RES
+1 norootnet:a norootnet:b 100
+*END
+`
+	if _, err := ParseSPEF(strings.NewReader(doc)); err == nil {
+		t.Fatal("net without root accepted")
+	}
+}
+
+func TestParseSPEFUnitValidation(t *testing.T) {
+	doc := "*C_UNIT 1 PF\n"
+	if _, err := ParseSPEF(strings.NewReader(doc)); err == nil {
+		t.Fatal("wrong cap unit accepted")
+	}
+	doc = "*R_UNIT 1 KOHM\n"
+	if _, err := ParseSPEF(strings.NewReader(doc)); err == nil {
+		t.Fatal("wrong res unit accepted")
+	}
+}
+
+func TestParseSPEFMalformedEntries(t *testing.T) {
+	for _, doc := range []string{
+		"*D_NET\n",
+		"*D_NET n 1\n*CAP\n1 n:a\n*END\n",
+		"*D_NET n 1\n*CAP\n1 n:a notanumber\n*END\n",
+		"*D_NET n 1\n*RES\n1 n:a n:b\n*END\n",
+	} {
+		if _, err := ParseSPEF(strings.NewReader(doc)); err == nil {
+			t.Errorf("accepted %q", doc)
+		}
+	}
+}
+
+func TestWriteSPEFValidates(t *testing.T) {
+	bad := &Tree{Net: "bad", Nodes: []TNode{{Parent: -1}, {Parent: 0, R: -1}}}
+	var buf bytes.Buffer
+	if err := WriteSPEF(&buf, "d", []*Tree{bad}); err == nil {
+		t.Fatal("invalid tree serialised")
+	}
+}

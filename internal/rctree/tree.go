@@ -1,0 +1,230 @@
+// Package rctree models interconnect parasitics as RC trees and computes
+// their classical delay metrics: the Elmore delay (first moment of the
+// impulse response, eq. 4 of the paper) and the two-moment D2M metric used
+// as an additional baseline. Trees can be instantiated into the transistor-
+// level simulator (with process variation on every segment) and round-trip
+// through a SPEF subset.
+package rctree
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/circuit"
+	"repro/internal/rng"
+	"repro/internal/variation"
+)
+
+// TNode is one node of an RC tree. The root (index 0) is the driver output;
+// every other node hangs off its parent through a resistance R and carries a
+// grounded capacitance C.
+type TNode struct {
+	Name   string  `json:"name"`
+	Parent int     `json:"parent"` // -1 for the root
+	R      float64 `json:"r"`      // ohms, segment from parent (0 for root)
+	C      float64 `json:"c"`      // farads to ground
+}
+
+// Tree is an RC tree for one net.
+type Tree struct {
+	Net   string  `json:"net"`
+	Nodes []TNode `json:"nodes"`
+}
+
+// NewTree returns a tree containing only the root node with the given
+// grounded capacitance.
+func NewTree(net string, rootCap float64) *Tree {
+	return &Tree{Net: net, Nodes: []TNode{{Name: "root", Parent: -1, C: rootCap}}}
+}
+
+// AddNode grows the tree: a new node hangs off parent through r ohms and
+// carries c farads. It returns the new node's index.
+func (t *Tree) AddNode(name string, parent int, r, c float64) int {
+	if parent < 0 || parent >= len(t.Nodes) {
+		panic("rctree: AddNode parent out of range")
+	}
+	if r <= 0 {
+		panic("rctree: segment resistance must be positive")
+	}
+	t.Nodes = append(t.Nodes, TNode{Name: name, Parent: parent, R: r, C: c})
+	return len(t.Nodes) - 1
+}
+
+// Root returns the root index (always 0).
+func (t *Tree) Root() int { return 0 }
+
+// Leaves returns the indices of all leaf nodes in index order.
+func (t *Tree) Leaves() []int {
+	hasChild := make([]bool, len(t.Nodes))
+	for _, n := range t.Nodes[1:] {
+		hasChild[n.Parent] = true
+	}
+	var out []int
+	for i := 1; i < len(t.Nodes); i++ {
+		if !hasChild[i] {
+			out = append(out, i)
+		}
+	}
+	if len(out) == 0 && len(t.Nodes) == 1 {
+		out = []int{0} // degenerate: a lone root is its own leaf
+	}
+	return out
+}
+
+// NodeIndex returns the index of the named node, or -1.
+func (t *Tree) NodeIndex(name string) int {
+	for i, n := range t.Nodes {
+		if n.Name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// TotalCap returns the summed grounded capacitance of the tree — the lumped
+// load a driver sees in the classical "total cap" approximation.
+func (t *Tree) TotalCap() float64 {
+	var s float64
+	for _, n := range t.Nodes {
+		s += n.C
+	}
+	return s
+}
+
+// pathToRoot returns the node indices from i up to (and including) the root.
+func (t *Tree) pathToRoot(i int) []int {
+	var path []int
+	for i >= 0 {
+		path = append(path, i)
+		i = t.Nodes[i].Parent
+	}
+	return path
+}
+
+// sharedResistance returns the resistance of the common portion of the
+// root→i and root→k paths — the R_pk of the Elmore sum.
+func (t *Tree) sharedResistance(i, k int) float64 {
+	onPathI := make(map[int]bool)
+	for _, n := range t.pathToRoot(i) {
+		onPathI[n] = true
+	}
+	// Walk k up to the root; the first node also on path(i) starts the
+	// shared segment. Sum R of shared edges.
+	var shared float64
+	for n := k; n >= 0; n = t.Nodes[n].Parent {
+		if onPathI[n] && n != 0 {
+			// edge from parent(n) to n is shared iff n is on both paths
+			shared += t.Nodes[n].R
+		} else if onPathI[n] {
+			break
+		}
+	}
+	return shared
+}
+
+// Elmore returns the Elmore delay (first moment, eq. 4) from the root to
+// node i: Σ_k R_shared(i,k)·C_k.
+func (t *Tree) Elmore(i int) float64 {
+	var m1 float64
+	for k := range t.Nodes {
+		if c := t.Nodes[k].C; c != 0 {
+			m1 += t.sharedResistance(i, k) * c
+		}
+	}
+	return m1
+}
+
+// SecondMoment returns the second moment of the impulse response at node i:
+// m2(i) = Σ_k R_shared(i,k)·C_k·m1(k).
+func (t *Tree) SecondMoment(i int) float64 {
+	m1 := make([]float64, len(t.Nodes))
+	for k := range t.Nodes {
+		m1[k] = t.Elmore(k)
+	}
+	var m2 float64
+	for k := range t.Nodes {
+		if c := t.Nodes[k].C; c != 0 {
+			m2 += t.sharedResistance(i, k) * c * m1[k]
+		}
+	}
+	return m2
+}
+
+// D2M returns the two-moment delay metric ln2·m1²/√m2 (Alpert et al.),
+// implemented as an extra baseline next to Elmore.
+func (t *Tree) D2M(i int) float64 {
+	m1 := t.Elmore(i)
+	m2 := t.SecondMoment(i)
+	if m2 <= 0 {
+		return m1 * math.Ln2
+	}
+	return math.Ln2 * m1 * m1 / math.Sqrt(m2)
+}
+
+// Clone returns a deep copy of the tree.
+func (t *Tree) Clone() *Tree {
+	out := &Tree{Net: t.Net, Nodes: append([]TNode(nil), t.Nodes...)}
+	return out
+}
+
+// Validate checks structural invariants: parent ordering, positive R,
+// non-negative C, single root.
+func (t *Tree) Validate() error {
+	if len(t.Nodes) == 0 {
+		return fmt.Errorf("rctree %s: empty tree", t.Net)
+	}
+	if t.Nodes[0].Parent != -1 {
+		return fmt.Errorf("rctree %s: node 0 must be the root", t.Net)
+	}
+	for i, n := range t.Nodes[1:] {
+		idx := i + 1
+		if n.Parent < 0 || n.Parent >= idx {
+			return fmt.Errorf("rctree %s: node %d parent %d must precede it", t.Net, idx, n.Parent)
+		}
+		if n.R <= 0 {
+			return fmt.Errorf("rctree %s: node %d has non-positive R", t.Net, idx)
+		}
+		if n.C < 0 {
+			return fmt.Errorf("rctree %s: node %d has negative C", t.Net, idx)
+		}
+	}
+	return nil
+}
+
+// BuildOptions controls instantiating a tree into the simulator.
+type BuildOptions struct {
+	// Variation, Corner, R: when Variation is non-nil every segment gets
+	// per-sample R and C multipliers (global corner × local mismatch).
+	Variation *variation.Model
+	Corner    variation.Corner
+	R         *rng.Stream
+}
+
+// Build adds the tree's resistors and capacitors to ck. The tree root maps
+// to the supplied root node; every other tree node gets a fresh circuit
+// node. It returns the circuit node of each tree node.
+func (t *Tree) Build(ck *circuit.Circuit, root circuit.Node, opt *BuildOptions) []circuit.Node {
+	nodes := make([]circuit.Node, len(t.Nodes))
+	nodes[0] = root
+	rootCMult := 1.0
+	if opt != nil && opt.Variation != nil {
+		_, rootCMult = opt.Variation.SampleWireSegment(opt.R, opt.Corner)
+	}
+	if c := t.Nodes[0].C * rootCMult; c > 0 {
+		ck.AddCapacitor(root, circuit.Ground, c)
+	}
+	for i := 1; i < len(t.Nodes); i++ {
+		n := t.Nodes[i]
+		cn := ck.NewNode(t.Net + "." + n.Name)
+		nodes[i] = cn
+		rMult, cMult := 1.0, 1.0
+		if opt != nil && opt.Variation != nil {
+			rMult, cMult = opt.Variation.SampleWireSegment(opt.R, opt.Corner)
+		}
+		ck.AddResistor(nodes[n.Parent], cn, n.R*rMult)
+		if c := n.C * cMult; c > 0 {
+			ck.AddCapacitor(cn, circuit.Ground, c)
+		}
+	}
+	return nodes
+}

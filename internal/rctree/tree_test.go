@@ -1,0 +1,178 @@
+package rctree
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/circuit"
+)
+
+// ladder builds root -R1- n1 -R2- n2 with caps c1, c2.
+func ladder(r1, c1, r2, c2 float64) (*Tree, int, int) {
+	t := NewTree("lad", 0)
+	n1 := t.AddNode("n1", 0, r1, c1)
+	n2 := t.AddNode("n2", n1, r2, c2)
+	return t, n1, n2
+}
+
+func TestElmoreLadder(t *testing.T) {
+	tr, n1, n2 := ladder(100, 1e-15, 200, 2e-15)
+	// Elmore(n2) = R1·(C1+C2) + R2·C2
+	want2 := 100*(3e-15) + 200*2e-15
+	if got := tr.Elmore(n2); math.Abs(got-want2) > 1e-25 {
+		t.Fatalf("Elmore(n2)=%v want %v", got, want2)
+	}
+	// Elmore(n1) = R1·(C1+C2): downstream cap through the shared segment.
+	want1 := 100 * 3e-15
+	if got := tr.Elmore(n1); math.Abs(got-want1) > 1e-25 {
+		t.Fatalf("Elmore(n1)=%v want %v", got, want1)
+	}
+}
+
+func TestElmoreBranchShielding(t *testing.T) {
+	// A side branch off the root must contribute its cap only through the
+	// shared path (none, for a root branch).
+	tr := NewTree("b", 0)
+	a := tr.AddNode("a", 0, 100, 1e-15)
+	side := tr.AddNode("side", 0, 500, 10e-15)
+	_ = side
+	if got, want := tr.Elmore(a), 100*1e-15; math.Abs(got-want) > 1e-25 {
+		t.Fatalf("side branch leaked into Elmore: %v want %v", got, want)
+	}
+}
+
+func TestSecondMomentSinglePole(t *testing.T) {
+	// One-pole RC: m1 = RC, m2 = (RC)² — D2M = ln2·RC (exact 50% delay).
+	tr := NewTree("p", 0)
+	n := tr.AddNode("n", 0, 1000, 1e-15)
+	rc := 1000 * 1e-15
+	if got := tr.Elmore(n); math.Abs(got-rc) > 1e-25 {
+		t.Fatalf("m1 %v", got)
+	}
+	if got := tr.SecondMoment(n); math.Abs(got-rc*rc)/(rc*rc) > 1e-12 {
+		t.Fatalf("m2 %v want %v", got, rc*rc)
+	}
+	if got, want := tr.D2M(n), math.Ln2*rc; math.Abs(got-want)/want > 1e-12 {
+		t.Fatalf("D2M %v want %v", got, want)
+	}
+}
+
+func TestD2MBelowElmoreOnLadders(t *testing.T) {
+	tr, _, n2 := ladder(100, 1e-15, 200, 2e-15)
+	if tr.D2M(n2) >= tr.Elmore(n2) {
+		t.Fatal("D2M should undershoot Elmore on monotone RC ladders")
+	}
+}
+
+func TestLeaves(t *testing.T) {
+	tr := NewTree("l", 0)
+	a := tr.AddNode("a", 0, 1, 0)
+	b := tr.AddNode("b", a, 1, 0)
+	c := tr.AddNode("c", a, 1, 0)
+	leaves := tr.Leaves()
+	if len(leaves) != 2 || leaves[0] != b || leaves[1] != c {
+		t.Fatalf("leaves %v", leaves)
+	}
+	lone := NewTree("lone", 1e-15)
+	if ls := lone.Leaves(); len(ls) != 1 || ls[0] != 0 {
+		t.Fatalf("lone-root leaves %v", ls)
+	}
+}
+
+func TestTotalCap(t *testing.T) {
+	tr, _, _ := ladder(100, 1e-15, 200, 2e-15)
+	if got := tr.TotalCap(); math.Abs(got-3e-15) > 1e-27 {
+		t.Fatalf("TotalCap %v", got)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	tr, _, _ := ladder(100, 1e-15, 200, 2e-15)
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := &Tree{Net: "bad", Nodes: []TNode{{Parent: -1}, {Parent: 0, R: -5}}}
+	if err := bad.Validate(); err == nil {
+		t.Fatal("negative R accepted")
+	}
+	fwd := &Tree{Net: "fwd", Nodes: []TNode{{Parent: -1}, {Parent: 2, R: 1}, {Parent: 0, R: 1}}}
+	if err := fwd.Validate(); err == nil {
+		t.Fatal("forward parent reference accepted")
+	}
+	empty := &Tree{Net: "empty"}
+	if err := empty.Validate(); err == nil {
+		t.Fatal("empty tree accepted")
+	}
+}
+
+func TestAddNodePanics(t *testing.T) {
+	tr := NewTree("p", 0)
+	mustPanic(t, func() { tr.AddNode("x", 5, 1, 0) })
+	mustPanic(t, func() { tr.AddNode("x", 0, 0, 0) })
+}
+
+func TestCloneIndependent(t *testing.T) {
+	tr, _, n2 := ladder(100, 1e-15, 200, 2e-15)
+	cl := tr.Clone()
+	cl.Nodes[n2].C *= 10
+	if tr.Nodes[n2].C == cl.Nodes[n2].C {
+		t.Fatal("Clone aliases nodes")
+	}
+}
+
+func TestNodeIndex(t *testing.T) {
+	tr, n1, _ := ladder(100, 1e-15, 200, 2e-15)
+	if tr.NodeIndex("n1") != n1 {
+		t.Fatal("NodeIndex wrong")
+	}
+	if tr.NodeIndex("zzz") != -1 {
+		t.Fatal("missing node should be -1")
+	}
+}
+
+func TestBuildIntoCircuit(t *testing.T) {
+	tr, _, n2 := ladder(100, 1e-15, 200, 2e-15)
+	ck := circuit.New()
+	ck.Gmin = 0
+	root := ck.NodeByName("root")
+	src := ck.NodeByName("src")
+	ck.AddSource(src, circuit.Ramp{T0: 0, TRamp: 1e-15, V0: 0, V1: 1})
+	ck.AddResistor(src, root, 1) // near-ideal drive
+	nodes := tr.Build(ck, root, nil)
+	if len(nodes) != 3 || nodes[0] != root {
+		t.Fatalf("Build node map %v", nodes)
+	}
+	// The leaf must charge to the source value with roughly the Elmore
+	// timescale.
+	res, err := ck.Transient(circuit.SimOptions{TStop: 10 * tr.Elmore(n2), DT: tr.Elmore(n2) / 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	leaf := res.Waveform(nodes[n2])
+	if final := leaf[len(leaf)-1]; math.Abs(final-1) > 0.01 {
+		t.Fatalf("leaf settled at %v", final)
+	}
+	half := 0
+	for i, v := range leaf {
+		if v >= 0.5 {
+			half = i
+			break
+		}
+	}
+	t50 := res.Times[half]
+	elm := tr.Elmore(n2)
+	// 50% step response of an RC ladder lands within [0.3, 1.1]×Elmore.
+	if t50 < 0.3*elm || t50 > 1.1*elm {
+		t.Fatalf("simulated 50%% delay %v vs Elmore %v out of expected band", t50, elm)
+	}
+}
+
+func mustPanic(t *testing.T, f func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	f()
+}

@@ -1,0 +1,183 @@
+package rng
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a := New(42)
+	b := New(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("streams with equal seeds diverged at draw %d", i)
+		}
+	}
+}
+
+func TestSeedSeparation(t *testing.T) {
+	// Adjacent seeds must not produce correlated first draws.
+	a := New(1)
+	b := New(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("adjacent seeds shared %d of 100 draws", same)
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := New(7)
+	for i := 0; i < 100000; i++ {
+		v := r.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64 out of [0,1): %v", v)
+		}
+	}
+}
+
+func TestFloat64Mean(t *testing.T) {
+	r := New(11)
+	var sum float64
+	const n = 200000
+	for i := 0; i < n; i++ {
+		sum += r.Float64()
+	}
+	mean := sum / n
+	if math.Abs(mean-0.5) > 0.005 {
+		t.Fatalf("uniform mean %v too far from 0.5", mean)
+	}
+}
+
+func TestNormMoments(t *testing.T) {
+	r := New(13)
+	const n = 400000
+	var sum, sum2, sum3 float64
+	for i := 0; i < n; i++ {
+		x := r.NormFloat64()
+		sum += x
+		sum2 += x * x
+		sum3 += x * x * x
+	}
+	mean := sum / n
+	variance := sum2/n - mean*mean
+	skew := sum3 / n
+	if math.Abs(mean) > 0.01 {
+		t.Errorf("normal mean %v", mean)
+	}
+	if math.Abs(variance-1) > 0.02 {
+		t.Errorf("normal variance %v", variance)
+	}
+	if math.Abs(skew) > 0.03 {
+		t.Errorf("normal third moment %v", skew)
+	}
+}
+
+func TestIntnBounds(t *testing.T) {
+	r := New(17)
+	counts := make([]int, 7)
+	for i := 0; i < 70000; i++ {
+		v := r.Intn(7)
+		if v < 0 || v >= 7 {
+			t.Fatalf("Intn out of range: %d", v)
+		}
+		counts[v]++
+	}
+	for b, c := range counts {
+		if c < 9000 || c > 11000 {
+			t.Errorf("bucket %d count %d outside uniform expectation", b, c)
+		}
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestSplitIndependence(t *testing.T) {
+	parent := New(23)
+	c1 := parent.Split(1)
+	c2 := parent.Split(2)
+	c1again := parent.Split(1)
+	// Same label: identical stream. Different label: different stream.
+	if c1.Uint64() != c1again.Uint64() {
+		t.Fatal("Split with equal labels produced different streams")
+	}
+	if c1.Uint64() == c2.Uint64() {
+		t.Fatal("Split with different labels produced equal draws")
+	}
+}
+
+func TestSplitDoesNotAdvanceParent(t *testing.T) {
+	a := New(29)
+	b := New(29)
+	_ = a.Split(5)
+	_ = a.Split(6)
+	for i := 0; i < 10; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("Split advanced the parent stream")
+		}
+	}
+}
+
+func TestAtMatchesWorkerScheduling(t *testing.T) {
+	base := New(31)
+	// Values drawn via At(i) must not depend on the order of At calls.
+	want := make([]uint64, 16)
+	for i := range want {
+		want[i] = base.At(i).Uint64()
+	}
+	for i := len(want) - 1; i >= 0; i-- {
+		if got := base.At(i).Uint64(); got != want[i] {
+			t.Fatalf("At(%d) depends on call order: got %d want %d", i, got, want[i])
+		}
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	r := New(37)
+	err := quick.Check(func(nRaw uint8) bool {
+		n := int(nRaw%64) + 1
+		p := r.Perm(n)
+		if len(p) != n {
+			return false
+		}
+		seen := make([]bool, n)
+		for _, v := range p {
+			if v < 0 || v >= n || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return true
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLogNormPositive(t *testing.T) {
+	r := New(41)
+	for i := 0; i < 10000; i++ {
+		if v := r.LogNormFloat64(-25, 0.5); v <= 0 {
+			t.Fatalf("lognormal produced non-positive %v", v)
+		}
+	}
+}
+
+func TestZeroSeedUsable(t *testing.T) {
+	r := New(0)
+	if r.Uint64() == 0 && r.Uint64() == 0 {
+		t.Fatal("zero seed produced degenerate stream")
+	}
+}

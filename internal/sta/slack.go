@@ -1,0 +1,62 @@
+package sta
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// SlackReport summarises a max-delay (setup) check of every timed endpoint
+// against a clock period, at one sigma level — the signoff question the
+// paper's 99.86 % quantile exists to answer.
+type SlackReport struct {
+	Period     float64
+	Level      int
+	WNS        float64 // worst slack (negative = violated)
+	TNS        float64 // total negative slack (≤ 0)
+	Violations int
+	Endpoints  int
+	// Worst is the endpoint key ("net/edge") with the worst slack.
+	Worst string
+}
+
+// Slack evaluates setup slacks from a Result's endpoint arrivals.
+func (r *Result) Slack(period float64, level int) (*SlackReport, error) {
+	if len(r.EndpointArrivals) == 0 {
+		return nil, fmt.Errorf("sta: result carries no endpoint arrivals")
+	}
+	rep := &SlackReport{Period: period, Level: level, WNS: math.Inf(1)}
+	keys := make([]string, 0, len(r.EndpointArrivals))
+	for k := range r.EndpointArrivals {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		arr, ok := r.EndpointArrivals[k][level]
+		if !ok {
+			return nil, fmt.Errorf("sta: endpoint %s has no %+dσ arrival", k, level)
+		}
+		slack := period - arr
+		rep.Endpoints++
+		if slack < rep.WNS {
+			rep.WNS = slack
+			rep.Worst = k
+		}
+		if slack < 0 {
+			rep.Violations++
+			rep.TNS += slack
+		}
+	}
+	return rep, nil
+}
+
+// MinPeriod returns the smallest clock period meeting every endpoint at the
+// given sigma level — the statistical F_max question.
+func (r *Result) MinPeriod(level int) (float64, error) {
+	rep, err := r.Slack(0, level)
+	if err != nil {
+		return 0, err
+	}
+	// With period 0 every slack is −arrival, so WNS = −max arrival.
+	return -rep.WNS, nil
+}

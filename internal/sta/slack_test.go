@@ -1,0 +1,121 @@
+package sta
+
+import (
+	"math"
+	"testing"
+)
+
+func analyzedResult(t *testing.T) *Result {
+	t.Helper()
+	timer, _, _ := newTestTimer(t)
+	res, err := timer.Analyze()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestSlackMetEverywhere(t *testing.T) {
+	res := analyzedResult(t)
+	rep, err := res.Slack(1e-9, 3) // 1 ns period is generous here
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Violations != 0 || rep.TNS != 0 {
+		t.Fatalf("violations at a loose period: %+v", rep)
+	}
+	if rep.WNS <= 0 {
+		t.Fatalf("WNS %v should be positive", rep.WNS)
+	}
+	if rep.Endpoints != res.Endpoints {
+		t.Fatalf("endpoint count mismatch: %d vs %d", rep.Endpoints, res.Endpoints)
+	}
+}
+
+func TestSlackViolations(t *testing.T) {
+	res := analyzedResult(t)
+	rep, err := res.Slack(1e-12, 3) // 1 ps period fails everywhere
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Violations != rep.Endpoints {
+		t.Fatalf("expected all endpoints violated: %+v", rep)
+	}
+	if rep.TNS >= 0 || rep.WNS >= 0 {
+		t.Fatalf("negative-slack bookkeeping wrong: %+v", rep)
+	}
+	if rep.Worst == "" {
+		t.Fatal("worst endpoint not recorded")
+	}
+}
+
+func TestMinPeriodConsistency(t *testing.T) {
+	res := analyzedResult(t)
+	for _, level := range []int{-3, 0, 3} {
+		p, err := res.MinPeriod(level)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p <= 0 {
+			t.Fatalf("min period %v at %+dσ", p, level)
+		}
+		// At exactly the min period the worst slack is ~0 and nothing is
+		// properly negative.
+		rep, err := res.Slack(p, level)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(rep.WNS) > 1e-18 {
+			t.Fatalf("WNS %v at the min period", rep.WNS)
+		}
+	}
+	// Higher sigma levels need longer periods.
+	p0, _ := res.MinPeriod(0)
+	p3, _ := res.MinPeriod(3)
+	if p3 <= p0 {
+		t.Fatalf("min period at +3σ (%v) not above 0σ (%v)", p3, p0)
+	}
+}
+
+func TestSlackWithoutArrivals(t *testing.T) {
+	empty := &Result{}
+	if _, err := empty.Slack(1e-9, 0); err == nil {
+		t.Fatal("empty result accepted")
+	}
+}
+
+func TestAnalyzeTopPaths(t *testing.T) {
+	timer, _, _ := newTestTimer(t)
+	res, paths, err := timer.AnalyzeTopPaths(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) == 0 {
+		t.Fatal("no paths returned")
+	}
+	// Path 0 must match the critical path of Analyze (same endpoint and
+	// mean delay).
+	if paths[0].Endpoint != res.Critical.Endpoint {
+		t.Fatalf("top path endpoint %s vs critical %s", paths[0].Endpoint, res.Critical.Endpoint)
+	}
+	// Paths come in non-increasing mean-arrival order.
+	prev := paths[0].Quantile(0)
+	for _, p := range paths[1:] {
+		q := p.Quantile(0)
+		if q > prev+1e-20 {
+			t.Fatalf("paths out of order: %v after %v", q, prev)
+		}
+		prev = q
+	}
+	// k larger than the endpoint count clamps.
+	_, all, err := timer.AnalyzeTopPaths(1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != res.Endpoints {
+		t.Fatalf("clamped path count %d want %d", len(all), res.Endpoints)
+	}
+	if _, _, err := timer.AnalyzeTopPaths(0); err == nil {
+		t.Fatal("k=0 accepted")
+	}
+}

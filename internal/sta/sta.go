@@ -1,0 +1,503 @@
+// Package sta is the statistical static timing engine: it propagates
+// N-sigma arrival times (eq. 10 of the paper) through a gate-level netlist
+// with extracted RC parasitics, using only the coefficients file — per-arc
+// moment LUTs and Table-I quantile coefficients for cells, Elmore × X_w for
+// wires — exactly the flow of the paper's Fig. 1.
+package sta
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/netlist"
+	"repro/internal/rctree"
+	"repro/internal/stats"
+	"repro/internal/timinglib"
+	"repro/internal/waveform"
+)
+
+// Options configures an analysis.
+type Options struct {
+	// Levels are the sigma levels to propagate (default stats.SigmaLevels).
+	Levels []int
+	// InputSlew is the transition time at primary inputs (default 10 ps).
+	InputSlew float64
+	// InputDriver is the cell assumed to drive primary-input nets when
+	// evaluating wire variability (default INVx4, an FO4 pad driver).
+	InputDriver string
+	// POLoadCell is the cell assumed to load primary outputs for wire
+	// variability (default INVx4).
+	POLoadCell string
+}
+
+func (o *Options) setDefaults() {
+	if len(o.Levels) == 0 {
+		o.Levels = stats.SigmaLevels
+	}
+	if o.InputSlew == 0 {
+		o.InputSlew = 10e-12
+	}
+	if o.InputDriver == "" {
+		o.InputDriver = "INVx4"
+	}
+	if o.POLoadCell == "" {
+		o.POLoadCell = "INVx4"
+	}
+}
+
+// Stage is one link of a timing path: a driving cell arc (absent for the
+// primary-input stage) followed by its output net up to the next pin. It
+// carries everything baselines and golden Monte-Carlo need to re-evaluate
+// the same path.
+type Stage struct {
+	GateIdx int    // index into the netlist, -1 for the PI stage
+	Cell    string // driving cell name ("" for the PI stage)
+	InPin   string
+	InEdge  waveform.Edge
+	InSlew  float64
+	Load    float64 // total output-net load seen by the cell (F)
+
+	Net        string
+	Tree       *rctree.Tree
+	SinkLeaf   int     // leaf toward the next stage (or PO)
+	SinkIdx    int     // index of the sink within the net's fanout list
+	SinkCell   string  // cell loading that leaf ("" for a PO)
+	SinkPin    string  // pin on the sink cell
+	SinkPinCap float64 // its pin capacitance (already inside the tree leaf)
+
+	CellMoments stats.Moments   // calibrated moments at (InSlew, Load)
+	CellQ       map[int]float64 // T_c(nσ)
+	OutSlew     float64         // slew at the tree root
+	Elmore      float64         // T_Elmore root→SinkLeaf (includes pin caps)
+	XW          float64         // wire variability σ_w/µ_w
+	LeafSlew    float64         // slew at the leaf (next stage's InSlew)
+}
+
+// Path is an extracted timing path.
+type Path struct {
+	Launch   waveform.Edge // edge at the primary input
+	Endpoint string        // endpoint description (net / PO)
+	Stages   []Stage
+}
+
+// Quantile evaluates the paper's eq. (10): the nσ path delay is the sum of
+// the cells' T_c(nσ) and the wires' T_w(nσ).
+func (p *Path) Quantile(n int) float64 {
+	var sum float64
+	for _, s := range p.Stages {
+		if s.CellQ != nil {
+			sum += s.CellQ[n]
+		}
+		sum += (1 + float64(n)*s.XW) * s.Elmore
+	}
+	return sum
+}
+
+// Mean returns the nominal (0σ-free) mean path delay: Σµ_cell + ΣElmore.
+func (p *Path) Mean() float64 {
+	var sum float64
+	for _, s := range p.Stages {
+		sum += s.CellMoments.Mean + s.Elmore
+	}
+	return sum
+}
+
+// Result is the outcome of an analysis.
+type Result struct {
+	// Critical is the path with the largest mean arrival at any endpoint.
+	Critical *Path
+	// ArrivalQ is the propagated (max-per-level) arrival at the critical
+	// endpoint.
+	ArrivalQ map[int]float64
+	// Endpoints is the number of timed endpoints.
+	Endpoints int
+	// GatesTimed counts evaluated cell arcs (the runtime driver the paper
+	// notes is "in direct proportion to the number of cells").
+	GatesTimed int
+	// EndpointArrivals holds the propagated arrival quantiles of every
+	// timed endpoint, keyed "net/edge" — the input to slack analysis.
+	EndpointArrivals map[string]map[int]float64
+}
+
+// Timer runs analyses of one netlist + parasitics against a coefficients
+// file.
+type Timer struct {
+	lib   *timinglib.File
+	nl    *netlist.Netlist
+	trees map[string]*rctree.Tree
+	opt   Options
+
+	fan map[string][]netlist.Sink
+	drv map[string]int
+}
+
+// NewTimer validates inputs and builds the structural maps.
+func NewTimer(lib *timinglib.File, nl *netlist.Netlist, trees map[string]*rctree.Tree, opt Options) (*Timer, error) {
+	opt.setDefaults()
+	if err := nl.Validate(); err != nil {
+		return nil, err
+	}
+	t := &Timer{lib: lib, nl: nl, trees: trees, opt: opt,
+		fan: nl.FanoutMap(), drv: nl.DriverMap()}
+	for net, sinks := range t.fan {
+		if len(sinks) > 0 && trees[net] == nil {
+			return nil, fmt.Errorf("sta: net %s has no parasitic tree", net)
+		}
+	}
+	return t, nil
+}
+
+// netState is the propagated state at a net root for one edge.
+type netState struct {
+	arr    map[int]float64 // per sigma level
+	slew   float64         // at the net root
+	valid  bool
+	moms   stats.Moments // calibrated moments of the driving arc
+	quant  map[int]float64
+	inPin  string // winning input pin of the driving gate
+	inEdge waveform.Edge
+	inSlew float64
+	load   float64
+	// winSink backtracks the winning fanin: sink index on the input net
+	// that fed the winning pin.
+	winSinkIdx int
+}
+
+func edgeIdx(e waveform.Edge) int {
+	if e == waveform.Rising {
+		return 1
+	}
+	return 0
+}
+
+// Analyze times the whole design and extracts the critical path.
+func (t *Timer) Analyze() (*Result, error) {
+	res, _, err := t.analyzeInternal()
+	return res, err
+}
+
+// analyzeInternal runs the propagation and also returns the per-net state
+// so callers (AnalyzeTopPaths) can backtrack additional paths.
+func (t *Timer) analyzeInternal() (*Result, map[string]*[2]netState, error) {
+	order, err := t.nl.Levelize()
+	if err != nil {
+		return nil, nil, err
+	}
+	state := make(map[string]*[2]netState, t.nl.NumNets())
+	get := func(net string) *[2]netState {
+		s, ok := state[net]
+		if !ok {
+			s = &[2]netState{}
+			state[net] = s
+		}
+		return s
+	}
+	for _, in := range t.nl.Inputs {
+		s := get(in)
+		for _, e := range []waveform.Edge{waveform.Falling, waveform.Rising} {
+			st := &s[edgeIdx(e)]
+			st.valid = true
+			st.slew = t.inputRootSlew(in, e)
+			st.arr = map[int]float64{}
+			for _, n := range t.opt.Levels {
+				st.arr[n] = 0
+			}
+		}
+	}
+
+	res := &Result{}
+	for _, gi := range order {
+		g := &t.nl.Gates[gi]
+		out := g.Output()
+		tree := t.trees[out]
+		if tree == nil {
+			return nil, nil, fmt.Errorf("sta: gate %s output net %s has no tree", g.Name, out)
+		}
+		load := tree.TotalCap()
+		outState := get(out)
+		for _, outEdge := range []waveform.Edge{waveform.Falling, waveform.Rising} {
+			inEdge := outEdge.Opposite()
+			best := netState{}
+			for pin, inNet := range g.Pins {
+				if pin == "Y" {
+					continue
+				}
+				inSt := get(inNet)[edgeIdx(inEdge)]
+				if !inSt.valid {
+					continue
+				}
+				// Arrival and slew at this pin = net root + wire.
+				sinkIdx, leaf, err := t.sinkLeaf(inNet, gi, pin)
+				if err != nil {
+					return nil, nil, err
+				}
+				pinArr, pinSlew, err := t.atLeaf(inNet, &inSt, leaf, gi)
+				if err != nil {
+					return nil, nil, err
+				}
+				arc, err := t.lib.Arc(g.Cell, pin, inEdge)
+				if err != nil {
+					return nil, nil, err
+				}
+				res.GatesTimed++
+				moms := arc.MomentsAt(pinSlew, load)
+				quant := make(map[int]float64, len(t.opt.Levels))
+				cand := make(map[int]float64, len(t.opt.Levels))
+				for _, n := range t.opt.Levels {
+					q := arc.Quant.Quantile(moms, n)
+					quant[n] = q
+					cand[n] = pinArr[n] + q
+				}
+				if !best.valid || cand[0] > best.arr[0] {
+					best = netState{
+						arr: cand, valid: true,
+						slew:       arc.OutSlew(pinSlew, load),
+						moms:       moms,
+						quant:      quant,
+						inPin:      pin,
+						inEdge:     inEdge,
+						inSlew:     pinSlew,
+						load:       load,
+						winSinkIdx: sinkIdx,
+					}
+				} else {
+					// Keep the per-level max even when level 0 loses.
+					for _, n := range t.opt.Levels {
+						if cand[n] > best.arr[n] {
+							best.arr[n] = cand[n]
+						}
+					}
+				}
+			}
+			if best.valid {
+				outState[edgeIdx(outEdge)] = best
+			}
+		}
+	}
+
+	// Endpoints: PO sinks.
+	bestMean := math.Inf(-1)
+	var bestNet string
+	var bestEdge waveform.Edge
+	var bestArr map[int]float64
+	res.EndpointArrivals = make(map[string]map[int]float64)
+	for _, po := range t.nl.Outputs {
+		sinks := t.fan[po]
+		for si, s := range sinks {
+			if s.Gate >= 0 {
+				continue
+			}
+			leaf, err := t.poLeaf(po, si)
+			if err != nil {
+				return nil, nil, err
+			}
+			for _, e := range []waveform.Edge{waveform.Falling, waveform.Rising} {
+				st := get(po)[edgeIdx(e)]
+				if !st.valid {
+					continue
+				}
+				arr, _, err := t.atLeaf(po, &st, leaf, -1)
+				if err != nil {
+					return nil, nil, err
+				}
+				res.Endpoints++
+				res.EndpointArrivals[fmt.Sprintf("%s/%s", po, e)] = arr
+				if arr[0] > bestMean {
+					bestMean = arr[0]
+					bestNet, bestEdge, bestArr = po, e, arr
+				}
+			}
+		}
+	}
+	if bestNet == "" {
+		return nil, nil, fmt.Errorf("sta: no timed endpoints")
+	}
+	res.ArrivalQ = bestArr
+	path, err := t.backtrack(state, bestNet, bestEdge)
+	if err != nil {
+		return nil, nil, err
+	}
+	res.Critical = path
+	return res, state, nil
+}
+
+// inputRootSlew models the transition time at a primary-input net root for
+// the given edge: the assumed pad driver (Options.InputDriver) driving the
+// net's total load — matching what the golden path Monte Carlo simulates.
+// Designs timed against a library without the pad-driver arc fall back to
+// the raw input slew.
+func (t *Timer) inputRootSlew(net string, e waveform.Edge) float64 {
+	tree := t.trees[net]
+	if tree == nil {
+		return t.opt.InputSlew
+	}
+	info, err := t.lib.Cell(t.opt.InputDriver)
+	if err != nil || len(info.Inputs) == 0 {
+		return t.opt.InputSlew
+	}
+	arc, err := t.lib.Arc(t.opt.InputDriver, info.Inputs[0], e.Opposite())
+	if err != nil {
+		return t.opt.InputSlew
+	}
+	return arc.OutSlew(t.opt.InputSlew, tree.TotalCap())
+}
+
+// sinkLeaf finds the fanout index and tree leaf of gate gi's pin on net.
+func (t *Timer) sinkLeaf(net string, gi int, pin string) (sinkIdx, leaf int, err error) {
+	tree := t.trees[net]
+	for si, s := range t.fan[net] {
+		if s.Gate == gi && s.Pin == pin {
+			name := fmt.Sprintf("pin:%s:%s", t.nl.Gates[gi].Name, pin)
+			leaf := tree.NodeIndex(name)
+			if leaf < 0 {
+				return 0, 0, fmt.Errorf("sta: tree %s has no leaf %q", net, name)
+			}
+			return si, leaf, nil
+		}
+	}
+	return 0, 0, fmt.Errorf("sta: net %s does not feed gate %d pin %s", net, gi, pin)
+}
+
+// poLeaf finds the tree leaf of a primary-output sink.
+func (t *Timer) poLeaf(net string, sinkIdx int) (int, error) {
+	tree := t.trees[net]
+	name := fmt.Sprintf("pin:PO%d", sinkIdx)
+	leaf := tree.NodeIndex(name)
+	if leaf < 0 {
+		return 0, fmt.Errorf("sta: tree %s has no PO leaf %q", net, name)
+	}
+	return leaf, nil
+}
+
+// atLeaf transports a net-root state to a leaf: arrival via the wire
+// quantile model, slew via the PERI degradation rule
+// (leaf² = root² + (ln9·Elmore)²).
+func (t *Timer) atLeaf(net string, st *netState, leaf int, sinkGate int) (map[int]float64, float64, error) {
+	tree := t.trees[net]
+	elmore := tree.Elmore(leaf)
+	xw, err := t.xwFor(net, sinkGate)
+	if err != nil {
+		return nil, 0, err
+	}
+	arr := make(map[int]float64, len(st.arr))
+	for n, a := range st.arr {
+		arr[n] = a + (1+float64(n)*xw)*elmore
+	}
+	const ln9 = 2.1972245773362196
+	slew := math.Sqrt(st.slew*st.slew + (ln9*elmore)*(ln9*elmore))
+	return arr, slew, nil
+}
+
+// xwFor evaluates the wire variability of a net toward a sink gate (or a PO
+// when sinkGate < 0).
+func (t *Timer) xwFor(net string, sinkGate int) (float64, error) {
+	if t.lib.Wire == nil {
+		return 0, nil
+	}
+	driver := t.opt.InputDriver
+	if gi, ok := t.drv[net]; ok {
+		driver = t.nl.Gates[gi].Cell
+	}
+	load := t.opt.POLoadCell
+	if sinkGate >= 0 {
+		load = t.nl.Gates[sinkGate].Cell
+	}
+	return t.lib.Wire.XW(driver, load)
+}
+
+// backtrack reconstructs the critical path ending at the PO net/edge.
+func (t *Timer) backtrack(state map[string]*[2]netState, endNet string, endEdge waveform.Edge) (*Path, error) {
+	type link struct {
+		net  string
+		edge waveform.Edge
+	}
+	var rev []link
+	cur := link{net: endNet, edge: endEdge}
+	for {
+		rev = append(rev, cur)
+		gi, ok := t.drv[cur.net]
+		if !ok {
+			break // reached a primary input
+		}
+		st := state[cur.net][edgeIdx(cur.edge)]
+		if !st.valid {
+			return nil, fmt.Errorf("sta: backtrack through invalid state at %s", cur.net)
+		}
+		cur = link{net: t.nl.Gates[gi].Pins[st.inPin], edge: st.inEdge}
+	}
+	// rev is endpoint→PI; build stages PI→endpoint.
+	p := &Path{Endpoint: endNet}
+	for i := len(rev) - 1; i >= 0; i-- {
+		l := rev[i]
+		stg := Stage{GateIdx: -1, Net: l.net, Tree: t.trees[l.net], SinkLeaf: -1}
+		if gi, ok := t.drv[l.net]; ok {
+			st := state[l.net][edgeIdx(l.edge)]
+			g := &t.nl.Gates[gi]
+			stg.GateIdx = gi
+			stg.Cell = g.Cell
+			stg.InPin = st.inPin
+			stg.InEdge = st.inEdge
+			stg.InSlew = st.inSlew
+			stg.Load = st.load
+			stg.CellMoments = st.moms
+			stg.CellQ = st.quant
+			stg.OutSlew = st.slew
+		} else {
+			p.Launch = l.edge
+			stg.InEdge = l.edge
+			stg.InSlew = t.opt.InputSlew
+			st := state[l.net][edgeIdx(l.edge)]
+			stg.OutSlew = st.slew
+		}
+		// Wire segment toward the next stage (or the endpoint PO).
+		if i > 0 {
+			nextNet := rev[i-1].net
+			ngi := t.drv[nextNet]
+			ng := &t.nl.Gates[ngi]
+			nst := state[nextNet][edgeIdx(rev[i-1].edge)]
+			sinkIdx, leaf, err := t.sinkLeaf(l.net, ngi, nst.inPin)
+			if err != nil {
+				return nil, err
+			}
+			stg.SinkIdx = sinkIdx
+			stg.SinkLeaf = leaf
+			stg.SinkCell = ng.Cell
+			stg.SinkPin = nst.inPin
+			pc, err := t.lib.PinCap(ng.Cell, nst.inPin)
+			if err != nil {
+				return nil, err
+			}
+			stg.SinkPinCap = pc
+		} else {
+			// Endpoint: PO leaf.
+			for si, s := range t.fan[l.net] {
+				if s.Gate < 0 {
+					leaf, err := t.poLeaf(l.net, si)
+					if err != nil {
+						return nil, err
+					}
+					stg.SinkIdx = si
+					stg.SinkLeaf = leaf
+					break
+				}
+			}
+			if stg.SinkLeaf < 0 {
+				return nil, fmt.Errorf("sta: endpoint %s has no PO leaf", l.net)
+			}
+		}
+		stg.Elmore = stg.Tree.Elmore(stg.SinkLeaf)
+		sinkGate := -1
+		if i > 0 {
+			sinkGate = t.drv[rev[i-1].net]
+		}
+		xw, err := t.xwFor(l.net, sinkGate)
+		if err != nil {
+			return nil, err
+		}
+		stg.XW = xw
+		const ln9 = 2.1972245773362196
+		stg.LeafSlew = math.Sqrt(stg.OutSlew*stg.OutSlew + (ln9*stg.Elmore)*(ln9*stg.Elmore))
+		p.Stages = append(p.Stages, stg)
+	}
+	return p, nil
+}

@@ -1,0 +1,310 @@
+package sta
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"repro/internal/charlib"
+	"repro/internal/netlist"
+	"repro/internal/nsigma"
+	"repro/internal/rctree"
+	"repro/internal/stats"
+	"repro/internal/timinglib"
+	"repro/internal/waveform"
+	"repro/internal/wire"
+)
+
+// synthArc builds an arc model whose delay is constant `mu` with std
+// `sigma` everywhere (flat LUT), and whose output slew is constant outSlew.
+func synthArc(cell, pin string, edge waveform.Edge, mu, sigma, outSlew float64) *nsigma.ArcModel {
+	plane := func(v float64) [][]float64 {
+		return [][]float64{{v, v}, {v, v}}
+	}
+	lut := nsigma.MomentLUT{
+		Slews:   []float64{1e-12, 1e-9},
+		Loads:   []float64{1e-16, 1e-13},
+		Mu:      plane(mu),
+		Sigma:   plane(sigma),
+		Gamma:   plane(0),
+		Kappa:   plane(3),
+		OutSlew: plane(outSlew),
+	}
+	var quant nsigma.QuantileModel
+	for i := range quant.Coeffs {
+		quant.Coeffs[i] = make([]float64, len(nsigma.FeatureNames(i-3)))
+	}
+	return &nsigma.ArcModel{
+		Arc:   charlib.Arc{Cell: cell, Pin: pin, InEdge: edge},
+		LUT:   lut,
+		Quant: quant,
+	}
+}
+
+// synthLib builds a coefficients file for INVx1 (delay muA) and NAND2x1
+// (delay muB on pin A, muB2 on pin B) with trivially flat surfaces.
+func synthLib() *timinglib.File {
+	f := &timinglib.File{
+		Vdd:   0.6,
+		Arcs:  map[string]*nsigma.ArcModel{},
+		Cells: map[string]*timinglib.CellInfo{},
+	}
+	add := func(m *nsigma.ArcModel) { f.Arcs[timinglib.ArcKey(m.Arc.Cell, m.Arc.Pin, m.Arc.InEdge)] = m }
+	for _, e := range []waveform.Edge{waveform.Rising, waveform.Falling} {
+		add(synthArc("INVx1", "A", e, 10e-12, 1e-12, 20e-12))
+		add(synthArc("NAND2x1", "A", e, 15e-12, 1.5e-12, 25e-12))
+		add(synthArc("NAND2x1", "B", e, 18e-12, 2e-12, 25e-12))
+		add(synthArc("INVx4", "A", e, 8e-12, 0.8e-12, 15e-12))
+	}
+	f.Cells["INVx1"] = &timinglib.CellInfo{Stack: 1, Strength: 1, Inputs: []string{"A"},
+		PinCaps: map[string]float64{"A": 1e-15}, OutputCap: 0.5e-15}
+	f.Cells["NAND2x1"] = &timinglib.CellInfo{Stack: 2, Strength: 1, Inputs: []string{"A", "B"},
+		PinCaps: map[string]float64{"A": 2e-15, "B": 2e-15}, OutputCap: 0.8e-15}
+	f.Cells["INVx4"] = &timinglib.CellInfo{Stack: 1, Strength: 4, Inputs: []string{"A"},
+		PinCaps: map[string]float64{"A": 4e-15}, OutputCap: 2e-15}
+	f.Wire = &wire.Calibration{
+		R4:        0.1,
+		CellRatio: map[string]float64{"INVx1": 0.1, "NAND2x1": 0.12, "INVx4": 0.08},
+		XFI:       map[string]float64{"INVx1": 0.5, "NAND2x1": 0.5, "INVx4": 0.5},
+		XFO:       map[string]float64{"INVx1": 0.5, "NAND2x1": 0.5, "INVx4": 0.5},
+	}
+	return f
+}
+
+// diamond builds in → U1(INV) → {m};  m → U2(INV) → a;  {in,a} → U3(NAND2) → out.
+// The path through U2 is longer, so the critical path must route through it.
+func diamond() *netlist.Netlist {
+	return &netlist.Netlist{
+		Name:    "diamond",
+		Inputs:  []string{"in"},
+		Outputs: []string{"out"},
+		Gates: []netlist.Gate{
+			{Name: "U1", Cell: "INVx1", Pins: map[string]string{"A": "in", "Y": "m"}},
+			{Name: "U2", Cell: "INVx1", Pins: map[string]string{"A": "m", "Y": "a"}},
+			{Name: "U3", Cell: "NAND2x1", Pins: map[string]string{"A": "a", "B": "in", "Y": "out"}},
+		},
+	}
+}
+
+// flatTrees builds a trivial single-segment tree per net with the sink pin
+// caps at the leaves, mirroring the layout extractor's naming convention.
+func flatTrees(nl *netlist.Netlist, lib *timinglib.File) map[string]*rctree.Tree {
+	fan := nl.FanoutMap()
+	out := map[string]*rctree.Tree{}
+	for net, sinks := range fan {
+		t := rctree.NewTree(net, 0.05e-15)
+		for si, s := range sinks {
+			var name string
+			var pc float64
+			if s.Gate >= 0 {
+				name = fmt.Sprintf("pin:%s:%s", nl.Gates[s.Gate].Name, s.Pin)
+				pc, _ = lib.PinCap(nl.Gates[s.Gate].Cell, s.Pin)
+			} else {
+				name = fmt.Sprintf("pin:PO%d", si)
+				pc = 0.8e-15
+			}
+			t.AddNode(name, 0, 50, 0.2e-15+pc)
+		}
+		out[net] = t
+	}
+	return out
+}
+
+func newTestTimer(t *testing.T) (*Timer, *netlist.Netlist, map[string]*rctree.Tree) {
+	t.Helper()
+	lib := synthLib()
+	nl := diamond()
+	trees := flatTrees(nl, lib)
+	timer, err := NewTimer(lib, nl, trees, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return timer, nl, trees
+}
+
+func TestAnalyzeCriticalPathRoute(t *testing.T) {
+	timer, _, _ := newTestTimer(t)
+	res, err := timer.Analyze()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := res.Critical
+	// Critical path: in → U1 → U2 → U3 → out = PI stage + 3 cell stages.
+	if len(p.Stages) != 4 {
+		t.Fatalf("critical path has %d stages, want 4", len(p.Stages))
+	}
+	wantCells := []string{"", "INVx1", "INVx1", "NAND2x1"}
+	for i, s := range p.Stages {
+		if s.Cell != wantCells[i] {
+			t.Fatalf("stage %d cell %q want %q", i, s.Cell, wantCells[i])
+		}
+	}
+	// The NAND arc must be through pin A (fed by U2), not the short B path.
+	if p.Stages[3].InPin != "A" {
+		t.Fatalf("critical arc through pin %s want A", p.Stages[3].InPin)
+	}
+	if res.Endpoints == 0 || res.GatesTimed == 0 {
+		t.Fatal("bookkeeping empty")
+	}
+}
+
+func TestPathQuantileIsEquation10(t *testing.T) {
+	timer, _, _ := newTestTimer(t)
+	res, err := timer.Analyze()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := res.Critical
+	for _, n := range stats.SigmaLevels {
+		var want float64
+		for _, s := range p.Stages {
+			if s.CellQ != nil {
+				want += s.CellQ[n]
+			}
+			want += (1 + float64(n)*s.XW) * s.Elmore
+		}
+		if got := p.Quantile(n); math.Abs(got-want) > 1e-20 {
+			t.Fatalf("Quantile(%d) = %v want %v", n, got, want)
+		}
+	}
+	// With flat surfaces: mean cell delays 10+10+15 = 35ps plus wires.
+	cellSum := 35e-12
+	var wireSum float64
+	for _, s := range p.Stages {
+		wireSum += s.Elmore
+	}
+	if got := p.Quantile(0); math.Abs(got-(cellSum+wireSum)) > 1e-15 {
+		t.Fatalf("0σ path %v want %v", got, cellSum+wireSum)
+	}
+}
+
+func TestQuantilesOrdered(t *testing.T) {
+	timer, _, _ := newTestTimer(t)
+	res, err := timer.Analyze()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := res.Critical
+	prev := math.Inf(-1)
+	for _, n := range stats.SigmaLevels {
+		q := p.Quantile(n)
+		if q <= prev {
+			t.Fatalf("quantiles not increasing at %+d: %v <= %v", n, q, prev)
+		}
+		prev = q
+	}
+	// Propagated arrival must be at least the path sum at every level
+	// (max-propagation can only add pessimism).
+	for _, n := range stats.SigmaLevels {
+		if res.ArrivalQ[n] < p.Quantile(n)-1e-20 {
+			t.Fatalf("arrival %v below path sum %v at %+d", res.ArrivalQ[n], p.Quantile(n), n)
+		}
+	}
+}
+
+func TestWireQuantitiesOnPath(t *testing.T) {
+	timer, _, trees := newTestTimer(t)
+	res, err := timer.Analyze()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range res.Critical.Stages {
+		if s.Elmore <= 0 {
+			t.Fatalf("stage %s: Elmore %v", s.Net, s.Elmore)
+		}
+		if s.XW <= 0 {
+			t.Fatalf("stage %s: XW %v", s.Net, s.XW)
+		}
+		if s.Tree != trees[s.Net] {
+			t.Fatalf("stage %s: tree mismatch", s.Net)
+		}
+		if s.LeafSlew < s.OutSlew {
+			t.Fatalf("stage %s: slew shrank across the wire", s.Net)
+		}
+	}
+}
+
+func TestMissingTreeRejected(t *testing.T) {
+	lib := synthLib()
+	nl := diamond()
+	trees := flatTrees(nl, lib)
+	delete(trees, "m")
+	if _, err := NewTimer(lib, nl, trees, Options{}); err == nil {
+		t.Fatal("missing parasitic tree accepted")
+	}
+}
+
+func TestMissingArcSurfaces(t *testing.T) {
+	lib := synthLib()
+	delete(lib.Arcs, timinglib.ArcKey("NAND2x1", "B", waveform.Rising))
+	nl := diamond()
+	timer, err := NewTimer(lib, nl, flatTrees(nl, lib), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// NewTimer doesn't look up arcs; Analyze must fail.
+	if _, err := timer.Analyze(); err == nil {
+		t.Fatal("missing arc model not reported")
+	}
+}
+
+func TestInputSlewOption(t *testing.T) {
+	lib := synthLib()
+	nl := diamond()
+	trees := flatTrees(nl, lib)
+	timer, err := NewTimer(lib, nl, trees, Options{InputSlew: 50e-12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := timer.Analyze()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Critical.Stages[0].InSlew != 50e-12 {
+		t.Fatalf("input slew option ignored: %v", res.Critical.Stages[0].InSlew)
+	}
+}
+
+func TestNilWireCalibration(t *testing.T) {
+	lib := synthLib()
+	lib.Wire = nil // timing without a wire model: Xw must fall back to 0
+	nl := diamond()
+	timer, err := NewTimer(lib, nl, flatTrees(nl, lib), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := timer.Analyze()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range res.Critical.Stages {
+		if s.XW != 0 {
+			t.Fatalf("stage %s has Xw %v without a wire calibration", s.Net, s.XW)
+		}
+	}
+	// Quantiles then differ only through the cells.
+	p := res.Critical
+	spread := p.Quantile(3) - p.Quantile(-3)
+	if spread <= 0 {
+		t.Fatal("cell-only spread must still be positive")
+	}
+}
+
+func TestPadDriverSlewAtInputs(t *testing.T) {
+	// The PI net root slew must come from the pad-driver arc, not the raw
+	// input slew: with a heavily loaded input net they differ.
+	timer, _, trees := newTestTimer(t)
+	res, err := timer.Analyze()
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := res.Critical.Stages[0]
+	if first.Cell != "" {
+		t.Fatal("first stage should be the PI stage")
+	}
+	// synthLib's INVx4 arc reports a flat 15 ps output slew.
+	if first.OutSlew != 15e-12 {
+		t.Fatalf("PI root slew %v, want the pad driver's 15 ps", first.OutSlew)
+	}
+	_ = trees
+}

@@ -1,0 +1,64 @@
+package sta
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/waveform"
+)
+
+// AnalyzeTopPaths times the design and extracts the worst path of each of
+// the k slowest endpoints (one path per endpoint, ranked by mean arrival) —
+// the `report_timing -max_paths k` view. The first returned path is the
+// critical path of Analyze.
+func (t *Timer) AnalyzeTopPaths(k int) (*Result, []*Path, error) {
+	if k <= 0 {
+		return nil, nil, fmt.Errorf("sta: k must be positive")
+	}
+	res, state, err := t.analyze()
+	if err != nil {
+		return nil, nil, err
+	}
+	type endpoint struct {
+		key  string
+		arr  float64
+		net  string
+		edge waveform.Edge
+	}
+	eps := make([]endpoint, 0, len(res.EndpointArrivals))
+	for key, arr := range res.EndpointArrivals {
+		i := strings.LastIndexByte(key, '/')
+		net := key[:i]
+		edge := waveform.Falling
+		if key[i+1:] == waveform.Rising.String() {
+			edge = waveform.Rising
+		}
+		eps = append(eps, endpoint{key: key, arr: arr[0], net: net, edge: edge})
+	}
+	sort.Slice(eps, func(i, j int) bool {
+		if eps[i].arr != eps[j].arr {
+			return eps[i].arr > eps[j].arr
+		}
+		return eps[i].key < eps[j].key
+	})
+	if k > len(eps) {
+		k = len(eps)
+	}
+	paths := make([]*Path, 0, k)
+	for _, ep := range eps[:k] {
+		p, err := t.backtrack(state, ep.net, ep.edge)
+		if err != nil {
+			return nil, nil, err
+		}
+		paths = append(paths, p)
+	}
+	return res, paths, nil
+}
+
+// analyze is the shared implementation behind Analyze and AnalyzeTopPaths,
+// returning the propagated state for further backtracking.
+func (t *Timer) analyze() (*Result, map[string]*[2]netState, error) {
+	res, state, err := t.analyzeInternal()
+	return res, state, err
+}

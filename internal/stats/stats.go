@@ -1,0 +1,265 @@
+// Package stats implements the descriptive statistics the N-sigma model is
+// built on: the first four moments (mean, standard deviation, skewness,
+// kurtosis), empirical quantiles at the paper's sigma levels, histograms and
+// distribution-distance measures used to validate fitted models.
+package stats
+
+import (
+	"errors"
+	"math"
+	"sort"
+)
+
+// Moments holds the first four standardised moments of a sample:
+// mean μ, standard deviation σ, skewness γ, and kurtosis κ.
+// Kurtosis follows the paper's convention (Pearson, not excess): a Gaussian
+// has κ = 3.
+type Moments struct {
+	Mean     float64 `json:"mean"`
+	Std      float64 `json:"std"`
+	Skewness float64 `json:"skewness"`
+	Kurtosis float64 `json:"kurtosis"`
+}
+
+// ComputeMoments returns the sample moments of xs. It panics on fewer than
+// two samples because σ (and everything built on it) is undefined there.
+func ComputeMoments(xs []float64) Moments {
+	n := len(xs)
+	if n < 2 {
+		panic("stats: moments need at least two samples")
+	}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	mean := sum / float64(n)
+	var m2, m3, m4 float64
+	for _, x := range xs {
+		d := x - mean
+		d2 := d * d
+		m2 += d2
+		m3 += d2 * d
+		m4 += d2 * d2
+	}
+	m2 /= float64(n)
+	m3 /= float64(n)
+	m4 /= float64(n)
+	std := math.Sqrt(m2)
+	var skew, kurt float64
+	if std > 0 {
+		skew = m3 / (m2 * std)
+		kurt = m4 / (m2 * m2)
+	} else {
+		kurt = 3 // degenerate point mass: treat as Gaussian-like
+	}
+	return Moments{Mean: mean, Std: std, Skewness: skew, Kurtosis: kurt}
+}
+
+// Quantile returns the p-quantile (0 ≤ p ≤ 1) of xs using linear
+// interpolation between order statistics (Hyndman-Fan type 7, the default of
+// R/NumPy and what MC quantile extraction in the paper amounts to).
+// xs need not be sorted.
+func Quantile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		panic("stats: quantile of empty sample")
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	return QuantileSorted(sorted, p)
+}
+
+// QuantileSorted is Quantile for an already ascending-sorted sample.
+func QuantileSorted(sorted []float64, p float64) float64 {
+	n := len(sorted)
+	if n == 0 {
+		panic("stats: quantile of empty sample")
+	}
+	if p <= 0 {
+		return sorted[0]
+	}
+	if p >= 1 {
+		return sorted[n-1]
+	}
+	h := p * float64(n-1)
+	lo := int(math.Floor(h))
+	frac := h - float64(lo)
+	if lo+1 >= n {
+		return sorted[n-1]
+	}
+	return sorted[lo] + frac*(sorted[lo+1]-sorted[lo])
+}
+
+// SigmaLevels are the paper's seven sigma levels, -3σ…+3σ.
+var SigmaLevels = []int{-3, -2, -1, 0, 1, 2, 3}
+
+// SigmaProbability returns the Gaussian CDF value Φ(n) that defines the
+// "nσ quantile" naming convention of the paper (Table I: 0.14 %, 2.28 %,
+// 15.87 %, 50 %, 84.13 %, 97.72 %, 99.86 % for n = -3…+3).
+func SigmaProbability(n float64) float64 {
+	return 0.5 * (1 + math.Erf(n/math.Sqrt2))
+}
+
+// SigmaQuantiles extracts the empirical quantiles of xs at each of the seven
+// sigma levels, keyed by level index -3…+3.
+func SigmaQuantiles(xs []float64) map[int]float64 {
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	out := make(map[int]float64, len(SigmaLevels))
+	for _, n := range SigmaLevels {
+		out[n] = QuantileSorted(sorted, SigmaProbability(float64(n)))
+	}
+	return out
+}
+
+// Mean returns the arithmetic mean of xs (0 for an empty slice).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// Std returns the population standard deviation of xs.
+func Std(xs []float64) float64 {
+	return ComputeMoments(xs).Std
+}
+
+// MinMax returns the extrema of xs.
+func MinMax(xs []float64) (lo, hi float64) {
+	if len(xs) == 0 {
+		return 0, 0
+	}
+	lo, hi = xs[0], xs[0]
+	for _, x := range xs[1:] {
+		if x < lo {
+			lo = x
+		}
+		if x > hi {
+			hi = x
+		}
+	}
+	return lo, hi
+}
+
+// RelErr returns |est−ref|/|ref| as a percentage, the error metric used
+// throughout the paper's tables. A zero reference yields NaN unless the
+// estimate is also zero.
+func RelErr(est, ref float64) float64 {
+	if ref == 0 {
+		if est == 0 {
+			return 0
+		}
+		return math.NaN()
+	}
+	return math.Abs(est-ref) / math.Abs(ref) * 100
+}
+
+// ErrNotEnoughSamples reports an operation attempted with too few samples.
+var ErrNotEnoughSamples = errors.New("stats: not enough samples")
+
+// Histogram bins xs into nbins equal-width bins over [lo, hi] and returns
+// bin centres and normalised densities (integrating to 1). It is the basis
+// of the Fig. 2 / Fig. 7 PDF plots.
+func Histogram(xs []float64, nbins int, lo, hi float64) (centres, density []float64, err error) {
+	if len(xs) == 0 {
+		return nil, nil, ErrNotEnoughSamples
+	}
+	if nbins <= 0 || hi <= lo {
+		return nil, nil, errors.New("stats: invalid histogram bounds")
+	}
+	width := (hi - lo) / float64(nbins)
+	counts := make([]float64, nbins)
+	var total float64
+	for _, x := range xs {
+		if x < lo || x > hi {
+			continue
+		}
+		b := int((x - lo) / width)
+		if b >= nbins {
+			b = nbins - 1
+		}
+		counts[b]++
+		total++
+	}
+	if total == 0 {
+		return nil, nil, ErrNotEnoughSamples
+	}
+	centres = make([]float64, nbins)
+	density = make([]float64, nbins)
+	for i := range counts {
+		centres[i] = lo + (float64(i)+0.5)*width
+		density[i] = counts[i] / (total * width)
+	}
+	return centres, density, nil
+}
+
+// KSDistance computes the two-sample Kolmogorov-Smirnov statistic, used by
+// tests to check that fitted distributions track the golden MC samples.
+func KSDistance(a, b []float64) float64 {
+	as := append([]float64(nil), a...)
+	bs := append([]float64(nil), b...)
+	sort.Float64s(as)
+	sort.Float64s(bs)
+	var i, j int
+	var d float64
+	for i < len(as) && j < len(bs) {
+		// Advance past ties on both sides together so equal samples never
+		// register a spurious CDF gap.
+		va, vb := as[i], bs[j]
+		if va <= vb {
+			i++
+		}
+		if vb <= va {
+			j++
+		}
+		fa := float64(i) / float64(len(as))
+		fb := float64(j) / float64(len(bs))
+		if diff := math.Abs(fa - fb); diff > d {
+			d = diff
+		}
+	}
+	return d
+}
+
+// NormalQuantile returns the standard normal inverse CDF Φ⁻¹(p) using the
+// Acklam rational approximation (relative error < 1.15e-9), good enough for
+// every quantile transform in this repository.
+func NormalQuantile(p float64) float64 {
+	if p <= 0 {
+		return math.Inf(-1)
+	}
+	if p >= 1 {
+		return math.Inf(1)
+	}
+	a := [6]float64{-3.969683028665376e+01, 2.209460984245205e+02, -2.759285104469687e+02,
+		1.383577518672690e+02, -3.066479806614716e+01, 2.506628277459239e+00}
+	b := [5]float64{-5.447609879822406e+01, 1.615858368580409e+02, -1.556989798598866e+02,
+		6.680131188771972e+01, -1.328068155288572e+01}
+	c := [6]float64{-7.784894002430293e-03, -3.223964580411365e-01, -2.400758277161838e+00,
+		-2.549732539343734e+00, 4.374664141464968e+00, 2.938163982698783e+00}
+	d := [4]float64{7.784695709041462e-03, 3.224671290700398e-01, 2.445134137142996e+00,
+		3.754408661907416e+00}
+	const plow = 0.02425
+	switch {
+	case p < plow:
+		q := math.Sqrt(-2 * math.Log(p))
+		return (((((c[0]*q+c[1])*q+c[2])*q+c[3])*q+c[4])*q + c[5]) /
+			((((d[0]*q+d[1])*q+d[2])*q+d[3])*q + 1)
+	case p > 1-plow:
+		q := math.Sqrt(-2 * math.Log(1-p))
+		return -(((((c[0]*q+c[1])*q+c[2])*q+c[3])*q+c[4])*q + c[5]) /
+			((((d[0]*q+d[1])*q+d[2])*q+d[3])*q + 1)
+	default:
+		q := p - 0.5
+		r := q * q
+		return (((((a[0]*r+a[1])*r+a[2])*r+a[3])*r+a[4])*r + a[5]) * q /
+			(((((b[0]*r+b[1])*r+b[2])*r+b[3])*r+b[4])*r + 1)
+	}
+}
+
+// NormalCDF is the standard normal CDF Φ(x).
+func NormalCDF(x float64) float64 { return 0.5 * (1 + math.Erf(x/math.Sqrt2)) }

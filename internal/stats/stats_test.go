@@ -1,0 +1,228 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+)
+
+func TestMomentsGaussian(t *testing.T) {
+	r := rng.New(1)
+	xs := make([]float64, 400000)
+	for i := range xs {
+		xs[i] = 5 + 2*r.NormFloat64()
+	}
+	m := ComputeMoments(xs)
+	if math.Abs(m.Mean-5) > 0.02 {
+		t.Errorf("mean %v", m.Mean)
+	}
+	if math.Abs(m.Std-2) > 0.02 {
+		t.Errorf("std %v", m.Std)
+	}
+	if math.Abs(m.Skewness) > 0.03 {
+		t.Errorf("skewness %v", m.Skewness)
+	}
+	if math.Abs(m.Kurtosis-3) > 0.08 {
+		t.Errorf("kurtosis %v (want 3: Pearson convention)", m.Kurtosis)
+	}
+}
+
+func TestMomentsExponentialSkew(t *testing.T) {
+	// Exponential: skewness 2, kurtosis 9.
+	r := rng.New(2)
+	xs := make([]float64, 400000)
+	for i := range xs {
+		xs[i] = -math.Log(1 - r.Float64())
+	}
+	m := ComputeMoments(xs)
+	if math.Abs(m.Skewness-2) > 0.1 {
+		t.Errorf("exponential skewness %v want 2", m.Skewness)
+	}
+	if math.Abs(m.Kurtosis-9) > 0.6 {
+		t.Errorf("exponential kurtosis %v want 9", m.Kurtosis)
+	}
+}
+
+func TestMomentsPanicsOnTiny(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("single sample did not panic")
+		}
+	}()
+	ComputeMoments([]float64{1})
+}
+
+func TestMomentsDegenerate(t *testing.T) {
+	m := ComputeMoments([]float64{3, 3, 3, 3})
+	if m.Std != 0 || m.Kurtosis != 3 {
+		t.Fatalf("degenerate moments: %+v", m)
+	}
+}
+
+func TestQuantileSmall(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	if q := Quantile(xs, 0); q != 1 {
+		t.Errorf("p=0 → %v", q)
+	}
+	if q := Quantile(xs, 1); q != 3 {
+		t.Errorf("p=1 → %v", q)
+	}
+	if q := Quantile(xs, 0.5); q != 2 {
+		t.Errorf("median → %v", q)
+	}
+	// Type-7: p=0.25 over {1,2,3} → 1.5
+	if q := Quantile(xs, 0.25); math.Abs(q-1.5) > 1e-12 {
+		t.Errorf("p=0.25 → %v want 1.5", q)
+	}
+}
+
+func TestQuantileMonotoneProperty(t *testing.T) {
+	r := rng.New(3)
+	xs := make([]float64, 500)
+	for i := range xs {
+		xs[i] = r.NormFloat64()
+	}
+	err := quick.Check(func(aRaw, bRaw float64) bool {
+		a := math.Mod(math.Abs(aRaw), 1)
+		b := math.Mod(math.Abs(bRaw), 1)
+		if a > b {
+			a, b = b, a
+		}
+		return Quantile(xs, a) <= Quantile(xs, b)
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSigmaProbabilityTableI(t *testing.T) {
+	// The paper's Table I percent-defective column.
+	cases := map[int]float64{
+		-3: 0.0013499, -2: 0.0227501, -1: 0.1586553, 0: 0.5,
+		1: 0.8413447, 2: 0.9772499, 3: 0.9986501,
+	}
+	for n, want := range cases {
+		if got := SigmaProbability(float64(n)); math.Abs(got-want) > 5e-6 {
+			t.Errorf("SigmaProbability(%d) = %v want %v", n, got, want)
+		}
+	}
+}
+
+func TestSigmaQuantilesGaussian(t *testing.T) {
+	r := rng.New(4)
+	xs := make([]float64, 300000)
+	for i := range xs {
+		xs[i] = r.NormFloat64()
+	}
+	q := SigmaQuantiles(xs)
+	for _, n := range SigmaLevels {
+		if math.Abs(q[n]-float64(n)) > 0.08 {
+			t.Errorf("Gaussian %+dσ quantile %v", n, q[n])
+		}
+	}
+}
+
+func TestRelErr(t *testing.T) {
+	if e := RelErr(110, 100); math.Abs(e-10) > 1e-12 {
+		t.Errorf("RelErr(110,100)=%v", e)
+	}
+	if e := RelErr(90, 100); math.Abs(e-10) > 1e-12 {
+		t.Errorf("RelErr(90,100)=%v", e)
+	}
+	if e := RelErr(0, 0); e != 0 {
+		t.Errorf("RelErr(0,0)=%v", e)
+	}
+	if !math.IsNaN(RelErr(1, 0)) {
+		t.Error("RelErr(1,0) should be NaN")
+	}
+}
+
+func TestHistogramIntegratesToOne(t *testing.T) {
+	r := rng.New(5)
+	xs := make([]float64, 20000)
+	for i := range xs {
+		xs[i] = r.NormFloat64()
+	}
+	lo, hi := MinMax(xs)
+	centres, density, err := Histogram(xs, 32, lo, hi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	width := centres[1] - centres[0]
+	var area float64
+	for _, d := range density {
+		area += d * width
+	}
+	if math.Abs(area-1) > 1e-9 {
+		t.Fatalf("histogram area %v", area)
+	}
+}
+
+func TestHistogramErrors(t *testing.T) {
+	if _, _, err := Histogram(nil, 4, 0, 1); err == nil {
+		t.Error("empty sample accepted")
+	}
+	if _, _, err := Histogram([]float64{1}, 0, 0, 1); err == nil {
+		t.Error("zero bins accepted")
+	}
+	if _, _, err := Histogram([]float64{1}, 4, 1, 0); err == nil {
+		t.Error("inverted bounds accepted")
+	}
+}
+
+func TestKSDistance(t *testing.T) {
+	a := []float64{1, 2, 3, 4, 5}
+	if d := KSDistance(a, a); d > 1e-12 {
+		t.Errorf("KS of identical samples %v", d)
+	}
+	b := []float64{100, 101, 102}
+	if d := KSDistance(a, b); math.Abs(d-1) > 1e-12 {
+		t.Errorf("KS of disjoint samples %v want 1", d)
+	}
+}
+
+func TestNormalQuantileInverseProperty(t *testing.T) {
+	err := quick.Check(func(pRaw float64) bool {
+		p := math.Mod(math.Abs(pRaw), 0.998) + 0.001
+		x := NormalQuantile(p)
+		return math.Abs(NormalCDF(x)-p) < 1e-8
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNormalQuantileKnown(t *testing.T) {
+	if q := NormalQuantile(0.5); math.Abs(q) > 1e-9 {
+		t.Errorf("median %v", q)
+	}
+	if q := NormalQuantile(0.9986501); math.Abs(q-3) > 1e-4 {
+		t.Errorf("+3σ point %v", q)
+	}
+	if !math.IsInf(NormalQuantile(0), -1) || !math.IsInf(NormalQuantile(1), 1) {
+		t.Error("extreme probabilities should map to infinities")
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	lo, hi := MinMax([]float64{3, -1, 7, 2})
+	if lo != -1 || hi != 7 {
+		t.Fatalf("MinMax = %v, %v", lo, hi)
+	}
+	lo, hi = MinMax(nil)
+	if lo != 0 || hi != 0 {
+		t.Fatalf("MinMax(nil) = %v, %v", lo, hi)
+	}
+}
+
+func TestMeanStd(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if m := Mean(xs); math.Abs(m-5) > 1e-12 {
+		t.Errorf("mean %v", m)
+	}
+	if s := Std(xs); math.Abs(s-2) > 1e-12 {
+		t.Errorf("std %v", s)
+	}
+}

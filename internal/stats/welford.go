@@ -1,0 +1,77 @@
+package stats
+
+import "math"
+
+// Running accumulates the first four central moments incrementally
+// (Welford / Pébay update), letting Monte-Carlo drivers track moments
+// without retaining samples — useful for long runs where only the moments
+// (not quantiles) are needed, e.g. convergence monitoring.
+type Running struct {
+	n          float64
+	mean       float64
+	m2, m3, m4 float64
+}
+
+// Add folds one observation into the accumulator.
+func (r *Running) Add(x float64) {
+	n1 := r.n
+	r.n++
+	delta := x - r.mean
+	deltaN := delta / r.n
+	deltaN2 := deltaN * deltaN
+	term1 := delta * deltaN * n1
+	r.mean += deltaN
+	r.m4 += term1*deltaN2*(r.n*r.n-3*r.n+3) + 6*deltaN2*r.m2 - 4*deltaN*r.m3
+	r.m3 += term1*deltaN*(r.n-2) - 3*deltaN*r.m2
+	r.m2 += term1
+}
+
+// N returns the number of observations.
+func (r *Running) N() int { return int(r.n) }
+
+// Moments returns the accumulated [µ, σ, γ, κ]. It panics with fewer than
+// two observations, matching ComputeMoments.
+func (r *Running) Moments() Moments {
+	if r.n < 2 {
+		panic("stats: moments need at least two samples")
+	}
+	variance := r.m2 / r.n
+	std := math.Sqrt(variance)
+	m := Moments{Mean: r.mean, Std: std}
+	if std > 0 {
+		m.Skewness = (r.m3 / r.n) / (variance * std)
+		m.Kurtosis = (r.m4 / r.n) / (variance * variance)
+	} else {
+		m.Kurtosis = 3
+	}
+	return m
+}
+
+// Merge combines another accumulator into this one (parallel reduction),
+// using the pairwise update of Pébay (2008).
+func (r *Running) Merge(o *Running) {
+	if o.n == 0 {
+		return
+	}
+	if r.n == 0 {
+		*r = *o
+		return
+	}
+	n := r.n + o.n
+	delta := o.mean - r.mean
+	d2 := delta * delta
+	d3 := d2 * delta
+	d4 := d3 * delta
+	na, nb := r.n, o.n
+
+	m2 := r.m2 + o.m2 + d2*na*nb/n
+	m3 := r.m3 + o.m3 + d3*na*nb*(na-nb)/(n*n) +
+		3*delta*(na*o.m2-nb*r.m2)/n
+	m4 := r.m4 + o.m4 + d4*na*nb*(na*na-na*nb+nb*nb)/(n*n*n) +
+		6*d2*(na*na*o.m2+nb*nb*r.m2)/(n*n) +
+		4*delta*(na*o.m3-nb*r.m3)/n
+
+	r.mean += delta * nb / n
+	r.n = n
+	r.m2, r.m3, r.m4 = m2, m3, m4
+}

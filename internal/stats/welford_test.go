@@ -1,0 +1,84 @@
+package stats
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+func TestRunningMatchesBatch(t *testing.T) {
+	r := rng.New(61)
+	xs := make([]float64, 5000)
+	var run Running
+	for i := range xs {
+		// A deliberately skewed, shifted sample.
+		xs[i] = 1e-11 + 2e-12*math.Exp(0.5*r.NormFloat64())
+		run.Add(xs[i])
+	}
+	batch := ComputeMoments(xs)
+	got := run.Moments()
+	if math.Abs(got.Mean-batch.Mean) > 1e-18 {
+		t.Errorf("mean %v vs %v", got.Mean, batch.Mean)
+	}
+	if math.Abs(got.Std-batch.Std)/batch.Std > 1e-10 {
+		t.Errorf("std %v vs %v", got.Std, batch.Std)
+	}
+	if math.Abs(got.Skewness-batch.Skewness) > 1e-8 {
+		t.Errorf("skew %v vs %v", got.Skewness, batch.Skewness)
+	}
+	if math.Abs(got.Kurtosis-batch.Kurtosis) > 1e-8 {
+		t.Errorf("kurt %v vs %v", got.Kurtosis, batch.Kurtosis)
+	}
+	if run.N() != len(xs) {
+		t.Errorf("N %d", run.N())
+	}
+}
+
+func TestRunningMergeEqualsSequential(t *testing.T) {
+	r := rng.New(62)
+	var all, a, b Running
+	for i := 0; i < 3000; i++ {
+		x := r.NormFloat64()*2 + 7
+		all.Add(x)
+		if i%3 == 0 {
+			a.Add(x)
+		} else {
+			b.Add(x)
+		}
+	}
+	a.Merge(&b)
+	ma, mall := a.Moments(), all.Moments()
+	if math.Abs(ma.Mean-mall.Mean) > 1e-12 ||
+		math.Abs(ma.Std-mall.Std) > 1e-12 ||
+		math.Abs(ma.Skewness-mall.Skewness) > 1e-9 ||
+		math.Abs(ma.Kurtosis-mall.Kurtosis) > 1e-9 {
+		t.Fatalf("merge diverged: %+v vs %+v", ma, mall)
+	}
+}
+
+func TestRunningMergeEdgeCases(t *testing.T) {
+	var a, b Running
+	b.Add(1)
+	b.Add(2)
+	a.Merge(&b) // merge into empty
+	if a.N() != 2 {
+		t.Fatal("merge into empty lost data")
+	}
+	var empty Running
+	a.Merge(&empty) // merge empty into non-empty
+	if a.N() != 2 {
+		t.Fatal("merging an empty accumulator changed the count")
+	}
+}
+
+func TestRunningPanicsOnTiny(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic with one sample")
+		}
+	}()
+	var r Running
+	r.Add(1)
+	r.Moments()
+}

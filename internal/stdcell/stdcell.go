@@ -1,0 +1,348 @@
+// Package stdcell defines a synthetic transistor-level standard-cell
+// library playing the role of the paper's TSMC 28 nm cells: INV, NAND2,
+// NOR2 and AOI2 (an AOI21 topology) at drive strengths x1, x2, x4 and x8.
+//
+// Two structural properties matter to the wire-variability model of the
+// paper (eqs. 5–7) and are therefore explicit on every cell: the drive
+// Strength (width multiple of the unit inverter) and the Stack depth (the
+// number of series transistors in the switching path), because Pelgrom
+// averaging makes delay variability shrink as 1/√(stack·strength).
+package stdcell
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/circuit"
+	"repro/internal/device"
+	"repro/internal/rng"
+	"repro/internal/variation"
+)
+
+// Kind enumerates supported cell topologies.
+type Kind string
+
+// Supported cell kinds.
+const (
+	INV   Kind = "INV"
+	NAND2 Kind = "NAND2"
+	NOR2  Kind = "NOR2"
+	AOI2  Kind = "AOI2" // AOI21: Y = !(A·B + C)
+)
+
+// Kinds lists every topology in library order.
+var Kinds = []Kind{INV, NAND2, NOR2, AOI2}
+
+// Strengths are the drive strengths built for every kind.
+var Strengths = []int{1, 2, 4, 8}
+
+// devSpec describes one transistor of a cell template with symbolic nodes.
+type devSpec struct {
+	pol     device.Polarity
+	wMult   float64 // multiple of the polarity's unit width
+	d, g, s string
+}
+
+// Cell is one library cell (a specific kind at a specific strength).
+type Cell struct {
+	Name     string
+	Kind     Kind
+	Strength int
+	Inputs   []string
+	Output   string
+	// Stack is the worst-case number of series transistors in the
+	// switching path (1 for INV, 2 for the two-input gates).
+	Stack int
+
+	tech    *device.Tech
+	devices []devSpec
+}
+
+// Library is the full synthetic cell library for one technology.
+type Library struct {
+	Tech  *device.Tech
+	cells map[string]*Cell
+}
+
+// CellName composes the canonical "KINDxS" cell name.
+func CellName(k Kind, strength int) string { return fmt.Sprintf("%sx%d", k, strength) }
+
+// NewLibrary builds every kind × strength combination for tech.
+func NewLibrary(tech *device.Tech) *Library {
+	lib := &Library{Tech: tech, cells: make(map[string]*Cell)}
+	for _, k := range Kinds {
+		for _, s := range Strengths {
+			c := newCell(tech, k, s)
+			lib.cells[c.Name] = c
+		}
+	}
+	return lib
+}
+
+// Cell returns the named cell or nil.
+func (l *Library) Cell(name string) *Cell { return l.cells[name] }
+
+// MustCell returns the named cell, panicking if absent — for internal
+// wiring where the name is a compile-time constant.
+func (l *Library) MustCell(name string) *Cell {
+	c := l.cells[name]
+	if c == nil {
+		panic("stdcell: unknown cell " + name)
+	}
+	return c
+}
+
+// Names returns all cell names in deterministic order.
+func (l *Library) Names() []string {
+	names := make([]string, 0, len(l.cells))
+	for n := range l.cells {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Cells returns all cells in deterministic (name) order.
+func (l *Library) Cells() []*Cell {
+	names := l.Names()
+	out := make([]*Cell, len(names))
+	for i, n := range names {
+		out[i] = l.cells[n]
+	}
+	return out
+}
+
+func newCell(tech *device.Tech, k Kind, strength int) *Cell {
+	c := &Cell{
+		Name:     CellName(k, strength),
+		Kind:     k,
+		Strength: strength,
+		Output:   "Y",
+		tech:     tech,
+	}
+	s := float64(strength)
+	pn := tech.PNRatio
+	switch k {
+	case INV:
+		c.Inputs = []string{"A"}
+		c.Stack = 1
+		c.devices = []devSpec{
+			{device.NMOS, s, "Y", "A", "gnd"},
+			{device.PMOS, s * pn, "Y", "A", "vdd"},
+		}
+	case NAND2:
+		c.Inputs = []string{"A", "B"}
+		c.Stack = 2
+		// Series NMOS doubled in width to match unit pull-down resistance.
+		c.devices = []devSpec{
+			{device.NMOS, 2 * s, "Y", "A", "n1"},
+			{device.NMOS, 2 * s, "n1", "B", "gnd"},
+			{device.PMOS, s * pn, "Y", "A", "vdd"},
+			{device.PMOS, s * pn, "Y", "B", "vdd"},
+		}
+	case NOR2:
+		c.Inputs = []string{"A", "B"}
+		c.Stack = 2
+		c.devices = []devSpec{
+			{device.NMOS, s, "Y", "A", "gnd"},
+			{device.NMOS, s, "Y", "B", "gnd"},
+			{device.PMOS, 2 * s * pn, "Y", "A", "p1"},
+			{device.PMOS, 2 * s * pn, "p1", "B", "vdd"},
+		}
+	case AOI2:
+		// AOI21: Y = !(A·B + C).
+		c.Inputs = []string{"A", "B", "C"}
+		c.Stack = 2
+		c.devices = []devSpec{
+			{device.NMOS, 2 * s, "Y", "A", "n1"},
+			{device.NMOS, 2 * s, "n1", "B", "gnd"},
+			{device.NMOS, s, "Y", "C", "gnd"},
+			{device.PMOS, 2 * s * pn, "p1", "A", "vdd"},
+			{device.PMOS, 2 * s * pn, "p1", "B", "vdd"},
+			{device.PMOS, 2 * s * pn, "Y", "C", "p1"},
+		}
+	default:
+		panic("stdcell: unknown kind " + string(k))
+	}
+	return c
+}
+
+// width returns the physical width of a template device.
+func (c *Cell) width(d devSpec) float64 {
+	w := c.tech.Wmin * d.wMult
+	return w
+}
+
+// PinCap returns the nominal input capacitance of pin (F): the summed gate
+// capacitance of every transistor driven by it. This is the load a cell
+// presents to its fan-in net, used by STA and the layout extractor.
+func (c *Cell) PinCap(pin string) float64 {
+	var sum float64
+	for _, d := range c.devices {
+		if d.g == pin {
+			sum += c.tech.GateCap(c.width(d))
+		}
+	}
+	if sum == 0 {
+		panic(fmt.Sprintf("stdcell: %s has no pin %q", c.Name, pin))
+	}
+	return sum
+}
+
+// OutputCap returns the nominal parasitic capacitance at the cell output
+// (drain junctions of devices whose drain is the output).
+func (c *Cell) OutputCap() float64 {
+	var sum float64
+	for _, d := range c.devices {
+		if d.d == c.Output {
+			sum += c.tech.DrainCap(c.width(d))
+		}
+	}
+	return sum
+}
+
+// SensitizingLevels returns, for a timing arc through the given input pin,
+// the static logic levels the remaining inputs must hold so that the output
+// is the inversion of the pin (all library cells are inverting and unate in
+// every input).
+func (c *Cell) SensitizingLevels(pin string) map[string]bool {
+	lv := make(map[string]bool)
+	switch c.Kind {
+	case INV:
+	case NAND2:
+		for _, in := range c.Inputs {
+			if in != pin {
+				lv[in] = true // non-controlling for NAND
+			}
+		}
+	case NOR2:
+		for _, in := range c.Inputs {
+			if in != pin {
+				lv[in] = false // non-controlling for NOR
+			}
+		}
+	case AOI2:
+		// Y = !(A·B + C)
+		switch pin {
+		case "A":
+			lv["B"] = true
+			lv["C"] = false
+		case "B":
+			lv["A"] = true
+			lv["C"] = false
+		case "C":
+			lv["A"] = false
+			lv["B"] = false
+		default:
+			panic(fmt.Sprintf("stdcell: %s has no pin %q", c.Name, pin))
+		}
+	}
+	if pin != "" && !c.HasInput(pin) {
+		panic(fmt.Sprintf("stdcell: %s has no pin %q", c.Name, pin))
+	}
+	return lv
+}
+
+// HasInput reports whether pin is an input of the cell.
+func (c *Cell) HasInput(pin string) bool {
+	for _, in := range c.Inputs {
+		if in == pin {
+			return true
+		}
+	}
+	return false
+}
+
+// Sampler bundles everything needed to draw one Monte-Carlo instance of a
+// cell: the variation model, the per-sample global corner and the local
+// random stream. A nil *Sampler instantiates nominal devices.
+type Sampler struct {
+	Model  *variation.Model
+	Corner variation.Corner
+	R      *rng.Stream
+}
+
+// SampleCtx is one Monte-Carlo sample of a whole circuit: a shared global
+// corner plus a base stream from which each element (gate instance, RC
+// tree) derives its local-variation sub-stream by a stable key. Keys make
+// draws position-independent: the same gate gets the same transistor
+// parameters whether it is simulated as the load of one stage or the driver
+// of the next — the correlation the paper's cell/wire interaction study
+// depends on. A nil *SampleCtx yields nominal instances.
+type SampleCtx struct {
+	Model  *variation.Model
+	Corner variation.Corner
+	Base   *rng.Stream
+}
+
+// SamplerFor derives the element sampler for a stable key.
+func (c *SampleCtx) SamplerFor(key uint64) *Sampler {
+	if c == nil {
+		return nil
+	}
+	return &Sampler{Model: c.Model, Corner: c.Corner, R: c.Base.Split(key)}
+}
+
+// KeyFromString hashes an element name into a sampler key (FNV-1a).
+func KeyFromString(s string) uint64 {
+	var h uint64 = 1469598103934665603
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	if h == 0 {
+		h = 1
+	}
+	return h
+}
+
+// sampleParams applies global + local variation to nominal parameters.
+func (s *Sampler) sampleParams(p device.Params) device.Params {
+	if s == nil {
+		return p
+	}
+	if p.Polarity == device.NMOS {
+		p.Vth += s.Corner.DVthN + s.Model.SampleLocalVth(s.R, p.W, p.L)
+		p.KP *= s.Corner.BetaN * s.Model.SampleLocalBeta(s.R, p.W, p.L)
+	} else {
+		p.Vth += s.Corner.DVthP + s.Model.SampleLocalVth(s.R, p.W, p.L)
+		p.KP *= s.Corner.BetaP * s.Model.SampleLocalBeta(s.R, p.W, p.L)
+	}
+	capMult := s.Corner.Cap * s.Model.SampleLocalCap(s.R, p.W, p.L)
+	p.Cg *= capMult
+	p.Cgd *= capMult
+	p.Cd *= capMult
+	return p
+}
+
+// Build instantiates the cell into ck. pins maps the cell's interface nodes
+// — "vdd", "gnd", every input pin, and the output "Y" — to circuit nodes;
+// missing entries panic. Internal nodes are created fresh per instance.
+func (c *Cell) Build(ck *circuit.Circuit, pins map[string]circuit.Node, s *Sampler) {
+	internal := make(map[string]circuit.Node)
+	resolve := func(name string) circuit.Node {
+		if n, ok := pins[name]; ok {
+			return n
+		}
+		switch name {
+		case "gnd":
+			return circuit.Ground
+		case "vdd", "Y":
+			panic("stdcell: Build missing required pin " + name)
+		}
+		if c.HasInput(name) {
+			panic("stdcell: Build missing input pin " + name)
+		}
+		n, ok := internal[name]
+		if !ok {
+			n = ck.NewNode(c.Name + "." + name)
+			internal[name] = n
+		}
+		return n
+	}
+	for _, d := range c.devices {
+		p := c.tech.NominalParams(d.pol, c.width(d))
+		p = s.sampleParams(p)
+		ck.AddMOS(resolve(d.d), resolve(d.g), resolve(d.s), p)
+	}
+}

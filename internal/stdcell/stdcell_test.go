@@ -1,0 +1,217 @@
+package stdcell
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/circuit"
+	"repro/internal/device"
+	"repro/internal/rng"
+	"repro/internal/variation"
+)
+
+func lib() *Library { return NewLibrary(device.Default28nm()) }
+
+func TestLibraryComplete(t *testing.T) {
+	l := lib()
+	if got := len(l.Names()); got != len(Kinds)*len(Strengths) {
+		t.Fatalf("library has %d cells, want %d", got, len(Kinds)*len(Strengths))
+	}
+	for _, k := range Kinds {
+		for _, s := range Strengths {
+			c := l.Cell(CellName(k, s))
+			if c == nil {
+				t.Fatalf("missing %s", CellName(k, s))
+			}
+			if c.Kind != k || c.Strength != s {
+				t.Fatalf("cell %s mislabeled: %+v", c.Name, c)
+			}
+		}
+	}
+	if l.Cell("BOGUSx1") != nil {
+		t.Fatal("unknown cell should be nil")
+	}
+}
+
+func TestStackDepths(t *testing.T) {
+	l := lib()
+	want := map[Kind]int{INV: 1, NAND2: 2, NOR2: 2, AOI2: 2}
+	for k, stack := range want {
+		if c := l.MustCell(CellName(k, 1)); c.Stack != stack {
+			t.Errorf("%s stack %d want %d", k, c.Stack, stack)
+		}
+	}
+}
+
+func TestPinCapScalesWithStrength(t *testing.T) {
+	l := lib()
+	c1 := l.MustCell("INVx1").PinCap("A")
+	c4 := l.MustCell("INVx4").PinCap("A")
+	if math.Abs(c4/c1-4) > 1e-9 {
+		t.Fatalf("INV pin cap scaling %v want 4", c4/c1)
+	}
+	if c1 <= 0 {
+		t.Fatal("pin cap must be positive")
+	}
+}
+
+func TestPinCapUnknownPinPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for unknown pin")
+		}
+	}()
+	lib().MustCell("INVx1").PinCap("Z")
+}
+
+func TestOutputCapPositive(t *testing.T) {
+	for _, c := range lib().Cells() {
+		if c.OutputCap() <= 0 {
+			t.Errorf("%s output cap %v", c.Name, c.OutputCap())
+		}
+	}
+}
+
+func TestSensitizingLevels(t *testing.T) {
+	l := lib()
+	// NAND: other inputs high; NOR: low.
+	if lv := l.MustCell("NAND2x1").SensitizingLevels("A"); lv["B"] != true {
+		t.Error("NAND2 sensitization wrong")
+	}
+	if lv := l.MustCell("NOR2x1").SensitizingLevels("B"); lv["A"] != false {
+		t.Error("NOR2 sensitization wrong")
+	}
+	// AOI2 (Y = !(A·B + C)).
+	aoi := l.MustCell("AOI2x1")
+	if lv := aoi.SensitizingLevels("A"); lv["B"] != true || lv["C"] != false {
+		t.Errorf("AOI2/A sensitization: %v", lv)
+	}
+	if lv := aoi.SensitizingLevels("C"); lv["A"] != false || lv["B"] != false {
+		t.Errorf("AOI2/C sensitization: %v", lv)
+	}
+	// Unknown pin panics.
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("unknown pin did not panic")
+			}
+		}()
+		aoi.SensitizingLevels("Q")
+	}()
+}
+
+func TestBuildDeviceCounts(t *testing.T) {
+	l := lib()
+	counts := map[Kind]int{INV: 2, NAND2: 4, NOR2: 4, AOI2: 6}
+	for k, want := range counts {
+		ck := circuit.New()
+		vdd := ck.NodeByName("vdd")
+		out := ck.NodeByName("out")
+		pins := map[string]circuit.Node{"vdd": vdd, "Y": out}
+		cell := l.MustCell(CellName(k, 2))
+		for _, in := range cell.Inputs {
+			pins[in] = ck.NodeByName("in_" + in)
+		}
+		cell.Build(ck, pins, nil)
+		if got := len(ck.Mosfets()); got != want {
+			t.Errorf("%s built %d devices want %d", k, got, want)
+		}
+	}
+}
+
+func TestBuildMissingPinPanics(t *testing.T) {
+	l := lib()
+	ck := circuit.New()
+	pins := map[string]circuit.Node{"vdd": ck.NodeByName("vdd"), "Y": ck.NodeByName("out")}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("missing input pin did not panic")
+		}
+	}()
+	l.MustCell("NAND2x1").Build(ck, pins, nil)
+}
+
+func TestSamplerNilIsNominal(t *testing.T) {
+	l := lib()
+	ck := circuit.New()
+	pins := map[string]circuit.Node{
+		"vdd": ck.NodeByName("vdd"), "Y": ck.NodeByName("out"), "A": ck.NodeByName("a"),
+	}
+	l.MustCell("INVx1").Build(ck, pins, nil)
+	tech := device.Default28nm()
+	for _, m := range ck.Mosfets() {
+		if m.P.Polarity == device.NMOS && m.P.Vth != tech.VthN {
+			t.Fatalf("nominal build shifted Vth: %v", m.P.Vth)
+		}
+	}
+}
+
+func TestSampleCtxKeyedDeterminism(t *testing.T) {
+	model := variation.Default28nm()
+	build := func(key uint64) []device.Params {
+		r := rng.New(77)
+		ctx := &SampleCtx{Model: model, Corner: model.SampleCorner(r), Base: r}
+		ck := circuit.New()
+		pins := map[string]circuit.Node{
+			"vdd": ck.NodeByName("vdd"), "Y": ck.NodeByName("out"), "A": ck.NodeByName("a"),
+		}
+		lib().MustCell("INVx2").Build(ck, pins, ctx.SamplerFor(key))
+		var out []device.Params
+		for _, m := range ck.Mosfets() {
+			out = append(out, m.P)
+		}
+		return out
+	}
+	a := build(5)
+	b := build(5)
+	c := build(6)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same key produced different device parameters")
+		}
+	}
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different keys produced identical device parameters")
+	}
+}
+
+func TestSampleCtxNil(t *testing.T) {
+	var ctx *SampleCtx
+	if ctx.SamplerFor(3) != nil {
+		t.Fatal("nil ctx must yield nil sampler")
+	}
+}
+
+func TestKeyFromString(t *testing.T) {
+	if KeyFromString("a") == KeyFromString("b") {
+		t.Fatal("distinct strings collided")
+	}
+	if KeyFromString("x") == 0 || KeyFromString("") == 0 {
+		t.Fatal("keys must be nonzero")
+	}
+	if KeyFromString("gate:U7") != KeyFromString("gate:U7") {
+		t.Fatal("key not stable")
+	}
+}
+
+func TestSamplerVariesCaps(t *testing.T) {
+	model := variation.Default28nm()
+	r := rng.New(123)
+	s := &Sampler{Model: model, Corner: model.SampleCorner(r), R: r}
+	tech := device.Default28nm()
+	base := tech.NominalParams(device.NMOS, tech.Wmin)
+	varied := s.sampleParams(base)
+	if varied.Cg == base.Cg {
+		t.Fatal("sampler left gate cap unchanged — load-cell wire variability (X_FO) would vanish")
+	}
+	ratio := varied.Cgd / base.Cgd
+	if math.Abs(varied.Cg/base.Cg-ratio) > 1e-12 {
+		t.Fatal("cap multipliers inconsistent between Cg and Cgd")
+	}
+}

@@ -1,0 +1,146 @@
+// Package timinglib defines the single serialisable artefact the timing
+// flow consumes — the paper's Fig. 5 "coefficients file": per-arc N-sigma
+// models (moment LUT + Table-I quantile coefficients + slew surface), the
+// wire X_FI/X_FO calibration, and the structural cell data (pin caps, stack,
+// strength) STA needs to compute loads.
+//
+// Characterisation (cmd/characterize) writes this file once per technology;
+// every analysis afterwards runs from the file alone, with no simulator in
+// the loop — exactly the separation the paper draws between its
+// characterisation flow and its timing flow.
+package timinglib
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/nsigma"
+	"repro/internal/stdcell"
+	"repro/internal/waveform"
+	"repro/internal/wire"
+)
+
+// CellInfo carries the structural cell facts STA and the wire model use.
+type CellInfo struct {
+	Stack     int                `json:"stack"`
+	Strength  int                `json:"strength"`
+	Inputs    []string           `json:"inputs"`
+	PinCaps   map[string]float64 `json:"pinCaps"`
+	OutputCap float64            `json:"outputCap"`
+}
+
+// File is the coefficients file.
+type File struct {
+	Vdd   float64                     `json:"vdd"`
+	Arcs  map[string]*nsigma.ArcModel `json:"arcs"` // key: ArcKey
+	Wire  *wire.Calibration           `json:"wire,omitempty"`
+	Cells map[string]*CellInfo        `json:"cells"`
+}
+
+// ArcKey composes the map key of a timing arc.
+func ArcKey(cell, pin string, inEdge waveform.Edge) string {
+	return fmt.Sprintf("%s/%s/%s", cell, pin, inEdge)
+}
+
+// New returns an empty coefficients file for the given library.
+func New(lib *stdcell.Library) *File {
+	f := &File{
+		Vdd:   lib.Tech.Vdd,
+		Arcs:  make(map[string]*nsigma.ArcModel),
+		Cells: make(map[string]*CellInfo),
+	}
+	for _, c := range lib.Cells() {
+		info := &CellInfo{
+			Stack:     c.Stack,
+			Strength:  c.Strength,
+			Inputs:    append([]string(nil), c.Inputs...),
+			PinCaps:   make(map[string]float64, len(c.Inputs)),
+			OutputCap: c.OutputCap(),
+		}
+		for _, p := range c.Inputs {
+			info.PinCaps[p] = c.PinCap(p)
+		}
+		f.Cells[c.Name] = info
+	}
+	return f
+}
+
+// AddArc registers a fitted arc model.
+func (f *File) AddArc(m *nsigma.ArcModel) {
+	f.Arcs[ArcKey(m.Arc.Cell, m.Arc.Pin, m.Arc.InEdge)] = m
+}
+
+// Arc returns the model of the given arc.
+func (f *File) Arc(cell, pin string, inEdge waveform.Edge) (*nsigma.ArcModel, error) {
+	m, ok := f.Arcs[ArcKey(cell, pin, inEdge)]
+	if !ok {
+		return nil, fmt.Errorf("timinglib: no arc model for %s", ArcKey(cell, pin, inEdge))
+	}
+	return m, nil
+}
+
+// Cell returns structural info of a cell.
+func (f *File) Cell(name string) (*CellInfo, error) {
+	c, ok := f.Cells[name]
+	if !ok {
+		return nil, fmt.Errorf("timinglib: unknown cell %q", name)
+	}
+	return c, nil
+}
+
+// PinCap returns the input capacitance of cell/pin.
+func (f *File) PinCap(cell, pin string) (float64, error) {
+	c, err := f.Cell(cell)
+	if err != nil {
+		return 0, err
+	}
+	pc, ok := c.PinCaps[pin]
+	if !ok {
+		return 0, fmt.Errorf("timinglib: cell %s has no pin %q", cell, pin)
+	}
+	return pc, nil
+}
+
+// Write serialises the file as JSON.
+func (f *File) Write(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	return enc.Encode(f)
+}
+
+// Read parses a coefficients file.
+func Read(r io.Reader) (*File, error) {
+	var f File
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&f); err != nil {
+		return nil, fmt.Errorf("timinglib: %w", err)
+	}
+	if f.Arcs == nil || f.Cells == nil {
+		return nil, fmt.Errorf("timinglib: file missing arcs or cells")
+	}
+	return &f, nil
+}
+
+// Save writes the file to path.
+func (f *File) Save(path string) error {
+	fh, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer fh.Close()
+	if err := f.Write(fh); err != nil {
+		return err
+	}
+	return fh.Close()
+}
+
+// Load reads the file at path.
+func Load(path string) (*File, error) {
+	fh, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer fh.Close()
+	return Read(fh)
+}

@@ -1,0 +1,135 @@
+package timinglib
+
+import (
+	"bytes"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"repro/internal/charlib"
+	"repro/internal/device"
+	"repro/internal/nsigma"
+	"repro/internal/stdcell"
+	"repro/internal/waveform"
+	"repro/internal/wire"
+)
+
+func sampleFile() *File {
+	lib := stdcell.NewLibrary(device.Default28nm())
+	f := New(lib)
+	var quant nsigma.QuantileModel
+	for i := range quant.Coeffs {
+		quant.Coeffs[i] = make([]float64, len(nsigma.FeatureNames(i-3)))
+		for j := range quant.Coeffs[i] {
+			quant.Coeffs[i][j] = float64(i*10 + j)
+		}
+	}
+	f.AddArc(&nsigma.ArcModel{
+		Arc: charlib.Arc{Cell: "INVx1", Pin: "A", InEdge: waveform.Rising},
+		LUT: nsigma.MomentLUT{
+			Slews:   []float64{1e-12, 1e-10},
+			Loads:   []float64{1e-16, 1e-14},
+			Mu:      [][]float64{{1e-11, 2e-11}, {1.5e-11, 3e-11}},
+			Sigma:   [][]float64{{1e-12, 2e-12}, {1e-12, 2e-12}},
+			Gamma:   [][]float64{{1, 1}, {1, 1}},
+			Kappa:   [][]float64{{5, 5}, {5, 5}},
+			OutSlew: [][]float64{{2e-11, 4e-11}, {2e-11, 4e-11}},
+		},
+		Quant: quant,
+	})
+	f.Wire = &wire.Calibration{
+		R4:        0.11,
+		CellRatio: map[string]float64{"INVx1": 0.2},
+		XFI:       map[string]float64{"INVx1": 0.6},
+		XFO:       map[string]float64{"INVx1": 0.4},
+	}
+	return f
+}
+
+func TestNewPopulatesCellData(t *testing.T) {
+	f := sampleFile()
+	if len(f.Cells) != 16 {
+		t.Fatalf("cells: %d want 16", len(f.Cells))
+	}
+	info, err := f.Cell("NAND2x4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Stack != 2 || info.Strength != 4 || len(info.Inputs) != 2 {
+		t.Fatalf("NAND2x4 info: %+v", info)
+	}
+	pc, err := f.PinCap("NAND2x4", "B")
+	if err != nil || pc <= 0 {
+		t.Fatalf("pin cap: %v %v", pc, err)
+	}
+	if _, err := f.PinCap("NAND2x4", "Z"); err == nil {
+		t.Fatal("unknown pin accepted")
+	}
+	if _, err := f.Cell("GHOSTx1"); err == nil {
+		t.Fatal("unknown cell accepted")
+	}
+}
+
+func TestArcLookup(t *testing.T) {
+	f := sampleFile()
+	if _, err := f.Arc("INVx1", "A", waveform.Rising); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Arc("INVx1", "A", waveform.Falling); err == nil {
+		t.Fatal("missing arc accepted")
+	}
+}
+
+func TestArcKeyFormat(t *testing.T) {
+	if k := ArcKey("NAND2x4", "B", waveform.Falling); k != "NAND2x4/B/fall" {
+		t.Fatalf("ArcKey %q", k)
+	}
+}
+
+func TestRoundTripBuffer(t *testing.T) {
+	f := sampleFile()
+	var buf bytes.Buffer
+	if err := f.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(f.Wire, got.Wire) {
+		t.Fatal("wire calibration did not round-trip")
+	}
+	a0 := f.Arcs["INVx1/A/rise"]
+	a1 := got.Arcs["INVx1/A/rise"]
+	if !reflect.DeepEqual(a0.LUT, a1.LUT) || !reflect.DeepEqual(a0.Quant, a1.Quant) {
+		t.Fatal("arc model did not round-trip")
+	}
+	// The reloaded model must evaluate identically.
+	if a0.Quantile(3, 5e-12, 5e-15) != a1.Quantile(3, 5e-12, 5e-15) {
+		t.Fatal("reloaded model evaluates differently")
+	}
+}
+
+func TestSaveLoadFile(t *testing.T) {
+	f := sampleFile()
+	path := filepath.Join(t.TempDir(), "coeffs.json")
+	if err := f.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Arcs) != len(f.Arcs) || got.Vdd != f.Vdd {
+		t.Fatal("file round-trip lost data")
+	}
+}
+
+func TestReadRejectsGarbage(t *testing.T) {
+	if _, err := Read(bytes.NewBufferString("not json")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	if _, err := Read(bytes.NewBufferString(`{"vdd":0.6}`)); err == nil {
+		t.Fatal("missing sections accepted")
+	}
+}

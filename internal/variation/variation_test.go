@@ -1,0 +1,130 @@
+package variation
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+func TestPelgromAreaScaling(t *testing.T) {
+	m := Default28nm()
+	s1 := m.LocalVthSigma(100e-9, 30e-9)
+	s4 := m.LocalVthSigma(400e-9, 30e-9)
+	if math.Abs(s1/s4-2) > 1e-9 {
+		t.Fatalf("4x width must halve sigma: %v vs %v", s1, s4)
+	}
+	if s1 <= 0 {
+		t.Fatal("sigma must be positive for positive area")
+	}
+	if m.LocalVthSigma(0, 30e-9) != 0 {
+		t.Fatal("zero width must give zero sigma")
+	}
+}
+
+func TestCornerDeterminism(t *testing.T) {
+	m := Default28nm()
+	a := m.SampleCorner(rng.New(9))
+	b := m.SampleCorner(rng.New(9))
+	if a != b {
+		t.Fatalf("corner sampling not deterministic: %+v vs %+v", a, b)
+	}
+}
+
+func TestCornerStatistics(t *testing.T) {
+	m := Default28nm()
+	r := rng.New(10)
+	const n = 50000
+	var sumV, sumV2 float64
+	for i := 0; i < n; i++ {
+		c := m.SampleCorner(r)
+		sumV += c.DVthN
+		sumV2 += c.DVthN * c.DVthN
+	}
+	mean := sumV / n
+	std := math.Sqrt(sumV2/n - mean*mean)
+	if math.Abs(mean) > 3*m.GlobalVthSigma/math.Sqrt(n)*5 {
+		t.Errorf("global Vth mean %v not centred", mean)
+	}
+	if math.Abs(std-m.GlobalVthSigma)/m.GlobalVthSigma > 0.05 {
+		t.Errorf("global Vth sigma %v want %v", std, m.GlobalVthSigma)
+	}
+}
+
+func TestMultipliersClamped(t *testing.T) {
+	m := Default28nm()
+	// Blow up the sigmas so the Gaussian tail would go negative without
+	// clamping.
+	m.GlobalBetaSigma = 3
+	r := rng.New(11)
+	for i := 0; i < 10000; i++ {
+		c := m.SampleCorner(r)
+		if c.BetaN <= 0 || c.BetaP <= 0 || c.WireR <= 0 || c.WireC <= 0 || c.Cap <= 0 {
+			t.Fatalf("multiplier went non-positive: %+v", c)
+		}
+	}
+}
+
+func TestNominalCorner(t *testing.T) {
+	if Nominal.BetaN != 1 || Nominal.BetaP != 1 || Nominal.Cap != 1 ||
+		Nominal.WireR != 1 || Nominal.WireC != 1 ||
+		Nominal.DVthN != 0 || Nominal.DVthP != 0 {
+		t.Fatalf("Nominal corner wrong: %+v", Nominal)
+	}
+}
+
+func TestLocalSamplesCentred(t *testing.T) {
+	m := Default28nm()
+	r := rng.New(12)
+	const n = 100000
+	w, l := 200e-9, 30e-9
+	var sum, sum2 float64
+	for i := 0; i < n; i++ {
+		v := m.SampleLocalVth(r, w, l)
+		sum += v
+		sum2 += v * v
+	}
+	std := math.Sqrt(sum2 / n)
+	want := m.LocalVthSigma(w, l)
+	if math.Abs(std-want)/want > 0.03 {
+		t.Errorf("local Vth sigma %v want %v", std, want)
+	}
+}
+
+func TestWireSegmentSampling(t *testing.T) {
+	m := Default28nm()
+	r := rng.New(13)
+	corner := Corner{WireR: 1.2, WireC: 0.9, BetaN: 1, BetaP: 1, Cap: 1}
+	const n = 50000
+	var sumR, sumC float64
+	for i := 0; i < n; i++ {
+		rm, cm := m.SampleWireSegment(r, corner)
+		if rm <= 0 || cm <= 0 {
+			t.Fatal("non-positive wire multiplier")
+		}
+		sumR += rm
+		sumC += cm
+	}
+	if math.Abs(sumR/n-1.2) > 0.01 {
+		t.Errorf("wire R multiplier mean %v want ~1.2 (global corner)", sumR/n)
+	}
+	if math.Abs(sumC/n-0.9) > 0.01 {
+		t.Errorf("wire C multiplier mean %v want ~0.9", sumC/n)
+	}
+}
+
+func TestLocalCapSigmaScaling(t *testing.T) {
+	m := Default28nm()
+	r := rng.New(14)
+	const n = 100000
+	var sum2 float64
+	for i := 0; i < n; i++ {
+		d := m.SampleLocalCap(r, 100e-9, 30e-9) - 1
+		sum2 += d * d
+	}
+	std := math.Sqrt(sum2 / n)
+	want := m.ACap / math.Sqrt(0.1*0.03)
+	if math.Abs(std-want)/want > 0.05 {
+		t.Errorf("local cap sigma %v want %v", std, want)
+	}
+}

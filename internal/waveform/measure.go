@@ -1,0 +1,228 @@
+// Package waveform measures timing quantities — propagation delay and
+// transition time (slew) — from sampled transient waveforms, mirroring the
+// .MEASURE statements of a SPICE deck.
+//
+// Conventions used throughout the repository:
+//   - propagation delay is measured between the 50 % V_dd crossings of the
+//     input and output waveforms;
+//   - an input "slew" parameter S produces a linear ramp of total duration
+//     S/0.8 (i.e. a ramp whose 10-90 time is S);
+//   - a measured "slew" is the effective-ramp metric of MeasureSlew: the
+//     30-70 crossing interval × slewExtrapolation. The pair (generate from
+//     S, measure S') is calibrated so that chained ramp-based analysis of
+//     multi-stage paths matches a flat whole-path transient (cmd/fullchain
+//     verifies this) — the role slew_derate plays in Liberty flows. A
+//     measured slew is therefore *not* the literal 10-90 time of a tailed
+//     near-threshold waveform, by design.
+package waveform
+
+import (
+	"errors"
+	"math"
+)
+
+// SlewFraction relates a 10-90 slew to the underlying full linear ramp.
+const SlewFraction = 0.8
+
+// RampTimeForSlew converts a 10-90 slew target into the total 0-100 ramp
+// time of a linear source.
+func RampTimeForSlew(slew float64) float64 { return slew / SlewFraction }
+
+// ErrNoCrossing reports that a waveform never crossed the requested level.
+var ErrNoCrossing = errors.New("waveform: level not crossed")
+
+// CrossTime returns the first time ≥ after at which the sampled waveform
+// (times, vals) crosses level in the requested direction, using linear
+// interpolation between samples.
+func CrossTime(times, vals []float64, level float64, rising bool, after float64) (float64, error) {
+	if len(times) != len(vals) {
+		panic("waveform: times/vals length mismatch")
+	}
+	for i := 1; i < len(times); i++ {
+		if times[i] < after {
+			continue
+		}
+		v0, v1 := vals[i-1], vals[i]
+		var hit bool
+		if rising {
+			hit = v0 < level && v1 >= level
+		} else {
+			hit = v0 > level && v1 <= level
+		}
+		if !hit {
+			continue
+		}
+		if v1 == v0 {
+			return times[i], nil
+		}
+		frac := (level - v0) / (v1 - v0)
+		t := times[i-1] + frac*(times[i]-times[i-1])
+		if t >= after {
+			return t, nil
+		}
+	}
+	return 0, ErrNoCrossing
+}
+
+// LastValue returns the final sample of the waveform.
+func LastValue(vals []float64) float64 {
+	if len(vals) == 0 {
+		return math.NaN()
+	}
+	return vals[len(vals)-1]
+}
+
+// Edge describes a transition direction.
+type Edge bool
+
+// Edge directions.
+const (
+	Rising  Edge = true
+	Falling Edge = false
+)
+
+func (e Edge) String() string {
+	if e == Rising {
+		return "rise"
+	}
+	return "fall"
+}
+
+// Opposite returns the inverted edge.
+func (e Edge) Opposite() Edge { return !e }
+
+// MeasureSlew returns the *effective-ramp* 10-90 transition time of the
+// edge of the sampled waveform that transitions at or after `after`: the
+// 30 %–70 % crossing interval extrapolated to the 10-90 span (×2). For an
+// ideal ramp this IS the 10-90 time; for the tailed waveforms of
+// near-threshold logic it is the ramp whose mid-swing slope matches the
+// waveform — the slope downstream switching actually responds to. (This is
+// the standard Liberty slew-derate convention; characterising and
+// propagating raw 10-90 times of tailed waveforms makes chained analyses
+// diverge from flat-circuit truth.)
+func MeasureSlew(times, vals []float64, vdd float64, edge Edge, after float64) (float64, error) {
+	lo, hi := 0.3*vdd, 0.7*vdd
+	var t1, t2 float64
+	var err error
+	if edge == Rising {
+		t1, err = CrossTime(times, vals, lo, true, after)
+		if err != nil {
+			return 0, err
+		}
+		t2, err = CrossTime(times, vals, hi, true, t1)
+	} else {
+		t1, err = CrossTime(times, vals, hi, false, after)
+		if err != nil {
+			return 0, err
+		}
+		t2, err = CrossTime(times, vals, lo, false, t1)
+	}
+	if err != nil {
+		return 0, err
+	}
+	return (t2 - t1) * slewExtrapolation, nil
+}
+
+// slewExtrapolation maps the measured 30-70 interval to the reported
+// "10-90-equivalent" slew. The geometric factor is 2 (0.8/0.4); the value
+// used here is calibrated so that ramp-reconstructed chained analysis
+// matches a flat whole-path transient on inverter chains (cmd/fullchain) —
+// the same role slew_derate plays in Liberty flows.
+const slewExtrapolation = 3.0
+
+// TrimTransition cuts a sampled waveform down to its transition span (with
+// small lead-in/settle pads) and shifts time so the span starts near zero.
+// The golden path Monte-Carlo hands stage-output waveforms to the next
+// stage this way; without trimming, simulation windows would grow
+// cumulatively along the path.
+func TrimTransition(times, vals []float64, vdd float64) (outT, outV []float64) {
+	if len(times) == 0 {
+		return nil, nil
+	}
+	v0 := vals[0]
+	vEnd := vals[len(vals)-1]
+	tol := 0.02 * vdd
+	start := 0
+	for i, v := range vals {
+		if math.Abs(v-v0) > tol {
+			start = i
+			break
+		}
+		start = i
+	}
+	end := len(vals) - 1
+	for i := len(vals) - 1; i >= 0; i-- {
+		if math.Abs(vals[i]-vEnd) > tol {
+			end = i
+			break
+		}
+		end = i
+	}
+	// Pads: one sample span before, a few after.
+	const leadPad = 3e-12
+	const tailPad = 10e-12
+	tA := times[start] - leadPad
+	tB := times[end] + tailPad
+	lo := 0
+	for lo < len(times)-1 && times[lo+1] < tA {
+		lo++
+	}
+	hi := len(times) - 1
+	for hi > 0 && times[hi-1] > tB {
+		hi--
+	}
+	shift := times[lo] - 2e-12
+	outT = make([]float64, 0, hi-lo+1)
+	outV = make([]float64, 0, hi-lo+1)
+	for i := lo; i <= hi; i++ {
+		outT = append(outT, times[i]-shift)
+		outV = append(outV, vals[i])
+	}
+	return outT, outV
+}
+
+// StageMeasurement is the outcome of measuring one logic stage transition.
+type StageMeasurement struct {
+	Delay   float64 // 50 %→50 % propagation delay (s)
+	OutSlew float64 // 10-90 output transition time (s)
+	Settled bool    // output reached within 5 % of its rail by the end
+}
+
+// MeasureStage measures the delay between an input edge and the resulting
+// output edge, plus the output slew. The output crossing is searched from
+// searchFrom (typically the stimulus start), NOT from the input midpoint:
+// with slow near-threshold inputs a fast cell legitimately switches before
+// the input reaches 50 %, producing a negative — but physical — stage
+// delay.
+//
+// inTimes/inVals may be nil, in which case inCross50 (a precomputed input
+// 50 % crossing time) is used directly — handy when the input is an ideal
+// ramp whose crossing is analytic.
+func MeasureStage(inTimes, inVals []float64, inCross50 float64, inEdge Edge,
+	outTimes, outVals []float64, outEdge Edge, vdd, searchFrom float64) (StageMeasurement, error) {
+	var m StageMeasurement
+	tin := inCross50
+	if inVals != nil {
+		var err error
+		tin, err = CrossTime(inTimes, inVals, vdd/2, bool(inEdge), searchFrom)
+		if err != nil {
+			return m, err
+		}
+	}
+	tout, err := CrossTime(outTimes, outVals, vdd/2, bool(outEdge), searchFrom)
+	if err != nil {
+		return m, err
+	}
+	m.Delay = tout - tin
+	m.OutSlew, err = MeasureSlew(outTimes, outVals, vdd, outEdge, searchFrom)
+	if err != nil {
+		return m, err
+	}
+	final := LastValue(outVals)
+	if outEdge == Rising {
+		m.Settled = final > 0.95*vdd
+	} else {
+		m.Settled = final < 0.05*vdd
+	}
+	return m, nil
+}

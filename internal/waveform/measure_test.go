@@ -1,0 +1,232 @@
+package waveform
+
+import (
+	"math"
+	"testing"
+)
+
+func ramp(times []float64, t0, tr, v0, v1 float64) []float64 {
+	out := make([]float64, len(times))
+	for i, t := range times {
+		switch {
+		case t <= t0:
+			out[i] = v0
+		case t >= t0+tr:
+			out[i] = v1
+		default:
+			out[i] = v0 + (v1-v0)*(t-t0)/tr
+		}
+	}
+	return out
+}
+
+func linspace(t0, t1 float64, n int) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = t0 + (t1-t0)*float64(i)/float64(n-1)
+	}
+	return out
+}
+
+func TestCrossTimeInterpolates(t *testing.T) {
+	times := []float64{0, 1, 2}
+	vals := []float64{0, 0, 1}
+	got, err := CrossTime(times, vals, 0.25, true, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-1.25) > 1e-12 {
+		t.Fatalf("crossing at %v want 1.25", got)
+	}
+}
+
+func TestCrossTimeDirection(t *testing.T) {
+	times := linspace(0, 10, 101)
+	// Rises then falls: the falling search must find the later crossing.
+	vals := make([]float64, len(times))
+	for i, tm := range times {
+		if tm < 5 {
+			vals[i] = tm / 5
+		} else {
+			vals[i] = (10 - tm) / 5
+		}
+	}
+	up, err := CrossTime(times, vals, 0.5, true, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	down, err := CrossTime(times, vals, 0.5, false, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(up-2.5) > 1e-9 || math.Abs(down-7.5) > 1e-9 {
+		t.Fatalf("up=%v down=%v", up, down)
+	}
+}
+
+func TestCrossTimeAfter(t *testing.T) {
+	times := linspace(0, 4, 401)
+	vals := make([]float64, len(times))
+	for i, tm := range times {
+		// Two rising crossings of 0.5: near t=0.5 and t=2.5.
+		vals[i] = math.Abs(math.Sin(tm * math.Pi / 2))
+	}
+	first, err := CrossTime(times, vals, 0.5, true, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := CrossTime(times, vals, 0.5, true, 1.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if second <= first || second < 1.5 {
+		t.Fatalf("after filter broken: first=%v second=%v", first, second)
+	}
+}
+
+func TestCrossTimeNoCrossing(t *testing.T) {
+	times := []float64{0, 1}
+	vals := []float64{0, 0.1}
+	if _, err := CrossTime(times, vals, 0.5, true, 0); err == nil {
+		t.Fatal("missing crossing not reported")
+	}
+}
+
+func TestMeasureSlewIdealRamp(t *testing.T) {
+	const vdd = 1.0
+	times := linspace(0, 10e-12, 2001)
+	vals := ramp(times, 1e-12, 5e-12, 0, vdd)
+	slew, err := MeasureSlew(times, vals, vdd, Rising, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The 30-70 interval of a 5 ps full ramp is 2 ps; the effective-ramp
+	// metric scales it by slewExtrapolation.
+	want := 2e-12 * slewExtrapolation
+	if math.Abs(slew-want) > 1e-14 {
+		t.Fatalf("slew %v want %v", slew, want)
+	}
+	// Falling edge symmetry.
+	fvals := ramp(times, 1e-12, 5e-12, vdd, 0)
+	fslew, err := MeasureSlew(times, fvals, vdd, Falling, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(fslew-slew) > 1e-14 {
+		t.Fatalf("falling slew %v != rising %v", fslew, slew)
+	}
+}
+
+func TestRampTimeForSlew(t *testing.T) {
+	if got := RampTimeForSlew(8e-12); math.Abs(got-1e-11) > 1e-20 {
+		t.Fatalf("RampTimeForSlew: %v", got)
+	}
+}
+
+func TestMeasureStageDelay(t *testing.T) {
+	const vdd = 1.0
+	times := linspace(0, 40e-12, 4001)
+	out := ramp(times, 10e-12, 8e-12, vdd, 0) // falls, 50% at 14 ps
+	m, err := MeasureStage(nil, nil, 6e-12, Rising, times, out, Falling, vdd, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(m.Delay-8e-12) > 1e-14 {
+		t.Fatalf("delay %v want 8e-12", m.Delay)
+	}
+	if !m.Settled {
+		t.Fatal("fully fallen output not marked settled")
+	}
+}
+
+func TestMeasureStageNegativeDelay(t *testing.T) {
+	// Output crosses before the input midpoint: the delay must come out
+	// negative rather than being missed (near-threshold slow-slew case).
+	const vdd = 1.0
+	times := linspace(0, 40e-12, 4001)
+	out := ramp(times, 2e-12, 4e-12, vdd, 0) // 50% at 4 ps
+	m, err := MeasureStage(nil, nil, 10e-12, Rising, times, out, Falling, vdd, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Delay >= 0 {
+		t.Fatalf("expected negative delay, got %v", m.Delay)
+	}
+	if math.Abs(m.Delay+6e-12) > 1e-14 {
+		t.Fatalf("delay %v want -6e-12", m.Delay)
+	}
+}
+
+func TestMeasureStageUnsettled(t *testing.T) {
+	const vdd = 1.0
+	times := linspace(0, 40e-12, 401)
+	// Falls to 7% of vdd: crosses both slew thresholds but ends above the
+	// 5% settling band.
+	out := ramp(times, 10e-12, 8e-12, vdd, 0.07*vdd)
+	m, err := MeasureStage(nil, nil, 6e-12, Rising, times, out, Falling, vdd, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Settled {
+		t.Fatal("7%-rail output marked settled")
+	}
+}
+
+func TestEdgeHelpers(t *testing.T) {
+	if Rising.String() != "rise" || Falling.String() != "fall" {
+		t.Fatal("Edge.String broken")
+	}
+	if Rising.Opposite() != Falling || Falling.Opposite() != Rising {
+		t.Fatal("Edge.Opposite broken")
+	}
+}
+
+func TestLastValue(t *testing.T) {
+	if v := LastValue([]float64{1, 2, 3}); v != 3 {
+		t.Fatalf("LastValue %v", v)
+	}
+	if !math.IsNaN(LastValue(nil)) {
+		t.Fatal("LastValue(nil) should be NaN")
+	}
+}
+
+func TestTrimTransition(t *testing.T) {
+	const vdd = 1.0
+	times := linspace(0, 100e-12, 1001)
+	vals := ramp(times, 40e-12, 10e-12, 0, vdd)
+	tt, vv := TrimTransition(times, vals, vdd)
+	if len(tt) == 0 || len(tt) != len(vv) {
+		t.Fatal("trim produced nothing")
+	}
+	// The span must be far shorter than the original but still contain the
+	// full transition.
+	if tt[len(tt)-1]-tt[0] > 40e-12 {
+		t.Fatalf("trimmed span %v too long", tt[len(tt)-1]-tt[0])
+	}
+	if vv[0] > 0.05*vdd || vv[len(vv)-1] < 0.95*vdd {
+		t.Fatalf("transition endpoints lost: %v..%v", vv[0], vv[len(vv)-1])
+	}
+	// Time must be rebased near zero.
+	if tt[0] < 0 || tt[0] > 5e-12 {
+		t.Fatalf("trim did not rebase time: starts at %v", tt[0])
+	}
+	// Crossing times relative to the span must be preserved: the 50%% point
+	// sits in the middle of the 10ps ramp.
+	cross, err := CrossTime(tt, vv, vdd/2, true, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	origCross, _ := CrossTime(times, vals, vdd/2, true, 0)
+	lo, _ := CrossTime(tt, vv, 0.1*vdd, true, 0)
+	origLo, _ := CrossTime(times, vals, 0.1*vdd, true, 0)
+	if math.Abs((cross-lo)-(origCross-origLo)) > 1e-15 {
+		t.Fatal("trim distorted intra-waveform intervals")
+	}
+}
+
+func TestTrimTransitionEmpty(t *testing.T) {
+	tt, vv := TrimTransition(nil, nil, 1)
+	if tt != nil || vv != nil {
+		t.Fatal("empty input should yield empty output")
+	}
+}

@@ -1,0 +1,320 @@
+// Package wire implements the paper's statistical wire-delay model: the
+// Elmore delay supplies the mean (eq. 4), and the variability X_w = σ_w/µ_w
+// is a linear combination of cell-specific coefficients X_FI (driver) and
+// X_FO (load) rooted in Pelgrom's law (eqs. 5–7), normalised to an FO4
+// inverter. Quantiles follow T_w(nσ) = (1 + n·X_w)·T_Elmore (eq. 9).
+//
+// The package also contains the golden stage measurement — driver cell +
+// RC tree + transistor-level load cells simulated together — because the
+// cell/wire interaction (shared driver resistance, load gate-capacitance
+// variation) only exists when both sides are in one circuit.
+package wire
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/charlib"
+	"repro/internal/circuit"
+	"repro/internal/rctree"
+	"repro/internal/rng"
+	"repro/internal/stdcell"
+	"repro/internal/waveform"
+)
+
+// LoadSpec attaches a load cell input pin to a leaf of the RC tree.
+type LoadSpec struct {
+	Leaf int    // tree node index
+	Cell string // load cell name
+	Pin  string // load cell input pin
+	// Key is the stable variation-draw key of this load instance (0 means
+	// derive one from the slice position).
+	Key uint64
+}
+
+// Stage describes one driver → RC tree → load(s) measurement scenario.
+type Stage struct {
+	Driver    string // driver cell name
+	DriverPin string // switching input pin of the driver
+	InEdge    waveform.Edge
+	InSlew    float64
+	Tree      *rctree.Tree
+	Loads     []LoadSpec
+	// Target selects which load's leaf defines "the" wire delay (index into
+	// Loads). Defaults to 0.
+	Target int
+	// DriverKey and TreeKey are the stable variation-draw keys of the
+	// driver instance and the net parasitics (0 means use role defaults).
+	// Stable keys let path-level Monte Carlo re-instantiate the same gate
+	// with identical transistor parameters across adjacent stages.
+	DriverKey uint64
+	TreeKey   uint64
+	// InWave, when non-nil, drives the stage input with an actual recorded
+	// waveform (previous stage's leaf trace) instead of a synthetic ramp —
+	// the golden path MC's waveform handoff. InSlew/InEdge still describe
+	// the transition (edge direction and reporting).
+	InWave *circuit.PWL
+	// CaptureLeafWave asks MeasureStageOnce to return the trimmed leaf
+	// waveform for handoff to the next stage.
+	CaptureLeafWave bool
+}
+
+// Role-default sampler keys used when a Stage does not set explicit ones.
+const (
+	defaultDriverKey = 0xd1e5_0001
+	defaultTreeKey   = 0xd1e5_0002
+	defaultLoadKey   = 0xd1e5_1000 // + load index
+)
+
+func (st *Stage) driverKey() uint64 {
+	if st.DriverKey != 0 {
+		return st.DriverKey
+	}
+	return defaultDriverKey
+}
+
+func (st *Stage) treeKey() uint64 {
+	if st.TreeKey != 0 {
+		return st.TreeKey
+	}
+	return defaultTreeKey
+}
+
+func (st *Stage) loadKey(i int) uint64 {
+	if st.Loads[i].Key != 0 {
+		return st.Loads[i].Key
+	}
+	return defaultLoadKey + uint64(i)
+}
+
+// StageSample is one golden measurement of a stage.
+type StageSample struct {
+	CellDelay float64 // driver input 50 % → tree root 50 %
+	WireDelay float64 // tree root 50 % → target leaf 50 %
+	LeafSlew  float64 // effective-ramp slew at the target leaf
+	RootSlew  float64 // effective-ramp slew at the tree root (driver output)
+	// LeafWave is the trimmed leaf waveform, present when the stage asked
+	// for CaptureLeafWave.
+	LeafWave *circuit.PWL
+}
+
+// StageSamples collects Monte-Carlo results of a stage.
+type StageSamples struct {
+	Cell []float64
+	Wire []float64
+	Slew []float64
+}
+
+// MeasureStageOnce simulates a full stage once. ctx may be nil for a
+// nominal run; when non-nil its corner and keyed sub-streams drive the
+// device and wire-segment variation.
+func MeasureStageOnce(cfg *charlib.Config, st *Stage, ctx *stdcell.SampleCtx) (StageSample, error) {
+	var out StageSample
+	drv := cfg.Lib.Cell(st.Driver)
+	if drv == nil {
+		return out, fmt.Errorf("wire: unknown driver cell %q", st.Driver)
+	}
+	if len(st.Loads) == 0 {
+		return out, fmt.Errorf("wire: stage has no loads")
+	}
+	if st.Target < 0 || st.Target >= len(st.Loads) {
+		return out, fmt.Errorf("wire: target %d out of range", st.Target)
+	}
+
+	ck := circuit.New()
+	vdd := ck.NodeByName("vdd")
+	ck.AddSource(vdd, circuit.DC(cfg.Tech.Vdd))
+	in := ck.NodeByName("in")
+	root := ck.NodeByName("root")
+
+	// Input stimulus: either the recorded previous-stage waveform (golden
+	// handoff) or a synthetic ramp of the requested slew.
+	var inCross, transEnd float64
+	if st.InWave != nil {
+		var err error
+		inCross, err = waveform.CrossTime(st.InWave.Times, st.InWave.Values,
+			cfg.Tech.Vdd/2, bool(st.InEdge), 0)
+		if err != nil {
+			return out, fmt.Errorf("wire: input wave has no %s crossing: %w", st.InEdge, err)
+		}
+		transEnd = st.InWave.End()
+		ck.AddSource(in, st.InWave)
+	} else {
+		const t0 = 5e-12
+		ramp := circuit.Ramp{T0: t0, TRamp: waveform.RampTimeForSlew(st.InSlew)}
+		if st.InEdge == waveform.Rising {
+			ramp.V0, ramp.V1 = 0, cfg.Tech.Vdd
+		} else {
+			ramp.V0, ramp.V1 = cfg.Tech.Vdd, 0
+		}
+		inCross = t0 + 0.5*ramp.TRamp
+		transEnd = t0 + ramp.TRamp
+		ck.AddSource(in, ramp)
+	}
+
+	// Driver cell.
+	pins := map[string]circuit.Node{"vdd": vdd, "Y": root, st.DriverPin: in}
+	for pin, level := range drv.SensitizingLevels(st.DriverPin) {
+		n := ck.NodeByName("drvbias_" + pin)
+		if level {
+			ck.AddSource(n, circuit.DC(cfg.Tech.Vdd))
+		} else {
+			ck.AddSource(n, circuit.DC(0))
+		}
+		pins[pin] = n
+	}
+	drv.Build(ck, pins, ctx.SamplerFor(st.driverKey()))
+
+	// RC tree with per-segment variation from the same sample.
+	var topt *rctree.BuildOptions
+	if ctx != nil {
+		ts := ctx.SamplerFor(st.treeKey())
+		topt = &rctree.BuildOptions{Variation: ts.Model, Corner: ts.Corner, R: ts.R}
+	}
+	treeNodes := st.Tree.Build(ck, root, topt)
+
+	// Load cells at the leaves: full transistor instances, so their gate
+	// capacitance (and its variation) loads the net realistically.
+	for li, ls := range st.Loads {
+		lc := cfg.Lib.Cell(ls.Cell)
+		if lc == nil {
+			return out, fmt.Errorf("wire: unknown load cell %q", ls.Cell)
+		}
+		if ls.Leaf < 0 || ls.Leaf >= len(st.Tree.Nodes) {
+			return out, fmt.Errorf("wire: load %d leaf %d out of range", li, ls.Leaf)
+		}
+		lpins := map[string]circuit.Node{
+			"vdd":  vdd,
+			"Y":    ck.NewNode(fmt.Sprintf("loadout%d", li)),
+			ls.Pin: treeNodes[ls.Leaf],
+		}
+		for pin, level := range lc.SensitizingLevels(ls.Pin) {
+			n := ck.NodeByName(fmt.Sprintf("ldbias%d_%s", li, pin))
+			if level {
+				ck.AddSource(n, circuit.DC(cfg.Tech.Vdd))
+			} else {
+				ck.AddSource(n, circuit.DC(0))
+			}
+			lpins[pin] = n
+		}
+		lc.Build(ck, lpins, ctx.SamplerFor(st.loadKey(li)))
+		// Give the load cell's own output a small fanout so its switching
+		// current is realistic rather than an unloaded glitch.
+		ck.AddCapacitor(lpins["Y"], circuit.Ground, lc.PinCap(ls.Pin))
+	}
+
+	target := treeNodes[st.Loads[st.Target].Leaf]
+
+	// Simulation window: input transition plus driver + wire time constants.
+	tau := st.Tree.Elmore(st.Loads[st.Target].Leaf) + st.Tree.TotalCap()*50e3 // generous driver R guess
+	window := transEnd + 40*(tau+8e-12)
+	var lastErr error
+	for attempt := 0; attempt < 4; attempt++ {
+		res, err := ck.Transient(circuit.SimOptions{TStop: window, DT: window / 500})
+		if err != nil {
+			return out, err
+		}
+		s, err := measureStageWaveforms(cfg, res, 0, inCross, st.InEdge, root, target)
+		if err == nil {
+			if st.CaptureLeafWave {
+				tt, vv := waveform.TrimTransition(res.Times, res.Waveform(target), cfg.Tech.Vdd)
+				pwl, perr := circuit.NewPWL(tt, vv)
+				if perr != nil {
+					return out, perr
+				}
+				s.LeafWave = pwl
+			}
+			return s, nil
+		}
+		lastErr = err
+		window *= 3
+	}
+	return out, fmt.Errorf("wire: stage did not settle: %w", lastErr)
+}
+
+func measureStageWaveforms(cfg *charlib.Config, res *circuit.Result, searchFrom, inCross float64,
+	inEdge waveform.Edge, root, target circuit.Node) (StageSample, error) {
+	var s StageSample
+	vdd := cfg.Tech.Vdd
+	outEdge := inEdge.Opposite()
+	// All crossings are searched from the stimulus onset: a fast driver
+	// under a slow input may switch before the input midpoint (negative
+	// cell delay, physical), and the leaf follows the root causally.
+	rootCross, err := waveform.CrossTime(res.Times, res.Waveform(root), vdd/2, bool(outEdge), searchFrom)
+	if err != nil {
+		return s, fmt.Errorf("root crossing: %w", err)
+	}
+	leafCross, err := waveform.CrossTime(res.Times, res.Waveform(target), vdd/2, bool(outEdge), rootCross)
+	if err != nil {
+		return s, fmt.Errorf("leaf crossing: %w", err)
+	}
+	s.CellDelay = rootCross - inCross
+	s.WireDelay = leafCross - rootCross
+	s.RootSlew, err = waveform.MeasureSlew(res.Times, res.Waveform(root), vdd, outEdge, searchFrom)
+	if err != nil {
+		return s, fmt.Errorf("root slew: %w", err)
+	}
+	s.LeafSlew, err = waveform.MeasureSlew(res.Times, res.Waveform(target), vdd, outEdge, searchFrom)
+	if err != nil {
+		return s, fmt.Errorf("leaf slew: %w", err)
+	}
+	final := waveform.LastValue(res.Waveform(target))
+	settled := (outEdge == waveform.Rising && final > 0.95*vdd) ||
+		(outEdge == waveform.Falling && final < 0.05*vdd)
+	if !settled {
+		return s, fmt.Errorf("target leaf not settled (%.3g V)", final)
+	}
+	return s, nil
+}
+
+// MCStage runs n Monte-Carlo samples of a stage, deterministically in the
+// sample index regardless of worker count.
+func MCStage(cfg *charlib.Config, st *Stage, n int, seed uint64) (*StageSamples, error) {
+	out := &StageSamples{
+		Cell: make([]float64, n),
+		Wire: make([]float64, n),
+		Slew: make([]float64, n),
+	}
+	base := rng.New(seed)
+	workers := 1
+	if cfg.Workers != 0 {
+		workers = cfg.Workers
+	} else {
+		workers = defaultWorkers()
+	}
+	next := make(chan int, n)
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
+	errCh := make(chan error, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				r := base.At(i)
+				ctx := &stdcell.SampleCtx{Model: cfg.Var, Corner: cfg.Var.SampleCorner(r), Base: r}
+				s, err := MeasureStageOnce(cfg, st, ctx)
+				if err != nil {
+					select {
+					case errCh <- fmt.Errorf("sample %d: %w", i, err):
+					default:
+					}
+					return
+				}
+				out.Cell[i] = s.CellDelay
+				out.Wire[i] = s.WireDelay
+				out.Slew[i] = s.LeafSlew
+			}
+		}()
+	}
+	wg.Wait()
+	select {
+	case err := <-errCh:
+		return nil, err
+	default:
+	}
+	return out, nil
+}

@@ -1,0 +1,177 @@
+package wire
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"repro/internal/charlib"
+	"repro/internal/rctree"
+	"repro/internal/rng"
+	"repro/internal/stats"
+	"repro/internal/stdcell"
+	"repro/internal/waveform"
+)
+
+func smallCfg() *charlib.Config {
+	cfg := charlib.DefaultConfig()
+	cfg.Steps = 250
+	return cfg
+}
+
+func demoStage() *Stage {
+	t := rctree.NewTree("n", 0.1e-15)
+	a := t.AddNode("a", 0, 300, 0.6e-15)
+	b := t.AddNode("b", a, 400, 0.9e-15)
+	return &Stage{
+		Driver: "INVx2", DriverPin: "A", InEdge: waveform.Rising, InSlew: 20e-12,
+		Tree:  t,
+		Loads: []LoadSpec{{Leaf: b, Cell: "INVx2", Pin: "A"}},
+	}
+}
+
+func TestMeasureStageOnceNominal(t *testing.T) {
+	cfg := smallCfg()
+	s, err := MeasureStageOnce(cfg, demoStage(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.CellDelay <= 0 || s.CellDelay > 200e-12 {
+		t.Errorf("cell delay %v implausible", s.CellDelay)
+	}
+	if s.WireDelay <= 0 || s.WireDelay > 50e-12 {
+		t.Errorf("wire delay %v implausible", s.WireDelay)
+	}
+	if s.LeafSlew < s.RootSlew {
+		t.Errorf("slew shrank across the RC tree: root %v leaf %v", s.RootSlew, s.LeafSlew)
+	}
+}
+
+func TestMeasureStageWireNearElmore(t *testing.T) {
+	// With a slow-ish driver output the 50%–50% wire delay must land near
+	// the Elmore number computed with the load pin cap included.
+	cfg := smallCfg()
+	st := demoStage()
+	s, err := MeasureStageOnce(cfg, st, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lc := cfg.Lib.MustCell("INVx2")
+	withPin := st.Tree.Clone()
+	withPin.Nodes[st.Loads[0].Leaf].C += lc.PinCap("A")
+	elm := withPin.Elmore(st.Loads[0].Leaf)
+	if e := stats.RelErr(s.WireDelay, elm); e > 35 {
+		t.Fatalf("wire delay %v vs Elmore %v differ %v%%", s.WireDelay, elm, e)
+	}
+}
+
+func TestMeasureStageValidation(t *testing.T) {
+	cfg := smallCfg()
+	st := demoStage()
+	st.Driver = "GHOSTx1"
+	if _, err := MeasureStageOnce(cfg, st, nil); err == nil {
+		t.Fatal("unknown driver accepted")
+	}
+	st = demoStage()
+	st.Loads = nil
+	if _, err := MeasureStageOnce(cfg, st, nil); err == nil {
+		t.Fatal("no loads accepted")
+	}
+	st = demoStage()
+	st.Target = 5
+	if _, err := MeasureStageOnce(cfg, st, nil); err == nil {
+		t.Fatal("target out of range accepted")
+	}
+	st = demoStage()
+	st.Loads[0].Cell = "GHOSTx1"
+	if _, err := MeasureStageOnce(cfg, st, nil); err == nil {
+		t.Fatal("unknown load cell accepted")
+	}
+	st = demoStage()
+	st.Loads[0].Leaf = 99
+	if _, err := MeasureStageOnce(cfg, st, nil); err == nil {
+		t.Fatal("leaf out of range accepted")
+	}
+}
+
+func TestMCStageDeterministicAcrossWorkers(t *testing.T) {
+	st := demoStage()
+	run := func(workers int) *StageSamples {
+		cfg := smallCfg()
+		cfg.Workers = workers
+		ss, err := MCStage(cfg, st, 12, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return ss
+	}
+	if !reflect.DeepEqual(run(1), run(8)) {
+		t.Fatal("MCStage depends on worker count")
+	}
+}
+
+func TestStableKeysShareDraws(t *testing.T) {
+	// The same gate key must produce identical cell delay whether the gate
+	// appears as the driver of this stage or as a load elsewhere —
+	// demonstrated by repeating a run with the same ctx and keys.
+	cfg := smallCfg()
+	st := demoStage()
+	st.DriverKey = stdcell.KeyFromString("gate:U7")
+	st.TreeKey = stdcell.KeyFromString("net:n")
+	st.Loads[0].Key = stdcell.KeyFromString("gate:U8")
+	mk := func() *stdcell.SampleCtx {
+		r := rng.New(42)
+		return &stdcell.SampleCtx{Model: cfg.Var, Corner: cfg.Var.SampleCorner(r), Base: r}
+	}
+	a, err := MeasureStageOnce(cfg, st, mk())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := MeasureStageOnce(cfg, st, mk())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatalf("same keys/same sample gave different results: %+v vs %+v", a, b)
+	}
+	// Changing only the load key must change the result (its transistors
+	// load the net).
+	st.Loads[0].Key = stdcell.KeyFromString("gate:U9")
+	c, err := MeasureStageOnce(cfg, st, mk())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a == c {
+		t.Fatal("load key has no effect on the measurement")
+	}
+}
+
+func TestVariabilityTrendsWithLoadStrength(t *testing.T) {
+	// The paper's Fig. 8 load trend, at reduced sample count: σ_w/µ_w must
+	// rise with the load cell strength — a bigger load cell contributes
+	// more (and more variable) capacitance to the net. (The paper's driver
+	// trend is weaker under this repository's global-dominated variation
+	// split and is reported, not asserted; see EXPERIMENTS.md.)
+	if testing.Short() {
+		t.Skip("MC trend test")
+	}
+	cfg := smallCfg()
+	xw := func(load string) float64 {
+		st := demoStage()
+		st.Loads[0].Cell = load
+		ss, err := MCStage(cfg, st, 400, 77)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m := stats.ComputeMoments(ss.Wire)
+		return m.Std / m.Mean
+	}
+	small := xw("INVx1")
+	big := xw("INVx8")
+	if !(big > small) {
+		t.Fatalf("sigma/mu should rise with load strength: x1=%v x8=%v", small, big)
+	}
+	if math.IsNaN(small) || small <= 0 {
+		t.Fatalf("small-load variability %v", small)
+	}
+}

@@ -1,0 +1,203 @@
+package wire
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"runtime"
+	"sort"
+
+	"repro/internal/linalg"
+)
+
+func defaultWorkers() int { return runtime.GOMAXPROCS(0) }
+
+// Calibration is the fitted wire-variability model: the FO4 baseline ratio
+// and the per-cell X_FI / X_FO coefficients of eqs. (6)–(7). Cell names key
+// both maps.
+type Calibration struct {
+	// R4 is σ_FO4/µ_FO4, the delay-variability ratio of the INVx4 baseline
+	// under the FO4 constraint (eq. 6's normaliser).
+	R4 float64 `json:"r4"`
+	// CellRatio is σ_c/µ_c of each cell under the FO4 constraint.
+	CellRatio map[string]float64 `json:"cellRatio"`
+	// XFI and XFO are the fitted driver/load coefficients.
+	XFI map[string]float64 `json:"xfi"`
+	XFO map[string]float64 `json:"xfo"`
+}
+
+// XW evaluates eq. (7): the wire-delay variability σ_w/µ_w for a net driven
+// by driver and loaded by load.
+func (c *Calibration) XW(driver, load string) (float64, error) {
+	xfi, ok := c.XFI[driver]
+	if !ok {
+		return 0, fmt.Errorf("wire: no X_FI for driver cell %q", driver)
+	}
+	xfo, ok := c.XFO[load]
+	if !ok {
+		return 0, fmt.Errorf("wire: no X_FO for load cell %q", load)
+	}
+	rfi, ok := c.CellRatio[driver]
+	if !ok {
+		return 0, fmt.Errorf("wire: no variability ratio for driver cell %q", driver)
+	}
+	rfo, ok := c.CellRatio[load]
+	if !ok {
+		return 0, fmt.Errorf("wire: no variability ratio for load cell %q", load)
+	}
+	return xfi*rfi + xfo*rfo, nil
+}
+
+// Quantile evaluates eq. (9): T_w(nσ) = (1 + n·X_w)·T_Elmore.
+func Quantile(elmore, xw float64, n int) float64 {
+	return (1 + float64(n)*xw) * elmore
+}
+
+// Sigma evaluates eq. (8): σ_w = X_w·T_Elmore.
+func Sigma(elmore, xw float64) float64 { return xw * elmore }
+
+// PelgromPrior returns the theoretical eq. (5) coefficient for a cell with
+// the given stack depth and strength, normalised to the INVx4 baseline
+// (stack 1, strength 4): √(4 / (stack·strength)).
+func PelgromPrior(stack, strength int) float64 {
+	if stack <= 0 || strength <= 0 {
+		return 1
+	}
+	return math.Sqrt(4 / (float64(stack) * float64(strength)))
+}
+
+// Observation is one golden training point for the X-coefficient fit: a
+// (driver, load) pair with the measured wire-delay variability.
+type Observation struct {
+	Driver string
+	Load   string
+	XW     float64 // measured σ_w/µ_w
+}
+
+// FitOptions tunes the calibration fit.
+type FitOptions struct {
+	// PriorWeight controls the Tikhonov rows that anchor each coefficient
+	// to its Pelgrom prior (eq. 5). The additive driver/load decomposition
+	// of eq. (7) has a gauge freedom (shifting variability between X_FI and
+	// X_FO); the prior rows fix it and encode the physics. Default 0.05.
+	PriorWeight float64
+	// Prior supplies the per-cell Pelgrom prior; keys must cover every cell
+	// appearing in the observations.
+	Prior map[string]float64
+}
+
+// Fit solves for the per-cell X_FI/X_FO coefficients by least squares over
+// golden observations, per the paper's "fitting MC simulations" (Fig. 9).
+// cellRatio must hold σ/µ of every involved cell, and r4 the FO4 baseline.
+func Fit(obs []Observation, cellRatio map[string]float64, r4 float64, opt FitOptions) (*Calibration, error) {
+	if len(obs) == 0 {
+		return nil, errors.New("wire: no observations to fit")
+	}
+	if r4 <= 0 {
+		return nil, errors.New("wire: FO4 baseline ratio must be positive")
+	}
+	if opt.PriorWeight == 0 {
+		opt.PriorWeight = 0.05
+	}
+
+	// Collect the distinct driver and load cells, deterministically.
+	driverSet := map[string]bool{}
+	loadSet := map[string]bool{}
+	for _, o := range obs {
+		driverSet[o.Driver] = true
+		loadSet[o.Load] = true
+	}
+	drivers := sortedKeys(driverSet)
+	loads := sortedKeys(loadSet)
+	col := make(map[string]int, len(drivers)+len(loads))
+	for i, d := range drivers {
+		col["fi:"+d] = i
+	}
+	for i, l := range loads {
+		col["fo:"+l] = len(drivers) + i
+	}
+	ncol := len(drivers) + len(loads)
+
+	var xwScale float64
+	for _, o := range obs {
+		xwScale += math.Abs(o.XW)
+	}
+	xwScale /= float64(len(obs))
+
+	rows := make([][]float64, 0, len(obs)+ncol)
+	rhs := make([]float64, 0, len(obs)+ncol)
+	for _, o := range obs {
+		rfi, ok := cellRatio[o.Driver]
+		if !ok {
+			return nil, fmt.Errorf("wire: missing variability ratio for %q", o.Driver)
+		}
+		rfo, ok := cellRatio[o.Load]
+		if !ok {
+			return nil, fmt.Errorf("wire: missing variability ratio for %q", o.Load)
+		}
+		row := make([]float64, ncol)
+		row[col["fi:"+o.Driver]] = rfi
+		row[col["fo:"+o.Load]] = rfo
+		rows = append(rows, row)
+		rhs = append(rhs, o.XW)
+	}
+	// Prior rows: PriorWeight·xwScale·(x_c − prior_c) = 0, splitting the
+	// measured variability evenly between the FI and FO halves a priori.
+	lambda := opt.PriorWeight * xwScale
+	addPrior := func(key, cell string) error {
+		p, ok := opt.Prior[cell]
+		if !ok {
+			return fmt.Errorf("wire: missing Pelgrom prior for %q", cell)
+		}
+		row := make([]float64, ncol)
+		row[col[key]] = lambda
+		rows = append(rows, row)
+		rhs = append(rhs, lambda*p/2)
+		return nil
+	}
+	for _, d := range drivers {
+		if err := addPrior("fi:"+d, d); err != nil {
+			return nil, err
+		}
+	}
+	for _, l := range loads {
+		if err := addPrior("fo:"+l, l); err != nil {
+			return nil, err
+		}
+	}
+
+	sol, err := linalg.LeastSquares(linalg.FromRows(rows), rhs)
+	if err != nil {
+		return nil, fmt.Errorf("wire: X coefficient fit: %w", err)
+	}
+	cal := &Calibration{
+		R4:        r4,
+		CellRatio: copyMap(cellRatio),
+		XFI:       make(map[string]float64, len(drivers)),
+		XFO:       make(map[string]float64, len(loads)),
+	}
+	for _, d := range drivers {
+		cal.XFI[d] = sol[col["fi:"+d]]
+	}
+	for _, l := range loads {
+		cal.XFO[l] = sol[col["fo:"+l]]
+	}
+	return cal, nil
+}
+
+func sortedKeys(m map[string]bool) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func copyMap(m map[string]float64) map[string]float64 {
+	out := make(map[string]float64, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}

@@ -1,0 +1,164 @@
+package wire
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/rng"
+	"repro/internal/stats"
+)
+
+func TestPelgromPrior(t *testing.T) {
+	if p := PelgromPrior(1, 4); p != 1 {
+		t.Fatalf("INVx4 baseline prior %v want 1", p)
+	}
+	if p := PelgromPrior(1, 1); math.Abs(p-2) > 1e-12 {
+		t.Fatalf("INVx1 prior %v want 2", p)
+	}
+	if p := PelgromPrior(2, 2); math.Abs(p-1) > 1e-12 {
+		t.Fatalf("stack-2 strength-2 prior %v want 1", p)
+	}
+	if p := PelgromPrior(0, 0); p != 1 {
+		t.Fatalf("degenerate prior %v want 1", p)
+	}
+}
+
+func TestQuantileAndSigma(t *testing.T) {
+	const elmore, xw = 10e-12, 0.1
+	if got := Quantile(elmore, xw, 0); got != elmore {
+		t.Fatalf("0σ quantile %v", got)
+	}
+	if got := Quantile(elmore, xw, 3); math.Abs(got-13e-12) > 1e-24 {
+		t.Fatalf("+3σ quantile %v want 13ps", got)
+	}
+	if got := Quantile(elmore, xw, -3); math.Abs(got-7e-12) > 1e-24 {
+		t.Fatalf("-3σ quantile %v want 7ps", got)
+	}
+	if got := Sigma(elmore, xw); math.Abs(got-1e-12) > 1e-24 {
+		t.Fatalf("σ_w %v", got)
+	}
+}
+
+// synthetic fit scenario: planted XFI/XFO coefficients and cell ratios.
+func plantedFit(t *testing.T, noise float64) (*Calibration, map[string]float64, map[string]float64) {
+	t.Helper()
+	cells := []string{"INVx1", "INVx2", "INVx4", "INVx8", "NAND2x2"}
+	ratio := map[string]float64{
+		"INVx1": 0.20, "INVx2": 0.15, "INVx4": 0.10, "INVx8": 0.07, "NAND2x2": 0.12,
+	}
+	prior := map[string]float64{
+		"INVx1": 2, "INVx2": 1.41, "INVx4": 1, "INVx8": 0.71, "NAND2x2": 1,
+	}
+	wantXFI := map[string]float64{
+		"INVx1": 0.9, "INVx2": 0.8, "INVx4": 0.7, "INVx8": 0.65, "NAND2x2": 0.75,
+	}
+	wantXFO := map[string]float64{
+		"INVx1": 0.3, "INVx2": 0.45, "INVx4": 0.6, "INVx8": 0.8, "NAND2x2": 0.5,
+	}
+	r := rng.New(21)
+	var obs []Observation
+	for _, d := range cells {
+		for _, l := range cells {
+			xw := wantXFI[d]*ratio[d] + wantXFO[l]*ratio[l]
+			xw *= 1 + noise*r.NormFloat64()
+			obs = append(obs, Observation{Driver: d, Load: l, XW: xw})
+		}
+	}
+	cal, err := Fit(obs, ratio, ratio["INVx4"], FitOptions{Prior: prior, PriorWeight: 0.01})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cal, wantXFI, wantXFO
+}
+
+func TestFitReproducesObservations(t *testing.T) {
+	cal, wantXFI, wantXFO := plantedFit(t, 0)
+	// The additive decomposition has a gauge freedom, so individual
+	// coefficients may shift — but predictions must match the planted
+	// model everywhere.
+	ratio := cal.CellRatio
+	for d := range wantXFI {
+		for l := range wantXFO {
+			want := wantXFI[d]*ratio[d] + wantXFO[l]*ratio[l]
+			got, err := cal.XW(d, l)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if math.Abs(got-want) > 0.005*want {
+				t.Errorf("XW(%s,%s) = %v want %v", d, l, got, want)
+			}
+		}
+	}
+}
+
+func TestFitRobustToNoise(t *testing.T) {
+	cal, wantXFI, wantXFO := plantedFit(t, 0.05)
+	ratio := cal.CellRatio
+	var worst float64
+	for d := range wantXFI {
+		for l := range wantXFO {
+			want := wantXFI[d]*ratio[d] + wantXFO[l]*ratio[l]
+			got, _ := cal.XW(d, l)
+			if e := stats.RelErr(got, want); e > worst {
+				worst = e
+			}
+		}
+	}
+	if worst > 10 {
+		t.Fatalf("noisy fit worst error %v%%", worst)
+	}
+}
+
+func TestFitErrors(t *testing.T) {
+	if _, err := Fit(nil, nil, 0.1, FitOptions{}); err == nil {
+		t.Fatal("empty observations accepted")
+	}
+	obs := []Observation{{Driver: "a", Load: "b", XW: 0.1}}
+	if _, err := Fit(obs, map[string]float64{"a": 0.1, "b": 0.1}, 0, FitOptions{}); err == nil {
+		t.Fatal("zero baseline accepted")
+	}
+	if _, err := Fit(obs, map[string]float64{"a": 0.1}, 0.1,
+		FitOptions{Prior: map[string]float64{"a": 1, "b": 1}}); err == nil {
+		t.Fatal("missing ratio accepted")
+	}
+	if _, err := Fit(obs, map[string]float64{"a": 0.1, "b": 0.1}, 0.1,
+		FitOptions{Prior: map[string]float64{"a": 1}}); err == nil {
+		t.Fatal("missing prior accepted")
+	}
+}
+
+func TestXWMissingCells(t *testing.T) {
+	cal := &Calibration{
+		R4:        0.1,
+		CellRatio: map[string]float64{"INVx4": 0.1},
+		XFI:       map[string]float64{"INVx4": 0.5},
+		XFO:       map[string]float64{"INVx4": 0.5},
+	}
+	if _, err := cal.XW("INVx4", "INVx4"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cal.XW("ghost", "INVx4"); err == nil {
+		t.Fatal("unknown driver accepted")
+	}
+	if _, err := cal.XW("INVx4", "ghost"); err == nil {
+		t.Fatal("unknown load accepted")
+	}
+}
+
+func TestStageKeyDefaults(t *testing.T) {
+	st := &Stage{Loads: []LoadSpec{{}, {Key: 99}}}
+	if st.driverKey() == 0 || st.treeKey() == 0 {
+		t.Fatal("default keys must be nonzero")
+	}
+	if st.loadKey(0) == st.loadKey(1) {
+		t.Fatal("distinct loads must get distinct default keys")
+	}
+	if st.loadKey(1) != 99 {
+		t.Fatal("explicit load key ignored")
+	}
+	st.DriverKey = 7
+	st.TreeKey = 8
+	if st.driverKey() != 7 || st.treeKey() != 8 {
+		t.Fatal("explicit keys ignored")
+	}
+}

@@ -1,0 +1,139 @@
+// Package repro is a from-scratch Go reproduction of "A Novel Delay
+// Calibration Method Considering Interaction between Cells and Wires"
+// (Jin et al., DATE 2023): an N-sigma statistical delay model for
+// near-threshold timing, covering moment-based cell-delay quantiles
+// (Table I), operating-condition moment calibration (eqs. 1–3), the
+// Pelgrom-rooted wire variability model X_w = X_FI·r_FI + X_FO·r_FO
+// (eqs. 5–9), and quantile-summed path analysis (eq. 10) — together with
+// the transistor-level Monte-Carlo substrate that plays the paper's
+// HSPICE + TSMC 28 nm golden flow.
+//
+// This root package is a facade over the implementation packages:
+//
+//   - characterise a library and fit the models (Characterize* / Fit*),
+//   - persist and reload the coefficients file (TimingFile),
+//   - run statistical timing on a netlist (NewTimer → Analyze),
+//   - regenerate the paper's tables and figures (cmd/repro, package
+//     internal/experiments).
+//
+// The quickstart example (examples/quickstart) walks the full flow on one
+// inverter arc; DESIGN.md maps every paper artefact to its package.
+package repro
+
+import (
+	"repro/internal/charlib"
+	"repro/internal/circuits"
+	"repro/internal/device"
+	"repro/internal/layout"
+	"repro/internal/netlist"
+	"repro/internal/nsigma"
+	"repro/internal/rctree"
+	"repro/internal/sta"
+	"repro/internal/stats"
+	"repro/internal/stdcell"
+	"repro/internal/timinglib"
+	"repro/internal/waveform"
+	"repro/internal/wire"
+)
+
+// Core model types.
+type (
+	// Arc identifies a timing arc: cell, switching input pin, input edge.
+	Arc = charlib.Arc
+	// ArcChar is the Monte-Carlo characterisation of an arc over a grid.
+	ArcChar = charlib.ArcChar
+	// ArcModel is the fitted N-sigma model of one arc.
+	ArcModel = nsigma.ArcModel
+	// Moments are the first four moments [µ, σ, γ, κ] of a delay sample.
+	Moments = stats.Moments
+	// TimingFile is the serialisable coefficients file (paper Fig. 5).
+	TimingFile = timinglib.File
+	// WireCalibration holds the fitted X_FI/X_FO coefficients (eqs. 5–7).
+	WireCalibration = wire.Calibration
+	// Tree is an interconnect RC tree (Elmore: eq. 4).
+	Tree = rctree.Tree
+	// Netlist is a gate-level combinational circuit.
+	Netlist = netlist.Netlist
+	// Timer runs N-sigma STA over a netlist and its parasitics.
+	Timer = sta.Timer
+	// Path is an extracted critical path; Path.Quantile is eq. 10.
+	Path = sta.Path
+	// Edge is a transition direction (Rising/Falling).
+	Edge = waveform.Edge
+	// CharConfig bundles technology + variation + simulator knobs for
+	// characterisation runs.
+	CharConfig = charlib.Config
+	// STAOptions configures an analysis.
+	STAOptions = sta.Options
+)
+
+// Edge directions.
+const (
+	Rising  = waveform.Rising
+	Falling = waveform.Falling
+)
+
+// Reference is the paper's reference operating condition
+// (S_ref = 10 ps, C_ref = 0.4 fF).
+var Reference = charlib.Reference
+
+// DefaultConfig returns the characterisation config over the default
+// synthetic 28-nm-class technology at 0.6 V.
+func DefaultConfig() *CharConfig { return charlib.DefaultConfig() }
+
+// CharacterizeArc runs Monte-Carlo characterisation of one arc over the
+// given slew/load axes with n samples per grid point.
+func CharacterizeArc(cfg *CharConfig, arc Arc, slews, loads []float64, n int, seed uint64) (*ArcChar, error) {
+	return cfg.CharacterizeArc(arc, slews, loads, n, seed)
+}
+
+// FitArc fits the N-sigma model (moment LUT, Table-I quantile coefficients,
+// slew surface) from a characterisation.
+func FitArc(char *ArcChar) (*ArcModel, error) { return nsigma.FitArc(char) }
+
+// DefaultSlewGrid and DefaultLoadGrid span the paper's Fig. 4 sweeps.
+func DefaultSlewGrid() []float64 { return charlib.DefaultSlewGrid() }
+
+// DefaultLoadGrid returns the default load axis (0.1–6 fF).
+func DefaultLoadGrid() []float64 { return charlib.DefaultLoadGrid() }
+
+// NewTimingFile returns an empty coefficients file for cfg's library.
+func NewTimingFile(cfg *CharConfig) *TimingFile { return timinglib.New(cfg.Lib) }
+
+// LoadTimingFile reads a coefficients file from disk.
+func LoadTimingFile(path string) (*TimingFile, error) { return timinglib.Load(path) }
+
+// GenerateBenchmark builds one of the paper's Table-III benchmark circuits
+// by name (c432…c7552, ADD, SUB, MUL, DIV).
+func GenerateBenchmark(name string) (*Netlist, error) { return circuits.ByName(name) }
+
+// ExtractParasitics places the netlist and synthesises one RC tree per net
+// (the IC-Compiler/SPEF role; see internal/layout).
+func ExtractParasitics(cfg *CharConfig, nl *Netlist, seed uint64) (map[string]*Tree, error) {
+	par := layout.Default28nm()
+	pl, err := layout.Place(nl, par, seed)
+	if err != nil {
+		return nil, err
+	}
+	return layout.Extract(nl, cfg.Lib, par, pl)
+}
+
+// NewTimer builds an N-sigma STA engine over a netlist, its parasitics and
+// a coefficients file.
+func NewTimer(lib *TimingFile, nl *Netlist, trees map[string]*Tree, opt STAOptions) (*Timer, error) {
+	return sta.NewTimer(lib, nl, trees, opt)
+}
+
+// WireQuantile evaluates eq. (9): T_w(nσ) = (1 + n·X_w)·T_Elmore.
+func WireQuantile(elmore, xw float64, n int) float64 { return wire.Quantile(elmore, xw, n) }
+
+// Default28nmTech returns the synthetic technology card.
+func Default28nmTech() *device.Tech { return device.Default28nm() }
+
+// LibraryCells lists the synthetic standard-cell names.
+func LibraryCells(cfg *CharConfig) []string { return cfg.Lib.Names() }
+
+// CellName re-exports the canonical cell naming helper (e.g. NAND2x4).
+func CellName(kind string, strength int) string {
+	return stdcell.CellName(stdcell.Kind(kind), strength)
+}
