@@ -3,17 +3,29 @@
 // Table-I quantile regression, slew surfaces, and the wire X_FI/X_FO
 // calibration — and writes the resulting coefficients file.
 //
+// The run is fault tolerant: failed Monte-Carlo samples are retried and
+// quarantined (bounded by -max-fail-frac), progress is checkpointed to the
+// output file every -checkpoint-every arcs, and an interrupted run (Ctrl-C,
+// SIGTERM, -timeout) can be resumed with -resume without re-simulating the
+// arcs already fitted.
+//
 //	characterize -profile standard -out coeffs.json
+//	characterize -profile standard -out coeffs.json -resume
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"repro/internal/experiments"
 	"repro/internal/liberty"
+	"repro/internal/timinglib"
 )
 
 func main() {
@@ -23,6 +35,10 @@ func main() {
 		libertyOut  = flag.String("liberty", "", "also export a Liberty (.lib) document with LVF tables")
 		seed        = flag.Uint64("seed", 1, "master random seed")
 		workers     = flag.Int("workers", 0, "Monte-Carlo workers (0 = GOMAXPROCS)")
+		resume      = flag.Bool("resume", false, "resume from a checkpointed output file, skipping fitted arcs")
+		ckptEvery   = flag.Int("checkpoint-every", 4, "checkpoint the output file every N fitted arcs (0 disables)")
+		maxFailFrac = flag.Float64("max-fail-frac", 0, "max quarantined sample fraction per grid point (0 = default 2%, negative disables quarantine)")
+		timeout     = flag.Duration("timeout", 0, "abort the run after this long (0 = no limit)")
 	)
 	flag.Parse()
 
@@ -33,10 +49,54 @@ func main() {
 	ctx := experiments.NewContext(profile, *seed)
 	ctx.Log = os.Stderr
 	ctx.Cfg.Workers = *workers
+	ctx.Cfg.MaxFailFraction = *maxFailFrac
+
+	runCtx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		runCtx, cancel = context.WithTimeout(runCtx, *timeout)
+		defer cancel()
+	}
+
+	opts := experiments.BuildFileOptions{
+		CheckpointEvery: *ckptEvery,
+		Checkpoint: func(f *timinglib.File) error {
+			return f.Save(*out)
+		},
+	}
+	if *resume {
+		prev, err := timinglib.Load(*out)
+		if err != nil {
+			fatal(fmt.Errorf("resume from %s: %w", *out, err))
+		}
+		switch {
+		case prev.Checkpoint == nil:
+			fatal(fmt.Errorf("resume from %s: file carries no checkpoint metadata", *out))
+		case prev.Checkpoint.Profile != profile.Name || prev.Checkpoint.Seed != *seed:
+			fatal(fmt.Errorf("resume from %s: checkpoint was written by -profile %s -seed %d, rerun with those flags",
+				*out, prev.Checkpoint.Profile, prev.Checkpoint.Seed))
+		}
+		if prev.Checkpoint.Complete {
+			fmt.Fprintf(os.Stderr, "characterize: %s is already complete (%d arcs); nothing to resume\n",
+				*out, len(prev.Arcs))
+			return
+		}
+		fmt.Fprintf(os.Stderr, "characterize: resuming from %s (%d arcs already fitted)\n",
+			*out, len(prev.Arcs))
+		opts.Resume = prev
+	}
 
 	t0 := time.Now()
-	f, err := ctx.BuildTimingFile()
+	f, report, err := ctx.BuildTimingFileContext(runCtx, opts)
 	if err != nil {
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			// The last checkpoint survives on disk; tell the user how to pick
+			// the run back up and exit non-zero so scripts notice.
+			fmt.Fprintf(os.Stderr, "characterize: interrupted (%v); rerun with -resume to continue from %s\n",
+				err, *out)
+			os.Exit(1)
+		}
 		fatal(err)
 	}
 	if err := f.Save(*out); err != nil {
@@ -55,6 +115,7 @@ func main() {
 		}
 		fmt.Printf("wrote Liberty/LVF export %s\n", *libertyOut)
 	}
+	fmt.Fprintln(os.Stderr, "characterize:", report.Summary())
 	fmt.Printf("wrote %s: %d arcs, %d cells, wire calibration over %d cells (took %v)\n",
 		*out, len(f.Arcs), len(f.Cells), len(f.Wire.XFI), time.Since(t0).Round(time.Second))
 }

@@ -43,7 +43,7 @@ func main() {
 		})
 	}
 	if err := nl.Validate(); err != nil {
-		panic(err)
+		fatal(err)
 	}
 
 	// Mini library: INVx2 and INVx4 (pad) arcs only.
@@ -52,11 +52,11 @@ func main() {
 		for _, e := range []waveform.Edge{waveform.Rising, waveform.Falling} {
 			ch, err := ctx.CharacterizeArc(charlib.Arc{Cell: cell, Pin: "A", InEdge: e})
 			if err != nil {
-				panic(err)
+				fatal(err)
 			}
 			m, err := nsigma.FitArc(ch)
 			if err != nil {
-				panic(err)
+				fatal(err)
 			}
 			lib.AddArc(m)
 		}
@@ -68,19 +68,19 @@ func main() {
 	par := layout.Default28nm()
 	pl, err := layout.Place(nl, par, 3)
 	if err != nil {
-		panic(err)
+		fatal(err)
 	}
 	trees, err := layout.Extract(nl, ctx.Cfg.Lib, par, pl)
 	if err != nil {
-		panic(err)
+		fatal(err)
 	}
 	timer, err := sta.NewTimer(lib, nl, trees, sta.Options{})
 	if err != nil {
-		panic(err)
+		fatal(err)
 	}
 	res, err := timer.Analyze()
 	if err != nil {
-		panic(err)
+		fatal(err)
 	}
 	p := res.Critical
 	fmt.Printf("STA: stages=%d q-3=%0.f q0=%0.f q+3=%0.f ps (spread %.2f)\n",
@@ -89,7 +89,7 @@ func main() {
 
 	golden, err := experiments.PathMC(ctx, p, *samples, 7)
 	if err != nil {
-		panic(err)
+		fatal(err)
 	}
 	q := golden.Quantiles()
 	mo := golden.Moments()
@@ -115,7 +115,7 @@ func compareNominal(ctx *experiments.Context, p *sta.Path) {
 		st.InSlew = slew
 		g, err := wire.MeasureStageOnce(ctx.Cfg, st, nil)
 		if err != nil {
-			panic(err)
+			fatal(err)
 		}
 		if si < 6 || si == len(p.Stages)-1 {
 			fmt.Printf("%3d %-7s %8.2f %8.2f | %8.2f %8.2f | %8.3f %8.3f\n",
@@ -124,6 +124,11 @@ func compareNominal(ctx *experiments.Context, p *sta.Path) {
 		}
 		slew = g.LeafSlew
 	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "debugpath:", err)
+	os.Exit(1)
 }
 
 func wireStageFrom(ctx *experiments.Context, s *sta.Stage) *wire.Stage {

@@ -5,20 +5,28 @@
 package main
 
 import (
+	"context"
 	"fmt"
+	"os"
 
 	"repro/internal/charlib"
 	"repro/internal/circuit"
 	"repro/internal/rctree"
+	"repro/internal/resilience"
 	"repro/internal/waveform"
 	"repro/internal/wire"
 )
 
 const stages = 12
 
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "fullchain:", err)
+	os.Exit(1)
+}
+
 func stageTree() *rctree.Tree {
 	t := rctree.NewTree("w", 0.05e-15)
-	t.AddNode("s", 0, 50, 0.2e-15)
+	t.MustAddNode("s", 0, 50, 0.2e-15)
 	return t
 }
 
@@ -49,7 +57,7 @@ func main() {
 	ck.AddCapacitor(last, circuit.Ground, cell.PinCap("A")) // terminal load
 	res, err := ck.Transient(circuit.SimOptions{TStop: 700e-12, DT: 0.2e-12})
 	if err != nil {
-		panic(err)
+		fatal(err)
 	}
 	edge := waveform.Rising
 	if stages%2 == 1 {
@@ -58,7 +66,7 @@ func main() {
 	inCross := 5e-12 + 0.5*ramp.TRamp
 	tc, err := waveform.CrossTime(res.Times, res.Waveform(last), tech.Vdd/2, bool(edge), 0)
 	if err != nil {
-		panic(err)
+		fatal(err)
 	}
 	fmt.Printf("flat truth:     %7.2f ps\n", (tc-inCross)*1e12)
 
@@ -80,7 +88,7 @@ func main() {
 			}
 			s, err := wire.MeasureStageOnce(cfg, st, nil)
 			if err != nil {
-				panic(fmt.Sprint(i, " ", err))
+				fatal(fmt.Errorf("stage %d: %w", i, err))
 			}
 			total += s.CellDelay + s.WireDelay
 			slew = s.LeafSlew
@@ -93,4 +101,18 @@ func main() {
 		}
 		fmt.Printf("chained %s: %7.2f ps\n", name, total*1e12)
 	}
+
+	// --- fault-tolerance digest ---
+	// A short Monte-Carlo characterisation of the chain's cell exercises the
+	// retry/quarantine machinery and prints its structured report, so this
+	// diagnostic doubles as a smoke test of the resilience layer.
+	report := &resilience.Report{}
+	ch, err := cfg.CharacterizeArc(context.Background(),
+		charlib.Arc{Cell: "INVx2", Pin: "A", InEdge: waveform.Rising},
+		[]float64{charlib.Reference.Slew}, []float64{charlib.Reference.Load}, 64, 1)
+	if err != nil {
+		fatal(err)
+	}
+	report.AddArc(ch.Report)
+	fmt.Println(report.Summary())
 }

@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -32,7 +33,7 @@ func main() {
 		fo4 := 4 * cell.PinCap(cell.Inputs[0])
 
 		// Golden distribution at the FO4 point.
-		smp, err := cfg.MCArc(arc, repro.Reference.Slew, fo4, *samples, 7)
+		smp, err := cfg.MCArc(context.Background(), arc, repro.Reference.Slew, fo4, *samples, 7)
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -40,7 +41,7 @@ func main() {
 				Tree:  tree,
 				Loads: []wire.LoadSpec{{Leaf: leaf, Cell: load, Pin: "A"}},
 			}
-			ss, err := wire.MCStage(cfg, st, 800, uint64(ds*10+ls))
+			ss, err := wire.MCStage(context.Background(), cfg, st, 800, uint64(ds*10+ls))
 			if err != nil {
 				log.Fatal(err)
 			}
@@ -65,7 +66,7 @@ func main() {
 		Tree:  tree,
 		Loads: []wire.LoadSpec{{Leaf: leaf, Cell: "INVx4", Pin: "A"}},
 	}
-	ss, err := wire.MCStage(cfg, st, 1500, 99)
+	ss, err := wire.MCStage(context.Background(), cfg, st, 1500, 99)
 	if err != nil {
 		log.Fatal(err)
 	}

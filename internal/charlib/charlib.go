@@ -4,15 +4,26 @@
 // (input slew S, output load C) it produces delay/slew samples, their first
 // four moments and the empirical nσ quantiles that the N-sigma model is
 // fitted against.
+//
+// Characterisation is the most expensive and failure-prone stage of the
+// pipeline, so it is fault-tolerant at sample granularity: a hard-failed
+// sample is retried under the configured resilience.RetryPolicy (fresh RNG
+// sub-stream, exponentially widened simulation window) and, if it still
+// fails, quarantined — the moments are computed over the survivors, subject
+// to the Config.MaxFailFraction budget. Worker panics are captured and
+// classified; cancellation via context stops all workers promptly.
 package charlib
 
 import (
+	"context"
 	"fmt"
 	"runtime"
+	"sort"
 	"sync"
 
 	"repro/internal/circuit"
 	"repro/internal/device"
+	"repro/internal/resilience"
 	"repro/internal/rng"
 	"repro/internal/stats"
 	"repro/internal/stdcell"
@@ -33,6 +44,16 @@ func (a Arc) String() string {
 	return fmt.Sprintf("%s/%s (%s in)", a.Cell, a.Pin, a.InEdge)
 }
 
+// Fault describes one Monte-Carlo sample attempt to the fault-injection
+// hook.
+type Fault struct {
+	Arc     Arc
+	Slew    float64
+	Load    float64
+	Sample  int
+	Attempt int
+}
+
 // Config bundles the technology, library, variation model and simulator
 // detail knobs shared by all characterisation runs.
 type Config struct {
@@ -44,7 +65,25 @@ type Config struct {
 	Steps int
 	// Workers bounds Monte-Carlo parallelism (default GOMAXPROCS).
 	Workers int
+
+	// Retry bounds per-sample retries (zero value: resilience defaults —
+	// four attempts, 3x window backoff, perturbed RNG sub-streams).
+	Retry resilience.RetryPolicy
+	// MaxFailFraction is the per-grid-point quarantine budget: the largest
+	// fraction of samples that may fail after retries before the run is
+	// aborted with a *resilience.BudgetError. Zero means the default
+	// (DefaultMaxFailFraction); a negative value forbids any quarantine.
+	MaxFailFraction float64
+	// FaultInject, when non-nil, is consulted before every sample attempt;
+	// a non-nil return fails that attempt with the returned error. It
+	// exists so tests can exercise quarantine, retry and budget paths
+	// deterministically.
+	FaultInject func(Fault) error
 }
+
+// DefaultMaxFailFraction is the quarantine budget used when
+// Config.MaxFailFraction is zero: 2 % of samples per grid point.
+const DefaultMaxFailFraction = 0.02
 
 // DefaultConfig returns a Config over the default 28-nm-class technology.
 func DefaultConfig() *Config {
@@ -70,6 +109,28 @@ func (c *Config) workers() int {
 	return runtime.GOMAXPROCS(0)
 }
 
+// maxFailBudget returns the largest tolerated quarantine count out of n.
+func (c *Config) maxFailBudget(n int) int {
+	frac := c.MaxFailFraction
+	if frac == 0 {
+		frac = DefaultMaxFailFraction
+	}
+	if frac < 0 {
+		return 0
+	}
+	return int(frac * float64(n))
+}
+
+func (c *Config) failFraction() float64 {
+	if c.MaxFailFraction == 0 {
+		return DefaultMaxFailFraction
+	}
+	if c.MaxFailFraction < 0 {
+		return 0
+	}
+	return c.MaxFailFraction
+}
+
 // inputStartTime is the quiet interval before the input ramp begins, giving
 // the DC operating point room to settle numerically.
 const inputStartTime = 5e-12
@@ -85,30 +146,60 @@ func (c *Config) estimateTau(cell *stdcell.Cell, loadC float64) float64 {
 	return ctot * c.Tech.Vdd / ion
 }
 
-// MeasureArcOnce runs a single transient of one arc instance and measures
-// delay and output slew. sampler may be nil for a nominal run. extraTau
-// stretches the simulation window (used on settle-failure retries).
-func (c *Config) MeasureArcOnce(arc Arc, slew, loadC float64, sampler *stdcell.Sampler) (waveform.StageMeasurement, error) {
+// arcCell resolves and validates the arc's cell and pin, classifying
+// failures as input errors (never retried).
+func (c *Config) arcCell(arc Arc) (*stdcell.Cell, error) {
 	cell := c.Lib.Cell(arc.Cell)
 	if cell == nil {
-		return waveform.StageMeasurement{}, fmt.Errorf("charlib: unknown cell %q", arc.Cell)
+		return nil, resilience.WrapClass(resilience.ClassInput, arc.String(),
+			fmt.Errorf("charlib: unknown cell %q", arc.Cell))
 	}
 	if !cell.HasInput(arc.Pin) {
-		return waveform.StageMeasurement{}, fmt.Errorf("charlib: %s has no pin %q", arc.Cell, arc.Pin)
+		return nil, resilience.WrapClass(resilience.ClassInput, arc.String(),
+			fmt.Errorf("charlib: %s has no pin %q", arc.Cell, arc.Pin))
 	}
-	tau := c.estimateTau(cell, loadC)
-	window := 30 * tau
-	for attempt := 0; attempt < 4; attempt++ {
-		m, err := c.measureAttempt(cell, arc, slew, loadC, sampler, window)
-		if err == nil && m.Settled {
+	return cell, nil
+}
+
+// measureArcAttempt runs exactly one transient of the arc with the
+// simulation window scaled by windowScale, returning a classified
+// resilience.ErrNonSettle when the output fails to reach its rail.
+func (c *Config) measureArcAttempt(arc Arc, slew, loadC float64,
+	sampler *stdcell.Sampler, windowScale float64) (waveform.StageMeasurement, error) {
+	cell, err := c.arcCell(arc)
+	if err != nil {
+		return waveform.StageMeasurement{}, err
+	}
+	window := 30 * c.estimateTau(cell, loadC) * windowScale
+	m, err := c.measureAttempt(cell, arc, slew, loadC, sampler, window)
+	if err != nil {
+		return m, err
+	}
+	if !m.Settled {
+		return m, resilience.ErrNonSettle
+	}
+	return m, nil
+}
+
+// MeasureArcOnce runs a single transient of one arc instance and measures
+// delay and output slew, retrying per Config.Retry with an exponentially
+// widened simulation window. sampler may be nil for a nominal run; it is
+// reused as-is across attempts (RNG perturbation applies only to the
+// Monte-Carlo loop, which owns the sampler's sub-streams).
+func (c *Config) MeasureArcOnce(arc Arc, slew, loadC float64, sampler *stdcell.Sampler) (waveform.StageMeasurement, error) {
+	pol := c.Retry
+	var m waveform.StageMeasurement
+	var err error
+	for attempt := 0; attempt < pol.Attempts(); attempt++ {
+		m, err = c.measureArcAttempt(arc, slew, loadC, sampler, pol.WindowScale(attempt))
+		if err == nil {
 			return m, nil
 		}
-		if err != nil && attempt == 3 {
-			return m, fmt.Errorf("charlib: %s S=%.3g C=%.3g: %w", arc, slew, loadC, err)
+		if !resilience.Classify(err).Retryable() {
+			break
 		}
-		window *= 3
 	}
-	return waveform.StageMeasurement{}, fmt.Errorf("charlib: %s did not settle", arc)
+	return m, fmt.Errorf("charlib: %s S=%.3g C=%.3g: %w", arc, slew, loadC, err)
 }
 
 func (c *Config) measureAttempt(cell *stdcell.Cell, arc Arc, slew, loadC float64,
@@ -155,61 +246,214 @@ func (c *Config) measureAttempt(cell *stdcell.Cell, arc Arc, slew, loadC float64
 }
 
 // Samples holds Monte-Carlo measurements of one arc at one operating point.
+// Delay and OutSlew contain the surviving samples only, in sample-index
+// order; quarantined samples are listed in Quarantined.
 type Samples struct {
 	Delay   []float64
 	OutSlew []float64
+
+	// Requested is the sample count the run was asked for.
+	Requested int
+	// Retried counts samples that failed at least once but eventually
+	// succeeded.
+	Retried int
+	// Quarantined lists the samples dropped after exhausting retries.
+	Quarantined []resilience.SampleFailure
 }
 
-// Moments returns the first four moments of the delay samples.
+// Moments returns the first four moments of the surviving delay samples.
 func (s *Samples) Moments() stats.Moments { return stats.ComputeMoments(s.Delay) }
 
 // SigmaQuantiles returns the empirical delay quantiles at the seven paper
 // sigma levels.
 func (s *Samples) SigmaQuantiles() map[int]float64 { return stats.SigmaQuantiles(s.Delay) }
 
+// sampleOutcome is the per-sample result a worker records.
+type sampleOutcome struct {
+	delay, outSlew float64
+	attempts       int
+	ok             bool
+	err            error
+}
+
+// measureSample runs one Monte-Carlo sample with bounded retries: attempt k
+// uses a fresh variation sub-stream (per the retry policy) and a simulation
+// window widened by WindowBackoff^k. Panics from the solver stack are
+// captured and classified rather than propagated.
+func (c *Config) measureSample(ctx context.Context, arc Arc, slew, loadC float64,
+	base *rng.Stream, i int) sampleOutcome {
+	pol := c.Retry
+	var out sampleOutcome
+	for attempt := 0; attempt < pol.Attempts(); attempt++ {
+		out.attempts = attempt + 1
+		if err := ctx.Err(); err != nil {
+			out.err = resilience.Wrap(fmt.Sprintf("sample %d", i), err)
+			return out
+		}
+		r := base.At(i)
+		if lbl := pol.RNGLabel(attempt); lbl != 0 {
+			r = r.Split(lbl)
+		}
+		var m waveform.StageMeasurement
+		err := resilience.Safely(fmt.Sprintf("sample %d attempt %d", i, attempt), func() error {
+			if c.FaultInject != nil {
+				if ferr := c.FaultInject(Fault{Arc: arc, Slew: slew, Load: loadC, Sample: i, Attempt: attempt}); ferr != nil {
+					return ferr
+				}
+			}
+			sampler := &stdcell.Sampler{
+				Model:  c.Var,
+				Corner: c.Var.SampleCorner(r),
+				R:      r,
+			}
+			var merr error
+			m, merr = c.measureArcAttempt(arc, slew, loadC, sampler, pol.WindowScale(attempt))
+			return merr
+		})
+		if err == nil {
+			out.delay, out.outSlew, out.ok = m.Delay, m.OutSlew, true
+			if attempt > 0 {
+				out.err = nil
+			}
+			return out
+		}
+		out.err = err
+		class := resilience.Classify(err)
+		if class == resilience.ClassPanic && attempt+1 < pol.Attempts() {
+			continue // a panic on one variate draw may not recur on a perturbed one
+		}
+		if !class.Retryable() {
+			return out
+		}
+	}
+	return out
+}
+
 // MCArc runs n Monte-Carlo samples of the arc at (slew, loadC). Sample i
 // derives its variation draws from seed's i-th sub-stream, so results are
-// independent of worker count. Rare non-settling samples are retried with a
-// longer window inside MeasureArcOnce; hard failures abort the run.
-func (c *Config) MCArc(arc Arc, slew, loadC float64, n int, seed uint64) (*Samples, error) {
-	out := &Samples{Delay: make([]float64, n), OutSlew: make([]float64, n)}
+// independent of worker count. A failed sample is retried per Config.Retry
+// and quarantined if it keeps failing; the run aborts early only when the
+// context is canceled, when the quarantine budget (Config.MaxFailFraction)
+// is exceeded, or on a non-retryable input error.
+func (c *Config) MCArc(ctx context.Context, arc Arc, slew, loadC float64, n int, seed uint64) (*Samples, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if _, err := c.arcCell(arc); err != nil {
+		return nil, err
+	}
+	runCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
 	base := rng.New(seed)
-	var wg sync.WaitGroup
-	errCh := make(chan error, c.workers())
+	delays := make([]float64, n)
+	slews := make([]float64, n)
+	ok := make([]bool, n)
+	budget := c.maxFailBudget(n)
+
+	var (
+		mu       sync.Mutex
+		failures []resilience.SampleFailure
+		retried  int
+		fatalErr error
+	)
+	fatal := func(err error) {
+		mu.Lock()
+		if fatalErr == nil {
+			fatalErr = err
+		}
+		mu.Unlock()
+		cancel() // stop the other workers promptly: the run is doomed
+	}
+
 	next := make(chan int, n)
 	for i := 0; i < n; i++ {
 		next <- i
 	}
 	close(next)
+
+	var wg sync.WaitGroup
 	for w := 0; w < c.workers(); w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			for i := range next {
-				r := base.At(i)
-				sampler := &stdcell.Sampler{
-					Model:  c.Var,
-					Corner: c.Var.SampleCorner(r),
-					R:      r,
-				}
-				m, err := c.MeasureArcOnce(arc, slew, loadC, sampler)
-				if err != nil {
-					select {
-					case errCh <- fmt.Errorf("sample %d: %w", i, err):
-					default:
-					}
+				if runCtx.Err() != nil {
 					return
 				}
-				out.Delay[i] = m.Delay
-				out.OutSlew[i] = m.OutSlew
+				out := c.measureSample(runCtx, arc, slew, loadC, base, i)
+				if out.ok {
+					delays[i], slews[i], ok[i] = out.delay, out.outSlew, true
+					if out.attempts > 1 {
+						mu.Lock()
+						retried++
+						mu.Unlock()
+					}
+					continue
+				}
+				class := resilience.Classify(out.err)
+				switch class {
+				case resilience.ClassCanceled:
+					return
+				case resilience.ClassInput:
+					fatal(out.err)
+					return
+				}
+				mu.Lock()
+				failures = append(failures, resilience.SampleFailure{
+					Index:    i,
+					Attempts: out.attempts,
+					Class:    class,
+					Err:      out.err.Error(),
+				})
+				overBudget := len(failures) > budget
+				nFailed := len(failures)
+				mu.Unlock()
+				if overBudget {
+					fatal(&resilience.BudgetError{
+						Op:              fmt.Sprintf("%s S=%.3g C=%.3g", arc, slew, loadC),
+						Failed:          nFailed,
+						Total:           n,
+						MaxFailFraction: c.failFraction(),
+					})
+					return
+				}
 			}
 		}()
 	}
 	wg.Wait()
-	select {
-	case err := <-errCh:
-		return nil, err
-	default:
+
+	if err := ctx.Err(); err != nil {
+		return nil, resilience.Wrap(fmt.Sprintf("%s S=%.3g C=%.3g", arc, slew, loadC), err)
+	}
+	if fatalErr != nil {
+		return nil, fatalErr
+	}
+
+	out := &Samples{
+		Delay:       make([]float64, 0, n),
+		OutSlew:     make([]float64, 0, n),
+		Requested:   n,
+		Retried:     retried,
+		Quarantined: failures,
+	}
+	sort.Slice(out.Quarantined, func(a, b int) bool {
+		return out.Quarantined[a].Index < out.Quarantined[b].Index
+	})
+	for i := 0; i < n; i++ {
+		if ok[i] {
+			out.Delay = append(out.Delay, delays[i])
+			out.OutSlew = append(out.OutSlew, slews[i])
+		}
+	}
+	if len(out.Delay) < 2 {
+		// Unreachable under a sane budget, but guard the moment math.
+		return nil, &resilience.BudgetError{
+			Op:              fmt.Sprintf("%s S=%.3g C=%.3g", arc, slew, loadC),
+			Failed:          n - len(out.Delay),
+			Total:           n,
+			MaxFailFraction: c.failFraction(),
+		}
 	}
 	return out, nil
 }

@@ -1,6 +1,7 @@
 package charlib
 
 import (
+	"context"
 	"math"
 	"reflect"
 	"testing"
@@ -64,7 +65,7 @@ func TestMCArcDeterministicAcrossWorkers(t *testing.T) {
 	run := func(workers int) *Samples {
 		cfg := smallCfg()
 		cfg.Workers = workers
-		s, err := cfg.MCArc(arc, Reference.Slew, Reference.Load, 24, 42)
+		s, err := cfg.MCArc(context.Background(), arc, Reference.Slew, Reference.Load, 24, 42)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -84,11 +85,11 @@ func TestMCArcDeterministicAcrossWorkers(t *testing.T) {
 func TestMCArcSeedSensitivity(t *testing.T) {
 	cfg := smallCfg()
 	arc := Arc{Cell: "INVx1", Pin: "A", InEdge: waveform.Rising}
-	a, err := cfg.MCArc(arc, Reference.Slew, Reference.Load, 16, 1)
+	a, err := cfg.MCArc(context.Background(), arc, Reference.Slew, Reference.Load, 16, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := cfg.MCArc(arc, Reference.Slew, Reference.Load, 16, 2)
+	b, err := cfg.MCArc(context.Background(), arc, Reference.Slew, Reference.Load, 16, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -100,7 +101,7 @@ func TestMCArcSeedSensitivity(t *testing.T) {
 func TestMCArcDistributionShape(t *testing.T) {
 	cfg := smallCfg()
 	arc := Arc{Cell: "INVx1", Pin: "A", InEdge: waveform.Rising}
-	s, err := cfg.MCArc(arc, Reference.Slew, Reference.Load, 400, 7)
+	s, err := cfg.MCArc(context.Background(), arc, Reference.Slew, Reference.Load, 400, 7)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -156,7 +157,7 @@ func TestDelayIncreasesWithSlewAndLoad(t *testing.T) {
 func TestCharacterizeArcGrid(t *testing.T) {
 	cfg := smallCfg()
 	arc := Arc{Cell: "INVx1", Pin: "A", InEdge: waveform.Rising}
-	ch, err := cfg.CharacterizeArc(arc,
+	ch, err := cfg.CharacterizeArc(context.Background(), arc,
 		[]float64{10e-12, 100e-12},
 		[]float64{0.4e-15, 2e-15},
 		60, 3)
@@ -183,7 +184,7 @@ func TestCharacterizeArcUnionsReference(t *testing.T) {
 	cfg := smallCfg()
 	arc := Arc{Cell: "INVx1", Pin: "A", InEdge: waveform.Rising}
 	// Axes that do NOT contain the reference values.
-	ch, err := cfg.CharacterizeArc(arc, []float64{50e-12}, []float64{1e-15}, 40, 4)
+	ch, err := cfg.CharacterizeArc(context.Background(), arc, []float64{50e-12}, []float64{1e-15}, 40, 4)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -196,7 +197,7 @@ func TestCharacterizeArcUnionsReference(t *testing.T) {
 func TestCharacterizeArcRejectsTinySampleCount(t *testing.T) {
 	cfg := smallCfg()
 	arc := Arc{Cell: "INVx1", Pin: "A", InEdge: waveform.Rising}
-	if _, err := cfg.CharacterizeArc(arc, []float64{1e-11}, []float64{1e-15}, 4, 1); err == nil {
+	if _, err := cfg.CharacterizeArc(context.Background(), arc, []float64{1e-11}, []float64{1e-15}, 4, 1); err == nil {
 		t.Fatal("4 samples accepted for four-moment characterisation")
 	}
 }

@@ -1,8 +1,11 @@
 package charlib
 
 import (
+	"context"
 	"fmt"
+	"time"
 
+	"repro/internal/resilience"
 	"repro/internal/stats"
 )
 
@@ -30,6 +33,9 @@ type ArcChar struct {
 	Arc  Arc         `json:"arc"`
 	Ref  OpPoint     `json:"ref"`
 	Grid []GridPoint `json:"grid"`
+	// Report records the fault handling of this characterisation (retries,
+	// quarantined samples, degraded points, wall time).
+	Report *resilience.ArcReport `json:"report,omitempty"`
 }
 
 // RefPoint returns the reference grid point.
@@ -75,12 +81,17 @@ func withValue(xs []float64, v float64) []float64 {
 // CharacterizeArc measures the arc at the reference point and at every
 // (slew, load) pair from the two axis grids, with n Monte-Carlo samples per
 // point. The resulting grid is the cross product, so it supports fitting
-// the cross terms ΔS·ΔC of eqs. (2)–(3).
-func (c *Config) CharacterizeArc(arc Arc, slews, loads []float64, n int, seed uint64) (*ArcChar, error) {
+// the cross terms ΔS·ΔC of eqs. (2)–(3). Sample-level faults are retried
+// and quarantined per Config (see MCArc); the outcome is recorded on the
+// returned ArcChar's Report, and GridPoint.Samples reflects the surviving
+// count of each point.
+func (c *Config) CharacterizeArc(ctx context.Context, arc Arc, slews, loads []float64, n int, seed uint64) (*ArcChar, error) {
 	if n < 8 {
-		return nil, fmt.Errorf("charlib: %d samples cannot support four moments", n)
+		return nil, resilience.WrapClass(resilience.ClassInput, arc.String(),
+			fmt.Errorf("charlib: %d samples cannot support four moments", n))
 	}
-	out := &ArcChar{Arc: arc, Ref: Reference}
+	t0 := time.Now()
+	out := &ArcChar{Arc: arc, Ref: Reference, Report: &resilience.ArcReport{Arc: arc.String()}}
 	// The grid must contain the reference point and be a full cross
 	// product (the LUT requires it), so union the reference values into
 	// the axes.
@@ -97,7 +108,7 @@ func (c *Config) CharacterizeArc(arc Arc, slews, loads []float64, n int, seed ui
 	}
 	for i, op := range points {
 		// Decorrelate points while keeping each deterministic.
-		smp, err := c.MCArc(arc, op.Slew, op.Load, n, seed+uint64(i)*0x9e37)
+		smp, err := c.MCArc(ctx, arc, op.Slew, op.Load, n, seed+uint64(i)*0x9e37)
 		if err != nil {
 			return nil, fmt.Errorf("charlib: point S=%.3g C=%.3g: %w", op.Slew, op.Load, err)
 		}
@@ -106,8 +117,17 @@ func (c *Config) CharacterizeArc(arc Arc, slews, loads []float64, n int, seed ui
 			Moments:     smp.Moments(),
 			Quantiles:   smp.SigmaQuantiles(),
 			MeanOutSlew: stats.Mean(smp.OutSlew),
+			Samples:     len(smp.Delay),
+		})
+		out.Report.AddPoint(resilience.PointReport{
+			Slew:        op.Slew,
+			Load:        op.Load,
 			Samples:     n,
+			Survivors:   len(smp.Delay),
+			Retried:     smp.Retried,
+			Quarantined: smp.Quarantined,
 		})
 	}
+	out.Report.Wall = time.Since(t0)
 	return out, nil
 }

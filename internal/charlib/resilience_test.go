@@ -1,0 +1,235 @@
+package charlib
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"sync"
+	"testing"
+
+	"repro/internal/circuit"
+	"repro/internal/resilience"
+	"repro/internal/waveform"
+)
+
+var testArc = Arc{Cell: "INVx1", Pin: "A", InEdge: waveform.Rising}
+
+// failSamples returns a fault injector that fails the given sample indices
+// on every attempt.
+func failSamples(indices ...int) func(Fault) error {
+	bad := map[int]bool{}
+	for _, i := range indices {
+		bad[i] = true
+	}
+	return func(f Fault) error {
+		if bad[f.Sample] {
+			return circuit.ErrNoConvergence
+		}
+		return nil
+	}
+}
+
+func TestMCArcQuarantineContract(t *testing.T) {
+	// The acceptance contract: with k < MaxFailFraction·n samples forced to
+	// fail, MCArc completes, the report lists exactly the quarantined
+	// samples, and the surviving samples are bit-identical to the clean
+	// run's at the same indices.
+	const n = 60
+	clean, err := smallCfg().MCArc(context.Background(), testArc, Reference.Slew, Reference.Load, n, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cfg := smallCfg()
+	cfg.MaxFailFraction = 0.1 // budget 6
+	cfg.FaultInject = failSamples(3, 17)
+	got, err := cfg.MCArc(context.Background(), testArc, Reference.Slew, Reference.Load, n, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if len(got.Quarantined) != 2 || got.Quarantined[0].Index != 3 || got.Quarantined[1].Index != 17 {
+		t.Fatalf("quarantined %+v, want exactly samples 3 and 17", got.Quarantined)
+	}
+	for _, q := range got.Quarantined {
+		if q.Class != resilience.ClassConvergence {
+			t.Errorf("sample %d classified %v, want convergence", q.Index, q.Class)
+		}
+		if q.Attempts != resilience.DefaultRetryPolicy.MaxAttempts {
+			t.Errorf("sample %d gave up after %d attempts, want %d",
+				q.Index, q.Attempts, resilience.DefaultRetryPolicy.MaxAttempts)
+		}
+	}
+	if got.Requested != n || len(got.Delay) != n-2 {
+		t.Fatalf("survivors %d/%d, want %d", len(got.Delay), got.Requested, n-2)
+	}
+	// Survivors must match the clean run exactly with indices 3, 17 removed:
+	// quarantine may not disturb any other sample's variation draws.
+	want := make([]float64, 0, n-2)
+	for i, d := range clean.Delay {
+		if i != 3 && i != 17 {
+			want = append(want, d)
+		}
+	}
+	if !reflect.DeepEqual(got.Delay, want) {
+		t.Fatal("surviving samples differ from the clean run")
+	}
+	// Moments over 58 of 60 samples stay within a few percent of the clean
+	// run's.
+	cm, qm := clean.Moments(), got.Moments()
+	if rel := (qm.Mean - cm.Mean) / cm.Mean; rel > 0.05 || rel < -0.05 {
+		t.Errorf("quarantine shifted the mean by %.1f%%", rel*100)
+	}
+}
+
+func TestMCArcRetryThenSucceed(t *testing.T) {
+	cfg := smallCfg()
+	var mu sync.Mutex
+	attemptsSeen := map[int]int{}
+	cfg.FaultInject = func(f Fault) error {
+		mu.Lock()
+		attemptsSeen[f.Sample]++
+		mu.Unlock()
+		if f.Sample == 5 && f.Attempt == 0 {
+			return resilience.ErrNonSettle
+		}
+		return nil
+	}
+	got, err := cfg.MCArc(context.Background(), testArc, Reference.Slew, Reference.Load, 20, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Quarantined) != 0 {
+		t.Fatalf("retry-then-succeed quarantined %+v", got.Quarantined)
+	}
+	if got.Retried != 1 {
+		t.Fatalf("Retried=%d, want 1", got.Retried)
+	}
+	if len(got.Delay) != 20 {
+		t.Fatalf("survivors %d, want all 20", len(got.Delay))
+	}
+	if attemptsSeen[5] != 2 {
+		t.Fatalf("sample 5 ran %d attempts, want 2", attemptsSeen[5])
+	}
+}
+
+func TestMCArcBudgetExceeded(t *testing.T) {
+	cfg := smallCfg()
+	cfg.MaxFailFraction = 0.05 // budget 3 out of 60
+	cfg.FaultInject = failSamples(1, 5, 9, 13, 21, 33)
+	_, err := cfg.MCArc(context.Background(), testArc, Reference.Slew, Reference.Load, 60, 3)
+	var be *resilience.BudgetError
+	if !errors.As(err, &be) {
+		t.Fatalf("got %v, want *resilience.BudgetError", err)
+	}
+	if resilience.Classify(err) != resilience.ClassBudget {
+		t.Fatalf("budget error classified %v", resilience.Classify(err))
+	}
+}
+
+func TestMCArcNoQuarantineWhenForbidden(t *testing.T) {
+	cfg := smallCfg()
+	cfg.MaxFailFraction = -1 // any persistent failure is fatal
+	cfg.FaultInject = failSamples(4)
+	_, err := cfg.MCArc(context.Background(), testArc, Reference.Slew, Reference.Load, 30, 3)
+	var be *resilience.BudgetError
+	if !errors.As(err, &be) {
+		t.Fatalf("got %v, want *resilience.BudgetError", err)
+	}
+}
+
+func TestMCArcPanicCapturedAndQuarantined(t *testing.T) {
+	cfg := smallCfg()
+	cfg.MaxFailFraction = 0.2
+	cfg.FaultInject = func(f Fault) error {
+		if f.Sample == 7 {
+			panic("synthetic solver blow-up")
+		}
+		return nil
+	}
+	got, err := cfg.MCArc(context.Background(), testArc, Reference.Slew, Reference.Load, 30, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Quarantined) != 1 || got.Quarantined[0].Index != 7 {
+		t.Fatalf("quarantined %+v, want sample 7", got.Quarantined)
+	}
+	if got.Quarantined[0].Class != resilience.ClassPanic {
+		t.Fatalf("panic classified %v", got.Quarantined[0].Class)
+	}
+}
+
+func TestMCArcCancellationMidRun(t *testing.T) {
+	cfg := smallCfg()
+	cfg.Workers = 2
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var once sync.Once
+	var mu sync.Mutex
+	seen := 0
+	cfg.FaultInject = func(Fault) error {
+		mu.Lock()
+		seen++
+		trip := seen >= 10
+		mu.Unlock()
+		if trip {
+			once.Do(cancel)
+		}
+		return nil
+	}
+	_, err := cfg.MCArc(ctx, testArc, Reference.Slew, Reference.Load, 200, 5)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("got %v, want a wrapped context.Canceled", err)
+	}
+	if resilience.Classify(err) != resilience.ClassCanceled {
+		t.Fatalf("cancellation classified %v", resilience.Classify(err))
+	}
+	// Prompt shutdown: nowhere near all 200 samples may have started.
+	mu.Lock()
+	defer mu.Unlock()
+	if seen > 100 {
+		t.Fatalf("%d samples started after cancellation, workers did not stop promptly", seen)
+	}
+}
+
+func TestCharacterizeArcDegradedPointReport(t *testing.T) {
+	cfg := smallCfg()
+	cfg.MaxFailFraction = 0.2
+	cfg.FaultInject = failSamples(2)
+	ch, err := cfg.CharacterizeArc(context.Background(), testArc,
+		[]float64{Reference.Slew}, []float64{Reference.Load}, 12, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ch.Report == nil {
+		t.Fatal("characterisation carries no report")
+	}
+	if len(ch.Grid) != 1 {
+		t.Fatalf("grid %d points, want the lone reference point", len(ch.Grid))
+	}
+	if ch.Grid[0].Samples != 11 {
+		t.Fatalf("grid point records %d survivors, want 11", ch.Grid[0].Samples)
+	}
+	if ch.Report.Quarantined != 1 {
+		t.Fatalf("report counts %d quarantined, want 1", ch.Report.Quarantined)
+	}
+	if dp := ch.Report.DegradedPoints(); len(dp) != 1 {
+		t.Fatalf("degraded points %v, want one", dp)
+	}
+	if ch.Grid[0].Moments.Mean <= 0 {
+		t.Fatal("moments over survivors degenerate")
+	}
+}
+
+func TestMCArcInputErrorNotRetried(t *testing.T) {
+	cfg := smallCfg()
+	calls := 0
+	cfg.FaultInject = func(Fault) error { calls++; return nil }
+	_, err := cfg.MCArc(context.Background(), Arc{Cell: "GHOSTx1", Pin: "A"}, 1e-11, 1e-15, 16, 1)
+	if resilience.Classify(err) != resilience.ClassInput {
+		t.Fatalf("unknown cell classified %v (%v)", resilience.Classify(err), err)
+	}
+	if calls != 0 {
+		t.Fatalf("input validation ran %d sample attempts", calls)
+	}
+}

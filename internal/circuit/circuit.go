@@ -148,6 +148,11 @@ type Circuit struct {
 	// Gmin is a small leakage conductance to ground at every node,
 	// the standard SPICE convergence aid. Defaults to 1 pS.
 	Gmin float64
+
+	// err holds the first construction error (bad element value, double
+	// drive). Add* methods keep their chainable void signatures; the error
+	// surfaces from Err() and from Transient before any solve starts.
+	err error
 }
 
 // New returns an empty circuit containing only the ground node.
@@ -182,10 +187,34 @@ func (c *Circuit) NumNodes() int { return len(c.nodeNames) }
 // NameOf returns the name of node n.
 func (c *Circuit) NameOf(n Node) string { return c.nodeNames[n] }
 
+// ConstructionError reports a malformed element handed to an Add* method.
+type ConstructionError struct {
+	Element string
+	Reason  string
+}
+
+// Error implements error.
+func (e *ConstructionError) Error() string {
+	return fmt.Sprintf("circuit: %s: %s", e.Element, e.Reason)
+}
+
+// fail records the first construction error; later elements still append so
+// node bookkeeping stays consistent, but the circuit will refuse to solve.
+func (c *Circuit) fail(element, reason string) {
+	if c.err == nil {
+		c.err = &ConstructionError{Element: element, Reason: reason}
+	}
+}
+
+// Err returns the first construction error, or nil for a well-formed
+// netlist. Transient performs the same check before solving.
+func (c *Circuit) Err() error { return c.err }
+
 // AddResistor connects a resistance of r ohms between a and b.
 func (c *Circuit) AddResistor(a, b Node, r float64) {
 	if r <= 0 {
-		panic("circuit: resistor must have positive resistance")
+		c.fail("resistor", fmt.Sprintf("resistance %g must be positive", r))
+		return
 	}
 	c.resistors = append(c.resistors, resistor{a: a, b: b, g: 1 / r})
 }
@@ -193,7 +222,8 @@ func (c *Circuit) AddResistor(a, b Node, r float64) {
 // AddCapacitor connects a capacitance of f farads between a and b.
 func (c *Circuit) AddCapacitor(a, b Node, f float64) {
 	if f < 0 {
-		panic("circuit: negative capacitance")
+		c.fail("capacitor", fmt.Sprintf("negative capacitance %g", f))
+		return
 	}
 	if f == 0 {
 		return
@@ -219,11 +249,13 @@ func (c *Circuit) AddMOS(d, g, s Node, p device.Params) {
 // most one source; the simulator removes driven nodes from the unknowns.
 func (c *Circuit) AddSource(n Node, w Waveform) {
 	if n == Ground {
-		panic("circuit: cannot drive ground")
+		c.fail("source", "cannot drive ground")
+		return
 	}
 	for _, s := range c.sources {
 		if s.n == n {
-			panic("circuit: node driven by two sources: " + c.nodeNames[n])
+			c.fail("source", "node driven by two sources: "+c.nodeNames[n])
+			return
 		}
 	}
 	c.sources = append(c.sources, source{n: n, w: w})

@@ -1,6 +1,7 @@
 package circuit
 
 import (
+	"errors"
 	"math"
 	"testing"
 
@@ -135,14 +136,30 @@ func TestInverterDelayGrowsWithLoad(t *testing.T) {
 	}
 }
 
-func TestSourceValidation(t *testing.T) {
-	ck := New()
-	n := ck.NodeByName("n")
-	ck.AddSource(n, DC(1))
-	mustPanic(t, "double drive", func() { ck.AddSource(n, DC(2)) })
-	mustPanic(t, "drive ground", func() { ck.AddSource(Ground, DC(1)) })
-	mustPanic(t, "zero resistance", func() { ck.AddResistor(n, Ground, 0) })
-	mustPanic(t, "negative cap", func() { ck.AddCapacitor(n, Ground, -1e-15) })
+func TestConstructionErrors(t *testing.T) {
+	cases := map[string]func(ck *Circuit, n Node){
+		"double drive":    func(ck *Circuit, n Node) { ck.AddSource(n, DC(2)) },
+		"drive ground":    func(ck *Circuit, n Node) { ck.AddSource(Ground, DC(1)) },
+		"zero resistance": func(ck *Circuit, n Node) { ck.AddResistor(n, Ground, 0) },
+		"negative cap":    func(ck *Circuit, n Node) { ck.AddCapacitor(n, Ground, -1e-15) },
+	}
+	for what, breakIt := range cases {
+		ck := New()
+		n := ck.NodeByName("n")
+		ck.AddSource(n, DC(1))
+		ck.AddResistor(n, ck.NodeByName("m"), 1e3)
+		if ck.Err() != nil {
+			t.Fatalf("%s: well-formed prefix already errored: %v", what, ck.Err())
+		}
+		breakIt(ck, n)
+		var cerr *ConstructionError
+		if !errors.As(ck.Err(), &cerr) {
+			t.Fatalf("%s: Err()=%v, want *ConstructionError", what, ck.Err())
+		}
+		if _, err := ck.Transient(SimOptions{TStop: 1e-12, DT: 1e-13}); !errors.As(err, &cerr) {
+			t.Fatalf("%s: Transient err=%v, want *ConstructionError", what, err)
+		}
+	}
 }
 
 func TestAllDrivenRejected(t *testing.T) {
@@ -224,16 +241,6 @@ func TestChargeConservationTwoCaps(t *testing.T) {
 	if math.Abs(va-0.6) > 1e-3 || math.Abs(vb-0.6) > 1e-3 {
 		t.Fatalf("caps did not equalise to the source: %v %v", va, vb)
 	}
-}
-
-func mustPanic(t *testing.T, what string, f func()) {
-	t.Helper()
-	defer func() {
-		if recover() == nil {
-			t.Fatalf("%s did not panic", what)
-		}
-	}()
-	f()
 }
 
 func TestPWLWaveform(t *testing.T) {

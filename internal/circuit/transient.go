@@ -67,6 +67,9 @@ var ErrNoConvergence = errors.New("circuit: transient solver did not converge")
 // waveforms at every multiple of opts.DT.
 func (c *Circuit) Transient(opts SimOptions) (*Result, error) {
 	opts.setDefaults()
+	if c.err != nil {
+		return nil, c.err
+	}
 	if opts.TStop <= 0 || opts.DT <= 0 {
 		return nil, errors.New("circuit: TStop and DT must be positive")
 	}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -45,7 +46,7 @@ func (c *Context) RunAblationCalibration() (*AblationCalibResult, error) {
 		}
 		for pi, op := range probes {
 			load := op.Load * float64(c.Cfg.Lib.MustCell(arc.Cell).Strength)
-			smp, err := c.Cfg.MCArc(arc, op.Slew, load, c.Profile.EvalSamples,
+			smp, err := c.Cfg.MCArc(context.Background(), arc, op.Slew, load, c.Profile.EvalSamples,
 				c.Seed^stdcell.KeyFromString(fmt.Sprintf("abl:%s:%d", arc, pi)))
 			if err != nil {
 				return nil, err

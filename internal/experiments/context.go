@@ -6,6 +6,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"sort"
@@ -14,6 +15,7 @@ import (
 	"repro/internal/baseline"
 	"repro/internal/charlib"
 	"repro/internal/nsigma"
+	"repro/internal/resilience"
 	"repro/internal/stdcell"
 	"repro/internal/timinglib"
 	"repro/internal/waveform"
@@ -115,6 +117,11 @@ func (c *Context) logf(format string, args ...any) {
 // The load axis is scaled by the cell's drive strength so every cell covers
 // its own FO1–FO8 range.
 func (c *Context) CharacterizeArc(arc charlib.Arc) (*charlib.ArcChar, error) {
+	return c.CharacterizeArcContext(context.Background(), arc)
+}
+
+// CharacterizeArcContext is CharacterizeArc under a cancelable context.
+func (c *Context) CharacterizeArcContext(ctx context.Context, arc charlib.Arc) (*charlib.ArcChar, error) {
 	key := timinglib.ArcKey(arc.Cell, arc.Pin, arc.InEdge)
 	if ch, ok := c.arcChars[key]; ok {
 		return ch, nil
@@ -124,7 +131,7 @@ func (c *Context) CharacterizeArc(arc charlib.Arc) (*charlib.ArcChar, error) {
 		loads = charlib.ScaleLoads(loads, cell.Strength)
 	}
 	t0 := time.Now()
-	ch, err := c.Cfg.CharacterizeArc(arc, c.Profile.SlewGrid, loads,
+	ch, err := c.Cfg.CharacterizeArc(ctx, arc, c.Profile.SlewGrid, loads,
 		c.Profile.CharSamples, c.Seed^stdcell.KeyFromString(key))
 	if err != nil {
 		return nil, err
@@ -153,7 +160,7 @@ func (c *Context) FO4Ratio(cellName string) (float64, error) {
 		return 0, fmt.Errorf("experiments: unknown cell %q", cellName)
 	}
 	arc := charlib.Arc{Cell: cellName, Pin: cell.Inputs[0], InEdge: waveform.Rising}
-	smp, err := c.Cfg.MCArc(arc, charlib.Reference.Slew, c.FO4Load(cell),
+	smp, err := c.Cfg.MCArc(context.Background(), arc, charlib.Reference.Slew, c.FO4Load(cell),
 		c.Profile.EvalSamples, c.Seed^stdcell.KeyFromString("fo4:"+cellName))
 	if err != nil {
 		return 0, err
@@ -167,32 +174,100 @@ func (c *Context) FO4Ratio(cellName string) (float64, error) {
 // BuildTimingFile characterises every arc of the library and calibrates the
 // wire model, producing the coefficients file. It is idempotent and cached.
 func (c *Context) BuildTimingFile() (*timinglib.File, error) {
+	f, _, err := c.BuildTimingFileContext(context.Background(), BuildFileOptions{})
+	return f, err
+}
+
+// BuildFileOptions controls a fault-tolerant BuildTimingFileContext run.
+type BuildFileOptions struct {
+	// Resume, when non-nil, is a previously checkpointed coefficients file:
+	// arcs already fitted there are copied over and not re-simulated.
+	Resume *timinglib.File
+	// CheckpointEvery, when > 0, invokes Checkpoint after every that many
+	// newly fitted arcs (and once more after wire calibration completes).
+	CheckpointEvery int
+	// Checkpoint persists a partial coefficients file. It must be crash-safe
+	// (timinglib.File.Save writes atomically). Errors abort the build.
+	Checkpoint func(f *timinglib.File) error
+	// SkipWire omits the wire X_FI/X_FO calibration — for diagnostics and
+	// tests that only exercise the arc pipeline. The file's Wire stays nil.
+	SkipWire bool
+}
+
+// BuildTimingFileContext characterises every arc of the library and
+// calibrates the wire model under a cancelable context, optionally resuming
+// from a checkpointed file and checkpointing progress as it goes. It
+// returns the coefficients file plus a structured resilience report
+// (per-arc retries, quarantined samples, degraded grid points, skipped
+// arcs, wall time). The result is cached on the Context; a cached file is
+// returned with an empty report.
+func (c *Context) BuildTimingFileContext(ctx context.Context, opts BuildFileOptions) (*timinglib.File, *resilience.Report, error) {
+	report := &resilience.Report{}
 	if c.file != nil {
-		return c.file, nil
+		return c.file, report, nil
 	}
+	t0 := time.Now()
 	f := timinglib.New(c.Cfg.Lib)
+	f.Checkpoint = &timinglib.Checkpoint{Profile: c.Profile.Name, Seed: c.Seed}
+	sinceCheckpoint := 0
+	checkpoint := func(force bool) error {
+		if opts.Checkpoint == nil || opts.CheckpointEvery <= 0 {
+			return nil
+		}
+		if !force && sinceCheckpoint < opts.CheckpointEvery {
+			return nil
+		}
+		sinceCheckpoint = 0
+		return opts.Checkpoint(f)
+	}
 	for _, cell := range c.Cfg.Lib.Cells() {
 		for _, pin := range cell.Inputs {
 			for _, edge := range []waveform.Edge{waveform.Rising, waveform.Falling} {
-				ch, err := c.CharacterizeArc(charlib.Arc{Cell: cell.Name, Pin: pin, InEdge: edge})
+				if err := ctx.Err(); err != nil {
+					return nil, report, resilience.Wrap("build timing file", err)
+				}
+				key := timinglib.ArcKey(cell.Name, pin, edge)
+				if opts.Resume != nil {
+					if m, ok := opts.Resume.Arcs[key]; ok {
+						f.Arcs[key] = m
+						report.AddArc(&resilience.ArcReport{Arc: key, Skipped: true})
+						continue
+					}
+				}
+				ch, err := c.CharacterizeArcContext(ctx, charlib.Arc{Cell: cell.Name, Pin: pin, InEdge: edge})
 				if err != nil {
-					return nil, err
+					return nil, report, err
 				}
 				m, err := nsigma.FitArc(ch)
 				if err != nil {
-					return nil, err
+					return nil, report, err
 				}
 				f.AddArc(m)
+				report.AddArc(ch.Report)
+				sinceCheckpoint++
+				if err := checkpoint(false); err != nil {
+					return nil, report, fmt.Errorf("experiments: checkpoint: %w", err)
+				}
 			}
 		}
 	}
-	cal, err := c.CalibrateWires()
-	if err != nil {
-		return nil, err
+	if err := ctx.Err(); err != nil {
+		return nil, report, resilience.Wrap("build timing file", err)
 	}
-	f.Wire = cal
+	if !opts.SkipWire {
+		cal, err := c.CalibrateWires()
+		if err != nil {
+			return nil, report, err
+		}
+		f.Wire = cal
+	}
+	f.Checkpoint.Complete = true
+	if err := checkpoint(true); err != nil {
+		return nil, report, fmt.Errorf("experiments: checkpoint: %w", err)
+	}
+	report.Wall = time.Since(t0)
 	c.file = f
-	return f, nil
+	return f, report, nil
 }
 
 // UseTimingFile injects a pre-built coefficients file (e.g. loaded from

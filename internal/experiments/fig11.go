@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -54,7 +55,7 @@ func (c *Context) RunFig11() (*Fig11Result, error) {
 		}
 		st := stages[si].tmpl
 		st.InSlew = s.InSlew
-		ss, err := wire.MCStage(c.Cfg, &st, c.wireSamples(),
+		ss, err := wire.MCStage(context.Background(), c.Cfg, &st, c.wireSamples(),
 			c.Seed^stdcell.KeyFromString(fmt.Sprintf("fig11:%d", si)))
 		if err != nil {
 			return nil, fmt.Errorf("fig11 stage %d: %w", si, err)

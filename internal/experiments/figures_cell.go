@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"strings"
@@ -47,7 +48,7 @@ func (c *Context) RunFig2() (*Fig2Result, error) {
 		}
 		cell := cfg.Lib.MustCell("INVx1")
 		arc := charlib.Arc{Cell: "INVx1", Pin: "A", InEdge: waveform.Rising}
-		smp, err := cfg.MCArc(arc, charlib.Reference.Slew, 4*cell.PinCap("A"),
+		smp, err := cfg.MCArc(context.Background(), arc, charlib.Reference.Slew, 4*cell.PinCap("A"),
 			c.Profile.EvalSamples, c.Seed^uint64(vdd*1000))
 		if err != nil {
 			return nil, fmt.Errorf("fig2 vdd=%.2f: %w", vdd, err)
@@ -201,7 +202,7 @@ func (c *Context) RunFig4() (*Fig4Result, error) {
 	arc := charlib.Arc{Cell: "INVx1", Pin: "A", InEdge: waveform.Rising}
 	res := &Fig4Result{}
 	measure := func(slew, load float64, tag string) (Fig4Point, error) {
-		smp, err := c.Cfg.MCArc(arc, slew, load, c.Profile.CharSamples,
+		smp, err := c.Cfg.MCArc(context.Background(), arc, slew, load, c.Profile.CharSamples,
 			c.Seed^stdcell.KeyFromString(fmt.Sprintf("fig4:%s:%g:%g", tag, slew, load)))
 		if err != nil {
 			return Fig4Point{}, err

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -44,7 +45,7 @@ func (c *Context) RunFig7() (*Fig7Result, error) {
 	withPin.Nodes[leaf].C += lc.PinCap("A")
 	sc.Elmore = withPin.Elmore(leaf)
 
-	samples, err := wire.MCStage(c.Cfg, sc.Stage, c.Profile.EvalSamples, c.Seed^0x716)
+	samples, err := wire.MCStage(context.Background(), c.Cfg, sc.Stage, c.Profile.EvalSamples, c.Seed^0x716)
 	if err != nil {
 		return nil, err
 	}
@@ -92,7 +93,7 @@ func lineTree(name string, par *layout.Parasitics, lenUm float64, n int) *rctree
 		if i == n-1 {
 			nm = "sink0"
 		}
-		cur = t.AddNode(nm, cur, segR, segC/2)
+		cur = t.MustAddNode(nm, cur, segR, segC/2)
 	}
 	return t
 }

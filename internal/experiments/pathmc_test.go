@@ -11,9 +11,9 @@ import (
 // synthTwoStagePath builds PI → netA → (U1 NAND2x2) → netB → PO.
 func synthTwoStagePath() *sta.Path {
 	treeA := rctree.NewTree("netA", 0.05e-15)
-	leafA := treeA.AddNode("pin:U1:A", 0, 100, 2.5e-15)
+	leafA := treeA.MustAddNode("pin:U1:A", 0, 100, 2.5e-15)
 	treeB := rctree.NewTree("netB", 0.05e-15)
-	leafB := treeB.AddNode("pin:PO0", 0, 120, 1.0e-15)
+	leafB := treeB.MustAddNode("pin:PO0", 0, 120, 1.0e-15)
 	return &sta.Path{
 		Launch:   waveform.Rising,
 		Endpoint: "netB",

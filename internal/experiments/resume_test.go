@@ -1,0 +1,140 @@
+package experiments
+
+import (
+	"context"
+	"errors"
+	"path/filepath"
+	"reflect"
+	"sort"
+	"sync"
+	"testing"
+
+	"repro/internal/charlib"
+	"repro/internal/timinglib"
+)
+
+// resumeProfile is sized so characterising the whole library stays fast:
+// the minimum 4x4 grid the cubic calibration accepts and a minimal legal
+// sample count.
+var resumeProfile = Profile{
+	Name: "resume-test", CharSamples: 8, EvalSamples: 8,
+	SlewGrid: []float64{charlib.Reference.Slew, 50e-12, 100e-12, 200e-12},
+	LoadGrid: []float64{charlib.Reference.Load, 1e-15, 2.5e-15, 5e-15},
+}
+
+func resumeContext(seed uint64) *Context {
+	c := NewContext(resumeProfile, seed)
+	c.Cfg.Steps = 150
+	return c
+}
+
+func sortedArcKeys(f *timinglib.File) []string {
+	keys := make([]string, 0, len(f.Arcs))
+	for k := range f.Arcs {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func TestBuildTimingFileCheckpointResume(t *testing.T) {
+	const seed = 9
+	ckptPath := filepath.Join(t.TempDir(), "coeffs.json")
+
+	// Reference: one uninterrupted run.
+	full, _, err := resumeContext(seed).BuildTimingFileContext(context.Background(),
+		BuildFileOptions{SkipWire: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(full.Arcs) == 0 {
+		t.Fatal("uninterrupted run fitted no arcs")
+	}
+
+	// Interrupted run: checkpoint after every arc, cancel ("kill") the run
+	// once a handful of checkpoints have landed on disk.
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	checkpoints := 0
+	_, _, err = resumeContext(seed).BuildTimingFileContext(ctx, BuildFileOptions{
+		SkipWire:        true,
+		CheckpointEvery: 1,
+		Checkpoint: func(f *timinglib.File) error {
+			if err := f.Save(ckptPath); err != nil {
+				return err
+			}
+			checkpoints++
+			if checkpoints == 5 {
+				cancel()
+			}
+			return nil
+		},
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("interrupted run returned %v, want a wrapped context.Canceled", err)
+	}
+
+	partial, err := timinglib.Load(ckptPath)
+	if err != nil {
+		t.Fatalf("checkpoint unreadable after kill: %v", err)
+	}
+	if partial.Checkpoint == nil || partial.Checkpoint.Complete {
+		t.Fatalf("checkpoint metadata %+v, want incomplete with profile/seed", partial.Checkpoint)
+	}
+	if partial.Checkpoint.Profile != resumeProfile.Name || partial.Checkpoint.Seed != seed {
+		t.Fatalf("checkpoint recorded %s/%d", partial.Checkpoint.Profile, partial.Checkpoint.Seed)
+	}
+	if len(partial.Arcs) == 0 || len(partial.Arcs) >= len(full.Arcs) {
+		t.Fatalf("partial run persisted %d of %d arcs", len(partial.Arcs), len(full.Arcs))
+	}
+
+	// Resumed run: already-fitted arcs must never be re-simulated, and the
+	// final arc set must match the uninterrupted run's.
+	resumedCtx := resumeContext(seed)
+	var mu sync.Mutex
+	simulated := map[string]bool{}
+	resumedCtx.Cfg.FaultInject = func(f charlib.Fault) error {
+		mu.Lock()
+		simulated[timinglib.ArcKey(f.Arc.Cell, f.Arc.Pin, f.Arc.InEdge)] = true
+		mu.Unlock()
+		return nil
+	}
+	resumed, report, err := resumedCtx.BuildTimingFileContext(context.Background(), BuildFileOptions{
+		SkipWire:        true,
+		Resume:          partial,
+		CheckpointEvery: 1,
+		Checkpoint:      func(f *timinglib.File) error { return f.Save(ckptPath) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for key := range partial.Arcs {
+		if simulated[key] {
+			t.Errorf("resumed run re-simulated already-fitted arc %s", key)
+		}
+	}
+	if got, want := sortedArcKeys(resumed), sortedArcKeys(full); !reflect.DeepEqual(got, want) {
+		t.Fatalf("resumed arc set %v differs from uninterrupted run %v", got, want)
+	}
+	for key, m := range partial.Arcs {
+		if !reflect.DeepEqual(resumed.Arcs[key], m) {
+			t.Errorf("resumed run altered checkpointed arc %s", key)
+		}
+	}
+	_, skipped, _, _, _ := report.Totals()
+	if skipped != len(partial.Arcs) {
+		t.Fatalf("report counts %d resumed arcs, want %d", skipped, len(partial.Arcs))
+	}
+
+	// The final checkpoint on disk is the complete file.
+	final, err := timinglib.Load(ckptPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final.Checkpoint == nil || !final.Checkpoint.Complete {
+		t.Fatal("final checkpoint not marked complete")
+	}
+	if !reflect.DeepEqual(sortedArcKeys(final), sortedArcKeys(full)) {
+		t.Fatal("final checkpoint arc set differs from the uninterrupted run")
+	}
+}

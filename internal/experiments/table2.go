@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -56,7 +57,7 @@ func (c *Context) RunTable2() (*Table2Result, error) {
 		load := c.FO4Load(cell)
 
 		// Golden distribution at the FO4 test point.
-		smp, err := c.Cfg.MCArc(arc, charlib.Reference.Slew, load,
+		smp, err := c.Cfg.MCArc(context.Background(), arc, charlib.Reference.Slew, load,
 			c.Profile.EvalSamples, c.Seed^stdcell.KeyFromString("t2:"+cellName))
 		if err != nil {
 			return nil, err

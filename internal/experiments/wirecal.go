@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -80,7 +81,7 @@ func (c *Context) buildWireStage(driver, load string, treeSeed uint64, inSlew fl
 // measureWireScenario runs the golden MC of a scenario and fills its
 // statistics.
 func (c *Context) measureWireScenario(sc *wireScenario, samples int, seed uint64) error {
-	ss, err := wire.MCStage(c.Cfg, sc.Stage, samples, seed)
+	ss, err := wire.MCStage(context.Background(), c.Cfg, sc.Stage, samples, seed)
 	if err != nil {
 		return fmt.Errorf("scenario %s→%s: %w", sc.Driver, sc.Load, err)
 	}

@@ -137,7 +137,9 @@ func Extract(nl *netlist.Netlist, lib *stdcell.Library, par *Parasitics, pl *Pla
 			if err != nil {
 				return nil, err
 			}
-			attachRoute(t, 0, leafName, lenUm, pc, par)
+			if err := attachRoute(t, 0, leafName, lenUm, pc, par); err != nil {
+				return nil, err
+			}
 		}
 		trees[net] = t
 	}
@@ -146,7 +148,7 @@ func Extract(nl *netlist.Netlist, lib *stdcell.Library, par *Parasitics, pl *Pla
 
 // attachRoute adds a π-ladder of total length lenUm from `from` to a new
 // leaf carrying cap pinCap.
-func attachRoute(t *rctree.Tree, from int, leafName string, lenUm, pinCap float64, par *Parasitics) {
+func attachRoute(t *rctree.Tree, from int, leafName string, lenUm, pinCap float64, par *Parasitics) error {
 	nseg := int(math.Ceil(lenUm / par.MaxSegUm))
 	if nseg < 1 {
 		nseg = 1
@@ -165,12 +167,17 @@ func attachRoute(t *rctree.Tree, from int, leafName string, lenUm, pinCap float6
 		// π-model: half the segment cap at each end; the upstream half
 		// accumulates onto the parent.
 		t.Nodes[cur].C += segC / 2
+		var err error
 		if i == nseg-1 {
-			cur = t.AddNode(name, cur, segR, c)
+			cur, err = t.AddNode(name, cur, segR, c)
 		} else {
-			cur = t.AddNode(name, cur, segR, segC/2)
+			cur, err = t.AddNode(name, cur, segR, segC/2)
+		}
+		if err != nil {
+			return err
 		}
 	}
+	return nil
 }
 
 // LeafFor returns the tree leaf index carrying the given sink's pin, using
@@ -201,7 +208,7 @@ func RandomTree(name string, nSinks int, par *Parasitics, seed uint64) *rctree.T
 	cur := 0
 	for i := 0; i < nTrunk; i++ {
 		segLen := trunkLen / float64(nTrunk)
-		cur = t.AddNode(fmt.Sprintf("t%d", i), cur, par.ROhmPerUm*segLen, par.CfFPerUm*segLen)
+		cur = t.MustAddNode(fmt.Sprintf("t%d", i), cur, par.ROhmPerUm*segLen, par.CfFPerUm*segLen)
 	}
 	trunk := make([]int, 0, len(t.Nodes))
 	for i := range t.Nodes {
@@ -218,7 +225,7 @@ func RandomTree(name string, nSinks int, par *Parasitics, seed uint64) *rctree.T
 			if i == nb-1 {
 				nm = fmt.Sprintf("sink%d", s)
 			}
-			cur = t.AddNode(nm, cur, par.ROhmPerUm*segLen, par.CfFPerUm*segLen)
+			cur = t.MustAddNode(nm, cur, par.ROhmPerUm*segLen, par.CfFPerUm*segLen)
 		}
 	}
 	return t

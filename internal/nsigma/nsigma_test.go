@@ -303,3 +303,31 @@ func TestGaussianQuantileHelper(t *testing.T) {
 		t.Fatalf("GaussianQuantile %v", g)
 	}
 }
+
+func TestFitArcToleratesQuarantinedSamples(t *testing.T) {
+	// Quarantine leaves grid points with slightly-short survivor vectors —
+	// uneven Samples counts across the grid. The fit consumes only the
+	// per-point moments and quantiles, so it must accept such a grid and
+	// produce the same model as the full-count one.
+	full := synthChar()
+	fullModel, err := FitArc(full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	short := synthChar()
+	for i := range short.Grid {
+		// Non-uniform survivor counts, some points several samples short.
+		short.Grid[i].Samples = 1000 - (i*7)%13
+	}
+	shortModel, err := FitArc(short)
+	if err != nil {
+		t.Fatalf("fit rejected a quarantine-degraded grid: %v", err)
+	}
+	for _, n := range []int{-3, 0, 3} {
+		a := fullModel.Quantile(n, 35e-12, 0.8e-15)
+		b := shortModel.Quantile(n, 35e-12, 0.8e-15)
+		if a != b {
+			t.Fatalf("survivor counts changed the fitted model at n=%d: %v vs %v", n, a, b)
+		}
+	}
+}

@@ -36,9 +36,9 @@ func TestEffectiveCapShieldsDistantLoad(t *testing.T) {
 	// Same total cap, but one tree hides it behind 10 kΩ: at fast
 	// transitions the shielded tree must present less load.
 	near := NewTree("near", 0)
-	near.AddNode("a", 0, 1, 5e-15)
+	near.MustAddNode("a", 0, 1, 5e-15)
 	far := NewTree("far", 0)
-	far.AddNode("a", 0, 10e3, 5e-15)
+	far.MustAddNode("a", 0, 10e3, 5e-15)
 	const tr8 = 5e-12
 	if far.EffectiveCap(tr8) >= near.EffectiveCap(tr8) {
 		t.Fatalf("resistive shielding missing: far %v vs near %v",

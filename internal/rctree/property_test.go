@@ -13,7 +13,7 @@ func randomTreeFrom(r *rng.Stream, n int) *Tree {
 	t := NewTree("p", r.Float64()*1e-15)
 	for i := 0; i < n; i++ {
 		parent := r.Intn(len(t.Nodes))
-		t.AddNode("", parent, 10+900*r.Float64(), r.Float64()*3e-15)
+		t.MustAddNode("", parent, 10+900*r.Float64(), r.Float64()*3e-15)
 	}
 	return t
 }

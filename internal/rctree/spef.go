@@ -198,7 +198,10 @@ func assembleTree(net string, caps map[string]float64, edges []resPair) (*Tree, 
 			if _, seen := index[e.b]; seen {
 				continue
 			}
-			idx := t.AddNode(e.b, index[cur], e.r, caps[e.b])
+			idx, err := t.AddNode(e.b, index[cur], e.r, caps[e.b])
+			if err != nil {
+				return nil, err
+			}
 			index[e.b] = idx
 			queue = append(queue, e.b)
 		}

@@ -9,12 +9,12 @@ import (
 
 func sampleTrees() []*Tree {
 	a := NewTree("net_a", 0.05e-15)
-	n1 := a.AddNode("n1", 0, 120, 0.7e-15)
-	a.AddNode("pin:U1:A", n1, 80, 1.3e-15)
-	a.AddNode("pin:U2:B", n1, 95, 0.9e-15)
+	n1 := a.MustAddNode("n1", 0, 120, 0.7e-15)
+	a.MustAddNode("pin:U1:A", n1, 80, 1.3e-15)
+	a.MustAddNode("pin:U2:B", n1, 95, 0.9e-15)
 
 	b := NewTree("net_b", 0)
-	b.AddNode("pin:U3:A", 0, 240, 2.1e-15)
+	b.MustAddNode("pin:U3:A", 0, 240, 2.1e-15)
 	return []*Tree{a, b}
 }
 

@@ -37,17 +37,50 @@ func NewTree(net string, rootCap float64) *Tree {
 	return &Tree{Net: net, Nodes: []TNode{{Name: "root", Parent: -1, C: rootCap}}}
 }
 
+// NodeError is the typed error for malformed tree construction — segment
+// data that can arrive from external input (SPEF files, extracted
+// parasitics) and must therefore be rejected, not panicked on.
+type NodeError struct {
+	Net    string
+	Name   string
+	Reason string
+}
+
+// Error implements error.
+func (e *NodeError) Error() string {
+	return fmt.Sprintf("rctree %s: node %q: %s", e.Net, e.Name, e.Reason)
+}
+
 // AddNode grows the tree: a new node hangs off parent through r ohms and
-// carries c farads. It returns the new node's index.
-func (t *Tree) AddNode(name string, parent int, r, c float64) int {
+// carries c farads. It returns the new node's index, or a *NodeError when
+// the segment is malformed (dangling parent, non-positive resistance,
+// negative capacitance). Trusted programmatic builders may use MustAddNode.
+func (t *Tree) AddNode(name string, parent int, r, c float64) (int, error) {
 	if parent < 0 || parent >= len(t.Nodes) {
-		panic("rctree: AddNode parent out of range")
+		return 0, &NodeError{Net: t.Net, Name: name,
+			Reason: fmt.Sprintf("parent %d out of range [0, %d)", parent, len(t.Nodes))}
 	}
 	if r <= 0 {
-		panic("rctree: segment resistance must be positive")
+		return 0, &NodeError{Net: t.Net, Name: name,
+			Reason: fmt.Sprintf("segment resistance %g must be positive", r)}
+	}
+	if c < 0 {
+		return 0, &NodeError{Net: t.Net, Name: name,
+			Reason: fmt.Sprintf("negative capacitance %g", c)}
 	}
 	t.Nodes = append(t.Nodes, TNode{Name: name, Parent: parent, R: r, C: c})
-	return len(t.Nodes) - 1
+	return len(t.Nodes) - 1, nil
+}
+
+// MustAddNode is AddNode for programmatic builders whose inputs are correct
+// by construction (generators, tests); it panics on a malformed segment,
+// which there is a programmer error rather than bad input.
+func (t *Tree) MustAddNode(name string, parent int, r, c float64) int {
+	i, err := t.AddNode(name, parent, r, c)
+	if err != nil {
+		panic(err)
+	}
+	return i
 }
 
 // Root returns the root index (always 0).

@@ -1,6 +1,7 @@
 package rctree
 
 import (
+	"errors"
 	"math"
 	"testing"
 
@@ -10,8 +11,8 @@ import (
 // ladder builds root -R1- n1 -R2- n2 with caps c1, c2.
 func ladder(r1, c1, r2, c2 float64) (*Tree, int, int) {
 	t := NewTree("lad", 0)
-	n1 := t.AddNode("n1", 0, r1, c1)
-	n2 := t.AddNode("n2", n1, r2, c2)
+	n1 := t.MustAddNode("n1", 0, r1, c1)
+	n2 := t.MustAddNode("n2", n1, r2, c2)
 	return t, n1, n2
 }
 
@@ -33,8 +34,8 @@ func TestElmoreBranchShielding(t *testing.T) {
 	// A side branch off the root must contribute its cap only through the
 	// shared path (none, for a root branch).
 	tr := NewTree("b", 0)
-	a := tr.AddNode("a", 0, 100, 1e-15)
-	side := tr.AddNode("side", 0, 500, 10e-15)
+	a := tr.MustAddNode("a", 0, 100, 1e-15)
+	side := tr.MustAddNode("side", 0, 500, 10e-15)
 	_ = side
 	if got, want := tr.Elmore(a), 100*1e-15; math.Abs(got-want) > 1e-25 {
 		t.Fatalf("side branch leaked into Elmore: %v want %v", got, want)
@@ -44,7 +45,7 @@ func TestElmoreBranchShielding(t *testing.T) {
 func TestSecondMomentSinglePole(t *testing.T) {
 	// One-pole RC: m1 = RC, m2 = (RC)² — D2M = ln2·RC (exact 50% delay).
 	tr := NewTree("p", 0)
-	n := tr.AddNode("n", 0, 1000, 1e-15)
+	n := tr.MustAddNode("n", 0, 1000, 1e-15)
 	rc := 1000 * 1e-15
 	if got := tr.Elmore(n); math.Abs(got-rc) > 1e-25 {
 		t.Fatalf("m1 %v", got)
@@ -66,9 +67,9 @@ func TestD2MBelowElmoreOnLadders(t *testing.T) {
 
 func TestLeaves(t *testing.T) {
 	tr := NewTree("l", 0)
-	a := tr.AddNode("a", 0, 1, 0)
-	b := tr.AddNode("b", a, 1, 0)
-	c := tr.AddNode("c", a, 1, 0)
+	a := tr.MustAddNode("a", 0, 1, 0)
+	b := tr.MustAddNode("b", a, 1, 0)
+	c := tr.MustAddNode("c", a, 1, 0)
 	leaves := tr.Leaves()
 	if len(leaves) != 2 || leaves[0] != b || leaves[1] != c {
 		t.Fatalf("leaves %v", leaves)
@@ -105,10 +106,22 @@ func TestValidate(t *testing.T) {
 	}
 }
 
-func TestAddNodePanics(t *testing.T) {
+func TestAddNodeErrors(t *testing.T) {
 	tr := NewTree("p", 0)
-	mustPanic(t, func() { tr.AddNode("x", 5, 1, 0) })
-	mustPanic(t, func() { tr.AddNode("x", 0, 0, 0) })
+	var nodeErr *NodeError
+	if _, err := tr.AddNode("x", 5, 1, 0); !errors.As(err, &nodeErr) {
+		t.Fatalf("dangling parent: got %v, want *NodeError", err)
+	}
+	if _, err := tr.AddNode("x", 0, 0, 0); !errors.As(err, &nodeErr) {
+		t.Fatalf("zero resistance: got %v, want *NodeError", err)
+	}
+	if _, err := tr.AddNode("x", 0, 1, -1e-15); !errors.As(err, &nodeErr) {
+		t.Fatalf("negative cap: got %v, want *NodeError", err)
+	}
+	if len(tr.Nodes) != 1 {
+		t.Fatalf("failed AddNode mutated the tree: %d nodes", len(tr.Nodes))
+	}
+	mustPanic(t, func() { tr.MustAddNode("x", 5, 1, 0) })
 }
 
 func TestCloneIndependent(t *testing.T) {

@@ -1,0 +1,211 @@
+// Package resilience is the fault-tolerance layer of the characterisation
+// and STA pipeline. The paper's flow spends hours of Monte-Carlo transient
+// simulation per library; hierarchical statistical STA treats every arc (and
+// every sample within it) as an independently recomputable unit, which is
+// exactly the granularity at which this package isolates faults:
+//
+//   - a typed error taxonomy (Class) classifying solver and measurement
+//     failures, so callers can distinguish a non-converging sample from a
+//     malformed netlist;
+//   - panic capture (Safely) at worker boundaries, turning solver-stack
+//     panics into classified errors instead of killing the process;
+//   - a bounded RetryPolicy generalising the ad-hoc window-widening loop of
+//     charlib.MeasureArcOnce (fresh RNG sub-stream perturbation plus
+//     exponential simulation-window backoff);
+//   - a quarantine budget (BudgetError) bounding how many samples a run may
+//     drop before the result is declared unusable;
+//   - a structured run Report (per-arc retries, quarantined samples,
+//     degraded grid points, wall time) surfaced by the characterisation
+//     commands.
+package resilience
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime/debug"
+
+	"repro/internal/circuit"
+	"repro/internal/linalg"
+	"repro/internal/waveform"
+)
+
+// Class partitions pipeline failures by cause. The zero value is
+// ClassUnknown.
+type Class int
+
+// Failure classes, ordered roughly from "transient, retry may help" to
+// "structural, retrying is pointless".
+const (
+	// ClassUnknown is any failure the taxonomy does not recognise.
+	ClassUnknown Class = iota
+	// ClassConvergence: the Newton/transient solver did not converge
+	// (circuit.ErrNoConvergence). Usually sample-specific; retry with a
+	// perturbed sub-stream and wider window often succeeds.
+	ClassConvergence
+	// ClassNonSettle: the transient ran but the output never reached its
+	// rail inside the simulation window. Retried with a wider window.
+	ClassNonSettle
+	// ClassMeasurement: the waveform never crossed a measurement level
+	// (waveform.ErrNoCrossing) or a .MEASURE-style extraction failed.
+	ClassMeasurement
+	// ClassSingular: a linear solve met a (numerically) singular matrix
+	// (linalg.ErrSingular).
+	ClassSingular
+	// ClassPanic: a panic recovered at a worker boundary.
+	ClassPanic
+	// ClassCanceled: the run was canceled or timed out via its context.
+	ClassCanceled
+	// ClassBudget: the quarantine budget (MaxFailFraction) was exceeded.
+	ClassBudget
+	// ClassInput: malformed input (netlist, parasitics, configuration)
+	// rejected at a package API boundary. Never retried.
+	ClassInput
+)
+
+// String implements fmt.Stringer.
+func (c Class) String() string {
+	switch c {
+	case ClassConvergence:
+		return "convergence"
+	case ClassNonSettle:
+		return "non-settle"
+	case ClassMeasurement:
+		return "measurement"
+	case ClassSingular:
+		return "singular-matrix"
+	case ClassPanic:
+		return "panic"
+	case ClassCanceled:
+		return "canceled"
+	case ClassBudget:
+		return "budget-exceeded"
+	case ClassInput:
+		return "bad-input"
+	default:
+		return "unknown"
+	}
+}
+
+// Retryable reports whether a failure of this class may succeed on a
+// retried attempt (with a perturbed sub-stream and/or wider window).
+func (c Class) Retryable() bool {
+	switch c {
+	case ClassConvergence, ClassNonSettle, ClassMeasurement, ClassSingular:
+		return true
+	}
+	return false
+}
+
+// ErrNonSettle is the sentinel for transients that ran to completion but
+// whose output never settled to its rail; charlib wraps it per arc.
+var ErrNonSettle = errors.New("resilience: output did not settle within the simulation window")
+
+// Error is a classified pipeline failure. It wraps the underlying cause, so
+// errors.Is/As still see the original sentinel.
+type Error struct {
+	Class Class
+	// Op names the failing operation ("mc sample 17", "transient", ...).
+	Op  string
+	Err error
+}
+
+// Error implements error.
+func (e *Error) Error() string {
+	if e.Err == nil {
+		return fmt.Sprintf("resilience: %s: %s", e.Op, e.Class)
+	}
+	return fmt.Sprintf("resilience: %s [%s]: %v", e.Op, e.Class, e.Err)
+}
+
+// Unwrap exposes the cause.
+func (e *Error) Unwrap() error { return e.Err }
+
+// Classify maps an arbitrary pipeline error onto the taxonomy. A nil error
+// classifies as ClassUnknown.
+func Classify(err error) Class {
+	switch {
+	case err == nil:
+		return ClassUnknown
+	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+		return ClassCanceled
+	case errors.Is(err, circuit.ErrNoConvergence):
+		return ClassConvergence
+	case errors.Is(err, ErrNonSettle):
+		return ClassNonSettle
+	case errors.Is(err, linalg.ErrSingular):
+		return ClassSingular
+	case errors.Is(err, waveform.ErrNoCrossing):
+		return ClassMeasurement
+	}
+	var ce *Error
+	if errors.As(err, &ce) {
+		return ce.Class
+	}
+	var be *BudgetError
+	if errors.As(err, &be) {
+		return ClassBudget
+	}
+	return ClassUnknown
+}
+
+// Wrap classifies err and wraps it as a *Error. A nil err returns nil; an
+// already-classified error is re-labelled with op but keeps its class.
+func Wrap(op string, err error) error {
+	if err == nil {
+		return nil
+	}
+	return &Error{Class: Classify(err), Op: op, Err: err}
+}
+
+// WrapClass wraps err with an explicit class (used when the caller knows
+// better than the taxonomy, e.g. at input-validation boundaries).
+func WrapClass(class Class, op string, err error) error {
+	if err == nil {
+		return nil
+	}
+	return &Error{Class: class, Op: op, Err: err}
+}
+
+// PanicError carries a recovered panic value and its stack.
+type PanicError struct {
+	Value any
+	Stack []byte
+}
+
+// Error implements error.
+func (p *PanicError) Error() string {
+	return fmt.Sprintf("recovered panic: %v", p.Value)
+}
+
+// Safely runs fn, converting a panic into a ClassPanic *Error. The solver
+// stack (linalg, circuit, rctree) panics only on programmer-error
+// invariants, but a long characterisation run must degrade one sample, not
+// lose hours of work, when such an invariant trips on an exotic operating
+// point.
+func Safely(op string, fn func() error) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = &Error{
+				Class: ClassPanic,
+				Op:    op,
+				Err:   &PanicError{Value: r, Stack: debug.Stack()},
+			}
+		}
+	}()
+	return fn()
+}
+
+// BudgetError reports that quarantined samples exceeded the configured
+// MaxFailFraction budget.
+type BudgetError struct {
+	Op              string
+	Failed, Total   int
+	MaxFailFraction float64
+}
+
+// Error implements error.
+func (b *BudgetError) Error() string {
+	return fmt.Sprintf("resilience: %s: %d of %d samples failed, exceeding the quarantine budget (max fail fraction %.3g)",
+		b.Op, b.Failed, b.Total, b.MaxFailFraction)
+}

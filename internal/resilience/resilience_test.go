@@ -1,0 +1,170 @@
+package resilience
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/circuit"
+	"repro/internal/linalg"
+	"repro/internal/waveform"
+)
+
+func TestClassify(t *testing.T) {
+	cases := []struct {
+		err  error
+		want Class
+	}{
+		{nil, ClassUnknown},
+		{errors.New("mystery"), ClassUnknown},
+		{circuit.ErrNoConvergence, ClassConvergence},
+		{fmt.Errorf("t=1e-12: %w", circuit.ErrNoConvergence), ClassConvergence},
+		{linalg.ErrSingular, ClassSingular},
+		{waveform.ErrNoCrossing, ClassMeasurement},
+		{ErrNonSettle, ClassNonSettle},
+		{context.Canceled, ClassCanceled},
+		{fmt.Errorf("wrap: %w", context.DeadlineExceeded), ClassCanceled},
+		{&BudgetError{Failed: 3, Total: 10, MaxFailFraction: 0.1}, ClassBudget},
+		{Wrap("op", circuit.ErrNoConvergence), ClassConvergence},
+		{WrapClass(ClassInput, "parse", errors.New("bad netlist")), ClassInput},
+	}
+	for i, c := range cases {
+		if got := Classify(c.err); got != c.want {
+			t.Errorf("case %d: Classify(%v) = %v, want %v", i, c.err, got, c.want)
+		}
+	}
+}
+
+func TestWrapPreservesSentinel(t *testing.T) {
+	err := Wrap("sample 3", fmt.Errorf("newton: %w", circuit.ErrNoConvergence))
+	if !errors.Is(err, circuit.ErrNoConvergence) {
+		t.Fatal("Wrap must keep the underlying sentinel visible to errors.Is")
+	}
+	var ce *Error
+	if !errors.As(err, &ce) || ce.Class != ClassConvergence || ce.Op != "sample 3" {
+		t.Fatalf("unexpected classified error: %+v", ce)
+	}
+	if Wrap("op", nil) != nil {
+		t.Fatal("Wrap(nil) must be nil")
+	}
+}
+
+func TestSafelyCapturesPanic(t *testing.T) {
+	err := Safely("worker", func() error { panic("index out of range") })
+	if Classify(err) != ClassPanic {
+		t.Fatalf("want ClassPanic, got %v (%v)", Classify(err), err)
+	}
+	var pe *PanicError
+	if !errors.As(err, &pe) {
+		t.Fatal("want a *PanicError in the chain")
+	}
+	if pe.Value != "index out of range" || len(pe.Stack) == 0 {
+		t.Fatalf("panic payload not captured: %+v", pe.Value)
+	}
+	if err := Safely("ok", func() error { return nil }); err != nil {
+		t.Fatalf("Safely over a clean fn must be nil, got %v", err)
+	}
+	wrapped := errors.New("boom")
+	if err := Safely("fwd", func() error { return wrapped }); !errors.Is(err, wrapped) {
+		t.Fatalf("Safely must forward plain errors, got %v", err)
+	}
+}
+
+func TestRetryPolicyDefaultsAndBackoff(t *testing.T) {
+	var p RetryPolicy // zero value: inherit defaults
+	if p.Attempts() != 4 {
+		t.Fatalf("default attempts = %d, want 4", p.Attempts())
+	}
+	for k, want := range []float64{1, 3, 9, 27} {
+		if got := p.WindowScale(k); got != want {
+			t.Fatalf("WindowScale(%d) = %g, want %g", k, got, want)
+		}
+	}
+	if p.RNGLabel(0) != 0 {
+		t.Fatal("first attempt must use the canonical sub-stream")
+	}
+	q := RetryPolicy{MaxAttempts: 2, WindowBackoff: 5, PerturbRNG: true}
+	if q.Attempts() != 2 || q.WindowScale(2) != 25 {
+		t.Fatalf("explicit policy not honoured: %d %g", q.Attempts(), q.WindowScale(2))
+	}
+	if q.RNGLabel(1) == 0 || q.RNGLabel(1) == q.RNGLabel(2) {
+		t.Fatal("retry labels must be distinct and non-zero")
+	}
+	noPerturb := RetryPolicy{PerturbRNG: false}
+	if noPerturb.RNGLabel(3) != 0 {
+		t.Fatal("PerturbRNG=false must keep the canonical sub-stream")
+	}
+}
+
+func TestRetryableClasses(t *testing.T) {
+	for _, c := range []Class{ClassConvergence, ClassNonSettle, ClassMeasurement, ClassSingular} {
+		if !c.Retryable() {
+			t.Errorf("%v must be retryable", c)
+		}
+	}
+	for _, c := range []Class{ClassUnknown, ClassPanic, ClassCanceled, ClassBudget, ClassInput} {
+		if c.Retryable() {
+			t.Errorf("%v must not be retryable", c)
+		}
+	}
+}
+
+func TestReportAggregation(t *testing.T) {
+	r := &Report{}
+	a := &ArcReport{Arc: "INVx1/A/rise", Wall: 3 * time.Second}
+	a.AddPoint(PointReport{Slew: 1e-11, Load: 4e-16, Samples: 100, Survivors: 100})
+	a.AddPoint(PointReport{Slew: 1e-11, Load: 1e-15, Samples: 100, Survivors: 98,
+		Retried:     1,
+		Quarantined: []SampleFailure{{Index: 3, Attempts: 4, Class: ClassConvergence}, {Index: 9, Attempts: 4, Class: ClassPanic}}})
+	r.AddArc(a)
+	r.AddArc(&ArcReport{Arc: "INVx1/A/fall", Skipped: true})
+
+	chars, skipped, retried, quarantined, degraded := r.Totals()
+	if chars != 1 || skipped != 1 || retried != 1 || quarantined != 2 || degraded != 1 {
+		t.Fatalf("Totals = %d %d %d %d %d", chars, skipped, retried, quarantined, degraded)
+	}
+	s := r.Summary()
+	for _, want := range []string{"1 arcs characterized", "1 resumed", "2 quarantined", "1 degraded", "INVx1/A/rise"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("summary %q missing %q", s, want)
+		}
+	}
+	// Clean points must not be persisted per-point.
+	if len(a.Points) != 1 {
+		t.Fatalf("only degraded/retried points should be retained, got %d", len(a.Points))
+	}
+}
+
+func TestReportJSONRoundTrip(t *testing.T) {
+	r := &Report{}
+	r.AddArc(&ArcReport{Arc: "NAND2x1/B/rise", Quarantined: 1,
+		Points: []PointReport{{Samples: 10, Survivors: 9,
+			Quarantined: []SampleFailure{{Index: 7, Attempts: 4, Class: ClassNonSettle, Err: "did not settle"}}}}})
+	b, err := json.Marshal(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(b), `"non-settle"`) {
+		t.Fatalf("Class must serialise by name: %s", b)
+	}
+	var back Report
+	if err := json.Unmarshal(b, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Arcs[0].Points[0].Quarantined[0].Class != ClassNonSettle {
+		t.Fatalf("class did not round-trip: %+v", back.Arcs[0])
+	}
+}
+
+func TestBudgetErrorMessage(t *testing.T) {
+	err := &BudgetError{Op: "INVx1/A (rise in)", Failed: 7, Total: 100, MaxFailFraction: 0.05}
+	for _, want := range []string{"7 of 100", "0.05"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("budget error %q missing %q", err.Error(), want)
+		}
+	}
+}

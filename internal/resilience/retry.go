@@ -1,0 +1,56 @@
+package resilience
+
+// RetryPolicy bounds how a failed Monte-Carlo sample is re-attempted. It
+// generalises the ad-hoc `window *= 3` loop that used to live inside
+// charlib.MeasureArcOnce: attempt k runs with the simulation window scaled
+// by WindowBackoff^k, and (for variation samples) a fresh RNG sub-stream
+// derived from the attempt number, so a pathological variate draw is
+// re-rolled rather than replayed.
+type RetryPolicy struct {
+	// MaxAttempts is the total number of attempts including the first
+	// (<= 0 means DefaultRetryPolicy.MaxAttempts).
+	MaxAttempts int
+	// WindowBackoff multiplies the simulation window on every retry
+	// (<= 1 means DefaultRetryPolicy.WindowBackoff).
+	WindowBackoff float64
+	// PerturbRNG re-derives the sample's variation sub-stream per attempt.
+	// The first attempt always uses the canonical sub-stream so successful
+	// samples stay bit-reproducible; retries mix in the attempt number.
+	PerturbRNG bool
+}
+
+// DefaultRetryPolicy matches the historical behaviour of MeasureArcOnce
+// (four attempts, 3x window growth) plus RNG perturbation on retries.
+var DefaultRetryPolicy = RetryPolicy{MaxAttempts: 4, WindowBackoff: 3, PerturbRNG: true}
+
+// Attempts returns the effective attempt bound.
+func (p RetryPolicy) Attempts() int {
+	if p.MaxAttempts <= 0 {
+		return DefaultRetryPolicy.MaxAttempts
+	}
+	return p.MaxAttempts
+}
+
+// WindowScale returns the simulation-window multiplier of attempt k
+// (0-based): WindowBackoff^k.
+func (p RetryPolicy) WindowScale(attempt int) float64 {
+	b := p.WindowBackoff
+	if b <= 1 {
+		b = DefaultRetryPolicy.WindowBackoff
+	}
+	s := 1.0
+	for i := 0; i < attempt; i++ {
+		s *= b
+	}
+	return s
+}
+
+// RNGLabel returns the sub-stream split label of attempt k: 0 for the
+// canonical first attempt, a distinct non-zero label per retry when
+// perturbation is enabled.
+func (p RetryPolicy) RNGLabel(attempt int) uint64 {
+	if attempt == 0 || !p.PerturbRNG {
+		return 0
+	}
+	return 0xa5a5_0000 + uint64(attempt)
+}

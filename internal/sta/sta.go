@@ -6,11 +6,13 @@
 package sta
 
 import (
+	"context"
 	"fmt"
 	"math"
 
 	"repro/internal/netlist"
 	"repro/internal/rctree"
+	"repro/internal/resilience"
 	"repro/internal/stats"
 	"repro/internal/timinglib"
 	"repro/internal/waveform"
@@ -172,13 +174,23 @@ func edgeIdx(e waveform.Edge) int {
 
 // Analyze times the whole design and extracts the critical path.
 func (t *Timer) Analyze() (*Result, error) {
-	res, _, err := t.analyzeInternal()
+	return t.AnalyzeContext(context.Background())
+}
+
+// AnalyzeContext is Analyze under a cancelable context: cancellation (or a
+// deadline) stops the propagation between gates and returns a classified
+// error, so a long analysis of a large design can be aborted promptly.
+func (t *Timer) AnalyzeContext(ctx context.Context) (*Result, error) {
+	res, _, err := t.analyzeInternal(ctx)
 	return res, err
 }
 
 // analyzeInternal runs the propagation and also returns the per-net state
 // so callers (AnalyzeTopPaths) can backtrack additional paths.
-func (t *Timer) analyzeInternal() (*Result, map[string]*[2]netState, error) {
+func (t *Timer) analyzeInternal(ctx context.Context) (*Result, map[string]*[2]netState, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	order, err := t.nl.Levelize()
 	if err != nil {
 		return nil, nil, err
@@ -206,7 +218,18 @@ func (t *Timer) analyzeInternal() (*Result, map[string]*[2]netState, error) {
 	}
 
 	res := &Result{}
+	// Cancellation granularity: every 64 gates (and before the first).
+	// Gate evaluation is cheap LUT lookups, so this bounds cancel latency
+	// without a branch-heavy hot loop.
+	checkEvery := 1
 	for _, gi := range order {
+		checkEvery--
+		if checkEvery <= 0 {
+			checkEvery = 64
+			if err := ctx.Err(); err != nil {
+				return nil, nil, resilience.Wrap("sta: analyze", err)
+			}
+		}
 		g := &t.nl.Gates[gi]
 		out := g.Output()
 		tree := t.trees[out]

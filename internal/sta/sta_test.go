@@ -1,6 +1,8 @@
 package sta
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"math"
 	"testing"
@@ -103,7 +105,7 @@ func flatTrees(nl *netlist.Netlist, lib *timinglib.File) map[string]*rctree.Tree
 				name = fmt.Sprintf("pin:PO%d", si)
 				pc = 0.8e-15
 			}
-			t.AddNode(name, 0, 50, 0.2e-15+pc)
+			t.MustAddNode(name, 0, 50, 0.2e-15+pc)
 		}
 		out[net] = t
 	}
@@ -307,4 +309,17 @@ func TestPadDriverSlewAtInputs(t *testing.T) {
 		t.Fatalf("PI root slew %v, want the pad driver's 15 ps", first.OutSlew)
 	}
 	_ = trees
+}
+
+func TestAnalyzeContextCancellation(t *testing.T) {
+	timer, _, _ := newTestTimer(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // canceled before analysis starts
+	if _, err := timer.AnalyzeContext(ctx); !errors.Is(err, context.Canceled) {
+		t.Fatalf("got %v, want a wrapped context.Canceled", err)
+	}
+	// The timer stays usable after a canceled run.
+	if _, err := timer.Analyze(); err != nil {
+		t.Fatalf("analysis after cancellation: %v", err)
+	}
 }

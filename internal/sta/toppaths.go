@@ -1,6 +1,7 @@
 package sta
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -13,10 +14,15 @@ import (
 // the `report_timing -max_paths k` view. The first returned path is the
 // critical path of Analyze.
 func (t *Timer) AnalyzeTopPaths(k int) (*Result, []*Path, error) {
+	return t.AnalyzeTopPathsContext(context.Background(), k)
+}
+
+// AnalyzeTopPathsContext is AnalyzeTopPaths under a cancelable context.
+func (t *Timer) AnalyzeTopPathsContext(ctx context.Context, k int) (*Result, []*Path, error) {
 	if k <= 0 {
 		return nil, nil, fmt.Errorf("sta: k must be positive")
 	}
-	res, state, err := t.analyze()
+	res, state, err := t.analyze(ctx)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -58,7 +64,7 @@ func (t *Timer) AnalyzeTopPaths(k int) (*Result, []*Path, error) {
 
 // analyze is the shared implementation behind Analyze and AnalyzeTopPaths,
 // returning the propagated state for further backtracking.
-func (t *Timer) analyze() (*Result, map[string]*[2]netState, error) {
-	res, state, err := t.analyzeInternal()
+func (t *Timer) analyze(ctx context.Context) (*Result, map[string]*[2]netState, error) {
+	res, state, err := t.analyzeInternal(ctx)
 	return res, state, err
 }

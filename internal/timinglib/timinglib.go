@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 
 	"repro/internal/nsigma"
 	"repro/internal/stdcell"
@@ -31,12 +32,24 @@ type CellInfo struct {
 	OutputCap float64            `json:"outputCap"`
 }
 
+// Checkpoint identifies a (possibly partial) characterisation run, so a
+// resumed run can verify it is continuing compatible work. Complete is set
+// once every arc is fitted and the wire calibration is present.
+type Checkpoint struct {
+	Profile  string `json:"profile,omitempty"`
+	Seed     uint64 `json:"seed"`
+	Complete bool   `json:"complete"`
+}
+
 // File is the coefficients file.
 type File struct {
 	Vdd   float64                     `json:"vdd"`
 	Arcs  map[string]*nsigma.ArcModel `json:"arcs"` // key: ArcKey
 	Wire  *wire.Calibration           `json:"wire,omitempty"`
 	Cells map[string]*CellInfo        `json:"cells"`
+	// Checkpoint is present on files written by fault-tolerant
+	// characterisation runs; nil on hand-built or pre-checkpoint files.
+	Checkpoint *Checkpoint `json:"checkpoint,omitempty"`
 }
 
 // ArcKey composes the map key of a timing arc.
@@ -122,17 +135,30 @@ func Read(r io.Reader) (*File, error) {
 	return &f, nil
 }
 
-// Save writes the file to path.
+// Save writes the file to path crash-safely: the document is written to a
+// temporary file in the same directory, synced, and renamed into place, so
+// a run killed mid-write never leaves a truncated or corrupt coefficients
+// file behind — the previous version (if any) survives intact. This is
+// what makes periodic characterisation checkpoints safe.
 func (f *File) Save(path string) error {
-	fh, err := os.Create(path)
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
 	if err != nil {
 		return err
 	}
-	defer fh.Close()
-	if err := f.Write(fh); err != nil {
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	if err := f.Write(tmp); err != nil {
+		tmp.Close()
 		return err
 	}
-	return fh.Close()
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
 }
 
 // Load reads the file at path.

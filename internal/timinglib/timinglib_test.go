@@ -2,6 +2,7 @@ package timinglib
 
 import (
 	"bytes"
+	"os"
 	"path/filepath"
 	"reflect"
 	"testing"
@@ -131,5 +132,72 @@ func TestReadRejectsGarbage(t *testing.T) {
 	}
 	if _, err := Read(bytes.NewBufferString(`{"vdd":0.6}`)); err == nil {
 		t.Fatal("missing sections accepted")
+	}
+}
+
+func TestSaveOverwritesPartialWrite(t *testing.T) {
+	// A crashed earlier run may have left a truncated or corrupt document at
+	// the target path. Atomic Save must replace it wholesale so the next
+	// Load round-trips cleanly, and must leave no temp files behind.
+	dir := t.TempDir()
+	path := filepath.Join(dir, "coeffs.json")
+	f := sampleFile()
+	var buf bytes.Buffer
+	if err := f.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	truncated := buf.Bytes()[:buf.Len()/2]
+	if err := os.WriteFile(path, truncated, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(path); err == nil {
+		t.Fatal("truncated file unexpectedly parsed — test premise broken")
+	}
+
+	f.Checkpoint = &Checkpoint{Profile: "standard", Seed: 77}
+	if err := f.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(path)
+	if err != nil {
+		t.Fatalf("load after overwriting partial write: %v", err)
+	}
+	if len(got.Arcs) != len(f.Arcs) || got.Vdd != f.Vdd {
+		t.Fatal("round-trip after partial write lost data")
+	}
+	if !reflect.DeepEqual(got.Checkpoint, f.Checkpoint) {
+		t.Fatalf("checkpoint metadata %+v did not round-trip", got.Checkpoint)
+	}
+
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 || entries[0].Name() != "coeffs.json" {
+		names := make([]string, len(entries))
+		for i, e := range entries {
+			names[i] = e.Name()
+		}
+		t.Fatalf("stray files after Save: %v", names)
+	}
+}
+
+func TestSaveFailureLeavesOriginalIntact(t *testing.T) {
+	// If Save cannot complete (unwritable directory), any pre-existing file
+	// must survive untouched.
+	dir := t.TempDir()
+	path := filepath.Join(dir, "coeffs.json")
+	if err := sampleFile().Save(path); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Chmod(dir, 0o555); err != nil {
+		t.Fatal(err)
+	}
+	defer os.Chmod(dir, 0o755)
+	if err := sampleFile().Save(path); err == nil {
+		t.Skip("directory still writable (running as root?)")
+	}
+	if _, err := Load(path); err != nil {
+		t.Fatalf("failed Save corrupted the original: %v", err)
 	}
 }

@@ -11,12 +11,14 @@
 package wire
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
 	"repro/internal/charlib"
 	"repro/internal/circuit"
 	"repro/internal/rctree"
+	"repro/internal/resilience"
 	"repro/internal/rng"
 	"repro/internal/stdcell"
 	"repro/internal/waveform"
@@ -268,8 +270,16 @@ func measureStageWaveforms(cfg *charlib.Config, res *circuit.Result, searchFrom,
 }
 
 // MCStage runs n Monte-Carlo samples of a stage, deterministically in the
-// sample index regardless of worker count.
-func MCStage(cfg *charlib.Config, st *Stage, n int, seed uint64) (*StageSamples, error) {
+// sample index regardless of worker count. The first sample failure (or a
+// context cancellation) stops all workers promptly instead of letting them
+// keep burning CPU on a doomed run, and worker panics surface as classified
+// errors rather than killing the process.
+func MCStage(ctx context.Context, cfg *charlib.Config, st *Stage, n int, seed uint64) (*StageSamples, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	runCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
 	out := &StageSamples{
 		Cell: make([]float64, n),
 		Wire: make([]float64, n),
@@ -287,21 +297,37 @@ func MCStage(cfg *charlib.Config, st *Stage, n int, seed uint64) (*StageSamples,
 		next <- i
 	}
 	close(next)
-	errCh := make(chan error, workers)
+	var (
+		mu       sync.Mutex
+		firstErr error
+	)
+	fatal := func(err error) {
+		mu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		mu.Unlock()
+		cancel()
+	}
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			for i := range next {
-				r := base.At(i)
-				ctx := &stdcell.SampleCtx{Model: cfg.Var, Corner: cfg.Var.SampleCorner(r), Base: r}
-				s, err := MeasureStageOnce(cfg, st, ctx)
+				if runCtx.Err() != nil {
+					return
+				}
+				var s StageSample
+				err := resilience.Safely(fmt.Sprintf("stage sample %d", i), func() error {
+					r := base.At(i)
+					sctx := &stdcell.SampleCtx{Model: cfg.Var, Corner: cfg.Var.SampleCorner(r), Base: r}
+					var merr error
+					s, merr = MeasureStageOnce(cfg, st, sctx)
+					return merr
+				})
 				if err != nil {
-					select {
-					case errCh <- fmt.Errorf("sample %d: %w", i, err):
-					default:
-					}
+					fatal(resilience.Wrap(fmt.Sprintf("wire: sample %d", i), err))
 					return
 				}
 				out.Cell[i] = s.CellDelay
@@ -311,10 +337,11 @@ func MCStage(cfg *charlib.Config, st *Stage, n int, seed uint64) (*StageSamples,
 		}()
 	}
 	wg.Wait()
-	select {
-	case err := <-errCh:
-		return nil, err
-	default:
+	if err := ctx.Err(); err != nil {
+		return nil, resilience.Wrap("wire: stage Monte-Carlo", err)
+	}
+	if firstErr != nil {
+		return nil, firstErr
 	}
 	return out, nil
 }

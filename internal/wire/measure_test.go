@@ -1,6 +1,7 @@
 package wire
 
 import (
+	"context"
 	"math"
 	"reflect"
 	"testing"
@@ -21,8 +22,8 @@ func smallCfg() *charlib.Config {
 
 func demoStage() *Stage {
 	t := rctree.NewTree("n", 0.1e-15)
-	a := t.AddNode("a", 0, 300, 0.6e-15)
-	b := t.AddNode("b", a, 400, 0.9e-15)
+	a := t.MustAddNode("a", 0, 300, 0.6e-15)
+	b := t.MustAddNode("b", a, 400, 0.9e-15)
 	return &Stage{
 		Driver: "INVx2", DriverPin: "A", InEdge: waveform.Rising, InSlew: 20e-12,
 		Tree:  t,
@@ -99,7 +100,7 @@ func TestMCStageDeterministicAcrossWorkers(t *testing.T) {
 	run := func(workers int) *StageSamples {
 		cfg := smallCfg()
 		cfg.Workers = workers
-		ss, err := MCStage(cfg, st, 12, 5)
+		ss, err := MCStage(context.Background(), cfg, st, 12, 5)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -159,7 +160,7 @@ func TestVariabilityTrendsWithLoadStrength(t *testing.T) {
 	xw := func(load string) float64 {
 		st := demoStage()
 		st.Loads[0].Cell = load
-		ss, err := MCStage(cfg, st, 400, 77)
+		ss, err := MCStage(context.Background(), cfg, st, 400, 77)
 		if err != nil {
 			t.Fatal(err)
 		}

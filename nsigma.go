@@ -21,6 +21,8 @@
 package repro
 
 import (
+	"context"
+
 	"repro/internal/charlib"
 	"repro/internal/circuits"
 	"repro/internal/device"
@@ -84,7 +86,14 @@ func DefaultConfig() *CharConfig { return charlib.DefaultConfig() }
 // CharacterizeArc runs Monte-Carlo characterisation of one arc over the
 // given slew/load axes with n samples per grid point.
 func CharacterizeArc(cfg *CharConfig, arc Arc, slews, loads []float64, n int, seed uint64) (*ArcChar, error) {
-	return cfg.CharacterizeArc(arc, slews, loads, n, seed)
+	return cfg.CharacterizeArc(context.Background(), arc, slews, loads, n, seed)
+}
+
+// CharacterizeArcContext is CharacterizeArc under a cancelable context:
+// canceling ctx aborts the Monte-Carlo run promptly with a wrapped
+// context error.
+func CharacterizeArcContext(ctx context.Context, cfg *CharConfig, arc Arc, slews, loads []float64, n int, seed uint64) (*ArcChar, error) {
+	return cfg.CharacterizeArc(ctx, arc, slews, loads, n, seed)
 }
 
 // FitArc fits the N-sigma model (moment LUT, Table-I quantile coefficients,
