@@ -25,6 +25,8 @@ import (
 
 	"repro/internal/experiments"
 	"repro/internal/liberty"
+	"repro/internal/profiling"
+	"repro/internal/resilience"
 	"repro/internal/timinglib"
 )
 
@@ -39,8 +41,26 @@ func main() {
 		ckptEvery   = flag.Int("checkpoint-every", 4, "checkpoint the output file every N fitted arcs (0 disables)")
 		maxFailFrac = flag.Float64("max-fail-frac", 0, "max quarantined sample fraction per grid point (0 = default 2%, negative disables quarantine)")
 		timeout     = flag.Duration("timeout", 0, "abort the run after this long (0 = no limit)")
+		cpuProfile  = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProfile  = flag.String("memprofile", "", "write a heap profile to this file at exit")
+		benchJSON   = flag.String("bench-json", "", "write phase wall times and allocation totals as JSON to this file")
 	)
 	flag.Parse()
+
+	var err error
+	prof, err = profiling.Start(*cpuProfile, *memProfile)
+	if err != nil {
+		fatal(err)
+	}
+	defer func() {
+		if err := prof.Stop(); err != nil {
+			fmt.Fprintln(os.Stderr, "characterize:", err)
+		}
+	}()
+	var bench *profiling.Report
+	if *benchJSON != "" {
+		bench = profiling.NewReport("characterize")
+	}
 
 	profile, err := experiments.ProfileByName(*profileName)
 	if err != nil {
@@ -88,14 +108,24 @@ func main() {
 	}
 
 	t0 := time.Now()
-	f, report, err := ctx.BuildTimingFileContext(runCtx, opts)
+	var (
+		f      *timinglib.File
+		report *resilience.Report
+	)
+	err = bench.Time("characterize", func() error {
+		f, report, err = ctx.BuildTimingFileContext(runCtx, opts)
+		return err
+	})
+	if werr := bench.Write(*benchJSON); werr != nil {
+		fmt.Fprintln(os.Stderr, "characterize:", werr)
+	}
 	if err != nil {
 		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
 			// The last checkpoint survives on disk; tell the user how to pick
 			// the run back up and exit non-zero so scripts notice.
 			fmt.Fprintf(os.Stderr, "characterize: interrupted (%v); rerun with -resume to continue from %s\n",
 				err, *out)
-			os.Exit(1)
+			exit(1)
 		}
 		fatal(err)
 	}
@@ -120,7 +150,18 @@ func main() {
 		*out, len(f.Arcs), len(f.Cells), len(f.Wire.XFI), time.Since(t0).Round(time.Second))
 }
 
+// prof is package-level so that fatal/exit can flush profiles on error
+// paths, where os.Exit would skip main's deferred Stop.
+var prof *profiling.Session
+
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "characterize:", err)
-	os.Exit(1)
+	exit(1)
+}
+
+func exit(code int) {
+	if err := prof.Stop(); err != nil {
+		fmt.Fprintln(os.Stderr, "characterize:", err)
+	}
+	os.Exit(code)
 }

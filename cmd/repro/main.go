@@ -19,6 +19,7 @@ import (
 	"strings"
 
 	"repro/internal/experiments"
+	"repro/internal/profiling"
 	"repro/internal/timinglib"
 )
 
@@ -33,8 +34,26 @@ func main() {
 		csvDir      = flag.String("csv", "", "also write table2/table3/fig10 results as CSV into this directory")
 		seed        = flag.Uint64("seed", 1, "master random seed")
 		quiet       = flag.Bool("q", false, "suppress progress logging")
+		cpuProfile  = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProfile  = flag.String("memprofile", "", "write a heap profile to this file at exit")
+		benchJSON   = flag.String("bench-json", "", "write per-table/figure wall times and allocation totals as JSON to this file")
 	)
 	flag.Parse()
+
+	var err error
+	prof, err = profiling.Start(*cpuProfile, *memProfile)
+	if err != nil {
+		fatal(err)
+	}
+	defer func() {
+		if err := prof.Stop(); err != nil {
+			fmt.Fprintln(os.Stderr, "repro:", err)
+		}
+	}()
+	var bench *profiling.Report
+	if *benchJSON != "" {
+		bench = profiling.NewReport("repro")
+	}
 
 	profile, err := experiments.ProfileByName(*profileName)
 	if err != nil {
@@ -71,7 +90,12 @@ func main() {
 	}
 	run := func(id string, f func() (interface{ Format() string }, error)) {
 		fmt.Printf("==== %s ====\n", id)
-		r, err := f()
+		var r interface{ Format() string }
+		err := bench.Time(id, func() error {
+			var ferr error
+			r, ferr = f()
+			return ferr
+		})
 		if err != nil {
 			fatal(fmt.Errorf("%s: %w", id, err))
 		}
@@ -140,9 +164,19 @@ func main() {
 		}
 		fmt.Fprintf(os.Stderr, "saved coefficients file %s\n", *libPath)
 	}
+	if err := bench.Write(*benchJSON); err != nil {
+		fatal(err)
+	}
 }
+
+// prof is package-level so that fatal can flush profiles on error paths,
+// where os.Exit would skip main's deferred Stop.
+var prof *profiling.Session
 
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "repro:", err)
+	if serr := prof.Stop(); serr != nil {
+		fmt.Fprintln(os.Stderr, "repro:", serr)
+	}
 	os.Exit(1)
 }

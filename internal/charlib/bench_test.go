@@ -1,0 +1,38 @@
+package charlib
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/waveform"
+)
+
+// Monte-Carlo throughput benchmarks: MCArc is the unit of work every
+// characterisation grid point pays, so its ns/op bounds the whole
+// library-characterisation wall clock.
+
+func benchMCArc(b *testing.B, cell string, samples int) {
+	cfg := DefaultConfig()
+	arc := Arc{Cell: cell, Pin: "A", InEdge: waveform.Rising}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := cfg.MCArc(context.Background(), arc, 20e-12, 2e-15, samples, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMCArc(b *testing.B)     { benchMCArc(b, "INVx2", 64) }
+func BenchmarkMCArcNAND(b *testing.B) { benchMCArc(b, "NAND2x2", 64) }
+func BenchmarkMeasureArcOnce(b *testing.B) {
+	cfg := DefaultConfig()
+	arc := Arc{Cell: "INVx2", Pin: "A", InEdge: waveform.Rising}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := cfg.MeasureArcOnce(arc, 20e-12, 2e-15, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -79,6 +79,32 @@ type Config struct {
 	// exists so tests can exercise quarantine, retry and budget paths
 	// deterministically.
 	FaultInject func(Fault) error
+
+	// solvers pools compiled-solver caches (circuit.SolverCache) across
+	// Monte-Carlo workers: each worker checks one out for the duration of
+	// its sample loop, so the stamp program and symbolic factorisation of a
+	// topology are compiled once per worker instead of once per transient.
+	// The zero value works, so struct-literal Configs pool too.
+	solvers sync.Pool
+}
+
+// AcquireSolvers checks a compiled-solver cache out of the Config's pool
+// for one worker's exclusive use (a SolverCache is not safe for concurrent
+// use). Return it with ReleaseSolvers so later workers inherit the compiled
+// stamp programs. Simulations run through a pooled cache produce
+// bit-identical results to uncached runs.
+func (c *Config) AcquireSolvers() *circuit.SolverCache {
+	if sc, ok := c.solvers.Get().(*circuit.SolverCache); ok {
+		return sc
+	}
+	return circuit.NewSolverCache()
+}
+
+// ReleaseSolvers returns a cache obtained from AcquireSolvers to the pool.
+func (c *Config) ReleaseSolvers(sc *circuit.SolverCache) {
+	if sc != nil {
+		c.solvers.Put(sc)
+	}
 }
 
 // DefaultMaxFailFraction is the quarantine budget used when
@@ -165,13 +191,13 @@ func (c *Config) arcCell(arc Arc) (*stdcell.Cell, error) {
 // simulation window scaled by windowScale, returning a classified
 // resilience.ErrNonSettle when the output fails to reach its rail.
 func (c *Config) measureArcAttempt(arc Arc, slew, loadC float64,
-	sampler *stdcell.Sampler, windowScale float64) (waveform.StageMeasurement, error) {
+	sampler *stdcell.Sampler, windowScale float64, cache *circuit.SolverCache) (waveform.StageMeasurement, error) {
 	cell, err := c.arcCell(arc)
 	if err != nil {
 		return waveform.StageMeasurement{}, err
 	}
 	window := 30 * c.estimateTau(cell, loadC) * windowScale
-	m, err := c.measureAttempt(cell, arc, slew, loadC, sampler, window)
+	m, err := c.measureAttempt(cell, arc, slew, loadC, sampler, window, cache)
 	if err != nil {
 		return m, err
 	}
@@ -187,11 +213,13 @@ func (c *Config) measureArcAttempt(arc Arc, slew, loadC float64,
 // reused as-is across attempts (RNG perturbation applies only to the
 // Monte-Carlo loop, which owns the sampler's sub-streams).
 func (c *Config) MeasureArcOnce(arc Arc, slew, loadC float64, sampler *stdcell.Sampler) (waveform.StageMeasurement, error) {
+	cache := c.AcquireSolvers()
+	defer c.ReleaseSolvers(cache)
 	pol := c.Retry
 	var m waveform.StageMeasurement
 	var err error
 	for attempt := 0; attempt < pol.Attempts(); attempt++ {
-		m, err = c.measureArcAttempt(arc, slew, loadC, sampler, pol.WindowScale(attempt))
+		m, err = c.measureArcAttempt(arc, slew, loadC, sampler, pol.WindowScale(attempt), cache)
 		if err == nil {
 			return m, nil
 		}
@@ -203,7 +231,7 @@ func (c *Config) MeasureArcOnce(arc Arc, slew, loadC float64, sampler *stdcell.S
 }
 
 func (c *Config) measureAttempt(cell *stdcell.Cell, arc Arc, slew, loadC float64,
-	sampler *stdcell.Sampler, window float64) (waveform.StageMeasurement, error) {
+	sampler *stdcell.Sampler, window float64, cache *circuit.SolverCache) (waveform.StageMeasurement, error) {
 	ck := circuit.New()
 	vdd := ck.NodeByName("vdd")
 	ck.AddSource(vdd, circuit.DC(c.Tech.Vdd))
@@ -232,7 +260,7 @@ func (c *Config) measureAttempt(cell *stdcell.Cell, arc Arc, slew, loadC float64
 	ck.AddCapacitor(out, circuit.Ground, loadC)
 
 	tstop := inputStartTime + ramp.TRamp + window
-	res, err := ck.Transient(circuit.SimOptions{TStop: tstop, DT: tstop / float64(c.steps())})
+	res, err := ck.TransientCached(cache, circuit.SimOptions{TStop: tstop, DT: tstop / float64(c.steps())})
 	if err != nil {
 		return waveform.StageMeasurement{}, err
 	}
@@ -281,7 +309,7 @@ type sampleOutcome struct {
 // window widened by WindowBackoff^k. Panics from the solver stack are
 // captured and classified rather than propagated.
 func (c *Config) measureSample(ctx context.Context, arc Arc, slew, loadC float64,
-	base *rng.Stream, i int) sampleOutcome {
+	base *rng.Stream, i int, cache *circuit.SolverCache) sampleOutcome {
 	pol := c.Retry
 	var out sampleOutcome
 	for attempt := 0; attempt < pol.Attempts(); attempt++ {
@@ -307,7 +335,7 @@ func (c *Config) measureSample(ctx context.Context, arc Arc, slew, loadC float64
 				R:      r,
 			}
 			var merr error
-			m, merr = c.measureArcAttempt(arc, slew, loadC, sampler, pol.WindowScale(attempt))
+			m, merr = c.measureArcAttempt(arc, slew, loadC, sampler, pol.WindowScale(attempt), cache)
 			return merr
 		})
 		if err == nil {
@@ -377,11 +405,13 @@ func (c *Config) MCArc(ctx context.Context, arc Arc, slew, loadC float64, n int,
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			cache := c.AcquireSolvers()
+			defer c.ReleaseSolvers(cache)
 			for i := range next {
 				if runCtx.Err() != nil {
 					return
 				}
-				out := c.measureSample(runCtx, arc, slew, loadC, base, i)
+				out := c.measureSample(runCtx, arc, slew, loadC, base, i, cache)
 				if out.ok {
 					delays[i], slews[i], ok[i] = out.delay, out.outSlew, true
 					if out.attempts > 1 {

@@ -1,0 +1,57 @@
+package charlib
+
+import (
+	"testing"
+
+	"repro/internal/waveform"
+)
+
+// TestMCArcPooledDeterministic is the pooling half of the RNG contract:
+// sample i draws from seed's i-th sub-stream, so the results must be
+// bit-identical whether one worker (one long-lived solver cache) or many
+// workers (pool churn, caches migrating between goroutines) run the
+// samples. Under -race this doubles as the concurrency check on the pooled
+// caches.
+func TestMCArcPooledDeterministic(t *testing.T) {
+	arc := Arc{Cell: "INVx2", Pin: "A", InEdge: waveform.Rising}
+	run := func(workers int) *Samples {
+		cfg := DefaultConfig()
+		cfg.Workers = workers
+		s, err := cfg.MCArc(nil, arc, 20e-12, 2e-15, 24, 7)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		return s
+	}
+	one := run(1)
+	eight := run(8)
+	if len(one.Delay) != len(eight.Delay) {
+		t.Fatalf("sample counts differ: %d vs %d", len(one.Delay), len(eight.Delay))
+	}
+	for i := range one.Delay {
+		if one.Delay[i] != eight.Delay[i] || one.OutSlew[i] != eight.OutSlew[i] {
+			t.Fatalf("sample %d: 1-worker (%v, %v) vs 8-worker (%v, %v) — pooled MC not bit-identical",
+				i, one.Delay[i], one.OutSlew[i], eight.Delay[i], eight.OutSlew[i])
+		}
+	}
+}
+
+// TestMeasureArcOnceColdVsWarmCache: the first call compiles its solvers,
+// later calls on the same Config rebind pooled ones; the measurements must
+// agree exactly.
+func TestMeasureArcOnceColdVsWarmCache(t *testing.T) {
+	cfg := DefaultConfig()
+	arc := Arc{Cell: "NAND2x2", Pin: "A", InEdge: waveform.Falling}
+	cold, err := cfg.MeasureArcOnce(arc, 15e-12, 1.5e-15, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm, err := cfg.MeasureArcOnce(arc, 15e-12, 1.5e-15, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cold.Delay != warm.Delay || cold.OutSlew != warm.OutSlew {
+		t.Fatalf("cold (%v, %v) vs warm (%v, %v): pooled solver changed the measurement",
+			cold.Delay, cold.OutSlew, warm.Delay, warm.OutSlew)
+	}
+}

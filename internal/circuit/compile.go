@@ -1,0 +1,499 @@
+package circuit
+
+import (
+	"errors"
+
+	"repro/internal/device"
+	"repro/internal/linalg"
+)
+
+// This file compiles a netlist into a stamp program: flat slices of
+// resistor/capacitor/MOSFET stamps whose free-row indices and Jacobian slot
+// positions are resolved once at newSolver time, so assemble becomes
+// straight-line array writes with no per-stamp free/driven branching and no
+// map or interface lookups. The same program drives either backend — the
+// dense pivoting LU or the symbolically-factorised sparse LU — because a
+// "slot" is just an index into a flat values array (row-major for dense,
+// CSR position for sparse). Rows and columns that are not free unknowns are
+// redirected to a trash slot past the live data, keeping the inner loop
+// branch-free.
+
+// SolverKind selects the linear-solver backend of a transient run.
+type SolverKind uint8
+
+const (
+	// SolverAuto picks sparse when the symbolic factorisation stays sparse
+	// enough, dense otherwise (and as the runtime fallback on a pivot
+	// failure). The default.
+	SolverAuto SolverKind = iota
+	// SolverDense forces the dense pivoting LU (the pre-compilation path).
+	SolverDense
+	// SolverSparse forces the sparse no-pivot LU; a singular pivot then
+	// surfaces as an error instead of falling back.
+	SolverSparse
+)
+
+func (k SolverKind) String() string {
+	switch k {
+	case SolverDense:
+		return "dense"
+	case SolverSparse:
+		return "sparse"
+	default:
+		return "auto"
+	}
+}
+
+// maxSparseFill is the factor-density threshold above which SolverAuto
+// compiles the dense backend instead: beyond it the compiled elimination
+// schedule stops being cheaper than the cache-friendly dense kernel.
+const maxSparseFill = 0.5
+
+// minSparseUnknowns is the system size below which SolverAuto stays dense;
+// a 2×2 dense solve is already optimal.
+const minSparseUnknowns = 3
+
+// gStamp is one compiled conductance stamp (resistor).
+type gStamp struct {
+	a, b               int32 // node indices (voltage reads)
+	fa, fb             int32 // residual rows; nf = trash row
+	sAA, sAB, sBA, sBB int32 // Jacobian slots; trash slot when absent
+	g                  float64
+}
+
+// cStamp is one compiled capacitor stamp (Backward-Euler companion).
+type cStamp struct {
+	a, b               int32
+	fa, fb             int32
+	sAA, sAB, sBA, sBB int32
+	c                  float64
+}
+
+// mStamp is one compiled MOSFET stamp.
+type mStamp struct {
+	nd, ng, ns                   int32 // drain/gate/source node indices
+	fd, fs                       int32 // residual rows (gate draws no DC current)
+	sDD, sDS, sDG, sSS, sSD, sSG int32
+	p                            device.IdsFast
+}
+
+// solver holds a circuit compiled for repeated transient solves. The
+// symbolic state (free mapping, stamp slots, sparsity pattern, elimination
+// schedule) depends only on the netlist topology and is reusable across
+// Monte-Carlo samples via rebind; the numeric state (element values, node
+// voltages, factor workspaces) is refreshed per run.
+type solver struct {
+	n, nf int
+	kind  SolverKind // resolved backend, may fall back sparse→dense
+	req   SolverKind // requested backend (cache identity)
+	// fellBack records a runtime sparse→dense pivot fallback. Such a solver
+	// is never reused from a cache: a fresh compile would start sparse
+	// again, and pooled runs must stay bit-identical to clean ones.
+	fellBack bool
+
+	free      []int32    // node -> free index, -1 for ground/driven
+	freeNodes []int32    // free index -> node
+	drivenN   []int32    // driven node ids (source order)
+	drivenW   []Waveform // parallel waveforms
+	byNode    []Waveform // node -> waveform (nil if free/ground)
+	gmin      float64
+
+	res       []gStamp
+	caps      []cStamp
+	mos       []mStamp
+	diagSlots []int32 // per free node, slot of (fi, fi) for the Gmin stamp
+
+	// Compile-time stamp reductions, with maps back to the source netlist so
+	// rebind can verify topology and re-sum values without re-compiling:
+	// stamps whose rows are all trash (elements between driven/ground nodes)
+	// are dropped, and parallel capacitors sharing a node pair are merged
+	// into one stamp.
+	resPairs []int32 // (a,b) per source resistor
+	resKeep  []int32 // source resistor -> res index, -1 if dropped
+	capPairs []int32 // (a,b) per source capacitor, Cmin tail included
+	capOf    []int32 // source capacitor -> merged caps index, -1 if dropped
+	nGcmin   int     // number of per-free-node Cmin entries in the tail
+	mosNodes []int32 // (d,g,s) per source MOSFET
+	mosKeep  []int32 // source MOSFET -> mos index, -1 if dropped
+
+	// vNow/vPrevN cache every node's voltage for the current Newton iterate
+	// and the previous accepted step: driven-waveform evaluations happen
+	// once per Newton step here, not once per stamp per iteration.
+	vNow, vPrevN []float64
+
+	x, xNew, dx []float64
+	f           []float64 // len nf+1; the extra entry is the trash row
+	vals        []float64 // Jacobian values + one trash slot at the end
+	trash       int32
+
+	pat      *linalg.CSRPattern
+	sp       *linalg.SparseLU
+	jacDense *linalg.Matrix // aliases vals[:nf*nf] on the dense path
+	lu       *linalg.LU
+
+	xStack [][]float64 // depth-indexed xPrev scratch for advance
+
+	// Predictor state: the previously accepted solution and its step size,
+	// used to extrapolate the Newton initial guess of the next step.
+	xOld  []float64
+	predH float64
+}
+
+// newSolver compiles the circuit into a stamp program and symbolic
+// factorisation for the requested backend.
+func newSolver(c *Circuit, req SolverKind) (*solver, error) {
+	n := c.NumNodes()
+	s := &solver{n: n, req: req, gmin: c.Gmin}
+	s.free = make([]int32, n)
+	s.byNode = make([]Waveform, n)
+	for i := range s.free {
+		s.free[i] = -1
+	}
+	for _, src := range c.sources {
+		s.byNode[src.n] = src.w
+		s.drivenN = append(s.drivenN, int32(src.n))
+		s.drivenW = append(s.drivenW, src.w)
+	}
+	for i := 1; i < n; i++ {
+		if s.byNode[i] == nil {
+			s.free[i] = int32(s.nf)
+			s.freeNodes = append(s.freeNodes, int32(i))
+			s.nf++
+		}
+	}
+	if s.nf == 0 {
+		return nil, errors.New("circuit: no free nodes to solve")
+	}
+	nf := int32(s.nf)
+
+	row := func(nd Node) int32 {
+		if nd == Ground || s.free[nd] < 0 {
+			return nf // trash row
+		}
+		return s.free[nd]
+	}
+	for _, r := range c.resistors {
+		s.resPairs = append(s.resPairs, int32(r.a), int32(r.b))
+		fa, fb := row(r.a), row(r.b)
+		if fa == nf && fb == nf {
+			// Both terminals driven or ground: the stamp would only write
+			// trash slots. Dropped at compile time.
+			s.resKeep = append(s.resKeep, -1)
+			continue
+		}
+		s.resKeep = append(s.resKeep, int32(len(s.res)))
+		s.res = append(s.res, gStamp{a: int32(r.a), b: int32(r.b), fa: fa, fb: fb, g: r.g})
+	}
+	capSlot := make(map[[2]int32]int32)
+	addCap := func(a, b int32, cv float64) {
+		s.capPairs = append(s.capPairs, a, b)
+		fa, fb := row(Node(a)), row(Node(b))
+		if fa == nf && fb == nf {
+			s.capOf = append(s.capOf, -1)
+			return
+		}
+		// Parallel capacitors on one node pair collapse into a single
+		// stamp: AddMOS parasitics, explicit loads and the Cmin floor
+		// routinely stack three or four capacitors on the same pair.
+		key := [2]int32{a, b}
+		if idx, ok := capSlot[key]; ok {
+			s.caps[idx].c += cv
+			s.capOf = append(s.capOf, idx)
+			return
+		}
+		idx := int32(len(s.caps))
+		capSlot[key] = idx
+		s.capOf = append(s.capOf, idx)
+		s.caps = append(s.caps, cStamp{a: a, b: b, fa: fa, fb: fb, c: cv})
+	}
+	for _, cp := range c.capacitors {
+		addCap(int32(cp.a), int32(cp.b), cp.c)
+	}
+	if c.Cmin > 0 {
+		s.nGcmin = len(s.freeNodes)
+		for _, nid := range s.freeNodes {
+			addCap(nid, 0, c.Cmin)
+		}
+	}
+	for _, m := range c.mosfets {
+		s.mosNodes = append(s.mosNodes, int32(m.D), int32(m.G), int32(m.S))
+		fd, fs := row(m.D), row(m.S)
+		if fd == nf && fs == nf {
+			// Rail-to-rail device (e.g. a bias transistor between driven
+			// nodes): no residual row to stamp.
+			s.mosKeep = append(s.mosKeep, -1)
+			continue
+		}
+		s.mosKeep = append(s.mosKeep, int32(len(s.mos)))
+		s.mos = append(s.mos, mStamp{
+			nd: int32(m.D), ng: int32(m.G), ns: int32(m.S), fd: fd, fs: fs, p: m.P.Fast(),
+		})
+	}
+
+	// Sparsity pattern of the Jacobian over free unknowns.
+	pb := linalg.NewPatternBuilder(s.nf)
+	couple := func(i, j int32) {
+		if i < nf && j < nf {
+			pb.Add(int(i), int(j))
+			pb.Add(int(j), int(i))
+		}
+	}
+	for i := range s.res {
+		couple(s.res[i].fa, s.res[i].fb)
+	}
+	for i := range s.caps {
+		couple(s.caps[i].fa, s.caps[i].fb)
+	}
+	for i := range s.mos {
+		m := &s.mos[i]
+		fg := row(Node(m.ng))
+		couple(m.fd, m.fs)
+		couple(m.fd, fg)
+		couple(m.fs, fg)
+	}
+	s.pat = pb.Build()
+
+	s.kind = req
+	if s.kind == SolverAuto {
+		s.kind = SolverSparse
+	}
+	if s.kind == SolverSparse {
+		s.sp = linalg.NewSparseLU(s.pat)
+		if req == SolverAuto && (s.nf < minSparseUnknowns || s.sp.FillRatio() > maxSparseFill) {
+			s.kind, s.sp = SolverDense, nil
+		}
+	}
+	if s.kind == SolverDense {
+		s.allocDense()
+	} else {
+		s.vals = make([]float64, s.pat.NNZ()+1)
+		s.trash = int32(s.pat.NNZ())
+	}
+	s.bindSlots()
+
+	s.vNow = make([]float64, n)
+	s.vPrevN = make([]float64, n)
+	s.x = make([]float64, s.nf)
+	s.xNew = make([]float64, s.nf)
+	s.dx = make([]float64, s.nf)
+	s.xOld = make([]float64, s.nf)
+	s.f = make([]float64, s.nf+1)
+	return s, nil
+}
+
+func (s *solver) allocDense() {
+	s.vals = make([]float64, s.nf*s.nf+1)
+	s.trash = int32(s.nf * s.nf)
+	s.jacDense = &linalg.Matrix{Rows: s.nf, Cols: s.nf, Data: s.vals[:s.nf*s.nf]}
+	s.lu = linalg.NewLU(s.nf)
+}
+
+// slot resolves the Jacobian slot of (row r, col c), redirecting anything
+// outside the free block to the trash slot.
+func (s *solver) slot(r, c int32) int32 {
+	if r < 0 || c < 0 || int(r) >= s.nf || int(c) >= s.nf {
+		return s.trash
+	}
+	if s.kind == SolverDense {
+		return r*int32(s.nf) + c
+	}
+	return int32(s.pat.Pos(int(r), int(c)))
+}
+
+// bindSlots resolves every stamp's Jacobian slots for the current backend.
+// Called at compile time and again on a sparse→dense fallback.
+func (s *solver) bindSlots() {
+	for i := range s.res {
+		st := &s.res[i]
+		st.sAA = s.slot(st.fa, st.fa)
+		st.sAB = s.slot(st.fa, st.fb)
+		st.sBA = s.slot(st.fb, st.fa)
+		st.sBB = s.slot(st.fb, st.fb)
+	}
+	for i := range s.caps {
+		st := &s.caps[i]
+		st.sAA = s.slot(st.fa, st.fa)
+		st.sAB = s.slot(st.fa, st.fb)
+		st.sBA = s.slot(st.fb, st.fa)
+		st.sBB = s.slot(st.fb, st.fb)
+	}
+	for i := range s.mos {
+		st := &s.mos[i]
+		fg := int32(-1)
+		if g := Node(st.ng); g != Ground && s.free[g] >= 0 {
+			fg = s.free[g]
+		}
+		st.sDD = s.slot(st.fd, st.fd)
+		st.sDS = s.slot(st.fd, st.fs)
+		st.sDG = s.slot(st.fd, fg)
+		st.sSS = s.slot(st.fs, st.fs)
+		st.sSD = s.slot(st.fs, st.fd)
+		st.sSG = s.slot(st.fs, fg)
+	}
+	s.diagSlots = s.diagSlots[:0]
+	for fi := int32(0); int(fi) < s.nf; fi++ {
+		s.diagSlots = append(s.diagSlots, s.slot(fi, fi))
+	}
+}
+
+// fallbackToDense switches a sparse-compiled solver to the dense backend
+// after a numeric pivot failure, rebinding every stamp slot.
+func (s *solver) fallbackToDense() {
+	s.kind = SolverDense
+	s.fellBack = true
+	s.sp = nil
+	s.allocDense()
+	s.bindSlots()
+}
+
+// rebind re-targets a compiled solver at a circuit with identical topology
+// but (possibly) different element values, source waveforms and Cmin/Gmin:
+// the per-sample path of Monte-Carlo pooling. It verifies the topology
+// element by element and reports false on any mismatch, in which case the
+// caller compiles from scratch. Allocation-free on success.
+func (s *solver) rebind(c *Circuit) bool {
+	if c.NumNodes() != s.n ||
+		2*len(c.resistors) != len(s.resPairs) ||
+		2*len(c.capacitors) != len(s.capPairs)-2*s.nGcmin ||
+		3*len(c.mosfets) != len(s.mosNodes) ||
+		len(c.sources) != len(s.drivenN) {
+		return false
+	}
+	if (c.Cmin > 0) != (s.nGcmin > 0) {
+		return false
+	}
+	for i := range c.sources {
+		if int32(c.sources[i].n) != s.drivenN[i] {
+			return false
+		}
+	}
+	for i := range c.resistors {
+		r := &c.resistors[i]
+		if int32(r.a) != s.resPairs[2*i] || int32(r.b) != s.resPairs[2*i+1] {
+			return false
+		}
+	}
+	for i := range c.capacitors {
+		cp := &c.capacitors[i]
+		if int32(cp.a) != s.capPairs[2*i] || int32(cp.b) != s.capPairs[2*i+1] {
+			return false
+		}
+	}
+	// The Cmin tail of capPairs derives from the free-node set, which the
+	// source check above already pins down.
+	for i := range c.mosfets {
+		m := &c.mosfets[i]
+		if int32(m.D) != s.mosNodes[3*i] || int32(m.G) != s.mosNodes[3*i+1] ||
+			int32(m.S) != s.mosNodes[3*i+2] {
+			return false
+		}
+	}
+	// Topology verified: refresh the numeric state through the compile-time
+	// merge/drop maps.
+	for i := range c.resistors {
+		if idx := s.resKeep[i]; idx >= 0 {
+			s.res[idx].g = c.resistors[i].g
+		}
+	}
+	for i := range s.caps {
+		s.caps[i].c = 0
+	}
+	for i := range c.capacitors {
+		if idx := s.capOf[i]; idx >= 0 {
+			s.caps[idx].c += c.capacitors[i].c
+		}
+	}
+	for i := len(c.capacitors); i < len(c.capacitors)+s.nGcmin; i++ {
+		if idx := s.capOf[i]; idx >= 0 {
+			s.caps[idx].c += c.Cmin
+		}
+	}
+	for i := range c.mosfets {
+		if idx := s.mosKeep[i]; idx >= 0 {
+			s.mos[idx].p = c.mosfets[i].P.Fast()
+		}
+	}
+	for i, src := range c.sources {
+		s.drivenW[i] = src.w
+		s.byNode[src.n] = src.w
+	}
+	s.gmin = c.Gmin
+	for i := range s.x {
+		s.x[i] = 0
+	}
+	s.predH = 0
+	return true
+}
+
+// topoSignature hashes the circuit topology (node structure only, no
+// element values) plus the requested backend, for solver-cache lookup.
+// Cache hits are still verified structurally by rebind, so a collision can
+// cost a recompile but never correctness.
+func (c *Circuit) topoSignature(kind SolverKind) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	mix := func(v uint64) {
+		for i := 0; i < 8; i++ {
+			h ^= v & 0xff
+			h *= prime64
+			v >>= 8
+		}
+	}
+	mix(uint64(c.NumNodes()))
+	mix(uint64(len(c.resistors)))
+	mix(uint64(len(c.capacitors)))
+	mix(uint64(len(c.mosfets)))
+	mix(uint64(len(c.sources)))
+	flags := uint64(kind)
+	if c.Cmin > 0 {
+		flags |= 1 << 8
+	}
+	mix(flags)
+	for _, r := range c.resistors {
+		mix(uint64(r.a)<<32 | uint64(r.b))
+	}
+	for _, cp := range c.capacitors {
+		mix(uint64(cp.a)<<32 | uint64(cp.b))
+	}
+	for _, m := range c.mosfets {
+		mix(uint64(m.D)<<42 | uint64(m.G)<<21 | uint64(m.S))
+	}
+	for _, src := range c.sources {
+		mix(uint64(src.n))
+	}
+	return h
+}
+
+// SolverCache reuses compiled solvers — stamp programs, sparsity patterns,
+// symbolic factorisations and all numeric workspaces — across circuits
+// with identical topology, the dominant case in Monte-Carlo loops where
+// every sample rebuilds the same netlist with perturbed parameters. A
+// cache is NOT safe for concurrent use: give each worker goroutine its own
+// (e.g. via sync.Pool) and results stay bit-identical to uncached runs.
+type SolverCache struct {
+	m map[uint64]*solver
+}
+
+// NewSolverCache returns an empty cache.
+func NewSolverCache() *SolverCache {
+	return &SolverCache{m: make(map[uint64]*solver)}
+}
+
+// Len reports the number of distinct compiled topologies held.
+func (cc *SolverCache) Len() int { return len(cc.m) }
+
+func (cc *SolverCache) get(c *Circuit, kind SolverKind) (*solver, error) {
+	key := c.topoSignature(kind)
+	if s := cc.m[key]; s != nil && s.req == kind && !s.fellBack && s.rebind(c) {
+		return s, nil
+	}
+	s, err := newSolver(c, kind)
+	if err != nil {
+		return nil, err
+	}
+	cc.m[key] = s
+	return s, nil
+}

@@ -1,0 +1,272 @@
+package circuit
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/device"
+)
+
+// randomCircuit builds a randomized but well-posed netlist: an inverter
+// chain with randomized device sizes, random RC interconnect hung between
+// stage outputs, and random cross-coupling capacitors. Every trial has a
+// different topology and different element values.
+func randomCircuit(rng *rand.Rand) *Circuit {
+	tech := device.Default28nm()
+	ck := New()
+	vdd := ck.NodeByName("vdd")
+	ck.AddSource(vdd, DC(tech.Vdd))
+	in := ck.NodeByName("in")
+	ck.AddSource(in, Ramp{T0: 5e-12, TRamp: 10e-12 + 20e-12*rng.Float64(), V0: 0, V1: tech.Vdd})
+
+	stages := 1 + rng.Intn(5)
+	var nodes []Node
+	prev := in
+	for i := 0; i < stages; i++ {
+		out := ck.NodeByName(fmt.Sprintf("s%d", i))
+		wn := (1 + 2*rng.Float64()) * tech.Wmin
+		ck.AddMOS(out, prev, Ground, tech.NominalParams(device.NMOS, wn))
+		ck.AddMOS(out, prev, vdd, tech.NominalParams(device.PMOS, 1.5*wn))
+		ck.AddCapacitor(out, Ground, (0.2+rng.Float64())*1e-15)
+		nodes = append(nodes, out)
+		// Random RC ladder between this stage and the next input.
+		hops := rng.Intn(4)
+		for h := 0; h < hops; h++ {
+			n := ck.NodeByName(fmt.Sprintf("w%d_%d", i, h))
+			ck.AddResistor(out, n, 100+900*rng.Float64())
+			ck.AddCapacitor(n, Ground, (0.05+0.3*rng.Float64())*1e-15)
+			nodes = append(nodes, n)
+			out = n
+		}
+		prev = out
+	}
+	// Random cross-coupling capacitors between internal nodes.
+	for k := 0; k < rng.Intn(4); k++ {
+		a := nodes[rng.Intn(len(nodes))]
+		b := nodes[rng.Intn(len(nodes))]
+		if a != b {
+			ck.AddCapacitor(a, b, (0.02+0.1*rng.Float64())*1e-15)
+		}
+	}
+	return ck
+}
+
+// TestDenseSparseEquivalence is the backend cross-check demanded by the
+// sparse rewrite: on randomized circuits the dense pivoting LU and the
+// symbolically-factorised no-pivot sparse LU must produce the same
+// waveforms to within accumulated rounding (≤ 1e-12 V), over every node
+// and timestep.
+func TestDenseSparseEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 12; trial++ {
+		ck := randomCircuit(rng)
+		opts := SimOptions{TStop: 3e-10, DT: 1e-12}
+		optsD := opts
+		optsD.Solver = SolverDense
+		optsS := opts
+		optsS.Solver = SolverSparse
+		rd, err := ck.Transient(optsD)
+		if err != nil {
+			t.Fatalf("trial %d dense: %v", trial, err)
+		}
+		rs, err := ck.Transient(optsS)
+		if err != nil {
+			t.Fatalf("trial %d sparse: %v", trial, err)
+		}
+		if rd.Solver != SolverDense || rs.Solver != SolverSparse {
+			t.Fatalf("trial %d: backends %v/%v, want dense/sparse", trial, rd.Solver, rs.Solver)
+		}
+		if len(rd.Times) != len(rs.Times) {
+			t.Fatalf("trial %d: step counts differ: %d vs %d", trial, len(rd.Times), len(rs.Times))
+		}
+		for n := 1; n < ck.NumNodes(); n++ {
+			wd, ws := rd.Waveform(Node(n)), rs.Waveform(Node(n))
+			for k := range wd {
+				d := wd[k] - ws[k]
+				if d < 0 {
+					d = -d
+				}
+				if d > 1e-12 {
+					t.Fatalf("trial %d node %s t[%d]: dense %v sparse %v (Δ=%.3g)",
+						trial, ck.NameOf(Node(n)), k, wd[k], ws[k], d)
+				}
+			}
+		}
+	}
+}
+
+// TestCachedRunsBitIdentical locks the pooling contract: a transient run
+// through a warm SolverCache (compiled for the same topology by a circuit
+// with different element values) must be bit-identical to a cold run.
+func TestCachedRunsBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 8; trial++ {
+		seed := rng.Int63()
+		// Two independent builds of the same topology: the warm-up run
+		// compiles the solver, the target run must reuse it via rebind and
+		// still match an uncached run exactly.
+		build := func() *Circuit { return randomCircuit(rand.New(rand.NewSource(seed))) }
+		warm := build()
+		target := build()
+		opts := SimOptions{TStop: 2e-10, DT: 1e-12}
+
+		cold, err := target.Transient(opts)
+		if err != nil {
+			t.Fatalf("trial %d cold: %v", trial, err)
+		}
+		cache := NewSolverCache()
+		if _, err := warm.TransientCached(cache, opts); err != nil {
+			t.Fatalf("trial %d warm-up: %v", trial, err)
+		}
+		hot, err := target.TransientCached(cache, opts)
+		if err != nil {
+			t.Fatalf("trial %d hot: %v", trial, err)
+		}
+		if cache.Len() != 1 {
+			t.Fatalf("trial %d: cache holds %d solvers, want 1 (topology reuse)", trial, cache.Len())
+		}
+		for n := 1; n < target.NumNodes(); n++ {
+			wc, wh := cold.Waveform(Node(n)), hot.Waveform(Node(n))
+			for k := range wc {
+				if wc[k] != wh[k] {
+					t.Fatalf("trial %d node %s t[%d]: cold %v hot %v — pooled run not bit-identical",
+						trial, target.NameOf(Node(n)), k, wc[k], wh[k])
+				}
+			}
+		}
+	}
+}
+
+// TestCacheRejectsFellBackSolver: a solver that fell back to dense mid-run
+// must not be served from the cache again; the next get compiles fresh.
+func TestCacheRejectsFellBackSolver(t *testing.T) {
+	ck := benchInverterChain(8)
+	cache := NewSolverCache()
+	s1, err := cache.get(ck, SolverAuto)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s1.kind != SolverSparse {
+		t.Fatalf("expected a sparse solver for a %d-unknown circuit, got %v", s1.nf, s1.kind)
+	}
+	s1.fallbackToDense()
+	if s1.kind != SolverDense || !s1.fellBack {
+		t.Fatalf("fallbackToDense left kind=%v fellBack=%v", s1.kind, s1.fellBack)
+	}
+	s2, err := cache.get(ck, SolverAuto)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2 == s1 {
+		t.Fatal("cache returned a fellBack solver")
+	}
+	if s2.fellBack || s2.kind != SolverSparse {
+		t.Fatalf("replacement solver kind=%v fellBack=%v, want fresh sparse", s2.kind, s2.fellBack)
+	}
+}
+
+// TestFallbackSolverStillCorrect: after a forced sparse→dense fallback the
+// solver must keep producing the same waveforms.
+func TestFallbackSolverStillCorrect(t *testing.T) {
+	ck := benchInverterChain(8)
+	opts := SimOptions{TStop: 2e-10, DT: 1e-12}
+	ref, err := ck.Transient(SimOptions{TStop: 2e-10, DT: 1e-12, Solver: SolverDense})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := newSolver(ck, SolverAuto)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.fallbackToDense()
+	opts.setDefaults()
+	if err := s.dcOperatingPoint(&opts); err != nil {
+		t.Fatal(err)
+	}
+	tt := 0.0
+	for k := 0; k < 200; k++ {
+		if err := s.advance(tt, opts.DT, &opts, 0); err != nil {
+			t.Fatal(err)
+		}
+		tt += opts.DT
+		for n := 1; n < ck.NumNodes(); n++ {
+			got := s.voltageOf(Node(n), tt)
+			want := ref.Waveform(Node(n))[k+1]
+			d := got - want
+			if d < 0 {
+				d = -d
+			}
+			if d > 1e-12 {
+				t.Fatalf("t[%d] node %s: fallback %v dense %v", k, ck.NameOf(Node(n)), got, want)
+			}
+		}
+	}
+}
+
+// TestRequestedSolverHonoured: explicitly requested backends are reported
+// back on the Result.
+func TestRequestedSolverHonoured(t *testing.T) {
+	ck := benchInverterChain(2)
+	for _, kind := range []SolverKind{SolverDense, SolverSparse} {
+		res, err := ck.Transient(SimOptions{TStop: 1e-10, DT: 1e-12, Solver: kind})
+		if err != nil {
+			t.Fatalf("%v: %v", kind, err)
+		}
+		if res.Solver != kind {
+			t.Fatalf("requested %v, ran %v", kind, res.Solver)
+		}
+	}
+	// Tiny systems auto-select dense; larger ones sparse.
+	small := New()
+	vdd := small.NodeByName("vdd")
+	small.AddSource(vdd, DC(0.6))
+	out := small.NodeByName("out")
+	small.AddResistor(vdd, out, 1000)
+	small.AddCapacitor(out, Ground, 1e-15)
+	res, err := small.Transient(SimOptions{TStop: 1e-11, DT: 1e-13})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Solver != SolverDense {
+		t.Fatalf("1-unknown auto run used %v, want dense", res.Solver)
+	}
+	res, err = benchInverterChain(8).Transient(SimOptions{TStop: 1e-10, DT: 1e-12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Solver != SolverSparse {
+		t.Fatalf("8-stage auto run used %v, want sparse", res.Solver)
+	}
+}
+
+// TestAdvanceInnerLoopZeroAlloc asserts the acceptance criterion that the
+// Newton inner loop allocates nothing: after the solver workspaces are
+// warm, stepping the transient must not touch the heap.
+func TestAdvanceInnerLoopZeroAlloc(t *testing.T) {
+	for _, kind := range []SolverKind{SolverSparse, SolverDense} {
+		ck := benchInverterChain(4)
+		s, err := newSolver(ck, kind)
+		if err != nil {
+			t.Fatal(err)
+		}
+		opts := SimOptions{TStop: 1e-10, DT: 1e-12, Solver: kind}
+		opts.setDefaults()
+		if err := s.dcOperatingPoint(&opts); err != nil {
+			t.Fatal(err)
+		}
+		tt := 0.0
+		step := func() {
+			if err := s.advance(tt, opts.DT, &opts, 0); err != nil {
+				t.Fatal(err)
+			}
+			tt += opts.DT
+		}
+		for k := 0; k < 5; k++ {
+			step() // warm the subdivision scratch stack
+		}
+		if allocs := testing.AllocsPerRun(100, step); allocs != 0 {
+			t.Fatalf("%v advance allocates %.2f objects/step, want 0", kind, allocs)
+		}
+	}
+}

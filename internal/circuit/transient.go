@@ -4,8 +4,6 @@ import (
 	"errors"
 	"fmt"
 	"math"
-
-	"repro/internal/linalg"
 )
 
 // SimOptions controls a transient run.
@@ -23,6 +21,9 @@ type SimOptions struct {
 	// MaxHalvings bounds local timestep subdivision on Newton failure.
 	// Default 6.
 	MaxHalvings int
+	// Solver selects the linear-solver backend (default SolverAuto: sparse
+	// with dense fallback).
+	Solver SolverKind
 }
 
 func (o *SimOptions) setDefaults() {
@@ -46,6 +47,8 @@ type Result struct {
 	// vByNode[node] is nil for ground; driven and free nodes are recorded.
 	vByNode [][]float64
 	names   []string
+	// Solver reports which linear-solver backend produced the run.
+	Solver SolverKind
 }
 
 // Waveform returns the sampled voltage trace of node n (aliasing internal
@@ -66,6 +69,17 @@ var ErrNoConvergence = errors.New("circuit: transient solver did not converge")
 // Transient runs a Backward-Euler transient simulation and returns sampled
 // waveforms at every multiple of opts.DT.
 func (c *Circuit) Transient(opts SimOptions) (*Result, error) {
+	return c.TransientCached(nil, opts)
+}
+
+// TransientCached is Transient with a solver cache: when cache is non-nil
+// and already holds a solver compiled for this circuit's topology, the
+// stamp program, sparsity pattern, symbolic factorisation and every
+// workspace are reused — only element values and source waveforms are
+// refreshed. This is the Monte-Carlo hot path, where each sample rebuilds
+// an identical netlist with perturbed parameters. Results are bit-identical
+// to an uncached run.
+func (c *Circuit) TransientCached(cache *SolverCache, opts SimOptions) (*Result, error) {
 	opts.setDefaults()
 	if c.err != nil {
 		return nil, c.err
@@ -73,18 +87,31 @@ func (c *Circuit) Transient(opts SimOptions) (*Result, error) {
 	if opts.TStop <= 0 || opts.DT <= 0 {
 		return nil, errors.New("circuit: TStop and DT must be positive")
 	}
-	s, err := newSolver(c)
+	var (
+		s   *solver
+		err error
+	)
+	if cache != nil {
+		s, err = cache.get(c, opts.Solver)
+	} else {
+		s, err = newSolver(c, opts.Solver)
+	}
 	if err != nil {
 		return nil, err
 	}
 	nsteps := int(math.Ceil(opts.TStop/opts.DT)) + 1
+	nrec := c.NumNodes() - 1
 	res := &Result{
 		Times:   make([]float64, 0, nsteps),
 		vByNode: make([][]float64, c.NumNodes()),
 		names:   c.nodeNames,
 	}
-	for n := 1; n < c.NumNodes(); n++ {
-		res.vByNode[n] = make([]float64, 0, nsteps)
+	// One flat backing array for all recorded traces: a single allocation
+	// sized exactly, subsliced per node with capped capacity.
+	flat := make([]float64, nrec*nsteps)
+	for n := 1; n <= nrec; n++ {
+		off := (n - 1) * nsteps
+		res.vByNode[n] = flat[off:off : off+nsteps]
 	}
 
 	if err := s.dcOperatingPoint(&opts); err != nil {
@@ -92,7 +119,7 @@ func (c *Circuit) Transient(opts SimOptions) (*Result, error) {
 	}
 	record := func(t float64) {
 		res.Times = append(res.Times, t)
-		for n := 1; n < c.NumNodes(); n++ {
+		for n := 1; n <= nrec; n++ {
 			res.vByNode[n] = append(res.vByNode[n], s.voltageOf(Node(n), t))
 		}
 	}
@@ -110,60 +137,8 @@ func (c *Circuit) Transient(opts SimOptions) (*Result, error) {
 		t += h
 		record(t)
 	}
+	res.Solver = s.kind
 	return res, nil
-}
-
-// solver holds the assembled system for one circuit.
-type solver struct {
-	ckt *Circuit
-
-	free   []int // node -> free index, -1 for ground/driven
-	driven []Waveform
-	nf     int
-
-	x     []float64 // free-node voltages at current accepted time
-	xNew  []float64 // Newton iterate
-	f     []float64 // residual
-	dx    []float64
-	jac   *linalg.Matrix
-	lu    *linalg.LU
-	gcmin []capacitor // per-node Cmin capacitors (free nodes only)
-}
-
-func newSolver(c *Circuit) (*solver, error) {
-	n := c.NumNodes()
-	s := &solver{
-		ckt:    c,
-		free:   make([]int, n),
-		driven: make([]Waveform, n),
-	}
-	for i := range s.free {
-		s.free[i] = -1
-	}
-	for _, src := range c.sources {
-		s.driven[src.n] = src.w
-	}
-	for i := 1; i < n; i++ {
-		if s.driven[i] == nil {
-			s.free[i] = s.nf
-			s.nf++
-		}
-	}
-	if s.nf == 0 {
-		return nil, errors.New("circuit: no free nodes to solve")
-	}
-	for i := 1; i < n; i++ {
-		if s.free[i] >= 0 && c.Cmin > 0 {
-			s.gcmin = append(s.gcmin, capacitor{a: Node(i), b: Ground, c: c.Cmin})
-		}
-	}
-	s.x = make([]float64, s.nf)
-	s.xNew = make([]float64, s.nf)
-	s.f = make([]float64, s.nf)
-	s.dx = make([]float64, s.nf)
-	s.jac = linalg.NewMatrix(s.nf, s.nf)
-	s.lu = linalg.NewLU(s.nf)
-	return s, nil
 }
 
 // voltageOf returns the voltage of any node given the accepted free-node
@@ -172,165 +147,128 @@ func (s *solver) voltageOf(n Node, t float64) float64 {
 	if n == Ground {
 		return 0
 	}
-	if w := s.driven[n]; w != nil {
+	if w := s.byNode[n]; w != nil {
 		return w.V(t)
 	}
 	return s.x[s.free[n]]
 }
 
-// vAt reads a node voltage from a candidate iterate.
-func (s *solver) vAt(n Node, x []float64, t float64) float64 {
-	if n == Ground {
-		return 0
+// assemble builds the residual f and Jacobian values at the voltages cached
+// in vNow/vPrevN for the implicit step of size h. h <= 0 means a DC solve
+// (capacitors open). The loop bodies are straight-line array arithmetic:
+// slot and row indices were resolved at compile time, with non-free rows
+// and columns redirected to trash entries.
+func (s *solver) assemble(x []float64, h float64) {
+	vals, f := s.vals, s.f
+	for i := range vals {
+		vals[i] = 0
 	}
-	if w := s.driven[n]; w != nil {
-		return w.V(t)
+	for i := range f {
+		f[i] = 0
 	}
-	return x[s.free[n]]
-}
+	vNow, vPrev := s.vNow, s.vPrevN
 
-// assemble builds the residual f and Jacobian jac at candidate x for the
-// implicit step from (tPrev, xPrev) to tNew with step h. h <= 0 means a DC
-// solve (capacitors open).
-func (s *solver) assemble(x, xPrev []float64, tPrev, tNew, h float64) {
-	s.jac.Zero()
-	for i := range s.f {
-		s.f[i] = 0
-	}
-	c := s.ckt
-
-	stampG := func(a, b Node, g float64) {
-		va := s.vAt(a, x, tNew)
-		vb := s.vAt(b, x, tNew)
-		i := va - vb // leaving a
-		if fa := s.freeOf(a); fa >= 0 {
-			s.f[fa] += g * i
-			s.jac.Add(fa, fa, g)
-			if fb := s.freeOf(b); fb >= 0 {
-				s.jac.Add(fa, fb, -g)
-			}
-		}
-		if fb := s.freeOf(b); fb >= 0 {
-			s.f[fb] -= g * i
-			s.jac.Add(fb, fb, g)
-			if fa := s.freeOf(a); fa >= 0 {
-				s.jac.Add(fb, fa, -g)
-			}
-		}
+	for i := range s.res {
+		st := &s.res[i]
+		cur := st.g * (vNow[st.a] - vNow[st.b])
+		f[st.fa] += cur
+		vals[st.sAA] += st.g
+		vals[st.sAB] -= st.g
+		f[st.fb] -= cur
+		vals[st.sBB] += st.g
+		vals[st.sBA] -= st.g
 	}
 
-	for _, r := range c.resistors {
-		stampG(r.a, r.b, r.g)
-	}
 	// Gmin leakage on every free node.
-	if c.Gmin > 0 {
-		for n := 1; n < c.NumNodes(); n++ {
-			if fi := s.free[n]; fi >= 0 {
-				s.f[fi] += c.Gmin * x[fi]
-				s.jac.Add(fi, fi, c.Gmin)
-			}
+	if s.gmin > 0 {
+		for fi := 0; fi < s.nf; fi++ {
+			f[fi] += s.gmin * x[fi]
+			vals[s.diagSlots[fi]] += s.gmin
 		}
 	}
 
 	if h > 0 {
 		geq := 1 / h
-		stampC := func(cp capacitor) {
-			va := s.vAt(cp.a, x, tNew)
-			vb := s.vAt(cp.b, x, tNew)
-			vaPrev := s.vPrev(cp.a, xPrev, tPrev)
-			vbPrev := s.vPrev(cp.b, xPrev, tPrev)
+		for i := range s.caps {
+			st := &s.caps[i]
 			// Backward Euler companion: i = C/h·((va−vb)−(vaPrev−vbPrev))
-			i := cp.c * geq * ((va - vb) - (vaPrev - vbPrev))
-			g := cp.c * geq
-			if fa := s.freeOf(cp.a); fa >= 0 {
-				s.f[fa] += i
-				s.jac.Add(fa, fa, g)
-				if fb := s.freeOf(cp.b); fb >= 0 {
-					s.jac.Add(fa, fb, -g)
-				}
-			}
-			if fb := s.freeOf(cp.b); fb >= 0 {
-				s.f[fb] -= i
-				s.jac.Add(fb, fb, g)
-				if fa := s.freeOf(cp.a); fa >= 0 {
-					s.jac.Add(fb, fa, -g)
-				}
-			}
-		}
-		for _, cp := range c.capacitors {
-			stampC(cp)
-		}
-		for _, cp := range s.gcmin {
-			stampC(cp)
+			g := st.c * geq
+			cur := g * ((vNow[st.a] - vNow[st.b]) - (vPrev[st.a] - vPrev[st.b]))
+			f[st.fa] += cur
+			vals[st.sAA] += g
+			vals[st.sAB] -= g
+			f[st.fb] -= cur
+			vals[st.sBB] += g
+			vals[st.sBA] -= g
 		}
 	}
 
-	for i := range c.mosfets {
-		m := &c.mosfets[i]
-		vg := s.vAt(m.G, x, tNew)
-		vd := s.vAt(m.D, x, tNew)
-		vs := s.vAt(m.S, x, tNew)
-		ids, dg, dd, ds := m.P.Ids(vg, vd, vs)
-		fd := s.freeOf(m.D)
-		fs := s.freeOf(m.S)
-		fg := s.freeOf(m.G)
-		if fd >= 0 {
-			s.f[fd] += ids
-			s.jac.Add(fd, fd, dd)
-			if fs >= 0 {
-				s.jac.Add(fd, fs, ds)
-			}
-			if fg >= 0 {
-				s.jac.Add(fd, fg, dg)
-			}
-		}
-		if fs >= 0 {
-			s.f[fs] -= ids
-			s.jac.Add(fs, fs, -ds)
-			if fd >= 0 {
-				s.jac.Add(fs, fd, -dd)
-			}
-			if fg >= 0 {
-				s.jac.Add(fs, fg, -dg)
-			}
-		}
+	for i := range s.mos {
+		st := &s.mos[i]
+		ids, dg, dd, ds := st.p.Ids(vNow[st.ng], vNow[st.nd], vNow[st.ns])
+		f[st.fd] += ids
+		vals[st.sDD] += dd
+		vals[st.sDS] += ds
+		vals[st.sDG] += dg
+		f[st.fs] -= ids
+		vals[st.sSS] -= ds
+		vals[st.sSD] -= dd
+		vals[st.sSG] -= dg
 	}
 }
 
-func (s *solver) freeOf(n Node) int {
-	if n == Ground {
-		return -1
+// factorAndSolve factorises the assembled Jacobian and solves for the
+// Newton update dx. On a sparse pivot failure under SolverAuto it rebinds
+// the stamp program to the dense backend, re-assembles and retries.
+func (s *solver) factorAndSolve(x []float64, h float64) error {
+	if s.kind == SolverSparse {
+		if err := s.sp.Factor(s.vals); err == nil {
+			s.sp.Solve(s.f[:s.nf], s.dx)
+			return nil
+		} else if s.req == SolverSparse {
+			return err
+		}
+		s.fallbackToDense()
+		s.assemble(x, h)
 	}
-	return s.free[n]
-}
-
-// vPrev reads the voltage of a node at the previous accepted time.
-func (s *solver) vPrev(n Node, xPrev []float64, tPrev float64) float64 {
-	if n == Ground {
-		return 0
+	if err := s.lu.Factor(s.jacDense); err != nil {
+		return err
 	}
-	if w := s.driven[n]; w != nil {
-		return w.V(tPrev)
-	}
-	return xPrev[s.free[n]]
+	s.lu.Solve(s.f[:s.nf], s.dx)
+	return nil
 }
 
 // newton iterates to convergence; x is used as the initial guess and
-// overwritten with the solution.
+// overwritten with the solution. Driven-waveform voltages at tPrev/tNew are
+// evaluated exactly once per call, into the per-node caches.
 func (s *solver) newton(x, xPrev []float64, tPrev, tNew, h float64, opts *SimOptions) error {
+	s.vNow[0] = 0
+	s.vPrevN[0] = 0
+	for i, nid := range s.drivenN {
+		s.vNow[nid] = s.drivenW[i].V(tNew)
+		s.vPrevN[nid] = s.drivenW[i].V(tPrev)
+	}
+	for fi, nid := range s.freeNodes {
+		s.vPrevN[nid] = xPrev[fi]
+	}
 	for iter := 0; iter < opts.MaxNewton; iter++ {
-		s.assemble(x, xPrev, tPrev, tNew, h)
-		if err := s.lu.Factor(s.jac); err != nil {
+		for fi, nid := range s.freeNodes {
+			s.vNow[nid] = x[fi]
+		}
+		s.assemble(x, h)
+		if err := s.factorAndSolve(x, h); err != nil {
 			return fmt.Errorf("newton iteration %d: %w", iter, err)
 		}
-		s.lu.Solve(s.f, s.dx)
 		var maxStep float64
+		clamped := false
 		for i := range x {
 			d := s.dx[i]
 			if d > opts.DVMax {
 				d = opts.DVMax
+				clamped = true
 			} else if d < -opts.DVMax {
 				d = -opts.DVMax
+				clamped = true
 			}
 			x[i] -= d
 			if a := math.Abs(d); a > maxStep {
@@ -340,17 +278,40 @@ func (s *solver) newton(x, xPrev []float64, tPrev, tNew, h float64, opts *SimOpt
 		if maxStep < opts.VTol {
 			return nil
 		}
+		// A circuit with no nonlinear devices is solved exactly by one
+		// undamped Newton step: skip the confirmation iteration, which
+		// would only compute a ~machine-epsilon correction.
+		if len(s.mos) == 0 && !clamped {
+			return nil
+		}
 	}
 	return ErrNoConvergence
 }
 
 // advance integrates one step of size h from time t, recursively halving on
-// Newton failure.
+// Newton failure. The previous-solution snapshot lives in a depth-indexed
+// scratch stack, so subdivision allocates nothing after the first visit to
+// a given depth.
 func (s *solver) advance(t, h float64, opts *SimOptions, depth int) error {
-	xPrev := append([]float64(nil), s.x...)
+	for len(s.xStack) <= depth {
+		s.xStack = append(s.xStack, make([]float64, s.nf))
+	}
+	xPrev := s.xStack[depth]
+	copy(xPrev, s.x)
 	copy(s.xNew, s.x)
+	// Predictor: extrapolate the initial guess from the previous accepted
+	// step. Newton converges to the same tolerance either way; a good guess
+	// just saves an iteration of assemble/factor/solve per step.
+	if s.predH > 0 && len(s.mos) > 0 {
+		r := h / s.predH
+		for i, xi := range s.x {
+			s.xNew[i] = xi + r*(xi-s.xOld[i])
+		}
+	}
 	err := s.newton(s.xNew, xPrev, t, t+h, h, opts)
 	if err == nil {
+		copy(s.xOld, xPrev)
+		s.predH = h
 		copy(s.x, s.xNew)
 		return nil
 	}
@@ -366,6 +327,7 @@ func (s *solver) advance(t, h float64, opts *SimOptions, depth int) error {
 
 // dcOperatingPoint solves the t=0 steady state with capacitors open.
 func (s *solver) dcOperatingPoint(opts *SimOptions) error {
+	s.predH = 0 // a new run starts with no predictor history
 	// Initial guess: mid-rail everywhere biases Newton away from the flat
 	// sub-threshold region of every device at once.
 	guess := 0.3

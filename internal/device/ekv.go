@@ -148,6 +148,52 @@ func logisticHalf(x float64) float64 {
 	return 1 / (1 + math.Exp(-h))
 }
 
+// ln1pSmall computes ln(1+u) for u ∈ [0, 0.01) by a 7-term alternating
+// series (relative error ≲ u⁷/8 ≤ 2e-15). math.Log(1+u) would lose
+// relative precision here — forming 1+u rounds away low bits of u, an
+// error of order eps/u relative — and math.Log1p has no assembly fast path
+// on this platform.
+func ln1pSmall(u float64) float64 {
+	return u * (1 - u*(1.0/2-u*(1.0/3-u*(1.0/4-u*(1.0/5-u*(1.0/6-u/7))))))
+}
+
+// splogHalf returns (softplusHalf(x), logisticHalf(x)) from a single
+// exponential. Ids needs both functions at the same argument twice per
+// call, and the straightforward composition costs six math.Exp plus four
+// math.Log1p evaluations; sharing the exponential and using the identity
+// ln(1+e^h) = h + ln(1+e^{-h}) (h ≥ 0) cuts that to two Exp and at most
+// two Log. For arguments below 0.01 the ln1pSmall series replaces the Log
+// — that regime is exactly an off device, the most common case in a logic
+// stage, so the cutoff branches are also the cheapest.
+func splogHalf(x float64) (sp, lg float64) {
+	h := 0.5 * x
+	switch {
+	case h > 30:
+		return h, 1 // e^{-h} negligible
+	case h >= 0:
+		t := math.Exp(-h) // in (0, 1]
+		var l float64
+		if t < 0.01 {
+			l = ln1pSmall(t)
+		} else {
+			l = math.Log(1 + t)
+		}
+		return h + l, 1 / (1 + t)
+	case h < -30:
+		t := math.Exp(h) // both functions ≈ e^h in deep cutoff
+		return t * (1 - 0.5*t), t
+	default:
+		u := math.Exp(h) // in (~1e-13, 1)
+		var l float64
+		if u < 0.01 {
+			l = ln1pSmall(u)
+		} else {
+			l = math.Log(1 + u)
+		}
+		return l, u / (1 + u)
+	}
+}
+
 // Ids returns the drain-source current and its partial derivatives with
 // respect to the terminal voltages (all referred to ground, the simulator's
 // reference). For NMOS the current flows drain→source when positive; for
@@ -169,14 +215,70 @@ func (p *Params) Ids(vg, vd, vs float64) (ids, dIdVg, dIdVd, dIdVs float64) {
 	vp := (vg - p.Vth) / p.N // pinch-off voltage
 	xf := (vp - vs) / p.Ut
 	xr := (vp - vd) / p.Ut
-	ids = is * (ekvF(xf) - ekvF(xr))
+	// F(x) = softplus², F'(x) = softplus·logistic; one fused evaluation per
+	// argument supplies both.
+	spf, lgf := splogHalf(xf)
+	spr, lgr := splogHalf(xr)
+	fpf := spf * lgf
+	fpr := spr * lgr
+	ids = is * (spf*spf - spr*spr)
 	dF := is / p.Ut
-	dIdVg = dF * (ekvFPrime(xf) - ekvFPrime(xr)) / p.N
-	dIdVs = -dF * ekvFPrime(xf)
-	dIdVd = dF * ekvFPrime(xr)
+	dIdVg = dF * (fpf - fpr) / p.N
+	dIdVs = -dF * fpf
+	dIdVd = dF * fpr
 	if sign < 0 {
 		// PMOS: ids_p(v) = -ids_n(-v), so by the chain rule each partial
 		// derivative keeps the NMOS value while the current flips sign.
+		ids = -ids
+	}
+	return ids, dIdVg, dIdVd, dIdVs
+}
+
+// IdsFast is an Ids evaluator with the per-device constants (specific
+// current, reciprocal slope factor and thermal voltage) hoisted out of the
+// per-call arithmetic. A transient solver evaluates Ids millions of times
+// per device with fixed parameters, and the six divisions the plain method
+// spends deriving these constants are pure overhead there.
+type IdsFast struct {
+	neg             bool    // PMOS terminal mirroring
+	vth             float64 // threshold magnitude (V)
+	invN, invUt     float64
+	is, isInvUtInvN float64
+	isInvUt         float64
+}
+
+// Fast returns the precomputed evaluator for p. It is a value type: stamp
+// programs embed it by value and rebuild it with this method when a new
+// Monte-Carlo sample rebinds fresh parameters.
+func (p *Params) Fast() IdsFast {
+	is := 2 * p.N * p.KP * (p.W / p.L) * p.Ut * p.Ut
+	return IdsFast{
+		neg:         p.Polarity == PMOS,
+		vth:         p.Vth,
+		invN:        1 / p.N,
+		invUt:       1 / p.Ut,
+		is:          is,
+		isInvUt:     is / p.Ut,
+		isInvUtInvN: is / p.Ut / p.N,
+	}
+}
+
+// Ids is Params.Ids with precomputed coefficients; it returns identical
+// values up to floating-point association of the hoisted products.
+func (c *IdsFast) Ids(vg, vd, vs float64) (ids, dIdVg, dIdVd, dIdVs float64) {
+	if c.neg {
+		vg, vd, vs = -vg, -vd, -vs
+	}
+	vp := (vg - c.vth) * c.invN
+	spf, lgf := splogHalf((vp - vs) * c.invUt)
+	spr, lgr := splogHalf((vp - vd) * c.invUt)
+	fpf := spf * lgf
+	fpr := spr * lgr
+	ids = c.is * (spf*spf - spr*spr)
+	dIdVg = c.isInvUtInvN * (fpf - fpr)
+	dIdVs = -c.isInvUt * fpf
+	dIdVd = c.isInvUt * fpr
+	if c.neg {
 		ids = -ids
 	}
 	return ids, dIdVg, dIdVd, dIdVs

@@ -1,0 +1,64 @@
+package device
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestSplogHalfMatchesComposition pins the fused softplus/logistic kernel
+// to the straightforward composition across the full argument range,
+// including both deep cutoff and strong inversion.
+func TestSplogHalfMatchesComposition(t *testing.T) {
+	for x := -120.0; x <= 120.0; x += 0.0625 {
+		sp, lg := splogHalf(x)
+		wantSp := softplusHalf(x)
+		wantLg := logisticHalf(x)
+		if relDiff(sp, wantSp) > 1e-13 {
+			t.Fatalf("splogHalf(%g).sp = %v, softplusHalf = %v", x, sp, wantSp)
+		}
+		if relDiff(lg, wantLg) > 1e-13 {
+			t.Fatalf("splogHalf(%g).lg = %v, logisticHalf = %v", x, lg, wantLg)
+		}
+	}
+}
+
+// TestIdsFastMatchesIds checks the precomputed-coefficient evaluator
+// against the reference Params.Ids over random parameters and bias points
+// of both polarities.
+func TestIdsFastMatchesIds(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	tech := Default28nm()
+	for trial := 0; trial < 500; trial++ {
+		pol := NMOS
+		if trial%2 == 1 {
+			pol = PMOS
+		}
+		p := tech.NominalParams(pol, tech.Wmin*(0.5+3*rng.Float64()))
+		p.Vth *= 0.8 + 0.4*rng.Float64() // variation-shifted
+		p.KP *= 0.8 + 0.4*rng.Float64()
+		fast := p.Fast()
+		for k := 0; k < 20; k++ {
+			vg := -0.1 + 0.8*rng.Float64()
+			vd := -0.1 + 0.8*rng.Float64()
+			vs := -0.1 + 0.8*rng.Float64()
+			i0, g0, d0, s0 := p.Ids(vg, vd, vs)
+			i1, g1, d1, s1 := fast.Ids(vg, vd, vs)
+			for _, pair := range [][2]float64{{i0, i1}, {g0, g1}, {d0, d1}, {s0, s1}} {
+				if relDiff(pair[0], pair[1]) > 1e-12 {
+					t.Fatalf("trial %d %s (%g,%g,%g): reference %v fast %v",
+						trial, pol, vg, vd, vs, pair[0], pair[1])
+				}
+			}
+		}
+	}
+}
+
+func relDiff(a, b float64) float64 {
+	d := math.Abs(a - b)
+	scale := math.Max(math.Abs(a), math.Abs(b))
+	if scale < 1e-300 {
+		return d
+	}
+	return d / scale
+}

@@ -57,10 +57,15 @@ func PathMC(ctx *Context, path *sta.Path, n int, seed uint64) (*PathSamples, err
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			// One solver cache per worker: a path re-simulates the same few
+			// stage topologies every sample, so after the first sample every
+			// transient runs on a rebound compiled solver.
+			cache := ctx.Cfg.AcquireSolvers()
+			defer ctx.Cfg.ReleaseSolvers(cache)
 			for i := range next {
 				r := base.At(i)
 				sctx := &stdcell.SampleCtx{Model: ctx.Cfg.Var, Corner: ctx.Cfg.Var.SampleCorner(r), Base: r}
-				total, err := simulatePathSample(ctx, stages, path.Stages[0].InSlew, sctx)
+				total, err := simulatePathSample(ctx, stages, path.Stages[0].InSlew, sctx, cache)
 				if err != nil {
 					select {
 					case errCh <- fmt.Errorf("path sample %d: %w", i, err):
@@ -168,7 +173,8 @@ func pathGate(ctx *Context, path *sta.Path, si int) string {
 // stage's recorded leaf waveform (PWL handoff), so the chained simulation
 // tracks a flat whole-path transient closely — ramp reconstruction of
 // near-threshold waveforms would not.
-func simulatePathSample(ctx *Context, stages []mcStage, inSlew float64, sctx *stdcell.SampleCtx) (float64, error) {
+func simulatePathSample(ctx *Context, stages []mcStage, inSlew float64,
+	sctx *stdcell.SampleCtx, cache *circuit.SolverCache) (float64, error) {
 	total := 0.0
 	slew := inSlew
 	var wave *circuit.PWL
@@ -177,7 +183,7 @@ func simulatePathSample(ctx *Context, stages []mcStage, inSlew float64, sctx *st
 		st.InSlew = slew
 		st.InWave = wave
 		st.CaptureLeafWave = si+1 < len(stages)
-		s, err := wire.MeasureStageOnce(ctx.Cfg, &st, sctx)
+		s, err := wire.MeasureStageOnceCached(ctx.Cfg, &st, sctx, cache)
 		if err != nil {
 			return 0, fmt.Errorf("stage %d: %w", si, err)
 		}

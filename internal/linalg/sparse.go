@@ -1,0 +1,395 @@
+package linalg
+
+import "math"
+
+// This file implements the sparse half of the simulator's linear-algebra
+// kernel: a compressed-sparse-row pattern plus an LU factorisation whose
+// symbolic work — fill-in pattern, elimination order, and the full
+// multiply-add schedule — is computed once per matrix topology and then
+// replayed numerically with straight-line array arithmetic. Circuit Newton
+// loops re-factorise the same pattern thousands of times per transient, so
+// the numeric phase is compiled down to flat opSrc/opDst index programs
+// with zero allocations and no per-entry searches.
+
+// CSRPattern is the fixed sparsity pattern of a square matrix: rowPtr/col
+// in the usual compressed-sparse-row layout, values kept externally so one
+// pattern can serve many numeric instances.
+type CSRPattern struct {
+	N      int
+	RowPtr []int32 // len N+1
+	Col    []int32 // len nnz, ascending within each row
+}
+
+// NNZ returns the number of structurally non-zero entries.
+func (p *CSRPattern) NNZ() int { return len(p.Col) }
+
+// PatternBuilder accumulates (row, col) positions with duplicates allowed.
+type PatternBuilder struct {
+	n    int
+	rows [][]int32
+}
+
+// NewPatternBuilder starts a pattern for an n×n matrix with all diagonal
+// positions pre-inserted (MNA matrices always have structural diagonals).
+func NewPatternBuilder(n int) *PatternBuilder {
+	b := &PatternBuilder{n: n, rows: make([][]int32, n)}
+	for i := 0; i < n; i++ {
+		b.Add(i, i)
+	}
+	return b
+}
+
+// Add records a structurally non-zero position.
+func (b *PatternBuilder) Add(i, j int) {
+	if i < 0 || j < 0 || i >= b.n || j >= b.n {
+		return
+	}
+	b.rows[i] = append(b.rows[i], int32(j))
+}
+
+// Build sorts, dedups and freezes the pattern. Lookup returns the flat CSR
+// position of (i, j), or -1 if absent.
+func (b *PatternBuilder) Build() *CSRPattern {
+	p := &CSRPattern{N: b.n, RowPtr: make([]int32, b.n+1)}
+	for i, cols := range b.rows {
+		sortInt32(cols)
+		prev := int32(-1)
+		for _, c := range cols {
+			if c != prev {
+				p.Col = append(p.Col, c)
+				prev = c
+			}
+		}
+		p.RowPtr[i+1] = int32(len(p.Col))
+	}
+	return p
+}
+
+// Pos returns the flat CSR index of entry (i, j), or -1 when the position
+// is not in the pattern. Binary search within the row.
+func (p *CSRPattern) Pos(i, j int) int {
+	lo, hi := p.RowPtr[i], p.RowPtr[i+1]
+	for lo < hi {
+		mid := (lo + hi) / 2
+		switch {
+		case p.Col[mid] < int32(j):
+			lo = mid + 1
+		case p.Col[mid] > int32(j):
+			hi = mid
+		default:
+			return int(mid)
+		}
+	}
+	return -1
+}
+
+func sortInt32(a []int32) {
+	// Insertion sort: rows are short (MNA fan-in is small).
+	for i := 1; i < len(a); i++ {
+		v := a[i]
+		j := i - 1
+		for j >= 0 && a[j] > v {
+			a[j+1] = a[j]
+			j--
+		}
+		a[j+1] = v
+	}
+}
+
+// bitset is a fixed-capacity set of small non-negative integers.
+type bitset []uint64
+
+func newBitset(n int) bitset { return make(bitset, (n+63)/64) }
+
+func (b bitset) set(i int)      { b[i>>6] |= 1 << uint(i&63) }
+func (b bitset) has(i int) bool { return b[i>>6]&(1<<uint(i&63)) != 0 }
+
+func (b bitset) or(o bitset) {
+	for i := range b {
+		b[i] |= o[i]
+	}
+}
+
+// orAbove merges o's bits strictly above position k into b.
+func (b bitset) orAbove(o bitset, k int) {
+	w := (k + 1) >> 6
+	r := uint((k + 1) & 63)
+	if w >= len(o) {
+		return
+	}
+	if r == 0 {
+		for i := w; i < len(b); i++ {
+			b[i] |= o[i]
+		}
+		return
+	}
+	b[w] |= o[w] &^ ((1 << r) - 1)
+	for i := w + 1; i < len(b); i++ {
+		b[i] |= o[i]
+	}
+}
+
+func (b bitset) count() int {
+	n := 0
+	for _, w := range b {
+		n += popcount(w)
+	}
+	return n
+}
+
+func popcount(x uint64) int {
+	n := 0
+	for x != 0 {
+		x &= x - 1
+		n++
+	}
+	return n
+}
+
+// SparseLU is a compiled no-pivot LU factorisation over a fixed sparsity
+// pattern. The constructor performs the symbolic phase — a greedy
+// minimum-degree ordering, exact fill-in computation over the symmetrised
+// pattern, and flattening of the elimination into opSrc/opDst index
+// programs. Factor then replays the program over fresh numeric values with
+// no allocation, searching, or branching beyond the loop bounds.
+//
+// The factorisation does not pivot: it relies on the diagonal dominance of
+// Gmin/Cmin-regularised MNA matrices. A (numerically) zero pivot surfaces
+// as ErrSingular so the caller can fall back to the dense pivoting LU.
+type SparseLU struct {
+	n int
+
+	perm  []int32 // elimination order: perm[k] = original row/col index
+	iperm []int32 // inverse permutation
+
+	// Factor storage in elimination order. Each row holds its L part
+	// (cols < i, ascending), then the diagonal, then the U part.
+	rowPtr []int32
+	col    []int32
+	vals   []float64
+	diag   []int32 // flat position of each row's diagonal
+
+	// scatter[s] is the factor position receiving input CSR value s.
+	scatter []int32
+
+	// Compiled elimination schedule: for the L entry at factor position p,
+	// ops t in [opPtr[p], opPtr[p+1]) perform vals[opDst[t]] -= m*vals[opSrc[t]].
+	opPtr []int32
+	opSrc []int32
+	opDst []int32
+
+	work []float64
+}
+
+// NewSparseLU builds the symbolic factorisation of the given pattern.
+func NewSparseLU(pat *CSRPattern) *SparseLU {
+	n := pat.N
+	f := &SparseLU{n: n}
+
+	// Symmetrised adjacency as bitsets (structure only).
+	adj := make([]bitset, n)
+	for i := range adj {
+		adj[i] = newBitset(n)
+		adj[i].set(i)
+	}
+	for i := 0; i < n; i++ {
+		for p := pat.RowPtr[i]; p < pat.RowPtr[i+1]; p++ {
+			j := int(pat.Col[p])
+			adj[i].set(j)
+			adj[j].set(i)
+		}
+	}
+
+	// Greedy minimum-degree ordering on the quotient elimination graph.
+	f.perm = make([]int32, n)
+	f.iperm = make([]int32, n)
+	eliminated := newBitset(n)
+	deg := make([]int, n)
+	live := make([]bitset, n)
+	for i := range live {
+		live[i] = append(bitset(nil), adj[i]...)
+		deg[i] = live[i].count()
+	}
+	for k := 0; k < n; k++ {
+		best, bestDeg := -1, n+2
+		for v := 0; v < n; v++ {
+			if !eliminated.has(v) && deg[v] < bestDeg {
+				best, bestDeg = v, deg[v]
+			}
+		}
+		f.perm[k] = int32(best)
+		f.iperm[best] = int32(k)
+		eliminated.set(best)
+		// Connect best's uneliminated neighbours pairwise.
+		for u := 0; u < n; u++ {
+			if u != best && live[best].has(u) && !eliminated.has(u) {
+				live[u].or(live[best])
+				d := 0
+				for w := 0; w < n; w++ {
+					if live[u].has(w) && !eliminated.has(w) && w != u {
+						d++
+					}
+				}
+				deg[u] = d
+			}
+		}
+	}
+
+	// Exact fill-in over the permuted symmetrised pattern: simulate the
+	// elimination row by row with bitsets.
+	rows := make([]bitset, n)
+	for k := 0; k < n; k++ {
+		rows[k] = newBitset(n)
+		orig := int(f.perm[k])
+		for j := 0; j < n; j++ {
+			if adj[orig].has(j) {
+				rows[k].set(int(f.iperm[j]))
+			}
+		}
+	}
+	for k := 0; k < n; k++ {
+		for i := k + 1; i < n; i++ {
+			if rows[i].has(k) {
+				rows[i].orAbove(rows[k], k)
+			}
+		}
+	}
+
+	// Freeze the factor layout.
+	f.rowPtr = make([]int32, n+1)
+	f.diag = make([]int32, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if rows[i].has(j) {
+				if j == i {
+					f.diag[i] = int32(len(f.col))
+				}
+				f.col = append(f.col, int32(j))
+			}
+		}
+		f.rowPtr[i+1] = int32(len(f.col))
+	}
+	f.vals = make([]float64, len(f.col))
+	f.work = make([]float64, n)
+
+	// Input scatter map: original CSR position -> factor position.
+	f.scatter = make([]int32, pat.NNZ())
+	for i := 0; i < n; i++ {
+		pi := int(f.iperm[i])
+		for s := pat.RowPtr[i]; s < pat.RowPtr[i+1]; s++ {
+			pj := int(f.iperm[pat.Col[s]])
+			f.scatter[s] = int32(f.factorPos(pi, pj))
+		}
+	}
+
+	// Compile the elimination schedule.
+	f.opPtr = make([]int32, len(f.col)+1)
+	for i := 0; i < n; i++ {
+		for p := f.rowPtr[i]; p < f.diag[i]; p++ {
+			k := int(f.col[p])
+			for q := f.diag[k] + 1; q < f.rowPtr[k+1]; q++ {
+				f.opSrc = append(f.opSrc, q)
+				f.opDst = append(f.opDst, int32(f.factorPos(i, int(f.col[q]))))
+			}
+			f.opPtr[p+1] = int32(len(f.opSrc))
+		}
+		for p := f.diag[i]; p < f.rowPtr[i+1]; p++ {
+			f.opPtr[p+1] = int32(len(f.opSrc))
+		}
+	}
+	return f
+}
+
+// factorPos returns the flat factor position of (i, j) in elimination
+// coordinates; it panics if absent (a symbolic-phase bug).
+func (f *SparseLU) factorPos(i, j int) int {
+	lo, hi := f.rowPtr[i], f.rowPtr[i+1]
+	for lo < hi {
+		mid := (lo + hi) / 2
+		switch {
+		case f.col[mid] < int32(j):
+			lo = mid + 1
+		case f.col[mid] > int32(j):
+			hi = mid
+		default:
+			return int(mid)
+		}
+	}
+	panic("linalg: sparse factor position missing")
+}
+
+// FillRatio reports factor density: nnz(L+U) / n².
+func (f *SparseLU) FillRatio() float64 {
+	if f.n == 0 {
+		return 0
+	}
+	return float64(len(f.col)) / float64(f.n*f.n)
+}
+
+// Ops reports the number of multiply-add operations one numeric
+// factorisation performs (the compiled schedule length).
+func (f *SparseLU) Ops() int { return len(f.opSrc) }
+
+// Factor replays the compiled elimination over the numeric values of the
+// input pattern (avals must be the values slice matching the CSRPattern the
+// factorisation was built from, length ≥ pattern NNZ). It allocates
+// nothing. A zero or NaN pivot returns ErrSingular, leaving the caller free
+// to retry with the dense pivoting LU.
+func (f *SparseLU) Factor(avals []float64) error {
+	vals := f.vals
+	for i := range vals {
+		vals[i] = 0
+	}
+	for s, p := range f.scatter {
+		vals[p] += avals[s]
+	}
+	opPtr, opSrc, opDst := f.opPtr, f.opSrc, f.opDst
+	for i := 0; i < f.n; i++ {
+		dstart, dend := f.rowPtr[i], f.diag[i]
+		for p := dstart; p < dend; p++ {
+			piv := vals[f.diag[f.col[p]]]
+			m := vals[p] / piv
+			vals[p] = m
+			if m == 0 {
+				continue
+			}
+			for t := opPtr[p]; t < opPtr[p+1]; t++ {
+				vals[opDst[t]] -= m * vals[opSrc[t]]
+			}
+		}
+		d := vals[f.diag[i]]
+		if d == 0 || math.IsNaN(d) || math.IsInf(d, 0) {
+			return ErrSingular
+		}
+	}
+	return nil
+}
+
+// Solve overwrites x with the solution of A·x = b using the current
+// numeric factorisation. b and x may alias. Allocation-free.
+func (f *SparseLU) Solve(b, x []float64) {
+	n := f.n
+	w := f.work
+	for i := 0; i < n; i++ {
+		w[i] = b[f.perm[i]]
+	}
+	// Forward substitution with unit-diagonal L.
+	for i := 0; i < n; i++ {
+		s := w[i]
+		for p := f.rowPtr[i]; p < f.diag[i]; p++ {
+			s -= f.vals[p] * w[f.col[p]]
+		}
+		w[i] = s
+	}
+	// Back substitution with U.
+	for i := n - 1; i >= 0; i-- {
+		s := w[i]
+		for p := f.diag[i] + 1; p < f.rowPtr[i+1]; p++ {
+			s -= f.vals[p] * w[f.col[p]]
+		}
+		w[i] = s / f.vals[f.diag[i]]
+	}
+	for i := 0; i < n; i++ {
+		x[f.perm[i]] = w[i]
+	}
+}

@@ -1,0 +1,149 @@
+package linalg
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// denseFromCSR expands pattern+values into a dense Matrix for reference
+// solves.
+func denseFromCSR(p *CSRPattern, vals []float64) *Matrix {
+	m := NewMatrix(p.N, p.N)
+	for i := 0; i < p.N; i++ {
+		for k := p.RowPtr[i]; k < p.RowPtr[i+1]; k++ {
+			m.Set(i, int(p.Col[k]), vals[k])
+		}
+	}
+	return m
+}
+
+func TestSparseLUSolveKnown(t *testing.T) {
+	// Tridiagonal 3x3: [[4,-1,0],[-1,4,-1],[0,-1,4]].
+	b := NewPatternBuilder(3)
+	b.Add(0, 1)
+	b.Add(1, 0)
+	b.Add(1, 2)
+	b.Add(2, 1)
+	pat := b.Build()
+	lu := NewSparseLU(pat)
+	vals := make([]float64, pat.NNZ())
+	set := func(i, j int, v float64) { vals[pat.Pos(i, j)] = v }
+	set(0, 0, 4)
+	set(0, 1, -1)
+	set(1, 0, -1)
+	set(1, 1, 4)
+	set(1, 2, -1)
+	set(2, 1, -1)
+	set(2, 2, 4)
+	if err := lu.Factor(vals); err != nil {
+		t.Fatal(err)
+	}
+	rhs := []float64{1, 2, 3}
+	x := make([]float64, 3)
+	lu.Solve(rhs, x)
+	want, err := SolveSystem(denseFromCSR(pat, vals), rhs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range x {
+		if math.Abs(x[i]-want[i]) > 1e-14 {
+			t.Fatalf("x[%d] = %v, want %v", i, x[i], want[i])
+		}
+	}
+}
+
+// TestSparseLURandomVsDense cross-checks the no-pivot sparse factorisation
+// against the pivoting dense LU on random diagonally-dominant matrices of
+// random sparsity — the class of matrices Gmin/Cmin-regularised MNA
+// produces.
+func TestSparseLURandomVsDense(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		n := 2 + rng.Intn(30)
+		b := NewPatternBuilder(n)
+		// Random symmetric structure, as produced by two-terminal stamps.
+		for k := 0; k < 3*n; k++ {
+			i, j := rng.Intn(n), rng.Intn(n)
+			b.Add(i, j)
+			b.Add(j, i)
+		}
+		pat := b.Build()
+		lu := NewSparseLU(pat)
+		for rep := 0; rep < 3; rep++ { // re-factor the same symbolic program
+			vals := make([]float64, pat.NNZ())
+			for i := 0; i < n; i++ {
+				var rowSum float64
+				for k := pat.RowPtr[i]; k < pat.RowPtr[i+1]; k++ {
+					if int(pat.Col[k]) != i {
+						vals[k] = rng.Float64()*2 - 1
+						rowSum += math.Abs(vals[k])
+					}
+				}
+				vals[pat.Pos(i, i)] = rowSum + 1 + rng.Float64()
+			}
+			if err := lu.Factor(vals); err != nil {
+				t.Fatalf("trial %d: %v", trial, err)
+			}
+			rhs := make([]float64, n)
+			for i := range rhs {
+				rhs[i] = rng.Float64()*2 - 1
+			}
+			x := make([]float64, n)
+			lu.Solve(rhs, x)
+			want, err := SolveSystem(denseFromCSR(pat, vals), rhs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := range x {
+				if math.Abs(x[i]-want[i]) > 1e-12 {
+					t.Fatalf("trial %d n=%d: x[%d] = %v, dense %v", trial, n, i, x[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+// TestSparseLUSingular: a matrix that needs pivoting (zero diagonal,
+// non-singular) must surface ErrSingular from the no-pivot factorisation —
+// the signal the circuit solver uses to fall back to the dense pivoting LU,
+// which handles the same matrix fine.
+func TestSparseLUSingular(t *testing.T) {
+	b := NewPatternBuilder(2)
+	b.Add(0, 1)
+	b.Add(1, 0)
+	pat := b.Build()
+	lu := NewSparseLU(pat)
+	vals := make([]float64, pat.NNZ())
+	vals[pat.Pos(0, 1)] = 1
+	vals[pat.Pos(1, 0)] = 1
+	if err := lu.Factor(vals); err != ErrSingular {
+		t.Fatalf("Factor = %v, want ErrSingular", err)
+	}
+	// The dense pivoting LU solves the same system.
+	if _, err := SolveSystem(denseFromCSR(pat, vals), []float64{1, 2}); err != nil {
+		t.Fatalf("dense fallback should succeed: %v", err)
+	}
+	// An exactly singular matrix fails too.
+	vals[pat.Pos(0, 1)] = 0
+	if err := lu.Factor(vals); err != ErrSingular {
+		t.Fatalf("Factor(singular) = %v, want ErrSingular", err)
+	}
+}
+
+// TestSparseLUFillRatio sanity-checks the symbolic phase: a tridiagonal
+// chain produces no fill at all, so the ratio must stay at nnz/n².
+func TestSparseLUFillRatio(t *testing.T) {
+	n := 50
+	b := NewPatternBuilder(n)
+	for i := 0; i+1 < n; i++ {
+		b.Add(i, i+1)
+		b.Add(i+1, i)
+	}
+	pat := b.Build()
+	lu := NewSparseLU(pat)
+	wantMax := float64(pat.NNZ()) / float64(n*n)
+	if r := lu.FillRatio(); r > wantMax+1e-12 {
+		t.Fatalf("tridiagonal fill ratio %v, want <= %v (no fill-in)", r, wantMax)
+	}
+}

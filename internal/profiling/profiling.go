@@ -1,0 +1,132 @@
+// Package profiling wires the standard runtime/pprof collectors and a
+// small JSON bench report into the command-line tools, so performance work
+// on the simulator can be measured on the real workloads (characterisation
+// and table regeneration) rather than only on micro-benchmarks.
+package profiling
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+	"time"
+)
+
+// Session owns the profile outputs of one command run. The zero Session
+// (from Start with empty paths) is inert: every method is a cheap no-op.
+type Session struct {
+	cpuFile *os.File
+	memPath string
+}
+
+// Start begins CPU profiling into cpuPath (when non-empty) and remembers
+// memPath for a heap profile at Stop. Either path may be empty.
+func Start(cpuPath, memPath string) (*Session, error) {
+	s := &Session{memPath: memPath}
+	if cpuPath != "" {
+		f, err := os.Create(cpuPath)
+		if err != nil {
+			return nil, fmt.Errorf("profiling: %w", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("profiling: %w", err)
+		}
+		s.cpuFile = f
+	}
+	return s, nil
+}
+
+// Stop ends the CPU profile and writes the heap profile, if requested.
+// Idempotent and nil-safe, so commands can both defer it and call it
+// explicitly on os.Exit error paths (which skip defers).
+func (s *Session) Stop() error {
+	if s == nil {
+		return nil
+	}
+	if s.cpuFile != nil {
+		pprof.StopCPUProfile()
+		if err := s.cpuFile.Close(); err != nil {
+			return fmt.Errorf("profiling: %w", err)
+		}
+		s.cpuFile = nil
+	}
+	if s.memPath != "" {
+		f, err := os.Create(s.memPath)
+		if err != nil {
+			return fmt.Errorf("profiling: %w", err)
+		}
+		runtime.GC() // get up-to-date allocation statistics
+		err = pprof.WriteHeapProfile(f)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return fmt.Errorf("profiling: %w", err)
+		}
+		s.memPath = ""
+	}
+	return nil
+}
+
+// Phase is one timed section of a command run.
+type Phase struct {
+	Name    string  `json:"name"`
+	Seconds float64 `json:"seconds"`
+}
+
+// Report accumulates phase wall times for a -bench-json dump. The zero
+// value is usable; a nil *Report ignores all calls, so call sites need no
+// flag checks.
+type Report struct {
+	Command     string  `json:"command"`
+	GoMaxProcs  int     `json:"goMaxProcs"`
+	Phases      []Phase `json:"phases"`
+	TotalSecond float64 `json:"totalSeconds"`
+
+	// Allocation totals over the whole process, from runtime.MemStats.
+	TotalAllocBytes uint64 `json:"totalAllocBytes"`
+	Mallocs         uint64 `json:"mallocs"`
+	NumGC           uint32 `json:"numGC"`
+
+	start time.Time
+}
+
+// NewReport starts a report for the named command.
+func NewReport(command string) *Report {
+	return &Report{Command: command, GoMaxProcs: runtime.GOMAXPROCS(0), start: time.Now()}
+}
+
+// Time runs f as a named phase and records its wall time.
+func (r *Report) Time(name string, f func() error) error {
+	if r == nil {
+		return f()
+	}
+	t0 := time.Now()
+	err := f()
+	r.Phases = append(r.Phases, Phase{Name: name, Seconds: time.Since(t0).Seconds()})
+	return err
+}
+
+// Write finalises the totals and writes the report as indented JSON.
+func (r *Report) Write(path string) error {
+	if r == nil || path == "" {
+		return nil
+	}
+	r.TotalSecond = time.Since(r.start).Seconds()
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	r.TotalAllocBytes = ms.TotalAlloc
+	r.Mallocs = ms.Mallocs
+	r.NumGC = ms.NumGC
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return fmt.Errorf("profiling: %w", err)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return fmt.Errorf("profiling: %w", err)
+	}
+	return nil
+}

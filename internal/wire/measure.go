@@ -109,8 +109,21 @@ type StageSamples struct {
 
 // MeasureStageOnce simulates a full stage once. ctx may be nil for a
 // nominal run; when non-nil its corner and keyed sub-streams drive the
-// device and wire-segment variation.
+// device and wire-segment variation. The solver cache is checked out of
+// cfg's pool for the duration of the call.
 func MeasureStageOnce(cfg *charlib.Config, st *Stage, ctx *stdcell.SampleCtx) (StageSample, error) {
+	cache := cfg.AcquireSolvers()
+	defer cfg.ReleaseSolvers(cache)
+	return MeasureStageOnceCached(cfg, st, ctx, cache)
+}
+
+// MeasureStageOnceCached is MeasureStageOnce with an explicit solver cache,
+// for callers that hold one per worker across many samples (path-level
+// Monte Carlo re-simulates the same stage topologies thousands of times).
+// cache may be nil to compile fresh solvers. Results are bit-identical
+// whether or not a cache is supplied.
+func MeasureStageOnceCached(cfg *charlib.Config, st *Stage, ctx *stdcell.SampleCtx,
+	cache *circuit.SolverCache) (StageSample, error) {
 	var out StageSample
 	drv := cfg.Lib.Cell(st.Driver)
 	if drv == nil {
@@ -212,7 +225,7 @@ func MeasureStageOnce(cfg *charlib.Config, st *Stage, ctx *stdcell.SampleCtx) (S
 	window := transEnd + 40*(tau+8e-12)
 	var lastErr error
 	for attempt := 0; attempt < 4; attempt++ {
-		res, err := ck.Transient(circuit.SimOptions{TStop: window, DT: window / 500})
+		res, err := ck.TransientCached(cache, circuit.SimOptions{TStop: window, DT: window / 500})
 		if err != nil {
 			return out, err
 		}
@@ -314,6 +327,8 @@ func MCStage(ctx context.Context, cfg *charlib.Config, st *Stage, n int, seed ui
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			cache := cfg.AcquireSolvers()
+			defer cfg.ReleaseSolvers(cache)
 			for i := range next {
 				if runCtx.Err() != nil {
 					return
@@ -323,7 +338,7 @@ func MCStage(ctx context.Context, cfg *charlib.Config, st *Stage, n int, seed ui
 					r := base.At(i)
 					sctx := &stdcell.SampleCtx{Model: cfg.Var, Corner: cfg.Var.SampleCorner(r), Base: r}
 					var merr error
-					s, merr = MeasureStageOnce(cfg, st, sctx)
+					s, merr = MeasureStageOnceCached(cfg, st, sctx, cache)
 					return merr
 				})
 				if err != nil {
