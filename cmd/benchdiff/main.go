@@ -1,0 +1,162 @@
+// Command benchdiff gates benchmark regressions against a recorded baseline.
+//
+// It reads a `go test -json` stream (or raw `go test -bench` text) from a
+// file or stdin, extracts every "ns/op" result, and compares each benchmark
+// against the "after" numbers of a baseline file such as BENCH_pr2.json.
+// When a benchmark ran more than once (-count=N), the fastest run is used —
+// the minimum is the standard noise-robust statistic for CI machines.
+//
+// A benchmark slower than its baseline by more than -tolerance (default
+// ±20%) fails the gate with exit status 1. Benchmarks present in only one
+// of the two sets are reported but never fail the gate, so adding or
+// retiring benchmarks does not require touching the baseline in the same
+// change.
+//
+// Usage:
+//
+//	go test -run='^$' -bench=. -count=3 -json ./... |
+//	    go run ./cmd/benchdiff -baseline BENCH_pr2.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+)
+
+func main() {
+	var (
+		baselinePath = flag.String("baseline", "BENCH_pr2.json", "baseline benchmark file")
+		inputPath    = flag.String("input", "-", "go test -json (or raw bench) stream; - for stdin")
+		tolerance    = flag.Float64("tolerance", 0.20, "allowed fractional slowdown vs baseline")
+	)
+	flag.Parse()
+
+	base, err := loadBaseline(*baselinePath)
+	if err != nil {
+		fatalf("benchdiff: %v", err)
+	}
+
+	var in io.Reader = os.Stdin
+	if *inputPath != "-" {
+		f, err := os.Open(*inputPath)
+		if err != nil {
+			fatalf("benchdiff: %v", err)
+		}
+		defer f.Close()
+		in = f
+	}
+	measured, err := parseStream(in)
+	if err != nil {
+		fatalf("benchdiff: %v", err)
+	}
+	if len(measured) == 0 {
+		fatalf("benchdiff: no benchmark results in input stream")
+	}
+
+	rows := compare(base, measured, *tolerance)
+	regressions := 0
+	for _, row := range rows {
+		fmt.Println(row.String())
+		if row.Status == statusRegression {
+			regressions++
+		}
+	}
+	if regressions > 0 {
+		fmt.Fprintf(os.Stderr, "benchdiff: %d benchmark(s) regressed beyond ±%.0f%%\n",
+			regressions, *tolerance*100)
+		os.Exit(1)
+	}
+	fmt.Printf("benchdiff: %d benchmark(s) within ±%.0f%% of baseline\n",
+		countCompared(rows), *tolerance*100)
+}
+
+func countCompared(rows []row) int {
+	n := 0
+	for _, r := range rows {
+		if r.Status != statusOnlyBaseline && r.Status != statusOnlyMeasured {
+			n++
+		}
+	}
+	return n
+}
+
+const (
+	statusOK           = "ok"
+	statusImproved     = "improved"
+	statusRegression   = "REGRESSION"
+	statusOnlyBaseline = "baseline-only"
+	statusOnlyMeasured = "new"
+)
+
+// row is one line of the gate report.
+type row struct {
+	Name       string
+	BaselineNs float64
+	MeasuredNs float64
+	Status     string
+}
+
+func (r row) String() string {
+	switch r.Status {
+	case statusOnlyBaseline:
+		return fmt.Sprintf("%-40s baseline %12.0f ns/op   (not run; skipped)", r.Name, r.BaselineNs)
+	case statusOnlyMeasured:
+		return fmt.Sprintf("%-40s measured %12.0f ns/op   (no baseline; informational)", r.Name, r.MeasuredNs)
+	default:
+		delta := r.MeasuredNs/r.BaselineNs - 1
+		return fmt.Sprintf("%-40s baseline %12.0f ns/op   measured %12.0f ns/op   %+6.1f%%  %s",
+			r.Name, r.BaselineNs, r.MeasuredNs, delta*100, r.Status)
+	}
+}
+
+// compare joins the baseline against the measured set and classifies each
+// benchmark. Rows are sorted by name for stable output.
+func compare(base map[string]baselineEntry, measured map[string]measurement, tolerance float64) []row {
+	names := make(map[string]bool)
+	for n := range base {
+		names[n] = true
+	}
+	for n := range measured {
+		names[n] = true
+	}
+	sorted := make([]string, 0, len(names))
+	for n := range names {
+		sorted = append(sorted, n)
+	}
+	sort.Strings(sorted)
+
+	var rows []row
+	for _, name := range sorted {
+		b, inBase := base[name]
+		m, inMeasured := measured[name]
+		switch {
+		case !inMeasured:
+			rows = append(rows, row{Name: name, BaselineNs: b.After.NsPerOp, Status: statusOnlyBaseline})
+		case !inBase:
+			rows = append(rows, row{Name: name, MeasuredNs: m.nsPerOp, Status: statusOnlyMeasured})
+		default:
+			status := statusOK
+			switch {
+			case m.nsPerOp > b.After.NsPerOp*(1+tolerance):
+				status = statusRegression
+			case m.nsPerOp < b.After.NsPerOp*(1-tolerance):
+				status = statusImproved
+			}
+			rows = append(rows, row{
+				Name:       name,
+				BaselineNs: b.After.NsPerOp,
+				MeasuredNs: m.nsPerOp,
+				Status:     status,
+			})
+		}
+	}
+	return rows
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, format+"\n", args...)
+	os.Exit(2)
+}

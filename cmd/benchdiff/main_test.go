@@ -1,0 +1,108 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const jsonStream = `{"Time":"2026-01-01T00:00:00Z","Action":"start","Package":"repro/internal/circuit"}
+{"Time":"2026-01-01T00:00:01Z","Action":"output","Package":"repro/internal/circuit","Output":"goos: linux\n"}
+{"Time":"2026-01-01T00:00:01Z","Action":"output","Package":"repro/internal/circuit","Output":"BenchmarkTransientInverter-4 \t     100\t    150000 ns/op\t   15784 B/op\t      64 allocs/op\n"}
+{"Time":"2026-01-01T00:00:02Z","Action":"output","Package":"repro/internal/circuit","Output":"BenchmarkTransientInverter-4 \t     120\t    130000 ns/op\n"}
+{"Time":"2026-01-01T00:00:03Z","Action":"output","Package":"repro/internal/charlib","Output":"BenchmarkMCArc-4 \t       1\t 9000000 ns/op\n"}
+{"Time":"2026-01-01T00:00:04Z","Action":"pass","Package":"repro/internal/charlib"}
+`
+
+func TestParseStreamJSON(t *testing.T) {
+	measured, err := parseStream(strings.NewReader(jsonStream))
+	if err != nil {
+		t.Fatal(err)
+	}
+	inv, ok := measured["BenchmarkTransientInverter"]
+	if !ok {
+		t.Fatalf("BenchmarkTransientInverter missing: %v", measured)
+	}
+	if inv.nsPerOp != 130000 {
+		t.Errorf("expected min of repeated runs (130000), got %g", inv.nsPerOp)
+	}
+	if inv.pkg != "repro/internal/circuit" {
+		t.Errorf("package not carried through: %q", inv.pkg)
+	}
+	if mc := measured["BenchmarkMCArc"]; mc.nsPerOp != 9e6 {
+		t.Errorf("BenchmarkMCArc ns/op = %g, want 9e6", mc.nsPerOp)
+	}
+}
+
+func TestParseStreamNameElidedForm(t *testing.T) {
+	// In -json mode the testing package often prints the benchmark name as
+	// one output event and the timing on the next line; the name then only
+	// appears in the event's Test field.
+	stream := `{"Action":"output","Package":"repro/internal/circuit","Test":"BenchmarkTransientChain5","Output":"BenchmarkTransientChain5\n"}
+{"Action":"output","Package":"repro/internal/circuit","Test":"BenchmarkTransientChain5","Output":"      36\t    602250 ns/op\n"}
+`
+	measured, err := parseStream(strings.NewReader(stream))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, ok := measured["BenchmarkTransientChain5"]
+	if !ok || m.nsPerOp != 602250 {
+		t.Fatalf("name-elided parse: got %+v", measured)
+	}
+}
+
+func TestParseStreamRawText(t *testing.T) {
+	raw := "goos: linux\nBenchmarkFoo-8 \t 200 \t 5500 ns/op\nPASS\n"
+	measured, err := parseStream(strings.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m := measured["BenchmarkFoo"]; m.nsPerOp != 5500 {
+		t.Errorf("raw-text parse: got %+v", measured)
+	}
+}
+
+func baseOf(name string, ns float64) map[string]baselineEntry {
+	e := baselineEntry{Name: name}
+	e.After.NsPerOp = ns
+	return map[string]baselineEntry{name: e}
+}
+
+func TestCompareClassification(t *testing.T) {
+	cases := []struct {
+		name     string
+		baseline float64
+		measured float64
+		want     string
+	}{
+		{"within tolerance", 1000, 1100, statusOK},
+		{"exact", 1000, 1000, statusOK},
+		{"just under gate", 1000, 1199, statusOK},
+		{"over gate", 1000, 1201, statusRegression},
+		{"much faster", 1000, 700, statusImproved},
+	}
+	for _, c := range cases {
+		rows := compare(baseOf("BenchmarkX", c.baseline),
+			map[string]measurement{"BenchmarkX": {nsPerOp: c.measured}}, 0.20)
+		if len(rows) != 1 || rows[0].Status != c.want {
+			t.Errorf("%s: got %+v, want status %s", c.name, rows, c.want)
+		}
+	}
+}
+
+func TestCompareDisjointSetsNeverGate(t *testing.T) {
+	rows := compare(
+		baseOf("BenchmarkOld", 1000),
+		map[string]measurement{"BenchmarkNew": {nsPerOp: 1}},
+		0.20)
+	if len(rows) != 2 {
+		t.Fatalf("expected 2 rows, got %+v", rows)
+	}
+	for _, r := range rows {
+		if r.Status == statusRegression {
+			t.Errorf("disjoint benchmark %s flagged as regression", r.Name)
+		}
+	}
+	if countCompared(rows) != 0 {
+		t.Errorf("disjoint rows counted as compared")
+	}
+}

@@ -1,0 +1,127 @@
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// baselineEntry mirrors one benchmarks[] element of BENCH_pr*.json. Only the
+// "after" timing participates in the gate; before/speedup document history.
+type baselineEntry struct {
+	Name    string `json:"name"`
+	Package string `json:"package"`
+	After   struct {
+		NsPerOp float64 `json:"ns_per_op"`
+	} `json:"after"`
+}
+
+type baselineFile struct {
+	Description string          `json:"description"`
+	Benchmarks  []baselineEntry `json:"benchmarks"`
+}
+
+func loadBaseline(path string) (map[string]baselineEntry, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var bf baselineFile
+	if err := json.Unmarshal(raw, &bf); err != nil {
+		return nil, fmt.Errorf("baseline %s: %v", path, err)
+	}
+	base := make(map[string]baselineEntry, len(bf.Benchmarks))
+	for _, b := range bf.Benchmarks {
+		if b.Name == "" || b.After.NsPerOp <= 0 {
+			return nil, fmt.Errorf("baseline %s: entry %q has no after.ns_per_op", path, b.Name)
+		}
+		base[b.Name] = b
+	}
+	return base, nil
+}
+
+// measurement is the fastest observed run of one benchmark.
+type measurement struct {
+	pkg     string
+	nsPerOp float64
+}
+
+// testEvent is the subset of the `go test -json` event schema we consume.
+type testEvent struct {
+	Action  string `json:"Action"`
+	Package string `json:"Package"`
+	Test    string `json:"Test"`
+	Output  string `json:"Output"`
+}
+
+// benchLine matches a benchmark result line as printed by the testing
+// package: name (with the -GOMAXPROCS suffix), iteration count, ns/op.
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([0-9.eE+]+) ns/op`)
+
+// resultLine matches a result line with the name elided — in -json mode the
+// testing package often emits the benchmark name as its own output event and
+// the timing on the next line; the name then rides in the event's Test field.
+var resultLine = regexp.MustCompile(`^\d+\s+([0-9.eE+]+) ns/op`)
+
+// gomaxprocsSuffix strips the trailing -N of a fully qualified bench name.
+var gomaxprocsSuffix = regexp.MustCompile(`-\d+$`)
+
+// parseStream extracts benchmark timings from a `go test -json` stream.
+// Lines that are not JSON are treated as raw `go test -bench` output, so the
+// tool works on both piped -json runs and plain captured logs. Repeated runs
+// of the same benchmark (-count=N) keep the minimum ns/op.
+func parseStream(r io.Reader) (map[string]measurement, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 64*1024*1024)
+	measured := make(map[string]measurement)
+	record := func(name, pkg string, ns float64) {
+		if ns <= 0 {
+			return
+		}
+		if prev, ok := measured[name]; !ok || ns < prev.nsPerOp {
+			measured[name] = measurement{pkg: pkg, nsPerOp: ns}
+		}
+	}
+	for sc.Scan() {
+		line := sc.Text()
+		pkg, test := "", ""
+		text := line
+		if strings.HasPrefix(strings.TrimSpace(line), "{") {
+			var ev testEvent
+			if err := json.Unmarshal([]byte(line), &ev); err == nil {
+				if ev.Action != "output" {
+					continue
+				}
+				pkg, test = ev.Package, ev.Test
+				text = strings.TrimSuffix(ev.Output, "\n")
+			}
+		}
+		text = strings.TrimSpace(text)
+		if m := benchLine.FindStringSubmatch(text); m != nil {
+			ns, err := strconv.ParseFloat(m[2], 64)
+			if err == nil {
+				record(m[1], pkg, ns)
+			}
+			continue
+		}
+		// Name-elided form: "     145\t    140381 ns/op" with the benchmark
+		// name carried by the surrounding -json event.
+		if strings.HasPrefix(test, "Benchmark") {
+			if m := resultLine.FindStringSubmatch(text); m != nil {
+				ns, err := strconv.ParseFloat(m[1], 64)
+				if err == nil {
+					record(gomaxprocsSuffix.ReplaceAllString(test, ""), pkg, ns)
+				}
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("read stream: %v", err)
+	}
+	return measured, nil
+}

@@ -1,0 +1,86 @@
+// Command timingd is the long-lived N-sigma timing-query server: it loads
+// the coefficients file once at startup and then hosts any number of named
+// designs, each backed by an incremental STA engine, serving concurrent
+// timing queries over HTTP/JSON while ECO edits stream in.
+//
+//	timingd -lib coeffs.json -addr :8080
+//
+//	# load a built-in benchmark as design "c432"
+//	curl -X PUT localhost:8080/designs/c432 -d '{"circuit":"c432"}'
+//	# query the 5 worst paths at the current version
+//	curl 'localhost:8080/designs/c432/paths?k=5'
+//	# resize a cell; only its downstream cone is re-timed
+//	curl -X POST localhost:8080/designs/c432/edits \
+//	     -d '{"op":"resize","gate":"U7","strength":8}'
+//	# re-propagation counters, cache hit ratio, request counts
+//	curl localhost:8080/metrics
+//
+// SIGINT/SIGTERM drain in-flight requests and stop every design's edit
+// queue before exiting.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/resilience"
+	"repro/internal/server"
+	"repro/internal/timinglib"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", ":8080", "listen address")
+		libPath  = flag.String("lib", "coeffs.json", "coefficients file (from cmd/characterize)")
+		drainFor = flag.Duration("drain", 10*time.Second, "shutdown drain timeout")
+	)
+	flag.Parse()
+
+	lib, err := timinglib.Load(*libPath)
+	if err != nil {
+		log.Fatal(resilience.Wrap("timingd: load library", err))
+	}
+
+	srv := server.New(lib)
+	hs := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() {
+		log.Printf("timingd: serving on %s (library %s, %d arcs)", *addr, *libPath, len(lib.Arcs))
+		errc <- hs.ListenAndServe()
+	}()
+
+	select {
+	case err := <-errc:
+		// Listen failed before any signal: nothing to drain.
+		log.Fatal(resilience.Wrap("timingd: serve", err))
+	case <-ctx.Done():
+	}
+
+	log.Printf("timingd: shutdown signal, draining for up to %v", *drainFor)
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drainFor)
+	defer cancel()
+	if err := hs.Shutdown(drainCtx); err != nil {
+		log.Printf("timingd: drain incomplete: %v (class %s)", err, resilience.Classify(err))
+	}
+	srv.Close()
+	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Fatal(resilience.Wrap("timingd: serve", err))
+	}
+	fmt.Println("timingd: bye")
+}

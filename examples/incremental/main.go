@@ -1,0 +1,148 @@
+// incremental demonstrates the incremental N-sigma STA engine: one full
+// analysis up front, then ECO-style edits (here: upsizing every cell on the
+// worst path) that re-propagate eq. 10 through only the downstream cone of
+// each edit. For every edit it prints how many gates were re-evaluated
+// against what a from-scratch analysis would have to time, and at the end it
+// proves the incremental state is bit-identical to a fresh run.
+//
+// With no -lib argument it characterises a coefficients file first, which
+// takes several minutes; reuse one from cmd/characterize to skip that:
+//
+//	go run ./cmd/characterize -profile quick -out coeffs.json
+//	go run ./examples/incremental -lib coeffs.json -circuit c1355
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro"
+	"repro/internal/experiments"
+)
+
+func main() {
+	libPath := flag.String("lib", "", "coefficients file (empty = characterise now at quick effort)")
+	circuit := flag.String("circuit", "c432", "benchmark name")
+	flag.Parse()
+
+	var lib *repro.TimingFile
+	if *libPath != "" {
+		var err error
+		lib, err = repro.LoadTimingFile(*libPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+	} else {
+		fmt.Println("no -lib given: characterising the library at quick effort (minutes)...")
+		ctx := experiments.NewContext(experiments.Quick, 1)
+		ctx.Log = os.Stderr
+		var err error
+		lib, err = ctx.BuildTimingFile()
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	nl, err := repro.GenerateBenchmark(*circuit)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg := repro.DefaultConfig()
+	trees, err := repro.ExtractParasitics(cfg, nl, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	t0 := time.Now()
+	eng, err := repro.NewIncrementalEngine(lib, nl, trees, repro.IncrementalConfig{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\n%s: %d cells — initial full analysis in %v\n",
+		nl.Name, eng.GateCount(), time.Since(t0).Round(time.Millisecond))
+
+	// The ECO: upsize every distinct cell on the +3σ worst path one drive
+	// strength step (1→2→4→8), the classic fix for a failing setup path.
+	paths, err := eng.Snapshot().WorstPaths(1)
+	if err != nil || len(paths) == 0 {
+		log.Fatalf("worst path: %v", err)
+	}
+	worst := paths[0]
+	before := worst.Quantile(3)
+	fmt.Printf("worst path: %d stages ending at %s, +3σ delay %.1f ps\n",
+		len(worst.Stages), worst.Endpoint, before*1e12)
+
+	design, _ := eng.CopyDesign()
+	seen := map[int]bool{}
+	var targets []int
+	for _, s := range worst.Stages {
+		if s.GateIdx >= 0 && !seen[s.GateIdx] {
+			seen[s.GateIdx] = true
+			targets = append(targets, s.GateIdx)
+		}
+	}
+	sort.Ints(targets)
+
+	fmt.Printf("\n%-8s %-12s %8s %8s %8s %10s\n",
+		"gate", "edit", "seeded", "reeval", "cut", "cone size")
+	var edits, reeval int
+	for _, gi := range targets {
+		g := design.Gates[gi]
+		next, ok := upsize(g.Cell)
+		if !ok {
+			continue // already at max drive
+		}
+		rep, err := eng.ResizeCell(g.Name, next)
+		if err != nil {
+			log.Fatalf("resize %s: %v", g.Name, err)
+		}
+		edits++
+		reeval += rep.Reevaluated
+		fmt.Printf("%-8s %-12s %8d %8d %8d %9.1f%%\n",
+			g.Name, fmt.Sprintf("%s→x%d", g.Cell, next),
+			rep.Seeded, rep.Reevaluated, rep.Cut,
+			100*float64(rep.Reevaluated)/float64(eng.GateCount()))
+	}
+
+	after, err := eng.Snapshot().WorstPaths(1)
+	if err != nil || len(after) == 0 {
+		log.Fatalf("worst path after ECO: %v", err)
+	}
+	fmt.Printf("\nworst path +3σ delay: %.1f ps → %.1f ps\n",
+		before*1e12, after[0].Quantile(3)*1e12)
+
+	full := edits * eng.GateCount()
+	stats := eng.Stats()
+	fmt.Printf("\nincremental work: %d gate evaluations over %d edits\n", reeval, edits)
+	fmt.Printf("full re-analysis: %d evaluations (%d × %d gates) — %.1f× more\n",
+		full, edits, eng.GateCount(), float64(full)/float64(max(reeval, 1)))
+	fmt.Printf("cache hit ratio:  %.3f\n", stats.CacheHitRatio())
+
+	t0 = time.Now()
+	if err := eng.VerifyFull(context.Background()); err != nil {
+		log.Fatalf("verify: %v", err)
+	}
+	fmt.Printf("\nverified bit-identical to a fresh analysis (in %v)\n",
+		time.Since(t0).Round(time.Millisecond))
+}
+
+// upsize returns the next drive strength above the cell's ("INVx2" → 4), or
+// false when the cell is already at the top of the 1/2/4/8 ladder.
+func upsize(cell string) (int, bool) {
+	i := strings.LastIndexByte(cell, 'x')
+	if i < 0 {
+		return 0, false
+	}
+	s, err := strconv.Atoi(cell[i+1:])
+	if err != nil || s >= 8 {
+		return 0, false
+	}
+	return s * 2, true
+}

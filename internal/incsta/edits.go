@@ -1,0 +1,260 @@
+package incsta
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/rctree"
+	"repro/internal/sta"
+	"repro/internal/waveform"
+)
+
+// EditError is the typed rejection of a malformed ECO edit. Validation runs
+// before any state is touched, so a rejected edit leaves the engine exactly
+// as it was.
+type EditError struct {
+	Op     string // "resize", "swap", "set-net-parasitics", "set-input-slew"
+	Target string // gate or net name
+	Reason string
+}
+
+// Error implements error.
+func (e *EditError) Error() string {
+	if e.Target == "" {
+		return fmt.Sprintf("incsta: %s: %s", e.Op, e.Reason)
+	}
+	return fmt.Sprintf("incsta: %s %q: %s", e.Op, e.Target, e.Reason)
+}
+
+// Report describes what one edit's re-propagation did.
+type Report struct {
+	Op string
+	// Seeded is the size of the initial dirty frontier (gates + PIs).
+	Seeded int
+	// Reevaluated counts gate evaluations performed.
+	Reevaluated int
+	// Cut counts gates whose recomputed state matched the cache within
+	// epsilon, terminating their downstream cone.
+	Cut int
+	// Endpoints counts endpoint entries re-transported.
+	Endpoints int
+}
+
+// ResizeCell swaps a gate to a different drive strength of the same kind
+// ("INVx1" → "INVx4"), following the library's "<kind>x<strength>" naming.
+func (e *Engine) ResizeCell(gate string, strength int) (*Report, error) {
+	if strength <= 0 {
+		return nil, &EditError{Op: "resize", Target: gate,
+			Reason: fmt.Sprintf("strength must be positive, got %d", strength)}
+	}
+	e.mu.Lock()
+	gi, ok := e.idx.Gate(gate)
+	if !ok {
+		e.mu.Unlock()
+		return nil, &EditError{Op: "resize", Target: gate, Reason: "unknown gate"}
+	}
+	cell := e.nl.Gates[gi].Cell
+	e.mu.Unlock()
+	x := strings.LastIndexByte(cell, 'x')
+	if x <= 0 {
+		return nil, &EditError{Op: "resize", Target: gate,
+			Reason: fmt.Sprintf("cell %q has no x<strength> suffix", cell)}
+	}
+	if _, err := strconv.Atoi(cell[x+1:]); err != nil {
+		return nil, &EditError{Op: "resize", Target: gate,
+			Reason: fmt.Sprintf("cell %q has no x<strength> suffix", cell)}
+	}
+	return e.swap("resize", gate, fmt.Sprintf("%sx%d", cell[:x], strength))
+}
+
+// SwapCell replaces a gate's cell with another library cell exposing the
+// same input pins (e.g. a NAND2 of a different VT flavour or strength).
+func (e *Engine) SwapCell(gate, newCell string) (*Report, error) {
+	return e.swap("swap", gate, newCell)
+}
+
+func (e *Engine) swap(op, gate, newCell string) (*Report, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+
+	gi, ok := e.idx.Gate(gate)
+	if !ok {
+		return nil, &EditError{Op: op, Target: gate, Reason: "unknown gate"}
+	}
+	g := &e.nl.Gates[gi]
+	oldCell := g.Cell
+	if newCell == oldCell {
+		e.stats.Edits++
+		rep := &Report{Op: op}
+		if err := e.publishLocked(); err != nil {
+			return nil, err
+		}
+		return rep, nil
+	}
+
+	// Validate everything before touching state: the new cell must exist,
+	// expose every input pin with arcs for both edges, and be covered by
+	// the wire-variability calibration.
+	info, err := e.lib.Cell(newCell)
+	if err != nil {
+		return nil, &EditError{Op: op, Target: gate,
+			Reason: fmt.Sprintf("unknown cell %q", newCell)}
+	}
+	pins := make([]string, 0, len(g.Pins)-1)
+	for p := range g.Pins {
+		if p != "Y" {
+			pins = append(pins, p)
+		}
+	}
+	sort.Strings(pins)
+	for _, p := range pins {
+		if _, ok := info.PinCaps[p]; !ok {
+			return nil, &EditError{Op: op, Target: gate,
+				Reason: fmt.Sprintf("cell %q has no input pin %q", newCell, p)}
+		}
+		for _, edge := range []waveform.Edge{waveform.Falling, waveform.Rising} {
+			if _, err := e.lib.Arc(newCell, p, edge); err != nil {
+				return nil, &EditError{Op: op, Target: gate,
+					Reason: fmt.Sprintf("cell %q has no %s arc on pin %q", newCell, edge, p)}
+			}
+		}
+	}
+	if e.lib.Wire != nil {
+		if _, err := e.lib.Wire.XW(newCell, newCell); err != nil {
+			return nil, &EditError{Op: op, Target: gate,
+				Reason: fmt.Sprintf("cell %q not covered by the wire calibration: %v", newCell, err)}
+		}
+	}
+
+	// Stage the input-net tree updates (pin-cap deltas at this gate's
+	// leaves) so validation failures leave the engine untouched.
+	type treePatch struct {
+		net  string
+		tree *rctree.Tree
+	}
+	var patches []treePatch
+	staged := make(map[string]*rctree.Tree)
+	for _, p := range pins {
+		net := g.Pins[p]
+		oldPC, err := e.lib.PinCap(oldCell, p)
+		if err != nil {
+			return nil, &EditError{Op: op, Target: gate,
+				Reason: fmt.Sprintf("current cell %q: %v", oldCell, err)}
+		}
+		newPC := info.PinCaps[p]
+		delta := newPC - oldPC
+		if delta == 0 {
+			continue
+		}
+		src, ok := staged[net]
+		if !ok {
+			src = e.trees[net].Clone()
+			staged[net] = src
+			patches = append(patches, treePatch{net: net, tree: src})
+		}
+		leafName := fmt.Sprintf("pin:%s:%s", g.Name, p)
+		leaf := src.NodeIndex(leafName)
+		if leaf < 0 {
+			return nil, &EditError{Op: op, Target: gate,
+				Reason: fmt.Sprintf("tree %s has no leaf %q", net, leafName)}
+		}
+		if src.Nodes[leaf].C+delta < 0 {
+			return nil, &EditError{Op: op, Target: gate,
+				Reason: fmt.Sprintf("pin-cap delta %g would make leaf %q capacitance negative", delta, leafName)}
+		}
+		src.Nodes[leaf].C += delta
+	}
+
+	// Commit: swap the cell, install the patched trees, seed the frontier.
+	g.Cell = newCell
+	d := newDirtySet()
+	d.gates[gi] = struct{}{}
+	e.touchNet(d, g.Output())
+	for _, p := range patches {
+		e.trees[p.net] = p.tree
+		e.touchNet(d, p.net)
+	}
+	return e.finishEdit(op, d)
+}
+
+// SetNetParasitics re-binds a net to a new RC tree — the ECO that follows a
+// re-route or a fresh extraction. The tree must be structurally valid and
+// carry a leaf for every sink pin of the net (the extractor's
+// "pin:<gate>:<pin>" / "pin:PO<i>" convention).
+func (e *Engine) SetNetParasitics(net string, tree *rctree.Tree) (*Report, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+
+	if !e.idx.HasNet(net) {
+		return nil, &EditError{Op: "set-net-parasitics", Target: net, Reason: "unknown net"}
+	}
+	if tree == nil {
+		return nil, &EditError{Op: "set-net-parasitics", Target: net, Reason: "nil tree"}
+	}
+	if err := tree.Validate(); err != nil {
+		return nil, &EditError{Op: "set-net-parasitics", Target: net, Reason: err.Error()}
+	}
+	for si, s := range e.idx.Fanout(net) {
+		var leafName string
+		if s.Gate >= 0 {
+			leafName = fmt.Sprintf("pin:%s:%s", e.nl.Gates[s.Gate].Name, s.Pin)
+		} else {
+			leafName = fmt.Sprintf("pin:PO%d", si)
+		}
+		if tree.NodeIndex(leafName) < 0 {
+			return nil, &EditError{Op: "set-net-parasitics", Target: net,
+				Reason: fmt.Sprintf("tree has no leaf %q", leafName)}
+		}
+	}
+
+	owned := tree.Clone()
+	owned.Net = net
+	e.trees[net] = owned
+	d := newDirtySet()
+	e.touchNet(d, net)
+	return e.finishEdit("set-net-parasitics", d)
+}
+
+// SetInputSlew overrides the input transition of one primary-input net (the
+// per-port set_input_transition ECO). The override lands in
+// sta.Options.InputSlews, so a fresh analysis with the engine's Options
+// sees the identical boundary condition.
+func (e *Engine) SetInputSlew(net string, slew float64) (*Report, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+
+	if !e.idx.IsInput(net) {
+		return nil, &EditError{Op: "set-input-slew", Target: net, Reason: "not a primary input"}
+	}
+	if slew <= 0 {
+		return nil, &EditError{Op: "set-input-slew", Target: net,
+			Reason: fmt.Sprintf("slew must be positive, got %g", slew)}
+	}
+	opt := e.timer.Options()
+	slews := make(map[string]float64, len(opt.InputSlews)+1)
+	for k, v := range opt.InputSlews {
+		slews[k] = v
+	}
+	slews[net] = slew
+	opt.InputSlews = slews
+	timer, err := e.timer.WithOptions(opt)
+	if err != nil {
+		return nil, &EditError{Op: "set-input-slew", Target: net, Reason: err.Error()}
+	}
+	e.timer = timer
+
+	d := newDirtySet()
+	d.inputs[net] = struct{}{}
+	return e.finishEdit("set-input-slew", d)
+}
+
+// Options returns the engine's effective analysis options (including
+// accumulated input-slew overrides) — what a fresh analysis needs to
+// reproduce the engine's state.
+func (e *Engine) Options() sta.Options {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.timer.Options()
+}

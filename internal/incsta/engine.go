@@ -1,0 +1,402 @@
+// Package incsta is the incremental N-sigma statistical STA engine: it
+// keeps the levelized per-net arrival/slew state of a design resident and,
+// after an ECO edit (cell resize/swap, net re-extraction, input-slew
+// change), re-propagates eq. 10 only through the edit's downstream cone,
+// cutting the cone early where recomputed quantiles match the cached state.
+//
+// This is the block-level caching idea of Li et al.'s hierarchical SSTA
+// brought to the paper's quantile-sum model: statistical arrival state is
+// cached at every net and re-derived only where an edit can have changed
+// it. All arithmetic is the shared evaluation core of internal/sta
+// (Timer.EvalGate, Timer.EndpointsForNet, Timer.ResultFrom), so with
+// Epsilon = 0 the incremental state is bit-identical to a fresh
+// sta.AnalyzeContext of the edited design — the consistency guarantee the
+// property tests pin down.
+//
+// Concurrency model: edits are serialized on an internal mutex and publish
+// an immutable Snapshot; queries read the latest snapshot lock-free (see
+// Snapshot), which is what the long-lived timing server builds on.
+package incsta
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/netlist"
+	"repro/internal/rctree"
+	"repro/internal/sta"
+	"repro/internal/timinglib"
+)
+
+// Config tunes an Engine.
+type Config struct {
+	// Options are the sta analysis options (validated by sta.NewTimer).
+	Options sta.Options
+	// Epsilon is the early-termination cutoff: re-propagation stops at a
+	// gate whose recomputed arrival quantiles and root slew all lie within
+	// Epsilon (seconds) of the cached state. 0 (the default) demands exact
+	// equality and preserves bit-identity with a fresh analysis; a positive
+	// value trades per-endpoint accuracy (bounded by path depth × Epsilon)
+	// for smaller re-propagation cones.
+	Epsilon float64
+}
+
+// Stats are the cumulative re-propagation counters of an engine — the
+// numbers behind the server's /metrics and the incremental-vs-full
+// comparison of examples/incremental.
+type Stats struct {
+	// Edits counts applied edits (including no-ops).
+	Edits uint64
+	// GatesReevaluated counts gate evaluations performed by edit
+	// re-propagation (full rebuilds excluded).
+	GatesReevaluated uint64
+	// GatesCut counts re-evaluated gates whose state matched the cache
+	// within Epsilon, terminating their cone early.
+	GatesCut uint64
+	// EndpointsRecomputed counts endpoint entries re-transported.
+	EndpointsRecomputed uint64
+	// FullPasses counts full propagations (construction and Rebuild).
+	FullPasses uint64
+	// GateCount is the design size a full pass would evaluate.
+	GateCount uint64
+}
+
+// CacheHitRatio is the fraction of gate evaluations the incremental engine
+// avoided versus running a full analysis per edit: 1 − reevaluated/(edits ×
+// gates). 0 until the first edit.
+func (s Stats) CacheHitRatio() float64 {
+	denom := float64(s.Edits) * float64(s.GateCount)
+	if denom == 0 {
+		return 0
+	}
+	r := 1 - float64(s.GatesReevaluated)/denom
+	if r < 0 {
+		return 0
+	}
+	return r
+}
+
+// Engine is an incremental timing view of one design. All exported methods
+// are safe for concurrent use: edits serialize on an internal mutex,
+// queries go through immutable snapshots.
+type Engine struct {
+	mu    sync.Mutex // serializes edits and rebuilds
+	lib   *timinglib.File
+	nl    *netlist.Netlist // engine-owned copy; edits mutate Cell fields only
+	idx   *netlist.Index
+	trees map[string]*rctree.Tree // entries replaced on edit, trees never mutated
+	timer *sta.Timer
+	eps   float64
+
+	order []int // topological gate order
+	pos   []int // gate index → position in order
+
+	state sta.StateMap
+	ep    map[string][]sta.EndpointEntry
+
+	stats   Stats
+	version uint64
+	snap    atomic.Pointer[Snapshot]
+}
+
+// New builds an engine over a copy of the netlist and parasitics (the
+// caller's values are never mutated) and runs the initial full propagation.
+func New(lib *timinglib.File, nl *netlist.Netlist, trees map[string]*rctree.Tree, cfg Config) (*Engine, error) {
+	if cfg.Epsilon < 0 {
+		return nil, &EditError{Op: "new", Reason: fmt.Sprintf("negative epsilon %g", cfg.Epsilon)}
+	}
+	nlCopy := copyNetlist(nl)
+	treeCopy := make(map[string]*rctree.Tree, len(trees))
+	for net, t := range trees {
+		treeCopy[net] = t
+	}
+	timer, err := sta.NewTimer(lib, nlCopy, treeCopy, cfg.Options)
+	if err != nil {
+		return nil, err
+	}
+	idx, err := nlCopy.BuildIndex()
+	if err != nil {
+		return nil, err
+	}
+	order, err := nlCopy.Levelize()
+	if err != nil {
+		return nil, err
+	}
+	pos := make([]int, len(nlCopy.Gates))
+	for p, gi := range order {
+		pos[gi] = p
+	}
+	e := &Engine{
+		lib: lib, nl: nlCopy, idx: idx, trees: treeCopy, timer: timer,
+		eps: cfg.Epsilon, order: order, pos: pos,
+		stats: Stats{GateCount: uint64(len(nlCopy.Gates))},
+	}
+	if err := e.rebuildLocked(); err != nil {
+		return nil, err
+	}
+	return e, nil
+}
+
+// copyNetlist deep-copies the parts of a netlist edits mutate (the gate
+// slice and pin maps); name slices are shared read-only.
+func copyNetlist(nl *netlist.Netlist) *netlist.Netlist {
+	out := &netlist.Netlist{
+		Name:    nl.Name,
+		Inputs:  nl.Inputs,
+		Outputs: nl.Outputs,
+		Gates:   make([]netlist.Gate, len(nl.Gates)),
+	}
+	for i, g := range nl.Gates {
+		pins := make(map[string]string, len(g.Pins))
+		for p, n := range g.Pins {
+			pins[p] = n
+		}
+		out.Gates[i] = netlist.Gate{Name: g.Name, Cell: g.Cell, Pins: pins}
+	}
+	return out
+}
+
+// Rebuild discards the cached state and re-propagates the whole design —
+// the recovery path after a failed edit, and the baseline the property
+// tests compare against.
+func (e *Engine) Rebuild() error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.rebuildLocked()
+}
+
+func (e *Engine) rebuildLocked() error {
+	state := make(sta.StateMap, e.nl.NumNets())
+	for _, in := range e.nl.Inputs {
+		*state.At(in) = e.timer.InputState(in)
+	}
+	for _, gi := range e.order {
+		out, _, err := e.timer.EvalGate(gi, state)
+		if err != nil {
+			return err
+		}
+		*state.At(e.nl.Gates[gi].Output()) = out
+	}
+	ep := make(map[string][]sta.EndpointEntry, len(e.nl.Outputs))
+	for _, po := range e.nl.Outputs {
+		if _, done := ep[po]; done {
+			continue
+		}
+		entries, err := e.timer.EndpointsForNet(po, state)
+		if err != nil {
+			return err
+		}
+		ep[po] = entries
+	}
+	e.state = state
+	e.ep = ep
+	e.stats.FullPasses++
+	return e.publishLocked()
+}
+
+// dirtySet collects the frontier of an edit before propagation.
+type dirtySet struct {
+	gates     map[int]struct{}
+	inputs    map[string]struct{}
+	endpoints map[string]struct{}
+}
+
+func newDirtySet() *dirtySet {
+	return &dirtySet{
+		gates:     make(map[int]struct{}),
+		inputs:    make(map[string]struct{}),
+		endpoints: make(map[string]struct{}),
+	}
+}
+
+// touchNet marks every consumer of a net whose parasitics (or root state)
+// changed: the driving gate (its load changed), every sink gate (their pin
+// arrival changed), the PI initialisation when the net is a primary input,
+// and the endpoint transport when the net feeds a primary output.
+func (e *Engine) touchNet(d *dirtySet, net string) {
+	if gi, ok := e.idx.Driver(net); ok {
+		d.gates[gi] = struct{}{}
+	}
+	if e.idx.IsInput(net) {
+		d.inputs[net] = struct{}{}
+	}
+	for _, s := range e.idx.Fanout(net) {
+		if s.Gate >= 0 {
+			d.gates[s.Gate] = struct{}{}
+		} else {
+			d.endpoints[net] = struct{}{}
+		}
+	}
+}
+
+// gateHeap pops dirty gates in topological order, so every gate is
+// evaluated at most once per edit and always after its dirty predecessors.
+type gateHeap struct {
+	items []int
+	pos   []int
+}
+
+func (h *gateHeap) Len() int            { return len(h.items) }
+func (h *gateHeap) Less(i, j int) bool  { return h.pos[h.items[i]] < h.pos[h.items[j]] }
+func (h *gateHeap) Swap(i, j int)       { h.items[i], h.items[j] = h.items[j], h.items[i] }
+func (h *gateHeap) Push(x any)          { h.items = append(h.items, x.(int)) }
+func (h *gateHeap) Pop() any {
+	n := len(h.items) - 1
+	x := h.items[n]
+	h.items = h.items[:n]
+	return x
+}
+
+// propagate re-derives the timing state downstream of the dirty frontier.
+// It mutates engine state in place (snapshots hold their own copies) and
+// returns the per-edit counters.
+func (e *Engine) propagate(d *dirtySet) (*Report, error) {
+	rep := &Report{Seeded: len(d.gates) + len(d.inputs)}
+	levels := e.timer.Options().Levels
+
+	// Re-derive dirty primary inputs first; their change feeds the gate
+	// frontier exactly like a gate-state change.
+	for net := range d.inputs {
+		ns := e.timer.InputState(net)
+		cur := e.state.At(net)
+		if statePairEqual(cur, &ns, levels, e.eps) {
+			continue
+		}
+		*cur = ns
+		for _, s := range e.idx.Fanout(net) {
+			if s.Gate >= 0 {
+				d.gates[s.Gate] = struct{}{}
+			} else {
+				d.endpoints[net] = struct{}{}
+			}
+		}
+	}
+
+	h := &gateHeap{pos: e.pos, items: make([]int, 0, len(d.gates))}
+	queued := make(map[int]struct{}, len(d.gates))
+	push := func(gi int) {
+		if _, ok := queued[gi]; ok {
+			return
+		}
+		queued[gi] = struct{}{}
+		heap.Push(h, gi)
+	}
+	for gi := range d.gates {
+		push(gi)
+	}
+	for h.Len() > 0 {
+		gi := heap.Pop(h).(int)
+		out, _, err := e.timer.EvalGate(gi, e.state)
+		if err != nil {
+			return rep, err
+		}
+		rep.Reevaluated++
+		outNet := e.nl.Gates[gi].Output()
+		cur := e.state.At(outNet)
+		if statePairEqual(cur, &out, levels, e.eps) {
+			rep.Cut++
+			continue // cone terminates: downstream state cannot change
+		}
+		*cur = out
+		for _, s := range e.idx.Fanout(outNet) {
+			if s.Gate >= 0 {
+				push(s.Gate)
+			} else {
+				d.endpoints[outNet] = struct{}{}
+			}
+		}
+	}
+
+	for net := range d.endpoints {
+		entries, err := e.timer.EndpointsForNet(net, e.state)
+		if err != nil {
+			return rep, err
+		}
+		e.ep[net] = entries
+		rep.Endpoints += len(entries)
+	}
+	return rep, nil
+}
+
+// statePairEqual compares both edges of a net state under the engine's
+// early-termination rule.
+func statePairEqual(a, b *[2]sta.NetState, levels []int, eps float64) bool {
+	return stateEqual(&a[0], &b[0], levels, eps) && stateEqual(&a[1], &b[1], levels, eps)
+}
+
+// stateEqual reports whether a recomputed state matches the cache closely
+// enough to cut the cone. The winning-arc topology (pin, edge, fanin) must
+// always match exactly — backtracked paths stay correct at any epsilon. At
+// epsilon 0 every numeric field must be bit-equal (the consistency
+// guarantee); at positive epsilon the arrival quantiles and root slew may
+// drift by up to eps while the cached bookkeeping values are retained.
+func stateEqual(a, b *sta.NetState, levels []int, eps float64) bool {
+	if a.Valid != b.Valid {
+		return false
+	}
+	if !a.Valid {
+		return true
+	}
+	if a.InPin != b.InPin || a.InEdge != b.InEdge || a.WinSinkIdx != b.WinSinkIdx {
+		return false
+	}
+	if eps == 0 {
+		if a.Slew != b.Slew || a.InSlew != b.InSlew || a.Load != b.Load || a.Moms != b.Moms {
+			return false
+		}
+		for _, n := range levels {
+			if a.Arr[n] != b.Arr[n] || a.Quant[n] != b.Quant[n] {
+				return false
+			}
+		}
+		return true
+	}
+	if math.Abs(a.Slew-b.Slew) > eps {
+		return false
+	}
+	for _, n := range levels {
+		if math.Abs(a.Arr[n]-b.Arr[n]) > eps {
+			return false
+		}
+	}
+	return true
+}
+
+// finishEdit runs propagation for a prepared dirty set, updates counters
+// and publishes a fresh snapshot. On a propagation failure the cached state
+// may be part-updated; the engine rebuilds from scratch to stay consistent.
+func (e *Engine) finishEdit(op string, d *dirtySet) (*Report, error) {
+	rep, err := e.propagate(d)
+	if err != nil {
+		if rerr := e.rebuildLocked(); rerr != nil {
+			return nil, fmt.Errorf("incsta: %s failed (%w) and rebuild failed: %v", op, err, rerr)
+		}
+		return nil, fmt.Errorf("incsta: %s: %w", op, err)
+	}
+	rep.Op = op
+	e.stats.Edits++
+	e.stats.GatesReevaluated += uint64(rep.Reevaluated)
+	e.stats.GatesCut += uint64(rep.Cut)
+	e.stats.EndpointsRecomputed += uint64(rep.Endpoints)
+	if err := e.publishLocked(); err != nil {
+		return nil, err
+	}
+	return rep, nil
+}
+
+// Stats returns the cumulative counters.
+func (e *Engine) Stats() Stats {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.stats
+}
+
+// GateCount returns the number of gates in the design.
+func (e *Engine) GateCount() int { return len(e.nl.Gates) }
+
+// Snapshot returns the latest published immutable view. It never returns
+// nil on an engine built by New.
+func (e *Engine) Snapshot() *Snapshot { return e.snap.Load() }

@@ -1,0 +1,298 @@
+package incsta
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+)
+
+func verifyOK(t *testing.T, eng *Engine) {
+	t.Helper()
+	if err := eng.VerifyFull(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInitialStateMatchesFresh(t *testing.T) {
+	eng, _ := newTestEngine(t, diamond(), Config{})
+	verifyOK(t, eng)
+	if got := eng.Snapshot().Version(); got != 1 {
+		t.Fatalf("initial snapshot version = %d, want 1", got)
+	}
+	if st := eng.Stats(); st.FullPasses != 1 || st.Edits != 0 {
+		t.Fatalf("initial stats = %+v, want one full pass and no edits", st)
+	}
+}
+
+func TestResizeReachesFreshState(t *testing.T) {
+	eng, _ := newTestEngine(t, diamond(), Config{})
+	before := eng.Snapshot().Result().ArrivalQ[0]
+	rep, err := eng.ResizeCell("U2", 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Reevaluated == 0 {
+		t.Fatal("resize re-evaluated no gates")
+	}
+	after := eng.Snapshot().Result().ArrivalQ[0]
+	if after == before {
+		t.Fatal("resize of a critical-path gate left the critical arrival unchanged")
+	}
+	verifyOK(t, eng)
+}
+
+func TestResizeUpdatesTreeLeafCaps(t *testing.T) {
+	eng, lib := newTestEngine(t, diamond(), Config{})
+	if _, err := eng.ResizeCell("U2", 8); err != nil {
+		t.Fatal(err)
+	}
+	_, trees := eng.CopyDesign()
+	tr := trees["m"]
+	leaf := tr.NodeIndex("pin:U2:A")
+	if leaf < 0 {
+		t.Fatal("tree m lost the U2:A leaf")
+	}
+	pc, err := lib.PinCap("INVx8", "A")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 0.3e-15 + pc
+	if got := tr.Nodes[leaf].C; got != want {
+		t.Fatalf("leaf cap after resize = %g, want %g", got, want)
+	}
+}
+
+func TestResizeRepropagatesOnlyTheCone(t *testing.T) {
+	eng, _ := newTestEngine(t, chain(30), Config{})
+	rep, err := eng.ResizeCell("U15", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Resizing U15 dirties its fanin net (load of U14) and its own cone; the
+	// first 13 gates of the chain must stay cached.
+	if rep.Reevaluated >= 30 {
+		t.Fatalf("resize re-evaluated %d of 30 gates — no incremental saving", rep.Reevaluated)
+	}
+	if st := eng.Stats(); st.CacheHitRatio() <= 0 {
+		t.Fatalf("cache hit ratio = %g after a mid-chain resize, want > 0", st.CacheHitRatio())
+	}
+	verifyOK(t, eng)
+}
+
+func TestNoOpResizePublishesWithoutWork(t *testing.T) {
+	eng, _ := newTestEngine(t, diamond(), Config{})
+	v := eng.Snapshot().Version()
+	rep, err := eng.ResizeCell("U1", 1) // already INVx1
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Seeded != 0 || rep.Reevaluated != 0 {
+		t.Fatalf("no-op resize did work: %+v", rep)
+	}
+	if got := eng.Snapshot().Version(); got != v+1 {
+		t.Fatalf("no-op resize version %d, want %d", got, v+1)
+	}
+	if st := eng.Stats(); st.Edits != 1 {
+		t.Fatalf("no-op resize not counted: %+v", st)
+	}
+}
+
+func TestSwapToWiderCellAccepted(t *testing.T) {
+	// NAND2's pins {A,B} are a subset of AOI2's {A,B,C}: the swap is legal
+	// and must still agree with a fresh analysis of the edited design.
+	eng, _ := newTestEngine(t, diamond(), Config{})
+	if _, err := eng.SwapCell("U3", "AOI2x2"); err != nil {
+		t.Fatal(err)
+	}
+	verifyOK(t, eng)
+}
+
+func TestEditRejectionsAreTypedAndLeaveStateIntact(t *testing.T) {
+	eng, _ := newTestEngine(t, diamond(), Config{})
+	v := eng.Snapshot().Version()
+	cases := []struct {
+		name string
+		run  func() error
+	}{
+		{"unknown gate", func() error { _, err := eng.ResizeCell("UX", 2); return err }},
+		{"bad strength", func() error { _, err := eng.ResizeCell("U1", -1); return err }},
+		{"unknown cell", func() error { _, err := eng.SwapCell("U1", "BUFx1"); return err }},
+		{"missing pin", func() error { _, err := eng.SwapCell("U3", "INVx1"); return err }},
+		{"non-input slew", func() error { _, err := eng.SetInputSlew("m", 10e-12); return err }},
+		{"negative slew", func() error { _, err := eng.SetInputSlew("in", -1); return err }},
+		{"unknown net", func() error { _, err := eng.SetNetParasitics("zz", nil); return err }},
+		{"nil tree", func() error { _, err := eng.SetNetParasitics("m", nil); return err }},
+	}
+	for _, tc := range cases {
+		err := tc.run()
+		var ee *EditError
+		if !errors.As(err, &ee) {
+			t.Fatalf("%s: error %v is not an *EditError", tc.name, err)
+		}
+	}
+	if got := eng.Snapshot().Version(); got != v {
+		t.Fatalf("rejected edits moved the version %d → %d", v, got)
+	}
+	if st := eng.Stats(); st.Edits != 0 {
+		t.Fatalf("rejected edits were counted: %+v", st)
+	}
+	verifyOK(t, eng)
+}
+
+func TestSetNetParasiticsRejectsMissingLeaf(t *testing.T) {
+	eng, _ := newTestEngine(t, diamond(), Config{})
+	_, trees := eng.CopyDesign()
+	tr := trees["m"].Clone()
+	tr.Nodes[tr.NodeIndex("pin:U2:A")].Name = "pin:somewhere:else"
+	_, err := eng.SetNetParasitics("m", tr)
+	var ee *EditError
+	if !errors.As(err, &ee) {
+		t.Fatalf("missing-leaf tree accepted: %v", err)
+	}
+	verifyOK(t, eng)
+}
+
+func TestSetNetParasiticsRepropagates(t *testing.T) {
+	eng, _ := newTestEngine(t, diamond(), Config{})
+	before := eng.Snapshot().Result().ArrivalQ[0]
+	_, trees := eng.CopyDesign()
+	tr := trees["m"].Clone()
+	for i := range tr.Nodes {
+		tr.Nodes[i].R *= 3
+		tr.Nodes[i].C *= 2
+	}
+	if _, err := eng.SetNetParasitics("m", tr); err != nil {
+		t.Fatal(err)
+	}
+	if after := eng.Snapshot().Result().ArrivalQ[0]; after == before {
+		t.Fatal("tripling net m parasitics left the critical arrival unchanged")
+	}
+	verifyOK(t, eng)
+}
+
+func TestSetInputSlewRepropagates(t *testing.T) {
+	eng, _ := newTestEngine(t, diamond(), Config{})
+	before := eng.Snapshot().Result().ArrivalQ[0]
+	if _, err := eng.SetInputSlew("in", 120e-12); err != nil {
+		t.Fatal(err)
+	}
+	if got := eng.Options().InputSlews["in"]; got != 120e-12 {
+		t.Fatalf("input-slew override not recorded in Options: %g", got)
+	}
+	if after := eng.Snapshot().Result().ArrivalQ[0]; after == before {
+		t.Fatal("a 12x input-slew change left the critical arrival unchanged")
+	}
+	verifyOK(t, eng)
+}
+
+func TestEpsilonCutsConeAtTheCostOfExactness(t *testing.T) {
+	// A huge epsilon accepts any numeric drift: the edit's cone must
+	// terminate at the seeded gates, and the cached state must now diverge
+	// from a fresh analysis (the documented accuracy trade).
+	eng, _ := newTestEngine(t, chain(20), Config{Epsilon: 1})
+	rep, err := eng.ResizeCell("U1", 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Reevaluated > rep.Seeded {
+		t.Fatalf("epsilon=1 still grew the cone: %+v", rep)
+	}
+	if rep.Cut == 0 {
+		t.Fatalf("epsilon=1 cut nothing: %+v", rep)
+	}
+	if err := eng.VerifyFull(context.Background()); err == nil {
+		t.Fatal("state still bit-identical after an epsilon-cut edit that changed real delays")
+	}
+	// Rebuild restores exactness.
+	if err := eng.Rebuild(); err != nil {
+		t.Fatal(err)
+	}
+	verifyOK(t, eng)
+}
+
+func TestNegativeEpsilonRejected(t *testing.T) {
+	lib := fullLib()
+	nl := diamond()
+	_, err := New(lib, nl, buildTrees(nl, lib), Config{Epsilon: -1e-12})
+	var ee *EditError
+	if !errors.As(err, &ee) {
+		t.Fatalf("negative epsilon accepted: %v", err)
+	}
+}
+
+func TestSnapshotIsolationAcrossEdits(t *testing.T) {
+	eng, _ := newTestEngine(t, diamond(), Config{})
+	s1 := eng.Snapshot()
+	arr1 := s1.Result().ArrivalQ[0]
+	paths1, err := s1.WorstPaths(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.ResizeCell("U2", 8); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.SetInputSlew("in", 60e-12); err != nil {
+		t.Fatal(err)
+	}
+	if got := s1.Result().ArrivalQ[0]; got != arr1 {
+		t.Fatalf("edit mutated an already-published snapshot: %g → %g", arr1, got)
+	}
+	paths1b, err := s1.WorstPaths(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range paths1 {
+		if paths1[i].Endpoint != paths1b[i].Endpoint || paths1[i].Quantile(0) != paths1b[i].Quantile(0) {
+			t.Fatalf("old snapshot's worst paths changed after later edits")
+		}
+	}
+	if s2 := eng.Snapshot(); s2.Result().ArrivalQ[0] == arr1 {
+		t.Fatal("two real edits left the live arrival unchanged")
+	}
+}
+
+func TestWorstPathsMatchFreshTopPaths(t *testing.T) {
+	eng, lib := newTestEngine(t, diamond(), Config{})
+	if _, err := eng.ResizeCell("U1", 4); err != nil {
+		t.Fatal(err)
+	}
+	assertWorstPathsMatchFresh(t, eng, lib, 3)
+}
+
+func TestConcurrentQueriesDuringEdits(t *testing.T) {
+	eng, _ := newTestEngine(t, chain(12), Config{})
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				s := eng.Snapshot()
+				if s.Result().ArrivalQ[0] <= 0 {
+					t.Error("non-positive critical arrival from snapshot")
+					return
+				}
+				if _, err := s.WorstPaths(2); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	strengths := []int{1, 2, 4, 8}
+	for i := 0; i < 40; i++ {
+		if _, err := eng.ResizeCell("U6", strengths[i%len(strengths)]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+	verifyOK(t, eng)
+}

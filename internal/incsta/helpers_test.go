@@ -1,0 +1,84 @@
+package incsta
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/libsynth"
+	"repro/internal/netlist"
+	"repro/internal/rctree"
+	"repro/internal/timinglib"
+)
+
+// fullLib is the shared synthetic coefficients file: every stdcell kind at
+// every strength, with slew/load-dependent (non-flat) LUT planes — flat
+// planes would make every re-propagation cut trivially and the tests would
+// prove nothing.
+func fullLib() *timinglib.File { return libsynth.File() }
+
+// buildTrees makes one flat RC tree per net with the layout extractor's
+// leaf-naming convention and per-sink resistances that vary by position, so
+// changing sink pin caps shifts Elmore delays differently per sink.
+func buildTrees(nl *netlist.Netlist, lib *timinglib.File) map[string]*rctree.Tree {
+	fan := nl.FanoutMap()
+	out := map[string]*rctree.Tree{}
+	for net, sinks := range fan {
+		t := rctree.NewTree(net, 0.05e-15)
+		for si, s := range sinks {
+			var name string
+			var pc float64
+			if s.Gate >= 0 {
+				name = fmt.Sprintf("pin:%s:%s", nl.Gates[s.Gate].Name, s.Pin)
+				pc, _ = lib.PinCap(nl.Gates[s.Gate].Cell, s.Pin)
+			} else {
+				name = fmt.Sprintf("pin:PO%d", si)
+				pc = 0.8e-15
+			}
+			t.MustAddNode(name, 0, 40+10*float64(si), 0.3e-15+pc)
+		}
+		out[net] = t
+	}
+	return out
+}
+
+// chain builds a linear chain of INVx1 gates: in → U1 → … → Un → out.
+func chain(n int) *netlist.Netlist {
+	nl := &netlist.Netlist{Name: "chain", Inputs: []string{"in"}}
+	prev := "in"
+	for i := 1; i <= n; i++ {
+		out := fmt.Sprintf("n%d", i)
+		nl.Gates = append(nl.Gates, netlist.Gate{
+			Name: fmt.Sprintf("U%d", i), Cell: "INVx1",
+			Pins: map[string]string{"A": prev, "Y": out},
+		})
+		prev = out
+	}
+	nl.Outputs = []string{prev}
+	return nl
+}
+
+// diamond builds in → U1(INV) → m; m → U2(INV) → a; {a,in} → U3(NAND2) → out,
+// the same shape the sta package tests use.
+func diamond() *netlist.Netlist {
+	return &netlist.Netlist{
+		Name:    "diamond",
+		Inputs:  []string{"in"},
+		Outputs: []string{"out"},
+		Gates: []netlist.Gate{
+			{Name: "U1", Cell: "INVx1", Pins: map[string]string{"A": "in", "Y": "m"}},
+			{Name: "U2", Cell: "INVx1", Pins: map[string]string{"A": "m", "Y": "a"}},
+			{Name: "U3", Cell: "NAND2x1", Pins: map[string]string{"A": "a", "B": "in", "Y": "out"}},
+		},
+	}
+}
+
+func newTestEngine(t *testing.T, nl *netlist.Netlist, cfg Config) (*Engine, *timinglib.File) {
+	t.Helper()
+	lib := fullLib()
+	trees := buildTrees(nl, lib)
+	eng, err := New(lib, nl, trees, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return eng, lib
+}

@@ -1,0 +1,141 @@
+package incsta
+
+import (
+	"context"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/circuits"
+	"repro/internal/sta"
+	"repro/internal/stdcell"
+	"repro/internal/timinglib"
+)
+
+// assertWorstPathsMatchFresh checks the snapshot's K-worst paths and
+// arrival quantiles bitwise against a fresh batch AnalyzeTopPaths of the
+// engine's current design.
+func assertWorstPathsMatchFresh(t *testing.T, eng *Engine, lib *timinglib.File, k int) {
+	t.Helper()
+	nl, trees := eng.CopyDesign()
+	timer, err := sta.NewTimer(lib, nl, trees, eng.Options())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, fresh, err := timer.AnalyzeTopPaths(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := eng.Snapshot()
+	levels := eng.Options().Levels
+	for _, n := range levels {
+		if snap.Result().ArrivalQ[n] != res.ArrivalQ[n] {
+			t.Fatalf("critical arrival %+dσ: incremental %v vs fresh %v",
+				n, snap.Result().ArrivalQ[n], res.ArrivalQ[n])
+		}
+	}
+	inc, err := snap.WorstPaths(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(inc) != len(fresh) {
+		t.Fatalf("worst paths: incremental returned %d, fresh %d", len(inc), len(fresh))
+	}
+	for i := range fresh {
+		f, c := fresh[i], inc[i]
+		if f.Endpoint != c.Endpoint || f.Launch != c.Launch || len(f.Stages) != len(c.Stages) {
+			t.Fatalf("worst path %d: incremental %s/%s (%d stages) vs fresh %s/%s (%d stages)",
+				i, c.Endpoint, c.Launch, len(c.Stages), f.Endpoint, f.Launch, len(f.Stages))
+		}
+		for _, n := range levels {
+			if f.Quantile(n) != c.Quantile(n) {
+				t.Fatalf("worst path %d %+dσ: incremental %v vs fresh %v",
+					i, n, c.Quantile(n), f.Quantile(n))
+			}
+		}
+	}
+}
+
+// TestPropertyRandomECOSequence is the issue's acceptance property: after a
+// random sequence of ≥ 50 ECO edits on an ISCAS85-style netlist, the
+// incremental arrival times and worst paths are bit-identical to a fresh
+// sta.AnalyzeContext of the edited design.
+func TestPropertyRandomECOSequence(t *testing.T) {
+	nl, err := circuits.ByName("c432")
+	if err != nil {
+		t.Fatal(err)
+	}
+	circuits.SizeByFanout(nl)
+	lib := fullLib()
+	trees := buildTrees(nl, lib)
+	eng, err := New(lib, nl, trees, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	verifyOK(t, eng)
+
+	// Stable name pools for the edit generator.
+	gates := make([]string, len(nl.Gates))
+	nets := make([]string, 0, len(nl.Gates))
+	for i, g := range nl.Gates {
+		gates[i] = g.Name
+		nets = append(nets, g.Output())
+	}
+	inputs := nl.Inputs
+	strengths := stdcell.Strengths
+
+	rng := rand.New(rand.NewSource(42))
+	const edits = 60
+	for i := 0; i < edits; i++ {
+		var err error
+		switch rng.Intn(5) {
+		case 0, 1:
+			_, err = eng.ResizeCell(gates[rng.Intn(len(gates))], strengths[rng.Intn(len(strengths))])
+		case 2:
+			// SwapCell path: same kind, random strength.
+			g := gates[rng.Intn(len(gates))]
+			gi, _ := eng.idx.Gate(g)
+			cell := eng.nl.Gates[gi].Cell
+			kind := cell[:strings.LastIndexByte(cell, 'x')]
+			_, err = eng.SwapCell(g, stdcell.CellName(stdcell.Kind(kind), strengths[rng.Intn(len(strengths))]))
+		case 3:
+			_, err = eng.SetInputSlew(inputs[rng.Intn(len(inputs))], (5+120*rng.Float64())*1e-12)
+		case 4:
+			net := nets[rng.Intn(len(nets))]
+			_, cur := eng.CopyDesign()
+			tr := cur[net]
+			scale := 0.5 + 1.5*rng.Float64()
+			for j := range tr.Nodes {
+				tr.Nodes[j].R *= scale
+				tr.Nodes[j].C *= scale
+			}
+			_, err = eng.SetNetParasitics(net, tr)
+		}
+		if err != nil {
+			t.Fatalf("edit %d: %v", i, err)
+		}
+		if (i+1)%15 == 0 {
+			if err := eng.VerifyFull(context.Background()); err != nil {
+				t.Fatalf("after edit %d: %v", i, err)
+			}
+		}
+	}
+
+	if err := eng.VerifyFull(context.Background()); err != nil {
+		t.Fatalf("after %d edits: %v", edits, err)
+	}
+	assertWorstPathsMatchFresh(t, eng, lib, 10)
+
+	st := eng.Stats()
+	if st.Edits != edits {
+		t.Fatalf("edit count %d, want %d", st.Edits, edits)
+	}
+	if st.GatesReevaluated >= st.Edits*st.GateCount {
+		t.Fatalf("incremental engine did no better than %d full passes: %+v", edits, st)
+	}
+	if st.CacheHitRatio() <= 0 {
+		t.Fatalf("cache hit ratio %g, want > 0 after %d edits", st.CacheHitRatio(), edits)
+	}
+	t.Logf("stats after %d edits on %d gates: reevaluated=%d cut=%d hit-ratio=%.3f",
+		edits, st.GateCount, st.GatesReevaluated, st.GatesCut, st.CacheHitRatio())
+}

@@ -1,0 +1,186 @@
+package incsta
+
+import (
+	"context"
+	"fmt"
+	"math"
+
+	"repro/internal/netlist"
+	"repro/internal/rctree"
+	"repro/internal/sta"
+)
+
+// Snapshot is an immutable, internally consistent view of the engine's
+// timing state at one edit version. Queries on a snapshot are lock-free and
+// safe to run concurrently with further edits: the state map, endpoint
+// entries and parasitic trees it references are never mutated after
+// publication (edits replace, never write through).
+type Snapshot struct {
+	timer   *sta.Timer
+	state   sta.StateMap
+	ep      map[string][]sta.EndpointEntry
+	res     *sta.Result
+	stats   Stats
+	version uint64
+}
+
+// publishLocked assembles and installs a fresh snapshot from the engine's
+// current state. Called with e.mu held.
+func (e *Engine) publishLocked() error {
+	trees := make(map[string]*rctree.Tree, len(e.trees))
+	for net, t := range e.trees {
+		trees[net] = t
+	}
+	timer, err := e.timer.WithTrees(trees)
+	if err != nil {
+		return err
+	}
+	// The snapshot must not see later in-place Cell edits: give its timer a
+	// private copy of the netlist (connectivity is shared read-only).
+	timer, err = timer.WithNetlist(copyNetlist(e.nl))
+	if err != nil {
+		return err
+	}
+	ep := make(map[string][]sta.EndpointEntry, len(e.ep))
+	for net, entries := range e.ep {
+		ep[net] = entries
+	}
+	state := e.state.Clone()
+	res, err := timer.ResultFrom(state, ep)
+	if err != nil {
+		return err
+	}
+	e.version++
+	e.snap.Store(&Snapshot{
+		timer: timer, state: state, ep: ep, res: res,
+		stats: e.stats, version: e.version,
+	})
+	return nil
+}
+
+// Version is the edit sequence number of the snapshot (1 = initial full
+// analysis; each edit and rebuild increments it).
+func (s *Snapshot) Version() uint64 { return s.version }
+
+// Stats returns the cumulative engine counters at publication time.
+func (s *Snapshot) Stats() Stats { return s.stats }
+
+// Result returns the analysis result at this version: critical path,
+// propagated arrival quantiles and per-endpoint arrivals. The result is
+// shared by all callers of this snapshot and must not be mutated.
+// Result.GatesTimed is zero: an incremental state has no single-pass arc
+// count (see Stats for the cumulative counters).
+func (s *Snapshot) Result() *sta.Result { return s.res }
+
+// WorstPaths ranks the endpoints by mean arrival (ties by endpoint key) and
+// backtracks the worst path of each of the k slowest — identical to
+// sta.AnalyzeTopPaths of the edited design.
+func (s *Snapshot) WorstPaths(k int) ([]*sta.Path, error) {
+	return s.timer.TopPathsFrom(s.state, s.res, k)
+}
+
+// Slack runs a setup check of every endpoint against period at one sigma
+// level.
+func (s *Snapshot) Slack(period float64, level int) (*sta.SlackReport, error) {
+	return s.res.Slack(period, level)
+}
+
+// EndpointSlacks returns the per-endpoint slack at one sigma level, keyed
+// "net/edge" — the per-endpoint view behind the server's query API.
+func (s *Snapshot) EndpointSlacks(period float64, level int) (map[string]float64, error) {
+	out := make(map[string]float64, len(s.res.EndpointArrivals))
+	for key, arr := range s.res.EndpointArrivals {
+		a, ok := arr[level]
+		if !ok {
+			return nil, fmt.Errorf("incsta: endpoint %s has no %+dσ arrival", key, level)
+		}
+		out[key] = period - a
+	}
+	return out, nil
+}
+
+// CopyDesign returns deep copies of the engine's current netlist and
+// parasitic trees — the inputs a fresh batch analysis needs to reproduce
+// the incremental state (property tests, server-side verification).
+func (e *Engine) CopyDesign() (*netlist.Netlist, map[string]*rctree.Tree) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	trees := make(map[string]*rctree.Tree, len(e.trees))
+	for net, t := range e.trees {
+		trees[net] = t.Clone()
+	}
+	return copyNetlist(e.nl), trees
+}
+
+// VerifyFull runs a fresh batch analysis of the engine's current design and
+// compares it against the incremental state. It returns nil when the two
+// agree exactly — the consistency guarantee at Epsilon 0 — and a
+// descriptive error on the first divergence. Edits are blocked for the
+// duration.
+func (e *Engine) VerifyFull(ctx context.Context) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	snap := e.snap.Load()
+	fresh, err := sta.NewTimer(e.lib, e.nl, e.trees, e.timer.Options())
+	if err != nil {
+		return fmt.Errorf("incsta: verify: %w", err)
+	}
+	res, err := fresh.AnalyzeContext(ctx)
+	if err != nil {
+		return fmt.Errorf("incsta: verify: %w", err)
+	}
+	return compareResults(res, snap.res, e.timer.Options().Levels)
+}
+
+// compareResults checks a fresh batch result against an incremental one.
+func compareResults(fresh, inc *sta.Result, levels []int) error {
+	if fresh.Endpoints != inc.Endpoints {
+		return fmt.Errorf("incsta: verify: endpoint count %d vs fresh %d", inc.Endpoints, fresh.Endpoints)
+	}
+	if len(fresh.EndpointArrivals) != len(inc.EndpointArrivals) {
+		return fmt.Errorf("incsta: verify: endpoint key count %d vs fresh %d",
+			len(inc.EndpointArrivals), len(fresh.EndpointArrivals))
+	}
+	for key, fa := range fresh.EndpointArrivals {
+		ia, ok := inc.EndpointArrivals[key]
+		if !ok {
+			return fmt.Errorf("incsta: verify: endpoint %s missing from incremental state", key)
+		}
+		for _, n := range levels {
+			if fa[n] != ia[n] {
+				return fmt.Errorf("incsta: verify: endpoint %s level %+d: incremental %v vs fresh %v (Δ %g)",
+					key, n, ia[n], fa[n], math.Abs(fa[n]-ia[n]))
+			}
+		}
+	}
+	for _, n := range levels {
+		if fresh.ArrivalQ[n] != inc.ArrivalQ[n] {
+			return fmt.Errorf("incsta: verify: critical arrival level %+d: incremental %v vs fresh %v",
+				n, inc.ArrivalQ[n], fresh.ArrivalQ[n])
+		}
+	}
+	return comparePaths(fresh.Critical, inc.Critical)
+}
+
+// comparePaths checks two critical paths stage by stage.
+func comparePaths(fresh, inc *sta.Path) error {
+	if fresh.Endpoint != inc.Endpoint || fresh.Launch != inc.Launch {
+		return fmt.Errorf("incsta: verify: critical endpoint %s/%s vs fresh %s/%s",
+			inc.Endpoint, inc.Launch, fresh.Endpoint, fresh.Launch)
+	}
+	if len(fresh.Stages) != len(inc.Stages) {
+		return fmt.Errorf("incsta: verify: critical path %d stages vs fresh %d",
+			len(inc.Stages), len(fresh.Stages))
+	}
+	for i := range fresh.Stages {
+		f, c := &fresh.Stages[i], &inc.Stages[i]
+		if f.Cell != c.Cell || f.InPin != c.InPin || f.InEdge != c.InEdge || f.Net != c.Net {
+			return fmt.Errorf("incsta: verify: stage %d route %s/%s/%s@%s vs fresh %s/%s/%s@%s",
+				i, c.Cell, c.InPin, c.InEdge, c.Net, f.Cell, f.InPin, f.InEdge, f.Net)
+		}
+		if f.InSlew != c.InSlew || f.Load != c.Load || f.Elmore != c.Elmore || f.XW != c.XW {
+			return fmt.Errorf("incsta: verify: stage %d numerics diverge", i)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,113 @@
+// Package libsynth builds synthetic coefficient libraries for tests and
+// tooling that need a full-coverage timinglib.File without running the
+// (minutes-long) Monte-Carlo characterisation. The numbers are invented but
+// structurally honest: every stdcell kind at every drive strength, moment
+// LUTs that genuinely depend on input slew and output load, and a complete
+// wire-variability calibration — so load changes, slew changes and cell
+// swaps all move real numbers through an analysis.
+//
+// Not for silicon correlation: experiments and examples that reproduce the
+// paper's tables must characterise a real library (internal/charlib).
+package libsynth
+
+import (
+	"math"
+
+	"repro/internal/charlib"
+	"repro/internal/nsigma"
+	"repro/internal/stdcell"
+	"repro/internal/timinglib"
+	"repro/internal/waveform"
+	"repro/internal/wire"
+)
+
+// slopedArc builds an arc model whose moments depend on input slew and
+// output load (non-flat LUT planes).
+func slopedArc(cell, pin string, edge waveform.Edge, base float64) *nsigma.ArcModel {
+	plane := func(k float64) [][]float64 {
+		// rows: slew axis, cols: load axis — growing in both.
+		return [][]float64{
+			{k, 2.1 * k},
+			{1.45 * k, 3.2 * k},
+		}
+	}
+	lut := nsigma.MomentLUT{
+		Slews:   []float64{1e-12, 150e-12},
+		Loads:   []float64{1e-16, 80e-15},
+		Mu:      plane(base),
+		Sigma:   plane(0.09 * base),
+		Gamma:   [][]float64{{0.12, 0.2}, {0.16, 0.28}},
+		Kappa:   [][]float64{{3.0, 3.3}, {3.1, 3.6}},
+		OutSlew: plane(1.6 * base),
+	}
+	var quant nsigma.QuantileModel
+	for i := range quant.Coeffs {
+		names := nsigma.FeatureNames(i - 3)
+		c := make([]float64, len(names))
+		for j, name := range names {
+			if name == "gamma*kappa" {
+				c[j] = 1.5e-13 // dimensionless feature: coefficient carries seconds
+			} else {
+				c[j] = 0.04 + 0.01*float64(j) // σ-scaled features: dimensionless coefficient
+			}
+		}
+		quant.Coeffs[i] = c
+	}
+	return &nsigma.ArcModel{
+		Arc:   charlib.Arc{Cell: cell, Pin: pin, InEdge: edge},
+		LUT:   lut,
+		Quant: quant,
+	}
+}
+
+// File builds a coefficients file covering every stdcell kind at every
+// drive strength, with strength-dependent pin caps and delays so resizes
+// move real numbers through the fanin and fanout cones.
+func File() *timinglib.File {
+	f := &timinglib.File{
+		Vdd:   0.6,
+		Arcs:  map[string]*nsigma.ArcModel{},
+		Cells: map[string]*timinglib.CellInfo{},
+		Wire: &wire.Calibration{
+			R4:        0.1,
+			CellRatio: map[string]float64{},
+			XFI:       map[string]float64{},
+			XFO:       map[string]float64{},
+		},
+	}
+	allPins := []string{"A", "B", "C"}
+	for ki, k := range stdcell.Kinds {
+		nin := 1
+		switch k {
+		case stdcell.NAND2, stdcell.NOR2:
+			nin = 2
+		case stdcell.AOI2:
+			nin = 3
+		}
+		for si, s := range stdcell.Strengths {
+			cell := stdcell.CellName(k, s)
+			drive := float64(s)
+			inputs := allPins[:nin]
+			caps := make(map[string]float64, nin)
+			for pi, p := range inputs {
+				caps[p] = (0.8 + 0.2*float64(pi)) * 1e-15 * drive
+				base := (6 + 3*float64(ki) + 1.5*float64(pi)) * 1e-12 / math.Sqrt(drive)
+				for _, e := range []waveform.Edge{waveform.Falling, waveform.Rising} {
+					b := base
+					if e == waveform.Rising {
+						b *= 1.07
+					}
+					f.Arcs[timinglib.ArcKey(cell, p, e)] = slopedArc(cell, p, e, b)
+				}
+			}
+			f.Cells[cell] = &timinglib.CellInfo{
+				Stack: nin, Strength: s, Inputs: inputs,
+				PinCaps: caps, OutputCap: 0.4e-15 * drive,
+			}
+			f.Wire.CellRatio[cell] = 0.06 + 0.01*float64(ki) + 0.005*float64(si)
+			f.Wire.XFI[cell] = 0.4 + 0.02*float64(ki)
+			f.Wire.XFO[cell] = 0.45 + 0.015*float64(si)
+		}
+	}
+	return f
+}

@@ -27,6 +27,28 @@ import (
 //
 // Mapped gates default to the given drive strength.
 
+// ParseError is the typed rejection of malformed netlist text input. The
+// parser never panics on arbitrary input: every failure — bad syntax, an
+// unsupported gate, a structurally invalid result — surfaces as a
+// *ParseError (pinned down by FuzzParseBench).
+type ParseError struct {
+	Format string // input dialect, e.g. "bench"
+	Line   int    // 1-based input line; 0 when not line-specific
+	Reason string
+}
+
+// Error implements error.
+func (e *ParseError) Error() string {
+	if e.Line > 0 {
+		return fmt.Sprintf("%s line %d: %s", e.Format, e.Line, e.Reason)
+	}
+	return fmt.Sprintf("%s: %s", e.Format, e.Reason)
+}
+
+func benchErr(line int, format string, args ...any) *ParseError {
+	return &ParseError{Format: "bench", Line: line, Reason: fmt.Sprintf(format, args...)}
+}
+
 // BenchOptions controls .bench technology mapping.
 type BenchOptions struct {
 	// Strength selects the drive strength of mapped cells (default 2).
@@ -55,13 +77,13 @@ func ParseBench(r io.Reader, name string, opt *BenchOptions) (*Netlist, error) {
 		case strings.HasPrefix(strings.ToUpper(line), "INPUT("):
 			netName, err := insideParens(line)
 			if err != nil {
-				return nil, fmt.Errorf("bench line %d: %w", lineNum, err)
+				return nil, benchErr(lineNum, "%v", err)
 			}
 			nl.Inputs = append(nl.Inputs, netName)
 		case strings.HasPrefix(strings.ToUpper(line), "OUTPUT("):
 			netName, err := insideParens(line)
 			if err != nil {
-				return nil, fmt.Errorf("bench line %d: %w", lineNum, err)
+				return nil, benchErr(lineNum, "%v", err)
 			}
 			nl.Outputs = append(nl.Outputs, netName)
 		default:
@@ -71,10 +93,10 @@ func ParseBench(r io.Reader, name string, opt *BenchOptions) (*Netlist, error) {
 		}
 	}
 	if err := sc.Err(); err != nil {
-		return nil, err
+		return nil, benchErr(0, "read: %v", err)
 	}
 	if err := nl.Validate(); err != nil {
-		return nil, err
+		return nil, benchErr(0, "%v", err)
 	}
 	return nl, nil
 }
@@ -162,14 +184,14 @@ func (m *mapper) reduceTree(ins []string, out string, pair func(a, b, out string
 func (m *mapper) mapAssignment(line string, lineNum int) error {
 	eq := strings.IndexByte(line, '=')
 	if eq < 0 {
-		return fmt.Errorf("bench line %d: expected assignment, got %q", lineNum, line)
+		return benchErr(lineNum, "expected assignment, got %q", line)
 	}
 	out := strings.TrimSpace(line[:eq])
 	rhs := strings.TrimSpace(line[eq+1:])
 	open := strings.IndexByte(rhs, '(')
 	closeIdx := strings.LastIndexByte(rhs, ')')
 	if open < 0 || closeIdx <= open {
-		return fmt.Errorf("bench line %d: malformed gate %q", lineNum, rhs)
+		return benchErr(lineNum, "malformed gate %q", rhs)
 	}
 	op := strings.ToUpper(strings.TrimSpace(rhs[:open]))
 	var ins []string
@@ -180,7 +202,7 @@ func (m *mapper) mapAssignment(line string, lineNum int) error {
 		}
 	}
 	if len(ins) == 0 {
-		return fmt.Errorf("bench line %d: gate with no inputs", lineNum)
+		return benchErr(lineNum, "gate with no inputs")
 	}
 
 	switch op {
@@ -235,7 +257,7 @@ func (m *mapper) mapAssignment(line string, lineNum int) error {
 		x := m.reduceTree(ins, "", m.xor2)
 		m.inv(x, out)
 	default:
-		return fmt.Errorf("bench line %d: unsupported gate %q", lineNum, op)
+		return benchErr(lineNum, "unsupported gate %q", op)
 	}
 	return nil
 }

@@ -1,0 +1,45 @@
+package netlist
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+// FuzzParseBench pins the parser's robustness contract: arbitrary input
+// never panics, every rejection is a typed *ParseError, and every accepted
+// document yields a structurally valid (acyclic, fully driven) netlist.
+func FuzzParseBench(f *testing.F) {
+	seeds := []string{
+		"INPUT(a)\nOUTPUT(y)\ny = NOT(a)\n",
+		"INPUT(G1)\nINPUT(G3)\nOUTPUT(G10)\nG10 = NAND(G1, G3)\n",
+		"INPUT(a)\nINPUT(b)\nOUTPUT(y)\ny = XOR(a, b)\n",
+		"INPUT(a)\nOUTPUT(y)\ny = AND(a, a, a, a, a)\n",
+		"INPUT(a)\nOUTPUT(y)\ny = BUF(a)\n# trailing comment",
+		"y = NAND(a b",
+		"INPUT(",
+		"OUTPUT)",
+		"x = FROB(a)",
+		"x = NAND()",
+		"= NOT(a)",
+		"INPUT(a)\nOUTPUT(a)\n",
+		"INPUT(a)\nOUTPUT(y)\ny = NOT(y)\n",
+		"INPUT(a)\na = NOT(a)\n",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		nl, err := ParseBench(strings.NewReader(src), "fuzz", nil)
+		if err != nil {
+			var pe *ParseError
+			if !errors.As(err, &pe) {
+				t.Fatalf("ParseBench returned a non-typed error %T: %v", err, err)
+			}
+			return
+		}
+		if err := nl.Validate(); err != nil {
+			t.Fatalf("accepted netlist fails validation: %v", err)
+		}
+	})
+}

@@ -1,0 +1,78 @@
+package netlist
+
+import "fmt"
+
+// Index is the stable name→structure lookup an ECO flow edits through. Cell
+// swaps and resizes change only a gate's Cell field — never connectivity —
+// so an Index built once stays valid across any sequence of such edits,
+// which is what lets the incremental timing engine address gates and nets
+// by name in O(1) without re-walking the netlist.
+type Index struct {
+	nl      *Netlist
+	gates   map[string]int
+	drivers map[string]int
+	fanout  map[string][]Sink
+	inputs  map[string]bool
+}
+
+// BuildIndex constructs the lookup maps. Duplicate gate names are rejected:
+// a netlist that cannot be addressed unambiguously cannot be edited safely.
+func (n *Netlist) BuildIndex() (*Index, error) {
+	idx := &Index{
+		nl:      n,
+		gates:   make(map[string]int, len(n.Gates)),
+		drivers: n.DriverMap(),
+		fanout:  n.FanoutMap(),
+		inputs:  make(map[string]bool, len(n.Inputs)),
+	}
+	for gi := range n.Gates {
+		name := n.Gates[gi].Name
+		if prev, dup := idx.gates[name]; dup {
+			return nil, fmt.Errorf("netlist %s: gates %d and %d share the name %q",
+				n.Name, prev, gi, name)
+		}
+		idx.gates[name] = gi
+	}
+	for _, in := range n.Inputs {
+		idx.inputs[in] = true
+	}
+	return idx, nil
+}
+
+// Gate returns the index of the named gate.
+func (x *Index) Gate(name string) (int, bool) {
+	gi, ok := x.gates[name]
+	return gi, ok
+}
+
+// Driver returns the index of the gate driving net (absent for primary
+// inputs).
+func (x *Index) Driver(net string) (int, bool) {
+	gi, ok := x.drivers[net]
+	return gi, ok
+}
+
+// Fanout returns the sinks of a net in deterministic order.
+func (x *Index) Fanout(net string) []Sink { return x.fanout[net] }
+
+// IsInput reports whether net is a primary input.
+func (x *Index) IsInput(net string) bool { return x.inputs[net] }
+
+// HasNet reports whether net exists in the design (driven by a gate, or a
+// primary input).
+func (x *Index) HasNet(net string) bool {
+	if _, ok := x.drivers[net]; ok {
+		return true
+	}
+	return x.inputs[net]
+}
+
+// HasPOSink reports whether net directly feeds a primary output pad.
+func (x *Index) HasPOSink(net string) bool {
+	for _, s := range x.fanout[net] {
+		if s.Gate < 0 {
+			return true
+		}
+	}
+	return false
+}

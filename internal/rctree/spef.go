@@ -51,6 +51,32 @@ func WriteSPEF(w io.Writer, design string, trees []*Tree) error {
 	return bw.Flush()
 }
 
+// SPEFError is the typed rejection of malformed SPEF input. The parser
+// never panics on arbitrary input: every failure — bad syntax, bad numbers,
+// disconnected or cyclic parasitics — surfaces as a *SPEFError (pinned down
+// by FuzzParseSPEF).
+type SPEFError struct {
+	Line   int    // 1-based input line; 0 when not line-specific
+	Net    string // net being parsed, when known
+	Reason string
+}
+
+// Error implements error.
+func (e *SPEFError) Error() string {
+	msg := "spef"
+	if e.Line > 0 {
+		msg = fmt.Sprintf("%s line %d", msg, e.Line)
+	}
+	if e.Net != "" {
+		msg = fmt.Sprintf("%s net %s", msg, e.Net)
+	}
+	return msg + ": " + e.Reason
+}
+
+func spefErr(line int, net, format string, args ...any) *SPEFError {
+	return &SPEFError{Line: line, Net: net, Reason: fmt.Sprintf(format, args...)}
+}
+
 // ParseSPEF reads a SPEF subset document and reconstructs the RC trees,
 // keyed by net name. Only *D_NET/*CAP/*RES/*END blocks are interpreted;
 // header lines are validated for the units this package emits.
@@ -91,7 +117,7 @@ func ParseSPEF(r io.Reader) (map[string]*Tree, error) {
 			}
 			fields := strings.Fields(line)
 			if len(fields) < 2 {
-				return nil, fmt.Errorf("spef line %d: malformed *D_NET", lineNum)
+				return nil, spefErr(lineNum, "", "malformed *D_NET")
 			}
 			curNet = fields[1]
 			caps = make(map[string]float64)
@@ -113,37 +139,40 @@ func ParseSPEF(r io.Reader) (map[string]*Tree, error) {
 				unit = strings.ToUpper(fields[len(fields)-1])
 			}
 			if strings.HasPrefix(line, "*C_UNIT") && unit != "FF" {
-				return nil, fmt.Errorf("spef line %d: unsupported C unit %q", lineNum, line)
+				return nil, spefErr(lineNum, "", "unsupported C unit %q", line)
 			}
 			if strings.HasPrefix(line, "*R_UNIT") && unit != "OHM" {
-				return nil, fmt.Errorf("spef line %d: unsupported R unit %q", lineNum, line)
+				return nil, spefErr(lineNum, "", "unsupported R unit %q", line)
 			}
 		default:
+			if section != "" && curNet == "" {
+				return nil, spefErr(lineNum, "", "%s entry outside a *D_NET block", section)
+			}
 			fields := strings.Fields(line)
 			switch section {
 			case "cap":
 				if len(fields) != 3 {
-					return nil, fmt.Errorf("spef line %d: malformed cap entry", lineNum)
+					return nil, spefErr(lineNum, curNet, "malformed cap entry")
 				}
 				v, err := strconv.ParseFloat(fields[2], 64)
 				if err != nil {
-					return nil, fmt.Errorf("spef line %d: %w", lineNum, err)
+					return nil, spefErr(lineNum, curNet, "bad capacitance: %v", err)
 				}
 				caps[nodePart(fields[1])] += v * spefCapUnit
 			case "res":
 				if len(fields) != 4 {
-					return nil, fmt.Errorf("spef line %d: malformed res entry", lineNum)
+					return nil, spefErr(lineNum, curNet, "malformed res entry")
 				}
 				v, err := strconv.ParseFloat(fields[3], 64)
 				if err != nil {
-					return nil, fmt.Errorf("spef line %d: %w", lineNum, err)
+					return nil, spefErr(lineNum, curNet, "bad resistance: %v", err)
 				}
 				edges = append(edges, resPair{a: nodePart(fields[1]), b: nodePart(fields[2]), r: v * spefResUnit})
 			}
 		}
 	}
 	if err := sc.Err(); err != nil {
-		return nil, err
+		return nil, spefErr(0, "", "read: %v", err)
 	}
 	if err := flush(); err != nil {
 		return nil, err
@@ -182,7 +211,7 @@ func assembleTree(net string, caps map[string]float64, edges []resPair) (*Tree, 
 		names[n] = true
 	}
 	if !names["root"] {
-		return nil, fmt.Errorf("spef net %s: no node named root", net)
+		return nil, spefErr(0, net, "no node named root")
 	}
 	t := NewTree(net, caps["root"])
 	// BFS from root; deterministic order via sorted adjacency.
@@ -200,18 +229,21 @@ func assembleTree(net string, caps map[string]float64, edges []resPair) (*Tree, 
 			}
 			idx, err := t.AddNode(e.b, index[cur], e.r, caps[e.b])
 			if err != nil {
-				return nil, err
+				return nil, spefErr(0, net, "%v", err)
 			}
 			index[e.b] = idx
 			queue = append(queue, e.b)
 		}
 	}
 	if len(index) != len(names) {
-		return nil, fmt.Errorf("spef net %s: disconnected parasitics (%d of %d nodes reachable)",
-			net, len(index), len(names))
+		return nil, spefErr(0, net, "disconnected parasitics (%d of %d nodes reachable)",
+			len(index), len(names))
 	}
 	if len(t.Nodes) != len(edges)+1 {
-		return nil, fmt.Errorf("spef net %s: parasitics contain loops", net)
+		return nil, spefErr(0, net, "parasitics contain loops")
 	}
-	return t, t.Validate()
+	if err := t.Validate(); err != nil {
+		return nil, spefErr(0, net, "%v", err)
+	}
+	return t, nil
 }

@@ -1,0 +1,87 @@
+package server
+
+import (
+	"context"
+	"errors"
+
+	"repro/internal/incsta"
+)
+
+// ErrDesignClosed is returned for edits submitted to a design that has been
+// deleted or a server that is shutting down.
+var ErrDesignClosed = errors.New("server: design closed")
+
+// design pairs an incremental engine with its serialized edit queue. The
+// engine itself is safe for concurrent edits, but the queue gives the HTTP
+// layer what the ISSUE asks for: one writer per design, edits applied
+// strictly in arrival order, while read queries go straight to the engine's
+// lock-free snapshots.
+type design struct {
+	name string
+	eng  *incsta.Engine
+	reqs chan editReq
+	quit chan struct{}
+	done chan struct{}
+}
+
+type editReq struct {
+	apply func() (*incsta.Report, error)
+	reply chan editResult
+}
+
+type editResult struct {
+	rep *incsta.Report
+	err error
+}
+
+func newDesign(name string, eng *incsta.Engine) *design {
+	d := &design{
+		name: name,
+		eng:  eng,
+		reqs: make(chan editReq),
+		quit: make(chan struct{}),
+		done: make(chan struct{}),
+	}
+	go d.serve()
+	return d
+}
+
+// serve is the design's single-writer loop.
+func (d *design) serve() {
+	defer close(d.done)
+	for {
+		select {
+		case <-d.quit:
+			return
+		case req := <-d.reqs:
+			rep, err := req.apply()
+			req.reply <- editResult{rep: rep, err: err}
+		}
+	}
+}
+
+// submit queues one edit and waits for its result. Cancellation of ctx
+// abandons the wait (the edit may still apply); a closed design returns
+// ErrDesignClosed.
+func (d *design) submit(ctx context.Context, apply func() (*incsta.Report, error)) (*incsta.Report, error) {
+	req := editReq{apply: apply, reply: make(chan editResult, 1)}
+	select {
+	case d.reqs <- req:
+	case <-d.quit:
+		return nil, ErrDesignClosed
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+	select {
+	case res := <-req.reply:
+		return res.rep, res.err
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// close stops the writer loop and waits for it to exit.
+func (d *design) close() {
+	close(d.quit)
+	<-d.done
+}

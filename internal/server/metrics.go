@@ -1,0 +1,86 @@
+package server
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+)
+
+// metrics is the hand-rolled Prometheus-text instrumentation of the server:
+// per-route request counters plus, at scrape time, the per-design
+// re-propagation counters read straight from the engines. No client library
+// — the text exposition format is a few lines of fmt.
+type metrics struct {
+	mu       sync.Mutex
+	requests map[string]uint64
+}
+
+func newMetrics() *metrics {
+	return &metrics{requests: map[string]uint64{}}
+}
+
+func (m *metrics) hit(route string) {
+	m.mu.Lock()
+	m.requests[route]++
+	m.mu.Unlock()
+}
+
+// write renders the exposition text. Designs are passed in by the server so
+// the scrape sees live engine counters.
+func (m *metrics) write(w io.Writer, designs map[string]*design) {
+	m.mu.Lock()
+	routes := make([]string, 0, len(m.requests))
+	for r := range m.requests {
+		routes = append(routes, r)
+	}
+	sort.Strings(routes)
+	counts := make([]uint64, len(routes))
+	for i, r := range routes {
+		counts[i] = m.requests[r]
+	}
+	m.mu.Unlock()
+
+	fmt.Fprintln(w, "# HELP timingd_requests_total HTTP requests served, by route.")
+	fmt.Fprintln(w, "# TYPE timingd_requests_total counter")
+	for i, r := range routes {
+		fmt.Fprintf(w, "timingd_requests_total{route=%q} %d\n", r, counts[i])
+	}
+
+	names := make([]string, 0, len(designs))
+	for n := range designs {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+
+	fmt.Fprintf(w, "# HELP timingd_designs Designs currently loaded.\n# TYPE timingd_designs gauge\ntimingd_designs %d\n", len(names))
+
+	gauge := func(metric, help string, val func(d *design) float64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n", metric, help, metric)
+		for _, n := range names {
+			fmt.Fprintf(w, "%s{design=%q} %g\n", metric, n, val(designs[n]))
+		}
+	}
+	counter := func(metric, help string, val func(d *design) uint64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n", metric, help, metric)
+		for _, n := range names {
+			fmt.Fprintf(w, "%s{design=%q} %d\n", metric, n, val(designs[n]))
+		}
+	}
+	counter("timingd_design_edits_total", "ECO edits applied.",
+		func(d *design) uint64 { return d.eng.Stats().Edits })
+	counter("timingd_design_gates_reevaluated_total", "Gate evaluations performed by incremental re-propagation.",
+		func(d *design) uint64 { return d.eng.Stats().GatesReevaluated })
+	counter("timingd_design_gates_cut_total", "Re-evaluations whose cone terminated early.",
+		func(d *design) uint64 { return d.eng.Stats().GatesCut })
+	counter("timingd_design_endpoints_recomputed_total", "Endpoint entries re-transported.",
+		func(d *design) uint64 { return d.eng.Stats().EndpointsRecomputed })
+	counter("timingd_design_full_passes_total", "Full propagation passes (load and rebuild).",
+		func(d *design) uint64 { return d.eng.Stats().FullPasses })
+	gauge("timingd_design_gates", "Design size in gates.",
+		func(d *design) float64 { return float64(d.eng.GateCount()) })
+	gauge("timingd_design_cache_hit_ratio", "Fraction of gate evaluations avoided vs one full pass per edit.",
+		func(d *design) float64 { return d.eng.Stats().CacheHitRatio() })
+	gauge("timingd_design_version", "Snapshot version (edit sequence number).",
+		func(d *design) float64 { return float64(d.eng.Snapshot().Version()) })
+}

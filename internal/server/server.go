@@ -1,0 +1,454 @@
+// Package server is the long-lived timing-query service behind cmd/timingd:
+// it loads the coefficient library once, hosts many named designs — each an
+// incremental incsta.Engine — and serves concurrent timing queries over
+// HTTP/JSON while ECO edits stream in. Edits are serialized per design
+// through a single-writer queue; queries read immutable engine snapshots
+// and never block on an edit in flight.
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+
+	"repro/internal/circuits"
+	"repro/internal/device"
+	"repro/internal/incsta"
+	"repro/internal/layout"
+	"repro/internal/netlist"
+	"repro/internal/rctree"
+	"repro/internal/sta"
+	"repro/internal/stdcell"
+	"repro/internal/timinglib"
+)
+
+// Server hosts the designs. Create with New, mount Handler on an
+// http.Server, Close on shutdown.
+type Server struct {
+	lib *timinglib.File
+	mux *http.ServeMux
+	met *metrics
+
+	mu      sync.Mutex
+	designs map[string]*design
+	closed  bool
+}
+
+// New builds a server around one coefficient library (loaded once, shared
+// by every design).
+func New(lib *timinglib.File) *Server {
+	s := &Server{
+		lib:     lib,
+		mux:     http.NewServeMux(),
+		met:     newMetrics(),
+		designs: map[string]*design{},
+	}
+	route := func(pattern string, h func(http.ResponseWriter, *http.Request)) {
+		s.mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
+			s.met.hit(pattern)
+			h(w, r)
+		})
+	}
+	route("GET /healthz", s.handleHealth)
+	route("GET /metrics", s.handleMetrics)
+	route("GET /designs", s.handleList)
+	route("PUT /designs/{name}", s.handleLoad)
+	route("DELETE /designs/{name}", s.handleDelete)
+	route("GET /designs/{name}", s.handleSummary)
+	route("GET /designs/{name}/gates", s.handleGates)
+	route("GET /designs/{name}/paths", s.handlePaths)
+	route("GET /designs/{name}/slacks", s.handleSlacks)
+	route("POST /designs/{name}/edits", s.handleEdit)
+	return s
+}
+
+// Handler returns the instrumented route table.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Close stops every design's edit queue and rejects further loads. Called
+// after http.Server.Shutdown has drained in-flight requests.
+func (s *Server) Close() {
+	s.mu.Lock()
+	s.closed = true
+	designs := make([]*design, 0, len(s.designs))
+	for _, d := range s.designs {
+		designs = append(designs, d)
+	}
+	s.designs = map[string]*design{}
+	s.mu.Unlock()
+	for _, d := range designs {
+		d.close()
+	}
+}
+
+func (s *Server) design(name string) (*design, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	d, ok := s.designs[name]
+	return d, ok
+}
+
+// --- request/response shapes ---
+
+// LoadRequest is the PUT /designs/{name} body. Exactly one of Circuit (a
+// built-in benchmark name) or Bench (ISCAS85 .bench text) selects the
+// netlist; parasitics are extracted from a seeded placement.
+type LoadRequest struct {
+	Circuit string `json:"circuit,omitempty"`
+	Bench   string `json:"bench,omitempty"`
+	// Strength is the drive strength .bench mapping uses (default 2).
+	Strength int `json:"strength,omitempty"`
+	// Seed picks the placement used for parasitic extraction (default 1).
+	Seed uint64 `json:"seed,omitempty"`
+	// Epsilon is the incremental early-termination cutoff in seconds
+	// (default 0 = bit-exact).
+	Epsilon float64 `json:"epsilon,omitempty"`
+	// InputSlewPs overrides the default primary-input transition (ps).
+	InputSlewPs float64 `json:"input_slew_ps,omitempty"`
+}
+
+// EditRequest is the POST /designs/{name}/edits body.
+type EditRequest struct {
+	// Op is one of "resize", "swap", "set_input_slew", "set_net_parasitics".
+	Op       string       `json:"op"`
+	Gate     string       `json:"gate,omitempty"`
+	Strength int          `json:"strength,omitempty"`
+	Cell     string       `json:"cell,omitempty"`
+	Net      string       `json:"net,omitempty"`
+	SlewPs   float64      `json:"slew_ps,omitempty"`
+	Tree     *rctree.Tree `json:"tree,omitempty"`
+}
+
+// DesignSummary is the GET /designs/{name} response.
+type DesignSummary struct {
+	Name      string             `json:"name"`
+	Gates     int                `json:"gates"`
+	Endpoints int                `json:"endpoints"`
+	Version   uint64             `json:"version"`
+	ArrivalPs map[string]float64 `json:"arrival_ps"` // sigma level → critical arrival
+	Stats     incsta.Stats       `json:"stats"`
+	HitRatio  float64            `json:"cache_hit_ratio"`
+}
+
+// PathSummary is one entry of the GET /designs/{name}/paths response.
+type PathSummary struct {
+	Endpoint    string             `json:"endpoint"`
+	Launch      string             `json:"launch"`
+	Stages      int                `json:"stages"`
+	QuantilePs  map[string]float64 `json:"quantile_ps"`
+	MeanDelayPs float64            `json:"mean_delay_ps"`
+}
+
+// EditResponse is the POST /designs/{name}/edits response.
+type EditResponse struct {
+	Version     uint64 `json:"version"`
+	Op          string `json:"op"`
+	Seeded      int    `json:"seeded"`
+	Reevaluated int    `json:"reevaluated"`
+	Cut         int    `json:"cut"`
+	Endpoints   int    `json:"endpoints"`
+}
+
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func httpError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, errorBody{Error: fmt.Sprintf(format, args...)})
+}
+
+// editStatus maps an edit failure onto an HTTP status: typed rejections of
+// malformed edits are the client's fault, everything else the server's.
+func editStatus(err error) int {
+	var ee *incsta.EditError
+	switch {
+	case errors.As(err, &ee):
+		return http.StatusBadRequest
+	case errors.Is(err, ErrDesignClosed):
+		return http.StatusServiceUnavailable
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+// --- handlers ---
+
+func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	designs := make(map[string]*design, len(s.designs))
+	for n, d := range s.designs {
+		designs[n] = d
+	}
+	s.mu.Unlock()
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	s.met.write(w, designs)
+}
+
+func (s *Server) handleList(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	names := make([]string, 0, len(s.designs))
+	for n := range s.designs {
+		names = append(names, n)
+	}
+	s.mu.Unlock()
+	sort.Strings(names)
+	writeJSON(w, http.StatusOK, map[string][]string{"designs": names})
+}
+
+func (s *Server) handleLoad(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	var req LoadRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "bad load request: %v", err)
+		return
+	}
+
+	var nl *netlist.Netlist
+	var err error
+	switch {
+	case req.Circuit != "" && req.Bench != "":
+		httpError(w, http.StatusBadRequest, "give either circuit or bench, not both")
+		return
+	case req.Circuit != "":
+		nl, err = circuits.ByName(req.Circuit)
+	case req.Bench != "":
+		nl, err = netlist.ParseBench(strings.NewReader(req.Bench), name,
+			&netlist.BenchOptions{Strength: req.Strength})
+	default:
+		httpError(w, http.StatusBadRequest, "need a circuit name or bench text")
+		return
+	}
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "netlist: %v", err)
+		return
+	}
+
+	seed := req.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	cellLib := stdcell.NewLibrary(device.Default28nm())
+	par := layout.Default28nm()
+	pl, err := layout.Place(nl, par, seed)
+	if err != nil {
+		httpError(w, http.StatusUnprocessableEntity, "placement: %v", err)
+		return
+	}
+	trees, err := layout.Extract(nl, cellLib, par, pl)
+	if err != nil {
+		httpError(w, http.StatusUnprocessableEntity, "extraction: %v", err)
+		return
+	}
+
+	opt := sta.Options{InputSlew: req.InputSlewPs * 1e-12}
+	eng, err := incsta.New(s.lib, nl, trees, incsta.Config{Options: opt, Epsilon: req.Epsilon})
+	if err != nil {
+		httpError(w, http.StatusUnprocessableEntity, "analysis: %v", err)
+		return
+	}
+
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		httpError(w, http.StatusServiceUnavailable, "server shutting down")
+		return
+	}
+	if _, dup := s.designs[name]; dup {
+		s.mu.Unlock()
+		httpError(w, http.StatusConflict, "design %q already loaded (DELETE it first)", name)
+		return
+	}
+	d := newDesign(name, eng)
+	s.designs[name] = d
+	s.mu.Unlock()
+
+	writeJSON(w, http.StatusCreated, s.summarize(d))
+}
+
+func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	s.mu.Lock()
+	d, ok := s.designs[name]
+	if ok {
+		delete(s.designs, name)
+	}
+	s.mu.Unlock()
+	if !ok {
+		httpError(w, http.StatusNotFound, "no design %q", name)
+		return
+	}
+	d.close()
+	writeJSON(w, http.StatusOK, map[string]string{"deleted": name})
+}
+
+func (s *Server) summarize(d *design) DesignSummary {
+	snap := d.eng.Snapshot()
+	res := snap.Result()
+	arr := make(map[string]float64, len(res.ArrivalQ))
+	for n, v := range res.ArrivalQ {
+		arr[strconv.Itoa(n)] = v * 1e12
+	}
+	st := snap.Stats()
+	return DesignSummary{
+		Name: d.name, Gates: d.eng.GateCount(), Endpoints: res.Endpoints,
+		Version: snap.Version(), ArrivalPs: arr, Stats: st, HitRatio: st.CacheHitRatio(),
+	}
+}
+
+func (s *Server) handleSummary(w http.ResponseWriter, r *http.Request) {
+	d, ok := s.design(r.PathValue("name"))
+	if !ok {
+		httpError(w, http.StatusNotFound, "no design %q", r.PathValue("name"))
+		return
+	}
+	writeJSON(w, http.StatusOK, s.summarize(d))
+}
+
+// GateInfo is one entry of the GET /designs/{name}/gates response — the
+// names a client needs to address resize/swap edits.
+type GateInfo struct {
+	Name   string `json:"name"`
+	Cell   string `json:"cell"`
+	Output string `json:"output"`
+}
+
+func (s *Server) handleGates(w http.ResponseWriter, r *http.Request) {
+	d, ok := s.design(r.PathValue("name"))
+	if !ok {
+		httpError(w, http.StatusNotFound, "no design %q", r.PathValue("name"))
+		return
+	}
+	nl, _ := d.eng.CopyDesign()
+	gates := make([]GateInfo, len(nl.Gates))
+	for i, g := range nl.Gates {
+		gates[i] = GateInfo{Name: g.Name, Cell: g.Cell, Output: g.Output()}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"design": d.name, "gates": gates})
+}
+
+func (s *Server) handlePaths(w http.ResponseWriter, r *http.Request) {
+	d, ok := s.design(r.PathValue("name"))
+	if !ok {
+		httpError(w, http.StatusNotFound, "no design %q", r.PathValue("name"))
+		return
+	}
+	k := 5
+	if q := r.URL.Query().Get("k"); q != "" {
+		var err error
+		if k, err = strconv.Atoi(q); err != nil || k <= 0 {
+			httpError(w, http.StatusBadRequest, "k must be a positive integer")
+			return
+		}
+	}
+	snap := d.eng.Snapshot()
+	paths, err := snap.WorstPaths(k)
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, "paths: %v", err)
+		return
+	}
+	levels := d.eng.Options().Levels
+	out := make([]PathSummary, len(paths))
+	for i, p := range paths {
+		q := make(map[string]float64, len(levels))
+		for _, n := range levels {
+			q[strconv.Itoa(n)] = p.Quantile(n) * 1e12
+		}
+		out[i] = PathSummary{
+			Endpoint: p.Endpoint, Launch: p.Launch.String(), Stages: len(p.Stages),
+			QuantilePs: q, MeanDelayPs: p.Mean() * 1e12,
+		}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"version": snap.Version(), "paths": out})
+}
+
+func (s *Server) handleSlacks(w http.ResponseWriter, r *http.Request) {
+	d, ok := s.design(r.PathValue("name"))
+	if !ok {
+		httpError(w, http.StatusNotFound, "no design %q", r.PathValue("name"))
+		return
+	}
+	periodPs, err := strconv.ParseFloat(r.URL.Query().Get("period_ps"), 64)
+	if err != nil || periodPs <= 0 {
+		httpError(w, http.StatusBadRequest, "period_ps must be a positive number")
+		return
+	}
+	level := 3
+	if q := r.URL.Query().Get("level"); q != "" {
+		if level, err = strconv.Atoi(q); err != nil {
+			httpError(w, http.StatusBadRequest, "level must be an integer sigma level")
+			return
+		}
+	}
+	snap := d.eng.Snapshot()
+	slacks, err := snap.EndpointSlacks(periodPs*1e-12, level)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "slacks: %v", err)
+		return
+	}
+	wns := 0.0
+	first := true
+	out := make(map[string]float64, len(slacks))
+	for key, sl := range slacks {
+		out[key] = sl * 1e12
+		if first || sl*1e12 < wns {
+			wns = sl * 1e12
+			first = false
+		}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"version": snap.Version(), "period_ps": periodPs, "level": level,
+		"wns_ps": wns, "slacks_ps": out,
+	})
+}
+
+func (s *Server) handleEdit(w http.ResponseWriter, r *http.Request) {
+	d, ok := s.design(r.PathValue("name"))
+	if !ok {
+		httpError(w, http.StatusNotFound, "no design %q", r.PathValue("name"))
+		return
+	}
+	var req EditRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "bad edit request: %v", err)
+		return
+	}
+	var apply func() (*incsta.Report, error)
+	switch req.Op {
+	case "resize":
+		apply = func() (*incsta.Report, error) { return d.eng.ResizeCell(req.Gate, req.Strength) }
+	case "swap":
+		apply = func() (*incsta.Report, error) { return d.eng.SwapCell(req.Gate, req.Cell) }
+	case "set_input_slew":
+		apply = func() (*incsta.Report, error) { return d.eng.SetInputSlew(req.Net, req.SlewPs*1e-12) }
+	case "set_net_parasitics":
+		apply = func() (*incsta.Report, error) { return d.eng.SetNetParasitics(req.Net, req.Tree) }
+	default:
+		httpError(w, http.StatusBadRequest, "unknown op %q", req.Op)
+		return
+	}
+	rep, err := d.submit(r.Context(), apply)
+	if err != nil {
+		httpError(w, editStatus(err), "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, EditResponse{
+		Version: d.eng.Snapshot().Version(), Op: rep.Op,
+		Seeded: rep.Seeded, Reevaluated: rep.Reevaluated,
+		Cut: rep.Cut, Endpoints: rep.Endpoints,
+	})
+}

@@ -1,0 +1,311 @@
+package sta
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/netlist"
+	"repro/internal/rctree"
+	"repro/internal/stats"
+	"repro/internal/timinglib"
+	"repro/internal/waveform"
+)
+
+// This file is the shared evaluation core of the timing engine: the per-gate
+// eq. 10 propagation step, the primary-input initialisation, the endpoint
+// transport and the critical-path selection, each exposed as a standalone
+// method on Timer. The batch analyzer (analyzeInternal) and the incremental
+// engine (internal/incsta) are both thin drivers over these methods, which
+// is what makes incremental results bit-identical to a fresh analysis: there
+// is exactly one implementation of every arithmetic step.
+
+// NetState is the propagated timing state at a net root for one edge: the
+// per-sigma-level arrival, the root slew, and the winning-arc bookkeeping
+// backtracking needs.
+type NetState struct {
+	Arr   map[int]float64 // per sigma level
+	Slew  float64         // at the net root
+	Valid bool
+	Moms  stats.Moments // calibrated moments of the driving arc
+	Quant map[int]float64
+	InPin  string // winning input pin of the driving gate
+	InEdge waveform.Edge
+	InSlew float64
+	Load   float64
+	// WinSinkIdx backtracks the winning fanin: sink index on the input net
+	// that fed the winning pin.
+	WinSinkIdx int
+}
+
+// EdgeIdx maps an edge to its slot in a [2]NetState (falling = 0, rising = 1).
+func EdgeIdx(e waveform.Edge) int {
+	if e == waveform.Rising {
+		return 1
+	}
+	return 0
+}
+
+// StateMap holds the per-net propagated state of an analysis, indexed by net
+// name then EdgeIdx.
+type StateMap map[string]*[2]NetState
+
+// At returns the state slot of a net, creating an invalid zero entry on
+// first access.
+func (m StateMap) At(net string) *[2]NetState {
+	s, ok := m[net]
+	if !ok {
+		s = &[2]NetState{}
+		m[net] = s
+	}
+	return s
+}
+
+// Clone returns a copy of the map whose slots are independent of the
+// receiver's. The inner Arr/Quant maps are shared: evaluation always builds
+// fresh inner maps and never mutates stored ones, so a clone is a consistent
+// immutable snapshot as long as that discipline holds.
+func (m StateMap) Clone() StateMap {
+	out := make(StateMap, len(m))
+	for net, s := range m {
+		cp := *s
+		out[net] = &cp
+	}
+	return out
+}
+
+// InputState computes the primary-input state of a net for both edges:
+// zero arrival at every sigma level and the pad-driver root slew.
+func (t *Timer) InputState(net string) [2]NetState {
+	var out [2]NetState
+	for _, e := range []waveform.Edge{waveform.Falling, waveform.Rising} {
+		st := &out[EdgeIdx(e)]
+		st.Valid = true
+		st.Slew = t.inputRootSlew(net, e)
+		st.Arr = make(map[int]float64, len(t.opt.Levels))
+		for _, n := range t.opt.Levels {
+			st.Arr[n] = 0
+		}
+	}
+	return out
+}
+
+// EvalGate evaluates one gate from the states of its input nets: for each
+// output edge it transports every input-pin arrival across the input wire
+// (wire quantile model + PERI slew degradation), adds the cell arc's
+// T_c(nσ) from the coefficients file, and keeps the per-level max with the
+// level-0 winner carrying the backtracking metadata. Input pins are visited
+// in sorted order, so ties resolve deterministically. arcs counts the cell
+// arcs timed (the paper's runtime driver).
+func (t *Timer) EvalGate(gi int, state StateMap) (out [2]NetState, arcs int, err error) {
+	g := &t.nl.Gates[gi]
+	outNet := g.Output()
+	tree := t.trees[outNet]
+	if tree == nil {
+		return out, 0, fmt.Errorf("sta: gate %s output net %s has no tree", g.Name, outNet)
+	}
+	load := tree.TotalCap()
+	pins := make([]string, 0, len(g.Pins)-1)
+	for pin := range g.Pins {
+		if pin != "Y" {
+			pins = append(pins, pin)
+		}
+	}
+	sort.Strings(pins)
+	for _, outEdge := range []waveform.Edge{waveform.Falling, waveform.Rising} {
+		inEdge := outEdge.Opposite()
+		best := NetState{}
+		for _, pin := range pins {
+			inNet := g.Pins[pin]
+			inSt := state.At(inNet)[EdgeIdx(inEdge)]
+			if !inSt.Valid {
+				continue
+			}
+			// Arrival and slew at this pin = net root + wire.
+			sinkIdx, leaf, err := t.sinkLeaf(inNet, gi, pin)
+			if err != nil {
+				return out, arcs, err
+			}
+			pinArr, pinSlew, err := t.atLeaf(inNet, &inSt, leaf, gi)
+			if err != nil {
+				return out, arcs, err
+			}
+			arc, err := t.lib.Arc(g.Cell, pin, inEdge)
+			if err != nil {
+				return out, arcs, err
+			}
+			arcs++
+			moms := arc.MomentsAt(pinSlew, load)
+			quant := make(map[int]float64, len(t.opt.Levels))
+			cand := make(map[int]float64, len(t.opt.Levels))
+			for _, n := range t.opt.Levels {
+				q := arc.Quant.Quantile(moms, n)
+				quant[n] = q
+				cand[n] = pinArr[n] + q
+			}
+			if !best.Valid || cand[0] > best.Arr[0] {
+				best = NetState{
+					Arr: cand, Valid: true,
+					Slew:       arc.OutSlew(pinSlew, load),
+					Moms:       moms,
+					Quant:      quant,
+					InPin:      pin,
+					InEdge:     inEdge,
+					InSlew:     pinSlew,
+					Load:       load,
+					WinSinkIdx: sinkIdx,
+				}
+			} else {
+				// Keep the per-level max even when level 0 loses.
+				for _, n := range t.opt.Levels {
+					if cand[n] > best.Arr[n] {
+						best.Arr[n] = cand[n]
+					}
+				}
+			}
+		}
+		out[EdgeIdx(outEdge)] = best
+	}
+	return out, arcs, nil
+}
+
+// EndpointEntry is one timed endpoint of a primary-output net: the
+// Result.EndpointArrivals key ("net/edge"), the edge, and the arrival
+// quantiles transported to the PO leaf.
+type EndpointEntry struct {
+	Key  string
+	Edge waveform.Edge
+	Arr  map[int]float64
+}
+
+// EndpointsForNet transports a primary-output net's root state to each of
+// its PO leaves, in the deterministic order the batch analyzer uses (sink
+// index, then falling before rising). Invalid edges produce no entry.
+func (t *Timer) EndpointsForNet(po string, state StateMap) ([]EndpointEntry, error) {
+	var entries []EndpointEntry
+	for si, s := range t.fan[po] {
+		if s.Gate >= 0 {
+			continue
+		}
+		leaf, err := t.poLeaf(po, si)
+		if err != nil {
+			return nil, err
+		}
+		for _, e := range []waveform.Edge{waveform.Falling, waveform.Rising} {
+			st := state.At(po)[EdgeIdx(e)]
+			if !st.Valid {
+				continue
+			}
+			arr, _, err := t.atLeaf(po, &st, leaf, -1)
+			if err != nil {
+				return nil, err
+			}
+			entries = append(entries, EndpointEntry{
+				Key:  fmt.Sprintf("%s/%s", po, e),
+				Edge: e,
+				Arr:  arr,
+			})
+		}
+	}
+	return entries, nil
+}
+
+// ResultFrom assembles a Result from a propagated state and per-net
+// endpoint entries: it selects the critical endpoint exactly as the batch
+// analyzer does (primary outputs in declaration order, strict level-0 max)
+// and backtracks the critical path. GatesTimed is left zero for the caller.
+func (t *Timer) ResultFrom(state StateMap, ep map[string][]EndpointEntry) (*Result, error) {
+	res := &Result{EndpointArrivals: make(map[string]map[int]float64)}
+	bestMean := math.Inf(-1)
+	var bestNet string
+	var bestEdge waveform.Edge
+	var bestArr map[int]float64
+	for _, po := range t.nl.Outputs {
+		for _, e := range ep[po] {
+			res.Endpoints++
+			res.EndpointArrivals[e.Key] = e.Arr
+			if e.Arr[0] > bestMean {
+				bestMean = e.Arr[0]
+				bestNet, bestEdge, bestArr = po, e.Edge, e.Arr
+			}
+		}
+	}
+	if bestNet == "" {
+		return nil, fmt.Errorf("sta: no timed endpoints")
+	}
+	res.ArrivalQ = bestArr
+	path, err := t.backtrack(state, bestNet, bestEdge)
+	if err != nil {
+		return nil, err
+	}
+	res.Critical = path
+	return res, nil
+}
+
+// BacktrackPath reconstructs the worst path ending at the given endpoint
+// net/edge from a propagated state.
+func (t *Timer) BacktrackPath(state StateMap, endNet string, endEdge waveform.Edge) (*Path, error) {
+	return t.backtrack(state, endNet, endEdge)
+}
+
+// WithTrees returns a Timer sharing this one's library, netlist, options and
+// structural maps but reading parasitics from trees — the snapshot primitive
+// of the incremental engine. Every net with fanout must still have a tree.
+func (t *Timer) WithTrees(trees map[string]*rctree.Tree) (*Timer, error) {
+	for net, sinks := range t.fan {
+		if len(sinks) > 0 && trees[net] == nil {
+			return nil, fmt.Errorf("sta: net %s has no parasitic tree", net)
+		}
+	}
+	cp := *t
+	cp.trees = trees
+	return &cp, nil
+}
+
+// WithNetlist returns a Timer reading gate cells from a different netlist
+// value with the same connectivity — the immutable-snapshot hook of the
+// incremental engine, whose ECO edits change Cell fields but never
+// structure. The structural maps are shared, so the netlists must have the
+// same gate count.
+func (t *Timer) WithNetlist(nl *netlist.Netlist) (*Timer, error) {
+	if len(nl.Gates) != len(t.nl.Gates) {
+		return nil, fmt.Errorf("sta: netlist has %d gates, timer was built for %d",
+			len(nl.Gates), len(t.nl.Gates))
+	}
+	cp := *t
+	cp.nl = nl
+	return &cp, nil
+}
+
+// WithOptions returns a Timer sharing this one's inputs under different
+// (validated) options.
+func (t *Timer) WithOptions(opt Options) (*Timer, error) {
+	opt.setDefaults()
+	if err := opt.validate(t.lib, t.nl); err != nil {
+		return nil, err
+	}
+	cp := *t
+	cp.opt = opt
+	return &cp, nil
+}
+
+// Netlist returns the analyzed netlist.
+func (t *Timer) Netlist() *netlist.Netlist { return t.nl }
+
+// Lib returns the coefficients file the timer evaluates against.
+func (t *Timer) Lib() *timinglib.File { return t.lib }
+
+// Options returns the effective (defaulted) analysis options.
+func (t *Timer) Options() Options { return t.opt }
+
+// Trees returns the parasitic trees keyed by net.
+func (t *Timer) Trees() map[string]*rctree.Tree { return t.trees }
+
+// Driver returns the index of the gate driving net, if any.
+func (t *Timer) Driver(net string) (int, bool) {
+	gi, ok := t.drv[net]
+	return gi, ok
+}
+
+// Fanout returns the sinks of a net in deterministic order.
+func (t *Timer) Fanout(net string) []netlist.Sink { return t.fan[net] }

@@ -1,0 +1,78 @@
+package sta
+
+import (
+	"fmt"
+
+	"repro/internal/netlist"
+	"repro/internal/timinglib"
+)
+
+// OptionsError is the typed rejection of a malformed Options value. STA
+// configuration errors used to surface deep inside propagation (as a missing
+// arc, a zero-level map lookup, or a silent fallback); NewTimer now rejects
+// them up front so callers can distinguish a bad request from a bad design.
+type OptionsError struct {
+	Field  string // the Options field at fault
+	Reason string
+}
+
+// Error implements error.
+func (e *OptionsError) Error() string {
+	return fmt.Sprintf("sta: invalid Options.%s: %s", e.Field, e.Reason)
+}
+
+// validate checks a defaulted Options value against the coefficients file
+// and the netlist. Levels must be strictly increasing (sorted, duplicate
+// free) and include level 0, which drives max-propagation and critical-path
+// selection. The assumed boundary cells must exist in the library, and
+// per-net input-slew overrides must name primary inputs.
+func (o *Options) validate(lib *timinglib.File, nl *netlist.Netlist) error {
+	if len(o.Levels) == 0 {
+		return &OptionsError{Field: "Levels", Reason: "no sigma levels"}
+	}
+	hasZero := false
+	for i, n := range o.Levels {
+		if i > 0 && n <= o.Levels[i-1] {
+			return &OptionsError{Field: "Levels",
+				Reason: fmt.Sprintf("levels must be strictly increasing, got %d after %d", n, o.Levels[i-1])}
+		}
+		if n == 0 {
+			hasZero = true
+		}
+	}
+	if !hasZero {
+		return &OptionsError{Field: "Levels",
+			Reason: "level 0 is required (it drives max-propagation and path selection)"}
+	}
+	if o.InputSlew <= 0 {
+		return &OptionsError{Field: "InputSlew",
+			Reason: fmt.Sprintf("must be positive, got %g", o.InputSlew)}
+	}
+	if lib != nil {
+		if _, err := lib.Cell(o.InputDriver); err != nil {
+			return &OptionsError{Field: "InputDriver",
+				Reason: fmt.Sprintf("unknown cell %q", o.InputDriver)}
+		}
+		if _, err := lib.Cell(o.POLoadCell); err != nil {
+			return &OptionsError{Field: "POLoadCell",
+				Reason: fmt.Sprintf("unknown cell %q", o.POLoadCell)}
+		}
+	}
+	if len(o.InputSlews) > 0 && nl != nil {
+		pi := make(map[string]bool, len(nl.Inputs))
+		for _, in := range nl.Inputs {
+			pi[in] = true
+		}
+		for net, slew := range o.InputSlews {
+			if !pi[net] {
+				return &OptionsError{Field: "InputSlews",
+					Reason: fmt.Sprintf("net %q is not a primary input", net)}
+			}
+			if slew <= 0 {
+				return &OptionsError{Field: "InputSlews",
+					Reason: fmt.Sprintf("net %q slew must be positive, got %g", net, slew)}
+			}
+		}
+	}
+	return nil
+}

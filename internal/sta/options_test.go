@@ -1,0 +1,114 @@
+package sta
+
+import (
+	"errors"
+	"testing"
+)
+
+// optErr asserts NewTimer rejects opt with an *OptionsError naming field.
+func optErr(t *testing.T, opt Options, field string) {
+	t.Helper()
+	lib := synthLib()
+	nl := diamond()
+	_, err := NewTimer(lib, nl, flatTrees(nl, lib), opt)
+	if err == nil {
+		t.Fatalf("options %+v accepted", opt)
+	}
+	var oe *OptionsError
+	if !errors.As(err, &oe) {
+		t.Fatalf("got %T (%v), want *OptionsError", err, err)
+	}
+	if oe.Field != field {
+		t.Fatalf("error names field %q, want %q (%v)", oe.Field, field, err)
+	}
+}
+
+func TestOptionsRejectUnsortedLevels(t *testing.T) {
+	optErr(t, Options{Levels: []int{0, 2, 1, 3}}, "Levels")
+}
+
+func TestOptionsRejectDuplicateLevels(t *testing.T) {
+	optErr(t, Options{Levels: []int{-1, 0, 0, 1}}, "Levels")
+}
+
+func TestOptionsRejectLevelsWithoutZero(t *testing.T) {
+	optErr(t, Options{Levels: []int{1, 2, 3}}, "Levels")
+}
+
+func TestOptionsRejectNegativeInputSlew(t *testing.T) {
+	optErr(t, Options{InputSlew: -1e-12}, "InputSlew")
+}
+
+func TestOptionsRejectUnknownInputDriver(t *testing.T) {
+	optErr(t, Options{InputDriver: "BUFx9"}, "InputDriver")
+}
+
+func TestOptionsRejectUnknownPOLoadCell(t *testing.T) {
+	optErr(t, Options{POLoadCell: "DFFx1"}, "POLoadCell")
+}
+
+func TestOptionsRejectBadInputSlews(t *testing.T) {
+	// Not a primary input.
+	optErr(t, Options{InputSlews: map[string]float64{"m": 5e-12}}, "InputSlews")
+	// Non-positive override.
+	optErr(t, Options{InputSlews: map[string]float64{"in": 0}}, "InputSlews")
+}
+
+func TestOptionsValidAccepted(t *testing.T) {
+	lib := synthLib()
+	nl := diamond()
+	opt := Options{
+		Levels:     []int{-3, 0, 3},
+		InputSlews: map[string]float64{"in": 25e-12},
+	}
+	timer, err := NewTimer(lib, nl, flatTrees(nl, lib), opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := timer.Analyze()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The subset of levels must propagate, and the per-net slew must land
+	// on the PI stage.
+	for _, n := range []int{-3, 0, 3} {
+		if _, ok := res.ArrivalQ[n]; !ok {
+			t.Fatalf("level %+d missing from arrivals", n)
+		}
+	}
+	if got := res.Critical.Stages[0].InSlew; got != 25e-12 {
+		t.Fatalf("PI stage slew %v, want the 25 ps override", got)
+	}
+}
+
+// TestInputSlewOverrideChangesTiming pins the override to actually feed the
+// pad-driver evaluation, not just the report.
+func TestInputSlewOverrideChangesTiming(t *testing.T) {
+	lib := synthLib()
+	// Make the pad driver's output slew depend on its input slew.
+	for _, key := range []string{"INVx4/A/rise", "INVx4/A/fall"} {
+		m := lib.Arcs[key]
+		m.LUT.OutSlew = [][]float64{{10e-12, 10e-12}, {80e-12, 80e-12}}
+	}
+	nl := diamond()
+	base, err := NewTimer(lib, nl, flatTrees(nl, lib), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resBase, err := base.Analyze()
+	if err != nil {
+		t.Fatal(err)
+	}
+	over, err := NewTimer(lib, nl, flatTrees(nl, lib),
+		Options{InputSlews: map[string]float64{"in": 900e-12}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resOver, err := over.Analyze()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resBase.Critical.Stages[0].OutSlew == resOver.Critical.Stages[0].OutSlew {
+		t.Fatal("input-slew override did not reach the pad-driver evaluation")
+	}
+}

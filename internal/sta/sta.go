@@ -21,9 +21,16 @@ import (
 // Options configures an analysis.
 type Options struct {
 	// Levels are the sigma levels to propagate (default stats.SigmaLevels).
+	// They must be strictly increasing and include level 0, which drives
+	// max-propagation and critical-path selection.
 	Levels []int
 	// InputSlew is the transition time at primary inputs (default 10 ps).
 	InputSlew float64
+	// InputSlews overrides InputSlew for individual primary-input nets —
+	// the per-port `set_input_transition` of an SDC file, and the state the
+	// incremental engine's SetInputSlew edit mutates. Keys must be primary
+	// inputs of the analyzed netlist, values positive.
+	InputSlews map[string]float64
 	// InputDriver is the cell assumed to drive primary-input nets when
 	// evaluating wire variability (default INVx4, an FO4 pad driver).
 	InputDriver string
@@ -45,6 +52,15 @@ func (o *Options) setDefaults() {
 	if o.POLoadCell == "" {
 		o.POLoadCell = "INVx4"
 	}
+}
+
+// inputSlewFor returns the effective input transition of a primary-input
+// net: the per-net override when present, the global default otherwise.
+func (o *Options) inputSlewFor(net string) float64 {
+	if s, ok := o.InputSlews[net]; ok {
+		return s
+	}
+	return o.InputSlew
 }
 
 // Stage is one link of a timing path: a driving cell arc (absent for the
@@ -136,6 +152,9 @@ type Timer struct {
 // NewTimer validates inputs and builds the structural maps.
 func NewTimer(lib *timinglib.File, nl *netlist.Netlist, trees map[string]*rctree.Tree, opt Options) (*Timer, error) {
 	opt.setDefaults()
+	if err := opt.validate(lib, nl); err != nil {
+		return nil, err
+	}
 	if err := nl.Validate(); err != nil {
 		return nil, err
 	}
@@ -147,29 +166,6 @@ func NewTimer(lib *timinglib.File, nl *netlist.Netlist, trees map[string]*rctree
 		}
 	}
 	return t, nil
-}
-
-// netState is the propagated state at a net root for one edge.
-type netState struct {
-	arr    map[int]float64 // per sigma level
-	slew   float64         // at the net root
-	valid  bool
-	moms   stats.Moments // calibrated moments of the driving arc
-	quant  map[int]float64
-	inPin  string // winning input pin of the driving gate
-	inEdge waveform.Edge
-	inSlew float64
-	load   float64
-	// winSink backtracks the winning fanin: sink index on the input net
-	// that fed the winning pin.
-	winSinkIdx int
-}
-
-func edgeIdx(e waveform.Edge) int {
-	if e == waveform.Rising {
-		return 1
-	}
-	return 0
 }
 
 // Analyze times the whole design and extracts the critical path.
@@ -186,8 +182,9 @@ func (t *Timer) AnalyzeContext(ctx context.Context) (*Result, error) {
 }
 
 // analyzeInternal runs the propagation and also returns the per-net state
-// so callers (AnalyzeTopPaths) can backtrack additional paths.
-func (t *Timer) analyzeInternal(ctx context.Context) (*Result, map[string]*[2]netState, error) {
+// so callers (AnalyzeTopPaths) can backtrack additional paths. It is a
+// batch driver over the shared evaluation core in eval.go.
+func (t *Timer) analyzeInternal(ctx context.Context) (*Result, StateMap, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
@@ -195,29 +192,12 @@ func (t *Timer) analyzeInternal(ctx context.Context) (*Result, map[string]*[2]ne
 	if err != nil {
 		return nil, nil, err
 	}
-	state := make(map[string]*[2]netState, t.nl.NumNets())
-	get := func(net string) *[2]netState {
-		s, ok := state[net]
-		if !ok {
-			s = &[2]netState{}
-			state[net] = s
-		}
-		return s
-	}
+	state := make(StateMap, t.nl.NumNets())
 	for _, in := range t.nl.Inputs {
-		s := get(in)
-		for _, e := range []waveform.Edge{waveform.Falling, waveform.Rising} {
-			st := &s[edgeIdx(e)]
-			st.valid = true
-			st.slew = t.inputRootSlew(in, e)
-			st.arr = map[int]float64{}
-			for _, n := range t.opt.Levels {
-				st.arr[n] = 0
-			}
-		}
+		*state.At(in) = t.InputState(in)
 	}
 
-	res := &Result{}
+	gatesTimed := 0
 	// Cancellation granularity: every 64 gates (and before the first).
 	// Gate evaluation is cheap LUT lookups, so this bounds cancel latency
 	// without a branch-heavy hot loop.
@@ -230,117 +210,31 @@ func (t *Timer) analyzeInternal(ctx context.Context) (*Result, map[string]*[2]ne
 				return nil, nil, resilience.Wrap("sta: analyze", err)
 			}
 		}
-		g := &t.nl.Gates[gi]
-		out := g.Output()
-		tree := t.trees[out]
-		if tree == nil {
-			return nil, nil, fmt.Errorf("sta: gate %s output net %s has no tree", g.Name, out)
+		out, arcs, err := t.EvalGate(gi, state)
+		if err != nil {
+			return nil, nil, err
 		}
-		load := tree.TotalCap()
-		outState := get(out)
-		for _, outEdge := range []waveform.Edge{waveform.Falling, waveform.Rising} {
-			inEdge := outEdge.Opposite()
-			best := netState{}
-			for pin, inNet := range g.Pins {
-				if pin == "Y" {
-					continue
-				}
-				inSt := get(inNet)[edgeIdx(inEdge)]
-				if !inSt.valid {
-					continue
-				}
-				// Arrival and slew at this pin = net root + wire.
-				sinkIdx, leaf, err := t.sinkLeaf(inNet, gi, pin)
-				if err != nil {
-					return nil, nil, err
-				}
-				pinArr, pinSlew, err := t.atLeaf(inNet, &inSt, leaf, gi)
-				if err != nil {
-					return nil, nil, err
-				}
-				arc, err := t.lib.Arc(g.Cell, pin, inEdge)
-				if err != nil {
-					return nil, nil, err
-				}
-				res.GatesTimed++
-				moms := arc.MomentsAt(pinSlew, load)
-				quant := make(map[int]float64, len(t.opt.Levels))
-				cand := make(map[int]float64, len(t.opt.Levels))
-				for _, n := range t.opt.Levels {
-					q := arc.Quant.Quantile(moms, n)
-					quant[n] = q
-					cand[n] = pinArr[n] + q
-				}
-				if !best.valid || cand[0] > best.arr[0] {
-					best = netState{
-						arr: cand, valid: true,
-						slew:       arc.OutSlew(pinSlew, load),
-						moms:       moms,
-						quant:      quant,
-						inPin:      pin,
-						inEdge:     inEdge,
-						inSlew:     pinSlew,
-						load:       load,
-						winSinkIdx: sinkIdx,
-					}
-				} else {
-					// Keep the per-level max even when level 0 loses.
-					for _, n := range t.opt.Levels {
-						if cand[n] > best.arr[n] {
-							best.arr[n] = cand[n]
-						}
-					}
-				}
-			}
-			if best.valid {
-				outState[edgeIdx(outEdge)] = best
-			}
-		}
+		gatesTimed += arcs
+		*state.At(t.nl.Gates[gi].Output()) = out
 	}
 
 	// Endpoints: PO sinks.
-	bestMean := math.Inf(-1)
-	var bestNet string
-	var bestEdge waveform.Edge
-	var bestArr map[int]float64
-	res.EndpointArrivals = make(map[string]map[int]float64)
+	ep := make(map[string][]EndpointEntry, len(t.nl.Outputs))
 	for _, po := range t.nl.Outputs {
-		sinks := t.fan[po]
-		for si, s := range sinks {
-			if s.Gate >= 0 {
-				continue
-			}
-			leaf, err := t.poLeaf(po, si)
-			if err != nil {
-				return nil, nil, err
-			}
-			for _, e := range []waveform.Edge{waveform.Falling, waveform.Rising} {
-				st := get(po)[edgeIdx(e)]
-				if !st.valid {
-					continue
-				}
-				arr, _, err := t.atLeaf(po, &st, leaf, -1)
-				if err != nil {
-					return nil, nil, err
-				}
-				res.Endpoints++
-				res.EndpointArrivals[fmt.Sprintf("%s/%s", po, e)] = arr
-				if arr[0] > bestMean {
-					bestMean = arr[0]
-					bestNet, bestEdge, bestArr = po, e, arr
-				}
-			}
+		if _, done := ep[po]; done {
+			continue
 		}
+		entries, err := t.EndpointsForNet(po, state)
+		if err != nil {
+			return nil, nil, err
+		}
+		ep[po] = entries
 	}
-	if bestNet == "" {
-		return nil, nil, fmt.Errorf("sta: no timed endpoints")
-	}
-	res.ArrivalQ = bestArr
-	path, err := t.backtrack(state, bestNet, bestEdge)
+	res, err := t.ResultFrom(state, ep)
 	if err != nil {
 		return nil, nil, err
 	}
-	res.Critical = path
+	res.GatesTimed = gatesTimed
 	return res, state, nil
 }
 
@@ -350,19 +244,20 @@ func (t *Timer) analyzeInternal(ctx context.Context) (*Result, map[string]*[2]ne
 // Designs timed against a library without the pad-driver arc fall back to
 // the raw input slew.
 func (t *Timer) inputRootSlew(net string, e waveform.Edge) float64 {
+	inSlew := t.opt.inputSlewFor(net)
 	tree := t.trees[net]
 	if tree == nil {
-		return t.opt.InputSlew
+		return inSlew
 	}
 	info, err := t.lib.Cell(t.opt.InputDriver)
 	if err != nil || len(info.Inputs) == 0 {
-		return t.opt.InputSlew
+		return inSlew
 	}
 	arc, err := t.lib.Arc(t.opt.InputDriver, info.Inputs[0], e.Opposite())
 	if err != nil {
-		return t.opt.InputSlew
+		return inSlew
 	}
-	return arc.OutSlew(t.opt.InputSlew, tree.TotalCap())
+	return arc.OutSlew(inSlew, tree.TotalCap())
 }
 
 // sinkLeaf finds the fanout index and tree leaf of gate gi's pin on net.
@@ -395,19 +290,19 @@ func (t *Timer) poLeaf(net string, sinkIdx int) (int, error) {
 // atLeaf transports a net-root state to a leaf: arrival via the wire
 // quantile model, slew via the PERI degradation rule
 // (leaf² = root² + (ln9·Elmore)²).
-func (t *Timer) atLeaf(net string, st *netState, leaf int, sinkGate int) (map[int]float64, float64, error) {
+func (t *Timer) atLeaf(net string, st *NetState, leaf int, sinkGate int) (map[int]float64, float64, error) {
 	tree := t.trees[net]
 	elmore := tree.Elmore(leaf)
 	xw, err := t.xwFor(net, sinkGate)
 	if err != nil {
 		return nil, 0, err
 	}
-	arr := make(map[int]float64, len(st.arr))
-	for n, a := range st.arr {
+	arr := make(map[int]float64, len(st.Arr))
+	for n, a := range st.Arr {
 		arr[n] = a + (1+float64(n)*xw)*elmore
 	}
 	const ln9 = 2.1972245773362196
-	slew := math.Sqrt(st.slew*st.slew + (ln9*elmore)*(ln9*elmore))
+	slew := math.Sqrt(st.Slew*st.Slew + (ln9*elmore)*(ln9*elmore))
 	return arr, slew, nil
 }
 
@@ -429,7 +324,7 @@ func (t *Timer) xwFor(net string, sinkGate int) (float64, error) {
 }
 
 // backtrack reconstructs the critical path ending at the PO net/edge.
-func (t *Timer) backtrack(state map[string]*[2]netState, endNet string, endEdge waveform.Edge) (*Path, error) {
+func (t *Timer) backtrack(state StateMap, endNet string, endEdge waveform.Edge) (*Path, error) {
 	type link struct {
 		net  string
 		edge waveform.Edge
@@ -442,11 +337,11 @@ func (t *Timer) backtrack(state map[string]*[2]netState, endNet string, endEdge 
 		if !ok {
 			break // reached a primary input
 		}
-		st := state[cur.net][edgeIdx(cur.edge)]
-		if !st.valid {
+		st := state[cur.net][EdgeIdx(cur.edge)]
+		if !st.Valid {
 			return nil, fmt.Errorf("sta: backtrack through invalid state at %s", cur.net)
 		}
-		cur = link{net: t.nl.Gates[gi].Pins[st.inPin], edge: st.inEdge}
+		cur = link{net: t.nl.Gates[gi].Pins[st.InPin], edge: st.InEdge}
 	}
 	// rev is endpoint→PI; build stages PI→endpoint.
 	p := &Path{Endpoint: endNet}
@@ -454,39 +349,39 @@ func (t *Timer) backtrack(state map[string]*[2]netState, endNet string, endEdge 
 		l := rev[i]
 		stg := Stage{GateIdx: -1, Net: l.net, Tree: t.trees[l.net], SinkLeaf: -1}
 		if gi, ok := t.drv[l.net]; ok {
-			st := state[l.net][edgeIdx(l.edge)]
+			st := state[l.net][EdgeIdx(l.edge)]
 			g := &t.nl.Gates[gi]
 			stg.GateIdx = gi
 			stg.Cell = g.Cell
-			stg.InPin = st.inPin
-			stg.InEdge = st.inEdge
-			stg.InSlew = st.inSlew
-			stg.Load = st.load
-			stg.CellMoments = st.moms
-			stg.CellQ = st.quant
-			stg.OutSlew = st.slew
+			stg.InPin = st.InPin
+			stg.InEdge = st.InEdge
+			stg.InSlew = st.InSlew
+			stg.Load = st.Load
+			stg.CellMoments = st.Moms
+			stg.CellQ = st.Quant
+			stg.OutSlew = st.Slew
 		} else {
 			p.Launch = l.edge
 			stg.InEdge = l.edge
-			stg.InSlew = t.opt.InputSlew
-			st := state[l.net][edgeIdx(l.edge)]
-			stg.OutSlew = st.slew
+			stg.InSlew = t.opt.inputSlewFor(l.net)
+			st := state[l.net][EdgeIdx(l.edge)]
+			stg.OutSlew = st.Slew
 		}
 		// Wire segment toward the next stage (or the endpoint PO).
 		if i > 0 {
 			nextNet := rev[i-1].net
 			ngi := t.drv[nextNet]
 			ng := &t.nl.Gates[ngi]
-			nst := state[nextNet][edgeIdx(rev[i-1].edge)]
-			sinkIdx, leaf, err := t.sinkLeaf(l.net, ngi, nst.inPin)
+			nst := state[nextNet][EdgeIdx(rev[i-1].edge)]
+			sinkIdx, leaf, err := t.sinkLeaf(l.net, ngi, nst.InPin)
 			if err != nil {
 				return nil, err
 			}
 			stg.SinkIdx = sinkIdx
 			stg.SinkLeaf = leaf
 			stg.SinkCell = ng.Cell
-			stg.SinkPin = nst.inPin
-			pc, err := t.lib.PinCap(ng.Cell, nst.inPin)
+			stg.SinkPin = nst.InPin
+			pc, err := t.lib.PinCap(ng.Cell, nst.InPin)
 			if err != nil {
 				return nil, err
 			}

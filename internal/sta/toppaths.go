@@ -19,12 +19,24 @@ func (t *Timer) AnalyzeTopPaths(k int) (*Result, []*Path, error) {
 
 // AnalyzeTopPathsContext is AnalyzeTopPaths under a cancelable context.
 func (t *Timer) AnalyzeTopPathsContext(ctx context.Context, k int) (*Result, []*Path, error) {
-	if k <= 0 {
-		return nil, nil, fmt.Errorf("sta: k must be positive")
-	}
 	res, state, err := t.analyze(ctx)
 	if err != nil {
 		return nil, nil, err
+	}
+	paths, err := t.TopPathsFrom(state, res, k)
+	if err != nil {
+		return nil, nil, err
+	}
+	return res, paths, nil
+}
+
+// TopPathsFrom ranks a result's endpoints (mean arrival descending, then
+// endpoint key for deterministic tie-breaking) and backtracks the worst
+// path of each of the k slowest through the given state. It is the query
+// half of AnalyzeTopPaths, reused by incremental snapshots.
+func (t *Timer) TopPathsFrom(state StateMap, res *Result, k int) ([]*Path, error) {
+	if k <= 0 {
+		return nil, fmt.Errorf("sta: k must be positive")
 	}
 	type endpoint struct {
 		key  string
@@ -55,16 +67,16 @@ func (t *Timer) AnalyzeTopPathsContext(ctx context.Context, k int) (*Result, []*
 	for _, ep := range eps[:k] {
 		p, err := t.backtrack(state, ep.net, ep.edge)
 		if err != nil {
-			return nil, nil, err
+			return nil, err
 		}
 		paths = append(paths, p)
 	}
-	return res, paths, nil
+	return paths, nil
 }
 
 // analyze is the shared implementation behind Analyze and AnalyzeTopPaths,
 // returning the propagated state for further backtracking.
-func (t *Timer) analyze(ctx context.Context) (*Result, map[string]*[2]netState, error) {
+func (t *Timer) analyze(ctx context.Context) (*Result, StateMap, error) {
 	res, state, err := t.analyzeInternal(ctx)
 	return res, state, err
 }

@@ -1,0 +1,158 @@
+package sta
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"repro/internal/netlist"
+)
+
+// fanout2 builds a design with two endpoints of different depth:
+//
+//	in → U1(INV) → m → U2(INV) → o1 (PO)
+//	               m → U3(INV) → p → U4(INV) → o2 (PO)
+//
+// so o2 (three cell stages) is strictly slower than o1 (two).
+func fanout2() *netlist.Netlist {
+	return &netlist.Netlist{
+		Name:    "fanout2",
+		Inputs:  []string{"in"},
+		Outputs: []string{"o1", "o2"},
+		Gates: []netlist.Gate{
+			{Name: "U1", Cell: "INVx1", Pins: map[string]string{"A": "in", "Y": "m"}},
+			{Name: "U2", Cell: "INVx1", Pins: map[string]string{"A": "m", "Y": "o1"}},
+			{Name: "U3", Cell: "INVx1", Pins: map[string]string{"A": "m", "Y": "p"}},
+			{Name: "U4", Cell: "INVx1", Pins: map[string]string{"A": "p", "Y": "o2"}},
+		},
+	}
+}
+
+func newFanout2Timer(t *testing.T) *Timer {
+	t.Helper()
+	lib := synthLib()
+	nl := fanout2()
+	timer, err := NewTimer(lib, nl, flatTrees(nl, lib), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return timer
+}
+
+func TestTopPathsOrdering(t *testing.T) {
+	timer := newFanout2Timer(t)
+	res, paths, err := timer.AnalyzeTopPaths(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2 PO nets × 2 edges = 4 endpoints, each contributing one path.
+	if len(paths) != 4 {
+		t.Fatalf("got %d paths, want 4", len(paths))
+	}
+	// The first path must be the critical path of Analyze.
+	if paths[0].Endpoint != res.Critical.Endpoint || paths[0].Launch != res.Critical.Launch {
+		t.Fatalf("paths[0] endpoint %s/%s, critical %s/%s",
+			paths[0].Endpoint, paths[0].Launch, res.Critical.Endpoint, res.Critical.Launch)
+	}
+	// Mean arrivals must be non-increasing across the ranking.
+	key := func(p *Path) string { return fmt.Sprintf("%s/%s", p.Endpoint, p.Stages[len(p.Stages)-1].InEdge) }
+	for i := 1; i < len(paths); i++ {
+		a := res.EndpointArrivals[endpointKeyOf(t, res, paths[i-1])][0]
+		b := res.EndpointArrivals[endpointKeyOf(t, res, paths[i])][0]
+		if b > a {
+			t.Fatalf("path %d (%s) arrival %g above path %d (%s) arrival %g",
+				i, key(paths[i]), b, i-1, key(paths[i-1]), a)
+		}
+	}
+	// The two deep o2 paths must rank above the two shallow o1 paths.
+	if paths[0].Endpoint != "o2" || paths[1].Endpoint != "o2" {
+		t.Fatalf("deep endpoint o2 not ranked first: %s, %s", paths[0].Endpoint, paths[1].Endpoint)
+	}
+	if paths[2].Endpoint != "o1" || paths[3].Endpoint != "o1" {
+		t.Fatalf("shallow endpoint o1 not ranked last: %s, %s", paths[2].Endpoint, paths[3].Endpoint)
+	}
+}
+
+// endpointKeyOf reconstructs the EndpointArrivals key of a path's endpoint,
+// verifying it exists in the result.
+func endpointKeyOf(t *testing.T, res *Result, p *Path) string {
+	t.Helper()
+	last := p.Stages[len(p.Stages)-1]
+	// The endpoint edge is the output edge of the last gate (opposite of
+	// its input edge), or the launch edge for a wire-only path.
+	edge := p.Launch
+	if last.Cell != "" {
+		edge = last.InEdge.Opposite()
+	}
+	key := fmt.Sprintf("%s/%s", p.Endpoint, edge)
+	if _, ok := res.EndpointArrivals[key]; !ok {
+		t.Fatalf("endpoint key %q not in result", key)
+	}
+	return key
+}
+
+func TestTopPathsKLargerThanEndpointCount(t *testing.T) {
+	timer := newFanout2Timer(t)
+	_, paths, err := timer.AnalyzeTopPaths(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) != 4 {
+		t.Fatalf("k=100 returned %d paths, want all 4 endpoints", len(paths))
+	}
+}
+
+func TestTopPathsRejectsNonPositiveK(t *testing.T) {
+	timer := newFanout2Timer(t)
+	for _, k := range []int{0, -3} {
+		if _, _, err := timer.AnalyzeTopPaths(k); err == nil {
+			t.Fatalf("k=%d accepted", k)
+		}
+	}
+}
+
+// TestTopPathsTieBreakDeterminism times a design whose two endpoints are
+// exactly symmetric (identical arrivals): the ranking must fall back to the
+// endpoint key and be identical across repeated runs.
+func TestTopPathsTieBreakDeterminism(t *testing.T) {
+	lib := synthLib()
+	nl := &netlist.Netlist{
+		Name:    "tie",
+		Inputs:  []string{"in"},
+		Outputs: []string{"oa", "ob"},
+		Gates: []netlist.Gate{
+			{Name: "U1", Cell: "INVx1", Pins: map[string]string{"A": "in", "Y": "oa"}},
+			{Name: "U2", Cell: "INVx1", Pins: map[string]string{"A": "in", "Y": "ob"}},
+		},
+	}
+	var first []string
+	for run := 0; run < 5; run++ {
+		timer, err := NewTimer(lib, nl, flatTrees(nl, lib), Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, paths, err := timer.AnalyzeTopPaths(4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		keys := make([]string, len(paths))
+		for i, p := range paths {
+			keys[i] = endpointKeyOf(t, res, p)
+		}
+		if run == 0 {
+			first = keys
+			// Ties must resolve by ascending endpoint key.
+			for i := 1; i < len(keys); i++ {
+				a := res.EndpointArrivals[keys[i-1]][0]
+				b := res.EndpointArrivals[keys[i]][0]
+				if a == b && keys[i-1] >= keys[i] {
+					t.Fatalf("tied endpoints out of key order: %q before %q", keys[i-1], keys[i])
+				}
+			}
+			continue
+		}
+		if !reflect.DeepEqual(first, keys) {
+			t.Fatalf("run %d ranking %v differs from first run %v", run, keys, first)
+		}
+	}
+}

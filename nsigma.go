@@ -26,6 +26,7 @@ import (
 	"repro/internal/charlib"
 	"repro/internal/circuits"
 	"repro/internal/device"
+	"repro/internal/incsta"
 	"repro/internal/layout"
 	"repro/internal/netlist"
 	"repro/internal/nsigma"
@@ -67,6 +68,15 @@ type (
 	CharConfig = charlib.Config
 	// STAOptions configures an analysis.
 	STAOptions = sta.Options
+	// IncrementalEngine keeps a design's timing state resident and
+	// re-propagates only the downstream cone of each ECO edit
+	// (package internal/incsta; served over HTTP by cmd/timingd).
+	IncrementalEngine = incsta.Engine
+	// IncrementalConfig tunes an IncrementalEngine (options + epsilon).
+	IncrementalConfig = incsta.Config
+	// TimingSnapshot is an immutable, lock-free-queryable view of an
+	// IncrementalEngine at one edit version.
+	TimingSnapshot = incsta.Snapshot
 )
 
 // Edge directions.
@@ -125,6 +135,14 @@ func ExtractParasitics(cfg *CharConfig, nl *Netlist, seed uint64) (map[string]*T
 		return nil, err
 	}
 	return layout.Extract(nl, cfg.Lib, par, pl)
+}
+
+// NewIncrementalEngine builds an incremental timing engine over a design:
+// one full analysis up front, then per-edit re-propagation of only the
+// affected cone, with snapshots bit-identical to a fresh analysis at
+// epsilon 0.
+func NewIncrementalEngine(lib *TimingFile, nl *Netlist, trees map[string]*Tree, cfg IncrementalConfig) (*IncrementalEngine, error) {
+	return incsta.New(lib, nl, trees, cfg)
 }
 
 // NewTimer builds an N-sigma STA engine over a netlist, its parasitics and
