@@ -2,7 +2,7 @@
 //
 // It reads a `go test -json` stream (or raw `go test -bench` text) from a
 // file or stdin, extracts every "ns/op" result, and compares each benchmark
-// against the "after" numbers of a baseline file such as BENCH_pr2.json.
+// against the "after" numbers of a baseline file such as BENCH_pr4.json.
 // When a benchmark ran more than once (-count=N), the fastest run is used —
 // the minimum is the standard noise-robust statistic for CI machines.
 //
@@ -15,7 +15,7 @@
 // Usage:
 //
 //	go test -run='^$' -bench=. -count=3 -json ./... |
-//	    go run ./cmd/benchdiff -baseline BENCH_pr2.json
+//	    go run ./cmd/benchdiff -baseline BENCH_pr4.json
 package main
 
 import (
@@ -28,7 +28,7 @@ import (
 
 func main() {
 	var (
-		baselinePath = flag.String("baseline", "BENCH_pr2.json", "baseline benchmark file")
+		baselinePath = flag.String("baseline", "BENCH_pr4.json", "baseline benchmark file")
 		inputPath    = flag.String("input", "-", "go test -json (or raw bench) stream; - for stdin")
 		tolerance    = flag.Float64("tolerance", 0.20, "allowed fractional slowdown vs baseline")
 	)

@@ -11,9 +11,16 @@
 //
 //	characterize -profile standard -out coeffs.json
 //	characterize -profile standard -out coeffs.json -resume
+//
+// Observability: -trace-out records spans (characterisation arcs, MC grid
+// points, individual transients) into a Chrome trace_event JSON file
+// loadable in Perfetto; -metrics-out dumps the final Prometheus text
+// exposition; -max-arcs bounds the run to the first N arcs for smoke tests
+// and tracing demos; -log-level/-log-json configure structured logs.
 package main
 
 import (
+	"bytes"
 	"context"
 	"errors"
 	"flag"
@@ -25,6 +32,7 @@ import (
 
 	"repro/internal/experiments"
 	"repro/internal/liberty"
+	"repro/internal/obs"
 	"repro/internal/profiling"
 	"repro/internal/resilience"
 	"repro/internal/timinglib"
@@ -44,10 +52,21 @@ func main() {
 		cpuProfile  = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProfile  = flag.String("memprofile", "", "write a heap profile to this file at exit")
 		benchJSON   = flag.String("bench-json", "", "write phase wall times and allocation totals as JSON to this file")
+		maxArcs     = flag.Int("max-arcs", 0, "stop after this many newly fitted arcs (0 = all; skips wire calibration, keeps the checkpoint resumable)")
+		traceFlag   = flag.String("trace-out", "", "record spans and write a Chrome trace_event JSON file here at exit")
+		metricsFlag = flag.String("metrics-out", "", "write the final Prometheus metrics exposition to this file at exit")
+		logOpts     = obs.RegisterLogFlags(flag.CommandLine)
 	)
 	flag.Parse()
 
 	var err error
+	if err = logOpts.Setup(); err != nil {
+		fatal(err)
+	}
+	traceOut, metricsOut = *traceFlag, *metricsFlag
+	if traceOut != "" {
+		obs.Trace.Enable(obs.DefaultSpanBuffer)
+	}
 	prof, err = profiling.Start(*cpuProfile, *memProfile)
 	if err != nil {
 		fatal(err)
@@ -84,6 +103,7 @@ func main() {
 		Checkpoint: func(f *timinglib.File) error {
 			return f.Save(*out)
 		},
+		MaxArcs: *maxArcs,
 	}
 	if *resume {
 		prev, err := timinglib.Load(*out)
@@ -146,13 +166,45 @@ func main() {
 		fmt.Printf("wrote Liberty/LVF export %s\n", *libertyOut)
 	}
 	fmt.Fprintln(os.Stderr, "characterize:", report.Summary())
+	wireCells := 0
+	if f.Wire != nil {
+		wireCells = len(f.Wire.XFI)
+	}
 	fmt.Printf("wrote %s: %d arcs, %d cells, wire calibration over %d cells (took %v)\n",
-		*out, len(f.Arcs), len(f.Cells), len(f.Wire.XFI), time.Since(t0).Round(time.Second))
+		*out, len(f.Arcs), len(f.Cells), wireCells, time.Since(t0).Round(time.Second))
+	flushObs()
 }
 
 // prof is package-level so that fatal/exit can flush profiles on error
-// paths, where os.Exit would skip main's deferred Stop.
-var prof *profiling.Session
+// paths, where os.Exit would skip main's deferred Stop. traceOut/metricsOut
+// get the same treatment: a partial trace of an interrupted run is exactly
+// when you want one.
+var (
+	prof       *profiling.Session
+	traceOut   string
+	metricsOut string
+)
+
+// flushObs writes the trace and metrics dumps, if requested. Idempotent in
+// effect (a second call rewrites identical files), so both the success path
+// and exit() may call it.
+func flushObs() {
+	if traceOut != "" {
+		if err := obs.Trace.WriteFile(traceOut); err != nil {
+			fmt.Fprintln(os.Stderr, "characterize:", err)
+		} else {
+			fmt.Fprintf(os.Stderr, "characterize: wrote trace %s (%d spans, %d dropped)\n",
+				traceOut, obs.Trace.Len(), obs.Trace.Dropped())
+		}
+	}
+	if metricsOut != "" {
+		var buf bytes.Buffer
+		obs.Default().WritePrometheus(&buf)
+		if err := os.WriteFile(metricsOut, buf.Bytes(), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "characterize:", err)
+		}
+	}
+}
 
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "characterize:", err)
@@ -163,5 +215,6 @@ func exit(code int) {
 	if err := prof.Stop(); err != nil {
 		fmt.Fprintln(os.Stderr, "characterize:", err)
 	}
+	flushObs()
 	os.Exit(code)
 }

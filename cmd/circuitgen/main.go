@@ -16,6 +16,7 @@ import (
 	"repro/internal/device"
 	"repro/internal/layout"
 	"repro/internal/netlist"
+	"repro/internal/obs"
 	"repro/internal/rctree"
 	"repro/internal/stdcell"
 )
@@ -29,7 +30,11 @@ func main() {
 		verilogOut  = flag.String("verilog", "", "also write structural Verilog to this path")
 		spefOut     = flag.String("spef", "", "SPEF output path (omit to skip extraction)")
 	)
+	logOpts := obs.RegisterLogFlags(flag.CommandLine)
 	flag.Parse()
+	if err := logOpts.Setup(); err != nil {
+		fatal(err)
+	}
 
 	var nl *netlist.Netlist
 	var err error

@@ -14,6 +14,7 @@ import (
 	"repro/internal/layout"
 	"repro/internal/netlist"
 	"repro/internal/nsigma"
+	"repro/internal/obs"
 	"repro/internal/sta"
 	"repro/internal/stdcell"
 	"repro/internal/timinglib"
@@ -25,7 +26,11 @@ func main() {
 	stages := flag.Int("stages", 20, "chain length")
 	samples := flag.Int("samples", 400, "golden MC samples")
 	charN := flag.Int("char", 1200, "characterisation samples per point")
+	logOpts := obs.RegisterLogFlags(flag.CommandLine)
 	flag.Parse()
+	if err := logOpts.Setup(); err != nil {
+		fatal(err)
+	}
 
 	ctx := experiments.NewContext(experiments.Profile{
 		Name: "quick", CharSamples: *charN, EvalSamples: 1000,

@@ -6,11 +6,13 @@ package main
 
 import (
 	"context"
+	"flag"
 	"fmt"
 	"os"
 
 	"repro/internal/charlib"
 	"repro/internal/circuit"
+	"repro/internal/obs"
 	"repro/internal/rctree"
 	"repro/internal/resilience"
 	"repro/internal/waveform"
@@ -31,6 +33,11 @@ func stageTree() *rctree.Tree {
 }
 
 func main() {
+	logOpts := obs.RegisterLogFlags(flag.CommandLine)
+	flag.Parse()
+	if err := logOpts.Setup(); err != nil {
+		fatal(err)
+	}
 	cfg := charlib.DefaultConfig()
 	tech := cfg.Tech
 	cell := cfg.Lib.MustCell("INVx2")

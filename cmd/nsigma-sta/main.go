@@ -19,6 +19,7 @@ import (
 	"repro/internal/device"
 	"repro/internal/layout"
 	"repro/internal/netlist"
+	"repro/internal/obs"
 	"repro/internal/rctree"
 	"repro/internal/sta"
 	"repro/internal/stats"
@@ -36,7 +37,11 @@ func main() {
 		full    = flag.Bool("path", false, "print the full critical path, stage by stage")
 		period  = flag.Float64("period", 0, "clock period in ps for a setup/slack report (0 = skip)")
 	)
+	logOpts := obs.RegisterLogFlags(flag.CommandLine)
 	flag.Parse()
+	if err := logOpts.Setup(); err != nil {
+		fatal(err)
+	}
 
 	lib, err := timinglib.Load(*libPath)
 	if err != nil {

@@ -19,6 +19,7 @@ import (
 	"strings"
 
 	"repro/internal/experiments"
+	"repro/internal/obs"
 	"repro/internal/profiling"
 	"repro/internal/timinglib"
 )
@@ -38,7 +39,11 @@ func main() {
 		memProfile  = flag.String("memprofile", "", "write a heap profile to this file at exit")
 		benchJSON   = flag.String("bench-json", "", "write per-table/figure wall times and allocation totals as JSON to this file")
 	)
+	logOpts := obs.RegisterLogFlags(flag.CommandLine)
 	flag.Parse()
+	if err := logOpts.Setup(); err != nil {
+		fatal(err)
+	}
 
 	var err error
 	prof, err = profiling.Start(*cpuProfile, *memProfile)

@@ -12,8 +12,14 @@
 //	# resize a cell; only its downstream cone is re-timed
 //	curl -X POST localhost:8080/designs/c432/edits \
 //	     -d '{"op":"resize","gate":"U7","strength":8}'
-//	# re-propagation counters, cache hit ratio, request counts
+//	# readiness probe and Prometheus metrics
+//	curl localhost:8080/healthz
 //	curl localhost:8080/metrics
+//
+// Observability: -log-level/-log-json configure structured logs, -pprof
+// (off by default) mounts the net/http/pprof handlers under /debug/pprof/,
+// and -trace-out records spans for the whole run and writes a Chrome
+// trace_event JSON file at shutdown.
 //
 // SIGINT/SIGTERM drain in-flight requests and stop every design's edit
 // queue before exiting.
@@ -23,14 +29,15 @@ import (
 	"context"
 	"errors"
 	"flag"
-	"fmt"
-	"log"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/resilience"
 	"repro/internal/server"
 	"repro/internal/timinglib"
@@ -41,18 +48,40 @@ func main() {
 		addr     = flag.String("addr", ":8080", "listen address")
 		libPath  = flag.String("lib", "coeffs.json", "coefficients file (from cmd/characterize)")
 		drainFor = flag.Duration("drain", 10*time.Second, "shutdown drain timeout")
+		pprofOn  = flag.Bool("pprof", false, "mount net/http/pprof handlers under /debug/pprof/")
+		traceOut = flag.String("trace-out", "", "record spans and write a Chrome trace_event JSON file here at shutdown")
+		logOpts  = obs.RegisterLogFlags(flag.CommandLine)
 	)
 	flag.Parse()
+	if err := logOpts.Setup(); err != nil {
+		fatal("timingd: logging setup", err)
+	}
+	if *traceOut != "" {
+		obs.Trace.Enable(obs.DefaultSpanBuffer)
+	}
 
 	lib, err := timinglib.Load(*libPath)
 	if err != nil {
-		log.Fatal(resilience.Wrap("timingd: load library", err))
+		fatal("timingd: load library", resilience.Wrap("timingd: load library", err))
 	}
 
 	srv := server.New(lib)
+	handler := http.Handler(srv.Handler())
+	if *pprofOn {
+		// pprof stays opt-in: profiling endpoints expose internals and cost
+		// CPU, so production deployments must ask for them explicitly.
+		outer := http.NewServeMux()
+		outer.HandleFunc("/debug/pprof/", pprof.Index)
+		outer.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		outer.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		outer.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		outer.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		outer.Handle("/", handler)
+		handler = outer
+	}
 	hs := &http.Server{
 		Addr:              *addr,
-		Handler:           srv.Handler(),
+		Handler:           handler,
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 
@@ -61,26 +90,40 @@ func main() {
 
 	errc := make(chan error, 1)
 	go func() {
-		log.Printf("timingd: serving on %s (library %s, %d arcs)", *addr, *libPath, len(lib.Arcs))
+		slog.Info("timingd: serving", "addr", *addr, "library", *libPath,
+			"arcs", len(lib.Arcs), "pprof", *pprofOn)
 		errc <- hs.ListenAndServe()
 	}()
 
 	select {
 	case err := <-errc:
 		// Listen failed before any signal: nothing to drain.
-		log.Fatal(resilience.Wrap("timingd: serve", err))
+		fatal("timingd: serve", resilience.Wrap("timingd: serve", err))
 	case <-ctx.Done():
 	}
 
-	log.Printf("timingd: shutdown signal, draining for up to %v", *drainFor)
+	slog.Info("timingd: shutdown signal, draining", "timeout", *drainFor)
 	drainCtx, cancel := context.WithTimeout(context.Background(), *drainFor)
 	defer cancel()
 	if err := hs.Shutdown(drainCtx); err != nil {
-		log.Printf("timingd: drain incomplete: %v (class %s)", err, resilience.Classify(err))
+		slog.Warn("timingd: drain incomplete", "err", err, "class", resilience.Classify(err).String())
 	}
 	srv.Close()
 	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
-		log.Fatal(resilience.Wrap("timingd: serve", err))
+		fatal("timingd: serve", resilience.Wrap("timingd: serve", err))
 	}
-	fmt.Println("timingd: bye")
+	if *traceOut != "" {
+		if err := obs.Trace.WriteFile(*traceOut); err != nil {
+			slog.Error("timingd: writing trace", "path", *traceOut, "err", err)
+		} else {
+			slog.Info("timingd: wrote trace", "path", *traceOut, "spans", obs.Trace.Len(),
+				"dropped", obs.Trace.Dropped())
+		}
+	}
+	slog.Info("timingd: bye")
+}
+
+func fatal(msg string, err error) {
+	slog.Error(msg, "err", err)
+	os.Exit(1)
 }

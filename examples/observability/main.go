@@ -1,0 +1,121 @@
+// observability demonstrates the unified metrics/tracing layer on a live
+// design: it runs one full N-sigma analysis, fires an ECO edit burst at an
+// incremental engine, and then prints a per-stage latency table read
+// straight from the process-wide obs registry — the same histograms
+// cmd/timingd exposes on /metrics. With -trace-out it also records every
+// span (full analysis, per-level propagation, per-edit re-propagation) into
+// a Chrome trace_event JSON file; open it at https://ui.perfetto.dev.
+//
+// The synthetic full-coverage coefficients library keeps the run to a few
+// seconds — no Monte-Carlo characterisation needed:
+//
+//	go run ./examples/observability -circuit c880 -edits 32 -trace-out trace.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"strconv"
+	"strings"
+
+	"repro"
+	"repro/internal/libsynth"
+	"repro/internal/obs"
+)
+
+func main() {
+	circuit := flag.String("circuit", "c432", "benchmark name")
+	edits := flag.Int("edits", 24, "ECO burst size (resize edits)")
+	traceOut := flag.String("trace-out", "", "write a Chrome trace_event JSON file here")
+	flag.Parse()
+
+	if *traceOut != "" {
+		obs.Trace.Enable(obs.DefaultSpanBuffer)
+	}
+
+	lib := libsynth.File()
+	nl, err := repro.GenerateBenchmark(*circuit)
+	if err != nil {
+		log.Fatal(err)
+	}
+	trees, err := repro.ExtractParasitics(repro.DefaultConfig(), nl, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Stage 1: one full analysis (populates sta_analyze_seconds and, when
+	// tracing, one sta_level span per wavefront level).
+	timer, err := repro.NewTimer(lib, nl, trees, repro.STAOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := timer.Analyze()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%s: %d gate arcs timed, +3σ critical arrival %.1f ps\n",
+		nl.Name, res.GatesTimed, res.ArrivalQ[3]*1e12)
+
+	// Stage 2: the incremental engine plus an ECO burst — every gate that
+	// has headroom on the 1/2/4/8 drive ladder is upsized one step, each
+	// edit re-propagating only its downstream cone (incsta_edit_seconds,
+	// incsta_dirty_cone_gates, incsta_epsilon_cut_gates).
+	eng, err := repro.NewIncrementalEngine(lib, nl, trees, repro.IncrementalConfig{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	design, _ := eng.CopyDesign()
+	applied := 0
+	for gi := 0; applied < *edits && gi < len(design.Gates); gi++ {
+		g := design.Gates[gi]
+		next, ok := upsize(g.Cell)
+		if !ok {
+			continue
+		}
+		if _, err := eng.ResizeCell(g.Name, next); err != nil {
+			log.Fatalf("resize %s: %v", g.Name, err)
+		}
+		applied++
+	}
+	fmt.Printf("applied %d resize edits (cache hit ratio %.3f)\n\n",
+		applied, eng.Stats().CacheHitRatio())
+
+	// The per-stage latency table, read from the same registry /metrics
+	// scrapes. Latencies in µs; the cone/cut rows are gate counts.
+	fmt.Printf("%-28s %8s %12s %12s %12s\n", "stage", "count", "p50", "p95", "p99")
+	row := func(label, metric string, scale float64, unit string) {
+		h := obs.Default().Histogram(metric, "")
+		if h.Count() == 0 {
+			return
+		}
+		fmt.Printf("%-28s %8d %10.1f %s %10.1f %s %10.1f %s\n", label, h.Count(),
+			h.Quantile(0.5)*scale, unit, h.Quantile(0.95)*scale, unit, h.Quantile(0.99)*scale, unit)
+	}
+	row("full STA analysis", "sta_analyze_seconds", 1e6, "µs")
+	row("incremental edit", "incsta_edit_seconds", 1e6, "µs")
+	row("dirty-cone size", "incsta_dirty_cone_gates", 1, "  ")
+	row("epsilon-cut gates", "incsta_epsilon_cut_gates", 1, "  ")
+
+	if *traceOut != "" {
+		if err := obs.Trace.WriteFile(*traceOut); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("\nwrote %s (%d spans) — open at https://ui.perfetto.dev\n",
+			*traceOut, obs.Trace.Len())
+	}
+}
+
+// upsize returns the next drive strength above the cell's ("INVx2" → 4), or
+// false when the cell is already at the top of the 1/2/4/8 ladder.
+func upsize(cell string) (int, bool) {
+	i := strings.LastIndexByte(cell, 'x')
+	if i < 0 {
+		return 0, false
+	}
+	s, err := strconv.Atoi(cell[i+1:])
+	if err != nil || s >= 8 {
+		return 0, false
+	}
+	return s * 2, true
+}

@@ -20,9 +20,11 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+	"time"
 
 	"repro/internal/circuit"
 	"repro/internal/device"
+	"repro/internal/obs"
 	"repro/internal/resilience"
 	"repro/internal/rng"
 	"repro/internal/stats"
@@ -370,6 +372,11 @@ func (c *Config) MCArc(ctx context.Context, arc Arc, slew, loadC float64, n int,
 	if _, err := c.arcCell(arc); err != nil {
 		return nil, err
 	}
+	var span *obs.Span
+	if obs.Trace.Enabled() {
+		ctx, span = obs.StartSpan(ctx, "mc_arc",
+			obs.A("arc", arc.String()), obs.A("slew", slew), obs.A("load", loadC), obs.A("samples", n))
+	}
 	runCtx, cancel := context.WithCancel(ctx)
 	defer cancel()
 
@@ -385,6 +392,19 @@ func (c *Config) MCArc(ctx context.Context, arc Arc, slew, loadC float64, n int,
 		retried  int
 		fatalErr error
 	)
+	t0 := time.Now()
+	defer func() {
+		mu.Lock()
+		nRetried, nQuar := retried, len(failures)
+		mu.Unlock()
+		hMCArcSeconds.ObserveSince(t0)
+		hMCArcRetries.Observe(float64(nRetried))
+		mMCRetried.Add(uint64(nRetried))
+		mMCQuarantined.Add(uint64(nQuar))
+		span.SetAttr("retried", nRetried)
+		span.SetAttr("quarantined", nQuar)
+		span.End()
+	}()
 	fatal := func(err error) {
 		mu.Lock()
 		if fatalErr == nil {
@@ -411,8 +431,11 @@ func (c *Config) MCArc(ctx context.Context, arc Arc, slew, loadC float64, n int,
 				if runCtx.Err() != nil {
 					return
 				}
+				ts := time.Now()
 				out := c.measureSample(runCtx, arc, slew, loadC, base, i, cache)
+				hMCSampleSeconds.ObserveSince(ts)
 				if out.ok {
+					mMCSamples.Inc()
 					delays[i], slews[i], ok[i] = out.delay, out.outSlew, true
 					if out.attempts > 1 {
 						mu.Lock()

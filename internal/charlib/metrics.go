@@ -1,0 +1,21 @@
+package charlib
+
+import "repro/internal/obs"
+
+// Characterisation metrics on the process-wide registry. Sample-granular
+// counters are single atomic adds; the histograms are observed once per
+// sample / grid point, far off the transient-solver hot loop.
+var (
+	mMCSamples = obs.Default().Counter("charlib_mc_samples_total",
+		"Monte-Carlo samples that produced a measurement.")
+	mMCRetried = obs.Default().Counter("charlib_mc_retries_total",
+		"Samples that failed at least once but succeeded on retry.")
+	mMCQuarantined = obs.Default().Counter("charlib_mc_quarantined_total",
+		"Samples quarantined after exhausting their retries.")
+	hMCSampleSeconds = obs.Default().Histogram("charlib_mc_sample_seconds",
+		"Wall time of one Monte-Carlo sample, retries included.")
+	hMCArcSeconds = obs.Default().Histogram("charlib_mc_arc_seconds",
+		"Wall time of one MCArc grid-point run.")
+	hMCArcRetries = obs.Default().Histogram("charlib_mc_arc_retries",
+		"Retried samples per MCArc grid-point run.")
+)

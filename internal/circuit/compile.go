@@ -137,11 +137,17 @@ type solver struct {
 	// used to extrapolate the Newton initial guess of the next step.
 	xOld  []float64
 	predH float64
+
+	// Per-run instrumentation tallies, reset by TransientCached and flushed
+	// to the obs counters once per transient (plain fields: a solver is
+	// single-goroutine by contract).
+	nIters, nNoConv, nHalvings uint64
 }
 
 // newSolver compiles the circuit into a stamp program and symbolic
 // factorisation for the requested backend.
 func newSolver(c *Circuit, req SolverKind) (*solver, error) {
+	mSolverCompiles.Inc()
 	n := c.NumNodes()
 	s := &solver{n: n, req: req, gmin: c.Gmin}
 	s.free = make([]int32, n)
@@ -339,6 +345,7 @@ func (s *solver) bindSlots() {
 // fallbackToDense switches a sparse-compiled solver to the dense backend
 // after a numeric pivot failure, rebinding every stamp slot.
 func (s *solver) fallbackToDense() {
+	mSparseFallbacks.Inc()
 	s.kind = SolverDense
 	s.fellBack = true
 	s.sp = nil
@@ -488,6 +495,7 @@ func (cc *SolverCache) Len() int { return len(cc.m) }
 func (cc *SolverCache) get(c *Circuit, kind SolverKind) (*solver, error) {
 	key := c.topoSignature(kind)
 	if s := cc.m[key]; s != nil && s.req == kind && !s.fellBack && s.rebind(c) {
+		mSolverRebinds.Inc()
 		return s, nil
 	}
 	s, err := newSolver(c, kind)

@@ -1,0 +1,24 @@
+package circuit
+
+import "repro/internal/obs"
+
+// Kernel counters on the process-wide registry. The hot loops (assemble /
+// newton) count into plain solver fields; TransientCached flushes them with
+// a handful of atomic adds per transient, so the instrumentation cost is
+// independent of step count and invisible next to a solve.
+var (
+	mTransients = obs.Default().Counter("circuit_transients_total",
+		"Transient simulations run.")
+	mNewtonIters = obs.Default().Counter("circuit_newton_iterations_total",
+		"Newton iterations across all transient steps and DC solves.")
+	mNewtonNoConv = obs.Default().Counter("circuit_newton_nonconverged_total",
+		"Newton solves that hit MaxNewton without converging.")
+	mStepHalvings = obs.Default().Counter("circuit_step_halvings_total",
+		"Timestep subdivisions taken after a Newton failure.")
+	mSolverCompiles = obs.Default().Counter("circuit_solver_compiles_total",
+		"Stamp-program compilations (cache misses and uncached runs).")
+	mSolverRebinds = obs.Default().Counter("circuit_solver_rebinds_total",
+		"Solver-cache hits rebound to a fresh circuit instance.")
+	mSparseFallbacks = obs.Default().Counter("circuit_sparse_fallbacks_total",
+		"Runtime sparse-to-dense pivot fallbacks.")
+)

@@ -1,9 +1,12 @@
 package circuit
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
+
+	"repro/internal/obs"
 )
 
 // SimOptions controls a transient run.
@@ -99,6 +102,17 @@ func (c *Circuit) TransientCached(cache *SolverCache, opts SimOptions) (*Result,
 	if err != nil {
 		return nil, err
 	}
+	_, span := obs.StartSpan(context.Background(), "transient")
+	s.nIters, s.nNoConv, s.nHalvings = 0, 0, 0
+	defer func() {
+		mTransients.Inc()
+		mNewtonIters.Add(s.nIters)
+		mNewtonNoConv.Add(s.nNoConv)
+		mStepHalvings.Add(s.nHalvings)
+		span.SetAttr("solver", s.kind.String())
+		span.SetAttr("newton_iters", s.nIters)
+		span.End()
+	}()
 	nsteps := int(math.Ceil(opts.TStop/opts.DT)) + 1
 	nrec := c.NumNodes() - 1
 	res := &Result{
@@ -252,6 +266,7 @@ func (s *solver) newton(x, xPrev []float64, tPrev, tNew, h float64, opts *SimOpt
 		s.vPrevN[nid] = xPrev[fi]
 	}
 	for iter := 0; iter < opts.MaxNewton; iter++ {
+		s.nIters++
 		for fi, nid := range s.freeNodes {
 			s.vNow[nid] = x[fi]
 		}
@@ -285,6 +300,7 @@ func (s *solver) newton(x, xPrev []float64, tPrev, tNew, h float64, opts *SimOpt
 			return nil
 		}
 	}
+	s.nNoConv++
 	return ErrNoConvergence
 }
 
@@ -318,6 +334,7 @@ func (s *solver) advance(t, h float64, opts *SimOptions, depth int) error {
 	if depth >= opts.MaxHalvings {
 		return err
 	}
+	s.nHalvings++
 	// Subdivide: two half-steps.
 	if err := s.advance(t, h/2, opts, depth+1); err != nil {
 		return err

@@ -15,6 +15,7 @@ import (
 	"repro/internal/baseline"
 	"repro/internal/charlib"
 	"repro/internal/nsigma"
+	"repro/internal/obs"
 	"repro/internal/resilience"
 	"repro/internal/stdcell"
 	"repro/internal/timinglib"
@@ -131,8 +132,11 @@ func (c *Context) CharacterizeArcContext(ctx context.Context, arc charlib.Arc) (
 		loads = charlib.ScaleLoads(loads, cell.Strength)
 	}
 	t0 := time.Now()
+	ctx, span := obs.StartSpan(ctx, "characterize_arc",
+		obs.A("arc", key), obs.A("samples", c.Profile.CharSamples))
 	ch, err := c.Cfg.CharacterizeArc(ctx, arc, c.Profile.SlewGrid, loads,
 		c.Profile.CharSamples, c.Seed^stdcell.KeyFromString(key))
+	span.End()
 	if err != nil {
 		return nil, err
 	}
@@ -192,6 +196,11 @@ type BuildFileOptions struct {
 	// SkipWire omits the wire X_FI/X_FO calibration — for diagnostics and
 	// tests that only exercise the arc pipeline. The file's Wire stays nil.
 	SkipWire bool
+	// MaxArcs, when > 0, stops after that many newly fitted arcs — a bounded
+	// smoke run for CI and tracing demos. The truncated file skips wire
+	// calibration, keeps Checkpoint.Complete false (so a later run resumes
+	// past the fitted arcs) and is not cached on the Context.
+	MaxArcs int
 }
 
 // BuildTimingFileContext characterises every arc of the library and
@@ -207,6 +216,9 @@ func (c *Context) BuildTimingFileContext(ctx context.Context, opts BuildFileOpti
 		return c.file, report, nil
 	}
 	t0 := time.Now()
+	ctx, span := obs.StartSpan(ctx, "build_timing_file",
+		obs.A("profile", c.Profile.Name))
+	defer span.End()
 	f := timinglib.New(c.Cfg.Lib)
 	f.Checkpoint = &timinglib.Checkpoint{Profile: c.Profile.Name, Seed: c.Seed}
 	sinceCheckpoint := 0
@@ -220,6 +232,8 @@ func (c *Context) BuildTimingFileContext(ctx context.Context, opts BuildFileOpti
 		sinceCheckpoint = 0
 		return opts.Checkpoint(f)
 	}
+	fitted := 0
+cells:
 	for _, cell := range c.Cfg.Lib.Cells() {
 		for _, pin := range cell.Inputs {
 			for _, edge := range []waveform.Edge{waveform.Rising, waveform.Falling} {
@@ -248,14 +262,32 @@ func (c *Context) BuildTimingFileContext(ctx context.Context, opts BuildFileOpti
 				if err := checkpoint(false); err != nil {
 					return nil, report, fmt.Errorf("experiments: checkpoint: %w", err)
 				}
+				fitted++
+				if opts.MaxArcs > 0 && fitted >= opts.MaxArcs {
+					break cells
+				}
 			}
 		}
 	}
 	if err := ctx.Err(); err != nil {
 		return nil, report, resilience.Wrap("build timing file", err)
 	}
+	span.SetAttr("arcs_fitted", fitted)
+	truncated := opts.MaxArcs > 0 && fitted >= opts.MaxArcs
+	if truncated {
+		// A bounded smoke run: the file is deliberately partial, so leave
+		// Checkpoint.Complete false for resumability and keep the Context
+		// uncached.
+		if err := checkpoint(true); err != nil {
+			return nil, report, fmt.Errorf("experiments: checkpoint: %w", err)
+		}
+		report.Wall = time.Since(t0)
+		return f, report, nil
+	}
 	if !opts.SkipWire {
+		_, wspan := obs.StartSpan(ctx, "wire_cal")
 		cal, err := c.CalibrateWires()
+		wspan.End()
 		if err != nil {
 			return nil, report, err
 		}

@@ -20,12 +20,15 @@ package incsta
 
 import (
 	"container/heap"
+	"context"
 	"fmt"
 	"math"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/netlist"
+	"repro/internal/obs"
 	"repro/internal/rctree"
 	"repro/internal/sta"
 	"repro/internal/timinglib"
@@ -169,6 +172,9 @@ func (e *Engine) Rebuild() error {
 }
 
 func (e *Engine) rebuildLocked() error {
+	_, span := obs.StartSpan(context.Background(), "incsta_rebuild",
+		obs.A("gates", len(e.nl.Gates)))
+	defer span.End()
 	state := make(sta.StateMap, e.nl.NumNets())
 	for _, in := range e.nl.Inputs {
 		*state.At(in) = e.timer.InputState(in)
@@ -194,6 +200,7 @@ func (e *Engine) rebuildLocked() error {
 	e.state = state
 	e.ep = ep
 	e.stats.FullPasses++
+	mFullPasses.Inc()
 	return e.publishLocked()
 }
 
@@ -369,6 +376,9 @@ func stateEqual(a, b *sta.NetState, levels []int, eps float64) bool {
 // and publishes a fresh snapshot. On a propagation failure the cached state
 // may be part-updated; the engine rebuilds from scratch to stay consistent.
 func (e *Engine) finishEdit(op string, d *dirtySet) (*Report, error) {
+	t0 := time.Now()
+	_, span := obs.StartSpan(context.Background(), "incsta_edit", obs.A("op", op))
+	defer span.End()
 	rep, err := e.propagate(d)
 	if err != nil {
 		if rerr := e.rebuildLocked(); rerr != nil {
@@ -381,6 +391,13 @@ func (e *Engine) finishEdit(op string, d *dirtySet) (*Report, error) {
 	e.stats.GatesReevaluated += uint64(rep.Reevaluated)
 	e.stats.GatesCut += uint64(rep.Cut)
 	e.stats.EndpointsRecomputed += uint64(rep.Endpoints)
+	mEdits.Inc()
+	hDirtyCone.Observe(float64(rep.Reevaluated))
+	hEpsilonCut.Observe(float64(rep.Cut))
+	hEditSeconds.ObserveSince(t0)
+	span.SetAttr("reevaluated", rep.Reevaluated)
+	span.SetAttr("cut", rep.Cut)
+	span.SetAttr("endpoints", rep.Endpoints)
 	if err := e.publishLocked(); err != nil {
 		return nil, err
 	}

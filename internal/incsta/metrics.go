@@ -1,0 +1,19 @@
+package incsta
+
+import "repro/internal/obs"
+
+// Process-wide incremental-STA metrics. These aggregate across every engine
+// in the process (the timing server hosts one per loaded design); the
+// per-engine cumulative counters remain available through Engine.Stats.
+var (
+	mEdits = obs.Default().Counter("incsta_edits_total",
+		"ECO edits applied across all incremental engines.")
+	mFullPasses = obs.Default().Counter("incsta_full_passes_total",
+		"Full propagations (engine construction and rebuilds).")
+	hDirtyCone = obs.Default().Histogram("incsta_dirty_cone_gates",
+		"Gates re-evaluated per edit — the size of the dirty downstream cone.")
+	hEpsilonCut = obs.Default().Histogram("incsta_epsilon_cut_gates",
+		"Re-evaluated gates per edit whose cone the epsilon rule cut early.")
+	hEditSeconds = obs.Default().Histogram("incsta_edit_seconds",
+		"Wall time of one applied edit, re-propagation included.")
+)

@@ -1,0 +1,63 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"log/slog"
+	"strings"
+	"testing"
+)
+
+func TestRegisterLogFlags(t *testing.T) {
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	o := RegisterLogFlags(fs)
+	if err := fs.Parse([]string{"-log-level", "debug", "-log-json"}); err != nil {
+		t.Fatal(err)
+	}
+	if o.Level != "debug" || !o.JSON {
+		t.Fatalf("parsed options = %+v", o)
+	}
+}
+
+func TestParseLevel(t *testing.T) {
+	for in, want := range map[string]slog.Level{
+		"debug": slog.LevelDebug, "info": slog.LevelInfo, "": slog.LevelInfo,
+		"WARN": slog.LevelWarn, "warning": slog.LevelWarn, "error": slog.LevelError,
+	} {
+		got, err := ParseLevel(in)
+		if err != nil || got != want {
+			t.Errorf("ParseLevel(%q) = %v, %v; want %v", in, got, err, want)
+		}
+	}
+	if _, err := ParseLevel("loud"); err == nil {
+		t.Error("ParseLevel(loud) should fail")
+	}
+}
+
+func TestSetupLogsJSONAndLevel(t *testing.T) {
+	prev := slog.Default()
+	defer slog.SetDefault(prev)
+
+	var buf bytes.Buffer
+	if err := SetupLogs(&buf, "warn", true); err != nil {
+		t.Fatal(err)
+	}
+	slog.Info("dropped")
+	slog.Warn("kept", "route", "/metrics")
+	out := buf.String()
+	if strings.Contains(out, "dropped") {
+		t.Fatalf("info line should be filtered at warn level:\n%s", out)
+	}
+	var rec map[string]any
+	if err := json.Unmarshal([]byte(strings.TrimSpace(out)), &rec); err != nil {
+		t.Fatalf("JSON handler output is not JSON: %v\n%s", err, out)
+	}
+	if rec["msg"] != "kept" || rec["route"] != "/metrics" {
+		t.Fatalf("record = %v", rec)
+	}
+
+	if err := SetupLogs(&buf, "nope", false); err == nil {
+		t.Fatal("bad level must error")
+	}
+}

@@ -1,0 +1,351 @@
+// Package obs is the dependency-free observability core shared by the
+// whole characterization → STA → serving pipeline: a metrics registry
+// (atomic counters, gauges and log-bucketed histograms with scrape-time
+// quantiles), span-based tracing that exports Chrome trace_event JSON
+// (chrome://tracing / Perfetto loadable), and a shared log/slog setup with
+// the -log-level/-log-json flags every cmd/ binary registers.
+//
+// Everything is safe for concurrent use. Metrics are always on — a counter
+// bump is one atomic add, a histogram observation one atomic add into a
+// fixed bucket array — while tracing is off by default and costs a single
+// atomic load per StartSpan until enabled.
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing atomic counter.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+// Gauge is an atomically settable float value.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Value returns the stored value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// Histogram buckets: 8 sub-buckets per power of two over 2^-40 .. 2^40
+// (≈ 9e-13 .. 1.1e12), which covers latencies from picoseconds to hours and
+// counts/sizes up to a trillion with ≤ 12.5 % relative bucket width. Bucket
+// 0 holds zero/negative/sub-range observations, the last bucket overflows.
+const (
+	histMinExp  = -40
+	histMaxExp  = 40
+	histSub     = 8
+	histNB      = (histMaxExp-histMinExp)*histSub + 2
+	histRelFrac = 1.0 / histSub
+)
+
+// Histogram is a lock-free log-bucketed histogram. Observations are atomic
+// bucket increments; quantiles are estimated at scrape time by walking the
+// cumulative bucket counts and reporting the bucket's upper bound, so the
+// relative quantile error is bounded by the bucket width (12.5 %).
+type Histogram struct {
+	counts  [histNB]atomic.Uint64
+	count   atomic.Uint64
+	sumBits atomic.Uint64
+}
+
+// bucketOf maps a value to its bucket index.
+func bucketOf(v float64) int {
+	if v <= 0 || math.IsNaN(v) {
+		return 0
+	}
+	frac, exp := math.Frexp(v) // v = frac·2^exp, frac ∈ [0.5, 1)
+	oct := exp - 1 - histMinExp
+	if oct < 0 {
+		return 0
+	}
+	if oct >= histMaxExp-histMinExp {
+		return histNB - 1
+	}
+	sub := int((frac - 0.5) * 2 * histSub)
+	if sub >= histSub { // frac rounding at the top edge
+		sub = histSub - 1
+	}
+	return 1 + oct*histSub + sub
+}
+
+// bucketUpper returns the upper bound of bucket i (its reported quantile
+// value). Bucket 0 reports 0.
+func bucketUpper(i int) float64 {
+	if i <= 0 {
+		return 0
+	}
+	if i >= histNB-1 {
+		return math.Ldexp(1, histMaxExp)
+	}
+	i--
+	oct, sub := i/histSub, i%histSub
+	return math.Ldexp(1+float64(sub+1)/histSub, histMinExp+oct-1+1)
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	h.counts[bucketOf(v)].Add(1)
+	h.count.Add(1)
+	for { // atomic float add
+		old := h.sumBits.Load()
+		if h.sumBits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+v)) {
+			return
+		}
+	}
+}
+
+// ObserveSince records the elapsed seconds since t0.
+func (h *Histogram) ObserveSince(t0 time.Time) { h.Observe(time.Since(t0).Seconds()) }
+
+// Count returns the total number of observations.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sumBits.Load()) }
+
+// Quantile estimates the q-quantile (0 < q ≤ 1) of everything observed so
+// far. It returns 0 before the first observation.
+func (h *Histogram) Quantile(q float64) float64 {
+	var counts [histNB]uint64
+	var total uint64
+	for i := range counts {
+		counts[i] = h.counts[i].Load()
+		total += counts[i]
+	}
+	if total == 0 {
+		return 0
+	}
+	target := uint64(math.Ceil(q * float64(total)))
+	if target < 1 {
+		target = 1
+	}
+	var cum uint64
+	for i, c := range counts {
+		cum += c
+		if cum >= target {
+			return bucketUpper(i)
+		}
+	}
+	return bucketUpper(histNB - 1)
+}
+
+// quantiles rendered on every scrape.
+var scrapeQuantiles = []float64{0.5, 0.95, 0.99}
+
+// metricKind discriminates families.
+type metricKind uint8
+
+const (
+	kindCounter metricKind = iota
+	kindGauge
+	kindHistogram
+)
+
+func (k metricKind) String() string {
+	switch k {
+	case kindCounter:
+		return "counter"
+	case kindGauge:
+		return "gauge"
+	default:
+		return "summary"
+	}
+}
+
+// otherLabel is the overflow bucket of every labeled family: label values
+// outside the fixed set registered up front land here, so series
+// cardinality is bounded no matter what clients send.
+const otherLabel = "other"
+
+// family is one named metric family: either a single unlabeled series or a
+// fixed set of labeled series plus the "other" overflow.
+type family struct {
+	name, help string
+	kind       metricKind
+	label      string // label key; "" for unlabeled
+
+	mu     sync.Mutex
+	series map[string]any // label value ("" when unlabeled) → *Counter/*Gauge/*Histogram
+}
+
+func (f *family) get(value string) any {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.label == "" {
+		value = ""
+	} else if _, ok := f.series[value]; !ok {
+		value = otherLabel
+	}
+	return f.series[value]
+}
+
+// Registry holds metric families. The zero value is not usable; create with
+// NewRegistry or use Default.
+type Registry struct {
+	mu   sync.Mutex
+	fams map[string]*family
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{fams: make(map[string]*family)}
+}
+
+var defaultRegistry = NewRegistry()
+
+// Default returns the process-wide registry every package-level metric
+// registers on — the one /metrics scrapes and -metrics-out dumps.
+func Default() *Registry { return defaultRegistry }
+
+// lookup returns (creating if needed) the family, enforcing that repeated
+// registrations agree on kind and label key. Registration mismatches are
+// programmer errors and panic.
+func (r *Registry) lookup(name, help string, kind metricKind, label string, values []string) *family {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if f, ok := r.fams[name]; ok {
+		if f.kind != kind || f.label != label {
+			panic(fmt.Sprintf("obs: metric %q re-registered as %s/%q, was %s/%q",
+				name, kind, label, f.kind, f.label))
+		}
+		return f
+	}
+	f := &family{name: name, help: help, kind: kind, label: label,
+		series: make(map[string]any)}
+	mk := func() any {
+		switch kind {
+		case kindCounter:
+			return &Counter{}
+		case kindGauge:
+			return &Gauge{}
+		default:
+			return &Histogram{}
+		}
+	}
+	if label == "" {
+		f.series[""] = mk()
+	} else {
+		for _, v := range values {
+			f.series[v] = mk()
+		}
+		f.series[otherLabel] = mk()
+	}
+	r.fams[name] = f
+	return f
+}
+
+// Counter registers (or returns the existing) unlabeled counter family.
+func (r *Registry) Counter(name, help string) *Counter {
+	return r.lookup(name, help, kindCounter, "", nil).series[""].(*Counter)
+}
+
+// Gauge registers (or returns the existing) unlabeled gauge family.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	return r.lookup(name, help, kindGauge, "", nil).series[""].(*Gauge)
+}
+
+// Histogram registers (or returns the existing) unlabeled histogram family.
+func (r *Registry) Histogram(name, help string) *Histogram {
+	return r.lookup(name, help, kindHistogram, "", nil).series[""].(*Histogram)
+}
+
+// CounterVec is a counter family keyed by one label over a fixed value set.
+type CounterVec struct{ f *family }
+
+// CounterVec registers a labeled counter family. Only the values given here
+// get their own series; any other value aggregates under "other".
+func (r *Registry) CounterVec(name, help, label string, values ...string) *CounterVec {
+	return &CounterVec{f: r.lookup(name, help, kindCounter, label, values)}
+}
+
+// With returns the series for the label value (the "other" series for
+// values outside the registered set).
+func (v *CounterVec) With(value string) *Counter { return v.f.get(value).(*Counter) }
+
+// HistogramVec is a histogram family keyed by one label over a fixed set.
+type HistogramVec struct{ f *family }
+
+// HistogramVec registers a labeled histogram family with bounded
+// cardinality, like CounterVec.
+func (r *Registry) HistogramVec(name, help, label string, values ...string) *HistogramVec {
+	return &HistogramVec{f: r.lookup(name, help, kindHistogram, label, values)}
+}
+
+// With returns the series for the label value.
+func (v *HistogramVec) With(value string) *Histogram { return v.f.get(value).(*Histogram) }
+
+// WritePrometheus renders every family in the Prometheus text exposition
+// format, families and series sorted by name for stable scrapes.
+// Histograms render as summaries: {quantile="0.5|0.95|0.99"}, _sum and
+// _count, with quantiles estimated from the log buckets at scrape time.
+func (r *Registry) WritePrometheus(w io.Writer) {
+	r.mu.Lock()
+	names := make([]string, 0, len(r.fams))
+	for n := range r.fams {
+		names = append(names, n)
+	}
+	fams := make([]*family, 0, len(names))
+	sort.Strings(names)
+	for _, n := range names {
+		fams = append(fams, r.fams[n])
+	}
+	r.mu.Unlock()
+
+	for _, f := range fams {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", f.name, f.help, f.name, f.kind)
+		f.mu.Lock()
+		vals := make([]string, 0, len(f.series))
+		for v := range f.series {
+			vals = append(vals, v)
+		}
+		sort.Strings(vals)
+		for _, v := range vals {
+			sel := func(extra string) string {
+				switch {
+				case f.label == "" && extra == "":
+					return ""
+				case f.label == "":
+					return "{" + extra + "}"
+				case extra == "":
+					return fmt.Sprintf("{%s=%q}", f.label, v)
+				default:
+					return fmt.Sprintf("{%s=%q,%s}", f.label, v, extra)
+				}
+			}
+			switch m := f.series[v].(type) {
+			case *Counter:
+				fmt.Fprintf(w, "%s%s %d\n", f.name, sel(""), m.Value())
+			case *Gauge:
+				fmt.Fprintf(w, "%s%s %g\n", f.name, sel(""), m.Value())
+			case *Histogram:
+				for _, q := range scrapeQuantiles {
+					fmt.Fprintf(w, "%s%s %g\n", f.name,
+						sel(fmt.Sprintf("quantile=%q", fmt.Sprintf("%g", q))), m.Quantile(q))
+				}
+				fmt.Fprintf(w, "%s_sum%s %g\n", f.name, sel(""), m.Sum())
+				fmt.Fprintf(w, "%s_count%s %d\n", f.name, sel(""), m.Count())
+			}
+		}
+		f.mu.Unlock()
+	}
+}

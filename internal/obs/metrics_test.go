@@ -1,0 +1,166 @@
+package obs
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterAndGauge(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("test_total", "a counter")
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	// Re-registration returns the same series.
+	if again := r.Counter("test_total", "a counter"); again.Value() != 5 {
+		t.Fatalf("re-registered counter lost state: %d", again.Value())
+	}
+	g := r.Gauge("test_gauge", "a gauge")
+	g.Set(2.5)
+	if got := g.Value(); got != 2.5 {
+		t.Fatalf("gauge = %g, want 2.5", got)
+	}
+}
+
+func TestRegistryKindMismatchPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("dup", "x")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on kind mismatch")
+		}
+	}()
+	r.Gauge("dup", "x")
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat_seconds", "latency")
+	// 1..1000 uniformly: p50 ≈ 500, p95 ≈ 950, p99 ≈ 990.
+	for i := 1; i <= 1000; i++ {
+		h.Observe(float64(i))
+	}
+	if h.Count() != 1000 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if s := h.Sum(); math.Abs(s-500500) > 1e-6 {
+		t.Fatalf("sum = %g", s)
+	}
+	for _, tc := range []struct{ q, want float64 }{
+		{0.5, 500}, {0.95, 950}, {0.99, 990},
+	} {
+		got := h.Quantile(tc.q)
+		// The log buckets are 12.5% wide and report the upper bound, so the
+		// estimate must be within +12.5% of the true quantile and never below
+		// the bucket containing it.
+		if got < tc.want*(1-1.0/histSub) || got > tc.want*(1+1.0/histSub) {
+			t.Errorf("q%g = %g, want within ±12.5%% of %g", tc.q, got, tc.want)
+		}
+	}
+}
+
+func TestHistogramEdgeValues(t *testing.T) {
+	var h Histogram
+	h.Observe(0)
+	h.Observe(-3)
+	h.Observe(math.NaN())
+	if got := h.Quantile(0.5); got != 0 {
+		t.Fatalf("all-zero quantile = %g", got)
+	}
+	h2 := Histogram{}
+	h2.Observe(1e300) // far above range: overflow bucket
+	if got := h2.Quantile(0.5); got != math.Ldexp(1, histMaxExp) {
+		t.Fatalf("overflow quantile = %g", got)
+	}
+	if got := (&Histogram{}).Quantile(0.99); got != 0 {
+		t.Fatalf("empty quantile = %g", got)
+	}
+}
+
+// TestHistogramConcurrent hammers one histogram from many goroutines; run
+// under -race this pins down that observation and scrape are safe, and that
+// the quantiles come out correct afterwards.
+func TestHistogramConcurrent(t *testing.T) {
+	var h Histogram
+	const workers = 8
+	const per = 5000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 1; i <= per; i++ {
+				h.Observe(float64(i%1000 + 1))
+				if i%512 == 0 {
+					_ = h.Quantile(0.95) // concurrent scrape
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := h.Count(); got != workers*per {
+		t.Fatalf("count = %d, want %d", got, workers*per)
+	}
+	p50 := h.Quantile(0.5)
+	if p50 < 500*(1-1.0/histSub) || p50 > 500*(1+1.0/histSub) {
+		t.Fatalf("concurrent p50 = %g, want ≈ 500", p50)
+	}
+}
+
+func TestVecCardinalityBounded(t *testing.T) {
+	r := NewRegistry()
+	v := r.CounterVec("req_total", "requests", "route", "/a", "/b")
+	v.With("/a").Inc()
+	// A flood of distinct unknown values must all collapse into "other".
+	for i := 0; i < 1000; i++ {
+		v.With(strings.Repeat("x", i%17) + "/evil").Inc()
+	}
+	if v.With("/definitely-unknown") != v.With("/other-unknown") {
+		t.Fatal("unknown label values must share the other series")
+	}
+	if got := v.f.seriesCount(); got != 3 { // /a, /b, other
+		t.Fatalf("series count = %d, want 3", got)
+	}
+	if got := v.With(otherLabel).Value(); got != 1000 {
+		t.Fatalf("other bucket = %d, want 1000", got)
+	}
+}
+
+func TestWritePrometheus(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("a_total", "counter a").Add(3)
+	r.Gauge("b_gauge", "gauge b").Set(1.5)
+	h := r.HistogramVec("c_seconds", "hist c", "route", "/x")
+	h.With("/x").Observe(0.25)
+	h.With("/unknown").Observe(4)
+	var sb strings.Builder
+	r.WritePrometheus(&sb)
+	out := sb.String()
+	for _, want := range []string{
+		"# HELP a_total counter a",
+		"# TYPE a_total counter",
+		"a_total 3",
+		"# TYPE b_gauge gauge",
+		"b_gauge 1.5",
+		"# TYPE c_seconds summary",
+		`c_seconds{route="/x",quantile="0.5"}`,
+		`c_seconds{route="other",quantile="0.99"}`,
+		`c_seconds_sum{route="/x"} 0.25`,
+		`c_seconds_count{route="/x"} 1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// seriesCount is a test helper peeking at family cardinality.
+func (f *family) seriesCount() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return len(f.series)
+}

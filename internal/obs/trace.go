@@ -1,0 +1,252 @@
+package obs
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Attr is one key/value span attribute; it lands in the Chrome trace
+// event's "args" object.
+type Attr struct {
+	Key   string
+	Value any
+}
+
+// A builds an Attr tersely at call sites.
+func A(key string, value any) Attr { return Attr{Key: key, Value: value} }
+
+// Span is one timed section of work. A nil *Span (what StartSpan returns
+// while tracing is disabled) is inert: every method is a cheap no-op.
+type Span struct {
+	tr    *Tracer
+	name  string
+	start time.Time
+	track int32
+	root  bool // owns its track; released on End
+	attrs []Attr
+}
+
+// SetAttr attaches an attribute after the span started (e.g. a result
+// count known only at the end).
+func (s *Span) SetAttr(key string, value any) {
+	if s == nil {
+		return
+	}
+	s.attrs = append(s.attrs, Attr{Key: key, Value: value})
+}
+
+// End records the span into the tracer's ring buffer.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	s.tr.record(s, time.Since(s.start))
+}
+
+// spanEvent is one completed span in the ring buffer.
+type spanEvent struct {
+	name  string
+	track int32
+	start time.Duration // since tracer epoch
+	dur   time.Duration
+	attrs []Attr
+}
+
+// Tracer records spans into a bounded ring buffer (newest win) and exports
+// them as Chrome trace_event JSON. Disabled by default: StartSpan costs one
+// atomic load until Enable is called.
+type Tracer struct {
+	enabled atomic.Bool
+
+	mu         sync.Mutex
+	epoch      time.Time
+	buf        []spanEvent
+	next       int
+	full       bool
+	dropped    uint64
+	freeTracks []int32
+	nextTrack  int32
+}
+
+// DefaultSpanBuffer is the ring capacity Enable(0) uses.
+const DefaultSpanBuffer = 1 << 16
+
+// NewTracer returns a disabled tracer.
+func NewTracer() *Tracer { return &Tracer{} }
+
+// Trace is the process-wide tracer behind the package-level StartSpan and
+// the -trace-out flags.
+var Trace = NewTracer()
+
+// Enable starts recording with a ring buffer of bufCap completed spans
+// (DefaultSpanBuffer when bufCap <= 0). Any previously recorded spans are
+// discarded.
+func (tr *Tracer) Enable(bufCap int) {
+	if bufCap <= 0 {
+		bufCap = DefaultSpanBuffer
+	}
+	tr.mu.Lock()
+	tr.epoch = time.Now()
+	tr.buf = make([]spanEvent, bufCap)
+	tr.next, tr.full, tr.dropped = 0, false, 0
+	tr.freeTracks, tr.nextTrack = nil, 0
+	tr.mu.Unlock()
+	tr.enabled.Store(true)
+}
+
+// Disable stops recording; already-recorded spans stay exportable.
+func (tr *Tracer) Disable() { tr.enabled.Store(false) }
+
+// Enabled reports whether spans are being recorded.
+func (tr *Tracer) Enabled() bool { return tr.enabled.Load() }
+
+type spanCtxKey struct{}
+
+// StartSpan opens a span named name. The returned context carries the span
+// so children started from it share its display track (the flame-graph
+// row); top-level spans get a track of their own, reused after End. While
+// the tracer is disabled both return values are usable no-ops.
+func (tr *Tracer) StartSpan(ctx context.Context, name string, attrs ...Attr) (context.Context, *Span) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if !tr.enabled.Load() {
+		return ctx, nil
+	}
+	s := &Span{tr: tr, name: name, start: time.Now(), attrs: attrs}
+	if parent, ok := ctx.Value(spanCtxKey{}).(*Span); ok && parent != nil {
+		s.track = parent.track
+	} else {
+		s.root = true
+		tr.mu.Lock()
+		if n := len(tr.freeTracks); n > 0 {
+			s.track = tr.freeTracks[n-1]
+			tr.freeTracks = tr.freeTracks[:n-1]
+		} else {
+			s.track = tr.nextTrack
+			tr.nextTrack++
+		}
+		tr.mu.Unlock()
+	}
+	return context.WithValue(ctx, spanCtxKey{}, s), s
+}
+
+// StartSpan opens a span on the process-wide tracer.
+func StartSpan(ctx context.Context, name string, attrs ...Attr) (context.Context, *Span) {
+	return Trace.StartSpan(ctx, name, attrs...)
+}
+
+func (tr *Tracer) record(s *Span, dur time.Duration) {
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	if tr.buf == nil {
+		return // Enable was never called (span predates a Disable+Enable race)
+	}
+	if tr.full {
+		tr.dropped++
+	}
+	tr.buf[tr.next] = spanEvent{
+		name:  s.name,
+		track: s.track,
+		start: s.start.Sub(tr.epoch),
+		dur:   dur,
+		attrs: s.attrs,
+	}
+	tr.next++
+	if tr.next == len(tr.buf) {
+		tr.next, tr.full = 0, true
+	}
+	if s.root {
+		tr.freeTracks = append(tr.freeTracks, s.track)
+	}
+}
+
+// Len reports how many completed spans are currently buffered.
+func (tr *Tracer) Len() int {
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	if tr.full {
+		return len(tr.buf)
+	}
+	return tr.next
+}
+
+// Dropped reports how many spans were overwritten by ring wraparound.
+func (tr *Tracer) Dropped() uint64 {
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	return tr.dropped
+}
+
+// chromeEvent is one entry of the trace_event JSON array — a "complete"
+// (ph "X") event with microsecond timestamps, the format chrome://tracing
+// and Perfetto load directly.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	Pid  int            `json:"pid"`
+	Tid  int32          `json:"tid"`
+	Ts   float64        `json:"ts"`
+	Dur  float64        `json:"dur"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+type chromeTrace struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+// WriteChromeTrace exports the buffered spans as Chrome trace_event JSON.
+func (tr *Tracer) WriteChromeTrace(w io.Writer) error {
+	tr.mu.Lock()
+	var events []spanEvent
+	if tr.full {
+		events = append(events, tr.buf[tr.next:]...)
+		events = append(events, tr.buf[:tr.next]...)
+	} else {
+		events = append(events, tr.buf[:tr.next]...)
+	}
+	tr.mu.Unlock()
+
+	sort.SliceStable(events, func(i, j int) bool { return events[i].start < events[j].start })
+	out := chromeTrace{TraceEvents: make([]chromeEvent, len(events)), DisplayTimeUnit: "ns"}
+	for i, e := range events {
+		ev := chromeEvent{
+			Name: e.name, Ph: "X", Pid: 1, Tid: e.track,
+			Ts:  float64(e.start) / float64(time.Microsecond),
+			Dur: float64(e.dur) / float64(time.Microsecond),
+		}
+		if len(e.attrs) > 0 {
+			ev.Args = make(map[string]any, len(e.attrs))
+			for _, a := range e.attrs {
+				ev.Args[a.Key] = a.Value
+			}
+		}
+		out.TraceEvents[i] = ev
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(out)
+}
+
+// WriteFile exports the trace to path (the -trace-out flag's target).
+func (tr *Tracer) WriteFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("obs: trace export: %w", err)
+	}
+	err = tr.WriteChromeTrace(f)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return fmt.Errorf("obs: trace export: %w", err)
+	}
+	return nil
+}

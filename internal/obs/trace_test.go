@@ -1,0 +1,136 @@
+package obs
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestDisabledTracerIsInert(t *testing.T) {
+	tr := NewTracer()
+	ctx, sp := tr.StartSpan(context.Background(), "noop", A("k", 1))
+	if sp != nil {
+		t.Fatal("disabled tracer must return a nil span")
+	}
+	sp.SetAttr("x", 2) // nil-safe
+	sp.End()
+	if ctx == nil {
+		t.Fatal("context must still be usable")
+	}
+	if tr.Len() != 0 {
+		t.Fatalf("recorded %d spans while disabled", tr.Len())
+	}
+}
+
+func TestSpanRecordingAndExport(t *testing.T) {
+	tr := NewTracer()
+	tr.Enable(16)
+	ctx, root := tr.StartSpan(context.Background(), "parent", A("design", "c432"))
+	_, child := tr.StartSpan(ctx, "child")
+	time.Sleep(time.Millisecond)
+	child.SetAttr("gates", 42)
+	child.End()
+	root.End()
+	tr.Disable()
+
+	if got := tr.Len(); got != 2 {
+		t.Fatalf("buffered spans = %d, want 2", got)
+	}
+	var buf bytes.Buffer
+	if err := tr.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var out struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Ph   string         `json:"ph"`
+			Pid  int            `json:"pid"`
+			Tid  int32          `json:"tid"`
+			Ts   float64        `json:"ts"`
+			Dur  float64        `json:"dur"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &out); err != nil {
+		t.Fatalf("export is not valid JSON: %v\n%s", err, buf.String())
+	}
+	if len(out.TraceEvents) != 2 {
+		t.Fatalf("exported %d events, want 2", len(out.TraceEvents))
+	}
+	byName := map[string]int{}
+	for i, e := range out.TraceEvents {
+		if e.Ph != "X" {
+			t.Errorf("event %d phase %q, want X", i, e.Ph)
+		}
+		byName[e.Name] = i
+	}
+	p, c := out.TraceEvents[byName["parent"]], out.TraceEvents[byName["child"]]
+	if p.Tid != c.Tid {
+		t.Errorf("child track %d != parent track %d (must share a flame row)", c.Tid, p.Tid)
+	}
+	if c.Dur < 900 { // slept 1ms = 1000µs
+		t.Errorf("child dur = %g µs, want ≥ 900", c.Dur)
+	}
+	if p.Args["design"] != "c432" {
+		t.Errorf("parent args = %v", p.Args)
+	}
+	if c.Args["gates"] != float64(42) {
+		t.Errorf("child args = %v", c.Args)
+	}
+}
+
+func TestRingBufferWraparound(t *testing.T) {
+	tr := NewTracer()
+	tr.Enable(4)
+	for i := 0; i < 10; i++ {
+		_, sp := tr.StartSpan(context.Background(), "s")
+		sp.End()
+	}
+	if got := tr.Len(); got != 4 {
+		t.Fatalf("len = %d, want cap 4", got)
+	}
+	if got := tr.Dropped(); got != 6 {
+		t.Fatalf("dropped = %d, want 6", got)
+	}
+	var buf bytes.Buffer
+	if err := tr.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !json.Valid(buf.Bytes()) {
+		t.Fatal("wrapped export is not valid JSON")
+	}
+}
+
+func TestTrackReuseAndConcurrency(t *testing.T) {
+	tr := NewTracer()
+	tr.Enable(1024)
+	// Sequential top-level spans reuse one track.
+	_, a := tr.StartSpan(context.Background(), "a")
+	a.End()
+	_, b := tr.StartSpan(context.Background(), "b")
+	b.End()
+	if a.track != b.track {
+		t.Errorf("sequential roots on tracks %d/%d, want reuse", a.track, b.track)
+	}
+	// Concurrent roots must get distinct tracks (race-checked too).
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				ctx, sp := tr.StartSpan(context.Background(), "w")
+				_, inner := tr.StartSpan(ctx, "inner")
+				inner.End()
+				sp.End()
+			}
+		}()
+	}
+	wg.Wait()
+	if tr.Len() != 1024 {
+		t.Fatalf("len = %d, want full 1024", tr.Len())
+	}
+}

@@ -1,0 +1,139 @@
+package profiling
+
+import (
+	"encoding/json"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestSessionNoOp(t *testing.T) {
+	s, err := Start("", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Stop(); err != nil {
+		t.Fatal(err)
+	}
+	var nilS *Session
+	if err := nilS.Stop(); err != nil {
+		t.Fatalf("nil session Stop: %v", err)
+	}
+}
+
+func TestSessionWritesProfiles(t *testing.T) {
+	dir := t.TempDir()
+	cpu := filepath.Join(dir, "cpu.prof")
+	mem := filepath.Join(dir, "mem.prof")
+	s, err := Start(cpu, mem)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Burn a little CPU so the profile has something to sample.
+	x := 0.0
+	for i := 0; i < 1e6; i++ {
+		x += float64(i) * 1.0000001
+	}
+	_ = x
+	if err := s.Stop(); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []string{cpu, mem} {
+		fi, err := os.Stat(p)
+		if err != nil {
+			t.Fatalf("profile %s: %v", p, err)
+		}
+		if fi.Size() == 0 {
+			t.Fatalf("profile %s is empty", p)
+		}
+	}
+	// Stop is idempotent: a second call must not rewrite or error.
+	if err := s.Stop(); err != nil {
+		t.Fatalf("second Stop: %v", err)
+	}
+}
+
+func TestStartUnwritableCPUPath(t *testing.T) {
+	_, err := Start(filepath.Join(t.TempDir(), "no", "such", "dir", "cpu.prof"), "")
+	if err == nil {
+		t.Fatal("Start with unwritable cpu path: want error")
+	}
+}
+
+func TestStopUnwritableHeapPath(t *testing.T) {
+	s, err := Start("", filepath.Join(t.TempDir(), "no", "such", "dir", "mem.prof"))
+	if err != nil {
+		t.Fatalf("Start only records the heap path, got %v", err)
+	}
+	if err := s.Stop(); err == nil {
+		t.Fatal("Stop with unwritable heap path: want error")
+	}
+}
+
+func TestReportShape(t *testing.T) {
+	r := NewReport("testcmd")
+	if err := r.Time("phase-a", func() error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+	wantErr := errors.New("boom")
+	if err := r.Time("phase-b", func() error { return wantErr }); !errors.Is(err, wantErr) {
+		t.Fatalf("Time must pass through the phase error, got %v", err)
+	}
+	path := filepath.Join(t.TempDir(), "bench.json")
+	if err := r.Write(path); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got struct {
+		Command    string `json:"command"`
+		GoMaxProcs int    `json:"goMaxProcs"`
+		Phases     []struct {
+			Name    string  `json:"name"`
+			Seconds float64 `json:"seconds"`
+		} `json:"phases"`
+		TotalSeconds    float64 `json:"totalSeconds"`
+		TotalAllocBytes uint64  `json:"totalAllocBytes"`
+		Mallocs         uint64  `json:"mallocs"`
+	}
+	if err := json.Unmarshal(data, &got); err != nil {
+		t.Fatalf("bench JSON does not parse: %v\n%s", err, data)
+	}
+	if got.Command != "testcmd" || got.GoMaxProcs <= 0 {
+		t.Fatalf("bench JSON header = %+v", got)
+	}
+	if len(got.Phases) != 2 || got.Phases[0].Name != "phase-a" || got.Phases[1].Name != "phase-b" {
+		t.Fatalf("phases = %+v", got.Phases)
+	}
+	for _, p := range got.Phases {
+		if p.Seconds < 0 {
+			t.Fatalf("negative phase time: %+v", p)
+		}
+	}
+	if got.TotalSeconds <= 0 || got.TotalAllocBytes == 0 || got.Mallocs == 0 {
+		t.Fatalf("totals not populated: %+v", got)
+	}
+}
+
+func TestReportNilAndEmptyPath(t *testing.T) {
+	var r *Report
+	if err := r.Time("x", func() error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Write("anything.json"); err != nil {
+		t.Fatalf("nil report Write: %v", err)
+	}
+	if err := NewReport("c").Write(""); err != nil {
+		t.Fatalf("empty path Write: %v", err)
+	}
+}
+
+func TestReportUnwritablePath(t *testing.T) {
+	r := NewReport("c")
+	if err := r.Write(filepath.Join(t.TempDir(), "no", "such", "dir", "bench.json")); err == nil {
+		t.Fatal("Write to unwritable path: want error")
+	}
+}

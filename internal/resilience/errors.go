@@ -27,6 +27,7 @@ import (
 
 	"repro/internal/circuit"
 	"repro/internal/linalg"
+	"repro/internal/obs"
 	"repro/internal/waveform"
 )
 
@@ -186,6 +187,7 @@ func (p *PanicError) Error() string {
 func Safely(op string, fn func() error) (err error) {
 	defer func() {
 		if r := recover(); r != nil {
+			mPanicsRecovered.Inc()
 			err = &Error{
 				Class: ClassPanic,
 				Op:    op,
@@ -195,6 +197,12 @@ func Safely(op string, fn func() error) (err error) {
 	}()
 	return fn()
 }
+
+// mPanicsRecovered counts panics captured at worker boundaries — a panic
+// that shows up here was survived, not fatal, but each one is a solver bug
+// worth a look.
+var mPanicsRecovered = obs.Default().Counter("resilience_panics_recovered_total",
+	"Panics recovered at worker boundaries and converted to classified errors.")
 
 // BudgetError reports that quarantined samples exceeded the configured
 // MaxFailFraction budget.

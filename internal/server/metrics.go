@@ -4,48 +4,59 @@ import (
 	"fmt"
 	"io"
 	"sort"
-	"sync"
+	"time"
+
+	"repro/internal/obs"
 )
 
-// metrics is the hand-rolled Prometheus-text instrumentation of the server:
-// per-route request counters plus, at scrape time, the per-design
-// re-propagation counters read straight from the engines. No client library
-// — the text exposition format is a few lines of fmt.
+// routePatterns is the fixed per-route label set of the request metrics —
+// exactly the patterns New registers. Anything else (an unknown path, a
+// probing client, a typo) lands in the shared "other" series, so the scrape
+// cardinality is bounded no matter what URLs are thrown at the server.
+var routePatterns = []string{
+	"GET /healthz",
+	"GET /metrics",
+	"GET /designs",
+	"PUT /designs/{name}",
+	"DELETE /designs/{name}",
+	"GET /designs/{name}",
+	"GET /designs/{name}/gates",
+	"GET /designs/{name}/paths",
+	"GET /designs/{name}/slacks",
+	"POST /designs/{name}/edits",
+}
+
+// metrics instruments the server on the process-wide obs registry:
+// bounded-cardinality per-route request counters and latency histograms.
+// The scrape renders the whole registry — so solver, characterisation and
+// incremental-STA metrics from the rest of the pipeline appear alongside —
+// followed by the per-design section read live from the engines.
 type metrics struct {
-	mu       sync.Mutex
-	requests map[string]uint64
+	requests *obs.CounterVec
+	latency  *obs.HistogramVec
 }
 
 func newMetrics() *metrics {
-	return &metrics{requests: map[string]uint64{}}
+	return &metrics{
+		requests: obs.Default().CounterVec("timingd_requests_total",
+			"HTTP requests served, by route.", "route", routePatterns...),
+		latency: obs.Default().HistogramVec("timingd_request_seconds",
+			"HTTP request latency in seconds, by route.", "route", routePatterns...),
+	}
 }
 
-func (m *metrics) hit(route string) {
-	m.mu.Lock()
-	m.requests[route]++
-	m.mu.Unlock()
+// observe records one served request. route may be any string; values
+// outside routePatterns aggregate under "other".
+func (m *metrics) observe(route string, t0 time.Time) {
+	m.requests.With(route).Inc()
+	m.latency.With(route).ObserveSince(t0)
 }
 
-// write renders the exposition text. Designs are passed in by the server so
-// the scrape sees live engine counters.
+// write renders the exposition text: the process-wide registry first, then
+// the per-design engine counters, passed in by the server so the scrape sees
+// live values.
 func (m *metrics) write(w io.Writer, designs map[string]*design) {
-	m.mu.Lock()
-	routes := make([]string, 0, len(m.requests))
-	for r := range m.requests {
-		routes = append(routes, r)
-	}
-	sort.Strings(routes)
-	counts := make([]uint64, len(routes))
-	for i, r := range routes {
-		counts[i] = m.requests[r]
-	}
-	m.mu.Unlock()
-
-	fmt.Fprintln(w, "# HELP timingd_requests_total HTTP requests served, by route.")
-	fmt.Fprintln(w, "# TYPE timingd_requests_total counter")
-	for i, r := range routes {
-		fmt.Fprintf(w, "timingd_requests_total{route=%q} %d\n", r, counts[i])
-	}
+	obs.Default().WritePrometheus(w)
 
 	names := make([]string, 0, len(designs))
 	for n := range designs {

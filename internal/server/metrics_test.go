@@ -1,0 +1,101 @@
+package server
+
+import (
+	"fmt"
+	"net/http"
+	"regexp"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestUnknownRouteCardinality probes many distinct unregistered URLs and
+// checks they all collapse into the single "other" series — the scrape must
+// not grow a label per probed path.
+func TestUnknownRouteCardinality(t *testing.T) {
+	_, ts := newTestServer(t)
+	for i := 0; i < 50; i++ {
+		code, raw := do(t, http.MethodGet, fmt.Sprintf("%s/no/such/route/%d", ts.URL, i), nil, nil)
+		if code != http.StatusNotFound {
+			t.Fatalf("unknown route: status %d: %s", code, raw)
+		}
+		if !strings.Contains(raw, "no such route") {
+			t.Fatalf("unknown route body = %q, want JSON 404", raw)
+		}
+	}
+	code, raw := do(t, http.MethodGet, ts.URL+"/metrics", nil, nil)
+	if code != http.StatusOK {
+		t.Fatalf("metrics: status %d", code)
+	}
+	if strings.Contains(raw, "/no/such/route") {
+		t.Fatalf("metrics leaked an unbounded route label:\n%s", raw)
+	}
+	m := regexp.MustCompile(`timingd_requests_total\{route="other"\} (\d+)`).FindStringSubmatch(raw)
+	if m == nil {
+		t.Fatalf("metrics missing the \"other\" series:\n%s", raw)
+	}
+	if n, _ := strconv.Atoi(m[1]); n < 50 {
+		t.Fatalf("other series = %d, want >= 50", n)
+	}
+}
+
+// TestRequestLatencyQuantiles drives one route under concurrency (the race
+// detector watches the histogram internals) and checks the scraped summary
+// is well-formed: count covers every request, quantiles are positive and
+// ordered.
+func TestRequestLatencyQuantiles(t *testing.T) {
+	_, ts := newTestServer(t)
+	const workers, per = 8, 25
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				resp, err := http.Get(ts.URL + "/healthz")
+				if err != nil {
+					errs <- err
+					return
+				}
+				resp.Body.Close()
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	code, raw := do(t, http.MethodGet, ts.URL+"/metrics", nil, nil)
+	if code != http.StatusOK {
+		t.Fatalf("metrics: status %d", code)
+	}
+	count := extractMetric(t, raw, `timingd_request_seconds_count\{route="GET /healthz"\} (\S+)`)
+	if count < workers*per {
+		t.Fatalf("healthz latency count = %g, want >= %d", count, workers*per)
+	}
+	p50 := extractMetric(t, raw, `timingd_request_seconds\{route="GET /healthz",quantile="0.5"\} (\S+)`)
+	p99 := extractMetric(t, raw, `timingd_request_seconds\{route="GET /healthz",quantile="0.99"\} (\S+)`)
+	if !(p50 > 0 && p99 >= p50) {
+		t.Fatalf("quantiles not ordered: p50=%g p99=%g", p50, p99)
+	}
+	if p99 > 10 {
+		t.Fatalf("p99 of /healthz = %gs, implausibly slow", p99)
+	}
+}
+
+func extractMetric(t *testing.T, raw, pattern string) float64 {
+	t.Helper()
+	m := regexp.MustCompile(pattern).FindStringSubmatch(raw)
+	if m == nil {
+		t.Fatalf("metrics output missing %q:\n%s", pattern, raw)
+	}
+	v, err := strconv.ParseFloat(m[1], 64)
+	if err != nil {
+		t.Fatalf("parsing %q: %v", m[1], err)
+	}
+	return v
+}

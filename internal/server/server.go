@@ -15,6 +15,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"time"
 
 	"repro/internal/circuits"
 	"repro/internal/device"
@@ -50,8 +51,9 @@ func New(lib *timinglib.File) *Server {
 	}
 	route := func(pattern string, h func(http.ResponseWriter, *http.Request)) {
 		s.mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
-			s.met.hit(pattern)
+			t0 := time.Now()
 			h(w, r)
+			s.met.observe(pattern, t0)
 		})
 	}
 	route("GET /healthz", s.handleHealth)
@@ -64,6 +66,13 @@ func New(lib *timinglib.File) *Server {
 	route("GET /designs/{name}/paths", s.handlePaths)
 	route("GET /designs/{name}/slacks", s.handleSlacks)
 	route("POST /designs/{name}/edits", s.handleEdit)
+	// Catch-all for unregistered paths: a JSON 404, counted under the
+	// bounded "other" series instead of minting a label per probed URL.
+	s.mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		t0 := time.Now()
+		httpError(w, http.StatusNotFound, "no such route: %s %s", r.Method, r.URL.Path)
+		s.met.observe(r.Method+" "+r.URL.Path, t0)
+	})
 	return s
 }
 

@@ -1,0 +1,14 @@
+package sta
+
+import "repro/internal/obs"
+
+// Full-analysis metrics on the process-wide registry (the incremental
+// engine's re-propagation counters live in internal/incsta).
+var (
+	mAnalyses = obs.Default().Counter("sta_analyses_total",
+		"Full statistical timing analyses run.")
+	mGatesEvaluated = obs.Default().Counter("sta_gates_evaluated_total",
+		"Gate-arc evaluations performed by full analyses.")
+	hAnalyzeSeconds = obs.Default().Histogram("sta_analyze_seconds",
+		"Wall time of one full timing analysis.")
+)

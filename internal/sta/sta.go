@@ -9,8 +9,10 @@ import (
 	"context"
 	"fmt"
 	"math"
+	"time"
 
 	"repro/internal/netlist"
+	"repro/internal/obs"
 	"repro/internal/rctree"
 	"repro/internal/resilience"
 	"repro/internal/stats"
@@ -188,10 +190,13 @@ func (t *Timer) analyzeInternal(ctx context.Context) (*Result, StateMap, error) 
 	if ctx == nil {
 		ctx = context.Background()
 	}
+	t0 := time.Now()
 	order, err := t.nl.Levelize()
 	if err != nil {
 		return nil, nil, err
 	}
+	ctx, span := obs.StartSpan(ctx, "sta_analyze", obs.A("gates", len(order)))
+	defer span.End()
 	state := make(StateMap, t.nl.NumNets())
 	for _, in := range t.nl.Inputs {
 		*state.At(in) = t.InputState(in)
@@ -202,20 +207,39 @@ func (t *Timer) analyzeInternal(ctx context.Context) (*Result, StateMap, error) 
 	// Gate evaluation is cheap LUT lookups, so this bounds cancel latency
 	// without a branch-heavy hot loop.
 	checkEvery := 1
-	for _, gi := range order {
-		checkEvery--
-		if checkEvery <= 0 {
-			checkEvery = 64
-			if err := ctx.Err(); err != nil {
-				return nil, nil, resilience.Wrap("sta: analyze", err)
+	evalGroup := func(grp []int) error {
+		for _, gi := range grp {
+			checkEvery--
+			if checkEvery <= 0 {
+				checkEvery = 64
+				if err := ctx.Err(); err != nil {
+					return resilience.Wrap("sta: analyze", err)
+				}
+			}
+			out, arcs, err := t.EvalGate(gi, state)
+			if err != nil {
+				return err
+			}
+			gatesTimed += arcs
+			*state.At(t.nl.Gates[gi].Output()) = out
+		}
+		return nil
+	}
+	if obs.Trace.Enabled() {
+		// Evaluate by logic level — still a topological order, so the
+		// result is identical — giving the trace one span per level of the
+		// propagation wavefront.
+		for lvl, grp := range t.levelGroups(order) {
+			_, lspan := obs.StartSpan(ctx, "sta_level",
+				obs.A("level", lvl), obs.A("gates", len(grp)))
+			err := evalGroup(grp)
+			lspan.End()
+			if err != nil {
+				return nil, nil, err
 			}
 		}
-		out, arcs, err := t.EvalGate(gi, state)
-		if err != nil {
-			return nil, nil, err
-		}
-		gatesTimed += arcs
-		*state.At(t.nl.Gates[gi].Output()) = out
+	} else if err := evalGroup(order); err != nil {
+		return nil, nil, err
 	}
 
 	// Endpoints: PO sinks.
@@ -235,7 +259,36 @@ func (t *Timer) analyzeInternal(ctx context.Context) (*Result, StateMap, error) 
 		return nil, nil, err
 	}
 	res.GatesTimed = gatesTimed
+	mAnalyses.Inc()
+	mGatesEvaluated.Add(uint64(gatesTimed))
+	hAnalyzeSeconds.ObserveSince(t0)
 	return res, state, nil
+}
+
+// levelGroups partitions a topological order into logic levels: a gate's
+// level is one past the deepest level among its fanin drivers. Each group is
+// internally in `order` order, and concatenating the groups is again a valid
+// topological order.
+func (t *Timer) levelGroups(order []int) [][]int {
+	lv := make([]int, len(t.nl.Gates))
+	maxL := 0
+	for _, gi := range order {
+		l := 0
+		for _, net := range t.nl.Gates[gi].InputNets() {
+			if di, ok := t.drv[net]; ok && lv[di]+1 > l {
+				l = lv[di] + 1
+			}
+		}
+		lv[gi] = l
+		if l > maxL {
+			maxL = l
+		}
+	}
+	groups := make([][]int, maxL+1)
+	for _, gi := range order {
+		groups[lv[gi]] = append(groups[lv[gi]], gi)
+	}
+	return groups
 }
 
 // inputRootSlew models the transition time at a primary-input net root for
