@@ -49,9 +49,9 @@ func main() {
 		ckptEvery   = flag.Int("checkpoint-every", 4, "checkpoint the output file every N fitted arcs (0 disables)")
 		maxFailFrac = flag.Float64("max-fail-frac", 0, "max quarantined sample fraction per grid point (0 = default 2%, negative disables quarantine)")
 		timeout     = flag.Duration("timeout", 0, "abort the run after this long (0 = no limit)")
-		cpuProfile  = flag.String("cpuprofile", "", "write a CPU profile to this file")
-		memProfile  = flag.String("memprofile", "", "write a heap profile to this file at exit")
-		benchJSON   = flag.String("bench-json", "", "write phase wall times and allocation totals as JSON to this file")
+		cpuProfile  = outFlag("cpu-profile-out", "cpuprofile", "write a CPU profile to this file")
+		memProfile  = outFlag("mem-profile-out", "memprofile", "write a heap profile to this file at exit")
+		benchJSON   = outFlag("bench-out", "bench-json", "write phase wall times and allocation totals as JSON to this file")
 		maxArcs     = flag.Int("max-arcs", 0, "stop after this many newly fitted arcs (0 = all; skips wire calibration, keeps the checkpoint resumable)")
 		traceFlag   = flag.String("trace-out", "", "record spans and write a Chrome trace_event JSON file here at exit")
 		metricsFlag = flag.String("metrics-out", "", "write the final Prometheus metrics exposition to this file at exit")
@@ -217,4 +217,10 @@ func exit(code int) {
 	}
 	flushObs()
 	os.Exit(code)
+}
+
+// outFlag registers an output-file flag under its canonical -<thing>-out name
+// plus its pre-v1 alias.
+func outFlag(canonical, deprecated, usage string) *string {
+	return obs.RegisterOutFlag(flag.CommandLine, canonical, deprecated, usage)
 }

@@ -5,10 +5,12 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 
+	"repro"
 	"repro/internal/charlib"
 	"repro/internal/experiments"
 	"repro/internal/layout"
@@ -79,7 +81,7 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	timer, err := sta.NewTimer(lib, nl, trees, sta.Options{})
+	timer, err := repro.NewTimer(context.Background(), lib, nl, repro.WithParasitics(trees))
 	if err != nil {
 		fatal(err)
 	}

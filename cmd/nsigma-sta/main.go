@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -14,6 +15,7 @@ import (
 	"strings"
 	"time"
 
+	"repro"
 	"repro/internal/baseline"
 	"repro/internal/circuits"
 	"repro/internal/device"
@@ -21,7 +23,6 @@ import (
 	"repro/internal/netlist"
 	"repro/internal/obs"
 	"repro/internal/rctree"
-	"repro/internal/sta"
 	"repro/internal/stats"
 	"repro/internal/stdcell"
 	"repro/internal/timinglib"
@@ -85,7 +86,7 @@ func main() {
 		}
 	}
 
-	timer, err := sta.NewTimer(lib, nl, trees, sta.Options{})
+	timer, err := repro.NewTimer(context.Background(), lib, nl, repro.WithParasitics(trees))
 	if err != nil {
 		fatal(err)
 	}

@@ -5,16 +5,23 @@
 //
 //	timingd -lib coeffs.json -addr :8080
 //
-//	# load a built-in benchmark as design "c432"
-//	curl -X PUT localhost:8080/designs/c432 -d '{"circuit":"c432"}'
-//	# query the 5 worst paths at the current version
-//	curl 'localhost:8080/designs/c432/paths?k=5'
+//	# load a built-in benchmark as design "c432", batching two corners
+//	curl -X PUT localhost:8080/v1/designs/c432 \
+//	     -d '{"circuit":"c432","corners":[{"name":"fast"},{"name":"slow","cap_scale":1.15}]}'
+//	# query the 5 worst paths at the current version (slow corner)
+//	curl 'localhost:8080/v1/designs/c432/paths?k=5&corner=slow'
 //	# resize a cell; only its downstream cone is re-timed
-//	curl -X POST localhost:8080/designs/c432/edits \
+//	curl -X POST localhost:8080/v1/designs/c432/edits \
 //	     -d '{"op":"resize","gate":"U7","strength":8}'
+//	# several views of one pinned snapshot in a single round trip
+//	curl -X POST localhost:8080/v1/designs/c432/batch \
+//	     -d '{"queries":[{"kind":"summary"},{"kind":"paths","k":3,"corner":"slow"}]}'
 //	# readiness probe and Prometheus metrics
 //	curl localhost:8080/healthz
 //	curl localhost:8080/metrics
+//
+// Pre-v1 routes (without the /v1 prefix) still work but answer with RFC 8594
+// Deprecation headers; see API.md for the full surface and error envelope.
 //
 // Observability: -log-level/-log-json configure structured logs, -pprof
 // (off by default) mounts the net/http/pprof handlers under /debug/pprof/,

@@ -61,7 +61,7 @@ func main() {
 	}
 
 	t0 := time.Now()
-	eng, err := repro.NewIncrementalEngine(lib, nl, trees, repro.IncrementalConfig{})
+	eng, err := repro.NewIncrementalEngine(context.Background(), lib, nl, repro.WithParasitics(trees))
 	if err != nil {
 		log.Fatal(err)
 	}

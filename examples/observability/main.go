@@ -13,6 +13,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -46,7 +47,8 @@ func main() {
 
 	// Stage 1: one full analysis (populates sta_analyze_seconds and, when
 	// tracing, one sta_level span per wavefront level).
-	timer, err := repro.NewTimer(lib, nl, trees, repro.STAOptions{})
+	ctx := context.Background()
+	timer, err := repro.NewTimer(ctx, lib, nl, repro.WithParasitics(trees))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -61,7 +63,7 @@ func main() {
 	// has headroom on the 1/2/4/8 drive ladder is upsized one step, each
 	// edit re-propagating only its downstream cone (incsta_edit_seconds,
 	// incsta_dirty_cone_gates, incsta_epsilon_cut_gates).
-	eng, err := repro.NewIncrementalEngine(lib, nl, trees, repro.IncrementalConfig{})
+	eng, err := repro.NewIncrementalEngine(ctx, lib, nl, repro.WithParasitics(trees))
 	if err != nil {
 		log.Fatal(err)
 	}

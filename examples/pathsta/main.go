@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -54,7 +55,7 @@ func main() {
 		log.Fatal(err)
 	}
 
-	timer, err := repro.NewTimer(lib, nl, trees, repro.STAOptions{})
+	timer, err := repro.NewTimer(context.Background(), lib, nl, repro.WithParasitics(trees))
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -1,8 +1,12 @@
 package repro
 
 import (
+	"context"
+	"errors"
 	"path/filepath"
 	"testing"
+
+	"repro/internal/libsynth"
 )
 
 // TestFacadeEndToEnd exercises the public API the examples are written
@@ -87,5 +91,87 @@ func TestFacadeHelpers(t *testing.T) {
 	}
 	if Reference.Slew != 10e-12 || Reference.Load != 0.4e-15 {
 		t.Fatal("reference operating point drifted from the paper's")
+	}
+}
+
+// TestFacadeV1Constructors exercises the redesigned context-first
+// constructors: functional options, multi-corner batched analysis, the
+// incremental engine, typed-error surfacing, and the deprecated legacy
+// shapes staying equivalent.
+func TestFacadeV1Constructors(t *testing.T) {
+	ctx := context.Background()
+	lib := libsynth.File()
+	nl, err := GenerateBenchmark("c432")
+	if err != nil {
+		t.Fatal(err)
+	}
+	trees, err := ExtractParasitics(DefaultConfig(), nl, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Missing parasitics is a typed options error, caught up front.
+	var oe *OptionsError
+	if _, err := NewTimer(ctx, lib, nl); !errors.As(err, &oe) {
+		t.Fatalf("NewTimer without parasitics: %v", err)
+	}
+
+	timer, err := NewTimer(ctx, lib, nl, WithParasitics(trees))
+	if err != nil {
+		t.Fatal(err)
+	}
+	results, err := timer.AnalyzeAll(ctx, AnalyzeOptions{
+		Corners: CornerSet{Corners: []Corner{
+			{Name: "typ"}, {Name: "slow", CapScale: 1.2},
+		}},
+		Parallelism: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 2 {
+		t.Fatalf("batched analysis returned %d results", len(results))
+	}
+	if results[1].ArrivalQ[0] <= results[0].ArrivalQ[0] {
+		t.Fatal("cap-derated corner should be slower")
+	}
+
+	// The deprecated legacy shape must return an equivalent timer.
+	legacy, err := NewTimerLegacy(lib, nl, trees, STAOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := timer.Analyze()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := legacy.Analyze()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.ArrivalQ[0] != b.ArrivalQ[0] {
+		t.Fatalf("legacy timer diverges: %v vs %v", b.ArrivalQ[0], a.ArrivalQ[0])
+	}
+
+	// Incremental engine through the new constructor, with a typed edit
+	// rejection.
+	eng, err := NewIncrementalEngine(ctx, lib, nl,
+		WithParasitics(trees), WithParallelism(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ee *EditError
+	if _, err := eng.ResizeCell("no-such-gate", 4); !errors.As(err, &ee) {
+		t.Fatalf("bad edit should be an *EditError: %v", err)
+	}
+	if eng.Snapshot().Result().ArrivalQ[0] != a.ArrivalQ[0] {
+		t.Fatal("engine initial state diverges from fresh analysis")
+	}
+
+	// A canceled context aborts construction.
+	canceled, cancel := context.WithCancel(ctx)
+	cancel()
+	if _, err := NewTimer(canceled, lib, nl, WithParasitics(trees)); err == nil {
+		t.Fatal("canceled context accepted")
 	}
 }

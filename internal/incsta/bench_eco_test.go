@@ -1,0 +1,61 @@
+package incsta
+
+import (
+	"testing"
+
+	"repro/internal/circuits"
+	"repro/internal/sta"
+	"repro/internal/stdcell"
+)
+
+// benchECOBurst measures a 24-edit resize burst against a four-corner view
+// of c5315, either through one batched multi-corner engine or through four
+// independent single-corner engines — the pre-batching strategy, where
+// every edit's dirty cone is re-propagated once per corner-engine.
+func benchECOBurst(b *testing.B, batched bool) {
+	corners := []sta.Corner{
+		{Name: "typ"},
+		{Name: "fastin", InputSlew: 20e-12},
+		{Name: "slowext", CapScale: 1.15},
+		{Name: "worst", InputSlew: 120e-12, CapScale: 1.3},
+	}
+	nl, err := circuits.ByName("c5315")
+	if err != nil {
+		b.Fatal(err)
+	}
+	circuits.SizeByFanout(nl)
+	lib := fullLib()
+	trees := buildTrees(nl, lib)
+	build := func(cs []sta.Corner) *Engine {
+		e, err := New(lib, nl, trees, Config{Corners: sta.CornerSet{Corners: cs}})
+		if err != nil {
+			b.Fatal(err)
+		}
+		return e
+	}
+	var engines []*Engine
+	if batched {
+		engines = []*Engine{build(corners)}
+	} else {
+		for _, c := range corners {
+			engines = append(engines, build([]sta.Corner{c}))
+		}
+	}
+	strengths := stdcell.Strengths
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for k := 0; k < 24; k++ {
+			g := nl.Gates[(i*24+k)*37%len(nl.Gates)].Name
+			s := strengths[k%len(strengths)]
+			for _, e := range engines {
+				if _, err := e.ResizeCell(g, s); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	}
+}
+
+func BenchmarkECOBurst4CornersSeparate(b *testing.B) { benchECOBurst(b, false) }
+func BenchmarkECOBurst4CornersBatched(b *testing.B)  { benchECOBurst(b, true) }

@@ -244,6 +244,9 @@ func (e *Engine) SetInputSlew(net string, slew float64) (*Report, error) {
 		return nil, &EditError{Op: "set-input-slew", Target: net, Reason: err.Error()}
 	}
 	e.timer = timer
+	if err := e.refreshTimersLocked(); err != nil {
+		return nil, &EditError{Op: "set-input-slew", Target: net, Reason: err.Error()}
+	}
 
 	d := newDirtySet()
 	d.inputs[net] = struct{}{}

@@ -43,8 +43,19 @@ type Config struct {
 	// Epsilon (seconds) of the cached state. 0 (the default) demands exact
 	// equality and preserves bit-identity with a fresh analysis; a positive
 	// value trades per-endpoint accuracy (bounded by path depth × Epsilon)
-	// for smaller re-propagation cones.
+	// for smaller re-propagation cones. With multiple corners the cone cuts
+	// only where every corner matches its cache.
 	Epsilon float64
+	// Corners batches multiple operating corners through the engine: every
+	// edit re-propagates all of them in one pass over the dirty cone, and
+	// each snapshot carries a per-corner result. Empty means the single
+	// neutral corner; corner 0 is the primary one Snapshot.Result serves.
+	// A Levels override in the set applies to the whole engine.
+	Corners sta.CornerSet
+	// Parallelism is the wavefront worker count used by full passes and
+	// dirty-cone re-propagation (≤1 = sequential). Results are bit-identical
+	// at any value: same-level gates are independent and commits are ordered.
+	Parallelism int
 }
 
 // Stats are the cumulative re-propagation counters of an engine — the
@@ -96,9 +107,14 @@ type Engine struct {
 
 	order []int // topological gate order
 	pos   []int // gate index → position in order
+	lvl   []int // gate index → logic level (same-level gates are independent)
 
-	state sta.StateMap
-	ep    map[string][]sta.EndpointEntry
+	corners []sta.Corner // normalized corner batch; corner 0 is primary
+	par     int          // wavefront worker count (≥1)
+	timers  []*sta.Timer // e.timer specialized per corner
+
+	states []sta.StateMap                    // per-corner propagated state
+	epts   []map[string][]sta.EndpointEntry // per-corner endpoint entries
 
 	stats   Stats
 	version uint64
@@ -111,12 +127,19 @@ func New(lib *timinglib.File, nl *netlist.Netlist, trees map[string]*rctree.Tree
 	if cfg.Epsilon < 0 {
 		return nil, &EditError{Op: "new", Reason: fmt.Sprintf("negative epsilon %g", cfg.Epsilon)}
 	}
+	if err := cfg.Corners.Validate(); err != nil {
+		return nil, err
+	}
+	opt := cfg.Options
+	if len(cfg.Corners.Levels) > 0 {
+		opt.Levels = cfg.Corners.Levels
+	}
 	nlCopy := copyNetlist(nl)
 	treeCopy := make(map[string]*rctree.Tree, len(trees))
 	for net, t := range trees {
 		treeCopy[net] = t
 	}
-	timer, err := sta.NewTimer(lib, nlCopy, treeCopy, cfg.Options)
+	timer, err := sta.NewTimer(lib, nlCopy, treeCopy, opt)
 	if err != nil {
 		return nil, err
 	}
@@ -132,15 +155,52 @@ func New(lib *timinglib.File, nl *netlist.Netlist, trees map[string]*rctree.Tree
 	for p, gi := range order {
 		pos[gi] = p
 	}
+	lvl := make([]int, len(nlCopy.Gates))
+	for _, gi := range order {
+		l := 0
+		for _, net := range nlCopy.Gates[gi].InputNets() {
+			if di, ok := idx.Driver(net); ok && lvl[di]+1 > l {
+				l = lvl[di] + 1
+			}
+		}
+		lvl[gi] = l
+	}
+	corners := cfg.Corners.Corners
+	if len(corners) == 0 {
+		corners = []sta.Corner{{}}
+	}
+	par := cfg.Parallelism
+	if par < 1 {
+		par = 1
+	}
 	e := &Engine{
 		lib: lib, nl: nlCopy, idx: idx, trees: treeCopy, timer: timer,
-		eps: cfg.Epsilon, order: order, pos: pos,
+		eps: cfg.Epsilon, order: order, pos: pos, lvl: lvl,
+		corners: corners, par: par,
 		stats: Stats{GateCount: uint64(len(nlCopy.Gates))},
+	}
+	if err := e.refreshTimersLocked(); err != nil {
+		return nil, err
 	}
 	if err := e.rebuildLocked(); err != nil {
 		return nil, err
 	}
 	return e, nil
+}
+
+// refreshTimersLocked re-derives the per-corner timers from the base timer;
+// called whenever e.timer is replaced (construction, input-slew edits).
+func (e *Engine) refreshTimersLocked() error {
+	timers := make([]*sta.Timer, len(e.corners))
+	for ci, c := range e.corners {
+		tc, err := e.timer.WithCorner(c)
+		if err != nil {
+			return err
+		}
+		timers[ci] = tc
+	}
+	e.timers = timers
+	return nil
 }
 
 // copyNetlist deep-copies the parts of a netlist edits mutate (the gate
@@ -173,35 +233,116 @@ func (e *Engine) Rebuild() error {
 
 func (e *Engine) rebuildLocked() error {
 	_, span := obs.StartSpan(context.Background(), "incsta_rebuild",
-		obs.A("gates", len(e.nl.Gates)))
+		obs.A("gates", len(e.nl.Gates)), obs.A("corners", len(e.corners)))
 	defer span.End()
-	state := make(sta.StateMap, e.nl.NumNets())
-	for _, in := range e.nl.Inputs {
-		*state.At(in) = e.timer.InputState(in)
+	// Pre-seed every net (PIs with boundary state, gate outputs as invalid
+	// placeholders) so parallel batch workers only ever read existing map
+	// entries — a lazy At() insertion from a worker would race.
+	states := make([]sta.StateMap, len(e.corners))
+	for ci, tc := range e.timers {
+		state := make(sta.StateMap, e.nl.NumNets())
+		for _, in := range e.nl.Inputs {
+			*state.At(in) = tc.InputState(in)
+		}
+		for gi := range e.nl.Gates {
+			state.At(e.nl.Gates[gi].Output())
+		}
+		states[ci] = state
 	}
-	for _, gi := range e.order {
-		out, _, err := e.timer.EvalGate(gi, state)
+	e.states = states
+	// Evaluate wavefront by wavefront: e.order is level-sorted within the
+	// topological order, so each maximal run of equal-level gates is one
+	// independent batch.
+	for lo := 0; lo < len(e.order); {
+		hi := lo + 1
+		for hi < len(e.order) && e.lvl[e.order[hi]] == e.lvl[e.order[lo]] {
+			hi++
+		}
+		buf, err := e.evalBatch(e.order[lo:hi])
 		if err != nil {
 			return err
 		}
-		*state.At(e.nl.Gates[gi].Output()) = out
-	}
-	ep := make(map[string][]sta.EndpointEntry, len(e.nl.Outputs))
-	for _, po := range e.nl.Outputs {
-		if _, done := ep[po]; done {
-			continue
+		for i, gi := range e.order[lo:hi] {
+			outNet := e.nl.Gates[gi].Output()
+			for ci := range e.states {
+				*e.states[ci].At(outNet) = buf[i][ci]
+			}
 		}
-		entries, err := e.timer.EndpointsForNet(po, state)
-		if err != nil {
-			return err
-		}
-		ep[po] = entries
+		lo = hi
 	}
-	e.state = state
-	e.ep = ep
+	eps := make([]map[string][]sta.EndpointEntry, len(e.corners))
+	for ci, tc := range e.timers {
+		ep := make(map[string][]sta.EndpointEntry, len(e.nl.Outputs))
+		for _, po := range e.nl.Outputs {
+			if _, done := ep[po]; done {
+				continue
+			}
+			entries, err := tc.EndpointsForNet(po, e.states[ci])
+			if err != nil {
+				return err
+			}
+			ep[po] = entries
+		}
+		eps[ci] = ep
+	}
+	e.epts = eps
 	e.stats.FullPasses++
 	mFullPasses.Inc()
 	return e.publishLocked()
+}
+
+// evalBatch evaluates a batch of same-level gates under every corner and
+// returns the buffered outputs in batch order (indexed [gate][corner]).
+// Same-level gates never read each other's outputs, so evaluation order is
+// irrelevant; the caller commits in batch order, which keeps the whole pass
+// bit-identical to a sequential per-gate evaluation at any worker count.
+func (e *Engine) evalBatch(batch []int) ([][][2]sta.NetState, error) {
+	buf := make([][][2]sta.NetState, len(batch))
+	if e.par <= 1 || len(batch) == 1 {
+		for i, gi := range batch {
+			outs, _, err := e.timer.EvalGateBatch(gi, e.states, e.corners)
+			if err != nil {
+				return nil, err
+			}
+			buf[i] = outs
+		}
+		return buf, nil
+	}
+	workers := e.par
+	if workers > len(batch) {
+		workers = len(batch)
+	}
+	errs := make([]error, len(batch))
+	var next atomic.Int64
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(batch) || stop.Load() {
+					return
+				}
+				outs, _, err := e.timer.EvalGateBatch(batch[i], e.states, e.corners)
+				if err != nil {
+					errs[i] = err
+					stop.Store(true)
+					return
+				}
+				buf[i] = outs
+			}
+		}()
+	}
+	wg.Wait()
+	// Lowest-index error wins, independent of goroutine scheduling.
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return buf, nil
 }
 
 // dirtySet collects the frontier of an edit before propagation.
@@ -265,14 +406,23 @@ func (e *Engine) propagate(d *dirtySet) (*Report, error) {
 	levels := e.timer.Options().Levels
 
 	// Re-derive dirty primary inputs first; their change feeds the gate
-	// frontier exactly like a gate-state change.
+	// frontier exactly like a gate-state change. A corner set is updated as
+	// a unit: the cached state is kept only when every corner matches.
 	for net := range d.inputs {
-		ns := e.timer.InputState(net)
-		cur := e.state.At(net)
-		if statePairEqual(cur, &ns, levels, e.eps) {
+		nss := make([][2]sta.NetState, len(e.timers))
+		changed := false
+		for ci, tc := range e.timers {
+			nss[ci] = tc.InputState(net)
+			if !statePairEqual(e.states[ci].At(net), &nss[ci], levels, e.eps) {
+				changed = true
+			}
+		}
+		if !changed {
 			continue
 		}
-		*cur = ns
+		for ci := range e.timers {
+			*e.states[ci].At(net) = nss[ci]
+		}
 		for _, s := range e.idx.Fanout(net) {
 			if s.Gate >= 0 {
 				d.gates[s.Gate] = struct{}{}
@@ -294,36 +444,59 @@ func (e *Engine) propagate(d *dirtySet) (*Report, error) {
 	for gi := range d.gates {
 		push(gi)
 	}
+	var batch []int
 	for h.Len() > 0 {
-		gi := heap.Pop(h).(int)
-		out, _, err := e.timer.EvalGate(gi, e.state)
+		// Pop the frontier's whole current level: same-level gates are
+		// independent, so they form one (possibly parallel) batch, and their
+		// fanouts land at strictly deeper levels, preserving heap order.
+		batch = append(batch[:0], heap.Pop(h).(int))
+		for h.Len() > 0 && e.lvl[h.items[0]] == e.lvl[batch[0]] {
+			batch = append(batch, heap.Pop(h).(int))
+		}
+		buf, err := e.evalBatch(batch)
 		if err != nil {
 			return rep, err
 		}
-		rep.Reevaluated++
-		outNet := e.nl.Gates[gi].Output()
-		cur := e.state.At(outNet)
-		if statePairEqual(cur, &out, levels, e.eps) {
-			rep.Cut++
-			continue // cone terminates: downstream state cannot change
-		}
-		*cur = out
-		for _, s := range e.idx.Fanout(outNet) {
-			if s.Gate >= 0 {
-				push(s.Gate)
-			} else {
-				d.endpoints[outNet] = struct{}{}
+		for i, gi := range batch {
+			rep.Reevaluated++
+			outNet := e.nl.Gates[gi].Output()
+			equal := true
+			for ci := range e.states {
+				if !statePairEqual(e.states[ci].At(outNet), &buf[i][ci], levels, e.eps) {
+					equal = false
+					break
+				}
+			}
+			if equal {
+				rep.Cut++
+				continue // cone terminates: downstream state cannot change
+			}
+			for ci := range e.states {
+				*e.states[ci].At(outNet) = buf[i][ci]
+			}
+			for _, s := range e.idx.Fanout(outNet) {
+				if s.Gate >= 0 {
+					push(s.Gate)
+				} else {
+					d.endpoints[outNet] = struct{}{}
+				}
 			}
 		}
 	}
 
 	for net := range d.endpoints {
-		entries, err := e.timer.EndpointsForNet(net, e.state)
-		if err != nil {
-			return rep, err
+		for ci, tc := range e.timers {
+			entries, err := tc.EndpointsForNet(net, e.states[ci])
+			if err != nil {
+				return rep, err
+			}
+			e.epts[ci][net] = entries
+			if ci == 0 {
+				// Report.Endpoints stays the structural (primary-corner)
+				// entry count, independent of how many corners are batched.
+				rep.Endpoints += len(entries)
+			}
 		}
-		e.ep[net] = entries
-		rep.Endpoints += len(entries)
 	}
 	return rep, nil
 }
@@ -413,6 +586,13 @@ func (e *Engine) Stats() Stats {
 
 // GateCount returns the number of gates in the design.
 func (e *Engine) GateCount() int { return len(e.nl.Gates) }
+
+// Corners returns the engine's operating-corner batch (at least the neutral
+// corner at index 0). The slice is shared; do not mutate.
+func (e *Engine) Corners() []sta.Corner { return e.corners }
+
+// Parallelism returns the engine's effective wavefront worker count (≥1).
+func (e *Engine) Parallelism() int { return e.par }
 
 // Snapshot returns the latest published immutable view. It never returns
 // nil on an engine built by New.

@@ -1,0 +1,229 @@
+package incsta
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+
+	"repro/internal/circuits"
+	"repro/internal/sta"
+	"repro/internal/stdcell"
+)
+
+// editOp is one deterministic ECO edit, applicable to any engine over the
+// same design — the two engines under comparison receive identical ops.
+type editOp func(e *Engine) error
+
+// randomEditOps derives a reproducible ≥60-edit ECO sequence over the given
+// name pools: resizes, input-slew overrides and parasitic re-bindings.
+func randomEditOps(gates, inputs, nets []string, seed int64, n int) []editOp {
+	rng := rand.New(rand.NewSource(seed))
+	strengths := stdcell.Strengths
+	ops := make([]editOp, 0, n)
+	for i := 0; i < n; i++ {
+		switch rng.Intn(4) {
+		case 0, 1:
+			g := gates[rng.Intn(len(gates))]
+			s := strengths[rng.Intn(len(strengths))]
+			ops = append(ops, func(e *Engine) error { _, err := e.ResizeCell(g, s); return err })
+		case 2:
+			in := inputs[rng.Intn(len(inputs))]
+			slew := (5 + 120*rng.Float64()) * 1e-12
+			ops = append(ops, func(e *Engine) error { _, err := e.SetInputSlew(in, slew); return err })
+		case 3:
+			net := nets[rng.Intn(len(nets))]
+			scale := 0.5 + 1.5*rng.Float64()
+			ops = append(ops, func(e *Engine) error {
+				_, cur := e.CopyDesign()
+				tr := cur[net]
+				for j := range tr.Nodes {
+					tr.Nodes[j].R *= scale
+					tr.Nodes[j].C *= scale
+				}
+				_, err := e.SetNetParasitics(net, tr)
+				return err
+			})
+		}
+	}
+	return ops
+}
+
+// namePools extracts the stable gate/input/net name pools of a benchmark.
+func namePools(t *testing.T, circuit string) (gates, inputs, nets []string, build func(cfg Config) *Engine) {
+	t.Helper()
+	nl, err := circuits.ByName(circuit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	circuits.SizeByFanout(nl)
+	lib := fullLib()
+	trees := buildTrees(nl, lib)
+	gates = make([]string, len(nl.Gates))
+	nets = make([]string, 0, len(nl.Gates))
+	for i, g := range nl.Gates {
+		gates[i] = g.Name
+		nets = append(nets, g.Output())
+	}
+	return gates, nl.Inputs, nets, func(cfg Config) *Engine {
+		e, err := New(lib, nl, trees, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return e
+	}
+}
+
+// assertSnapshotsIdentical compares every corner of two snapshots bitwise.
+func assertSnapshotsIdentical(t *testing.T, after string, a, b *Snapshot) {
+	t.Helper()
+	if len(a.Corners()) != len(b.Corners()) {
+		t.Fatalf("%s: corner count %d vs %d", after, len(a.Corners()), len(b.Corners()))
+	}
+	for ci := range a.Corners() {
+		ra, _ := a.ResultAt(ci)
+		rb, _ := b.ResultAt(ci)
+		for n, v := range ra.ArrivalQ {
+			if rb.ArrivalQ[n] != v {
+				t.Fatalf("%s corner %d: arrival %+dσ: %v vs %v", after, ci, n, rb.ArrivalQ[n], v)
+			}
+		}
+		if len(ra.EndpointArrivals) != len(rb.EndpointArrivals) {
+			t.Fatalf("%s corner %d: endpoint count %d vs %d", after, ci,
+				len(rb.EndpointArrivals), len(ra.EndpointArrivals))
+		}
+		for key, wa := range ra.EndpointArrivals {
+			for n, v := range wa {
+				if rb.EndpointArrivals[key][n] != v {
+					t.Fatalf("%s corner %d: endpoint %s %+dσ: %v vs %v", after, ci, key, n,
+						rb.EndpointArrivals[key][n], v)
+				}
+			}
+		}
+	}
+}
+
+// TestParallelEngineBitIdentical runs the same ≥60-edit random ECO sequence
+// through a sequential engine and a 4-worker engine and requires every
+// snapshot along the way to be bit-identical.
+func TestParallelEngineBitIdentical(t *testing.T) {
+	gates, inputs, nets, build := namePools(t, "c432")
+	seq := build(Config{})
+	par := build(Config{Parallelism: 4})
+
+	ops := randomEditOps(gates, inputs, nets, 7, 60)
+	assertSnapshotsIdentical(t, "initial", seq.Snapshot(), par.Snapshot())
+	for i, op := range ops {
+		if err := op(seq); err != nil {
+			t.Fatalf("edit %d (sequential): %v", i, err)
+		}
+		if err := op(par); err != nil {
+			t.Fatalf("edit %d (parallel): %v", i, err)
+		}
+		assertSnapshotsIdentical(t, "edit", seq.Snapshot(), par.Snapshot())
+	}
+	if err := par.VerifyFull(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestMultiCornerEngineMatchesIndependentCorners checks a batched
+// multi-corner engine against one independent single-corner engine per
+// operating point, through a random ECO sequence: per-corner results must
+// be bit-identical — batching is an optimization, never an approximation.
+func TestMultiCornerEngineMatchesIndependentCorners(t *testing.T) {
+	corners := []sta.Corner{
+		{Name: "typ"},
+		{Name: "fastin", InputSlew: 20e-12},
+		{Name: "slowext", CapScale: 1.2},
+	}
+	gates, inputs, nets, build := namePools(t, "c432")
+	batched := build(Config{
+		Corners:     sta.CornerSet{Corners: corners},
+		Parallelism: 2,
+	})
+	singles := make([]*Engine, len(corners))
+	for ci, c := range corners {
+		singles[ci] = build(Config{Corners: sta.CornerSet{Corners: []sta.Corner{c}}})
+	}
+
+	check := func(after string) {
+		t.Helper()
+		snap := batched.Snapshot()
+		for ci := range corners {
+			want := singles[ci].Snapshot().Result()
+			got, err := snap.ResultAt(ci)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for n, v := range want.ArrivalQ {
+				if got.ArrivalQ[n] != v {
+					t.Fatalf("%s corner %s: arrival %+dσ: batched %v vs independent %v",
+						after, corners[ci].Name, n, got.ArrivalQ[n], v)
+				}
+			}
+			for key, wa := range want.EndpointArrivals {
+				for n, v := range wa {
+					if got.EndpointArrivals[key][n] != v {
+						t.Fatalf("%s corner %s: endpoint %s %+dσ: batched %v vs independent %v",
+							after, corners[ci].Name, key, n, got.EndpointArrivals[key][n], v)
+					}
+				}
+			}
+		}
+	}
+
+	check("initial")
+	ops := randomEditOps(gates, inputs, nets, 11, 60)
+	for i, op := range ops {
+		if err := op(batched); err != nil {
+			t.Fatalf("edit %d (batched): %v", i, err)
+		}
+		for ci := range singles {
+			if err := op(singles[ci]); err != nil {
+				t.Fatalf("edit %d (corner %d): %v", i, ci, err)
+			}
+		}
+		if (i+1)%10 == 0 {
+			check("edit")
+		}
+	}
+	check("final")
+	if err := batched.VerifyFull(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCornerAccessors covers the snapshot's corner query surface used by
+// the server: label resolution, per-corner worst paths and slacks.
+func TestCornerAccessors(t *testing.T) {
+	_, _, _, build := namePools(t, "c432")
+	eng := build(Config{Corners: sta.CornerSet{Corners: []sta.Corner{
+		{Name: "typ"}, {InputSlew: 40e-12},
+	}}})
+	snap := eng.Snapshot()
+	if got := eng.Corners(); len(got) != 2 {
+		t.Fatalf("engine corners: %d", len(got))
+	}
+	if ci, ok := snap.CornerIndex("typ"); !ok || ci != 0 {
+		t.Fatalf("CornerIndex(typ) = %d, %v", ci, ok)
+	}
+	if ci, ok := snap.CornerIndex("corner1"); !ok || ci != 1 {
+		t.Fatalf("CornerIndex(corner1) = %d, %v", ci, ok)
+	}
+	if _, ok := snap.CornerIndex("nope"); ok {
+		t.Fatal("CornerIndex resolved an unknown label")
+	}
+	if ci, ok := snap.CornerIndex(""); !ok || ci != 0 {
+		t.Fatalf("CornerIndex(\"\") = %d, %v", ci, ok)
+	}
+	if _, err := snap.ResultAt(2); err == nil {
+		t.Fatal("ResultAt(2) out of range accepted")
+	}
+	p0, err := snap.WorstPathsAt(1, 3)
+	if err != nil || len(p0) == 0 {
+		t.Fatalf("WorstPathsAt: %v (%d paths)", err, len(p0))
+	}
+	if _, err := snap.EndpointSlacksAt(1, 6e-9, 3); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -16,10 +16,11 @@ import (
 // entries and parasitic trees it references are never mutated after
 // publication (edits replace, never write through).
 type Snapshot struct {
-	timer   *sta.Timer
-	state   sta.StateMap
-	ep      map[string][]sta.EndpointEntry
-	res     *sta.Result
+	corners []sta.Corner
+	timers  []*sta.Timer
+	states  []sta.StateMap
+	eps     []map[string][]sta.EndpointEntry
+	results []*sta.Result
 	stats   Stats
 	version uint64
 }
@@ -31,29 +32,42 @@ func (e *Engine) publishLocked() error {
 	for net, t := range e.trees {
 		trees[net] = t
 	}
-	timer, err := e.timer.WithTrees(trees)
+	base, err := e.timer.WithTrees(trees)
 	if err != nil {
 		return err
 	}
-	// The snapshot must not see later in-place Cell edits: give its timer a
+	// The snapshot must not see later in-place Cell edits: give its timers a
 	// private copy of the netlist (connectivity is shared read-only).
-	timer, err = timer.WithNetlist(copyNetlist(e.nl))
+	base, err = base.WithNetlist(copyNetlist(e.nl))
 	if err != nil {
 		return err
 	}
-	ep := make(map[string][]sta.EndpointEntry, len(e.ep))
-	for net, entries := range e.ep {
-		ep[net] = entries
-	}
-	state := e.state.Clone()
-	res, err := timer.ResultFrom(state, ep)
-	if err != nil {
-		return err
+	timers := make([]*sta.Timer, len(e.corners))
+	states := make([]sta.StateMap, len(e.corners))
+	eps := make([]map[string][]sta.EndpointEntry, len(e.corners))
+	results := make([]*sta.Result, len(e.corners))
+	for ci, c := range e.corners {
+		tc, err := base.WithCorner(c)
+		if err != nil {
+			return err
+		}
+		timers[ci] = tc
+		ep := make(map[string][]sta.EndpointEntry, len(e.epts[ci]))
+		for net, entries := range e.epts[ci] {
+			ep[net] = entries
+		}
+		eps[ci] = ep
+		states[ci] = e.states[ci].Clone()
+		res, err := tc.ResultFrom(states[ci], eps[ci])
+		if err != nil {
+			return err
+		}
+		results[ci] = res
 	}
 	e.version++
 	e.snap.Store(&Snapshot{
-		timer: timer, state: state, ep: ep, res: res,
-		stats: e.stats, version: e.version,
+		corners: e.corners, timers: timers, states: states, eps: eps,
+		results: results, stats: e.stats, version: e.version,
 	})
 	return nil
 }
@@ -65,31 +79,76 @@ func (s *Snapshot) Version() uint64 { return s.version }
 // Stats returns the cumulative engine counters at publication time.
 func (s *Snapshot) Stats() Stats { return s.stats }
 
-// Result returns the analysis result at this version: critical path,
-// propagated arrival quantiles and per-endpoint arrivals. The result is
-// shared by all callers of this snapshot and must not be mutated.
-// Result.GatesTimed is zero: an incremental state has no single-pass arc
-// count (see Stats for the cumulative counters).
-func (s *Snapshot) Result() *sta.Result { return s.res }
+// Result returns the primary-corner analysis result at this version:
+// critical path, propagated arrival quantiles and per-endpoint arrivals.
+// The result is shared by all callers of this snapshot and must not be
+// mutated. Result.GatesTimed is zero: an incremental state has no
+// single-pass arc count (see Stats for the cumulative counters).
+func (s *Snapshot) Result() *sta.Result { return s.results[0] }
 
-// WorstPaths ranks the endpoints by mean arrival (ties by endpoint key) and
-// backtracks the worst path of each of the k slowest — identical to
-// sta.AnalyzeTopPaths of the edited design.
+// Corners returns the operating corners this snapshot carries results for
+// (at least the neutral corner at index 0). The slice is shared; do not
+// mutate.
+func (s *Snapshot) Corners() []sta.Corner { return s.corners }
+
+// CornerIndex resolves a corner by its label (Corner.Label: explicit name
+// or "corner<i>"). The empty string resolves to the primary corner 0.
+func (s *Snapshot) CornerIndex(name string) (int, bool) {
+	if name == "" {
+		return 0, true
+	}
+	for i, c := range s.corners {
+		if c.Label(i) == name {
+			return i, true
+		}
+	}
+	return 0, false
+}
+
+// ResultAt returns the analysis result of one corner by index.
+func (s *Snapshot) ResultAt(ci int) (*sta.Result, error) {
+	if ci < 0 || ci >= len(s.results) {
+		return nil, fmt.Errorf("incsta: corner index %d out of range [0,%d)", ci, len(s.results))
+	}
+	return s.results[ci], nil
+}
+
+// WorstPaths ranks the primary corner's endpoints by mean arrival (ties by
+// endpoint key) and backtracks the worst path of each of the k slowest —
+// identical to sta.AnalyzeTopPaths of the edited design.
 func (s *Snapshot) WorstPaths(k int) ([]*sta.Path, error) {
-	return s.timer.TopPathsFrom(s.state, s.res, k)
+	return s.timers[0].TopPathsFrom(s.states[0], s.results[0], k)
 }
 
-// Slack runs a setup check of every endpoint against period at one sigma
-// level.
+// WorstPathsAt is WorstPaths for one corner by index.
+func (s *Snapshot) WorstPathsAt(ci, k int) ([]*sta.Path, error) {
+	if ci < 0 || ci >= len(s.results) {
+		return nil, fmt.Errorf("incsta: corner index %d out of range [0,%d)", ci, len(s.results))
+	}
+	return s.timers[ci].TopPathsFrom(s.states[ci], s.results[ci], k)
+}
+
+// Slack runs a setup check of every primary-corner endpoint against period
+// at one sigma level.
 func (s *Snapshot) Slack(period float64, level int) (*sta.SlackReport, error) {
-	return s.res.Slack(period, level)
+	return s.results[0].Slack(period, level)
 }
 
-// EndpointSlacks returns the per-endpoint slack at one sigma level, keyed
-// "net/edge" — the per-endpoint view behind the server's query API.
+// EndpointSlacks returns the primary corner's per-endpoint slack at one
+// sigma level, keyed "net/edge" — the per-endpoint view behind the server's
+// query API.
 func (s *Snapshot) EndpointSlacks(period float64, level int) (map[string]float64, error) {
-	out := make(map[string]float64, len(s.res.EndpointArrivals))
-	for key, arr := range s.res.EndpointArrivals {
+	return s.EndpointSlacksAt(0, period, level)
+}
+
+// EndpointSlacksAt is EndpointSlacks for one corner by index.
+func (s *Snapshot) EndpointSlacksAt(ci int, period float64, level int) (map[string]float64, error) {
+	if ci < 0 || ci >= len(s.results) {
+		return nil, fmt.Errorf("incsta: corner index %d out of range [0,%d)", ci, len(s.results))
+	}
+	res := s.results[ci]
+	out := make(map[string]float64, len(res.EndpointArrivals))
+	for key, arr := range res.EndpointArrivals {
 		a, ok := arr[level]
 		if !ok {
 			return nil, fmt.Errorf("incsta: endpoint %s has no %+dσ arrival", key, level)
@@ -112,11 +171,11 @@ func (e *Engine) CopyDesign() (*netlist.Netlist, map[string]*rctree.Tree) {
 	return copyNetlist(e.nl), trees
 }
 
-// VerifyFull runs a fresh batch analysis of the engine's current design and
-// compares it against the incremental state. It returns nil when the two
-// agree exactly — the consistency guarantee at Epsilon 0 — and a
-// descriptive error on the first divergence. Edits are blocked for the
-// duration.
+// VerifyFull runs a fresh batch analysis of the engine's current design —
+// every corner, through the same wavefront engine — and compares it against
+// the incremental state. It returns nil when the two agree exactly — the
+// consistency guarantee at Epsilon 0 — and a descriptive error on the first
+// divergence. Edits are blocked for the duration.
 func (e *Engine) VerifyFull(ctx context.Context) error {
 	e.mu.Lock()
 	defer e.mu.Unlock()
@@ -125,11 +184,20 @@ func (e *Engine) VerifyFull(ctx context.Context) error {
 	if err != nil {
 		return fmt.Errorf("incsta: verify: %w", err)
 	}
-	res, err := fresh.AnalyzeContext(ctx)
+	results, err := fresh.AnalyzeAll(ctx, sta.AnalyzeOptions{
+		Corners:     sta.CornerSet{Corners: e.corners},
+		Parallelism: e.par,
+	})
 	if err != nil {
 		return fmt.Errorf("incsta: verify: %w", err)
 	}
-	return compareResults(res, snap.res, e.timer.Options().Levels)
+	levels := e.timer.Options().Levels
+	for ci := range e.corners {
+		if err := compareResults(results[ci], snap.results[ci], levels); err != nil {
+			return fmt.Errorf("corner %s: %w", e.corners[ci].Label(ci), err)
+		}
+	}
+	return nil
 }
 
 // compareResults checks a fresh batch result against an incremental one.

@@ -126,7 +126,9 @@ func (l *MomentLUT) interp(plane [][]float64, slew, load float64, cubic bool) fl
 	// First interpolate along the load axis at every slew row the slew-axis
 	// stencil needs, then along the slew axis.
 	si, sn := stencil(l.Slews, slew, cubic)
-	vals := make([]float64, sn)
+	// The stencil is at most 4 points, so the row buffer lives on the stack.
+	var buf [4]float64
+	vals := buf[:sn]
 	for k := 0; k < sn; k++ {
 		vals[k] = interp1D(l.Loads, plane[si+k], load, cubic)
 	}

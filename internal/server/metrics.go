@@ -16,6 +16,17 @@ import (
 var routePatterns = []string{
 	"GET /healthz",
 	"GET /metrics",
+	"GET /v1/designs",
+	"PUT /v1/designs/{name}",
+	"DELETE /v1/designs/{name}",
+	"GET /v1/designs/{name}",
+	"GET /v1/designs/{name}/gates",
+	"GET /v1/designs/{name}/paths",
+	"GET /v1/designs/{name}/slacks",
+	"POST /v1/designs/{name}/edits",
+	"POST /v1/designs/{name}/batch",
+	// Deprecated pre-v1 shims keep their own series so a dashboard can watch
+	// legacy traffic drain.
 	"GET /designs",
 	"PUT /designs/{name}",
 	"DELETE /designs/{name}",

@@ -56,21 +56,41 @@ func New(lib *timinglib.File) *Server {
 			s.met.observe(pattern, t0)
 		})
 	}
+	// legacy wraps a v1 handler for its pre-v1 route: same behaviour, plus
+	// RFC 8594 deprecation headers pointing at the successor. A header shim
+	// (rather than a redirect) keeps PUT/POST bodies working for old
+	// clients, who migrate on their own schedule.
+	legacy := func(h func(http.ResponseWriter, *http.Request)) func(http.ResponseWriter, *http.Request) {
+		return func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Deprecation", "true")
+			w.Header().Set("Link", fmt.Sprintf("</v1%s>; rel=%q", r.URL.Path, "successor-version"))
+			h(w, r)
+		}
+	}
+	// api registers a resource route twice: under /v1 (canonical) and at the
+	// bare path (deprecated shim). Each gets its own metrics label.
+	api := func(method, path string, h func(http.ResponseWriter, *http.Request)) {
+		route(method+" /v1"+path, h)
+		route(method+" "+path, legacy(h))
+	}
+	// Infra endpoints stay unversioned.
 	route("GET /healthz", s.handleHealth)
 	route("GET /metrics", s.handleMetrics)
-	route("GET /designs", s.handleList)
-	route("PUT /designs/{name}", s.handleLoad)
-	route("DELETE /designs/{name}", s.handleDelete)
-	route("GET /designs/{name}", s.handleSummary)
-	route("GET /designs/{name}/gates", s.handleGates)
-	route("GET /designs/{name}/paths", s.handlePaths)
-	route("GET /designs/{name}/slacks", s.handleSlacks)
-	route("POST /designs/{name}/edits", s.handleEdit)
+	api("GET", "/designs", s.handleList)
+	api("PUT", "/designs/{name}", s.handleLoad)
+	api("DELETE", "/designs/{name}", s.handleDelete)
+	api("GET", "/designs/{name}", s.handleSummary)
+	api("GET", "/designs/{name}/gates", s.handleGates)
+	api("GET", "/designs/{name}/paths", s.handlePaths)
+	api("GET", "/designs/{name}/slacks", s.handleSlacks)
+	api("POST", "/designs/{name}/edits", s.handleEdit)
+	// Batch is v1-only: many queries against one pinned snapshot.
+	route("POST /v1/designs/{name}/batch", s.handleBatch)
 	// Catch-all for unregistered paths: a JSON 404, counted under the
 	// bounded "other" series instead of minting a label per probed URL.
 	s.mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
 		t0 := time.Now()
-		httpError(w, http.StatusNotFound, "no such route: %s %s", r.Method, r.URL.Path)
+		httpError(w, http.StatusNotFound, codeUnknownRoute, "no such route: %s %s", r.Method, r.URL.Path)
 		s.met.observe(r.Method+" "+r.URL.Path, t0)
 	})
 	return s
@@ -119,6 +139,39 @@ type LoadRequest struct {
 	Epsilon float64 `json:"epsilon,omitempty"`
 	// InputSlewPs overrides the default primary-input transition (ps).
 	InputSlewPs float64 `json:"input_slew_ps,omitempty"`
+	// Corners optionally batches operating corners through the design's
+	// engine: every edit re-propagates all of them in one pass, and queries
+	// select one with ?corner=<name>. Corner 0 is the primary corner
+	// unqualified queries read. Empty = single neutral corner.
+	Corners []CornerSpec `json:"corners,omitempty"`
+	// Parallelism is the wavefront worker count used by the engine's full
+	// passes and re-propagation (0/1 = sequential; results are identical at
+	// any value).
+	Parallelism int `json:"parallelism,omitempty"`
+}
+
+// CornerSpec is the wire form of one operating corner.
+type CornerSpec struct {
+	// Name identifies the corner in queries; defaults to "corner<i>".
+	Name string `json:"name,omitempty"`
+	// InputSlewPs overrides the primary-input transition at this corner (ps,
+	// 0 = keep the design default).
+	InputSlewPs float64 `json:"input_slew_ps,omitempty"`
+	// CapScale derates every parasitic capacitance the corner sees (0 = 1.0).
+	CapScale float64 `json:"cap_scale,omitempty"`
+}
+
+// cornerSet converts the wire corners into the engine's CornerSet.
+func cornerSet(specs []CornerSpec) sta.CornerSet {
+	cs := sta.CornerSet{}
+	for _, c := range specs {
+		cs.Corners = append(cs.Corners, sta.Corner{
+			Name:      c.Name,
+			InputSlew: c.InputSlewPs * 1e-12,
+			CapScale:  c.CapScale,
+		})
+	}
+	return cs
 }
 
 // EditRequest is the POST /designs/{name}/edits body.
@@ -133,7 +186,7 @@ type EditRequest struct {
 	Tree     *rctree.Tree `json:"tree,omitempty"`
 }
 
-// DesignSummary is the GET /designs/{name} response.
+// DesignSummary is the GET /v1/designs/{name} response.
 type DesignSummary struct {
 	Name      string             `json:"name"`
 	Gates     int                `json:"gates"`
@@ -142,6 +195,10 @@ type DesignSummary struct {
 	ArrivalPs map[string]float64 `json:"arrival_ps"` // sigma level → critical arrival
 	Stats     incsta.Stats       `json:"stats"`
 	HitRatio  float64            `json:"cache_hit_ratio"`
+	// Corner is the corner this summary describes; Corners lists every
+	// corner the design batches (absent for a single unnamed neutral corner).
+	Corner  string   `json:"corner,omitempty"`
+	Corners []string `json:"corners,omitempty"`
 }
 
 // PathSummary is one entry of the GET /designs/{name}/paths response.
@@ -163,9 +220,32 @@ type EditResponse struct {
 	Endpoints   int    `json:"endpoints"`
 }
 
-type errorBody struct {
-	Error string `json:"error"`
+// ErrorDetail is the unified v1 error envelope payload: a stable
+// machine-readable code, a human-readable message, and optional detail
+// (typically the underlying validation error).
+type ErrorDetail struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+	Detail  string `json:"detail,omitempty"`
 }
+
+// errorBody wraps every error response: {"error":{"code","message","detail"}}.
+type errorBody struct {
+	Error ErrorDetail `json:"error"`
+}
+
+// Stable error codes of the v1 API (see API.md).
+const (
+	codeInvalidRequest = "invalid_request"
+	codeNotFound       = "not_found"
+	codeUnknownRoute   = "unknown_route"
+	codeConflict       = "already_exists"
+	codeUnprocessable  = "load_failed"
+	codeEditRejected   = "edit_rejected"
+	codeTooLarge       = "batch_too_large"
+	codeUnavailable    = "server_closed"
+	codeInternal       = "internal"
+)
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
 	w.Header().Set("Content-Type", "application/json")
@@ -173,21 +253,35 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	_ = json.NewEncoder(w).Encode(v)
 }
 
-func httpError(w http.ResponseWriter, status int, format string, args ...any) {
-	writeJSON(w, status, errorBody{Error: fmt.Sprintf(format, args...)})
+func httpError(w http.ResponseWriter, status int, code, format string, args ...any) {
+	writeJSON(w, status, errorBody{Error: ErrorDetail{
+		Code:    code,
+		Message: fmt.Sprintf(format, args...),
+	}})
 }
 
-// editStatus maps an edit failure onto an HTTP status: typed rejections of
-// malformed edits are the client's fault, everything else the server's.
-func editStatus(err error) int {
+// httpErrorDetail is httpError with the wrapped cause split into the detail
+// field.
+func httpErrorDetail(w http.ResponseWriter, status int, code, message string, cause error) {
+	body := errorBody{Error: ErrorDetail{Code: code, Message: message}}
+	if cause != nil {
+		body.Error.Detail = cause.Error()
+	}
+	writeJSON(w, status, body)
+}
+
+// editStatus maps an edit failure onto an HTTP status and error code: typed
+// rejections of malformed edits are the client's fault, everything else the
+// server's.
+func editStatus(err error) (int, string) {
 	var ee *incsta.EditError
 	switch {
 	case errors.As(err, &ee):
-		return http.StatusBadRequest
+		return http.StatusBadRequest, codeEditRejected
 	case errors.Is(err, ErrDesignClosed):
-		return http.StatusServiceUnavailable
+		return http.StatusServiceUnavailable, codeUnavailable
 	default:
-		return http.StatusInternalServerError
+		return http.StatusInternalServerError, codeInternal
 	}
 }
 
@@ -223,7 +317,7 @@ func (s *Server) handleLoad(w http.ResponseWriter, r *http.Request) {
 	name := r.PathValue("name")
 	var req LoadRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		httpError(w, http.StatusBadRequest, "bad load request: %v", err)
+		httpErrorDetail(w, http.StatusBadRequest, codeInvalidRequest, "bad load request", err)
 		return
 	}
 
@@ -231,7 +325,7 @@ func (s *Server) handleLoad(w http.ResponseWriter, r *http.Request) {
 	var err error
 	switch {
 	case req.Circuit != "" && req.Bench != "":
-		httpError(w, http.StatusBadRequest, "give either circuit or bench, not both")
+		httpError(w, http.StatusBadRequest, codeInvalidRequest, "give either circuit or bench, not both")
 		return
 	case req.Circuit != "":
 		nl, err = circuits.ByName(req.Circuit)
@@ -239,11 +333,16 @@ func (s *Server) handleLoad(w http.ResponseWriter, r *http.Request) {
 		nl, err = netlist.ParseBench(strings.NewReader(req.Bench), name,
 			&netlist.BenchOptions{Strength: req.Strength})
 	default:
-		httpError(w, http.StatusBadRequest, "need a circuit name or bench text")
+		httpError(w, http.StatusBadRequest, codeInvalidRequest, "need a circuit name or bench text")
 		return
 	}
 	if err != nil {
-		httpError(w, http.StatusBadRequest, "netlist: %v", err)
+		httpErrorDetail(w, http.StatusBadRequest, codeInvalidRequest, "netlist rejected", err)
+		return
+	}
+	corners := cornerSet(req.Corners)
+	if err := corners.Validate(); err != nil {
+		httpErrorDetail(w, http.StatusBadRequest, codeInvalidRequest, "corners rejected", err)
 		return
 	}
 
@@ -255,31 +354,34 @@ func (s *Server) handleLoad(w http.ResponseWriter, r *http.Request) {
 	par := layout.Default28nm()
 	pl, err := layout.Place(nl, par, seed)
 	if err != nil {
-		httpError(w, http.StatusUnprocessableEntity, "placement: %v", err)
+		httpErrorDetail(w, http.StatusUnprocessableEntity, codeUnprocessable, "placement failed", err)
 		return
 	}
 	trees, err := layout.Extract(nl, cellLib, par, pl)
 	if err != nil {
-		httpError(w, http.StatusUnprocessableEntity, "extraction: %v", err)
+		httpErrorDetail(w, http.StatusUnprocessableEntity, codeUnprocessable, "extraction failed", err)
 		return
 	}
 
 	opt := sta.Options{InputSlew: req.InputSlewPs * 1e-12}
-	eng, err := incsta.New(s.lib, nl, trees, incsta.Config{Options: opt, Epsilon: req.Epsilon})
+	eng, err := incsta.New(s.lib, nl, trees, incsta.Config{
+		Options: opt, Epsilon: req.Epsilon,
+		Corners: corners, Parallelism: req.Parallelism,
+	})
 	if err != nil {
-		httpError(w, http.StatusUnprocessableEntity, "analysis: %v", err)
+		httpErrorDetail(w, http.StatusUnprocessableEntity, codeUnprocessable, "analysis failed", err)
 		return
 	}
 
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
-		httpError(w, http.StatusServiceUnavailable, "server shutting down")
+		httpError(w, http.StatusServiceUnavailable, codeUnavailable, "server shutting down")
 		return
 	}
 	if _, dup := s.designs[name]; dup {
 		s.mu.Unlock()
-		httpError(w, http.StatusConflict, "design %q already loaded (DELETE it first)", name)
+		httpError(w, http.StatusConflict, codeConflict, "design %q already loaded (DELETE it first)", name)
 		return
 	}
 	d := newDesign(name, eng)
@@ -298,7 +400,7 @@ func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
 	}
 	s.mu.Unlock()
 	if !ok {
-		httpError(w, http.StatusNotFound, "no design %q", name)
+		httpError(w, http.StatusNotFound, codeNotFound, "no design %q", name)
 		return
 	}
 	d.close()
@@ -306,26 +408,62 @@ func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) summarize(d *design) DesignSummary {
-	snap := d.eng.Snapshot()
-	res := snap.Result()
+	sum, _ := s.summarizeAt(d, d.eng.Snapshot(), 0)
+	return sum
+}
+
+// summarizeAt builds the summary of one corner from a pinned snapshot.
+func (s *Server) summarizeAt(d *design, snap *incsta.Snapshot, ci int) (DesignSummary, error) {
+	res, err := snap.ResultAt(ci)
+	if err != nil {
+		return DesignSummary{}, err
+	}
 	arr := make(map[string]float64, len(res.ArrivalQ))
 	for n, v := range res.ArrivalQ {
 		arr[strconv.Itoa(n)] = v * 1e12
 	}
 	st := snap.Stats()
-	return DesignSummary{
+	sum := DesignSummary{
 		Name: d.name, Gates: d.eng.GateCount(), Endpoints: res.Endpoints,
 		Version: snap.Version(), ArrivalPs: arr, Stats: st, HitRatio: st.CacheHitRatio(),
 	}
+	if corners := snap.Corners(); len(corners) > 1 || corners[0] != (sta.Corner{}) {
+		sum.Corner = corners[ci].Label(ci)
+		for i, c := range corners {
+			sum.Corners = append(sum.Corners, c.Label(i))
+		}
+	}
+	return sum, nil
+}
+
+// cornerOf resolves the ?corner= query parameter against a pinned snapshot
+// ("" = primary corner 0).
+func cornerOf(snap *incsta.Snapshot, name string) (int, error) {
+	ci, ok := snap.CornerIndex(name)
+	if !ok {
+		return 0, fmt.Errorf("unknown corner %q", name)
+	}
+	return ci, nil
 }
 
 func (s *Server) handleSummary(w http.ResponseWriter, r *http.Request) {
 	d, ok := s.design(r.PathValue("name"))
 	if !ok {
-		httpError(w, http.StatusNotFound, "no design %q", r.PathValue("name"))
+		httpError(w, http.StatusNotFound, codeNotFound, "no design %q", r.PathValue("name"))
 		return
 	}
-	writeJSON(w, http.StatusOK, s.summarize(d))
+	snap := d.eng.Snapshot()
+	ci, err := cornerOf(snap, r.URL.Query().Get("corner"))
+	if err != nil {
+		httpError(w, http.StatusBadRequest, codeInvalidRequest, "%v", err)
+		return
+	}
+	sum, err := s.summarizeAt(d, snap, ci)
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, codeInternal, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, sum)
 }
 
 // GateInfo is one entry of the GET /designs/{name}/gates response — the
@@ -339,7 +477,7 @@ type GateInfo struct {
 func (s *Server) handleGates(w http.ResponseWriter, r *http.Request) {
 	d, ok := s.design(r.PathValue("name"))
 	if !ok {
-		httpError(w, http.StatusNotFound, "no design %q", r.PathValue("name"))
+		httpError(w, http.StatusNotFound, codeNotFound, "no design %q", r.PathValue("name"))
 		return
 	}
 	nl, _ := d.eng.CopyDesign()
@@ -350,25 +488,12 @@ func (s *Server) handleGates(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{"design": d.name, "gates": gates})
 }
 
-func (s *Server) handlePaths(w http.ResponseWriter, r *http.Request) {
-	d, ok := s.design(r.PathValue("name"))
-	if !ok {
-		httpError(w, http.StatusNotFound, "no design %q", r.PathValue("name"))
-		return
-	}
-	k := 5
-	if q := r.URL.Query().Get("k"); q != "" {
-		var err error
-		if k, err = strconv.Atoi(q); err != nil || k <= 0 {
-			httpError(w, http.StatusBadRequest, "k must be a positive integer")
-			return
-		}
-	}
-	snap := d.eng.Snapshot()
-	paths, err := snap.WorstPaths(k)
+// pathsAt builds the k-worst-paths payload of one corner from a pinned
+// snapshot — shared by the paths route and the batch endpoint.
+func (s *Server) pathsAt(d *design, snap *incsta.Snapshot, ci, k int) (map[string]any, error) {
+	paths, err := snap.WorstPathsAt(ci, k)
 	if err != nil {
-		httpError(w, http.StatusInternalServerError, "paths: %v", err)
-		return
+		return nil, err
 	}
 	levels := d.eng.Options().Levels
 	out := make([]PathSummary, len(paths))
@@ -382,32 +507,43 @@ func (s *Server) handlePaths(w http.ResponseWriter, r *http.Request) {
 			QuantilePs: q, MeanDelayPs: p.Mean() * 1e12,
 		}
 	}
-	writeJSON(w, http.StatusOK, map[string]any{"version": snap.Version(), "paths": out})
+	return map[string]any{"version": snap.Version(), "paths": out}, nil
 }
 
-func (s *Server) handleSlacks(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handlePaths(w http.ResponseWriter, r *http.Request) {
 	d, ok := s.design(r.PathValue("name"))
 	if !ok {
-		httpError(w, http.StatusNotFound, "no design %q", r.PathValue("name"))
+		httpError(w, http.StatusNotFound, codeNotFound, "no design %q", r.PathValue("name"))
 		return
 	}
-	periodPs, err := strconv.ParseFloat(r.URL.Query().Get("period_ps"), 64)
-	if err != nil || periodPs <= 0 {
-		httpError(w, http.StatusBadRequest, "period_ps must be a positive number")
-		return
-	}
-	level := 3
-	if q := r.URL.Query().Get("level"); q != "" {
-		if level, err = strconv.Atoi(q); err != nil {
-			httpError(w, http.StatusBadRequest, "level must be an integer sigma level")
+	k := 5
+	if q := r.URL.Query().Get("k"); q != "" {
+		var err error
+		if k, err = strconv.Atoi(q); err != nil || k <= 0 {
+			httpError(w, http.StatusBadRequest, codeInvalidRequest, "k must be a positive integer")
 			return
 		}
 	}
 	snap := d.eng.Snapshot()
-	slacks, err := snap.EndpointSlacks(periodPs*1e-12, level)
+	ci, err := cornerOf(snap, r.URL.Query().Get("corner"))
 	if err != nil {
-		httpError(w, http.StatusBadRequest, "slacks: %v", err)
+		httpError(w, http.StatusBadRequest, codeInvalidRequest, "%v", err)
 		return
+	}
+	payload, err := s.pathsAt(d, snap, ci, k)
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, codeInternal, "paths: %v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, payload)
+}
+
+// slacksAt builds the endpoint-slack payload of one corner from a pinned
+// snapshot — shared by the slacks route and the batch endpoint.
+func slacksAt(snap *incsta.Snapshot, ci int, periodPs float64, level int) (map[string]any, error) {
+	slacks, err := snap.EndpointSlacksAt(ci, periodPs*1e-12, level)
+	if err != nil {
+		return nil, err
 	}
 	wns := 0.0
 	first := true
@@ -419,21 +555,53 @@ func (s *Server) handleSlacks(w http.ResponseWriter, r *http.Request) {
 			first = false
 		}
 	}
-	writeJSON(w, http.StatusOK, map[string]any{
+	return map[string]any{
 		"version": snap.Version(), "period_ps": periodPs, "level": level,
 		"wns_ps": wns, "slacks_ps": out,
-	})
+	}, nil
+}
+
+func (s *Server) handleSlacks(w http.ResponseWriter, r *http.Request) {
+	d, ok := s.design(r.PathValue("name"))
+	if !ok {
+		httpError(w, http.StatusNotFound, codeNotFound, "no design %q", r.PathValue("name"))
+		return
+	}
+	periodPs, err := strconv.ParseFloat(r.URL.Query().Get("period_ps"), 64)
+	if err != nil || periodPs <= 0 {
+		httpError(w, http.StatusBadRequest, codeInvalidRequest, "period_ps must be a positive number")
+		return
+	}
+	level := 3
+	if q := r.URL.Query().Get("level"); q != "" {
+		if level, err = strconv.Atoi(q); err != nil {
+			httpError(w, http.StatusBadRequest, codeInvalidRequest, "level must be an integer sigma level")
+			return
+		}
+	}
+	snap := d.eng.Snapshot()
+	ci, err := cornerOf(snap, r.URL.Query().Get("corner"))
+	if err != nil {
+		httpError(w, http.StatusBadRequest, codeInvalidRequest, "%v", err)
+		return
+	}
+	payload, err := slacksAt(snap, ci, periodPs, level)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, codeInvalidRequest, "slacks: %v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, payload)
 }
 
 func (s *Server) handleEdit(w http.ResponseWriter, r *http.Request) {
 	d, ok := s.design(r.PathValue("name"))
 	if !ok {
-		httpError(w, http.StatusNotFound, "no design %q", r.PathValue("name"))
+		httpError(w, http.StatusNotFound, codeNotFound, "no design %q", r.PathValue("name"))
 		return
 	}
 	var req EditRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		httpError(w, http.StatusBadRequest, "bad edit request: %v", err)
+		httpErrorDetail(w, http.StatusBadRequest, codeInvalidRequest, "bad edit request", err)
 		return
 	}
 	var apply func() (*incsta.Report, error)
@@ -447,12 +615,13 @@ func (s *Server) handleEdit(w http.ResponseWriter, r *http.Request) {
 	case "set_net_parasitics":
 		apply = func() (*incsta.Report, error) { return d.eng.SetNetParasitics(req.Net, req.Tree) }
 	default:
-		httpError(w, http.StatusBadRequest, "unknown op %q", req.Op)
+		httpError(w, http.StatusBadRequest, codeInvalidRequest, "unknown op %q", req.Op)
 		return
 	}
 	rep, err := d.submit(r.Context(), apply)
 	if err != nil {
-		httpError(w, editStatus(err), "%v", err)
+		status, code := editStatus(err)
+		httpError(w, status, code, "%v", err)
 		return
 	}
 	writeJSON(w, http.StatusOK, EditResponse{
@@ -460,4 +629,119 @@ func (s *Server) handleEdit(w http.ResponseWriter, r *http.Request) {
 		Seeded: rep.Seeded, Reevaluated: rep.Reevaluated,
 		Cut: rep.Cut, Endpoints: rep.Endpoints,
 	})
+}
+
+// maxBatchQueries bounds one batch request; larger batches are rejected with
+// 413 batch_too_large rather than silently truncated.
+const maxBatchQueries = 256
+
+// BatchQuery is one query of a batch request. Kind selects the view
+// ("summary", "paths" or "slacks"); the remaining fields mirror the query
+// parameters of the corresponding single-query route.
+type BatchQuery struct {
+	Kind     string  `json:"kind"`
+	Corner   string  `json:"corner,omitempty"`
+	K        int     `json:"k,omitempty"`         // paths: how many (default 5)
+	PeriodPs float64 `json:"period_ps,omitempty"` // slacks: clock period
+	Level    *int    `json:"level,omitempty"`     // slacks: sigma level (default 3)
+}
+
+// BatchRequest asks for several views of one design at one consistent
+// version: the server pins a single snapshot and serves every query from it.
+type BatchRequest struct {
+	Queries []BatchQuery `json:"queries"`
+}
+
+// BatchResult is the outcome of one batch query: either a result payload or
+// a per-query error (a bad query does not fail its siblings).
+type BatchResult struct {
+	Kind   string       `json:"kind"`
+	Corner string       `json:"corner,omitempty"`
+	Result any          `json:"result,omitempty"`
+	Error  *ErrorDetail `json:"error,omitempty"`
+}
+
+// BatchResponse carries every result plus the snapshot version they were all
+// served from.
+type BatchResponse struct {
+	Version uint64        `json:"version"`
+	Results []BatchResult `json:"results"`
+}
+
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	d, ok := s.design(r.PathValue("name"))
+	if !ok {
+		httpError(w, http.StatusNotFound, codeNotFound, "no design %q", r.PathValue("name"))
+		return
+	}
+	var req BatchRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpErrorDetail(w, http.StatusBadRequest, codeInvalidRequest, "bad batch request", err)
+		return
+	}
+	if len(req.Queries) == 0 {
+		httpError(w, http.StatusBadRequest, codeInvalidRequest, "batch needs at least one query")
+		return
+	}
+	if len(req.Queries) > maxBatchQueries {
+		httpError(w, http.StatusRequestEntityTooLarge, codeTooLarge,
+			"batch of %d queries exceeds the limit of %d", len(req.Queries), maxBatchQueries)
+		return
+	}
+
+	// One snapshot serves the whole batch: every answer reflects the same
+	// edit version, however many edits land while we iterate.
+	snap := d.eng.Snapshot()
+	resp := BatchResponse{Version: snap.Version(), Results: make([]BatchResult, len(req.Queries))}
+	for i, q := range req.Queries {
+		br := BatchResult{Kind: q.Kind, Corner: q.Corner}
+		br.Result, br.Error = s.batchQuery(d, snap, q)
+		resp.Results[i] = br
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// batchQuery answers one query of a batch from the pinned snapshot.
+func (s *Server) batchQuery(d *design, snap *incsta.Snapshot, q BatchQuery) (any, *ErrorDetail) {
+	ci, err := cornerOf(snap, q.Corner)
+	if err != nil {
+		return nil, &ErrorDetail{Code: codeInvalidRequest, Message: err.Error()}
+	}
+	switch q.Kind {
+	case "summary":
+		sum, err := s.summarizeAt(d, snap, ci)
+		if err != nil {
+			return nil, &ErrorDetail{Code: codeInternal, Message: err.Error()}
+		}
+		return sum, nil
+	case "paths":
+		k := q.K
+		if k == 0 {
+			k = 5
+		}
+		if k < 0 {
+			return nil, &ErrorDetail{Code: codeInvalidRequest, Message: "k must be a positive integer"}
+		}
+		payload, err := s.pathsAt(d, snap, ci, k)
+		if err != nil {
+			return nil, &ErrorDetail{Code: codeInternal, Message: "paths: " + err.Error()}
+		}
+		return payload, nil
+	case "slacks":
+		if q.PeriodPs <= 0 {
+			return nil, &ErrorDetail{Code: codeInvalidRequest, Message: "period_ps must be a positive number"}
+		}
+		level := 3
+		if q.Level != nil {
+			level = *q.Level
+		}
+		payload, err := slacksAt(snap, ci, q.PeriodPs, level)
+		if err != nil {
+			return nil, &ErrorDetail{Code: codeInvalidRequest, Message: "slacks: " + err.Error()}
+		}
+		return payload, nil
+	default:
+		return nil, &ErrorDetail{Code: codeInvalidRequest,
+			Message: fmt.Sprintf("unknown query kind %q (want summary, paths or slacks)", q.Kind)}
+	}
 }

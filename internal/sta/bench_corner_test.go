@@ -1,0 +1,68 @@
+package sta
+
+import (
+	"context"
+	"testing"
+)
+
+// fourCorners is the PR 5 benchmark operating-point set: a typical corner,
+// a fast-input corner, a cap-derated corner, and a pessimistic combination.
+var fourCorners = []Corner{
+	{Name: "typ"},
+	{Name: "fastin", InputSlew: 20e-12},
+	{Name: "slowext", CapScale: 1.15},
+	{Name: "worst", InputSlew: 120e-12, CapScale: 1.3},
+}
+
+// benchAnalyzeCorners measures one full multi-corner analysis of the
+// largest synthetic benchmark, either batched (one traversal evaluates all
+// corners per gate, sharing sink lookup, raw Elmore and arc resolution) or
+// as independent per-corner traversals — the pre-batching strategy.
+func benchAnalyzeCorners(b *testing.B, batched bool) {
+	timer := benchTimer(b, "c7552")
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if batched {
+			res, err := timer.AnalyzeAll(ctx, AnalyzeOptions{
+				Corners: CornerSet{Corners: fourCorners},
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if len(res) != len(fourCorners) {
+				b.Fatalf("batched analysis returned %d results", len(res))
+			}
+		} else {
+			for _, c := range fourCorners {
+				if _, err := timer.AnalyzeAll(ctx, AnalyzeOptions{
+					Corners: CornerSet{Corners: []Corner{c}},
+				}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	}
+}
+
+func BenchmarkCorners4Separate(b *testing.B) { benchAnalyzeCorners(b, false) }
+func BenchmarkCorners4Batched(b *testing.B)  { benchAnalyzeCorners(b, true) }
+
+// BenchmarkCorners4BatchedParallel adds the wavefront worker pool on top of
+// corner batching. On a single-CPU host this measures scheduling overhead
+// rather than speedup; on multi-core machines it compounds with batching.
+func BenchmarkCorners4BatchedParallel(b *testing.B) {
+	timer := benchTimer(b, "c7552")
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := timer.AnalyzeAll(ctx, AnalyzeOptions{
+			Corners:     CornerSet{Corners: fourCorners},
+			Parallelism: 4,
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

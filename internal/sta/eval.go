@@ -3,9 +3,9 @@ package sta
 import (
 	"fmt"
 	"math"
-	"sort"
 
 	"repro/internal/netlist"
+	"repro/internal/nsigma"
 	"repro/internal/rctree"
 	"repro/internal/stats"
 	"repro/internal/timinglib"
@@ -96,77 +96,161 @@ func (t *Timer) InputState(net string) [2]NetState {
 // T_c(nσ) from the coefficients file, and keeps the per-level max with the
 // level-0 winner carrying the backtracking metadata. Input pins are visited
 // in sorted order, so ties resolve deterministically. arcs counts the cell
-// arcs timed (the paper's runtime driver).
+// arcs timed (the paper's runtime driver). It is the single-corner view of
+// EvalGateBatch under the timer's own corner.
 func (t *Timer) EvalGate(gi int, state StateMap) (out [2]NetState, arcs int, err error) {
+	outs, arcs, err := t.EvalGateBatch(gi, []StateMap{state}, []Corner{t.corner})
+	if err != nil {
+		return out, arcs, err
+	}
+	return outs[0], arcs, nil
+}
+
+// EvalGateBatch evaluates one gate under several corners in a single
+// structural pass. The per-pin structural work — sink-leaf resolution, the
+// raw Elmore delay, the wire variability X_w and the cell-arc lookup — does
+// not depend on the corner, so it is computed once and shared; only the
+// corner-marginal arithmetic (cap derate, wire transport, PERI slew, moment
+// interpolation, quantiles) runs per corner. states[i] is the propagated
+// state of corners[i]; outs[i] is its output-net state. The arithmetic per
+// corner is exactly EvalGate's, in the same order, so a batch result is
+// bit-identical to evaluating each corner alone. arcs counts structurally
+// timed cell arcs (corner-independent).
+func (t *Timer) EvalGateBatch(gi int, states []StateMap, corners []Corner) (outs [][2]NetState, arcs int, err error) {
+	if len(states) != len(corners) {
+		return nil, 0, fmt.Errorf("sta: EvalGateBatch: %d states for %d corners", len(states), len(corners))
+	}
 	g := &t.nl.Gates[gi]
 	outNet := g.Output()
 	tree := t.trees[outNet]
 	if tree == nil {
-		return out, 0, fmt.Errorf("sta: gate %s output net %s has no tree", g.Name, outNet)
+		return nil, 0, fmt.Errorf("sta: gate %s output net %s has no tree", g.Name, outNet)
 	}
-	load := tree.TotalCap()
-	pins := make([]string, 0, len(g.Pins)-1)
-	for pin := range g.Pins {
-		if pin != "Y" {
-			pins = append(pins, pin)
+	totalCap := tree.TotalCap()
+	pins := t.pinsOf[gi]
+	outs = make([][2]NetState, len(corners))
+	best := make([]NetState, len(corners))
+	// Scratch for the corner-marginal loop: per-corner running maxima and the
+	// winner's quantiles accumulate in level-indexed slices, and the maps a
+	// NetState carries are materialised once per (corner, edge) after the pin
+	// loop — losing pins and superseded winners allocate nothing. li0 locates
+	// sigma level 0, the winner-selection level.
+	levels := t.opt.Levels
+	nlev := len(levels)
+	cand := make([]float64, nlev)
+	qs := make([]float64, nlev)
+	bestArr := make([]float64, len(corners)*nlev)
+	bestQ := make([]float64, len(corners)*nlev)
+	bestArc := make([]*nsigma.ArcModel, len(corners))
+	li0 := -1
+	for li, n := range levels {
+		if n == 0 {
+			li0 = li
 		}
 	}
-	sort.Strings(pins)
+	const ln9 = 2.1972245773362196
 	for _, outEdge := range []waveform.Edge{waveform.Falling, waveform.Rising} {
 		inEdge := outEdge.Opposite()
-		best := NetState{}
+		for ci := range best {
+			best[ci] = NetState{}
+		}
 		for _, pin := range pins {
 			inNet := g.Pins[pin]
-			inSt := state.At(inNet)[EdgeIdx(inEdge)]
-			if !inSt.Valid {
+			// Validity is structural (which fanin cones have propagated), so
+			// it agrees across corners; skip the structural work when no
+			// corner has a valid state on this pin.
+			anyValid := false
+			for _, state := range states {
+				if state.At(inNet)[EdgeIdx(inEdge)].Valid {
+					anyValid = true
+					break
+				}
+			}
+			if !anyValid {
 				continue
 			}
-			// Arrival and slew at this pin = net root + wire.
+			// Corner-independent structural work, computed once per pin.
 			sinkIdx, leaf, err := t.sinkLeaf(inNet, gi, pin)
 			if err != nil {
-				return out, arcs, err
+				return outs, arcs, err
 			}
-			pinArr, pinSlew, err := t.atLeaf(inNet, &inSt, leaf, gi)
+			rawElmore := t.trees[inNet].Elmore(leaf)
+			xw, err := t.xwFor(inNet, gi)
 			if err != nil {
-				return out, arcs, err
+				return outs, arcs, err
 			}
 			arc, err := t.lib.Arc(g.Cell, pin, inEdge)
 			if err != nil {
-				return out, arcs, err
+				return outs, arcs, err
 			}
 			arcs++
-			moms := arc.MomentsAt(pinSlew, load)
-			quant := make(map[int]float64, len(t.opt.Levels))
-			cand := make(map[int]float64, len(t.opt.Levels))
-			for _, n := range t.opt.Levels {
-				q := arc.Quant.Quantile(moms, n)
-				quant[n] = q
-				cand[n] = pinArr[n] + q
-			}
-			if !best.Valid || cand[0] > best.Arr[0] {
-				best = NetState{
-					Arr: cand, Valid: true,
-					Slew:       arc.OutSlew(pinSlew, load),
-					Moms:       moms,
-					Quant:      quant,
-					InPin:      pin,
-					InEdge:     inEdge,
-					InSlew:     pinSlew,
-					Load:       load,
-					WinSinkIdx: sinkIdx,
+			// Corner-marginal arithmetic — EvalGate's exact sequence.
+			for ci, c := range corners {
+				inSt := states[ci].At(inNet)[EdgeIdx(inEdge)]
+				if !inSt.Valid {
+					continue
 				}
-			} else {
-				// Keep the per-level max even when level 0 loses.
-				for _, n := range t.opt.Levels {
-					if cand[n] > best.Arr[n] {
-						best.Arr[n] = cand[n]
+				elmore := c.scaled(rawElmore)
+				load := c.scaled(totalCap)
+				pinSlew := math.Sqrt(inSt.Slew*inSt.Slew + (ln9*elmore)*(ln9*elmore))
+				moms := arc.MomentsAt(pinSlew, load)
+				base := ci * nlev
+				for li, n := range levels {
+					q := arc.Quant.Quantile(moms, n)
+					qs[li] = q
+					// Same association as the classic per-pin map build:
+					// (arrival + wire transport) + cell quantile.
+					cand[li] = (inSt.Arr[n] + (1+float64(n)*xw)*elmore) + q
+				}
+				var cand0, best0 float64
+				if li0 >= 0 {
+					cand0 = cand[li0]
+					best0 = bestArr[base+li0]
+				}
+				if !best[ci].Valid || cand0 > best0 {
+					copy(bestArr[base:base+nlev], cand)
+					copy(bestQ[base:base+nlev], qs)
+					bestArc[ci] = arc
+					best[ci] = NetState{
+						Valid:      true,
+						Moms:       moms,
+						InPin:      pin,
+						InEdge:     inEdge,
+						InSlew:     pinSlew,
+						Load:       load,
+						WinSinkIdx: sinkIdx,
+					}
+				} else {
+					// Keep the per-level max even when level 0 loses.
+					for li := range levels {
+						if cand[li] > bestArr[base+li] {
+							bestArr[base+li] = cand[li]
+						}
 					}
 				}
 			}
 		}
-		out[EdgeIdx(outEdge)] = best
+		// Materialise the per-corner winners: one Arr/Quant map pair per
+		// (corner, edge), holding the winner's quantiles and the merged
+		// per-level maxima, with the winner's output slew.
+		for ci := range corners {
+			st := best[ci]
+			if st.Valid {
+				base := ci * nlev
+				arr := make(map[int]float64, nlev)
+				quant := make(map[int]float64, nlev)
+				for li, n := range levels {
+					arr[n] = bestArr[base+li]
+					quant[n] = bestQ[base+li]
+				}
+				st.Arr = arr
+				st.Quant = quant
+				st.Slew = bestArc[ci].OutSlew(st.InSlew, st.Load)
+			}
+			outs[ci][EdgeIdx(outEdge)] = st
+		}
 	}
-	return out, arcs, nil
+	return outs, arcs, nil
 }
 
 // EndpointEntry is one timed endpoint of a primary-output net: the

@@ -11,4 +11,12 @@ var (
 		"Gate-arc evaluations performed by full analyses.")
 	hAnalyzeSeconds = obs.Default().Histogram("sta_analyze_seconds",
 		"Wall time of one full timing analysis.")
+	gWorkersBusy = obs.Default().Gauge("sta_workers_busy",
+		"Wavefront worker goroutines currently evaluating gates.")
+	hLevelParallelism = obs.Default().Histogram("sta_level_parallelism",
+		"Workers used per wavefront level (min of Parallelism and level width).")
+	mCornerBatches = obs.Default().Counter("sta_corner_batches_total",
+		"Analyses that batched more than one corner through a single traversal.")
+	mCornerGateEvals = obs.Default().Counter("sta_corner_gate_evals_total",
+		"Per-corner gate evaluations (gates × corners) across all analyses.")
 )

@@ -1,0 +1,237 @@
+package sta
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/resilience"
+)
+
+// This file is the wavefront scheduler — the one propagation engine behind
+// every analysis. The levelized netlist is evaluated level by level: gates
+// within a level have no data dependencies (a gate's level is one past its
+// deepest fanin driver, so same-level gates never read each other's
+// outputs), which makes each level an embarrassingly parallel wavefront.
+// Workers buffer their per-gate outputs; after a per-level join a single
+// goroutine commits them in slice-index order. Because every gate's
+// arithmetic is self-contained (no cross-gate floating-point accumulation),
+// the committed values are bit-identical at any worker count — parallelism
+// changes only the wall-clock, never a single bit of the result.
+
+// AnalyzeAll times the design under every corner of the set in one
+// levelized traversal, optionally spreading each wavefront level across a
+// bounded worker pool. results[i] belongs to opts.Corners.Corners[i] (one
+// neutral/timer-corner result when the set is empty). Results are
+// bit-identical to running each corner through a sequential Analyze, at any
+// Parallelism.
+func (t *Timer) AnalyzeAll(ctx context.Context, opts AnalyzeOptions) ([]*Result, error) {
+	results, _, err := t.analyzeCorners(ctx, opts)
+	return results, err
+}
+
+// AnalyzeAllStates is AnalyzeAll also returning the per-corner propagated
+// states, for callers that backtrack further paths (top-k reporting,
+// incremental snapshots).
+func (t *Timer) AnalyzeAllStates(ctx context.Context, opts AnalyzeOptions) ([]*Result, []StateMap, error) {
+	return t.analyzeCorners(ctx, opts)
+}
+
+// analyzeCorners is the wavefront engine proper.
+func (t *Timer) analyzeCorners(ctx context.Context, opts AnalyzeOptions) ([]*Result, []StateMap, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	t0 := time.Now()
+	if err := opts.Corners.validate(); err != nil {
+		return nil, nil, err
+	}
+	// The evaluation timer: the receiver, with the set's Levels override
+	// applied when present.
+	et := t
+	if len(opts.Corners.Levels) > 0 {
+		o := t.opt
+		o.Levels = opts.Corners.Levels
+		var err error
+		et, err = t.WithOptions(o)
+		if err != nil {
+			return nil, nil, err
+		}
+	}
+	corners := []Corner{t.corner}
+	if len(opts.Corners.Corners) > 0 {
+		corners = opts.Corners.Corners
+	}
+	timers := make([]*Timer, len(corners))
+	for ci, c := range corners {
+		tc, err := et.WithCorner(c)
+		if err != nil {
+			return nil, nil, err
+		}
+		timers[ci] = tc
+	}
+	par := opts.Parallelism
+	if par < 1 {
+		par = 1
+	}
+	order, err := t.nl.Levelize()
+	if err != nil {
+		return nil, nil, err
+	}
+	groups := t.levelGroups(order)
+	ctx, span := obs.StartSpan(ctx, "sta_analyze",
+		obs.A("gates", len(order)), obs.A("corners", len(corners)),
+		obs.A("parallelism", par))
+	defer span.End()
+
+	// Pre-seed every net the propagation touches, so worker goroutines only
+	// ever read existing StateMap entries — a lazy At() insertion from a
+	// worker would be a concurrent map write. Primary inputs get their
+	// corner-specific boundary state; gate outputs get invalid placeholders
+	// the per-level commits fill in.
+	states := make([]StateMap, len(corners))
+	for ci, tc := range timers {
+		state := make(StateMap, t.nl.NumNets())
+		for _, in := range t.nl.Inputs {
+			*state.At(in) = tc.InputState(in)
+		}
+		for gi := range t.nl.Gates {
+			state.At(t.nl.Gates[gi].Output())
+		}
+		states[ci] = state
+	}
+
+	type gateOut struct {
+		outs [][2]NetState
+		arcs int
+	}
+	gatesTimed := 0
+	// Cancellation granularity: every 64 gates (and before the first), per
+	// evaluating goroutine. Gate evaluation is cheap LUT lookups, so this
+	// bounds cancel latency without a branch-heavy hot loop.
+	checkEvery := 1
+	for lvl, grp := range groups {
+		if len(grp) == 0 {
+			continue
+		}
+		workers := par
+		if workers > len(grp) {
+			workers = len(grp)
+		}
+		lctx, lspan := obs.StartSpan(ctx, "sta_level",
+			obs.A("level", lvl), obs.A("gates", len(grp)), obs.A("workers", workers))
+		hLevelParallelism.Observe(float64(workers))
+		buf := make([]gateOut, len(grp))
+		var lerr error
+		if workers == 1 {
+			for i, gi := range grp {
+				checkEvery--
+				if checkEvery <= 0 {
+					checkEvery = 64
+					if err := lctx.Err(); err != nil {
+						lerr = resilience.Wrap("sta: analyze", err)
+						break
+					}
+				}
+				outs, arcs, err := et.EvalGateBatch(gi, states, corners)
+				if err != nil {
+					lerr = err
+					break
+				}
+				buf[i] = gateOut{outs: outs, arcs: arcs}
+			}
+		} else {
+			errs := make([]error, len(grp))
+			var next atomic.Int64
+			var stop atomic.Bool
+			var wg sync.WaitGroup
+			for w := 0; w < workers; w++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					gWorkersBusy.Add(1)
+					defer gWorkersBusy.Add(-1)
+					countdown := 1
+					for {
+						i := int(next.Add(1)) - 1
+						if i >= len(grp) || stop.Load() {
+							return
+						}
+						countdown--
+						if countdown <= 0 {
+							countdown = 64
+							if err := lctx.Err(); err != nil {
+								errs[i] = resilience.Wrap("sta: analyze", err)
+								stop.Store(true)
+								return
+							}
+						}
+						outs, arcs, err := et.EvalGateBatch(grp[i], states, corners)
+						if err != nil {
+							errs[i] = err
+							stop.Store(true)
+							return
+						}
+						buf[i] = gateOut{outs: outs, arcs: arcs}
+					}
+				}()
+			}
+			wg.Wait()
+			// Lowest-index error wins, so the reported failure does not
+			// depend on goroutine scheduling.
+			for _, err := range errs {
+				if err != nil {
+					lerr = err
+					break
+				}
+			}
+		}
+		lspan.End()
+		if lerr != nil {
+			return nil, nil, lerr
+		}
+		// Deterministic reduction: commit the buffered outputs in slice
+		// order on this goroutine. Same-level gates never read each other's
+		// outputs, so ordering cannot change any value — it pins the write
+		// sequence so the whole analysis is one deterministic trace.
+		for i, gi := range grp {
+			outNet := t.nl.Gates[gi].Output()
+			for ci := range states {
+				*states[ci].At(outNet) = buf[i].outs[ci]
+			}
+			gatesTimed += buf[i].arcs
+		}
+	}
+
+	// Endpoints and per-corner results.
+	results := make([]*Result, len(corners))
+	for ci, tc := range timers {
+		ep := make(map[string][]EndpointEntry, len(t.nl.Outputs))
+		for _, po := range t.nl.Outputs {
+			if _, done := ep[po]; done {
+				continue
+			}
+			entries, err := tc.EndpointsForNet(po, states[ci])
+			if err != nil {
+				return nil, nil, err
+			}
+			ep[po] = entries
+		}
+		res, err := tc.ResultFrom(states[ci], ep)
+		if err != nil {
+			return nil, nil, err
+		}
+		res.GatesTimed = gatesTimed
+		results[ci] = res
+	}
+	mAnalyses.Inc()
+	mGatesEvaluated.Add(uint64(gatesTimed))
+	mCornerGateEvals.Add(uint64(gatesTimed * len(corners)))
+	if len(corners) > 1 {
+		mCornerBatches.Inc()
+	}
+	hAnalyzeSeconds.ObserveSince(t0)
+	return results, states, nil
+}

@@ -9,12 +9,10 @@ import (
 	"context"
 	"fmt"
 	"math"
-	"time"
+	"sort"
 
 	"repro/internal/netlist"
-	"repro/internal/obs"
 	"repro/internal/rctree"
-	"repro/internal/resilience"
 	"repro/internal/stats"
 	"repro/internal/timinglib"
 	"repro/internal/waveform"
@@ -56,14 +54,6 @@ func (o *Options) setDefaults() {
 	}
 }
 
-// inputSlewFor returns the effective input transition of a primary-input
-// net: the per-net override when present, the global default otherwise.
-func (o *Options) inputSlewFor(net string) float64 {
-	if s, ok := o.InputSlews[net]; ok {
-		return s
-	}
-	return o.InputSlew
-}
 
 // Stage is one link of a timing path: a driving cell arc (absent for the
 // primary-input stage) followed by its output net up to the next pin. It
@@ -147,8 +137,17 @@ type Timer struct {
 	trees map[string]*rctree.Tree
 	opt   Options
 
+	// corner is the operating condition this timer evaluates under; the
+	// zero value is the neutral corner (no perturbation). Multi-corner
+	// batching derives one timer per corner via WithCorner.
+	corner Corner
+
 	fan map[string][]netlist.Sink
 	drv map[string]int
+	// pinsOf[gi] is gate gi's input pins in sorted order — structural, like
+	// fan/drv: ECO resizes swap cells within a footprint but never pins, so
+	// WithNetlist/WithTrees/WithCorner copies share it.
+	pinsOf [][]string
 }
 
 // NewTimer validates inputs and builds the structural maps.
@@ -162,6 +161,18 @@ func NewTimer(lib *timinglib.File, nl *netlist.Netlist, trees map[string]*rctree
 	}
 	t := &Timer{lib: lib, nl: nl, trees: trees, opt: opt,
 		fan: nl.FanoutMap(), drv: nl.DriverMap()}
+	t.pinsOf = make([][]string, len(nl.Gates))
+	for gi := range nl.Gates {
+		g := &nl.Gates[gi]
+		pins := make([]string, 0, len(g.Pins)-1)
+		for pin := range g.Pins {
+			if pin != "Y" {
+				pins = append(pins, pin)
+			}
+		}
+		sort.Strings(pins)
+		t.pinsOf[gi] = pins
+	}
 	for net, sinks := range t.fan {
 		if len(sinks) > 0 && trees[net] == nil {
 			return nil, fmt.Errorf("sta: net %s has no parasitic tree", net)
@@ -184,85 +195,16 @@ func (t *Timer) AnalyzeContext(ctx context.Context) (*Result, error) {
 }
 
 // analyzeInternal runs the propagation and also returns the per-net state
-// so callers (AnalyzeTopPaths) can backtrack additional paths. It is a
-// batch driver over the shared evaluation core in eval.go.
+// so callers (AnalyzeTopPaths) can backtrack additional paths. It is the
+// single-corner sequential driver over the wavefront engine in parallel.go
+// — exactly the same code path the parallel multi-corner analysis runs, at
+// parallelism 1 with the timer's own corner.
 func (t *Timer) analyzeInternal(ctx context.Context) (*Result, StateMap, error) {
-	if ctx == nil {
-		ctx = context.Background()
-	}
-	t0 := time.Now()
-	order, err := t.nl.Levelize()
+	results, states, err := t.analyzeCorners(ctx, AnalyzeOptions{})
 	if err != nil {
 		return nil, nil, err
 	}
-	ctx, span := obs.StartSpan(ctx, "sta_analyze", obs.A("gates", len(order)))
-	defer span.End()
-	state := make(StateMap, t.nl.NumNets())
-	for _, in := range t.nl.Inputs {
-		*state.At(in) = t.InputState(in)
-	}
-
-	gatesTimed := 0
-	// Cancellation granularity: every 64 gates (and before the first).
-	// Gate evaluation is cheap LUT lookups, so this bounds cancel latency
-	// without a branch-heavy hot loop.
-	checkEvery := 1
-	evalGroup := func(grp []int) error {
-		for _, gi := range grp {
-			checkEvery--
-			if checkEvery <= 0 {
-				checkEvery = 64
-				if err := ctx.Err(); err != nil {
-					return resilience.Wrap("sta: analyze", err)
-				}
-			}
-			out, arcs, err := t.EvalGate(gi, state)
-			if err != nil {
-				return err
-			}
-			gatesTimed += arcs
-			*state.At(t.nl.Gates[gi].Output()) = out
-		}
-		return nil
-	}
-	if obs.Trace.Enabled() {
-		// Evaluate by logic level — still a topological order, so the
-		// result is identical — giving the trace one span per level of the
-		// propagation wavefront.
-		for lvl, grp := range t.levelGroups(order) {
-			_, lspan := obs.StartSpan(ctx, "sta_level",
-				obs.A("level", lvl), obs.A("gates", len(grp)))
-			err := evalGroup(grp)
-			lspan.End()
-			if err != nil {
-				return nil, nil, err
-			}
-		}
-	} else if err := evalGroup(order); err != nil {
-		return nil, nil, err
-	}
-
-	// Endpoints: PO sinks.
-	ep := make(map[string][]EndpointEntry, len(t.nl.Outputs))
-	for _, po := range t.nl.Outputs {
-		if _, done := ep[po]; done {
-			continue
-		}
-		entries, err := t.EndpointsForNet(po, state)
-		if err != nil {
-			return nil, nil, err
-		}
-		ep[po] = entries
-	}
-	res, err := t.ResultFrom(state, ep)
-	if err != nil {
-		return nil, nil, err
-	}
-	res.GatesTimed = gatesTimed
-	mAnalyses.Inc()
-	mGatesEvaluated.Add(uint64(gatesTimed))
-	hAnalyzeSeconds.ObserveSince(t0)
-	return res, state, nil
+	return results[0], states[0], nil
 }
 
 // levelGroups partitions a topological order into logic levels: a gate's
@@ -297,7 +239,7 @@ func (t *Timer) levelGroups(order []int) [][]int {
 // Designs timed against a library without the pad-driver arc fall back to
 // the raw input slew.
 func (t *Timer) inputRootSlew(net string, e waveform.Edge) float64 {
-	inSlew := t.opt.inputSlewFor(net)
+	inSlew := t.effInputSlew(net)
 	tree := t.trees[net]
 	if tree == nil {
 		return inSlew
@@ -310,7 +252,7 @@ func (t *Timer) inputRootSlew(net string, e waveform.Edge) float64 {
 	if err != nil {
 		return inSlew
 	}
-	return arc.OutSlew(inSlew, tree.TotalCap())
+	return arc.OutSlew(inSlew, t.corner.scaled(tree.TotalCap()))
 }
 
 // sinkLeaf finds the fanout index and tree leaf of gate gi's pin on net.
@@ -345,7 +287,7 @@ func (t *Timer) poLeaf(net string, sinkIdx int) (int, error) {
 // (leaf² = root² + (ln9·Elmore)²).
 func (t *Timer) atLeaf(net string, st *NetState, leaf int, sinkGate int) (map[int]float64, float64, error) {
 	tree := t.trees[net]
-	elmore := tree.Elmore(leaf)
+	elmore := t.corner.scaled(tree.Elmore(leaf))
 	xw, err := t.xwFor(net, sinkGate)
 	if err != nil {
 		return nil, 0, err
@@ -416,7 +358,7 @@ func (t *Timer) backtrack(state StateMap, endNet string, endEdge waveform.Edge) 
 		} else {
 			p.Launch = l.edge
 			stg.InEdge = l.edge
-			stg.InSlew = t.opt.inputSlewFor(l.net)
+			stg.InSlew = t.effInputSlew(l.net)
 			st := state[l.net][EdgeIdx(l.edge)]
 			stg.OutSlew = st.Slew
 		}
@@ -456,7 +398,7 @@ func (t *Timer) backtrack(state StateMap, endNet string, endEdge waveform.Edge) 
 				return nil, fmt.Errorf("sta: endpoint %s has no PO leaf", l.net)
 			}
 		}
-		stg.Elmore = stg.Tree.Elmore(stg.SinkLeaf)
+		stg.Elmore = t.corner.scaled(stg.Tree.Elmore(stg.SinkLeaf))
 		sinkGate := -1
 		if i > 0 {
 			sinkGate = t.drv[rev[i-1].net]

@@ -77,6 +77,27 @@ type (
 	// TimingSnapshot is an immutable, lock-free-queryable view of an
 	// IncrementalEngine at one edit version.
 	TimingSnapshot = incsta.Snapshot
+	// Corner is one operating condition of a multi-corner analysis.
+	Corner = sta.Corner
+	// CornerSet is a batch of operating corners evaluated in one traversal.
+	CornerSet = sta.CornerSet
+	// AnalyzeOptions configures one Timer.AnalyzeAll call: the corner batch
+	// and the wavefront worker count.
+	AnalyzeOptions = sta.AnalyzeOptions
+)
+
+// Typed errors the facade's constructors and engines return. Callers match
+// them with errors.As to distinguish bad input from internal failures.
+type (
+	// EditError is the typed rejection of a malformed ECO edit (the engine
+	// state is untouched when one is returned).
+	EditError = incsta.EditError
+	// ParseError locates a syntax error in ISCAS85 .bench netlist text.
+	ParseError = netlist.ParseError
+	// SPEFError locates a syntax error in SPEF parasitics text.
+	SPEFError = rctree.SPEFError
+	// OptionsError reports an invalid analysis option or corner parameter.
+	OptionsError = sta.OptionsError
 )
 
 // Edge directions.
@@ -137,17 +158,116 @@ func ExtractParasitics(cfg *CharConfig, nl *Netlist, seed uint64) (map[string]*T
 	return layout.Extract(nl, cfg.Lib, par, pl)
 }
 
+// Option configures NewTimer or NewIncrementalEngine. The zero set of
+// options is valid as long as parasitics are supplied (WithParasitics).
+type Option func(*builderConfig)
+
+// builderConfig accumulates the functional options of both constructors.
+type builderConfig struct {
+	trees       map[string]*Tree
+	opt         STAOptions
+	corners     CornerSet
+	parallelism int
+	epsilon     float64
+}
+
+// WithParasitics supplies the per-net RC trees (from ExtractParasitics or a
+// SPEF reader). Required by both constructors.
+func WithParasitics(trees map[string]*Tree) Option {
+	return func(c *builderConfig) { c.trees = trees }
+}
+
+// WithSTAOptions sets the analysis options (sigma levels, input slews,
+// wire-variability fallbacks).
+func WithSTAOptions(opt STAOptions) Option {
+	return func(c *builderConfig) { c.opt = opt }
+}
+
+// WithCorners batches operating corners: an incremental engine carries one
+// timing state per corner through every edit; a Timer analyses them all in
+// one traversal via AnalyzeAll.
+func WithCorners(cs CornerSet) Option {
+	return func(c *builderConfig) { c.corners = cs }
+}
+
+// WithParallelism sets the wavefront worker count (0/1 = sequential;
+// results are bit-identical at every value).
+func WithParallelism(n int) Option {
+	return func(c *builderConfig) { c.parallelism = n }
+}
+
+// WithEpsilon sets the incremental early-termination cutoff in seconds
+// (0 = bit-exact snapshots). Ignored by NewTimer.
+func WithEpsilon(eps float64) Option {
+	return func(c *builderConfig) { c.epsilon = eps }
+}
+
+func applyOptions(opts []Option) (*builderConfig, error) {
+	c := &builderConfig{}
+	for _, o := range opts {
+		o(c)
+	}
+	if c.trees == nil {
+		return nil, &OptionsError{Field: "Parasitics",
+			Reason: "no parasitics: pass WithParasitics(trees)"}
+	}
+	return c, nil
+}
+
 // NewIncrementalEngine builds an incremental timing engine over a design:
 // one full analysis up front, then per-edit re-propagation of only the
 // affected cone, with snapshots bit-identical to a fresh analysis at
-// epsilon 0.
-func NewIncrementalEngine(lib *TimingFile, nl *Netlist, trees map[string]*Tree, cfg IncrementalConfig) (*IncrementalEngine, error) {
-	return incsta.New(lib, nl, trees, cfg)
+// epsilon 0. The context bounds the construction-time full analysis.
+//
+//	eng, err := repro.NewIncrementalEngine(ctx, lib, nl,
+//	    repro.WithParasitics(trees),
+//	    repro.WithCorners(repro.CornerSet{Corners: []repro.Corner{{Name: "slow", CapScale: 1.1}}}),
+//	    repro.WithParallelism(4))
+func NewIncrementalEngine(ctx context.Context, lib *TimingFile, nl *Netlist, opts ...Option) (*IncrementalEngine, error) {
+	c, err := applyOptions(opts)
+	if err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return incsta.New(lib, nl, c.trees, IncrementalConfig{
+		Options:     c.opt,
+		Epsilon:     c.epsilon,
+		Corners:     c.corners,
+		Parallelism: c.parallelism,
+	})
 }
 
 // NewTimer builds an N-sigma STA engine over a netlist, its parasitics and
-// a coefficients file.
-func NewTimer(lib *TimingFile, nl *Netlist, trees map[string]*Tree, opt STAOptions) (*Timer, error) {
+// a coefficients file. Corner and parallelism options become the defaults
+// of AnalyzeAll calls made through AnalyzeAllDefault; plain Analyze stays a
+// sequential neutral-corner run.
+//
+//	timer, err := repro.NewTimer(ctx, lib, nl, repro.WithParasitics(trees))
+//	res, err := timer.Analyze(ctx)
+func NewTimer(ctx context.Context, lib *TimingFile, nl *Netlist, opts ...Option) (*Timer, error) {
+	c, err := applyOptions(opts)
+	if err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return sta.NewTimer(lib, nl, c.trees, c.opt)
+}
+
+// NewIncrementalEngineLegacy is the pre-v1 constructor shape.
+//
+// Deprecated: use NewIncrementalEngine with functional options.
+func NewIncrementalEngineLegacy(lib *TimingFile, nl *Netlist, trees map[string]*Tree, cfg IncrementalConfig) (*IncrementalEngine, error) {
+	return incsta.New(lib, nl, trees, cfg)
+}
+
+// NewTimerLegacy is the pre-v1 constructor shape.
+//
+// Deprecated: use NewTimer with functional options.
+func NewTimerLegacy(lib *TimingFile, nl *Netlist, trees map[string]*Tree, opt STAOptions) (*Timer, error) {
 	return sta.NewTimer(lib, nl, trees, opt)
 }
 
