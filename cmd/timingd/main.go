@@ -16,12 +16,27 @@
 //	# several views of one pinned snapshot in a single round trip
 //	curl -X POST localhost:8080/v1/designs/c432/batch \
 //	     -d '{"queries":[{"kind":"summary"},{"kind":"paths","k":3,"corner":"slow"}]}'
-//	# readiness probe and Prometheus metrics
-//	curl localhost:8080/healthz
+//	# liveness, readiness and Prometheus metrics
+//	curl localhost:8080/v1/healthz
+//	curl localhost:8080/v1/readyz
 //	curl localhost:8080/metrics
 //
 // Pre-v1 routes (without the /v1 prefix) still work but answer with RFC 8594
 // Deprecation headers; see API.md for the full surface and error envelope.
+//
+// Durability: -data-dir gives every design a write-ahead log plus periodic
+// snapshots and replays them on startup, so acknowledged edits survive
+// kill -9 (-fsync always, the default, fsyncs each edit before the ack;
+// -fsync interval batches fsyncs on -fsync-interval). /v1/readyz answers 503
+// not_ready until recovery completes; -verify-recovery cross-checks every
+// recovered design against a fresh full analysis. Without -data-dir the
+// server is purely in-memory.
+//
+// Overload protection: -max-queries bounds concurrent query evaluation
+// (batches weigh their query count; FIFO waiting up to -admission-wait),
+// -edit-queue bounds each design's pending edits, -max-body-bytes caps
+// design uploads, and -request-timeout deadlines every request. Exceeding a
+// bound returns a typed 503 overloaded or 413 payload_too_large.
 //
 // Observability: -log-level/-log-json configure structured logs, -pprof
 // (off by default) mounts the net/http/pprof handlers under /debug/pprof/,
@@ -44,20 +59,34 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/libsynth"
 	"repro/internal/obs"
 	"repro/internal/resilience"
 	"repro/internal/server"
 	"repro/internal/timinglib"
+	"repro/internal/wal"
 )
 
 func main() {
 	var (
 		addr     = flag.String("addr", ":8080", "listen address")
-		libPath  = flag.String("lib", "coeffs.json", "coefficients file (from cmd/characterize)")
+		libPath  = flag.String("lib", "coeffs.json", "coefficients file (from cmd/characterize), or \"synth\" for the built-in synthetic library")
 		drainFor = flag.Duration("drain", 10*time.Second, "shutdown drain timeout")
 		pprofOn  = flag.Bool("pprof", false, "mount net/http/pprof handlers under /debug/pprof/")
 		traceOut = flag.String("trace-out", "", "record spans and write a Chrome trace_event JSON file here at shutdown")
-		logOpts  = obs.RegisterLogFlags(flag.CommandLine)
+
+		dataDir       = flag.String("data-dir", "", "durability root: per-design WAL + snapshots, crash recovery on startup (empty = in-memory only)")
+		fsyncPolicy   = flag.String("fsync", "always", "WAL fsync policy: always (acknowledged edits are durable) or interval")
+		fsyncInterval = flag.Duration("fsync-interval", 100*time.Millisecond, "background fsync period under -fsync interval")
+		snapInterval  = flag.Duration("snapshot-interval", 5*time.Minute, "how often each design folds its WAL into a fresh snapshot (0 = only at load and shutdown)")
+		verifyRec     = flag.Bool("verify-recovery", false, "cross-check every recovered design against a fresh full analysis at startup (slow)")
+		maxBodyBytes  = flag.Int64("max-body-bytes", 64<<20, "largest accepted design-load request body")
+		maxQueries    = flag.Int("max-queries", 256, "queries evaluated concurrently across the server; a batch counts as its query count (0 = unlimited)")
+		admWait       = flag.Duration("admission-wait", time.Second, "how long a query may queue for admission before 503 overloaded")
+		editQueue     = flag.Int("edit-queue", 64, "pending edits buffered per design before 503 overloaded")
+		reqTimeout    = flag.Duration("request-timeout", 2*time.Minute, "per-request context deadline (0 = none)")
+
+		logOpts = obs.RegisterLogFlags(flag.CommandLine)
 	)
 	flag.Parse()
 	if err := logOpts.Setup(); err != nil {
@@ -67,12 +96,38 @@ func main() {
 		obs.Trace.Enable(obs.DefaultSpanBuffer)
 	}
 
-	lib, err := timinglib.Load(*libPath)
-	if err != nil {
-		fatal("timingd: load library", resilience.Wrap("timingd: load library", err))
+	var lib *timinglib.File
+	if *libPath == "synth" {
+		// The synthetic characterisation-free library: full cell coverage with
+		// non-flat LUT planes. For smoke tests and development; not silicon.
+		lib = libsynth.File()
+	} else {
+		var err error
+		lib, err = timinglib.Load(*libPath)
+		if err != nil {
+			fatal("timingd: load library", resilience.Wrap("timingd: load library", err))
+		}
 	}
 
-	srv := server.New(lib)
+	opts := []server.Option{
+		server.WithMaxBodyBytes(*maxBodyBytes),
+		server.WithAdmission(*maxQueries, *admWait),
+		server.WithEditQueueDepth(*editQueue),
+		server.WithRequestTimeout(*reqTimeout),
+	}
+	if *dataDir != "" {
+		policy, err := wal.ParsePolicy(*fsyncPolicy)
+		if err != nil {
+			fatal("timingd: -fsync", err)
+		}
+		opts = append(opts, server.WithStore(server.NewStore(nil, *dataDir, server.StoreConfig{
+			Policy:           policy,
+			FsyncInterval:    *fsyncInterval,
+			SnapshotInterval: *snapInterval,
+			VerifyRecovery:   *verifyRec,
+		})))
+	}
+	srv := server.New(lib, opts...)
 	handler := http.Handler(srv.Handler())
 	if *pprofOn {
 		// pprof stays opt-in: profiling endpoints expose internals and cost
@@ -95,10 +150,23 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
+	// Recover concurrently with listening: /healthz answers immediately,
+	// /v1/readyz (and every design route) stays 503 not_ready until every
+	// persisted design has been rebuilt and its WAL tail replayed.
+	go func() {
+		t0 := time.Now()
+		if err := srv.Recover(context.Background()); err != nil {
+			fatal("timingd: recovery", resilience.Wrap("timingd: recovery", err))
+		}
+		if *dataDir != "" {
+			slog.Info("timingd: recovery complete", "data_dir", *dataDir, "took", time.Since(t0))
+		}
+	}()
+
 	errc := make(chan error, 1)
 	go func() {
 		slog.Info("timingd: serving", "addr", *addr, "library", *libPath,
-			"arcs", len(lib.Arcs), "pprof", *pprofOn)
+			"arcs", len(lib.Arcs), "pprof", *pprofOn, "data_dir", *dataDir)
 		errc <- hs.ListenAndServe()
 	}()
 

@@ -1,0 +1,115 @@
+package incsta
+
+import (
+	"context"
+	"encoding/json"
+	"testing"
+)
+
+// TestApplyEditMatchesTypedCalls drives the same script through ApplyEdit
+// (after a JSON round trip, as WAL replay would see it) and through the
+// typed methods on a second engine, and requires bit-identical results —
+// the determinism WAL recovery stands on. Rejected edits must be rejected
+// on both sides with *EditError and leave state untouched.
+func TestApplyEditMatchesTypedCalls(t *testing.T) {
+	a, _ := newTestEngine(t, diamond(), Config{})
+	b, _ := newTestEngine(t, diamond(), Config{})
+
+	script := []Edit{
+		{Op: OpResize, Gate: "U1", Strength: 4},
+		{Op: OpSetInputSlew, Net: "in", Slew: 18e-12},
+		{Op: OpSwap, Gate: "U2", Cell: "INVx2"},
+		{Op: OpResize, Gate: "nope", Strength: 2}, // rejected: unknown gate
+		{Op: OpSetInputSlew, Net: "in", Slew: -1}, // rejected: non-positive slew
+		{Op: OpSwap, Gate: "U1", Cell: "NAND2x1"}, // rejected: pin mismatch
+		{Op: "unknown_op"},                        // rejected: unknown op
+		{Op: OpResize, Gate: "U3", Strength: 8},
+		{Op: OpSetInputSlew, Net: "in", Slew: 9e-12},
+	}
+	typed := []func() (*Report, error){
+		func() (*Report, error) { return b.ResizeCell("U1", 4) },
+		func() (*Report, error) { return b.SetInputSlew("in", 18e-12) },
+		func() (*Report, error) { return b.SwapCell("U2", "INVx2") },
+		func() (*Report, error) { return b.ResizeCell("nope", 2) },
+		func() (*Report, error) { return b.SetInputSlew("in", -1) },
+		func() (*Report, error) { return b.SwapCell("U1", "NAND2x1") },
+		func() (*Report, error) { return nil, &EditError{Op: "unknown_op", Reason: "unknown edit op"} },
+		func() (*Report, error) { return b.ResizeCell("U3", 8) },
+		func() (*Report, error) { return b.SetInputSlew("in", 9e-12) },
+	}
+
+	for i, ed := range script {
+		raw, err := json.Marshal(ed)
+		if err != nil {
+			t.Fatalf("edit %d: marshal: %v", i, err)
+		}
+		var decoded Edit
+		if err := json.Unmarshal(raw, &decoded); err != nil {
+			t.Fatalf("edit %d: unmarshal: %v", i, err)
+		}
+		_, errA := a.ApplyEdit(decoded)
+		_, errB := typed[i]()
+		if (errA == nil) != (errB == nil) {
+			t.Fatalf("edit %d (%s): ApplyEdit err %v, typed err %v", i, ed.Op, errA, errB)
+		}
+		if errA != nil {
+			if _, ok := errA.(*EditError); !ok {
+				t.Fatalf("edit %d (%s): rejection is %T, want *EditError", i, ed.Op, errA)
+			}
+		}
+	}
+
+	levels := a.Options().Levels
+	ra, rb := a.Snapshot().Result(), b.Snapshot().Result()
+	for _, n := range levels {
+		if ra.ArrivalQ[n] != rb.ArrivalQ[n] {
+			t.Fatalf("level %+d: ApplyEdit arrival %v vs typed %v", n, ra.ArrivalQ[n], rb.ArrivalQ[n])
+		}
+	}
+	if len(ra.EndpointArrivals) != len(rb.EndpointArrivals) {
+		t.Fatalf("endpoint count %d vs %d", len(ra.EndpointArrivals), len(rb.EndpointArrivals))
+	}
+	for key, av := range ra.EndpointArrivals {
+		bv, ok := rb.EndpointArrivals[key]
+		if !ok {
+			t.Fatalf("endpoint %s missing from typed-run result", key)
+		}
+		for _, n := range levels {
+			if av[n] != bv[n] {
+				t.Fatalf("endpoint %s level %+d: %v vs %v", key, n, av[n], bv[n])
+			}
+		}
+	}
+	if err := a.VerifyFull(context.Background()); err != nil {
+		t.Fatalf("VerifyFull after replayed script: %v", err)
+	}
+}
+
+// TestApplyEditSetNetParasitics exercises the tree-carrying op through the
+// JSON round trip (trees serialize by value in the Edit record).
+func TestApplyEditSetNetParasitics(t *testing.T) {
+	eng, _ := newTestEngine(t, diamond(), Config{})
+	_, trees := eng.CopyDesign()
+	tree := trees["m"]
+	tree.Nodes[1].R *= 3
+	tree.Nodes[1].C *= 2
+
+	raw, err := json.Marshal(Edit{Op: OpSetNetParasitics, Net: "m", Tree: tree})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ed Edit
+	if err := json.Unmarshal(raw, &ed); err != nil {
+		t.Fatal(err)
+	}
+	before := eng.Snapshot().Result().ArrivalQ[0]
+	if _, err := eng.ApplyEdit(ed); err != nil {
+		t.Fatalf("ApplyEdit: %v", err)
+	}
+	if after := eng.Snapshot().Result().ArrivalQ[0]; after == before {
+		t.Fatal("tripling a critical segment R moved nothing")
+	}
+	if err := eng.VerifyFull(context.Background()); err != nil {
+		t.Fatalf("VerifyFull after replayed tree edit: %v", err)
+	}
+}

@@ -28,6 +28,53 @@ func (e *EditError) Error() string {
 	return fmt.Sprintf("incsta: %s %q: %s", e.Op, e.Target, e.Reason)
 }
 
+// Edit op names — the Op values of the serialized Edit record and the
+// EditError.Op tags of their rejections.
+const (
+	OpResize           = "resize"
+	OpSwap             = "swap"
+	OpSetNetParasitics = "set_net_parasitics"
+	OpSetInputSlew     = "set_input_slew"
+)
+
+// Edit is the stable serialized form of one ECO edit — the record a
+// write-ahead log appends and replays. Op selects the edit; the other
+// fields mirror the arguments of the corresponding typed method
+// (ResizeCell, SwapCell, SetNetParasitics, SetInputSlew). All quantities
+// are engine-native SI units (Slew in seconds).
+//
+// The encoding is JSON with omitted zero fields; replaying the same Edit
+// value against the same engine state is deterministic, which is what makes
+// a logged edit history a faithful reconstruction of the engine.
+type Edit struct {
+	Op       string       `json:"op"`
+	Gate     string       `json:"gate,omitempty"`
+	Strength int          `json:"strength,omitempty"`
+	Cell     string       `json:"cell,omitempty"`
+	Net      string       `json:"net,omitempty"`
+	Slew     float64      `json:"slew,omitempty"` // seconds
+	Tree     *rctree.Tree `json:"tree,omitempty"`
+}
+
+// ApplyEdit dispatches a serialized Edit to its typed method — the single
+// replay entry point WAL recovery and edit queues drive. Rejections are the
+// same *EditError values the typed methods return, so a replayer can skip
+// exactly the edits the original submission rejected.
+func (e *Engine) ApplyEdit(ed Edit) (*Report, error) {
+	switch ed.Op {
+	case OpResize:
+		return e.ResizeCell(ed.Gate, ed.Strength)
+	case OpSwap:
+		return e.SwapCell(ed.Gate, ed.Cell)
+	case OpSetNetParasitics:
+		return e.SetNetParasitics(ed.Net, ed.Tree)
+	case OpSetInputSlew:
+		return e.SetInputSlew(ed.Net, ed.Slew)
+	default:
+		return nil, &EditError{Op: ed.Op, Reason: "unknown edit op"}
+	}
+}
+
 // Report describes what one edit's re-propagation did.
 type Report struct {
 	Op string

@@ -587,6 +587,11 @@ func (e *Engine) Stats() Stats {
 // GateCount returns the number of gates in the design.
 func (e *Engine) GateCount() int { return len(e.nl.Gates) }
 
+// Epsilon returns the engine's early-termination cutoff (0 = bit-exact) —
+// part of the configuration a persisted snapshot needs to rebuild an
+// equivalent engine.
+func (e *Engine) Epsilon() float64 { return e.eps }
+
 // Corners returns the engine's operating-corner batch (at least the neutral
 // corner at index 0). The slice is shared; do not mutate.
 func (e *Engine) Corners() []sta.Corner { return e.corners }

@@ -1,0 +1,118 @@
+package server
+
+import (
+	"container/list"
+	"context"
+	"sync"
+	"time"
+)
+
+// admission is a weighted FIFO counting semaphore bounding the queries
+// evaluated concurrently across the whole server. A single query weighs 1; a
+// batch weighs its query count (clamped to the capacity so an over-sized
+// batch can still run — alone). Waiters queue in arrival order under a
+// deadline; a timeout or cancelled request gives up its place and the
+// request is rejected with 503 "overloaded" instead of stacking up latency
+// for everyone behind it.
+type admission struct {
+	mu      sync.Mutex
+	cap     int64
+	avail   int64
+	waiters list.List // of *admWaiter, FIFO
+	maxWait time.Duration
+}
+
+type admWaiter struct {
+	n     int64
+	ready chan struct{} // closed when the tokens were granted
+}
+
+// newAdmission builds a limiter of capacity max (<=0 disables limiting) with
+// queue timeout maxWait.
+func newAdmission(max int64, maxWait time.Duration) *admission {
+	if max <= 0 {
+		return nil
+	}
+	return &admission{cap: max, avail: max, maxWait: maxWait}
+}
+
+// acquire takes n tokens (clamped to capacity), waiting at most the queue
+// timeout (and no longer than ctx). It returns false when the request should
+// be rejected as overloaded.
+func (a *admission) acquire(ctx context.Context, n int64) bool {
+	if a == nil {
+		return true
+	}
+	if n < 1 {
+		n = 1
+	}
+	if n > a.cap {
+		n = a.cap
+	}
+	a.mu.Lock()
+	if a.avail >= n && a.waiters.Len() == 0 {
+		a.avail -= n
+		a.mu.Unlock()
+		return true
+	}
+	w := &admWaiter{n: n, ready: make(chan struct{})}
+	elem := a.waiters.PushBack(w)
+	a.mu.Unlock()
+
+	if a.maxWait > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, a.maxWait)
+		defer cancel()
+	}
+	select {
+	case <-w.ready:
+		return true
+	case <-ctx.Done():
+		a.mu.Lock()
+		select {
+		case <-w.ready:
+			// Raced with a grant: the tokens are ours; keep them (the caller
+			// observes success and will release normally).
+			a.mu.Unlock()
+			return true
+		default:
+			a.waiters.Remove(elem)
+			// Our departure may unblock smaller waiters behind us.
+			a.grantLocked()
+			a.mu.Unlock()
+			return false
+		}
+	}
+}
+
+// release returns n tokens (same clamping as acquire).
+func (a *admission) release(n int64) {
+	if a == nil {
+		return
+	}
+	if n < 1 {
+		n = 1
+	}
+	if n > a.cap {
+		n = a.cap
+	}
+	a.mu.Lock()
+	a.avail += n
+	a.grantLocked()
+	a.mu.Unlock()
+}
+
+// grantLocked hands tokens to queued waiters in FIFO order. The head waiter
+// blocks the queue until it fits — deliberate: skipping ahead would starve
+// large batches forever under a stream of single queries.
+func (a *admission) grantLocked() {
+	for e := a.waiters.Front(); e != nil; e = a.waiters.Front() {
+		w := e.Value.(*admWaiter)
+		if a.avail < w.n {
+			return
+		}
+		a.avail -= w.n
+		a.waiters.Remove(e)
+		close(w.ready)
+	}
+}

@@ -2,30 +2,51 @@ package server
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
+	"fmt"
+	"time"
 
 	"repro/internal/incsta"
+	"repro/internal/wal"
 )
 
 // ErrDesignClosed is returned for edits submitted to a design that has been
 // deleted or a server that is shutting down.
 var ErrDesignClosed = errors.New("server: design closed")
 
-// design pairs an incremental engine with its serialized edit queue. The
-// engine itself is safe for concurrent edits, but the queue gives the HTTP
-// layer what the ISSUE asks for: one writer per design, edits applied
-// strictly in arrival order, while read queries go straight to the engine's
-// lock-free snapshots.
+// ErrOverloaded is returned when a design's bounded edit queue is full: the
+// writer cannot keep up and the edit is rejected immediately (503
+// "overloaded") instead of piling up unbounded memory and latency.
+var ErrOverloaded = errors.New("server: edit queue full")
+
+// defaultEditQueueDepth bounds each design's pending-edit buffer.
+const defaultEditQueueDepth = 64
+
+// design pairs an incremental engine with its serialized edit queue and
+// (when the server has a Store) its write-ahead log. The engine itself is
+// safe for concurrent edits, but the queue gives the HTTP layer one writer
+// per design, edits applied strictly in arrival order, while read queries go
+// straight to the engine's lock-free snapshots.
+//
+// Durability discipline (WAL-first): the writer appends the edit record to
+// the log — durable per the fsync policy — before applying it to the engine,
+// and acknowledges only after both. Rejected edits stay in the log; replay
+// re-rejects them identically, so recovery is a pure replay of the record
+// prefix that survived.
 type design struct {
-	name string
-	eng  *incsta.Engine
-	reqs chan editReq
-	quit chan struct{}
-	done chan struct{}
+	name  string
+	eng   *incsta.Engine
+	log   *wal.Log // nil = in-memory only
+	store *Store   // nil = in-memory only
+	reqs  chan editReq
+	snaps chan chan error
+	quit  chan struct{}
+	done  chan struct{}
 }
 
 type editReq struct {
-	apply func() (*incsta.Report, error)
+	ed    incsta.Edit
 	reply chan editResult
 }
 
@@ -34,54 +55,170 @@ type editResult struct {
 	err error
 }
 
-func newDesign(name string, eng *incsta.Engine) *design {
+// newDesign starts the single-writer loop. log and store are both nil for an
+// in-memory design; with a store, the caller has already persisted the
+// initial snapshot and opened the log.
+func newDesign(name string, eng *incsta.Engine, log *wal.Log, store *Store, queueDepth int) *design {
+	if queueDepth <= 0 {
+		queueDepth = defaultEditQueueDepth
+	}
 	d := &design{
-		name: name,
-		eng:  eng,
-		reqs: make(chan editReq),
-		quit: make(chan struct{}),
-		done: make(chan struct{}),
+		name:  name,
+		eng:   eng,
+		log:   log,
+		store: store,
+		reqs:  make(chan editReq, queueDepth),
+		snaps: make(chan chan error, 1),
+		quit:  make(chan struct{}),
+		done:  make(chan struct{}),
 	}
 	go d.serve()
+	if store != nil && store.cfg.SnapshotInterval > 0 {
+		go d.snapshotLoop(store.cfg.SnapshotInterval)
+	}
 	return d
 }
 
-// serve is the design's single-writer loop.
+// serve is the design's single-writer loop. On quit it drains edits already
+// queued (their HTTP handlers are waiting on replies), persists a final
+// snapshot, and exits.
 func (d *design) serve() {
 	defer close(d.done)
 	for {
 		select {
 		case <-d.quit:
+			d.drainAndPersist()
 			return
 		case req := <-d.reqs:
-			rep, err := req.apply()
-			req.reply <- editResult{rep: rep, err: err}
+			req.reply <- d.applyOne(req.ed)
+		case errc := <-d.snaps:
+			errc <- d.persist()
 		}
 	}
 }
 
-// submit queues one edit and waits for its result. Cancellation of ctx
-// abandons the wait (the edit may still apply); a closed design returns
-// ErrDesignClosed.
-func (d *design) submit(ctx context.Context, apply func() (*incsta.Report, error)) (*incsta.Report, error) {
-	req := editReq{apply: apply, reply: make(chan editResult, 1)}
+// drainAndPersist finishes queued edits and folds the final state into a
+// durable snapshot — the graceful-shutdown half of the durability story.
+func (d *design) drainAndPersist() {
+	for {
+		select {
+		case req := <-d.reqs:
+			req.reply <- d.applyOne(req.ed)
+		default:
+			if d.store != nil {
+				if err := d.persist(); err != nil {
+					mPersistErrors.Inc()
+				}
+			}
+			return
+		}
+	}
+}
+
+// applyOne logs (durably) then applies one edit.
+func (d *design) applyOne(ed incsta.Edit) editResult {
+	if d.log != nil {
+		payload, err := json.Marshal(ed)
+		if err != nil {
+			return editResult{err: fmt.Errorf("server: encode edit: %w", err)}
+		}
+		if _, err := d.log.Append(payload); err != nil {
+			// The edit never reached stable storage: refuse to apply it, or an
+			// acknowledged state transition could vanish on restart.
+			return editResult{err: fmt.Errorf("server: wal append: %w", err)}
+		}
+	}
+	rep, err := d.eng.ApplyEdit(ed)
+	return editResult{rep: rep, err: err}
+}
+
+// persist folds the current engine state into a durable snapshot and
+// truncates the replayed log. Runs on the writer goroutine, so the state and
+// the WAL high-water mark are coherent by construction.
+func (d *design) persist() error {
+	if d.store == nil {
+		return nil
+	}
+	var seq uint64
+	if d.log != nil {
+		seq = d.log.LastSeq()
+	}
+	if err := d.store.saveSnapshot(snapshotOf(d.name, d.eng, seq)); err != nil {
+		return err
+	}
+	if d.log != nil {
+		return d.log.TruncateAll()
+	}
+	return nil
+}
+
+// snapshotLoop periodically checkpoints the design so the WAL stays short
+// and recovery fast.
+func (d *design) snapshotLoop(interval time.Duration) {
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-d.quit:
+			return
+		case <-t.C:
+			if err := d.checkpoint(); err != nil && !errors.Is(err, ErrDesignClosed) {
+				mPersistErrors.Inc()
+			}
+		}
+	}
+}
+
+// checkpoint asks the writer loop to persist a snapshot and waits for it.
+func (d *design) checkpoint() error {
+	errc := make(chan error, 1)
 	select {
-	case d.reqs <- req:
+	case d.snaps <- errc:
+	case <-d.quit:
+		return ErrDesignClosed
+	}
+	select {
+	case err := <-errc:
+		return err
+	case <-d.done:
+		return ErrDesignClosed
+	}
+}
+
+// submit queues one edit and waits for its result. A full queue rejects
+// immediately with ErrOverloaded; cancellation of ctx abandons the wait (the
+// edit may still apply); a closed design returns ErrDesignClosed.
+func (d *design) submit(ctx context.Context, ed incsta.Edit) (*incsta.Report, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	select {
 	case <-d.quit:
 		return nil, ErrDesignClosed
-	case <-ctx.Done():
-		return nil, ctx.Err()
+	default:
+	}
+	req := editReq{ed: ed, reply: make(chan editResult, 1)}
+	select {
+	case d.reqs <- req:
+	default:
+		return nil, ErrOverloaded
 	}
 	select {
 	case res := <-req.reply:
 		return res.rep, res.err
 	case <-ctx.Done():
 		return nil, ctx.Err()
+	case <-d.done:
+		return nil, ErrDesignClosed
 	}
 }
 
-// close stops the writer loop and waits for it to exit.
+// close stops the writer loop (which persists a final snapshot), waits for
+// it to exit, and closes the log.
 func (d *design) close() {
 	close(d.quit)
 	<-d.done
+	if d.log != nil {
+		d.log.Close()
+	}
 }

@@ -15,6 +15,8 @@ import (
 // cardinality is bounded no matter what URLs are thrown at the server.
 var routePatterns = []string{
 	"GET /healthz",
+	"GET /v1/healthz",
+	"GET /v1/readyz",
 	"GET /metrics",
 	"GET /v1/designs",
 	"PUT /v1/designs/{name}",
@@ -46,6 +48,21 @@ type metrics struct {
 	requests *obs.CounterVec
 	latency  *obs.HistogramVec
 }
+
+// Durability and overload counters, on the process-wide registry like the
+// wal_* metrics they complement.
+var (
+	mAdmissionRejected = obs.Default().Counter("timingd_admission_rejected_total",
+		"Requests rejected by the concurrent-query admission limiter or a full edit queue.")
+	mRecoveryReplayed = obs.Default().Counter("timingd_recovery_replayed_edits_total",
+		"WAL edits replayed into recovered designs at startup.")
+	mSnapshotsPersisted = obs.Default().Counter("timingd_snapshots_persisted_total",
+		"Design snapshots persisted (load, periodic checkpoint, graceful drain).")
+	mPersistErrors = obs.Default().Counter("timingd_persist_errors_total",
+		"Failed snapshot persists (checkpoint or drain).")
+	hSnapshotSeconds = obs.Default().Histogram("timingd_snapshot_seconds",
+		"Wall time of one design snapshot persist.")
+)
 
 func newMetrics() *metrics {
 	return &metrics{

@@ -7,6 +7,7 @@
 package server
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -15,6 +16,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/circuits"
@@ -22,36 +24,119 @@ import (
 	"repro/internal/incsta"
 	"repro/internal/layout"
 	"repro/internal/netlist"
+	"repro/internal/obs"
 	"repro/internal/rctree"
 	"repro/internal/sta"
 	"repro/internal/stdcell"
 	"repro/internal/timinglib"
+	"repro/internal/wal"
 )
 
-// Server hosts the designs. Create with New, mount Handler on an
-// http.Server, Close on shutdown.
+// Server hosts the designs. Create with New, call Recover when a Store is
+// configured, mount Handler on an http.Server, Close on shutdown.
 type Server struct {
-	lib *timinglib.File
-	mux *http.ServeMux
-	met *metrics
+	lib   *timinglib.File
+	mux   *http.ServeMux
+	met   *metrics
+	store *Store
+	adm   *admission
+
+	maxBody    int64
+	queueDepth int
+	reqTimeout time.Duration
+	ready      atomic.Bool
 
 	mu      sync.Mutex
 	designs map[string]*design
+	loading map[string]bool // names reserved by an in-flight load
 	closed  bool
 }
 
+// Option customises New. The zero configuration behaves exactly like the
+// historical in-memory server.
+type Option func(*Server)
+
+// WithStore makes the server durable: every design gets a write-ahead log
+// and periodic snapshots under the store's root, and the server starts
+// not-ready until Recover has replayed the persisted state.
+func WithStore(st *Store) Option { return func(s *Server) { s.store = st } }
+
+// WithAdmission bounds the queries evaluated concurrently across the server
+// (a batch weighs its query count). Requests queue FIFO up to maxWait, then
+// are rejected with 503 "overloaded". max <= 0 disables the limiter.
+func WithAdmission(max int, maxWait time.Duration) Option {
+	return func(s *Server) { s.adm = newAdmission(int64(max), maxWait) }
+}
+
+// WithMaxBodyBytes caps the PUT /designs/{name} request body (default 64
+// MiB); larger bodies are rejected with 413 "payload_too_large". n <= 0
+// keeps the default.
+func WithMaxBodyBytes(n int64) Option {
+	return func(s *Server) {
+		if n > 0 {
+			s.maxBody = n
+		}
+	}
+}
+
+// WithEditQueueDepth sets each design's bounded pending-edit buffer
+// (default 64); a full queue rejects edits with 503 "overloaded".
+func WithEditQueueDepth(n int) Option {
+	return func(s *Server) {
+		if n > 0 {
+			s.queueDepth = n
+		}
+	}
+}
+
+// WithRequestTimeout puts a deadline on every request's context, so a stuck
+// client or an oversized query cannot pin server resources forever. 0
+// disables.
+func WithRequestTimeout(d time.Duration) Option {
+	return func(s *Server) { s.reqTimeout = d }
+}
+
+// defaultMaxBodyBytes caps design-load request bodies (64 MiB).
+const defaultMaxBodyBytes = 64 << 20
+
 // New builds a server around one coefficient library (loaded once, shared
 // by every design).
-func New(lib *timinglib.File) *Server {
+func New(lib *timinglib.File, opts ...Option) *Server {
 	s := &Server{
 		lib:     lib,
 		mux:     http.NewServeMux(),
 		met:     newMetrics(),
+		maxBody: defaultMaxBodyBytes,
 		designs: map[string]*design{},
+		loading: map[string]bool{},
+	}
+	for _, o := range opts {
+		o(s)
+	}
+	// A durable server answers readyz only after Recover has replayed its
+	// persisted designs; an in-memory server has nothing to recover.
+	s.ready.Store(s.store == nil)
+
+	// ungated routes answer even before recovery completes (liveness,
+	// readiness, metrics); everything else 503s with "not_ready" until then.
+	ungated := map[string]bool{
+		"GET /healthz": true, "GET /v1/healthz": true,
+		"GET /v1/readyz": true, "GET /metrics": true,
 	}
 	route := func(pattern string, h func(http.ResponseWriter, *http.Request)) {
+		gated := !ungated[pattern]
 		s.mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
 			t0 := time.Now()
+			if gated && !s.ready.Load() {
+				httpError(w, http.StatusServiceUnavailable, codeNotReady, "recovery in progress")
+				s.met.observe(pattern, t0)
+				return
+			}
+			if s.reqTimeout > 0 {
+				ctx, cancel := context.WithTimeout(r.Context(), s.reqTimeout)
+				defer cancel()
+				r = r.WithContext(ctx)
+			}
 			h(w, r)
 			s.met.observe(pattern, t0)
 		})
@@ -73,16 +158,19 @@ func New(lib *timinglib.File) *Server {
 		route(method+" /v1"+path, h)
 		route(method+" "+path, legacy(h))
 	}
-	// Infra endpoints stay unversioned.
+	// Infra endpoints stay unversioned; /v1 aliases serve probers that only
+	// speak the versioned prefix.
 	route("GET /healthz", s.handleHealth)
+	route("GET /v1/healthz", s.handleHealth)
+	route("GET /v1/readyz", s.handleReady)
 	route("GET /metrics", s.handleMetrics)
 	api("GET", "/designs", s.handleList)
 	api("PUT", "/designs/{name}", s.handleLoad)
 	api("DELETE", "/designs/{name}", s.handleDelete)
-	api("GET", "/designs/{name}", s.handleSummary)
-	api("GET", "/designs/{name}/gates", s.handleGates)
-	api("GET", "/designs/{name}/paths", s.handlePaths)
-	api("GET", "/designs/{name}/slacks", s.handleSlacks)
+	api("GET", "/designs/{name}", s.admitted(s.handleSummary))
+	api("GET", "/designs/{name}/gates", s.admitted(s.handleGates))
+	api("GET", "/designs/{name}/paths", s.admitted(s.handlePaths))
+	api("GET", "/designs/{name}/slacks", s.admitted(s.handleSlacks))
 	api("POST", "/designs/{name}/edits", s.handleEdit)
 	// Batch is v1-only: many queries against one pinned snapshot.
 	route("POST /v1/designs/{name}/batch", s.handleBatch)
@@ -245,6 +333,9 @@ const (
 	codeTooLarge       = "batch_too_large"
 	codeUnavailable    = "server_closed"
 	codeInternal       = "internal"
+	codeOverloaded     = "overloaded"
+	codePayloadLarge   = "payload_too_large"
+	codeNotReady       = "not_ready"
 )
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
@@ -271,14 +362,18 @@ func httpErrorDetail(w http.ResponseWriter, status int, code, message string, ca
 }
 
 // editStatus maps an edit failure onto an HTTP status and error code: typed
-// rejections of malformed edits are the client's fault, everything else the
-// server's.
+// rejections of malformed edits are the client's fault, a full queue or
+// closed design is back-pressure, everything else the server's.
 func editStatus(err error) (int, string) {
 	var ee *incsta.EditError
 	switch {
 	case errors.As(err, &ee):
 		return http.StatusBadRequest, codeEditRejected
+	case errors.Is(err, ErrOverloaded):
+		return http.StatusServiceUnavailable, codeOverloaded
 	case errors.Is(err, ErrDesignClosed):
+		return http.StatusServiceUnavailable, codeUnavailable
+	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
 		return http.StatusServiceUnavailable, codeUnavailable
 	default:
 		return http.StatusInternalServerError, codeInternal
@@ -289,6 +384,123 @@ func editStatus(err error) (int, string) {
 
 func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// handleReady is the readiness probe: 503 "not_ready" until recovery has
+// replayed every persisted design, so a load balancer does not route
+// traffic at a server still rebuilding engines.
+func (s *Server) handleReady(w http.ResponseWriter, _ *http.Request) {
+	if !s.ready.Load() {
+		httpError(w, http.StatusServiceUnavailable, codeNotReady, "recovery in progress")
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
+}
+
+// admitted wraps a query handler with the global admission limiter (weight
+// 1; batches weigh themselves inside handleBatch).
+func (s *Server) admitted(h func(http.ResponseWriter, *http.Request)) func(http.ResponseWriter, *http.Request) {
+	if s.adm == nil {
+		return h
+	}
+	return func(w http.ResponseWriter, r *http.Request) {
+		if !s.adm.acquire(r.Context(), 1) {
+			mAdmissionRejected.Inc()
+			httpError(w, http.StatusServiceUnavailable, codeOverloaded, "server at concurrent-query capacity")
+			return
+		}
+		defer s.adm.release(1)
+		h(w, r)
+	}
+}
+
+// Recover rebuilds every design persisted in the store — snapshot load, one
+// full analysis pass, WAL tail replay — then marks the server ready. Must be
+// called (once) after New when a Store is configured; without a store it
+// only flips readiness.
+func (s *Server) Recover(ctx context.Context) error {
+	if s.store == nil {
+		s.ready.Store(true)
+		return nil
+	}
+	ctx, span := obs.StartSpan(ctx, "server.recover")
+	defer span.End()
+	escaped, err := s.store.listDesigns()
+	if err != nil {
+		return fmt.Errorf("server: recover: %w", err)
+	}
+	for _, esc := range escaped {
+		if !s.store.hasSnapshot(esc) {
+			continue // debris: crash mid-create or mid-delete, never acked
+		}
+		if err := s.recoverDesign(ctx, esc); err != nil {
+			return fmt.Errorf("server: recover %s: %w", esc, err)
+		}
+	}
+	s.ready.Store(true)
+	return nil
+}
+
+// recoverDesign rebuilds one design from its snapshot plus surviving WAL
+// tail. Records the snapshot already includes (seq <= WALSeq) are skipped;
+// edits the original submission rejected replay as the same typed rejection
+// and are skipped identically.
+func (s *Server) recoverDesign(ctx context.Context, escapedName string) error {
+	ctx, span := obs.StartSpan(ctx, "server.recover.design")
+	defer span.End()
+	snap, err := s.store.loadSnapshot(escapedName)
+	if err != nil {
+		return err
+	}
+	span.SetAttr("design", snap.Name)
+	eng, err := rebuildEngine(s.lib, snap)
+	if err != nil {
+		return fmt.Errorf("rebuild engine: %w", err)
+	}
+	replayed := 0
+	dlog, res, err := s.store.openWAL(snap.Name, func(seq uint64, payload []byte) error {
+		if seq <= snap.WALSeq {
+			return nil
+		}
+		var ed incsta.Edit
+		if err := json.Unmarshal(payload, &ed); err != nil {
+			return fmt.Errorf("wal record %d: %w", seq, err)
+		}
+		if _, err := eng.ApplyEdit(ed); err != nil {
+			var ee *incsta.EditError
+			if errors.As(err, &ee) {
+				return nil // rejected originally, rejected again: state unchanged
+			}
+			return fmt.Errorf("wal record %d: %w", seq, err)
+		}
+		replayed++
+		return nil
+	})
+	if err != nil {
+		return fmt.Errorf("open wal: %w", err)
+	}
+	// After a compaction the file is empty; keep appends past the snapshot's
+	// high-water mark so sequence numbers never recycle.
+	dlog.EnsureSeq(snap.WALSeq)
+	mRecoveryReplayed.Add(uint64(replayed))
+	span.SetAttr("replayed", replayed)
+	span.SetAttr("wal_records", res.Records)
+	if s.store.cfg.VerifyRecovery {
+		if err := eng.VerifyFull(ctx); err != nil {
+			dlog.Close()
+			return fmt.Errorf("recovery verification: %w", err)
+		}
+	}
+	d := newDesign(snap.Name, eng, dlog, s.store, s.queueDepth)
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		d.close()
+		return errors.New("server closed during recovery")
+	}
+	s.designs[snap.Name] = d
+	s.mu.Unlock()
+	return nil
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
@@ -315,8 +527,15 @@ func (s *Server) handleList(w http.ResponseWriter, _ *http.Request) {
 
 func (s *Server) handleLoad(w http.ResponseWriter, r *http.Request) {
 	name := r.PathValue("name")
+	r.Body = http.MaxBytesReader(w, r.Body, s.maxBody)
 	var req LoadRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			httpError(w, http.StatusRequestEntityTooLarge, codePayloadLarge,
+				"request body exceeds the %d-byte limit", tooBig.Limit)
+			return
+		}
 		httpErrorDetail(w, http.StatusBadRequest, codeInvalidRequest, "bad load request", err)
 		return
 	}
@@ -373,18 +592,47 @@ func (s *Server) handleLoad(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	// Reserve the name, persist the initial state (so a kill -9 a moment
+	// after the 201 still recovers the design), then publish.
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
 		httpError(w, http.StatusServiceUnavailable, codeUnavailable, "server shutting down")
 		return
 	}
-	if _, dup := s.designs[name]; dup {
+	if _, dup := s.designs[name]; dup || s.loading[name] {
 		s.mu.Unlock()
 		httpError(w, http.StatusConflict, codeConflict, "design %q already loaded (DELETE it first)", name)
 		return
 	}
-	d := newDesign(name, eng)
+	s.loading[name] = true
+	s.mu.Unlock()
+	defer func() {
+		s.mu.Lock()
+		delete(s.loading, name)
+		s.mu.Unlock()
+	}()
+
+	var dlog *wal.Log
+	if s.store != nil {
+		if err := s.store.saveSnapshot(snapshotOf(name, eng, 0)); err != nil {
+			httpErrorDetail(w, http.StatusInternalServerError, codeInternal, "persisting design", err)
+			return
+		}
+		if dlog, _, err = s.store.openWAL(name, nil); err != nil {
+			httpErrorDetail(w, http.StatusInternalServerError, codeInternal, "opening design wal", err)
+			return
+		}
+	}
+	d := newDesign(name, eng, dlog, s.store, s.queueDepth)
+
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		d.close()
+		httpError(w, http.StatusServiceUnavailable, codeUnavailable, "server shutting down")
+		return
+	}
 	s.designs[name] = d
 	s.mu.Unlock()
 
@@ -404,6 +652,14 @@ func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	d.close()
+	if s.store != nil {
+		// Drop the persisted state too, or a restart would resurrect the
+		// design the client just deleted.
+		if err := s.store.removeDesign(name); err != nil {
+			httpErrorDetail(w, http.StatusInternalServerError, codeInternal, "removing persisted design", err)
+			return
+		}
+	}
 	writeJSON(w, http.StatusOK, map[string]string{"deleted": name})
 }
 
@@ -604,22 +860,23 @@ func (s *Server) handleEdit(w http.ResponseWriter, r *http.Request) {
 		httpErrorDetail(w, http.StatusBadRequest, codeInvalidRequest, "bad edit request", err)
 		return
 	}
-	var apply func() (*incsta.Report, error)
 	switch req.Op {
-	case "resize":
-		apply = func() (*incsta.Report, error) { return d.eng.ResizeCell(req.Gate, req.Strength) }
-	case "swap":
-		apply = func() (*incsta.Report, error) { return d.eng.SwapCell(req.Gate, req.Cell) }
-	case "set_input_slew":
-		apply = func() (*incsta.Report, error) { return d.eng.SetInputSlew(req.Net, req.SlewPs*1e-12) }
-	case "set_net_parasitics":
-		apply = func() (*incsta.Report, error) { return d.eng.SetNetParasitics(req.Net, req.Tree) }
+	case incsta.OpResize, incsta.OpSwap, incsta.OpSetInputSlew, incsta.OpSetNetParasitics:
 	default:
 		httpError(w, http.StatusBadRequest, codeInvalidRequest, "unknown op %q", req.Op)
 		return
 	}
-	rep, err := d.submit(r.Context(), apply)
+	// The wire request becomes the engine's stable Edit record — exactly the
+	// bytes the design's WAL appends and recovery replays.
+	ed := incsta.Edit{
+		Op: req.Op, Gate: req.Gate, Strength: req.Strength, Cell: req.Cell,
+		Net: req.Net, Slew: req.SlewPs * 1e-12, Tree: req.Tree,
+	}
+	rep, err := d.submit(r.Context(), ed)
 	if err != nil {
+		if errors.Is(err, ErrOverloaded) {
+			mAdmissionRejected.Inc()
+		}
 		status, code := editStatus(err)
 		httpError(w, status, code, "%v", err)
 		return
@@ -689,11 +946,26 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	// Admission: a batch weighs its query count, so one huge batch cannot
+	// slip past a limiter tuned for single queries.
+	weight := int64(len(req.Queries))
+	if !s.adm.acquire(r.Context(), weight) {
+		mAdmissionRejected.Inc()
+		httpError(w, http.StatusServiceUnavailable, codeOverloaded, "server at concurrent-query capacity")
+		return
+	}
+	defer s.adm.release(weight)
+
 	// One snapshot serves the whole batch: every answer reflects the same
 	// edit version, however many edits land while we iterate.
 	snap := d.eng.Snapshot()
 	resp := BatchResponse{Version: snap.Version(), Results: make([]BatchResult, len(req.Queries))}
 	for i, q := range req.Queries {
+		// A disconnected or timed-out client gets no response; stop burning
+		// CPU on the remaining queries.
+		if err := r.Context().Err(); err != nil {
+			return
+		}
 		br := BatchResult{Kind: q.Kind, Corner: q.Corner}
 		br.Result, br.Error = s.batchQuery(d, snap, q)
 		resp.Results[i] = br

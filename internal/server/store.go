@@ -1,0 +1,219 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/url"
+	"os"
+	"path/filepath"
+	"time"
+
+	"repro/internal/incsta"
+	"repro/internal/netlist"
+	"repro/internal/rctree"
+	"repro/internal/sta"
+	"repro/internal/timinglib"
+	"repro/internal/wal"
+)
+
+// Store is the server's durability root: one directory per design holding an
+// atomic snapshot of the full design state plus the write-ahead log of edits
+// applied since that snapshot. A server without a Store (the default) is
+// purely in-memory, exactly as before.
+//
+// Layout under root:
+//
+//	designs/<escaped-name>/snapshot.json   full design state + WAL high-water mark
+//	designs/<escaped-name>/wal.log         edits with sequence numbers > WALSeq
+type Store struct {
+	fs   wal.FS
+	root string
+	cfg  StoreConfig
+}
+
+// StoreConfig tunes the durability behaviour.
+type StoreConfig struct {
+	// Policy is the WAL fsync policy (default wal.SyncAlways: an acknowledged
+	// edit is durable).
+	Policy wal.SyncPolicy
+	// FsyncInterval is the background fsync period under wal.SyncInterval.
+	FsyncInterval time.Duration
+	// SnapshotInterval is how often each design folds its WAL into a fresh
+	// snapshot (0 = only at load and graceful shutdown).
+	SnapshotInterval time.Duration
+	// VerifyRecovery runs a full fresh analysis after replaying each design's
+	// WAL and cross-checks it against the recovered incremental state —
+	// expensive, but turns silent recovery corruption into a startup error.
+	VerifyRecovery bool
+}
+
+// NewStore builds a store rooted at root on fsys (nil = the real
+// filesystem). No IO happens until designs are loaded or recovered.
+func NewStore(fsys wal.FS, root string, cfg StoreConfig) *Store {
+	if fsys == nil {
+		fsys = wal.OS()
+	}
+	return &Store{fs: fsys, root: root, cfg: cfg}
+}
+
+const readOnlyFlag = os.O_RDONLY
+
+func isNotExist(err error) bool { return errors.Is(err, os.ErrNotExist) }
+
+// designSnapshot is the persisted form of one design: everything incsta.New
+// needs to rebuild the engine, plus the WAL sequence number the state
+// already includes. Recovery replays only records with seq > WALSeq.
+type designSnapshot struct {
+	Name        string                  `json:"name"`
+	WALSeq      uint64                  `json:"wal_seq"`
+	Epsilon     float64                 `json:"epsilon,omitempty"`
+	Parallelism int                     `json:"parallelism,omitempty"`
+	Corners     []sta.Corner            `json:"corners,omitempty"`
+	Options     sta.Options             `json:"options"`
+	Netlist     *netlist.Netlist        `json:"netlist"`
+	Trees       map[string]*rctree.Tree `json:"trees"`
+}
+
+// snapshotOf captures a design's current state. Must be called from the
+// design's single-writer loop (or before the design serves edits), so the
+// engine state and walSeq are coherent.
+func snapshotOf(name string, eng *incsta.Engine, walSeq uint64) *designSnapshot {
+	nl, trees := eng.CopyDesign()
+	return &designSnapshot{
+		Name:        name,
+		WALSeq:      walSeq,
+		Epsilon:     eng.Epsilon(),
+		Parallelism: eng.Parallelism(),
+		Corners:     eng.Corners(),
+		Options:     eng.Options(),
+		Netlist:     nl,
+		Trees:       trees,
+	}
+}
+
+func (st *Store) designsRoot() string { return filepath.Join(st.root, "designs") }
+
+func (st *Store) designDir(name string) string {
+	return filepath.Join(st.designsRoot(), url.PathEscape(name))
+}
+
+func (st *Store) snapshotPath(name string) string {
+	return filepath.Join(st.designDir(name), "snapshot.json")
+}
+
+func (st *Store) walPath(name string) string {
+	return filepath.Join(st.designDir(name), "wal.log")
+}
+
+// saveSnapshot persists snap crash-safely (temp file, fsync, rename, parent
+// directory fsync): after any crash the design directory holds either the
+// previous complete snapshot or the new one.
+func (st *Store) saveSnapshot(snap *designSnapshot) error {
+	dir := st.designDir(snap.Name)
+	if err := st.fs.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	t0 := time.Now()
+	err := wal.AtomicWrite(st.fs, st.snapshotPath(snap.Name), func(w io.Writer) error {
+		return json.NewEncoder(w).Encode(snap)
+	})
+	if err != nil {
+		return fmt.Errorf("server: persist snapshot of %q: %w", snap.Name, err)
+	}
+	mSnapshotsPersisted.Inc()
+	hSnapshotSeconds.ObserveSince(t0)
+	return nil
+}
+
+// loadSnapshot reads one design's persisted snapshot by escaped directory
+// name.
+func (st *Store) loadSnapshot(escaped string) (*designSnapshot, error) {
+	p := filepath.Join(st.designsRoot(), escaped, "snapshot.json")
+	f, err := st.fs.OpenFile(p, readOnlyFlag, 0)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var snap designSnapshot
+	if err := json.NewDecoder(f).Decode(&snap); err != nil {
+		return nil, fmt.Errorf("server: snapshot %s: %w", p, err)
+	}
+	if snap.Netlist == nil || snap.Trees == nil {
+		return nil, fmt.Errorf("server: snapshot %s: missing netlist or trees", p)
+	}
+	return &snap, nil
+}
+
+// openWAL opens (creating if missing) a design's log, streaming valid
+// records through replay.
+func (st *Store) openWAL(name string, replay func(seq uint64, payload []byte) error) (*wal.Log, wal.OpenResult, error) {
+	return wal.Open(st.walPath(name), wal.Options{
+		FS:       st.fs,
+		Policy:   st.cfg.Policy,
+		Interval: st.cfg.FsyncInterval,
+	}, replay)
+}
+
+// listDesigns returns the escaped directory names of every persisted design
+// (empty when the store has never hosted one).
+func (st *Store) listDesigns() ([]string, error) {
+	names, err := st.fs.ReadDir(st.designsRoot())
+	if err != nil {
+		if isNotExist(err) {
+			return nil, nil
+		}
+		return nil, err
+	}
+	return names, nil
+}
+
+// removeDesign deletes a design's persisted state (called on DELETE so a
+// restart does not resurrect it). The snapshot removal is made durable with
+// a SyncDir of the design directory before that directory itself goes; a
+// crash mid-way leaves at worst a snapshot-less directory, which recovery
+// skips as debris.
+func (st *Store) removeDesign(name string) error {
+	dir := st.designDir(name)
+	var firstErr error
+	for _, p := range []string{st.snapshotPath(name), st.walPath(name)} {
+		if err := st.fs.Remove(p); err != nil && !isNotExist(err) && firstErr == nil {
+			firstErr = err
+		}
+	}
+	if err := st.fs.SyncDir(dir); err != nil && !isNotExist(err) && firstErr == nil {
+		firstErr = err
+	}
+	if err := st.fs.Remove(dir); err != nil && !isNotExist(err) && firstErr == nil {
+		firstErr = err
+	}
+	if err := st.fs.SyncDir(st.designsRoot()); err != nil && firstErr == nil {
+		firstErr = err
+	}
+	return firstErr
+}
+
+// hasSnapshot reports whether a persisted design directory holds a complete
+// snapshot. A directory without one is debris — a crash between mkdir and
+// the first atomic snapshot write, or between a DELETE's file and directory
+// removals — and recovery skips it.
+func (st *Store) hasSnapshot(escaped string) bool {
+	f, err := st.fs.OpenFile(filepath.Join(st.designsRoot(), escaped, "snapshot.json"), readOnlyFlag, 0)
+	if err != nil {
+		return false
+	}
+	f.Close()
+	return true
+}
+
+// rebuildEngine reconstructs a design's engine from its snapshot (one full
+// analysis pass, same as the original load).
+func rebuildEngine(lib *timinglib.File, snap *designSnapshot) (*incsta.Engine, error) {
+	return incsta.New(lib, snap.Netlist, snap.Trees, incsta.Config{
+		Options:     snap.Options,
+		Epsilon:     snap.Epsilon,
+		Corners:     sta.CornerSet{Corners: snap.Corners},
+		Parallelism: snap.Parallelism,
+	})
+}

@@ -1,0 +1,105 @@
+package timinglib
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"repro/internal/wal/faultfs"
+)
+
+// loadImage reads and parses a coefficients file out of a crash image.
+func loadImage(t *testing.T, img *faultfs.FS, path string) *File {
+	t.Helper()
+	data, err := img.ReadFile(path)
+	if err != nil {
+		t.Fatalf("crash image has no %s: %v", path, err)
+	}
+	f, err := Read(bytes.NewReader(data))
+	if err != nil {
+		t.Fatalf("crash image %s does not parse: %v", path, err)
+	}
+	return f
+}
+
+// TestSaveSurvivesPowerLossAfterReturn is the regression test for the
+// missing parent-directory fsync: once Save returns, the file must survive
+// an immediate power loss even under the strict "unsynced data is lost"
+// durability reading. Without the SyncDir after the rename, the freshly
+// created name never reaches the disk and the whole file vanishes at the
+// crash image.
+func TestSaveSurvivesPowerLossAfterReturn(t *testing.T) {
+	fs := faultfs.New()
+	if err := fs.MkdirAll("lib", 0o755); err != nil {
+		t.Fatal(err)
+	}
+	f := sampleFile()
+	f.Checkpoint = &Checkpoint{Profile: "standard", Seed: 41}
+	if err := f.SaveFS(fs, "lib/coeffs.json"); err != nil {
+		t.Fatal(err)
+	}
+	fs.SetDropUnsynced(true) // strict reading: anything not fsynced is gone
+	fs.CrashNow()
+	got := loadImage(t, fs, "lib/coeffs.json")
+	if len(got.Arcs) != len(f.Arcs) || got.Vdd != f.Vdd || got.Checkpoint.Seed != 41 {
+		t.Fatal("file recovered from power loss lost data")
+	}
+}
+
+// TestSaveCrashMidWriteKeepsOldVersion: a crash during the temp-file write
+// of a newer version must leave the previous version fully intact at the
+// target path, with no temp debris surviving the remount.
+func TestSaveCrashMidWriteKeepsOldVersion(t *testing.T) {
+	fs := faultfs.New()
+	if err := fs.MkdirAll("lib", 0o755); err != nil {
+		t.Fatal(err)
+	}
+	v1 := sampleFile()
+	v1.Checkpoint = &Checkpoint{Profile: "standard", Seed: 1}
+	if err := v1.SaveFS(fs, "lib/coeffs.json"); err != nil {
+		t.Fatal(err)
+	}
+
+	v2 := sampleFile()
+	v2.Checkpoint = &Checkpoint{Profile: "standard", Seed: 2}
+	fs.CrashAfterWrites(fs.Writes()+1, 7) // tear the next write after 7 bytes
+	if err := v2.SaveFS(fs, "lib/coeffs.json"); !errors.Is(err, faultfs.ErrCrashed) {
+		t.Fatalf("crashing Save returned %v", err)
+	}
+
+	img := fs.Image()
+	got := loadImage(t, img, "lib/coeffs.json")
+	if got.Checkpoint == nil || got.Checkpoint.Seed != 1 {
+		t.Fatalf("surviving file is not v1: %+v", got.Checkpoint)
+	}
+	names, err := img.ReadDir("lib")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) != 1 || names[0] != "coeffs.json" {
+		t.Fatalf("temp debris survived the crash: %v", names)
+	}
+}
+
+// TestSaveSurfacesFsyncFailure: an fsync error must fail the Save (silently
+// swallowing it would report durability that does not exist) and leave any
+// previous version in place.
+func TestSaveSurfacesFsyncFailure(t *testing.T) {
+	fs := faultfs.New()
+	if err := fs.MkdirAll("lib", 0o755); err != nil {
+		t.Fatal(err)
+	}
+	v1 := sampleFile()
+	v1.Checkpoint = &Checkpoint{Profile: "standard", Seed: 1}
+	if err := v1.SaveFS(fs, "lib/coeffs.json"); err != nil {
+		t.Fatal(err)
+	}
+	fs.FailNthSync(fs.SyncsSeen() + 1) // the temp-file fsync of the next Save
+	if err := v1.SaveFS(fs, "lib/coeffs.json"); !errors.Is(err, faultfs.ErrSyncFailed) {
+		t.Fatalf("Save with failing fsync returned %v", err)
+	}
+	got := loadImage(t, fs.Image(), "lib/coeffs.json")
+	if got.Checkpoint == nil || got.Checkpoint.Seed != 1 {
+		t.Fatalf("previous version damaged by failed Save: %+v", got.Checkpoint)
+	}
+}

@@ -15,10 +15,10 @@ import (
 	"fmt"
 	"io"
 	"os"
-	"path/filepath"
 
 	"repro/internal/nsigma"
 	"repro/internal/stdcell"
+	"repro/internal/wal"
 	"repro/internal/waveform"
 	"repro/internal/wire"
 )
@@ -136,29 +136,20 @@ func Read(r io.Reader) (*File, error) {
 }
 
 // Save writes the file to path crash-safely: the document is written to a
-// temporary file in the same directory, synced, and renamed into place, so
-// a run killed mid-write never leaves a truncated or corrupt coefficients
-// file behind — the previous version (if any) survives intact. This is
-// what makes periodic characterisation checkpoints safe.
+// temporary file in the same directory, fsynced, renamed into place, and the
+// parent directory entry is fsynced, so a run killed mid-write never leaves
+// a truncated or corrupt coefficients file behind — the previous version (if
+// any) survives intact, and a freshly created file cannot vanish after a
+// power loss (the directory fsync is what pins the rename). This is what
+// makes periodic characterisation checkpoints safe.
 func (f *File) Save(path string) error {
-	dir := filepath.Dir(path)
-	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
-	if err != nil {
-		return err
-	}
-	defer os.Remove(tmp.Name()) // no-op after a successful rename
-	if err := f.Write(tmp); err != nil {
-		tmp.Close()
-		return err
-	}
-	if err := tmp.Sync(); err != nil {
-		tmp.Close()
-		return err
-	}
-	if err := tmp.Close(); err != nil {
-		return err
-	}
-	return os.Rename(tmp.Name(), path)
+	return f.SaveFS(wal.OS(), path)
+}
+
+// SaveFS is Save over an explicit filesystem — the seam the fault-injection
+// tests use to prove the crash-safety claim byte by byte.
+func (f *File) SaveFS(fsys wal.FS, path string) error {
+	return wal.AtomicWrite(fsys, path, f.Write)
 }
 
 // Load reads the file at path.

@@ -1,0 +1,493 @@
+// Package faultfs is an in-memory wal.FS with byte-level fault injection:
+// short writes, fsync failures, and crash points that freeze the filesystem
+// and yield the durable image a power loss would leave behind. It drives
+// the kill-after-every-record recovery property tests and the atomic-save
+// regression tests.
+//
+// Durability model (a deliberate worst-case reading of POSIX):
+//
+//   - File *content* written before the crash survives as written — except
+//     the write the crash lands on, which keeps only its configured prefix
+//     (a torn write). Callers that need the stricter "unsynced data is
+//     lost" reading can set DropUnsynced, which rolls every file back to
+//     its last fsynced length.
+//   - A file's *name* survives only if the directory entry was made durable
+//     by a SyncDir after the last create/rename/remove affecting it. A file
+//     created (or renamed into place) without a directory sync vanishes
+//     entirely at the crash image, whatever was fsynced into it.
+//
+// After the crash point fires, every subsequent operation returns
+// ErrCrashed; Image() then builds the surviving filesystem to remount.
+package faultfs
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/wal"
+)
+
+// ErrCrashed is returned by every operation after the crash point fired.
+var ErrCrashed = errors.New("faultfs: simulated crash")
+
+// ErrSyncFailed is the injected fsync failure.
+var ErrSyncFailed = errors.New("faultfs: injected fsync failure")
+
+// inode is one file's content, shared by every name and handle that
+// references it.
+type inode struct {
+	data   []byte
+	synced int // durable length as of the last File.Sync
+}
+
+// FS implements wal.FS in memory with fault injection. The zero value is
+// not usable; create with New.
+type FS struct {
+	mu     sync.Mutex
+	inodes map[string]*inode // live namespace: name → inode
+	dirs   map[string]bool   // live directories
+	// durable mirrors the namespace as of the relevant SyncDir calls.
+	durableNames map[string]*inode
+	durableDirs  map[string]bool
+
+	writes       int // Write ops seen so far
+	crashAtWr    int // crash on the Nth write (1-based; 0 = disarmed)
+	crashKeep    int // bytes of the crashing write that still land
+	crashed      bool
+	dropUnsynced bool
+
+	syncs     int // Sync ops seen so far
+	failSyncN int // fail the Nth sync (1-based; 0 = disarmed)
+}
+
+// New returns an empty fault-injection filesystem with no faults armed.
+func New() *FS {
+	return &FS{
+		inodes:       map[string]*inode{},
+		dirs:         map[string]bool{"/": true, ".": true},
+		durableNames: map[string]*inode{},
+		durableDirs:  map[string]bool{"/": true, ".": true},
+	}
+}
+
+// CrashAfterWrites arms the crash point: the nth Write (1-based, counted
+// across all files) keeps only keep bytes and every operation afterwards
+// returns ErrCrashed.
+func (f *FS) CrashAfterWrites(n, keep int) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.crashAtWr, f.crashKeep = n, keep
+}
+
+// FailNthSync arms a one-shot fsync failure on the nth Sync call (1-based),
+// without crashing the filesystem.
+func (f *FS) FailNthSync(n int) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.failSyncN = n
+}
+
+// SetDropUnsynced selects the strict durability reading: at the crash
+// image, file content rolls back to the last fsynced length instead of
+// keeping completed-but-unsynced writes.
+func (f *FS) SetDropUnsynced(v bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.dropUnsynced = v
+}
+
+// CrashNow triggers the crash point immediately.
+func (f *FS) CrashNow() {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.crashed = true
+}
+
+// Crashed reports whether the crash point has fired.
+func (f *FS) Crashed() bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.crashed
+}
+
+// Writes returns the number of Write operations seen so far — the basis
+// for enumerating crash points.
+func (f *FS) Writes() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.writes
+}
+
+// SyncsSeen returns the number of Sync/SyncDir operations seen so far — the
+// basis for aiming FailNthSync.
+func (f *FS) SyncsSeen() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.syncs
+}
+
+// Image returns the filesystem a remount after the crash would see: only
+// durably-linked names, with the content each inode carries under the
+// durability model. The image is a fresh, fault-free FS (arm new faults
+// explicitly). Calling Image before a crash yields the would-be image of a
+// crash at this instant.
+func (f *FS) Image() *FS {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	img := New()
+	for d := range f.durableDirs {
+		img.dirs[d] = true
+		img.durableDirs[d] = true
+	}
+	for name, ino := range f.durableNames {
+		data := ino.data
+		if f.dropUnsynced {
+			data = data[:min(ino.synced, len(data))]
+		}
+		cp := &inode{data: append([]byte(nil), data...)}
+		cp.synced = len(cp.data)
+		img.inodes[name] = cp
+		img.durableNames[name] = cp
+		// Parent dirs of surviving names exist on remount.
+		for d := filepath.Dir(name); d != "." && d != "/"; d = filepath.Dir(d) {
+			img.dirs[d] = true
+			img.durableDirs[d] = true
+		}
+	}
+	return img
+}
+
+// ReadFile returns the live content of name (test convenience).
+func (f *FS) ReadFile(name string) ([]byte, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	ino, ok := f.inodes[cleanPath(name)]
+	if !ok {
+		return nil, &os.PathError{Op: "open", Path: name, Err: os.ErrNotExist}
+	}
+	return append([]byte(nil), ino.data...), nil
+}
+
+func cleanPath(p string) string { return filepath.Clean(p) }
+
+func (f *FS) checkCrashed() error {
+	if f.crashed {
+		return ErrCrashed
+	}
+	return nil
+}
+
+// --- wal.FS implementation ---
+
+// OpenFile implements wal.FS.
+func (f *FS) OpenFile(name string, flag int, perm os.FileMode) (wal.File, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if err := f.checkCrashed(); err != nil {
+		return nil, err
+	}
+	name = cleanPath(name)
+	dir := filepath.Dir(name)
+	if !f.dirs[dir] {
+		return nil, &os.PathError{Op: "open", Path: name, Err: os.ErrNotExist}
+	}
+	ino, ok := f.inodes[name]
+	if !ok {
+		if flag&os.O_CREATE == 0 {
+			return nil, &os.PathError{Op: "open", Path: name, Err: os.ErrNotExist}
+		}
+		ino = &inode{}
+		f.inodes[name] = ino
+	} else if flag&os.O_TRUNC != 0 {
+		ino.data = nil
+		ino.synced = 0
+	}
+	h := &handle{fs: f, ino: ino, name: name}
+	if flag&os.O_APPEND != 0 {
+		h.off = int64(len(ino.data))
+	}
+	return h, nil
+}
+
+// Rename implements wal.FS. The rename is atomic in the live namespace but
+// durable only after a SyncDir of the parent directory.
+func (f *FS) Rename(oldpath, newpath string) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if err := f.checkCrashed(); err != nil {
+		return err
+	}
+	oldpath, newpath = cleanPath(oldpath), cleanPath(newpath)
+	ino, ok := f.inodes[oldpath]
+	if !ok {
+		return &os.PathError{Op: "rename", Path: oldpath, Err: os.ErrNotExist}
+	}
+	delete(f.inodes, oldpath)
+	f.inodes[newpath] = ino
+	return nil
+}
+
+// Remove implements wal.FS.
+func (f *FS) Remove(name string) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if err := f.checkCrashed(); err != nil {
+		return err
+	}
+	name = cleanPath(name)
+	if _, ok := f.inodes[name]; !ok {
+		if !f.dirs[name] {
+			return &os.PathError{Op: "remove", Path: name, Err: os.ErrNotExist}
+		}
+		// Directories mirror MkdirAll's coarse model: creation and removal of
+		// the entry are durable immediately (files are the fault surface).
+		delete(f.dirs, name)
+		delete(f.durableDirs, name)
+		return nil
+	}
+	delete(f.inodes, name)
+	return nil
+}
+
+// MkdirAll implements wal.FS. Directory creation is treated as durable
+// immediately — the interesting fault surface here is files, not mkdir.
+func (f *FS) MkdirAll(dir string, perm os.FileMode) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if err := f.checkCrashed(); err != nil {
+		return err
+	}
+	dir = cleanPath(dir)
+	for d := dir; ; d = filepath.Dir(d) {
+		f.dirs[d] = true
+		f.durableDirs[d] = true
+		if d == "." || d == "/" || filepath.Dir(d) == d {
+			break
+		}
+	}
+	return nil
+}
+
+// ReadDir implements wal.FS.
+func (f *FS) ReadDir(dir string) ([]string, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if err := f.checkCrashed(); err != nil {
+		return nil, err
+	}
+	dir = cleanPath(dir)
+	if !f.dirs[dir] {
+		return nil, &os.PathError{Op: "readdir", Path: dir, Err: os.ErrNotExist}
+	}
+	seen := map[string]bool{}
+	collect := func(name string) {
+		if filepath.Dir(name) == dir {
+			seen[filepath.Base(name)] = true
+			return
+		}
+		// Deeper entries surface as their first component under dir.
+		if rel, err := filepath.Rel(dir, name); err == nil && !strings.HasPrefix(rel, "..") {
+			if i := strings.IndexByte(rel, filepath.Separator); i > 0 {
+				seen[rel[:i]] = true
+			}
+		}
+	}
+	for name := range f.inodes {
+		collect(name)
+	}
+	for d := range f.dirs {
+		if d != dir {
+			collect(d)
+		}
+	}
+	names := make([]string, 0, len(seen))
+	for n := range seen {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// SyncDir implements wal.FS: the directory's current name set becomes
+// durable.
+func (f *FS) SyncDir(dir string) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if err := f.checkCrashed(); err != nil {
+		return err
+	}
+	f.syncs++
+	if f.failSyncN > 0 && f.syncs == f.failSyncN {
+		f.failSyncN = 0
+		return fmt.Errorf("syncdir %s: %w", dir, ErrSyncFailed)
+	}
+	dir = cleanPath(dir)
+	for name, ino := range f.inodes {
+		if filepath.Dir(name) == dir {
+			f.durableNames[name] = ino
+		}
+	}
+	for name := range f.durableNames {
+		if filepath.Dir(name) == dir {
+			if _, live := f.inodes[name]; !live {
+				delete(f.durableNames, name)
+			}
+		}
+	}
+	return nil
+}
+
+// --- file handles ---
+
+// handle is one open file descriptor over an inode.
+type handle struct {
+	fs     *FS
+	ino    *inode
+	name   string
+	off    int64
+	closed bool
+}
+
+// Read implements io.Reader.
+func (h *handle) Read(p []byte) (int, error) {
+	h.fs.mu.Lock()
+	defer h.fs.mu.Unlock()
+	if err := h.fs.checkCrashed(); err != nil {
+		return 0, err
+	}
+	if h.closed {
+		return 0, os.ErrClosed
+	}
+	if h.off >= int64(len(h.ino.data)) {
+		return 0, io.EOF
+	}
+	n := copy(p, h.ino.data[h.off:])
+	h.off += int64(n)
+	return n, nil
+}
+
+// Write implements io.Writer with the crash point: the armed write keeps
+// only its configured prefix and trips the crash.
+func (h *handle) Write(p []byte) (int, error) {
+	h.fs.mu.Lock()
+	defer h.fs.mu.Unlock()
+	if err := h.fs.checkCrashed(); err != nil {
+		return 0, err
+	}
+	if h.closed {
+		return 0, os.ErrClosed
+	}
+	h.fs.writes++
+	n := len(p)
+	crash := h.fs.crashAtWr > 0 && h.fs.writes == h.fs.crashAtWr
+	if crash {
+		n = h.fs.crashKeep
+		if n > len(p) {
+			n = len(p)
+		}
+	}
+	end := h.off + int64(n)
+	if end > int64(len(h.ino.data)) {
+		grown := make([]byte, end)
+		copy(grown, h.ino.data)
+		h.ino.data = grown
+	}
+	copy(h.ino.data[h.off:end], p[:n])
+	h.off = end
+	if crash {
+		h.fs.crashed = true
+		return n, fmt.Errorf("write %s: %w", h.name, ErrCrashed)
+	}
+	return n, nil
+}
+
+// Sync implements wal.File.
+func (h *handle) Sync() error {
+	h.fs.mu.Lock()
+	defer h.fs.mu.Unlock()
+	if err := h.fs.checkCrashed(); err != nil {
+		return err
+	}
+	if h.closed {
+		return os.ErrClosed
+	}
+	h.fs.syncs++
+	if h.fs.failSyncN > 0 && h.fs.syncs == h.fs.failSyncN {
+		h.fs.failSyncN = 0
+		return fmt.Errorf("sync %s: %w", h.name, ErrSyncFailed)
+	}
+	h.ino.synced = len(h.ino.data)
+	return nil
+}
+
+// Truncate implements wal.File.
+func (h *handle) Truncate(size int64) error {
+	h.fs.mu.Lock()
+	defer h.fs.mu.Unlock()
+	if err := h.fs.checkCrashed(); err != nil {
+		return err
+	}
+	if h.closed {
+		return os.ErrClosed
+	}
+	if size < 0 {
+		return fmt.Errorf("truncate %s: negative size %d", h.name, size)
+	}
+	if size <= int64(len(h.ino.data)) {
+		h.ino.data = h.ino.data[:size]
+	} else {
+		grown := make([]byte, size)
+		copy(grown, h.ino.data)
+		h.ino.data = grown
+	}
+	if h.ino.synced > len(h.ino.data) {
+		h.ino.synced = len(h.ino.data)
+	}
+	return nil
+}
+
+// Seek implements io.Seeker.
+func (h *handle) Seek(offset int64, whence int) (int64, error) {
+	h.fs.mu.Lock()
+	defer h.fs.mu.Unlock()
+	if err := h.fs.checkCrashed(); err != nil {
+		return 0, err
+	}
+	if h.closed {
+		return 0, os.ErrClosed
+	}
+	var base int64
+	switch whence {
+	case io.SeekStart:
+		base = 0
+	case io.SeekCurrent:
+		base = h.off
+	case io.SeekEnd:
+		base = int64(len(h.ino.data))
+	default:
+		return 0, fmt.Errorf("seek %s: bad whence %d", h.name, whence)
+	}
+	if base+offset < 0 {
+		return 0, fmt.Errorf("seek %s: negative offset", h.name)
+	}
+	h.off = base + offset
+	return h.off, nil
+}
+
+// Close implements io.Closer. Closing is allowed after a crash (drivers
+// unwind); it just marks the handle dead.
+func (h *handle) Close() error {
+	h.fs.mu.Lock()
+	defer h.fs.mu.Unlock()
+	if h.closed {
+		return os.ErrClosed
+	}
+	h.closed = true
+	return nil
+}

@@ -1,0 +1,133 @@
+// Package wal is the per-design durability layer of the timing service: an
+// append-only write-ahead log of length-prefixed, CRC-protected records with
+// a configurable fsync policy, plus the small filesystem abstraction (FS)
+// that lets the fault-injection harness (internal/wal/faultfs) simulate
+// short writes, fsync failures and power loss at every byte boundary.
+//
+// The crash-safety contract every consumer builds on:
+//
+//   - A record is durable once Append returns under SyncAlways (under
+//     SyncInterval, once the interval flusher has run).
+//   - Open truncates a torn tail — a partial or CRC-corrupt final record
+//     left by a crash mid-append — and recovers every record before it.
+//   - AtomicWrite replaces a file so that after a crash either the old or
+//     the new content is present, never a mix and never neither: temp file
+//     write, file fsync, rename, parent-directory fsync.
+package wal
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sync/atomic"
+)
+
+// File is the open-file surface the log and AtomicWrite need. *os.File
+// satisfies it; faultfs.FS hands out fault-injecting implementations.
+type File interface {
+	io.Reader
+	io.Writer
+	io.Closer
+	// Sync flushes the file's content to stable storage (fsync).
+	Sync() error
+	// Truncate cuts the file to size bytes (used to drop a torn tail and to
+	// compact a fully-snapshotted log).
+	Truncate(size int64) error
+	// Seek repositions the read/write offset.
+	Seek(offset int64, whence int) (int64, error)
+}
+
+// FS is the filesystem slice the durability layer runs on. The OS
+// implementation is OS(); faultfs provides the injectable in-memory one.
+type FS interface {
+	// OpenFile opens name with os.OpenFile semantics for the flags used
+	// here: O_RDWR|O_CREATE (log segments), O_WRONLY|O_CREATE|O_TRUNC
+	// (temp files), O_RDONLY (recovery reads).
+	OpenFile(name string, flag int, perm os.FileMode) (File, error)
+	// Rename atomically replaces newpath with oldpath (POSIX rename).
+	Rename(oldpath, newpath string) error
+	// Remove unlinks name.
+	Remove(name string) error
+	// MkdirAll creates dir and any missing parents.
+	MkdirAll(dir string, perm os.FileMode) error
+	// ReadDir lists the names (files and directories) directly under dir,
+	// sorted. A missing directory returns an error satisfying os.IsNotExist
+	// via errors.Is(err, os.ErrNotExist).
+	ReadDir(dir string) ([]string, error)
+	// SyncDir fsyncs the directory entry itself, making previously created,
+	// renamed or removed names under dir durable.
+	SyncDir(dir string) error
+}
+
+// osFS is the real filesystem.
+type osFS struct{}
+
+// OS returns the operating-system FS.
+func OS() FS { return osFS{} }
+
+func (osFS) OpenFile(name string, flag int, perm os.FileMode) (File, error) {
+	return os.OpenFile(name, flag, perm)
+}
+
+func (osFS) Rename(oldpath, newpath string) error { return os.Rename(oldpath, newpath) }
+func (osFS) Remove(name string) error             { return os.Remove(name) }
+func (osFS) MkdirAll(dir string, perm os.FileMode) error {
+	return os.MkdirAll(dir, perm)
+}
+
+func (osFS) ReadDir(dir string) ([]string, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	names := make([]string, len(ents))
+	for i, e := range ents {
+		names[i] = e.Name()
+	}
+	return names, nil
+}
+
+func (osFS) SyncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
+}
+
+// tmpSeq disambiguates concurrent AtomicWrite temp files for one target.
+var tmpSeq atomic.Uint64
+
+// AtomicWrite replaces path with the bytes produced by write, crash-safely:
+// the content goes to a temporary file in the same directory, the file is
+// fsynced and closed, renamed over path, and the parent directory entry is
+// fsynced. After a power loss the path holds either the complete old or the
+// complete new content — a freshly created file cannot vanish (the
+// directory fsync is what pins the rename; without it the new entry may
+// never reach the disk even though the data blocks did).
+func AtomicWrite(fsys FS, path string, write func(io.Writer) error) error {
+	dir := filepath.Dir(path)
+	tmp := fmt.Sprintf("%s.tmp.%d.%d", path, os.Getpid(), tmpSeq.Add(1))
+	f, err := fsys.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	defer fsys.Remove(tmp) // no-op after a successful rename
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	if err := fsys.Rename(tmp, path); err != nil {
+		return err
+	}
+	return fsys.SyncDir(dir)
+}

@@ -1,0 +1,18 @@
+package wal
+
+import "repro/internal/obs"
+
+// Process-wide WAL metrics, aggregated across every open log (the timing
+// server keeps one per loaded design).
+var (
+	mAppends = obs.Default().Counter("wal_appends_total",
+		"Records appended across all write-ahead logs.")
+	mAppendBytes = obs.Default().Counter("wal_append_bytes_total",
+		"Bytes appended (headers included) across all write-ahead logs.")
+	mTruncations = obs.Default().Counter("wal_truncations_total",
+		"Compactions: logs truncated after their records were folded into a durable snapshot.")
+	mTornTailBytes = obs.Default().Counter("wal_torn_tail_bytes_total",
+		"Bytes dropped as torn or corrupt tails during log open/recovery.")
+	hFsyncSeconds = obs.Default().Histogram("wal_fsync_seconds",
+		"Wall time of one WAL fsync.")
+)

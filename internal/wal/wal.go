@@ -1,0 +1,402 @@
+package wal
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+)
+
+// SyncPolicy selects when appended records reach stable storage.
+type SyncPolicy int
+
+const (
+	// SyncAlways fsyncs after every append: an acknowledged record is
+	// durable. This is the default and the policy the recovery property
+	// tests assume.
+	SyncAlways SyncPolicy = iota
+	// SyncInterval batches fsyncs on a background timer: appends return
+	// after the buffered write, and up to Interval worth of acknowledged
+	// records may be lost on power failure. Crash *consistency* is
+	// unaffected — recovery still yields a clean record prefix.
+	SyncInterval
+)
+
+// ParsePolicy maps the -fsync flag values onto a SyncPolicy.
+func ParsePolicy(s string) (SyncPolicy, error) {
+	switch s {
+	case "always":
+		return SyncAlways, nil
+	case "interval":
+		return SyncInterval, nil
+	default:
+		return 0, fmt.Errorf("wal: unknown fsync policy %q (want always or interval)", s)
+	}
+}
+
+// Options tune Open.
+type Options struct {
+	// FS is the filesystem to run on (nil = the real one).
+	FS FS
+	// Policy is the fsync policy (default SyncAlways).
+	Policy SyncPolicy
+	// Interval is the background fsync period under SyncInterval
+	// (default 100ms).
+	Interval time.Duration
+}
+
+// ErrClosed is returned by operations on a closed log.
+var ErrClosed = errors.New("wal: log closed")
+
+// Record framing: a fixed 16-byte header followed by the payload.
+//
+//	[0:4)  uint32 LE  length of seq+payload (8 + len(payload))
+//	[4:8)  uint32 LE  CRC-32 (IEEE) of bytes [8 : 8+length)
+//	[8:16) uint64 LE  sequence number
+//	[16:…) payload
+//
+// The CRC covers the sequence number and the payload, so a record replayed
+// from a recycled offset with a stale length field cannot pass validation.
+const headerSize = 16
+
+// maxRecordBytes bounds one record (64 MiB) — a corrupt length field must
+// not drive recovery into allocating the torn garbage as one giant record.
+const maxRecordBytes = 64 << 20
+
+// Log is a single-file append-only record log. Append/Sync/TruncateAll/
+// Close are safe for concurrent use; one Log owns its file exclusively.
+type Log struct {
+	mu      sync.Mutex
+	fsys    FS
+	path    string
+	f       File
+	policy  SyncPolicy
+	lastSeq uint64
+	size    int64 // current file size (end offset for appends)
+	dirty   bool  // unsynced appends pending (SyncInterval)
+	closed  bool
+
+	flushStop chan struct{} // nil unless a background flusher runs
+	flushDone chan struct{}
+}
+
+// OpenResult reports what Open found in an existing log file.
+type OpenResult struct {
+	// Records is the number of valid records scanned (and replayed).
+	Records int
+	// LastSeq is the highest sequence number seen (0 for an empty log).
+	LastSeq uint64
+	// TruncatedBytes is the size of the torn tail dropped from the file —
+	// non-zero after recovery from a crash mid-append.
+	TruncatedBytes int64
+}
+
+// Open opens (creating if missing) the log at path, validates every record,
+// truncates a torn or corrupt tail, and streams the valid records through
+// replay in append order. It returns with the log positioned for appends.
+// A nil replay skips delivery but still validates and truncates.
+//
+// A torn tail is expected after a crash; anything that parses as a framing
+// violation mid-file is indistinguishable from one and is likewise dropped
+// together with everything after it (the count is reported in OpenResult
+// and the wal_torn_tail_bytes metric).
+func Open(path string, o Options, replay func(seq uint64, payload []byte) error) (*Log, OpenResult, error) {
+	var res OpenResult
+	fsys := o.FS
+	if fsys == nil {
+		fsys = OS()
+	}
+	if o.Interval <= 0 {
+		o.Interval = 100 * time.Millisecond
+	}
+	if err := fsys.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return nil, res, err
+	}
+	f, err := fsys.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, res, err
+	}
+	// Pin the log file's directory entry: a log created and synced but whose
+	// directory was never fsynced can vanish with the first power loss.
+	if err := fsys.SyncDir(filepath.Dir(path)); err != nil {
+		f.Close()
+		return nil, res, err
+	}
+
+	l := &Log{fsys: fsys, path: path, f: f, policy: o.Policy}
+	good, err := l.scan(replay, &res)
+	if err != nil {
+		f.Close()
+		return nil, res, err
+	}
+	if res.TruncatedBytes > 0 {
+		mTornTailBytes.Add(uint64(res.TruncatedBytes))
+		if err := f.Truncate(good); err != nil {
+			f.Close()
+			return nil, res, err
+		}
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return nil, res, err
+		}
+	}
+	if _, err := f.Seek(good, io.SeekStart); err != nil {
+		f.Close()
+		return nil, res, err
+	}
+	l.size = good
+	l.lastSeq = res.LastSeq
+	if o.Policy == SyncInterval {
+		l.flushStop = make(chan struct{})
+		l.flushDone = make(chan struct{})
+		go l.flushLoop(o.Interval)
+	}
+	return l, res, nil
+}
+
+// scan reads the file from the start, validating and delivering records.
+// It returns the offset just past the last valid record.
+func (l *Log) scan(replay func(uint64, []byte) error, res *OpenResult) (int64, error) {
+	if _, err := l.f.Seek(0, io.SeekStart); err != nil {
+		return 0, err
+	}
+	br := bufio.NewReader(l.f)
+	var good int64
+	var hdr [headerSize]byte
+	for {
+		if _, err := io.ReadFull(br, hdr[:]); err != nil {
+			if err == io.EOF {
+				return good, nil
+			}
+			if err == io.ErrUnexpectedEOF {
+				res.TruncatedBytes += tailSize(l, good)
+				return good, nil
+			}
+			return 0, err
+		}
+		length := binary.LittleEndian.Uint32(hdr[0:4])
+		crc := binary.LittleEndian.Uint32(hdr[4:8])
+		seq := binary.LittleEndian.Uint64(hdr[8:16])
+		// The first record establishes the sequence base (compaction keeps
+		// numbering monotonic across truncations, so a compacted log does not
+		// restart at 1); every later record must follow contiguously.
+		badSeq := seq == 0 || (res.Records > 0 && seq != res.LastSeq+1)
+		if length < 8 || length > maxRecordBytes || badSeq {
+			// Framing violation: torn header bytes, a corrupt length, or a
+			// stale record from a recycled region. Drop the tail.
+			res.TruncatedBytes += tailSize(l, good)
+			return good, nil
+		}
+		payload := make([]byte, length-8)
+		if _, err := io.ReadFull(br, payload); err != nil {
+			if err == io.EOF || err == io.ErrUnexpectedEOF {
+				res.TruncatedBytes += tailSize(l, good)
+				return good, nil
+			}
+			return 0, err
+		}
+		h := crc32.NewIEEE()
+		h.Write(hdr[8:16])
+		h.Write(payload)
+		if h.Sum32() != crc {
+			res.TruncatedBytes += tailSize(l, good)
+			return good, nil
+		}
+		if replay != nil {
+			if err := replay(seq, payload); err != nil {
+				return 0, err
+			}
+		}
+		res.Records++
+		res.LastSeq = seq
+		good += int64(headerSize) + int64(len(payload))
+	}
+}
+
+// tailSize measures how many bytes follow offset good — the torn tail the
+// caller is about to truncate.
+func tailSize(l *Log, good int64) int64 {
+	end, err := l.f.Seek(0, io.SeekEnd)
+	if err != nil {
+		return 0
+	}
+	// Restore the scan position; the caller re-seeks before appending.
+	l.f.Seek(good, io.SeekStart)
+	if end < good {
+		return 0
+	}
+	return end - good
+}
+
+// Append writes one record and returns its sequence number. Under
+// SyncAlways the record is durable when Append returns; under SyncInterval
+// it is durable after the next background flush (or Sync call).
+func (l *Log) Append(payload []byte) (uint64, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return 0, ErrClosed
+	}
+	if len(payload) > maxRecordBytes-8 {
+		return 0, fmt.Errorf("wal: record of %d bytes exceeds the %d-byte limit", len(payload), maxRecordBytes-8)
+	}
+	seq := l.lastSeq + 1
+	buf := make([]byte, headerSize+len(payload))
+	binary.LittleEndian.PutUint32(buf[0:4], uint32(8+len(payload)))
+	binary.LittleEndian.PutUint64(buf[8:16], seq)
+	copy(buf[headerSize:], payload)
+	h := crc32.NewIEEE()
+	h.Write(buf[8:16])
+	h.Write(buf[headerSize:])
+	binary.LittleEndian.PutUint32(buf[4:8], h.Sum32())
+
+	if _, err := l.f.Write(buf); err != nil {
+		// A short or failed write leaves a torn tail; the next Open truncates
+		// it. The log itself stays unusable for further appends only if the
+		// caller keeps going — reposition so a retry overwrites the tear.
+		if _, serr := l.f.Seek(l.size, io.SeekStart); serr == nil {
+			l.f.Truncate(l.size)
+		}
+		return 0, err
+	}
+	l.size += int64(len(buf))
+	l.lastSeq = seq
+	mAppends.Inc()
+	mAppendBytes.Add(uint64(len(buf)))
+	if l.policy == SyncAlways {
+		t0 := time.Now()
+		if err := l.f.Sync(); err != nil {
+			return 0, err
+		}
+		hFsyncSeconds.ObserveSince(t0)
+	} else {
+		l.dirty = true
+	}
+	return seq, nil
+}
+
+// Sync forces everything appended so far to stable storage.
+func (l *Log) Sync() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.syncLocked()
+}
+
+func (l *Log) syncLocked() error {
+	if l.closed {
+		return ErrClosed
+	}
+	if l.policy == SyncAlways && !l.dirty {
+		return nil
+	}
+	t0 := time.Now()
+	if err := l.f.Sync(); err != nil {
+		return err
+	}
+	hFsyncSeconds.ObserveSince(t0)
+	l.dirty = false
+	return nil
+}
+
+// flushLoop is the SyncInterval background fsync.
+func (l *Log) flushLoop(interval time.Duration) {
+	defer close(l.flushDone)
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-l.flushStop:
+			return
+		case <-t.C:
+			l.mu.Lock()
+			if !l.closed && l.dirty {
+				if err := l.f.Sync(); err == nil {
+					l.dirty = false
+				}
+			}
+			l.mu.Unlock()
+		}
+	}
+}
+
+// TruncateAll drops every record — the compaction step after the records
+// have been folded into a durable snapshot. The sequence counter is NOT
+// reset: later appends continue the monotonic numbering, so a snapshot
+// high-water mark stays unambiguous across compactions.
+func (l *Log) TruncateAll() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return ErrClosed
+	}
+	if err := l.f.Truncate(0); err != nil {
+		return err
+	}
+	if _, err := l.f.Seek(0, io.SeekStart); err != nil {
+		return err
+	}
+	if err := l.f.Sync(); err != nil {
+		return err
+	}
+	l.size = 0
+	l.dirty = false
+	mTruncations.Inc()
+	return nil
+}
+
+// LastSeq returns the sequence number of the most recent record (0 before
+// the first append on a fresh log).
+func (l *Log) LastSeq() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.lastSeq
+}
+
+// EnsureSeq raises the sequence counter to at least seq. Recovery calls
+// this with the snapshot's high-water mark after a compaction emptied the
+// file, so new appends never reuse a folded-in number.
+func (l *Log) EnsureSeq(seq uint64) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if seq > l.lastSeq {
+		l.lastSeq = seq
+	}
+}
+
+// Size returns the current log file size in bytes.
+func (l *Log) Size() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.size
+}
+
+// Close flushes pending appends and closes the file.
+func (l *Log) Close() error {
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return nil
+	}
+	var syncErr error
+	if l.dirty {
+		syncErr = l.f.Sync()
+		l.dirty = false
+	}
+	l.closed = true
+	stop := l.flushStop
+	l.mu.Unlock()
+	if stop != nil {
+		close(stop)
+		<-l.flushDone
+	}
+	if err := l.f.Close(); err != nil {
+		return err
+	}
+	return syncErr
+}

@@ -1,0 +1,334 @@
+package wal_test
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/wal"
+	"repro/internal/wal/faultfs"
+)
+
+type rec struct {
+	seq     uint64
+	payload string
+}
+
+// collect returns a replay callback appending into dst.
+func collect(dst *[]rec) func(uint64, []byte) error {
+	return func(seq uint64, payload []byte) error {
+		*dst = append(*dst, rec{seq, string(payload)})
+		return nil
+	}
+}
+
+func mustOpen(t *testing.T, path string, o wal.Options, replay func(uint64, []byte) error) (*wal.Log, wal.OpenResult) {
+	t.Helper()
+	l, res, err := wal.Open(path, o, replay)
+	if err != nil {
+		t.Fatalf("open %s: %v", path, err)
+	}
+	return l, res
+}
+
+func TestAppendReplayRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "d", "wal.log")
+	l, res := mustOpen(t, path, wal.Options{}, nil)
+	if res.Records != 0 || res.LastSeq != 0 {
+		t.Fatalf("fresh log scanned %+v", res)
+	}
+	const n = 25
+	for i := 0; i < n; i++ {
+		seq, err := l.Append([]byte(fmt.Sprintf("edit-%03d", i)))
+		if err != nil {
+			t.Fatalf("append %d: %v", i, err)
+		}
+		if seq != uint64(i+1) {
+			t.Fatalf("append %d: seq %d", i, seq)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	var got []rec
+	l2, res2 := mustOpen(t, path, wal.Options{}, collect(&got))
+	defer l2.Close()
+	if res2.Records != n || res2.LastSeq != n || res2.TruncatedBytes != 0 {
+		t.Fatalf("reopen scanned %+v", res2)
+	}
+	for i, r := range got {
+		if r.seq != uint64(i+1) || r.payload != fmt.Sprintf("edit-%03d", i) {
+			t.Fatalf("record %d = %+v", i, r)
+		}
+	}
+	if l2.LastSeq() != n {
+		t.Fatalf("LastSeq = %d", l2.LastSeq())
+	}
+}
+
+func TestTornTailTruncatedOnOpen(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.log")
+	l, _ := mustOpen(t, path, wal.Options{}, nil)
+	for i := 0; i < 5; i++ {
+		if _, err := l.Append([]byte("payload")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	goodSize := l.Size()
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Simulate a crash mid-append: garbage half-record at the tail.
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte{0x21, 0x00, 0x00, 0x00, 0xde, 0xad}); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	var got []rec
+	l2, res := mustOpen(t, path, wal.Options{}, collect(&got))
+	if res.Records != 5 || res.TruncatedBytes != 6 {
+		t.Fatalf("scan after tear: %+v", res)
+	}
+	if l2.Size() != goodSize {
+		t.Fatalf("size after truncation %d, want %d", l2.Size(), goodSize)
+	}
+	// The log must be appendable again, contiguously.
+	seq, err := l2.Append([]byte("after-tear"))
+	if err != nil || seq != 6 {
+		t.Fatalf("append after tear: seq %d err %v", seq, err)
+	}
+	l2.Close()
+
+	got = nil
+	l3, res3 := mustOpen(t, path, wal.Options{}, collect(&got))
+	defer l3.Close()
+	if res3.Records != 6 || res3.TruncatedBytes != 0 {
+		t.Fatalf("final scan: %+v", res3)
+	}
+	if got[5].payload != "after-tear" {
+		t.Fatalf("final record %+v", got[5])
+	}
+}
+
+func TestCorruptRecordDropsTail(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.log")
+	l, _ := mustOpen(t, path, wal.Options{}, nil)
+	for i := 0; i < 8; i++ {
+		if _, err := l.Append([]byte(fmt.Sprintf("p%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	l.Close()
+
+	// Flip one payload byte of record 4 (0-based): records 0..3 survive.
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recSize := len(raw) / 8
+	raw[4*recSize+16] ^= 0xff
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	var got []rec
+	l2, res := mustOpen(t, path, wal.Options{}, collect(&got))
+	defer l2.Close()
+	if res.Records != 4 {
+		t.Fatalf("recovered %d records, want 4 (%+v)", res.Records, res)
+	}
+	if res.TruncatedBytes != int64(4*recSize) {
+		t.Fatalf("truncated %d bytes, want %d", res.TruncatedBytes, 4*recSize)
+	}
+	for i, r := range got {
+		if r.payload != fmt.Sprintf("p%d", i) {
+			t.Fatalf("record %d = %+v", i, r)
+		}
+	}
+}
+
+func TestCompactionKeepsSeqMonotonic(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.log")
+	l, _ := mustOpen(t, path, wal.Options{}, nil)
+	for i := 0; i < 10; i++ {
+		if _, err := l.Append([]byte("x")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.TruncateAll(); err != nil {
+		t.Fatal(err)
+	}
+	if l.Size() != 0 {
+		t.Fatalf("size after compaction %d", l.Size())
+	}
+	seq, err := l.Append([]byte("post-compaction"))
+	if err != nil || seq != 11 {
+		t.Fatalf("append after compaction: seq %d err %v", seq, err)
+	}
+	l.Close()
+
+	// A compacted log restarts its scan at seq 11; the first record sets the
+	// base, so nothing is treated as torn.
+	var got []rec
+	l2, res := mustOpen(t, path, wal.Options{}, collect(&got))
+	if res.Records != 1 || res.LastSeq != 11 || res.TruncatedBytes != 0 {
+		t.Fatalf("scan: %+v", res)
+	}
+	// EnsureSeq raises, never lowers.
+	l2.EnsureSeq(5)
+	if l2.LastSeq() != 11 {
+		t.Fatalf("EnsureSeq lowered to %d", l2.LastSeq())
+	}
+	l2.EnsureSeq(20)
+	if seq, _ := l2.Append([]byte("y")); seq != 21 {
+		t.Fatalf("append after EnsureSeq: seq %d", seq)
+	}
+	l2.Close()
+}
+
+// TestKillDuringAppendEveryPrefix is the wal-level half of the
+// kill-after-every-record property: for every crash point (each append's
+// write, at several torn-prefix lengths), the remounted log must recover
+// exactly the records fully appended before the crash.
+func TestKillDuringAppendEveryPrefix(t *testing.T) {
+	const n = 6
+	payload := func(i int) []byte { return []byte(fmt.Sprintf("record-%d-%s", i, "0123456789abcdef")) }
+	recLen := 16 + len(payload(0))
+
+	for crashWrite := 1; crashWrite <= n; crashWrite++ {
+		for _, keep := range []int{0, 1, 4, 15, 16, recLen - 1} {
+			ffs := faultfs.New()
+			l, _, err := wal.Open("data/wal.log", wal.Options{FS: ffs}, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ffs.CrashAfterWrites(crashWrite, keep)
+			appended := 0
+			for i := 0; i < n; i++ {
+				if _, err := l.Append(payload(i)); err != nil {
+					break
+				}
+				appended++
+			}
+			if appended != crashWrite-1 {
+				t.Fatalf("crash@%d keep=%d: %d appends succeeded", crashWrite, keep, appended)
+			}
+
+			var got []rec
+			l2, res, err := wal.Open("data/wal.log", wal.Options{FS: ffs.Image()}, collect(&got))
+			if err != nil {
+				t.Fatalf("crash@%d keep=%d: remount: %v", crashWrite, keep, err)
+			}
+			if res.Records != appended {
+				t.Fatalf("crash@%d keep=%d: recovered %d records, want %d",
+					crashWrite, keep, res.Records, appended)
+			}
+			if wantTorn := int64(keep); res.TruncatedBytes != wantTorn {
+				t.Fatalf("crash@%d keep=%d: torn %d bytes, want %d",
+					crashWrite, keep, res.TruncatedBytes, wantTorn)
+			}
+			for i, r := range got {
+				if !bytes.Equal([]byte(r.payload), payload(i)) || r.seq != uint64(i+1) {
+					t.Fatalf("crash@%d keep=%d: record %d = %+v", crashWrite, keep, i, r)
+				}
+			}
+			// The survivor must accept appends at the next seq.
+			if seq, err := l2.Append([]byte("resumed")); err != nil || seq != uint64(appended+1) {
+				t.Fatalf("crash@%d keep=%d: resume append seq %d err %v", crashWrite, keep, seq, err)
+			}
+			l2.Close()
+		}
+	}
+}
+
+func TestFsyncFailureSurfaces(t *testing.T) {
+	ffs := faultfs.New()
+	l, _, err := wal.Open("wal.log", wal.Options{FS: ffs}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	if _, err := l.Append([]byte("ok")); err != nil {
+		t.Fatal(err)
+	}
+	ffs.FailNthSync(ffs.SyncsSeen() + 1)
+	if _, err := l.Append([]byte("doomed")); !errors.Is(err, faultfs.ErrSyncFailed) {
+		t.Fatalf("append with failing fsync: %v", err)
+	}
+	// The failure is one-shot; the log keeps working.
+	if _, err := l.Append([]byte("recovered")); err != nil {
+		t.Fatalf("append after fsync failure: %v", err)
+	}
+}
+
+func TestSyncIntervalPolicy(t *testing.T) {
+	ffs := faultfs.New()
+	l, _, err := wal.Open("wal.log", wal.Options{FS: ffs, Policy: wal.SyncInterval, Interval: 5 * time.Millisecond}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Append([]byte("buffered")); err != nil {
+		t.Fatal(err)
+	}
+	// The background flusher makes it durable without an explicit Sync.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		ffs.SetDropUnsynced(true)
+		img := ffs.Image()
+		ffs.SetDropUnsynced(false)
+		if data, err := img.ReadFile("wal.log"); err == nil && len(data) > 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("interval flusher never made the append durable")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAtomicWriteCrashSafety(t *testing.T) {
+	ffs := faultfs.New()
+	if err := ffs.MkdirAll("snaps", 0o755); err != nil {
+		t.Fatal(err)
+	}
+	write := func(content string) func(io.Writer) error {
+		return func(w io.Writer) error {
+			_, err := w.Write([]byte(content))
+			return err
+		}
+	}
+	// A completed AtomicWrite survives a crash immediately after it returns:
+	// the dir fsync pinned the rename.
+	if err := wal.AtomicWrite(ffs, "snaps/s.json", write("v1")); err != nil {
+		t.Fatal(err)
+	}
+	ffs.CrashNow()
+	img := ffs.Image()
+	if data, err := img.ReadFile("snaps/s.json"); err != nil || string(data) != "v1" {
+		t.Fatalf("after crash: %q, %v", data, err)
+	}
+
+	// A crash during the replacement write leaves the old content intact.
+	img.CrashAfterWrites(img.Writes()+1, 1)
+	if err := wal.AtomicWrite(img, "snaps/s.json", write("v2-much-longer")); err == nil {
+		t.Fatal("AtomicWrite during crash succeeded")
+	}
+	img2 := img.Image()
+	if data, err := img2.ReadFile("snaps/s.json"); err != nil || string(data) != "v1" {
+		t.Fatalf("old content lost: %q, %v", data, err)
+	}
+}
