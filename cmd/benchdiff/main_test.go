@@ -50,6 +50,30 @@ func TestParseStreamNameElidedForm(t *testing.T) {
 	}
 }
 
+func TestParseStreamCountRepetitionsKeepMin(t *testing.T) {
+	// With -count>1, test2json attributes only the first repetition to a
+	// Test field; later repetitions arrive as bare result lines preceded by
+	// a name-only output event with no Test. The minimum must still win.
+	stream := `{"Action":"output","Package":"repro/internal/circuit","Test":"BenchmarkTransientInverter","Output":"BenchmarkTransientInverter \t"}
+{"Action":"output","Package":"repro/internal/circuit","Test":"BenchmarkTransientInverter","Output":"       4\t    169904 ns/op\t   15808 B/op\t      66 allocs/op\n"}
+{"Action":"output","Package":"repro/internal/circuit","Output":"BenchmarkTransientInverter \t"}
+{"Action":"output","Package":"repro/internal/circuit","Output":"       4\t    123767 ns/op\t   15808 B/op\t      66 allocs/op\n"}
+{"Action":"output","Package":"repro/internal/circuit","Output":"BenchmarkTransientInverter \t"}
+{"Action":"output","Package":"repro/internal/circuit","Output":"       4\t    251929 ns/op\t   15808 B/op\t      66 allocs/op\n"}
+`
+	measured, err := parseStream(strings.NewReader(stream))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, ok := measured["BenchmarkTransientInverter"]
+	if !ok {
+		t.Fatalf("benchmark missing: %+v", measured)
+	}
+	if m.nsPerOp != 123767 {
+		t.Errorf("expected min across -count repetitions (123767), got %g", m.nsPerOp)
+	}
+}
+
 func TestParseStreamRawText(t *testing.T) {
 	raw := "goos: linux\nBenchmarkFoo-8 \t 200 \t 5500 ns/op\nPASS\n"
 	measured, err := parseStream(strings.NewReader(raw))

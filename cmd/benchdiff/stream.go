@@ -71,6 +71,13 @@ var resultLine = regexp.MustCompile(`^\d+\s+([0-9.eE+]+) ns/op`)
 // gomaxprocsSuffix strips the trailing -N of a fully qualified bench name.
 var gomaxprocsSuffix = regexp.MustCompile(`-\d+$`)
 
+// nameOnlyLine matches the name-only prefix the testing package prints
+// before a result ("BenchmarkFoo \t" or a bare "BenchmarkFoo" line). With
+// -count>1, test2json attributes only the first repetition's timing to a
+// Test field; later repetitions arrive as bare result lines whose name
+// appears solely in the preceding name-only output event.
+var nameOnlyLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s*$`)
+
 // parseStream extracts benchmark timings from a `go test -json` stream.
 // Lines that are not JSON are treated as raw `go test -bench` output, so the
 // tool works on both piped -json runs and plain captured logs. Repeated runs
@@ -79,6 +86,7 @@ func parseStream(r io.Reader) (map[string]measurement, error) {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1024*1024), 64*1024*1024)
 	measured := make(map[string]measurement)
+	pending := make(map[string]string) // package → last name-only bench line
 	record := func(name, pkg string, ns float64) {
 		if ns <= 0 {
 			return
@@ -109,13 +117,22 @@ func parseStream(r io.Reader) (map[string]measurement, error) {
 			}
 			continue
 		}
+		if m := nameOnlyLine.FindStringSubmatch(text); m != nil {
+			pending[pkg] = m[1]
+			continue
+		}
 		// Name-elided form: "     145\t    140381 ns/op" with the benchmark
-		// name carried by the surrounding -json event.
-		if strings.HasPrefix(test, "Benchmark") {
-			if m := resultLine.FindStringSubmatch(text); m != nil {
+		// name carried by the surrounding -json event's Test field or, for
+		// -count repetitions past the first, by the preceding name-only line.
+		if m := resultLine.FindStringSubmatch(text); m != nil {
+			name := gomaxprocsSuffix.ReplaceAllString(test, "")
+			if !strings.HasPrefix(name, "Benchmark") {
+				name = pending[pkg]
+			}
+			if strings.HasPrefix(name, "Benchmark") {
 				ns, err := strconv.ParseFloat(m[1], 64)
 				if err == nil {
-					record(gomaxprocsSuffix.ReplaceAllString(test, ""), pkg, ns)
+					record(name, pkg, ns)
 				}
 			}
 		}

@@ -48,6 +48,8 @@ func main() {
 		resume      = flag.Bool("resume", false, "resume from a checkpointed output file, skipping fitted arcs")
 		ckptEvery   = flag.Int("checkpoint-every", 4, "checkpoint the output file every N fitted arcs (0 disables)")
 		maxFailFrac = flag.Float64("max-fail-frac", 0, "max quarantined sample fraction per grid point (0 = default 2%, negative disables quarantine)")
+		mcTol       = flag.Float64("mc-tol", 0, "adaptive Monte-Carlo tolerance: stop a grid point once the delay mean and sigma 95% CI half-widths fall below this fraction of the mean delay (0 = draw the full sample budget)")
+		mcFloor     = flag.Int("mc-floor", 0, "minimum adaptive Monte-Carlo samples before convergence is tested (0 = default 64; ignored without -mc-tol)")
 		timeout     = flag.Duration("timeout", 0, "abort the run after this long (0 = no limit)")
 		cpuProfile  = outFlag("cpu-profile-out", "cpuprofile", "write a CPU profile to this file")
 		memProfile  = outFlag("mem-profile-out", "memprofile", "write a heap profile to this file at exit")
@@ -89,6 +91,11 @@ func main() {
 	ctx.Log = os.Stderr
 	ctx.Cfg.Workers = *workers
 	ctx.Cfg.MaxFailFraction = *maxFailFrac
+	if *mcTol < 0 {
+		fatal(fmt.Errorf("characterize: -mc-tol must be non-negative, got %g", *mcTol))
+	}
+	ctx.Cfg.MCTol = *mcTol
+	ctx.Cfg.MCFloor = *mcFloor
 
 	runCtx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()

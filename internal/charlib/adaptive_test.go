@@ -1,0 +1,131 @@
+package charlib
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/waveform"
+)
+
+var adaptiveArc = Arc{Cell: "INVx1", Pin: "A", InEdge: waveform.Rising}
+
+// TestAdaptiveMCStopsEarlyOnEasyArc: a unit inverter at the reference point
+// has a tight delay distribution, so a loose tolerance must converge well
+// under the ceiling.
+func TestAdaptiveMCStopsEarlyOnEasyArc(t *testing.T) {
+	cfg := smallCfg()
+	cfg.MCTol = 0.05
+	s, err := cfg.MCArc(context.Background(), adaptiveArc, Reference.Slew, Reference.Load, 512, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s.Converged {
+		t.Fatal("easy arc did not converge before the 512-sample ceiling")
+	}
+	if s.Drawn >= 256 {
+		t.Fatalf("easy arc drew %d of 512 samples; expected well under half", s.Drawn)
+	}
+	if s.Drawn < DefaultMCFloor {
+		t.Fatalf("converged below the %d-sample floor: drew %d", DefaultMCFloor, s.Drawn)
+	}
+	if s.Requested != 512 {
+		t.Fatalf("Requested = %d, want the 512 ceiling", s.Requested)
+	}
+	if len(s.Delay) != s.Drawn {
+		t.Fatalf("%d survivors of %d drawn (no faults injected)", len(s.Delay), s.Drawn)
+	}
+}
+
+// TestAdaptiveMCIsPrefixOfFullRun: the adaptive run's samples must be a
+// bit-identical prefix of the full-budget run with the same seed — sample i
+// always derives from the same RNG sub-stream.
+func TestAdaptiveMCIsPrefixOfFullRun(t *testing.T) {
+	const n, seed = 256, 7
+	full, err := smallCfg().MCArc(context.Background(), adaptiveArc, Reference.Slew, Reference.Load, n, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full.Drawn != n || full.Converged {
+		t.Fatalf("MCTol=0 run must draw the full budget: drawn %d converged %v", full.Drawn, full.Converged)
+	}
+	cfg := smallCfg()
+	cfg.MCTol = 0.06
+	cfg.MCFloor = 32
+	adp, err := cfg.MCArc(context.Background(), adaptiveArc, Reference.Slew, Reference.Load, n, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !adp.Converged || adp.Drawn >= n {
+		t.Fatalf("adaptive run did not stop early: drawn %d", adp.Drawn)
+	}
+	for i := range adp.Delay {
+		if adp.Delay[i] != full.Delay[i] || adp.OutSlew[i] != full.OutSlew[i] {
+			t.Fatalf("sample %d diverges from the full-budget run", i)
+		}
+	}
+}
+
+// TestAdaptiveMCDeterministicAcrossWorkers: block boundaries are fixed, so
+// the stopping point and every sample are worker-count independent.
+func TestAdaptiveMCDeterministicAcrossWorkers(t *testing.T) {
+	run := func(workers int) *Samples {
+		cfg := smallCfg()
+		cfg.MCTol = 0.06
+		cfg.MCFloor = 32
+		cfg.Workers = workers
+		s, err := cfg.MCArc(context.Background(), adaptiveArc, Reference.Slew, Reference.Load, 256, 9)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+	a, b := run(1), run(4)
+	if a.Drawn != b.Drawn || a.Converged != b.Converged {
+		t.Fatalf("stopping point depends on workers: %d/%v vs %d/%v", a.Drawn, a.Converged, b.Drawn, b.Converged)
+	}
+	if len(a.Delay) != len(b.Delay) {
+		t.Fatalf("survivor count differs: %d vs %d", len(a.Delay), len(b.Delay))
+	}
+	for i := range a.Delay {
+		if a.Delay[i] != b.Delay[i] || a.OutSlew[i] != b.OutSlew[i] {
+			t.Fatalf("sample %d differs across worker counts", i)
+		}
+	}
+}
+
+// TestAdaptiveMCTolZeroBitIdentical: tolerance 0 disables adaptation
+// entirely — two full-budget runs with the same seed are bit-identical and
+// never report convergence.
+func TestAdaptiveMCTolZeroBitIdentical(t *testing.T) {
+	run := func() *Samples {
+		s, err := smallCfg().MCArc(context.Background(), adaptiveArc, Reference.Slew, Reference.Load, 96, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+	a, b := run(), run()
+	if a.Drawn != 96 || a.Converged {
+		t.Fatalf("MCTol=0: drawn %d converged %v", a.Drawn, a.Converged)
+	}
+	for i := range a.Delay {
+		if a.Delay[i] != b.Delay[i] || a.OutSlew[i] != b.OutSlew[i] {
+			t.Fatalf("sample %d not deterministic", i)
+		}
+	}
+}
+
+// TestAdaptiveMCFloorRespected: convergence is never tested before the
+// floor, even under an absurdly loose tolerance.
+func TestAdaptiveMCFloorRespected(t *testing.T) {
+	cfg := smallCfg()
+	cfg.MCTol = 10 // converges at the first test
+	cfg.MCFloor = 48
+	s, err := cfg.MCArc(context.Background(), adaptiveArc, Reference.Slew, Reference.Load, 256, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s.Converged || s.Drawn != 48 {
+		t.Fatalf("want convergence exactly at the 48-sample floor, got drawn %d converged %v", s.Drawn, s.Converged)
+	}
+}

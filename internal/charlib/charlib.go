@@ -17,6 +17,7 @@ package charlib
 import (
 	"context"
 	"fmt"
+	"math"
 	"runtime"
 	"sort"
 	"sync"
@@ -76,6 +77,21 @@ type Config struct {
 	// aborted with a *resilience.BudgetError. Zero means the default
 	// (DefaultMaxFailFraction); a negative value forbids any quarantine.
 	MaxFailFraction float64
+	// MCTol enables adaptive Monte-Carlo early termination: when positive,
+	// MCArc draws samples in deterministic blocks and stops as soon as the
+	// 95 % confidence half-widths of both the delay mean and the delay σ
+	// fall below MCTol × mean delay — or at the requested ceiling,
+	// whichever comes first. 0 (the default) disables adaptation: every run
+	// draws its full budget. For a fixed (seed, tolerance) the stopping
+	// point is deterministic and independent of Workers, and the drawn
+	// samples are a bit-identical prefix of the full-budget run (sample i
+	// always derives from seed's i-th sub-stream).
+	MCTol float64
+	// MCFloor is the minimum sample count adaptive runs draw before
+	// convergence is first tested (default DefaultMCFloor, clamped to the
+	// requested count). Ignored when MCTol is 0.
+	MCFloor int
+
 	// FaultInject, when non-nil, is consulted before every sample attempt;
 	// a non-nil return fails that attempt with the returned error. It
 	// exists so tests can exercise quarantine, retry and budget paths
@@ -113,6 +129,19 @@ func (c *Config) ReleaseSolvers(sc *circuit.SolverCache) {
 // Config.MaxFailFraction is zero: 2 % of samples per grid point.
 const DefaultMaxFailFraction = 0.02
 
+// DefaultMCFloor is the minimum adaptive Monte-Carlo sample count before
+// convergence is first tested (Config.MCFloor = 0).
+const DefaultMCFloor = 64
+
+// mcBlock is the sample increment between convergence re-tests once the
+// floor has been drawn. Fixed block boundaries keep the stopping point
+// deterministic regardless of worker count.
+const mcBlock = 32
+
+// mcZ is the normal z-score of the two-sided 95 % confidence interval the
+// adaptive stopping rule uses.
+const mcZ = 1.96
+
 // DefaultConfig returns a Config over the default 28-nm-class technology.
 func DefaultConfig() *Config {
 	tech := device.Default28nm()
@@ -147,6 +176,38 @@ func (c *Config) maxFailBudget(n int) int {
 		return 0
 	}
 	return int(frac * float64(n))
+}
+
+// mcFloor returns the effective adaptive floor for an n-sample budget.
+func (c *Config) mcFloor(n int) int {
+	floor := c.MCFloor
+	if floor <= 0 {
+		floor = DefaultMCFloor
+	}
+	if floor > n {
+		floor = n
+	}
+	return floor
+}
+
+// mcConverged applies the adaptive stopping rule to the surviving delay
+// samples drawn so far (in sample-index order): both the mean's and the
+// standard deviation's 95 % confidence half-widths must fall below
+// tol × mean delay. Fewer than eight survivors never converge — the four
+// downstream moments need meaningful support.
+func mcConverged(delays []float64, tol float64) bool {
+	m := len(delays)
+	if m < 8 {
+		return false
+	}
+	mom := stats.ComputeMoments(delays)
+	if !(mom.Mean > 0) {
+		return false
+	}
+	lim := tol * mom.Mean
+	meanHW := mcZ * mom.Std / math.Sqrt(float64(m))
+	sigmaHW := mcZ * mom.Std / math.Sqrt(2*float64(m-1))
+	return meanHW <= lim && sigmaHW <= lim
 }
 
 func (c *Config) failFraction() float64 {
@@ -282,8 +343,15 @@ type Samples struct {
 	Delay   []float64
 	OutSlew []float64
 
-	// Requested is the sample count the run was asked for.
+	// Requested is the sample count the run was asked for (the adaptive
+	// ceiling).
 	Requested int
+	// Drawn is the sample count actually attempted — equal to Requested
+	// unless adaptive Monte-Carlo (Config.MCTol) stopped early.
+	Drawn int
+	// Converged reports that the adaptive stopping rule fired before the
+	// ceiling; always false when Config.MCTol is 0.
+	Converged bool
 	// Retried counts samples that failed at least once but eventually
 	// succeeded.
 	Retried int
@@ -359,12 +427,18 @@ func (c *Config) measureSample(ctx context.Context, arc Arc, slew, loadC float64
 	return out
 }
 
-// MCArc runs n Monte-Carlo samples of the arc at (slew, loadC). Sample i
-// derives its variation draws from seed's i-th sub-stream, so results are
-// independent of worker count. A failed sample is retried per Config.Retry
-// and quarantined if it keeps failing; the run aborts early only when the
-// context is canceled, when the quarantine budget (Config.MaxFailFraction)
-// is exceeded, or on a non-retryable input error.
+// MCArc runs up to n Monte-Carlo samples of the arc at (slew, loadC).
+// Sample i derives its variation draws from seed's i-th sub-stream, so
+// results are independent of worker count. A failed sample is retried per
+// Config.Retry and quarantined if it keeps failing; the run aborts early
+// only when the context is canceled, when the quarantine budget
+// (Config.MaxFailFraction, measured against the requested n) is exceeded,
+// or on a non-retryable input error.
+//
+// With Config.MCTol set, sampling is adaptive: blocks are drawn until the
+// delay mean and σ confidence intervals converge (see Config.MCTol), so an
+// easy arc may stop well under n. The drawn samples are always a
+// bit-identical prefix of the full-budget run with the same seed.
 func (c *Config) MCArc(ctx context.Context, arc Arc, slew, loadC float64, n int, seed uint64) (*Samples, error) {
 	if ctx == nil {
 		ctx = context.Background()
@@ -414,67 +488,118 @@ func (c *Config) MCArc(ctx context.Context, arc Arc, slew, loadC float64, n int,
 		cancel() // stop the other workers promptly: the run is doomed
 	}
 
-	next := make(chan int, n)
-	for i := 0; i < n; i++ {
-		next <- i
-	}
-	close(next)
-
-	var wg sync.WaitGroup
-	for w := 0; w < c.workers(); w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			cache := c.AcquireSolvers()
-			defer c.ReleaseSolvers(cache)
-			for i := range next {
-				if runCtx.Err() != nil {
-					return
-				}
-				ts := time.Now()
-				out := c.measureSample(runCtx, arc, slew, loadC, base, i, cache)
-				hMCSampleSeconds.ObserveSince(ts)
-				if out.ok {
-					mMCSamples.Inc()
-					delays[i], slews[i], ok[i] = out.delay, out.outSlew, true
-					if out.attempts > 1 {
-						mu.Lock()
-						retried++
-						mu.Unlock()
+	// runBlock draws samples [lo, hi) through the worker pool. Each block is
+	// a barrier: the adaptive loop only tests convergence on completed,
+	// index-contiguous prefixes, which is what makes the stopping point
+	// independent of worker scheduling.
+	runBlock := func(lo, hi int) {
+		next := make(chan int, hi-lo)
+		for i := lo; i < hi; i++ {
+			next <- i
+		}
+		close(next)
+		var wg sync.WaitGroup
+		for w := 0; w < c.workers(); w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				cache := c.AcquireSolvers()
+				defer c.ReleaseSolvers(cache)
+				for i := range next {
+					if runCtx.Err() != nil {
+						return
 					}
-					continue
-				}
-				class := resilience.Classify(out.err)
-				switch class {
-				case resilience.ClassCanceled:
-					return
-				case resilience.ClassInput:
-					fatal(out.err)
-					return
-				}
-				mu.Lock()
-				failures = append(failures, resilience.SampleFailure{
-					Index:    i,
-					Attempts: out.attempts,
-					Class:    class,
-					Err:      out.err.Error(),
-				})
-				overBudget := len(failures) > budget
-				nFailed := len(failures)
-				mu.Unlock()
-				if overBudget {
-					fatal(&resilience.BudgetError{
-						Op:              fmt.Sprintf("%s S=%.3g C=%.3g", arc, slew, loadC),
-						Failed:          nFailed,
-						Total:           n,
-						MaxFailFraction: c.failFraction(),
+					ts := time.Now()
+					out := c.measureSample(runCtx, arc, slew, loadC, base, i, cache)
+					hMCSampleSeconds.ObserveSince(ts)
+					if out.ok {
+						mMCSamples.Inc()
+						delays[i], slews[i], ok[i] = out.delay, out.outSlew, true
+						if out.attempts > 1 {
+							mu.Lock()
+							retried++
+							mu.Unlock()
+						}
+						continue
+					}
+					class := resilience.Classify(out.err)
+					switch class {
+					case resilience.ClassCanceled:
+						return
+					case resilience.ClassInput:
+						fatal(out.err)
+						return
+					}
+					mu.Lock()
+					failures = append(failures, resilience.SampleFailure{
+						Index:    i,
+						Attempts: out.attempts,
+						Class:    class,
+						Err:      out.err.Error(),
 					})
-					return
+					overBudget := len(failures) > budget
+					nFailed := len(failures)
+					mu.Unlock()
+					if overBudget {
+						fatal(&resilience.BudgetError{
+							Op:              fmt.Sprintf("%s S=%.3g C=%.3g", arc, slew, loadC),
+							Failed:          nFailed,
+							Total:           n,
+							MaxFailFraction: c.failFraction(),
+						})
+						return
+					}
+				}
+			}()
+		}
+		wg.Wait()
+	}
+	aborted := func() bool {
+		if runCtx.Err() != nil {
+			return true
+		}
+		mu.Lock()
+		defer mu.Unlock()
+		return fatalErr != nil
+	}
+
+	drawn, converged := 0, false
+	if c.MCTol <= 0 {
+		runBlock(0, n)
+		drawn = n
+	} else {
+		var prefix []float64
+		for drawn < n {
+			target := drawn + mcBlock
+			if drawn == 0 {
+				target = c.mcFloor(n)
+			}
+			if target > n {
+				target = n
+			}
+			runBlock(drawn, target)
+			drawn = target
+			if aborted() {
+				break
+			}
+			prefix = prefix[:0]
+			for i := 0; i < drawn; i++ {
+				if ok[i] {
+					prefix = append(prefix, delays[i])
 				}
 			}
-		}()
+			if mcConverged(prefix, c.MCTol) {
+				converged = true
+				break
+			}
+		}
 	}
-	wg.Wait()
+	hMCArcDrawn.Observe(float64(drawn))
+	if converged {
+		mMCEarlyStops.Inc()
+	}
+	span.SetAttr("drawn", drawn)
+	span.SetAttr("converged", converged)
 
 	if err := ctx.Err(); err != nil {
 		return nil, resilience.Wrap(fmt.Sprintf("%s S=%.3g C=%.3g", arc, slew, loadC), err)
@@ -484,16 +609,18 @@ func (c *Config) MCArc(ctx context.Context, arc Arc, slew, loadC float64, n int,
 	}
 
 	out := &Samples{
-		Delay:       make([]float64, 0, n),
-		OutSlew:     make([]float64, 0, n),
+		Delay:       make([]float64, 0, drawn),
+		OutSlew:     make([]float64, 0, drawn),
 		Requested:   n,
+		Drawn:       drawn,
+		Converged:   converged,
 		Retried:     retried,
 		Quarantined: failures,
 	}
 	sort.Slice(out.Quarantined, func(a, b int) bool {
 		return out.Quarantined[a].Index < out.Quarantined[b].Index
 	})
-	for i := 0; i < n; i++ {
+	for i := 0; i < drawn; i++ {
 		if ok[i] {
 			out.Delay = append(out.Delay, delays[i])
 			out.OutSlew = append(out.OutSlew, slews[i])
@@ -503,7 +630,7 @@ func (c *Config) MCArc(ctx context.Context, arc Arc, slew, loadC float64, n int,
 		// Unreachable under a sane budget, but guard the moment math.
 		return nil, &resilience.BudgetError{
 			Op:              fmt.Sprintf("%s S=%.3g C=%.3g", arc, slew, loadC),
-			Failed:          n - len(out.Delay),
+			Failed:          drawn - len(out.Delay),
 			Total:           n,
 			MaxFailFraction: c.failFraction(),
 		}

@@ -119,10 +119,13 @@ func (c *Config) CharacterizeArc(ctx context.Context, arc Arc, slews, loads []fl
 			MeanOutSlew: stats.Mean(smp.OutSlew),
 			Samples:     len(smp.Delay),
 		})
+		// Samples is what the point actually drew: under adaptive early
+		// stopping (MCTol > 0) converging below the budget is success, not
+		// degradation, so the survivor ratio is judged against Drawn.
 		out.Report.AddPoint(resilience.PointReport{
 			Slew:        op.Slew,
 			Load:        op.Load,
-			Samples:     n,
+			Samples:     smp.Drawn,
 			Survivors:   len(smp.Delay),
 			Retried:     smp.Retried,
 			Quarantined: smp.Quarantined,

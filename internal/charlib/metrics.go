@@ -18,4 +18,8 @@ var (
 		"Wall time of one MCArc grid-point run.")
 	hMCArcRetries = obs.Default().Histogram("charlib_mc_arc_retries",
 		"Retried samples per MCArc grid-point run.")
+	mMCEarlyStops = obs.Default().Counter("charlib_mc_early_stops_total",
+		"MCArc runs that converged before the full sample budget.")
+	hMCArcDrawn = obs.Default().Histogram("charlib_mc_arc_drawn_samples",
+		"Samples drawn per MCArc grid-point run (early stops included).")
 )

@@ -31,6 +31,7 @@ func benchInverterChain(n int) *Circuit {
 
 func benchTransient(b *testing.B, stages int) {
 	ck := benchInverterChain(stages)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := ck.Transient(SimOptions{TStop: 4e-10, DT: 1e-12}); err != nil {
@@ -53,6 +54,7 @@ func BenchmarkTransientRCLadder(b *testing.B) {
 		ck.AddCapacitor(n, Ground, 0.5e-15)
 		prev = n
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := ck.Transient(SimOptions{TStop: 2e-10, DT: 0.5e-12}); err != nil {

@@ -214,8 +214,28 @@ func (e *Engine) swap(op, gate, newCell string) (*Report, error) {
 		src.Nodes[leaf].C += delta
 	}
 
-	// Commit: swap the cell, install the patched trees, seed the frontier.
+	// Apply to a copy-on-write clone of the compiled graph first: a clone
+	// failure (it re-resolves arcs, pin caps and X_w) leaves the engine —
+	// netlist, trees and graph alike — exactly as it was.
+	g2 := e.graph.CloneForEdit()
+	if err := g2.SetGateCell(gi, newCell); err != nil {
+		return nil, &EditError{Op: op, Target: gate, Reason: err.Error()}
+	}
+	for _, p := range patches {
+		id, ok := g2.NetID(p.net)
+		if !ok {
+			return nil, &EditError{Op: op, Target: gate,
+				Reason: fmt.Sprintf("net %s not compiled", p.net)}
+		}
+		if err := g2.SetNetTree(id, p.tree); err != nil {
+			return nil, &EditError{Op: op, Target: gate, Reason: err.Error()}
+		}
+	}
+
+	// Commit: swap the cell, install the patched trees and the new graph,
+	// seed the frontier.
 	g.Cell = newCell
+	e.graph = g2
 	d := newDirtySet()
 	d.gates[gi] = struct{}{}
 	e.touchNet(d, g.Output())
@@ -258,7 +278,16 @@ func (e *Engine) SetNetParasitics(net string, tree *rctree.Tree) (*Report, error
 
 	owned := tree.Clone()
 	owned.Net = net
+	g2 := e.graph.CloneForEdit()
+	id, ok := g2.NetID(net)
+	if !ok {
+		return nil, &EditError{Op: "set-net-parasitics", Target: net, Reason: "net not compiled"}
+	}
+	if err := g2.SetNetTree(id, owned); err != nil {
+		return nil, &EditError{Op: "set-net-parasitics", Target: net, Reason: err.Error()}
+	}
 	e.trees[net] = owned
+	e.graph = g2
 	d := newDirtySet()
 	e.touchNet(d, net)
 	return e.finishEdit("set-net-parasitics", d)
@@ -290,10 +319,12 @@ func (e *Engine) SetInputSlew(net string, slew float64) (*Report, error) {
 	if err != nil {
 		return nil, &EditError{Op: "set-input-slew", Target: net, Reason: err.Error()}
 	}
-	e.timer = timer
-	if err := e.refreshTimersLocked(); err != nil {
+	g2 := e.graph.CloneForEdit()
+	if err := g2.SetOptions(opt); err != nil {
 		return nil, &EditError{Op: "set-input-slew", Target: net, Reason: err.Error()}
 	}
+	e.timer = timer
+	e.graph = g2
 
 	d := newDirtySet()
 	d.inputs[net] = struct{}{}

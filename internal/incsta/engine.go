@@ -7,22 +7,27 @@
 // This is the block-level caching idea of Li et al.'s hierarchical SSTA
 // brought to the paper's quantile-sum model: statistical arrival state is
 // cached at every net and re-derived only where an edit can have changed
-// it. All arithmetic is the shared evaluation core of internal/sta
-// (Timer.EvalGate, Timer.EndpointsForNet, Timer.ResultFrom), so with
-// Epsilon = 0 the incremental state is bit-identical to a fresh
-// sta.AnalyzeContext of the edited design — the consistency guarantee the
-// property tests pin down.
+// it. The engine runs on internal/sta's compiled graph: the design is
+// lowered once into flat structure-of-arrays (sta.Graph) and the cached
+// state lives in per-corner float64 planes (sta.FlatState), so dirty-cone
+// re-propagation indexes arrays instead of hashing net names. All
+// arithmetic is the shared compiled evaluation core (Graph.EvalGateInto,
+// Graph.EndpointsForNet, Graph.ResultFromFlat), so with Epsilon = 0 the
+// incremental state is bit-identical to a fresh sta analysis of the edited
+// design — the consistency guarantee the property tests pin down.
 //
 // Concurrency model: edits are serialized on an internal mutex and publish
 // an immutable Snapshot; queries read the latest snapshot lock-free (see
-// Snapshot), which is what the long-lived timing server builds on.
+// Snapshot), which is what the long-lived timing server builds on. Edits
+// mutate the compiled graph copy-on-write (CloneForEdit), so a published
+// snapshot keeps a frozen consistent graph while later edits refresh a
+// private clone.
 package incsta
 
 import (
 	"container/heap"
 	"context"
 	"fmt"
-	"math"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -111,10 +116,21 @@ type Engine struct {
 
 	corners []sta.Corner // normalized corner batch; corner 0 is primary
 	par     int          // wavefront worker count (≥1)
-	timers  []*sta.Timer // e.timer specialized per corner
 
-	states []sta.StateMap                    // per-corner propagated state
-	epts   []map[string][]sta.EndpointEntry // per-corner endpoint entries
+	// graph is the engine's compiled design; edits replace it with a
+	// copy-on-write clone before mutating, so snapshots holding the old
+	// pointer stay frozen. flat is the resident per-corner propagated state
+	// over graph's dense net ids; snapshots publish plane clones.
+	graph *sta.Graph
+	flat  []*sta.FlatState
+
+	// Reusable evaluation buffers of the dirty-cone loop: one scratch per
+	// worker, one output buffer per batch slot (grown on demand). Sized by
+	// (corner count, level count), both fixed for the engine's life.
+	scratch []*sta.EvalScratch
+	outs    []*sta.GateOut
+
+	epts []map[string][]sta.EndpointEntry // per-corner endpoint entries
 
 	stats   Stats
 	version uint64
@@ -179,28 +195,10 @@ func New(lib *timinglib.File, nl *netlist.Netlist, trees map[string]*rctree.Tree
 		corners: corners, par: par,
 		stats: Stats{GateCount: uint64(len(nlCopy.Gates))},
 	}
-	if err := e.refreshTimersLocked(); err != nil {
-		return nil, err
-	}
 	if err := e.rebuildLocked(); err != nil {
 		return nil, err
 	}
 	return e, nil
-}
-
-// refreshTimersLocked re-derives the per-corner timers from the base timer;
-// called whenever e.timer is replaced (construction, input-slew edits).
-func (e *Engine) refreshTimersLocked() error {
-	timers := make([]*sta.Timer, len(e.corners))
-	for ci, c := range e.corners {
-		tc, err := e.timer.WithCorner(c)
-		if err != nil {
-			return err
-		}
-		timers[ci] = tc
-	}
-	e.timers = timers
-	return nil
 }
 
 // copyNetlist deep-copies the parts of a netlist edits mutate (the gate
@@ -223,65 +221,58 @@ func copyNetlist(nl *netlist.Netlist) *netlist.Netlist {
 }
 
 // Rebuild discards the cached state and re-propagates the whole design —
-// the recovery path after a failed edit, and the baseline the property
-// tests compare against.
+// recovery after external corruption, and the baseline the property tests
+// compare against.
 func (e *Engine) Rebuild() error {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	return e.rebuildLocked()
 }
 
+// rebuildLocked recompiles the design and runs a full compiled propagation.
 func (e *Engine) rebuildLocked() error {
-	_, span := obs.StartSpan(context.Background(), "incsta_rebuild",
+	ctx, span := obs.StartSpan(context.Background(), "incsta_rebuild",
 		obs.A("gates", len(e.nl.Gates)), obs.A("corners", len(e.corners)))
 	defer span.End()
-	// Pre-seed every net (PIs with boundary state, gate outputs as invalid
-	// placeholders) so parallel batch workers only ever read existing map
-	// entries — a lazy At() insertion from a worker would race.
-	states := make([]sta.StateMap, len(e.corners))
-	for ci, tc := range e.timers {
-		state := make(sta.StateMap, e.nl.NumNets())
-		for _, in := range e.nl.Inputs {
-			*state.At(in) = tc.InputState(in)
-		}
-		for gi := range e.nl.Gates {
-			state.At(e.nl.Gates[gi].Output())
-		}
-		states[ci] = state
+	// A private Compile (not the timer's shared Compiled cache): the engine
+	// mutates its graph copy-on-write across edits, and the netlist/tree
+	// values the timer sees change in place under the engine lock.
+	g, err := e.timer.Compile()
+	if err != nil {
+		return err
 	}
-	e.states = states
-	// Evaluate wavefront by wavefront: e.order is level-sorted within the
-	// topological order, so each maximal run of equal-level gates is one
-	// independent batch.
-	for lo := 0; lo < len(e.order); {
-		hi := lo + 1
-		for hi < len(e.order) && e.lvl[e.order[hi]] == e.lvl[e.order[lo]] {
-			hi++
+	flat := make([]*sta.FlatState, len(e.corners))
+	for ci, c := range e.corners {
+		flat[ci] = g.NewState()
+		g.InitPI(flat[ci], c)
+	}
+	if _, err := g.Propagate(ctx, flat, e.corners, e.par); err != nil {
+		return err
+	}
+	e.graph = g
+	e.flat = flat
+	if e.scratch == nil {
+		workers := e.par
+		if workers < 1 {
+			workers = 1
 		}
-		buf, err := e.evalBatch(e.order[lo:hi])
-		if err != nil {
-			return err
+		e.scratch = make([]*sta.EvalScratch, workers)
+		for w := range e.scratch {
+			e.scratch[w] = g.NewScratch(len(e.corners))
 		}
-		for i, gi := range e.order[lo:hi] {
-			outNet := e.nl.Gates[gi].Output()
-			for ci := range e.states {
-				*e.states[ci].At(outNet) = buf[i][ci]
-			}
-		}
-		lo = hi
 	}
 	eps := make([]map[string][]sta.EndpointEntry, len(e.corners))
-	for ci, tc := range e.timers {
+	for ci, c := range e.corners {
 		ep := make(map[string][]sta.EndpointEntry, len(e.nl.Outputs))
 		for _, po := range e.nl.Outputs {
 			if _, done := ep[po]; done {
 				continue
 			}
-			entries, err := tc.EndpointsForNet(po, e.states[ci])
-			if err != nil {
-				return err
+			id, ok := g.NetID(po)
+			if !ok {
+				return fmt.Errorf("incsta: output net %s not compiled", po)
 			}
-			ep[po] = entries
+			ep[po] = g.EndpointsForNet(id, flat[ci], c)
 		}
 		eps[ci] = ep
 	}
@@ -291,58 +282,49 @@ func (e *Engine) rebuildLocked() error {
 	return e.publishLocked()
 }
 
-// evalBatch evaluates a batch of same-level gates under every corner and
-// returns the buffered outputs in batch order (indexed [gate][corner]).
-// Same-level gates never read each other's outputs, so evaluation order is
-// irrelevant; the caller commits in batch order, which keeps the whole pass
-// bit-identical to a sequential per-gate evaluation at any worker count.
-func (e *Engine) evalBatch(batch []int) ([][][2]sta.NetState, error) {
-	buf := make([][][2]sta.NetState, len(batch))
+// ensureOuts grows the per-batch-slot output buffers to at least n.
+func (e *Engine) ensureOuts(n int) {
+	for len(e.outs) < n {
+		e.outs = append(e.outs, e.graph.NewGateOut(len(e.corners)))
+	}
+}
+
+// evalBatchFlat evaluates a batch of same-level gates under every corner
+// into e.outs[0:len(batch)]. Same-level gates never read each other's
+// outputs, so evaluation order is irrelevant; the caller compares/commits
+// in batch order, which keeps the whole pass bit-identical to a sequential
+// per-gate evaluation at any worker count. Compiled evaluation cannot fail:
+// every structural lookup was resolved at compile time.
+func (e *Engine) evalBatchFlat(batch []int) {
+	e.ensureOuts(len(batch))
 	if e.par <= 1 || len(batch) == 1 {
+		sc := e.scratch[0]
 		for i, gi := range batch {
-			outs, _, err := e.timer.EvalGateBatch(gi, e.states, e.corners)
-			if err != nil {
-				return nil, err
-			}
-			buf[i] = outs
+			e.graph.EvalGateInto(gi, e.flat, e.corners, sc, e.outs[i])
 		}
-		return buf, nil
+		return
 	}
 	workers := e.par
 	if workers > len(batch) {
 		workers = len(batch)
 	}
-	errs := make([]error, len(batch))
 	var next atomic.Int64
-	var stop atomic.Bool
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(w int) {
 			defer wg.Done()
+			sc := e.scratch[w]
 			for {
 				i := int(next.Add(1)) - 1
-				if i >= len(batch) || stop.Load() {
+				if i >= len(batch) {
 					return
 				}
-				outs, _, err := e.timer.EvalGateBatch(batch[i], e.states, e.corners)
-				if err != nil {
-					errs[i] = err
-					stop.Store(true)
-					return
-				}
-				buf[i] = outs
+				e.graph.EvalGateInto(batch[i], e.flat, e.corners, sc, e.outs[i])
 			}
-		}()
+		}(w)
 	}
 	wg.Wait()
-	// Lowest-index error wins, independent of goroutine scheduling.
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
-		}
-	}
-	return buf, nil
 }
 
 // dirtySet collects the frontier of an edit before propagation.
@@ -387,10 +369,10 @@ type gateHeap struct {
 	pos   []int
 }
 
-func (h *gateHeap) Len() int            { return len(h.items) }
-func (h *gateHeap) Less(i, j int) bool  { return h.pos[h.items[i]] < h.pos[h.items[j]] }
-func (h *gateHeap) Swap(i, j int)       { h.items[i], h.items[j] = h.items[j], h.items[i] }
-func (h *gateHeap) Push(x any)          { h.items = append(h.items, x.(int)) }
+func (h *gateHeap) Len() int           { return len(h.items) }
+func (h *gateHeap) Less(i, j int) bool { return h.pos[h.items[i]] < h.pos[h.items[j]] }
+func (h *gateHeap) Swap(i, j int)      { h.items[i], h.items[j] = h.items[j], h.items[i] }
+func (h *gateHeap) Push(x any)         { h.items = append(h.items, x.(int)) }
 func (h *gateHeap) Pop() any {
 	n := len(h.items) - 1
 	x := h.items[n]
@@ -399,29 +381,33 @@ func (h *gateHeap) Pop() any {
 }
 
 // propagate re-derives the timing state downstream of the dirty frontier.
-// It mutates engine state in place (snapshots hold their own copies) and
-// returns the per-edit counters.
-func (e *Engine) propagate(d *dirtySet) (*Report, error) {
+// It mutates the resident flat state in place (snapshots hold their own
+// plane copies) and returns the per-edit counters.
+func (e *Engine) propagate(d *dirtySet) *Report {
 	rep := &Report{Seeded: len(d.gates) + len(d.inputs)}
-	levels := e.timer.Options().Levels
+	g := e.graph
 
 	// Re-derive dirty primary inputs first; their change feeds the gate
 	// frontier exactly like a gate-state change. A corner set is updated as
 	// a unit: the cached state is kept only when every corner matches.
 	for net := range d.inputs {
-		nss := make([][2]sta.NetState, len(e.timers))
+		id, ok := g.NetID(net)
+		if !ok {
+			continue
+		}
+		slews := make([][2]float64, len(e.corners))
 		changed := false
-		for ci, tc := range e.timers {
-			nss[ci] = tc.InputState(net)
-			if !statePairEqual(e.states[ci].At(net), &nss[ci], levels, e.eps) {
+		for ci, c := range e.corners {
+			slews[ci] = g.PISlews(id, c)
+			if !e.flat[ci].PIMatches(id, slews[ci], e.eps) {
 				changed = true
 			}
 		}
 		if !changed {
 			continue
 		}
-		for ci := range e.timers {
-			*e.states[ci].At(net) = nss[ci]
+		for ci := range e.corners {
+			g.CommitPI(e.flat[ci], id, slews[ci])
 		}
 		for _, s := range e.idx.Fanout(net) {
 			if s.Gate >= 0 {
@@ -453,43 +439,33 @@ func (e *Engine) propagate(d *dirtySet) (*Report, error) {
 		for h.Len() > 0 && e.lvl[h.items[0]] == e.lvl[batch[0]] {
 			batch = append(batch, heap.Pop(h).(int))
 		}
-		buf, err := e.evalBatch(batch)
-		if err != nil {
-			return rep, err
-		}
+		e.evalBatchFlat(batch)
 		for i, gi := range batch {
 			rep.Reevaluated++
-			outNet := e.nl.Gates[gi].Output()
-			equal := true
-			for ci := range e.states {
-				if !statePairEqual(e.states[ci].At(outNet), &buf[i][ci], levels, e.eps) {
-					equal = false
-					break
-				}
-			}
-			if equal {
+			out := e.outs[i]
+			if g.OutMatches(gi, e.flat, out, e.eps) {
 				rep.Cut++
 				continue // cone terminates: downstream state cannot change
 			}
-			for ci := range e.states {
-				*e.states[ci].At(outNet) = buf[i][ci]
-			}
-			for _, s := range e.idx.Fanout(outNet) {
-				if s.Gate >= 0 {
-					push(s.Gate)
+			g.CommitGate(gi, e.flat, out)
+			outNet := g.OutNet(gi)
+			for _, sg := range g.FanoutGates(outNet) {
+				if sg >= 0 {
+					push(int(sg))
 				} else {
-					d.endpoints[outNet] = struct{}{}
+					d.endpoints[g.NetName(outNet)] = struct{}{}
 				}
 			}
 		}
 	}
 
 	for net := range d.endpoints {
-		for ci, tc := range e.timers {
-			entries, err := tc.EndpointsForNet(net, e.states[ci])
-			if err != nil {
-				return rep, err
-			}
+		id, ok := g.NetID(net)
+		if !ok {
+			continue
+		}
+		for ci, c := range e.corners {
+			entries := g.EndpointsForNet(id, e.flat[ci], c)
 			e.epts[ci][net] = entries
 			if ci == 0 {
 				// Report.Endpoints stays the structural (primary-corner)
@@ -498,67 +474,18 @@ func (e *Engine) propagate(d *dirtySet) (*Report, error) {
 			}
 		}
 	}
-	return rep, nil
-}
-
-// statePairEqual compares both edges of a net state under the engine's
-// early-termination rule.
-func statePairEqual(a, b *[2]sta.NetState, levels []int, eps float64) bool {
-	return stateEqual(&a[0], &b[0], levels, eps) && stateEqual(&a[1], &b[1], levels, eps)
-}
-
-// stateEqual reports whether a recomputed state matches the cache closely
-// enough to cut the cone. The winning-arc topology (pin, edge, fanin) must
-// always match exactly — backtracked paths stay correct at any epsilon. At
-// epsilon 0 every numeric field must be bit-equal (the consistency
-// guarantee); at positive epsilon the arrival quantiles and root slew may
-// drift by up to eps while the cached bookkeeping values are retained.
-func stateEqual(a, b *sta.NetState, levels []int, eps float64) bool {
-	if a.Valid != b.Valid {
-		return false
-	}
-	if !a.Valid {
-		return true
-	}
-	if a.InPin != b.InPin || a.InEdge != b.InEdge || a.WinSinkIdx != b.WinSinkIdx {
-		return false
-	}
-	if eps == 0 {
-		if a.Slew != b.Slew || a.InSlew != b.InSlew || a.Load != b.Load || a.Moms != b.Moms {
-			return false
-		}
-		for _, n := range levels {
-			if a.Arr[n] != b.Arr[n] || a.Quant[n] != b.Quant[n] {
-				return false
-			}
-		}
-		return true
-	}
-	if math.Abs(a.Slew-b.Slew) > eps {
-		return false
-	}
-	for _, n := range levels {
-		if math.Abs(a.Arr[n]-b.Arr[n]) > eps {
-			return false
-		}
-	}
-	return true
+	return rep
 }
 
 // finishEdit runs propagation for a prepared dirty set, updates counters
-// and publishes a fresh snapshot. On a propagation failure the cached state
-// may be part-updated; the engine rebuilds from scratch to stay consistent.
+// and publishes a fresh snapshot. Compiled propagation cannot fail (all
+// structural resolution happened at compile time), so an edit that passed
+// validation always completes.
 func (e *Engine) finishEdit(op string, d *dirtySet) (*Report, error) {
 	t0 := time.Now()
 	_, span := obs.StartSpan(context.Background(), "incsta_edit", obs.A("op", op))
 	defer span.End()
-	rep, err := e.propagate(d)
-	if err != nil {
-		if rerr := e.rebuildLocked(); rerr != nil {
-			return nil, fmt.Errorf("incsta: %s failed (%w) and rebuild failed: %v", op, err, rerr)
-		}
-		return nil, fmt.Errorf("incsta: %s: %w", op, err)
-	}
+	rep := e.propagate(d)
 	rep.Op = op
 	e.stats.Edits++
 	e.stats.GatesReevaluated += uint64(rep.Reevaluated)

@@ -252,6 +252,85 @@ func TestSnapshotIsolationAcrossEdits(t *testing.T) {
 	}
 }
 
+// TestOldSnapshotStableUnderConcurrentEdits pins a snapshot, then keeps
+// querying it from several goroutines while an edit stream mutates the
+// engine: every answer from the old snapshot must stay bitwise identical to
+// the answers it gave before the edits started. Snapshots share the
+// engine's compiled graph by pointer, so this is the regression test for
+// the copy-on-write discipline (run it under -race).
+func TestOldSnapshotStableUnderConcurrentEdits(t *testing.T) {
+	eng, _ := newTestEngine(t, chain(12), Config{})
+	old := eng.Snapshot()
+	wantArr := old.Result().ArrivalQ[0]
+	wantPaths, err := old.WorstPaths(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantSlacks, err := old.EndpointSlacks(1e-9, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if got := old.Result().ArrivalQ[0]; got != wantArr {
+					t.Errorf("old snapshot arrival drifted: %g → %g", wantArr, got)
+					return
+				}
+				paths, err := old.WorstPaths(3)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				for j := range wantPaths {
+					if paths[j].Endpoint != wantPaths[j].Endpoint ||
+						paths[j].Quantile(0) != wantPaths[j].Quantile(0) {
+						t.Errorf("old snapshot path %d drifted after later edits", j)
+						return
+					}
+				}
+				slacks, err := old.EndpointSlacks(1e-9, 0)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				for key, want := range wantSlacks {
+					if slacks[key] != want {
+						t.Errorf("old snapshot slack %s drifted: %g → %g", key, want, slacks[key])
+						return
+					}
+				}
+			}
+		}()
+	}
+
+	strengths := []int{8, 1, 4, 2}
+	for i := 0; i < 30; i++ {
+		if _, err := eng.ResizeCell("U6", strengths[i%len(strengths)]); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := eng.SetInputSlew("in", float64(20+i)*1e-12); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+	if eng.Snapshot().Version() == old.Version() {
+		t.Fatal("edits published no new snapshot")
+	}
+	verifyOK(t, eng)
+}
+
 func TestWorstPathsMatchFreshTopPaths(t *testing.T) {
 	eng, lib := newTestEngine(t, diamond(), Config{})
 	if _, err := eng.ResizeCell("U1", 4); err != nil {

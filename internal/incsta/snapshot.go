@@ -12,13 +12,14 @@ import (
 
 // Snapshot is an immutable, internally consistent view of the engine's
 // timing state at one edit version. Queries on a snapshot are lock-free and
-// safe to run concurrently with further edits: the state map, endpoint
-// entries and parasitic trees it references are never mutated after
-// publication (edits replace, never write through).
+// safe to run concurrently with further edits: the compiled graph, flat
+// state planes and endpoint entries it references are never mutated after
+// publication — edits mutate a copy-on-write clone of the graph and commit
+// into the engine's private planes, never through a published snapshot.
 type Snapshot struct {
 	corners []sta.Corner
-	timers  []*sta.Timer
-	states  []sta.StateMap
+	graph   *sta.Graph
+	flat    []*sta.FlatState
 	eps     []map[string][]sta.EndpointEntry
 	results []*sta.Result
 	stats   Stats
@@ -26,39 +27,22 @@ type Snapshot struct {
 }
 
 // publishLocked assembles and installs a fresh snapshot from the engine's
-// current state. Called with e.mu held.
+// current state. Called with e.mu held. Publication is cheap: the compiled
+// graph is shared by pointer (edits clone before mutating), the endpoint
+// maps are shallow-copied (entry slices are replaced wholesale, never
+// appended to), and only the flat per-corner planes are copied.
 func (e *Engine) publishLocked() error {
-	trees := make(map[string]*rctree.Tree, len(e.trees))
-	for net, t := range e.trees {
-		trees[net] = t
-	}
-	base, err := e.timer.WithTrees(trees)
-	if err != nil {
-		return err
-	}
-	// The snapshot must not see later in-place Cell edits: give its timers a
-	// private copy of the netlist (connectivity is shared read-only).
-	base, err = base.WithNetlist(copyNetlist(e.nl))
-	if err != nil {
-		return err
-	}
-	timers := make([]*sta.Timer, len(e.corners))
-	states := make([]sta.StateMap, len(e.corners))
+	flat := make([]*sta.FlatState, len(e.corners))
 	eps := make([]map[string][]sta.EndpointEntry, len(e.corners))
 	results := make([]*sta.Result, len(e.corners))
 	for ci, c := range e.corners {
-		tc, err := base.WithCorner(c)
-		if err != nil {
-			return err
-		}
-		timers[ci] = tc
+		flat[ci] = e.flat[ci].Clone()
 		ep := make(map[string][]sta.EndpointEntry, len(e.epts[ci]))
 		for net, entries := range e.epts[ci] {
 			ep[net] = entries
 		}
 		eps[ci] = ep
-		states[ci] = e.states[ci].Clone()
-		res, err := tc.ResultFrom(states[ci], eps[ci])
+		res, err := e.graph.ResultFromFlat(flat[ci], c, eps[ci])
 		if err != nil {
 			return err
 		}
@@ -66,7 +50,7 @@ func (e *Engine) publishLocked() error {
 	}
 	e.version++
 	e.snap.Store(&Snapshot{
-		corners: e.corners, timers: timers, states: states, eps: eps,
+		corners: e.corners, graph: e.graph, flat: flat, eps: eps,
 		results: results, stats: e.stats, version: e.version,
 	})
 	return nil
@@ -117,7 +101,7 @@ func (s *Snapshot) ResultAt(ci int) (*sta.Result, error) {
 // endpoint key) and backtracks the worst path of each of the k slowest —
 // identical to sta.AnalyzeTopPaths of the edited design.
 func (s *Snapshot) WorstPaths(k int) ([]*sta.Path, error) {
-	return s.timers[0].TopPathsFrom(s.states[0], s.results[0], k)
+	return s.graph.TopPathsFlat(s.flat[0], s.corners[0], s.results[0], k)
 }
 
 // WorstPathsAt is WorstPaths for one corner by index.
@@ -125,7 +109,7 @@ func (s *Snapshot) WorstPathsAt(ci, k int) ([]*sta.Path, error) {
 	if ci < 0 || ci >= len(s.results) {
 		return nil, fmt.Errorf("incsta: corner index %d out of range [0,%d)", ci, len(s.results))
 	}
-	return s.timers[ci].TopPathsFrom(s.states[ci], s.results[ci], k)
+	return s.graph.TopPathsFlat(s.flat[ci], s.corners[ci], s.results[ci], k)
 }
 
 // Slack runs a setup check of every primary-corner endpoint against period

@@ -86,11 +86,26 @@ type QuantileModel struct {
 
 // Quantile evaluates T_c(nσ) for moments m. Levels beyond ±3 use the ±3
 // coefficient sets with the µ + n·σ base (the paper's ±6σ extension).
+// The features live in a fixed-size stack array (not the heap slice of
+// quantileFeatures) so the timing engine's inner loop stays allocation-free;
+// the accumulation order matches quantileFeatures element for element, so
+// the result is bit-identical.
 func (q *QuantileModel) Quantile(m stats.Moments, n int) float64 {
 	base := m.Mean + float64(n)*m.Std
 	cl := clampLevel(n)
 	coeffs := q.Coeffs[cl+3]
-	feats := quantileFeatures(cl, m)
+	sg := m.Std * m.Skewness
+	sk := m.Std * m.Kurtosis
+	gk := m.Skewness * m.Kurtosis
+	var feats [3]float64
+	switch abs(cl) {
+	case 0, 1:
+		feats[0], feats[1] = sg, gk
+	case 2:
+		feats[0], feats[1], feats[2] = sg, sk, gk
+	default:
+		feats[0], feats[1] = sk, gk
+	}
 	for i, c := range coeffs {
 		base += c * feats[i]
 	}

@@ -49,6 +49,40 @@ func benchAnalyzeCorners(b *testing.B, batched bool) {
 func BenchmarkCorners4Separate(b *testing.B) { benchAnalyzeCorners(b, false) }
 func BenchmarkCorners4Batched(b *testing.B)  { benchAnalyzeCorners(b, true) }
 
+// eightCorners widens the PR 5 set with intermediate slew/cap points — the
+// corner count a signoff sweep typically batches per run.
+var eightCorners = []Corner{
+	{Name: "typ"},
+	{Name: "fastin", InputSlew: 20e-12},
+	{Name: "slowin", InputSlew: 160e-12},
+	{Name: "slowext", CapScale: 1.15},
+	{Name: "fastext", CapScale: 0.9},
+	{Name: "worst", InputSlew: 120e-12, CapScale: 1.3},
+	{Name: "best", InputSlew: 20e-12, CapScale: 0.9},
+	{Name: "mid", InputSlew: 80e-12, CapScale: 1.1},
+}
+
+// BenchmarkCorners8Batched stresses the compiled eval core's per-corner
+// state planes: eight corners share one compiled graph and one wavefront
+// traversal, so the marginal corner cost is pure plane arithmetic.
+func BenchmarkCorners8Batched(b *testing.B) {
+	timer := benchTimer(b, "c7552")
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := timer.AnalyzeAll(ctx, AnalyzeOptions{
+			Corners: CornerSet{Corners: eightCorners},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res) != len(eightCorners) {
+			b.Fatalf("batched analysis returned %d results", len(res))
+		}
+	}
+}
+
 // BenchmarkCorners4BatchedParallel adds the wavefront worker pool on top of
 // corner batching. On a single-CPU host this measures scheduling overhead
 // rather than speedup; on multi-core machines it compounds with batching.

@@ -343,6 +343,7 @@ func (t *Timer) WithTrees(trees map[string]*rctree.Tree) (*Timer, error) {
 	}
 	cp := *t
 	cp.trees = trees
+	cp.compiled = &graphCache{}
 	return &cp, nil
 }
 
@@ -358,6 +359,7 @@ func (t *Timer) WithNetlist(nl *netlist.Netlist) (*Timer, error) {
 	}
 	cp := *t
 	cp.nl = nl
+	cp.compiled = &graphCache{}
 	return &cp, nil
 }
 
@@ -370,6 +372,7 @@ func (t *Timer) WithOptions(opt Options) (*Timer, error) {
 	}
 	cp := *t
 	cp.opt = opt
+	cp.compiled = &graphCache{}
 	return &cp, nil
 }
 

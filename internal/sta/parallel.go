@@ -15,11 +15,18 @@ import (
 // within a level have no data dependencies (a gate's level is one past its
 // deepest fanin driver, so same-level gates never read each other's
 // outputs), which makes each level an embarrassingly parallel wavefront.
-// Workers buffer their per-gate outputs; after a per-level join a single
-// goroutine commits them in slice-index order. Because every gate's
-// arithmetic is self-contained (no cross-gate floating-point accumulation),
-// the committed values are bit-identical at any worker count — parallelism
-// changes only the wall-clock, never a single bit of the result.
+//
+// The engine runs on the compiled graph (compile.go): one Compile lowers
+// the design into flat arrays, then each level is a linear scan of
+// EvalGateInto calls over per-worker scratch buffers, committed straight
+// into the per-corner float64 planes. Distinct gates drive distinct output
+// nets, so same-level workers write disjoint plane slots and need no
+// buffered reduction; and because every gate's arithmetic is self-contained
+// (no cross-gate floating-point accumulation), the committed values are
+// bit-identical at any worker count — parallelism changes only the
+// wall-clock, never a single bit of the result. The pre-compiled legacy
+// engine is retained below (analyzeCornersLegacy) as the reference
+// implementation the equivalence suite pins the compiled path against.
 
 // AnalyzeAll times the design under every corner of the set in one
 // levelized traversal, optionally spreading each wavefront level across a
@@ -28,28 +35,233 @@ import (
 // bit-identical to running each corner through a sequential Analyze, at any
 // Parallelism.
 func (t *Timer) AnalyzeAll(ctx context.Context, opts AnalyzeOptions) ([]*Result, error) {
-	results, _, err := t.analyzeCorners(ctx, opts)
+	_, _, results, err := t.analyzeCornersFlat(ctx, opts)
 	return results, err
 }
 
 // AnalyzeAllStates is AnalyzeAll also returning the per-corner propagated
 // states, for callers that backtrack further paths (top-k reporting,
-// incremental snapshots).
+// incremental snapshots). The name-keyed maps are materialised from the
+// flat planes at this boundary.
 func (t *Timer) AnalyzeAllStates(ctx context.Context, opts AnalyzeOptions) ([]*Result, []StateMap, error) {
 	return t.analyzeCorners(ctx, opts)
 }
 
-// analyzeCorners is the wavefront engine proper.
+// AnalyzeAllFlat is AnalyzeAll returning the compiled graph and the flat
+// per-corner states — the allocation-free surface the incremental engine
+// and flat-state queries build on.
+func (t *Timer) AnalyzeAllFlat(ctx context.Context, opts AnalyzeOptions) (*Graph, []*FlatState, []*Result, error) {
+	return t.analyzeCornersFlat(ctx, opts)
+}
+
+// analyzeCorners drives the compiled engine and marshals the flat states
+// back into the legacy name-keyed StateMaps.
 func (t *Timer) analyzeCorners(ctx context.Context, opts AnalyzeOptions) ([]*Result, []StateMap, error) {
+	g, flat, results, err := t.analyzeCornersFlat(ctx, opts)
+	if err != nil {
+		return nil, nil, err
+	}
+	states := make([]StateMap, len(flat))
+	for ci, st := range flat {
+		states[ci] = g.StateMapOf(st)
+	}
+	return results, states, nil
+}
+
+// analyzeCornersFlat is the compiled wavefront engine proper.
+func (t *Timer) analyzeCornersFlat(ctx context.Context, opts AnalyzeOptions) (*Graph, []*FlatState, []*Result, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
 	t0 := time.Now()
 	if err := opts.Corners.validate(); err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
 	// The evaluation timer: the receiver, with the set's Levels override
 	// applied when present.
+	et := t
+	if len(opts.Corners.Levels) > 0 {
+		o := t.opt
+		o.Levels = opts.Corners.Levels
+		var err error
+		et, err = t.WithOptions(o)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+	}
+	corners := []Corner{t.corner}
+	if len(opts.Corners.Corners) > 0 {
+		corners = opts.Corners.Corners
+	}
+	g, err := et.Compiled()
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	par := opts.Parallelism
+	if par < 1 {
+		par = 1
+	}
+	ctx, span := obs.StartSpan(ctx, "sta_analyze",
+		obs.A("gates", g.NumGates()), obs.A("corners", len(corners)),
+		obs.A("parallelism", par))
+	defer span.End()
+
+	states := make([]*FlatState, len(corners))
+	for ci, c := range corners {
+		states[ci] = g.NewState()
+		g.InitPI(states[ci], c)
+	}
+	gatesTimed, err := g.Propagate(ctx, states, corners, par)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+
+	// Endpoints and per-corner results.
+	results := make([]*Result, len(corners))
+	for ci, c := range corners {
+		ep := make(map[string][]EndpointEntry, len(g.outputs))
+		for _, po := range g.outputs {
+			name := g.netNames[po]
+			if _, done := ep[name]; done {
+				continue
+			}
+			ep[name] = g.EndpointsForNet(int(po), states[ci], c)
+		}
+		res, err := g.ResultFromFlat(states[ci], c, ep)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		res.GatesTimed = gatesTimed
+		results[ci] = res
+	}
+	mAnalyses.Inc()
+	mGatesEvaluated.Add(uint64(gatesTimed))
+	mCornerGateEvals.Add(uint64(gatesTimed * len(corners)))
+	if len(corners) > 1 {
+		mCornerBatches.Inc()
+	}
+	hAnalyzeSeconds.ObserveSince(t0)
+	return g, states, results, nil
+}
+
+// Propagate sweeps the levelized order, evaluating every gate under every
+// corner into the flat states with up to par workers per level. The
+// steady-state loop performs no allocations: workers reuse one scratch and
+// one output buffer each and commit straight into the per-corner planes
+// (distinct gates → disjoint output-net slots). Returns the structural
+// cell-arc count (Result.GatesTimed).
+func (g *Graph) Propagate(ctx context.Context, states []*FlatState, corners []Corner, par int) (int, error) {
+	nc := len(corners)
+	workers := par
+	if workers < 1 {
+		workers = 1
+	}
+	scratch := make([]*EvalScratch, workers)
+	outBuf := make([]*GateOut, workers)
+	for w := 0; w < workers; w++ {
+		scratch[w] = g.NewScratch(nc)
+		outBuf[w] = g.NewGateOut(nc)
+	}
+	gatesTimed := 0
+	// Cancellation granularity: every 64 gates (and before the first), per
+	// evaluating goroutine. Gate evaluation is cheap LUT lookups, so this
+	// bounds cancel latency without a branch-heavy hot loop.
+	checkEvery := 1
+	nLevels := len(g.levOff) - 1
+	for lvl := 0; lvl < nLevels; lvl++ {
+		grp := g.order[g.levOff[lvl]:g.levOff[lvl+1]]
+		if len(grp) == 0 {
+			continue
+		}
+		lw := workers
+		if lw > len(grp) {
+			lw = len(grp)
+		}
+		lctx, lspan := obs.StartSpan(ctx, "sta_level",
+			obs.A("level", lvl), obs.A("gates", len(grp)), obs.A("workers", lw))
+		hLevelParallelism.Observe(float64(lw))
+		var lerr error
+		if lw == 1 {
+			sc, out := scratch[0], outBuf[0]
+			for _, gi := range grp {
+				checkEvery--
+				if checkEvery <= 0 {
+					checkEvery = 64
+					if err := lctx.Err(); err != nil {
+						lerr = resilience.Wrap("sta: analyze", err)
+						break
+					}
+				}
+				g.EvalGateInto(int(gi), states, corners, sc, out)
+				g.CommitGate(int(gi), states, out)
+				gatesTimed += out.Arcs
+			}
+		} else {
+			errs := make([]error, lw)
+			arcs := make([]int, lw)
+			var next atomic.Int64
+			var stop atomic.Bool
+			var wg sync.WaitGroup
+			for w := 0; w < lw; w++ {
+				wg.Add(1)
+				go func(w int) {
+					defer wg.Done()
+					gWorkersBusy.Add(1)
+					defer gWorkersBusy.Add(-1)
+					sc, out := scratch[w], outBuf[w]
+					countdown := 1
+					for {
+						i := int(next.Add(1)) - 1
+						if i >= len(grp) || stop.Load() {
+							return
+						}
+						countdown--
+						if countdown <= 0 {
+							countdown = 64
+							if err := lctx.Err(); err != nil {
+								errs[w] = resilience.Wrap("sta: analyze", err)
+								stop.Store(true)
+								return
+							}
+						}
+						gi := int(grp[i])
+						// Direct commit: this gate's output-net slots are
+						// written by no other worker this level, and the
+						// post-level wg.Wait orders the writes before any
+						// next-level read.
+						g.EvalGateInto(gi, states, corners, sc, out)
+						g.CommitGate(gi, states, out)
+						arcs[w] += out.Arcs
+					}
+				}(w)
+			}
+			wg.Wait()
+			for w := 0; w < lw; w++ {
+				if errs[w] != nil && lerr == nil {
+					lerr = errs[w]
+				}
+				gatesTimed += arcs[w]
+			}
+		}
+		lspan.End()
+		if lerr != nil {
+			return 0, lerr
+		}
+	}
+	return gatesTimed, nil
+}
+
+// analyzeCornersLegacy is the pre-compiled wavefront engine over the
+// name-keyed StateMaps — retained verbatim as the reference implementation:
+// the equivalence suite requires the compiled engine above to reproduce its
+// results bit for bit on every circuit, corner set and worker count.
+func (t *Timer) analyzeCornersLegacy(ctx context.Context, opts AnalyzeOptions) ([]*Result, []StateMap, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := opts.Corners.validate(); err != nil {
+		return nil, nil, err
+	}
 	et := t
 	if len(opts.Corners.Levels) > 0 {
 		o := t.opt
@@ -81,10 +293,6 @@ func (t *Timer) analyzeCorners(ctx context.Context, opts AnalyzeOptions) ([]*Res
 		return nil, nil, err
 	}
 	groups := t.levelGroups(order)
-	ctx, span := obs.StartSpan(ctx, "sta_analyze",
-		obs.A("gates", len(order)), obs.A("corners", len(corners)),
-		obs.A("parallelism", par))
-	defer span.End()
 
 	// Pre-seed every net the propagation touches, so worker goroutines only
 	// ever read existing StateMap entries — a lazy At() insertion from a
@@ -108,11 +316,8 @@ func (t *Timer) analyzeCorners(ctx context.Context, opts AnalyzeOptions) ([]*Res
 		arcs int
 	}
 	gatesTimed := 0
-	// Cancellation granularity: every 64 gates (and before the first), per
-	// evaluating goroutine. Gate evaluation is cheap LUT lookups, so this
-	// bounds cancel latency without a branch-heavy hot loop.
 	checkEvery := 1
-	for lvl, grp := range groups {
+	for _, grp := range groups {
 		if len(grp) == 0 {
 			continue
 		}
@@ -120,9 +325,6 @@ func (t *Timer) analyzeCorners(ctx context.Context, opts AnalyzeOptions) ([]*Res
 		if workers > len(grp) {
 			workers = len(grp)
 		}
-		lctx, lspan := obs.StartSpan(ctx, "sta_level",
-			obs.A("level", lvl), obs.A("gates", len(grp)), obs.A("workers", workers))
-		hLevelParallelism.Observe(float64(workers))
 		buf := make([]gateOut, len(grp))
 		var lerr error
 		if workers == 1 {
@@ -130,7 +332,7 @@ func (t *Timer) analyzeCorners(ctx context.Context, opts AnalyzeOptions) ([]*Res
 				checkEvery--
 				if checkEvery <= 0 {
 					checkEvery = 64
-					if err := lctx.Err(); err != nil {
+					if err := ctx.Err(); err != nil {
 						lerr = resilience.Wrap("sta: analyze", err)
 						break
 					}
@@ -151,8 +353,6 @@ func (t *Timer) analyzeCorners(ctx context.Context, opts AnalyzeOptions) ([]*Res
 				wg.Add(1)
 				go func() {
 					defer wg.Done()
-					gWorkersBusy.Add(1)
-					defer gWorkersBusy.Add(-1)
 					countdown := 1
 					for {
 						i := int(next.Add(1)) - 1
@@ -162,7 +362,7 @@ func (t *Timer) analyzeCorners(ctx context.Context, opts AnalyzeOptions) ([]*Res
 						countdown--
 						if countdown <= 0 {
 							countdown = 64
-							if err := lctx.Err(); err != nil {
+							if err := ctx.Err(); err != nil {
 								errs[i] = resilience.Wrap("sta: analyze", err)
 								stop.Store(true)
 								return
@@ -188,14 +388,11 @@ func (t *Timer) analyzeCorners(ctx context.Context, opts AnalyzeOptions) ([]*Res
 				}
 			}
 		}
-		lspan.End()
 		if lerr != nil {
 			return nil, nil, lerr
 		}
 		// Deterministic reduction: commit the buffered outputs in slice
-		// order on this goroutine. Same-level gates never read each other's
-		// outputs, so ordering cannot change any value — it pins the write
-		// sequence so the whole analysis is one deterministic trace.
+		// order on this goroutine.
 		for i, gi := range grp {
 			outNet := t.nl.Gates[gi].Output()
 			for ci := range states {
@@ -226,12 +423,5 @@ func (t *Timer) analyzeCorners(ctx context.Context, opts AnalyzeOptions) ([]*Res
 		res.GatesTimed = gatesTimed
 		results[ci] = res
 	}
-	mAnalyses.Inc()
-	mGatesEvaluated.Add(uint64(gatesTimed))
-	mCornerGateEvals.Add(uint64(gatesTimed * len(corners)))
-	if len(corners) > 1 {
-		mCornerBatches.Inc()
-	}
-	hAnalyzeSeconds.ObserveSince(t0)
 	return results, states, nil
 }

@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync"
 
 	"repro/internal/netlist"
 	"repro/internal/rctree"
@@ -148,6 +149,20 @@ type Timer struct {
 	// fan/drv: ECO resizes swap cells within a footprint but never pins, so
 	// WithNetlist/WithTrees/WithCorner copies share it.
 	pinsOf [][]string
+
+	// compiled caches the timer's compiled graph (compile.go). The cache
+	// key is the compile inputs — netlist, trees, options, library — so
+	// WithNetlist/WithTrees/WithOptions copies start a fresh cache while
+	// WithCorner copies share it (corners are evaluation-time state, not
+	// compiled in). Held by pointer so timer copies see one cache.
+	compiled *graphCache
+}
+
+// graphCache memoizes one compiled graph per (netlist, trees, options)
+// generation of a timer.
+type graphCache struct {
+	mu sync.Mutex
+	g  *Graph
 }
 
 // NewTimer validates inputs and builds the structural maps.
@@ -160,7 +175,7 @@ func NewTimer(lib *timinglib.File, nl *netlist.Netlist, trees map[string]*rctree
 		return nil, err
 	}
 	t := &Timer{lib: lib, nl: nl, trees: trees, opt: opt,
-		fan: nl.FanoutMap(), drv: nl.DriverMap()}
+		fan: nl.FanoutMap(), drv: nl.DriverMap(), compiled: &graphCache{}}
 	t.pinsOf = make([][]string, len(nl.Gates))
 	for gi := range nl.Gates {
 		g := &nl.Gates[gi]
