@@ -38,6 +38,13 @@
 // design uploads, and -request-timeout deadlines every request. Exceeding a
 // bound returns a typed 503 overloaded or 413 payload_too_large.
 //
+// Cluster mode: -cluster-peers (with -cluster-self) shards designs across
+// several timingd processes on a consistent-hash ring — one owner plus
+// -cluster-replicas read replicas per design, snapshot shipping on
+// -replicate-interval, heartbeat-driven ejection of dead peers, and 307
+// redirects (or transparent proxying under -cluster-proxy) so any node
+// serves any request. See DESIGN.md "Cluster" and API.md.
+//
 // Observability: -log-level/-log-json configure structured logs, -pprof
 // (off by default) mounts the net/http/pprof handlers under /debug/pprof/,
 // and -trace-out records spans for the whole run and writes a Chrome
@@ -56,9 +63,11 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/libsynth"
 	"repro/internal/obs"
 	"repro/internal/resilience"
@@ -85,6 +94,14 @@ func main() {
 		admWait       = flag.Duration("admission-wait", time.Second, "how long a query may queue for admission before 503 overloaded")
 		editQueue     = flag.Int("edit-queue", 64, "pending edits buffered per design before 503 overloaded")
 		reqTimeout    = flag.Duration("request-timeout", 2*time.Minute, "per-request context deadline (0 = none)")
+
+		clusterPeers = flag.String("cluster-peers", "", "comma-separated base URLs of every cluster node (including this one); empty = single-node")
+		clusterSelf  = flag.String("cluster-self", "", "this node's advertised base URL (required with -cluster-peers)")
+		clusterReps  = flag.Int("cluster-replicas", 1, "read replicas per design beyond its owner")
+		clusterProxy = flag.Bool("cluster-proxy", false, "proxy requests for designs owned elsewhere to their owner instead of answering 307 redirects")
+		replInterval = flag.Duration("replicate-interval", time.Second, "snapshot shipping cadence from owners to replicas")
+		hbInterval   = flag.Duration("heartbeat-interval", time.Second, "peer health probe cadence")
+		hbTimeout    = flag.Duration("heartbeat-timeout", 500*time.Millisecond, "per-probe timeout; 3 consecutive failures eject a peer from the ring")
 
 		logOpts = obs.RegisterLogFlags(flag.CommandLine)
 	)
@@ -126,6 +143,27 @@ func main() {
 			SnapshotInterval: *snapInterval,
 			VerifyRecovery:   *verifyRec,
 		})))
+	}
+	var node *cluster.Node
+	if *clusterPeers != "" {
+		var err error
+		node, err = cluster.NewNode(cluster.Config{
+			Self:              *clusterSelf,
+			Peers:             strings.Split(*clusterPeers, ","),
+			Replicas:          *clusterReps,
+			Proxy:             *clusterProxy,
+			ReplicateInterval: *replInterval,
+			HeartbeatInterval: *hbInterval,
+			HeartbeatTimeout:  *hbTimeout,
+		})
+		if err != nil {
+			fatal("timingd: cluster", err)
+		}
+		node.Start()
+		defer node.Close()
+		opts = append(opts, server.WithCluster(node))
+		slog.Info("timingd: cluster mode", "self", node.Self(),
+			"peers", len(node.Ring().Peers()), "replicas", *clusterReps, "proxy", *clusterProxy)
 	}
 	srv := server.New(lib, opts...)
 	handler := http.Handler(srv.Handler())

@@ -1,0 +1,110 @@
+package cluster
+
+import (
+	"sync"
+	"time"
+)
+
+// BreakerState is the classic three-state circuit-breaker automaton.
+type BreakerState int
+
+const (
+	// BreakerClosed: requests flow; consecutive failures are counted.
+	BreakerClosed BreakerState = iota
+	// BreakerOpen: requests are refused until the cooldown elapses.
+	BreakerOpen
+	// BreakerHalfOpen: the cooldown elapsed; probe requests are let through
+	// and the first outcome decides between Closed and Open.
+	BreakerHalfOpen
+)
+
+func (s BreakerState) String() string {
+	switch s {
+	case BreakerClosed:
+		return "closed"
+	case BreakerOpen:
+		return "open"
+	default:
+		return "half-open"
+	}
+}
+
+// Breaker is a per-peer circuit breaker: `threshold` consecutive failures
+// open it, `cooldown` later it half-opens and lets probes through, and one
+// success closes it again. Safe for concurrent use.
+type Breaker struct {
+	threshold int
+	cooldown  time.Duration
+	onOpen    func(open bool) // nil ok; called on open/not-open transitions
+
+	mu       sync.Mutex
+	state    BreakerState
+	failures int
+	openedAt time.Time
+	now      func() time.Time // injectable clock for tests
+}
+
+// NewBreaker builds a closed breaker. onOpen (optional) is invoked with
+// true when the breaker opens and false when it leaves the open state —
+// the hook behind the cluster_breaker_open gauge.
+func NewBreaker(threshold int, cooldown time.Duration, onOpen func(bool)) *Breaker {
+	if threshold <= 0 {
+		threshold = 3
+	}
+	if cooldown <= 0 {
+		cooldown = 5 * time.Second
+	}
+	return &Breaker{threshold: threshold, cooldown: cooldown, onOpen: onOpen, now: time.Now}
+}
+
+// Allow reports whether a request may be sent now. In the open state it
+// starts returning true once the cooldown has elapsed, transitioning to
+// half-open.
+func (b *Breaker) Allow() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state == BreakerOpen {
+		if b.now().Sub(b.openedAt) < b.cooldown {
+			return false
+		}
+		b.state = BreakerHalfOpen
+		if b.onOpen != nil {
+			b.onOpen(false)
+		}
+	}
+	return true
+}
+
+// Record reports a request outcome. A success resets to closed; a failure
+// in half-open, or the threshold'th consecutive failure in closed,
+// (re)opens the breaker.
+func (b *Breaker) Record(ok bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if ok {
+		wasOpen := b.state == BreakerOpen
+		b.state = BreakerClosed
+		b.failures = 0
+		if wasOpen && b.onOpen != nil {
+			b.onOpen(false)
+		}
+		return
+	}
+	b.failures++
+	if b.state == BreakerHalfOpen || b.failures >= b.threshold {
+		wasOpen := b.state == BreakerOpen
+		b.state = BreakerOpen
+		b.openedAt = b.now()
+		if !wasOpen && b.onOpen != nil {
+			b.onOpen(true)
+		}
+	}
+}
+
+// State returns the current state (open is reported as open even if the
+// cooldown has already elapsed — the transition happens on the next Allow).
+func (b *Breaker) State() BreakerState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}

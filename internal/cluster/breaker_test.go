@@ -1,0 +1,68 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+)
+
+func TestBreakerStateMachine(t *testing.T) {
+	now := time.Unix(0, 0)
+	var opens []bool
+	b := NewBreaker(3, time.Second, func(open bool) { opens = append(opens, open) })
+	b.now = func() time.Time { return now }
+
+	if !b.Allow() || b.State() != BreakerClosed {
+		t.Fatal("new breaker must be closed and allowing")
+	}
+	// Failures below threshold keep it closed.
+	b.Record(false)
+	b.Record(false)
+	if b.State() != BreakerClosed || !b.Allow() {
+		t.Fatalf("state after 2 failures = %v, want closed", b.State())
+	}
+	// A success resets the failure count.
+	b.Record(true)
+	b.Record(false)
+	b.Record(false)
+	if b.State() != BreakerClosed {
+		t.Fatal("success must reset the consecutive-failure count")
+	}
+	// Third consecutive failure opens it.
+	b.Record(false)
+	if b.State() != BreakerOpen || b.Allow() {
+		t.Fatalf("state after threshold failures = %v, want open+refusing", b.State())
+	}
+	if len(opens) != 1 || !opens[0] {
+		t.Fatalf("onOpen calls = %v, want [true]", opens)
+	}
+	// Cooldown elapses → half-open, probes allowed.
+	now = now.Add(time.Second)
+	if !b.Allow() || b.State() != BreakerHalfOpen {
+		t.Fatalf("post-cooldown state = %v, want half-open+allowing", b.State())
+	}
+	// A half-open failure reopens immediately.
+	b.Record(false)
+	if b.State() != BreakerOpen || b.Allow() {
+		t.Fatal("half-open failure must reopen")
+	}
+	// Cooldown again, then a success closes it for good.
+	now = now.Add(time.Second)
+	if !b.Allow() {
+		t.Fatal("second cooldown must allow a probe")
+	}
+	b.Record(true)
+	if b.State() != BreakerClosed || !b.Allow() {
+		t.Fatal("half-open success must close")
+	}
+	// Transitions seen: open, half-open(false), open, half-open(false), closed(false? no — success from half-open is not 'leaving open')
+	if opens[len(opens)-1] != false {
+		t.Fatalf("final onOpen call = %v, want false", opens[len(opens)-1])
+	}
+}
+
+func TestBreakerDefaults(t *testing.T) {
+	b := NewBreaker(0, 0, nil)
+	if b.threshold != 3 || b.cooldown != 5*time.Second {
+		t.Fatalf("defaults = %d/%v", b.threshold, b.cooldown)
+	}
+}

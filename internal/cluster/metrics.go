@@ -1,0 +1,43 @@
+package cluster
+
+import "repro/internal/obs"
+
+// nodeMetrics are the cluster families on the default obs registry. They
+// are registered per Node (not at package init) so single-node timingd
+// scrapes stay free of cluster families; multiple nodes in one test process
+// share the families, each merging its own peer label values in.
+type nodeMetrics struct {
+	forwards    *obs.CounterVec // requests redirected/proxied to an owner, by peer
+	forwardErrs *obs.CounterVec // proxy forwards failing transport or 5xx, by peer
+	breakerOpen *obs.GaugeVec   // 1 while the breaker to a peer is open
+	lag         *obs.GaugeVec   // replication lag in snapshot seqs, by replica peer
+	hbFails     *obs.CounterVec // failed heartbeat probes, by peer
+	shipped     *obs.CounterVec // snapshot shipments acked by a replica, by peer
+	alive       *obs.Gauge      // peers currently in the ring (incl. self)
+	applied     *obs.Counter    // replicated snapshots applied on this node
+	skipped     *obs.Counter    // replicated snapshots skipped as stale
+}
+
+func newNodeMetrics(peers []string) *nodeMetrics {
+	r := obs.Default()
+	return &nodeMetrics{
+		forwards: r.CounterVec("cluster_forwards_total",
+			"Requests forwarded (redirect or proxy) to a design's owner, by peer.", "peer", peers...),
+		forwardErrs: r.CounterVec("cluster_forward_errors_total",
+			"Proxied forwards that failed with a transport error or 5xx, by peer.", "peer", peers...),
+		breakerOpen: r.GaugeVec("cluster_breaker_open",
+			"1 while the circuit breaker to a peer is open, else 0.", "peer", peers...),
+		lag: r.GaugeVec("cluster_replication_lag_seqs",
+			"Snapshot sequences a replica lags behind this owner, by peer.", "peer", peers...),
+		hbFails: r.CounterVec("cluster_heartbeat_failures_total",
+			"Failed heartbeat probes, by peer.", "peer", peers...),
+		shipped: r.CounterVec("cluster_replicate_shipped_total",
+			"Snapshot shipments acknowledged by a replica, by peer.", "peer", peers...),
+		alive: r.Gauge("cluster_peers_alive",
+			"Peers currently alive in the ring, including this node."),
+		applied: r.Counter("cluster_replicate_applied_total",
+			"Replicated snapshots applied on this node."),
+		skipped: r.Counter("cluster_replicate_skipped_total",
+			"Replicated snapshots skipped as stale (idempotent re-ship)."),
+	}
+}

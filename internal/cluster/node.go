@@ -1,0 +1,357 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Config describes one node's view of the cluster. Peers is the full static
+// membership list (including Self — it is appended if missing); everything
+// else has working defaults.
+type Config struct {
+	Self     string   // this node's advertised base URL, e.g. http://10.0.0.1:8080
+	Peers    []string // static membership (base URLs)
+	Replicas int      // read replicas per design beyond the owner (default 1)
+	VNodes   int      // virtual nodes per peer (default DefaultVNodes)
+
+	HeartbeatInterval time.Duration // probe cadence (default 1s)
+	HeartbeatTimeout  time.Duration // per-probe timeout (default 500ms)
+	FailAfter         int           // consecutive failures before ejection (default 3)
+
+	BreakerThreshold int           // consecutive forward failures to open (default 3)
+	BreakerCooldown  time.Duration // open → half-open delay (default 5s)
+
+	Proxy             bool          // proxy edits to the owner instead of 307 redirects
+	ReplicateInterval time.Duration // snapshot shipping cadence (default 1s)
+
+	Client *http.Client // transport for probes/forwards/shipping (default http.DefaultClient-like)
+}
+
+// PeerStatus is one row of the /v1/cluster introspection payload.
+type PeerStatus struct {
+	URL      string `json:"url"`
+	Self     bool   `json:"self,omitempty"`
+	Alive    bool   `json:"alive"`
+	Breaker  string `json:"breaker,omitempty"`
+	Failures int    `json:"heartbeat_failures,omitempty"` // consecutive
+}
+
+// Node is a live cluster membership view: the static peer list, which peers
+// are currently alive (heartbeat-driven), the consistent-hash ring over the
+// alive set, and a circuit breaker per remote peer. All methods are safe
+// for concurrent use. Start launches the heartbeat prober; Close stops it.
+type Node struct {
+	cfg      Config
+	client   *http.Client
+	breakers map[string]*Breaker
+	met      *nodeMetrics
+	ring     atomic.Pointer[Ring]
+
+	mu      sync.Mutex
+	alive   map[string]bool
+	fails   map[string]int       // consecutive probe failures
+	next    map[string]time.Time // backoff: earliest next probe per ejected peer
+	started bool
+
+	stop chan struct{}
+	done chan struct{}
+}
+
+// NewNode validates and normalizes cfg and builds the initial ring with
+// every peer presumed alive (an unreachable peer is ejected after
+// FailAfter probes). Call Start to begin probing.
+func NewNode(cfg Config) (*Node, error) {
+	cfg.Self = strings.TrimRight(cfg.Self, "/")
+	if cfg.Self == "" {
+		return nil, fmt.Errorf("cluster: Self URL required")
+	}
+	peers := make([]string, 0, len(cfg.Peers)+1)
+	seen := map[string]bool{}
+	for _, p := range append([]string{cfg.Self}, cfg.Peers...) {
+		p = strings.TrimRight(strings.TrimSpace(p), "/")
+		if p == "" || seen[p] {
+			continue
+		}
+		u, err := url.Parse(p)
+		if err != nil || (u.Scheme != "http" && u.Scheme != "https") || u.Host == "" {
+			return nil, fmt.Errorf("cluster: peer %q is not an http(s) base URL", p)
+		}
+		seen[p] = true
+		peers = append(peers, p)
+	}
+	sort.Strings(peers)
+	cfg.Peers = peers
+	if cfg.Replicas < 0 {
+		cfg.Replicas = 0
+	} else if cfg.Replicas == 0 {
+		cfg.Replicas = 1
+	}
+	if cfg.VNodes <= 0 {
+		cfg.VNodes = DefaultVNodes
+	}
+	if cfg.HeartbeatInterval <= 0 {
+		cfg.HeartbeatInterval = time.Second
+	}
+	if cfg.HeartbeatTimeout <= 0 {
+		cfg.HeartbeatTimeout = 500 * time.Millisecond
+	}
+	if cfg.FailAfter <= 0 {
+		cfg.FailAfter = 3
+	}
+	if cfg.BreakerThreshold <= 0 {
+		cfg.BreakerThreshold = 3
+	}
+	if cfg.BreakerCooldown <= 0 {
+		cfg.BreakerCooldown = 5 * time.Second
+	}
+	if cfg.ReplicateInterval <= 0 {
+		cfg.ReplicateInterval = time.Second
+	}
+	client := cfg.Client
+	if client == nil {
+		client = &http.Client{}
+	}
+	n := &Node{
+		cfg:      cfg,
+		client:   client,
+		breakers: make(map[string]*Breaker, len(peers)),
+		met:      newNodeMetrics(peers),
+		alive:    make(map[string]bool, len(peers)),
+		fails:    make(map[string]int, len(peers)),
+		next:     make(map[string]time.Time),
+		stop:     make(chan struct{}),
+		done:     make(chan struct{}),
+	}
+	for _, p := range peers {
+		n.alive[p] = true
+		if p != cfg.Self {
+			peer := p
+			n.breakers[p] = NewBreaker(cfg.BreakerThreshold, cfg.BreakerCooldown, func(open bool) {
+				v := 0.0
+				if open {
+					v = 1
+				}
+				n.met.breakerOpen.With(peer).Set(v)
+			})
+		}
+	}
+	n.ring.Store(NewRing(peers, cfg.VNodes))
+	n.met.alive.Set(float64(len(peers)))
+	return n, nil
+}
+
+// Start launches the heartbeat prober (idempotent).
+func (n *Node) Start() {
+	n.mu.Lock()
+	if n.started {
+		n.mu.Unlock()
+		return
+	}
+	n.started = true
+	n.mu.Unlock()
+	go n.heartbeatLoop()
+}
+
+// Close stops the prober and waits for it to exit.
+func (n *Node) Close() {
+	n.mu.Lock()
+	started := n.started
+	n.mu.Unlock()
+	select {
+	case <-n.stop:
+	default:
+		close(n.stop)
+	}
+	if started {
+		<-n.done
+	}
+}
+
+// Self returns this node's normalized base URL.
+func (n *Node) Self() string { return n.cfg.Self }
+
+// Proxy reports whether edits to non-owners are proxied (true) or answered
+// with a 307 redirect (false).
+func (n *Node) Proxy() bool { return n.cfg.Proxy }
+
+// ReplicateInterval is the snapshot-shipping cadence.
+func (n *Node) ReplicateInterval() time.Duration { return n.cfg.ReplicateInterval }
+
+// Client returns the HTTP client used for all intra-cluster traffic.
+func (n *Node) Client() *http.Client { return n.client }
+
+// Ring returns the current ring over the alive peers.
+func (n *Node) Ring() *Ring { return n.ring.Load() }
+
+// Placement returns the owner and read replicas of key under the current
+// ring.
+func (n *Node) Placement(key string) (owner string, replicas []string) {
+	l := n.ring.Load().Lookup(key, n.cfg.Replicas+1)
+	if len(l) == 0 {
+		return "", nil
+	}
+	return l[0], l[1:]
+}
+
+// Role resolves this node's role for key: the owner URL plus whether this
+// node is that owner or one of the key's replicas.
+func (n *Node) Role(key string) (owner string, isOwner, isReplica bool) {
+	owner, replicas := n.Placement(key)
+	if owner == n.cfg.Self {
+		return owner, true, false
+	}
+	for _, p := range replicas {
+		if p == n.cfg.Self {
+			return owner, false, true
+		}
+	}
+	return owner, false, false
+}
+
+// Breaker returns the circuit breaker guarding traffic to peer (nil for
+// self or unknown peers).
+func (n *Node) Breaker(peer string) *Breaker { return n.breakers[peer] }
+
+// Peers returns every configured peer with its live status, sorted by URL.
+func (n *Node) Peers() []PeerStatus {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	out := make([]PeerStatus, 0, len(n.cfg.Peers))
+	for _, p := range n.cfg.Peers {
+		st := PeerStatus{URL: p, Self: p == n.cfg.Self, Alive: n.alive[p], Failures: n.fails[p]}
+		if b := n.breakers[p]; b != nil {
+			st.Breaker = b.State().String()
+		}
+		out = append(out, st)
+	}
+	return out
+}
+
+// NoteForward counts one redirect/proxy to peer.
+func (n *Node) NoteForward(peer string) { n.met.forwards.With(peer).Inc() }
+
+// NoteForwardError counts one failed proxy to peer.
+func (n *Node) NoteForwardError(peer string) { n.met.forwardErrs.With(peer).Inc() }
+
+// NoteShipped counts one snapshot shipment acked by peer.
+func (n *Node) NoteShipped(peer string) { n.met.shipped.With(peer).Inc() }
+
+// NoteReplicateApplied counts one shipped snapshot applied locally.
+func (n *Node) NoteReplicateApplied() { n.met.applied.Inc() }
+
+// NoteReplicateSkipped counts one shipped snapshot skipped as stale.
+func (n *Node) NoteReplicateSkipped() { n.met.skipped.Inc() }
+
+// SetReplicationLag records how many snapshot seqs peer's replica trails
+// this owner.
+func (n *Node) SetReplicationLag(peer string, seqs float64) { n.met.lag.With(peer).Set(seqs) }
+
+// heartbeatLoop probes every remote peer each HeartbeatInterval, ejecting a
+// peer from the ring after FailAfter consecutive failures and re-admitting
+// it on the first success. Ejected peers are probed with exponential
+// backoff (capped at 8× the interval) so a long-dead peer costs little.
+func (n *Node) heartbeatLoop() {
+	defer close(n.done)
+	t := time.NewTicker(n.cfg.HeartbeatInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-n.stop:
+			return
+		case <-t.C:
+			n.probeAll()
+		}
+	}
+}
+
+func (n *Node) probeAll() {
+	now := time.Now()
+	n.mu.Lock()
+	due := make([]string, 0, len(n.cfg.Peers))
+	for _, p := range n.cfg.Peers {
+		if p == n.cfg.Self || now.Before(n.next[p]) {
+			continue
+		}
+		due = append(due, p)
+	}
+	n.mu.Unlock()
+	for _, p := range due {
+		n.notePeer(p, n.probe(p))
+		select {
+		case <-n.stop:
+			return
+		default:
+		}
+	}
+}
+
+// probe GETs the peer's health endpoint within HeartbeatTimeout.
+func (n *Node) probe(peer string) bool {
+	ctx, cancel := context.WithTimeout(context.Background(), n.cfg.HeartbeatTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, peer+"/v1/healthz", nil)
+	if err != nil {
+		return false
+	}
+	resp, err := n.client.Do(req)
+	if err != nil {
+		return false
+	}
+	io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+	resp.Body.Close()
+	return resp.StatusCode == http.StatusOK
+}
+
+// notePeer folds one probe outcome into the membership view, rebuilding the
+// ring when a peer's aliveness flips.
+func (n *Node) notePeer(peer string, ok bool) {
+	n.mu.Lock()
+	changed := false
+	if ok {
+		if !n.alive[peer] {
+			n.alive[peer] = true
+			changed = true
+		}
+		n.fails[peer] = 0
+		delete(n.next, peer)
+	} else {
+		n.fails[peer]++
+		n.met.hbFails.With(peer).Inc()
+		if n.fails[peer] >= n.cfg.FailAfter {
+			if n.alive[peer] {
+				n.alive[peer] = false
+				changed = true
+			}
+			shift := n.fails[peer] - n.cfg.FailAfter
+			if shift > 3 {
+				shift = 3
+			}
+			n.next[peer] = time.Now().Add(n.cfg.HeartbeatInterval << shift)
+		}
+	}
+	aliveCount := 0
+	if changed {
+		live := make([]string, 0, len(n.cfg.Peers))
+		for _, p := range n.cfg.Peers {
+			if n.alive[p] {
+				live = append(live, p)
+			}
+		}
+		n.ring.Store(NewRing(live, n.cfg.VNodes))
+	}
+	for _, p := range n.cfg.Peers {
+		if n.alive[p] {
+			aliveCount++
+		}
+	}
+	n.mu.Unlock()
+	n.met.alive.Set(float64(aliveCount))
+}

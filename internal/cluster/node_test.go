@@ -1,0 +1,165 @@
+package cluster
+
+import (
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"testing"
+	"time"
+)
+
+// newListenerAt rebinds the host:port of a base URL (for peer-revival
+// tests; the OS may have handed the port out again, hence the error path).
+func newListenerAt(t *testing.T, base string) (net.Listener, error) {
+	t.Helper()
+	u, err := url.Parse(base)
+	if err != nil {
+		return nil, err
+	}
+	return net.Listen("tcp", u.Host)
+}
+
+func TestNodeConfigValidation(t *testing.T) {
+	if _, err := NewNode(Config{}); err == nil {
+		t.Fatal("empty Self must be rejected")
+	}
+	if _, err := NewNode(Config{Self: "http://a:1", Peers: []string{"not-a-url"}}); err == nil {
+		t.Fatal("non-URL peer must be rejected")
+	}
+	n, err := NewNode(Config{Self: "http://a:1/", Peers: []string{"http://b:1", "http://a:1"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer n.Close()
+	if n.Self() != "http://a:1" {
+		t.Fatalf("Self = %q, want trailing slash trimmed", n.Self())
+	}
+	if got := n.Ring().Peers(); len(got) != 2 {
+		t.Fatalf("ring peers = %v, want self deduped into 2", got)
+	}
+	if n.Breaker("http://b:1") == nil || n.Breaker("http://a:1") != nil {
+		t.Fatal("breakers must exist for remote peers only")
+	}
+}
+
+func TestNodeRoles(t *testing.T) {
+	peers := []string{"http://a:1", "http://b:1", "http://c:1"}
+	nodes := make([]*Node, len(peers))
+	for i, self := range peers {
+		n, err := NewNode(Config{Self: self, Peers: peers, Replicas: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer n.Close()
+		nodes[i] = n
+	}
+	key := "some-design"
+	owner, replicas := nodes[0].Placement(key)
+	if owner == "" || len(replicas) != 1 {
+		t.Fatalf("placement = %q/%v", owner, replicas)
+	}
+	owners, reps := 0, 0
+	for _, n := range nodes {
+		o, isOwner, isReplica := n.Role(key)
+		if o != owner {
+			t.Fatalf("nodes disagree on owner: %q vs %q", o, owner)
+		}
+		if isOwner {
+			owners++
+			if n.Self() != owner {
+				t.Fatal("isOwner on a non-owner node")
+			}
+		}
+		if isReplica {
+			reps++
+			if n.Self() != replicas[0] {
+				t.Fatal("isReplica on a non-replica node")
+			}
+		}
+	}
+	if owners != 1 || reps != 1 {
+		t.Fatalf("owners=%d replicas=%d, want 1/1", owners, reps)
+	}
+}
+
+// TestHeartbeatEjectsAndReadmits runs a real prober against one live
+// httptest peer and one dead port: the dead peer must leave the ring after
+// FailAfter probes, and a revived peer must rejoin.
+func TestHeartbeatEjectsAndReadmits(t *testing.T) {
+	live := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/v1/healthz" {
+			http.NotFound(w, r)
+			return
+		}
+		w.WriteHeader(http.StatusOK)
+	}))
+	defer live.Close()
+	dead := httptest.NewServer(http.NotFoundHandler())
+	deadURL := dead.URL
+	dead.Close() // port now refuses connections
+
+	self := "http://127.0.0.1:1" // never probed
+	n, err := NewNode(Config{
+		Self:              self,
+		Peers:             []string{live.URL, deadURL},
+		Replicas:          1,
+		HeartbeatInterval: 10 * time.Millisecond,
+		HeartbeatTimeout:  100 * time.Millisecond,
+		FailAfter:         2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer n.Close()
+	n.Start()
+
+	waitFor := func(desc string, pred func() bool) {
+		t.Helper()
+		deadline := time.Now().Add(5 * time.Second)
+		for time.Now().Before(deadline) {
+			if pred() {
+				return
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+		t.Fatalf("timed out waiting for %s; peers = %+v", desc, n.Peers())
+	}
+	inRing := func(url string) bool {
+		for _, p := range n.Ring().Peers() {
+			if p == url {
+				return true
+			}
+		}
+		return false
+	}
+	waitFor("dead peer ejected", func() bool { return !inRing(deadURL) })
+	if !inRing(live.URL) || !inRing(self) {
+		t.Fatalf("live peers missing from ring: %v", n.Ring().Peers())
+	}
+	for _, st := range n.Peers() {
+		switch st.URL {
+		case deadURL:
+			if st.Alive {
+				t.Fatal("dead peer still marked alive")
+			}
+		case live.URL, self:
+			if !st.Alive {
+				t.Fatalf("%s marked dead", st.URL)
+			}
+		}
+	}
+
+	// Revive the dead peer on its old address and wait for re-admission
+	// (the prober backs off but keeps probing ejected peers).
+	l, err := newListenerAt(t, deadURL)
+	if err != nil {
+		t.Skipf("cannot rebind %s: %v", deadURL, err)
+	}
+	revived := &http.Server{Handler: http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+	})}
+	go revived.Serve(l)
+	defer revived.Close()
+	waitFor("revived peer re-admitted", func() bool { return inRing(deadURL) })
+}

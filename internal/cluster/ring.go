@@ -1,0 +1,121 @@
+// Package cluster turns timingd into a multi-node service. A consistent-hash
+// ring with virtual nodes places every design on a primary owner plus R read
+// replicas, rebuilt deterministically from a static peer list; HTTP
+// heartbeats with timeout and backoff eject dead peers from the ring;
+// per-peer circuit breakers protect proxying; and Node bundles the whole
+// membership view for the cluster-aware router in internal/server, which
+// forwards, redirects, or serves any request on any node.
+package cluster
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+)
+
+// DefaultVNodes is the virtual-node count per peer when Config.VNodes is
+// zero. 64 points per peer keeps the ownership imbalance across a handful
+// of peers within a few percent while the ring stays tiny.
+const DefaultVNodes = 64
+
+// point is one virtual node: a position on the 64-bit hash circle owned by
+// a peer.
+type point struct {
+	hash uint64
+	peer string
+}
+
+// Ring is an immutable consistent-hash ring. Build one with NewRing; to
+// change membership, build a new ring from the new peer list — two rings
+// built from the same (sorted) peers and vnode count are identical, so every
+// node that agrees on the alive set agrees on placement.
+type Ring struct {
+	points []point
+	peers  []string // sorted, deduplicated
+}
+
+// hash64 is FNV-64a finished with a murmur3-style avalanche mix — stable
+// across processes and platforms (unlike Go's runtime map hash), and the
+// finalizer spreads the near-identical vnode strings ("peer#0", "peer#1",
+// …) uniformly around the circle, which raw FNV does not.
+func hash64(s string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(s))
+	x := h.Sum64()
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	x *= 0xc4ceb9fe1a85ec53
+	x ^= x >> 33
+	return x
+}
+
+// NewRing builds a ring over peers with vnodes virtual nodes per peer
+// (DefaultVNodes when vnodes <= 0). Peers are sorted and deduplicated, so
+// the ring is a pure function of the membership set.
+func NewRing(peers []string, vnodes int) *Ring {
+	if vnodes <= 0 {
+		vnodes = DefaultVNodes
+	}
+	uniq := make([]string, 0, len(peers))
+	seen := make(map[string]bool, len(peers))
+	for _, p := range peers {
+		if p == "" || seen[p] {
+			continue
+		}
+		seen[p] = true
+		uniq = append(uniq, p)
+	}
+	sort.Strings(uniq)
+	r := &Ring{peers: uniq, points: make([]point, 0, len(uniq)*vnodes)}
+	for _, p := range uniq {
+		for i := 0; i < vnodes; i++ {
+			r.points = append(r.points, point{hash: hash64(fmt.Sprintf("%s#%d", p, i)), peer: p})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].hash != r.points[j].hash {
+			return r.points[i].hash < r.points[j].hash
+		}
+		return r.points[i].peer < r.points[j].peer
+	})
+	return r
+}
+
+// Peers returns the ring's member set, sorted. The slice is shared; do not
+// mutate.
+func (r *Ring) Peers() []string { return r.peers }
+
+// Lookup walks the ring clockwise from key's hash and returns the first n
+// distinct peers: index 0 is the key's owner, the rest are its replicas in
+// preference order. Fewer than n peers are returned when the ring is smaller
+// than n.
+func (r *Ring) Lookup(key string, n int) []string {
+	if len(r.points) == 0 || n <= 0 {
+		return nil
+	}
+	if n > len(r.peers) {
+		n = len(r.peers)
+	}
+	h := hash64(key)
+	start := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	out := make([]string, 0, n)
+	seen := make(map[string]bool, n)
+	for i := 0; i < len(r.points) && len(out) < n; i++ {
+		p := r.points[(start+i)%len(r.points)].peer
+		if !seen[p] {
+			seen[p] = true
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// Owner returns the peer owning key ("" on an empty ring).
+func (r *Ring) Owner(key string) string {
+	l := r.Lookup(key, 1)
+	if len(l) == 0 {
+		return ""
+	}
+	return l[0]
+}

@@ -1,0 +1,104 @@
+package cluster
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+)
+
+func peersN(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("http://10.0.0.%d:8080", i+1)
+	}
+	return out
+}
+
+func TestRingDeterministic(t *testing.T) {
+	a := NewRing(peersN(5), 64)
+	// Same membership in a different order must yield the same placement.
+	shuffled := []string{peersN(5)[3], peersN(5)[0], peersN(5)[4], peersN(5)[2], peersN(5)[1]}
+	b := NewRing(shuffled, 64)
+	for i := 0; i < 200; i++ {
+		key := fmt.Sprintf("design-%d", i)
+		if got, want := a.Lookup(key, 3), b.Lookup(key, 3); !reflect.DeepEqual(got, want) {
+			t.Fatalf("key %q: placement differs across build orders: %v vs %v", key, got, want)
+		}
+	}
+}
+
+func TestRingLookupDistinctAndComplete(t *testing.T) {
+	r := NewRing(peersN(4), 32)
+	for i := 0; i < 100; i++ {
+		key := fmt.Sprintf("d%d", i)
+		got := r.Lookup(key, 3)
+		if len(got) != 3 {
+			t.Fatalf("key %q: got %d peers, want 3", key, len(got))
+		}
+		seen := map[string]bool{}
+		for _, p := range got {
+			if seen[p] {
+				t.Fatalf("key %q: duplicate peer %s in %v", key, p, got)
+			}
+			seen[p] = true
+		}
+		if got[0] != r.Owner(key) {
+			t.Fatalf("key %q: Lookup[0] %s != Owner %s", key, got[0], r.Owner(key))
+		}
+	}
+	// Asking for more peers than exist returns all of them.
+	if got := r.Lookup("x", 10); len(got) != 4 {
+		t.Fatalf("over-ask returned %d peers, want 4", len(got))
+	}
+	// Empty ring.
+	if NewRing(nil, 8).Owner("x") != "" {
+		t.Fatal("empty ring must own nothing")
+	}
+}
+
+func TestRingBalance(t *testing.T) {
+	peers := peersN(4)
+	r := NewRing(peers, DefaultVNodes)
+	counts := map[string]int{}
+	const keys = 4000
+	for i := 0; i < keys; i++ {
+		counts[r.Owner(fmt.Sprintf("design/%d", i))]++
+	}
+	for _, p := range peers {
+		frac := float64(counts[p]) / keys
+		// Perfect balance is 0.25; with 64 vnodes the spread stays well
+		// within a factor of two.
+		if frac < 0.10 || frac > 0.45 {
+			t.Fatalf("peer %s owns %.1f%% of keys — ring badly unbalanced: %v", p, 100*frac, counts)
+		}
+	}
+}
+
+// TestRingEjectionStability pins the consistent-hashing property the
+// cluster relies on during failover: removing one peer must not move any
+// key whose placement didn't involve that peer.
+func TestRingEjectionStability(t *testing.T) {
+	peers := peersN(5)
+	full := NewRing(peers, 64)
+	down := peers[2]
+	survivors := append(append([]string{}, peers[:2]...), peers[3:]...)
+	partial := NewRing(survivors, 64)
+	moved := 0
+	const keys = 1000
+	for i := 0; i < keys; i++ {
+		key := fmt.Sprintf("design-%d", i)
+		before, after := full.Owner(key), partial.Owner(key)
+		if before != down && before != after {
+			t.Fatalf("key %q moved %s → %s though its owner %s stayed up", key, before, after, before)
+		}
+		if before == down {
+			moved++
+			if after == down {
+				t.Fatalf("key %q still placed on ejected peer", key)
+			}
+		}
+	}
+	if moved == 0 {
+		t.Fatal("test vacuous: ejected peer owned no keys")
+	}
+}

@@ -232,19 +232,14 @@ func Default() *Registry { return defaultRegistry }
 
 // lookup returns (creating if needed) the family, enforcing that repeated
 // registrations agree on kind and label key. Registration mismatches are
-// programmer errors and panic.
+// programmer errors and panic. Re-registering a labeled family with new
+// label values adds series for the values not seen before (cardinality
+// stays bounded by what callers register), so two components — say, two
+// cluster nodes hosted in one test process — can share one family while
+// each contributes its own value set.
 func (r *Registry) lookup(name, help string, kind metricKind, label string, values []string) *family {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	if f, ok := r.fams[name]; ok {
-		if f.kind != kind || f.label != label {
-			panic(fmt.Sprintf("obs: metric %q re-registered as %s/%q, was %s/%q",
-				name, kind, label, f.kind, f.label))
-		}
-		return f
-	}
-	f := &family{name: name, help: help, kind: kind, label: label,
-		series: make(map[string]any)}
 	mk := func() any {
 		switch kind {
 		case kindCounter:
@@ -255,6 +250,24 @@ func (r *Registry) lookup(name, help string, kind metricKind, label string, valu
 			return &Histogram{}
 		}
 	}
+	if f, ok := r.fams[name]; ok {
+		if f.kind != kind || f.label != label {
+			panic(fmt.Sprintf("obs: metric %q re-registered as %s/%q, was %s/%q",
+				name, kind, label, f.kind, f.label))
+		}
+		if label != "" {
+			f.mu.Lock()
+			for _, v := range values {
+				if _, ok := f.series[v]; !ok {
+					f.series[v] = mk()
+				}
+			}
+			f.mu.Unlock()
+		}
+		return f
+	}
+	f := &family{name: name, help: help, kind: kind, label: label,
+		series: make(map[string]any)}
 	if label == "" {
 		f.series[""] = mk()
 	} else {
@@ -294,6 +307,18 @@ func (r *Registry) CounterVec(name, help, label string, values ...string) *Count
 // With returns the series for the label value (the "other" series for
 // values outside the registered set).
 func (v *CounterVec) With(value string) *Counter { return v.f.get(value).(*Counter) }
+
+// GaugeVec is a gauge family keyed by one label over a fixed value set.
+type GaugeVec struct{ f *family }
+
+// GaugeVec registers a labeled gauge family with bounded cardinality, like
+// CounterVec.
+func (r *Registry) GaugeVec(name, help, label string, values ...string) *GaugeVec {
+	return &GaugeVec{f: r.lookup(name, help, kindGauge, label, values)}
+}
+
+// With returns the series for the label value.
+func (v *GaugeVec) With(value string) *Gauge { return v.f.get(value).(*Gauge) }
 
 // HistogramVec is a histogram family keyed by one label over a fixed set.
 type HistogramVec struct{ f *family }

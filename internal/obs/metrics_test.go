@@ -130,6 +130,57 @@ func TestVecCardinalityBounded(t *testing.T) {
 	}
 }
 
+func TestGaugeVec(t *testing.T) {
+	r := NewRegistry()
+	v := r.GaugeVec("lag_seqs", "replication lag", "peer", "http://a", "http://b")
+	v.With("http://a").Set(7)
+	v.With("http://b").Add(2)
+	if got := v.With("http://a").Value(); got != 7 {
+		t.Fatalf("gauge a = %g, want 7", got)
+	}
+	if got := v.With("http://b").Value(); got != 2 {
+		t.Fatalf("gauge b = %g, want 2", got)
+	}
+	// Unknown values collapse into "other", like the counter/histogram vecs.
+	if v.With("http://evil") != v.With("http://also-evil") {
+		t.Fatal("unknown label values must share the other series")
+	}
+	var sb strings.Builder
+	r.WritePrometheus(&sb)
+	if !strings.Contains(sb.String(), `lag_seqs{peer="http://a"} 7`) {
+		t.Fatalf("exposition missing labeled gauge:\n%s", sb.String())
+	}
+}
+
+// TestVecRegistrationMergesNewValues pins the behavior the cluster metrics
+// rely on: two components registering the same family with different label
+// value sets (say, two nodes in one test process, each naming its own peers)
+// each get dedicated series rather than the late one collapsing into
+// "other".
+func TestVecRegistrationMergesNewValues(t *testing.T) {
+	r := NewRegistry()
+	v1 := r.CounterVec("fwd_total", "forwards", "peer", "http://a")
+	v1.With("http://a").Inc()
+	v2 := r.CounterVec("fwd_total", "forwards", "peer", "http://b")
+	v2.With("http://b").Add(3)
+	if got := v2.With("http://a").Value(); got != 1 {
+		t.Fatalf("pre-existing series lost state: %d", got)
+	}
+	if v2.With("http://b") == v2.With(otherLabel) {
+		t.Fatal("late-registered value must get its own series, not other")
+	}
+	if got := v1.f.seriesCount(); got != 3 { // a, b, other
+		t.Fatalf("series count = %d, want 3", got)
+	}
+	// Same merge for gauges.
+	g1 := r.GaugeVec("breaker_open", "breaker", "peer", "http://a")
+	g2 := r.GaugeVec("breaker_open", "breaker", "peer", "http://b")
+	g2.With("http://b").Set(1)
+	if g1.With("http://b").Value() != 1 {
+		t.Fatal("gauge families must share merged series")
+	}
+}
+
 func TestWritePrometheus(t *testing.T) {
 	r := NewRegistry()
 	r.Counter("a_total", "counter a").Add(3)

@@ -1,0 +1,539 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/incsta"
+)
+
+// hopHeader marks an intra-cluster forward. A request carrying it is never
+// forwarded again: if it lands on a node that does not own the design, the
+// two nodes' ring views have diverged and the client gets a retryable
+// wrong_node error instead of a forwarding loop.
+const hopHeader = "X-Timingd-Forward"
+
+// replicaRefreshEvery re-ships a replica's snapshot after this many idle
+// replication ticks even when the owner believes it is caught up — the
+// self-healing path for a replica that restarted (losing its in-memory
+// copy) without the owner noticing.
+const replicaRefreshEvery = 10
+
+// replicaState is one design shipped to this node by its owner, served
+// read-only. In-memory only: a restarted replica re-converges from the
+// owner's periodic re-ship.
+type replicaState struct {
+	mu    sync.Mutex
+	eng   *incsta.Engine
+	seq   uint64 // owner's snapshot version this state reproduces
+	epoch uint64 // owner's boot epoch; a new epoch resets seq comparison
+	from  string // owner that shipped it (introspection)
+}
+
+// view returns the engine and shipped sequence coherently.
+func (rs *replicaState) view() (*incsta.Engine, uint64) {
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	return rs.eng, rs.seq
+}
+
+// replicateRequest is the POST /v1/internal/replicate body: a full design
+// snapshot at one sequence number, or a tombstone. Epoch distinguishes an
+// owner's replication streams across restarts (engine versions restart
+// after recovery, so Seq alone cannot order across a reboot).
+type replicateRequest struct {
+	Seq      uint64          `json:"seq"`
+	Epoch    uint64          `json:"epoch"`
+	Delete   bool            `json:"delete,omitempty"`
+	Name     string          `json:"name,omitempty"` // delete only; otherwise Snapshot.Name
+	Snapshot *designSnapshot `json:"snapshot,omitempty"`
+}
+
+// replicateResponse acknowledges a shipment with the replica's resulting
+// sequence (equal to the request's on apply; the newer local one on skip).
+type replicateResponse struct {
+	Design  string `json:"design"`
+	Seq     uint64 `json:"seq"`
+	Applied bool   `json:"applied"`
+}
+
+// --- cluster-aware router ---
+
+// designPathName extracts the design name from a design-scoped path
+// (/designs/{name}[/...] or /v1/designs/{name}[/...]).
+func designPathName(path string) (string, bool) {
+	p := strings.TrimPrefix(path, "/v1")
+	rest, ok := strings.CutPrefix(p, "/designs/")
+	if !ok || rest == "" {
+		return "", false
+	}
+	if i := strings.IndexByte(rest, '/'); i >= 0 {
+		rest = rest[:i]
+	}
+	name, err := url.PathUnescape(rest)
+	if err != nil || name == "" {
+		return "", false
+	}
+	return name, true
+}
+
+// isReadRequest reports whether a design-scoped request is a read a replica
+// may serve: any GET, plus the batch POST.
+func isReadRequest(r *http.Request) bool {
+	return r.Method == http.MethodGet ||
+		(r.Method == http.MethodPost && strings.HasSuffix(r.URL.Path, "/batch"))
+}
+
+// routeCluster is the Handler entry point in cluster mode. Requests outside
+// /designs/{name} go straight to the local mux; design-scoped requests are
+// routed by the ring — served locally when this node owns the design, from
+// the shipped replica snapshot for reads on a replica, forwarded to the
+// owner otherwise.
+func (s *Server) routeCluster(w http.ResponseWriter, r *http.Request) {
+	name, ok := designPathName(r.URL.Path)
+	if !ok {
+		s.mux.ServeHTTP(w, r)
+		return
+	}
+	owner, isOwner, isReplica := s.node.Role(name)
+	if isOwner {
+		// Failover read path: this node now owns a design it never loaded
+		// (the previous owner died) but still holds the shipped replica
+		// copy — serve reads stale rather than 404.
+		if _, loaded := s.design(name); !loaded && isReadRequest(r) && s.replica(name) != nil {
+			s.serveReplica(w, r, name)
+			return
+		}
+		s.mux.ServeHTTP(w, r)
+		return
+	}
+	if isReplica && isReadRequest(r) && s.replica(name) != nil {
+		s.serveReplica(w, r, name)
+		return
+	}
+	s.forward(w, r, owner)
+}
+
+// replica returns this node's shipped copy of name, nil if none.
+func (s *Server) replica(name string) *replicaState {
+	s.repMu.Lock()
+	defer s.repMu.Unlock()
+	return s.reps[name]
+}
+
+// serveReplica answers a read from the shipped snapshot, with the same
+// ready-gating, timeout, admission and metrics treatment the mux applies,
+// and the shipped sequence number reported as the payload version.
+func (s *Server) serveReplica(w http.ResponseWriter, r *http.Request, name string) {
+	t0 := time.Now()
+	p := strings.TrimPrefix(r.URL.Path, "/v1")
+	sub := strings.TrimPrefix(p, "/designs/")
+	if i := strings.IndexByte(sub, '/'); i >= 0 {
+		sub = sub[i:]
+	} else {
+		sub = ""
+	}
+	var pattern string
+	switch {
+	case r.Method == http.MethodGet && sub == "":
+		pattern = "GET /v1/designs/{name}"
+	case r.Method == http.MethodGet && sub == "/gates":
+		pattern = "GET /v1/designs/{name}/gates"
+	case r.Method == http.MethodGet && sub == "/paths":
+		pattern = "GET /v1/designs/{name}/paths"
+	case r.Method == http.MethodGet && sub == "/slacks":
+		pattern = "GET /v1/designs/{name}/slacks"
+	case r.Method == http.MethodPost && sub == "/batch":
+		pattern = "POST /v1/designs/{name}/batch"
+	default:
+		httpError(w, http.StatusNotFound, codeUnknownRoute, "no such route: %s %s", r.Method, r.URL.Path)
+		s.met.observe(r.Method+" "+r.URL.Path, t0)
+		return
+	}
+	defer s.met.observe(pattern, t0)
+	if !s.ready.Load() {
+		retryAfter(w, time.Second)
+		httpError(w, http.StatusServiceUnavailable, codeNotReady, "recovery in progress")
+		return
+	}
+	if s.reqTimeout > 0 {
+		ctx, cancel := context.WithTimeout(r.Context(), s.reqTimeout)
+		defer cancel()
+		r = r.WithContext(ctx)
+	}
+	rep := s.replica(name)
+	if rep == nil {
+		httpError(w, http.StatusNotFound, codeNotFound, "no design %q", name)
+		return
+	}
+	eng, seq := rep.view()
+	// A replica-held design gets a thin design shell: the payload builders
+	// only touch name and engine; its edit machinery stays nil because edits
+	// never route here.
+	d := &design{name: name, eng: eng}
+	snap := eng.Snapshot()
+	if pattern != "POST /v1/designs/{name}/batch" && s.adm != nil {
+		if !s.adm.acquire(r.Context(), 1) {
+			mAdmissionRejected.Inc()
+			retryAfter(w, s.adm.maxWait)
+			httpError(w, http.StatusServiceUnavailable, codeOverloaded, "server at concurrent-query capacity")
+			return
+		}
+		defer s.adm.release(1)
+	}
+	switch pattern {
+	case "GET /v1/designs/{name}":
+		s.serveSummary(w, r, d, snap, seq)
+	case "GET /v1/designs/{name}/gates":
+		s.serveGates(w, d)
+	case "GET /v1/designs/{name}/paths":
+		s.servePaths(w, r, d, snap, seq)
+	case "GET /v1/designs/{name}/slacks":
+		s.serveSlacks(w, r, snap, seq)
+	case "POST /v1/designs/{name}/batch":
+		s.serveBatch(w, r, d, snap, seq)
+	}
+}
+
+// forward routes a request this node cannot serve to the design's owner:
+// a 307 redirect by default, a single-hop proxy behind -cluster-proxy.
+func (s *Server) forward(w http.ResponseWriter, r *http.Request, owner string) {
+	t0 := time.Now()
+	pattern := "forward " + r.Method
+	defer s.met.observe(pattern, t0)
+	if from := r.Header.Get(hopHeader); from != "" {
+		httpError(w, http.StatusMisdirectedRequest, codeWrongNode,
+			"node %s does not own this design (forwarded from %s; ring views diverged, retry)",
+			s.node.Self(), from)
+		return
+	}
+	if !s.ready.Load() {
+		retryAfter(w, time.Second)
+		httpError(w, http.StatusServiceUnavailable, codeNotReady, "recovery in progress")
+		return
+	}
+	if owner == "" {
+		retryAfter(w, time.Second)
+		httpError(w, http.StatusServiceUnavailable, codePeerUnavailable,
+			"no alive owner for this design")
+		return
+	}
+	s.node.NoteForward(owner)
+	if !s.node.Proxy() {
+		loc := owner + r.URL.RequestURI()
+		w.Header().Set("Location", loc)
+		writeJSON(w, http.StatusTemporaryRedirect, map[string]string{
+			"owner": owner, "location": loc,
+		})
+		return
+	}
+	br := s.node.Breaker(owner)
+	if br != nil && !br.Allow() {
+		retryAfter(w, time.Second)
+		httpError(w, http.StatusServiceUnavailable, codePeerUnavailable,
+			"owner %s unavailable (circuit open)", owner)
+		return
+	}
+	ctx := r.Context()
+	if s.reqTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.reqTimeout)
+		defer cancel()
+	}
+	req, err := http.NewRequestWithContext(ctx, r.Method, owner+r.URL.RequestURI(), r.Body)
+	if err != nil {
+		httpErrorDetail(w, http.StatusInternalServerError, codeInternal, "building forward request", err)
+		return
+	}
+	req.Header = r.Header.Clone()
+	req.Header.Set(hopHeader, s.node.Self())
+	resp, err := s.node.Client().Do(req)
+	if err != nil {
+		if br != nil {
+			br.Record(false)
+		}
+		s.node.NoteForwardError(owner)
+		retryAfter(w, time.Second)
+		httpError(w, http.StatusBadGateway, codePeerUnavailable,
+			"forwarding to owner %s failed: %v", owner, err)
+		return
+	}
+	defer resp.Body.Close()
+	if br != nil {
+		br.Record(resp.StatusCode < http.StatusInternalServerError)
+	}
+	if resp.StatusCode >= http.StatusInternalServerError {
+		s.node.NoteForwardError(owner)
+	}
+	for k, vs := range resp.Header {
+		for _, v := range vs {
+			w.Header().Add(k, v)
+		}
+	}
+	w.WriteHeader(resp.StatusCode)
+	_, _ = io.Copy(w, resp.Body)
+}
+
+// --- replication: owner side ---
+
+// startShipping launches the snapshot-shipping loop for a design when a
+// cluster node is attached. The loop exits with the design.
+func (s *Server) startShipping(d *design) {
+	if s.node == nil {
+		return
+	}
+	go s.shipLoop(d)
+}
+
+func (s *Server) shipLoop(d *design) {
+	iv := s.node.ReplicateInterval()
+	t := time.NewTicker(iv)
+	defer t.Stop()
+	acked := map[string]uint64{}       // peer → last sequence it acknowledged
+	lastShip := map[string]time.Time{} // peer → last successful shipment
+	for {
+		select {
+		case <-d.quit:
+			return
+		case <-t.C:
+			s.shipDesign(d, acked, lastShip)
+		}
+	}
+}
+
+// shipDesign publishes d's current snapshot to every replica that is
+// behind (or stale past the refresh window). Shipping is idempotent — the
+// replica skips sequences it already has — and per-peer circuit breakers
+// keep a dead replica from stalling the loop.
+func (s *Server) shipDesign(d *design, acked map[string]uint64, lastShip map[string]time.Time) {
+	if _, isOwner, _ := s.node.Role(d.name); !isOwner {
+		return // ring moved ownership (e.g. we are a rejoined ex-owner): stop publishing
+	}
+	_, replicas := s.node.Placement(d.name)
+	if len(replicas) == 0 {
+		return
+	}
+	// Capture a coherent (sequence, design copy) pair: CopyDesign locks the
+	// engine, but an edit may commit between the version read and the copy,
+	// so retry until the version is stable around the copy.
+	var snap *designSnapshot
+	var seq uint64
+	for attempt := 0; attempt < 3 && snap == nil; attempt++ {
+		v := d.eng.Snapshot().Version()
+		cand := snapshotOf(d.name, d.eng, 0)
+		if d.eng.Snapshot().Version() == v {
+			snap, seq = cand, v
+		}
+	}
+	if snap == nil {
+		return // edit storm; next tick
+	}
+	iv := s.node.ReplicateInterval()
+	var payload []byte
+	for _, peer := range replicas {
+		if peer == s.node.Self() {
+			continue
+		}
+		s.node.SetReplicationLag(peer, float64(seq-min64(acked[peer], seq)))
+		fresh := time.Since(lastShip[peer]) < replicaRefreshEvery*iv
+		if acked[peer] >= seq && fresh {
+			continue
+		}
+		br := s.node.Breaker(peer)
+		if br != nil && !br.Allow() {
+			continue
+		}
+		if payload == nil {
+			var err error
+			if payload, err = json.Marshal(replicateRequest{
+				Seq: seq, Epoch: s.bootID, Snapshot: snap,
+			}); err != nil {
+				return
+			}
+		}
+		resp, err := s.postReplicate(peer, payload)
+		if err != nil {
+			if br != nil {
+				br.Record(false)
+			}
+			s.node.NoteForwardError(peer)
+			continue
+		}
+		if br != nil {
+			br.Record(true)
+		}
+		acked[peer] = resp.Seq
+		lastShip[peer] = time.Now()
+		s.node.NoteShipped(peer)
+		s.node.SetReplicationLag(peer, float64(seq-min64(resp.Seq, seq)))
+	}
+}
+
+func min64(a, b uint64) uint64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// postReplicate ships one replicate payload to peer and decodes the ack.
+func (s *Server) postReplicate(peer string, payload []byte) (*replicateResponse, error) {
+	timeout := 2 * s.node.ReplicateInterval()
+	if timeout < 2*time.Second {
+		timeout = 2 * time.Second
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+		peer+"/v1/internal/replicate", bytes.NewReader(payload))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := s.node.Client().Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 1024))
+		return nil, fmt.Errorf("replicate to %s: status %d: %s", peer, resp.StatusCode, body)
+	}
+	var ack replicateResponse
+	if err := json.NewDecoder(resp.Body).Decode(&ack); err != nil {
+		return nil, err
+	}
+	return &ack, nil
+}
+
+// broadcastDelete tombstones a deleted design on its replicas.
+func (s *Server) broadcastDelete(name string) {
+	_, replicas := s.node.Placement(name)
+	payload, err := json.Marshal(replicateRequest{Delete: true, Name: name, Epoch: s.bootID})
+	if err != nil {
+		return
+	}
+	for _, peer := range replicas {
+		if peer == s.node.Self() {
+			continue
+		}
+		_, _ = s.postReplicate(peer, payload)
+	}
+}
+
+// --- replication: replica side ---
+
+// handleReplicate accepts a shipped snapshot (or tombstone) from a design's
+// owner. Idempotent by (epoch, seq): a sequence at or below the replica's
+// current one for the same owner epoch is skipped, so re-ships and races
+// between periodic publishes are harmless.
+func (s *Server) handleReplicate(w http.ResponseWriter, r *http.Request) {
+	r.Body = http.MaxBytesReader(w, r.Body, s.maxBody)
+	var req replicateRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpErrorDetail(w, http.StatusBadRequest, codeInvalidRequest, "bad replicate request", err)
+		return
+	}
+	if req.Delete {
+		if req.Name == "" {
+			httpError(w, http.StatusBadRequest, codeInvalidRequest, "delete needs a design name")
+			return
+		}
+		s.repMu.Lock()
+		delete(s.reps, req.Name)
+		s.repMu.Unlock()
+		writeJSON(w, http.StatusOK, replicateResponse{Design: req.Name, Applied: true})
+		return
+	}
+	if req.Snapshot == nil || req.Snapshot.Name == "" || req.Seq == 0 {
+		httpError(w, http.StatusBadRequest, codeInvalidRequest,
+			"replicate needs a snapshot with a name and a non-zero seq")
+		return
+	}
+	name := req.Snapshot.Name
+	s.repMu.Lock()
+	rep := s.reps[name]
+	if rep == nil {
+		rep = &replicaState{}
+		s.reps[name] = rep
+	}
+	s.repMu.Unlock()
+	// Serialize rebuilds per design; concurrent ships of other designs
+	// proceed independently.
+	rep.mu.Lock()
+	defer rep.mu.Unlock()
+	if rep.eng != nil && rep.epoch == req.Epoch && req.Seq <= rep.seq {
+		s.node.NoteReplicateSkipped()
+		writeJSON(w, http.StatusOK, replicateResponse{Design: name, Seq: rep.seq, Applied: false})
+		return
+	}
+	eng, err := rebuildEngine(s.lib, req.Snapshot)
+	if err != nil {
+		httpErrorDetail(w, http.StatusUnprocessableEntity, codeUnprocessable,
+			"rebuilding replicated design", err)
+		return
+	}
+	rep.eng, rep.seq, rep.epoch, rep.from = eng, req.Seq, req.Epoch, r.Header.Get(hopHeader)
+	s.node.NoteReplicateApplied()
+	writeJSON(w, http.StatusOK, replicateResponse{Design: name, Seq: req.Seq, Applied: true})
+}
+
+// --- introspection ---
+
+// clusterDesign is one design row of the /v1/cluster payload.
+type clusterDesign struct {
+	Name  string `json:"name"`
+	Role  string `json:"role"` // "owner" or "replica"
+	Seq   uint64 `json:"seq,omitempty"`
+	Owner string `json:"owner,omitempty"` // replicas: who ships to us
+}
+
+// handleClusterStatus reports this node's membership view: peer health,
+// breaker states, and the designs it owns or replicates.
+func (s *Server) handleClusterStatus(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	owned := make([]string, 0, len(s.designs))
+	for n := range s.designs {
+		owned = append(owned, n)
+	}
+	s.mu.Unlock()
+	designs := make([]clusterDesign, 0, len(owned))
+	for _, n := range owned {
+		designs = append(designs, clusterDesign{Name: n, Role: "owner"})
+	}
+	s.repMu.Lock()
+	for n, rep := range s.reps {
+		rep.mu.Lock()
+		designs = append(designs, clusterDesign{Name: n, Role: "replica", Seq: rep.seq, Owner: rep.from})
+		rep.mu.Unlock()
+	}
+	s.repMu.Unlock()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"self":    s.node.Self(),
+		"proxy":   s.node.Proxy(),
+		"peers":   s.node.Peers(),
+		"designs": designs,
+	})
+}
+
+// handleClusterRoute answers "which node owns ?design=<name>" — the lookup
+// smoke tests and clients use to find a design's owner and replicas.
+func (s *Server) handleClusterRoute(w http.ResponseWriter, r *http.Request) {
+	name := r.URL.Query().Get("design")
+	if name == "" {
+		httpError(w, http.StatusBadRequest, codeInvalidRequest, "need ?design=<name>")
+		return
+	}
+	owner, replicas := s.node.Placement(name)
+	writeJSON(w, http.StatusOK, map[string]any{
+		"design": name, "owner": owner, "replicas": replicas,
+	})
+}

@@ -37,6 +37,16 @@ var routePatterns = []string{
 	"GET /designs/{name}/paths",
 	"GET /designs/{name}/slacks",
 	"POST /designs/{name}/edits",
+	// Cluster mode: replication ingest, introspection, and the forwarding
+	// pseudo-routes (a forwarded request is counted by method, not by the
+	// owner-side pattern it resolves to).
+	"POST /v1/internal/replicate",
+	"GET /v1/cluster",
+	"GET /v1/cluster/route",
+	"forward GET",
+	"forward PUT",
+	"forward POST",
+	"forward DELETE",
 }
 
 // metrics instruments the server on the process-wide obs registry:

@@ -1,0 +1,132 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"testing"
+	"time"
+
+	"repro/internal/libsynth"
+	"repro/internal/wal"
+	"repro/internal/wal/faultfs"
+)
+
+// getWithHeaders is do() plus response headers, for tests that assert on
+// Retry-After.
+func getWithHeaders(t *testing.T, url string, out any) (int, http.Header) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatalf("decode %s: %v", url, err)
+		}
+	}
+	return resp.StatusCode, resp.Header
+}
+
+// TestOverloadedSetsRetryAfter: a 503 from the admission limiter carries a
+// Retry-After header so well-behaved clients back off instead of hammering.
+func TestOverloadedSetsRetryAfter(t *testing.T) {
+	s := New(libsynth.File(), WithAdmission(2, 10*time.Millisecond))
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() { ts.Close(); s.Close() })
+	loadC17(t, ts)
+
+	if !s.adm.acquire(context.Background(), 2) {
+		t.Fatal("initial acquire failed")
+	}
+	defer s.adm.release(2)
+
+	var eb errorBody
+	code, hdr := getWithHeaders(t, ts.URL+"/v1/designs/c17", &eb)
+	if code != http.StatusServiceUnavailable || eb.Error.Code != codeOverloaded {
+		t.Fatalf("saturated query: %d %+v", code, eb)
+	}
+	secs, err := strconv.Atoi(hdr.Get("Retry-After"))
+	if err != nil || secs < 1 {
+		t.Fatalf("Retry-After = %q, want integer seconds >= 1", hdr.Get("Retry-After"))
+	}
+}
+
+// TestNotReadySetsRetryAfter: the not_ready 503 (readyz and gated design
+// routes alike) tells clients when to come back.
+func TestNotReadySetsRetryAfter(t *testing.T) {
+	fs := faultfs.New()
+	s := New(libsynth.File(), WithStore(NewStore(fs, "data", StoreConfig{})))
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() { ts.Close(); s.Close() })
+
+	for _, path := range []string{"/v1/readyz", "/v1/designs"} {
+		code, hdr := getWithHeaders(t, ts.URL+path, nil)
+		if code != http.StatusServiceUnavailable {
+			t.Fatalf("%s before recovery = %d, want 503", path, code)
+		}
+		if secs, err := strconv.Atoi(hdr.Get("Retry-After")); err != nil || secs < 1 {
+			t.Fatalf("%s Retry-After = %q, want integer seconds >= 1", path, hdr.Get("Retry-After"))
+		}
+	}
+}
+
+// TestReadyzReportsRecoveryProgress: mid-recovery, /v1/readyz's 503 body
+// carries the design totals and the design currently replaying, so operators
+// can watch a slow startup move instead of staring at an opaque 503.
+func TestReadyzReportsRecoveryProgress(t *testing.T) {
+	fs := faultfs.New()
+	st := NewStore(fs, "data", StoreConfig{Policy: wal.SyncAlways})
+	s := New(libsynth.File(), WithStore(st))
+	if err := s.Recover(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	loadC17(t, ts)
+	if code, raw := do(t, http.MethodPut, ts.URL+"/v1/designs/second", LoadRequest{Bench: c17Bench}, nil); code != http.StatusCreated {
+		t.Fatalf("load second: %d %s", code, raw)
+	}
+	ts.Close()
+	s.Close() // persists both snapshots
+
+	s2 := New(libsynth.File(), WithStore(NewStore(fs.Image(), "data", StoreConfig{Policy: wal.SyncAlways})))
+	ts2 := httptest.NewServer(s2.Handler())
+	t.Cleanup(func() { ts2.Close(); s2.Close() })
+
+	var mid []readyStatus
+	s2.recoverHook = func(name string) {
+		var rs readyStatus
+		code, _ := getWithHeaders(t, ts2.URL+"/v1/readyz", &rs)
+		if code != http.StatusServiceUnavailable {
+			t.Errorf("readyz mid-recovery = %d, want 503", code)
+		}
+		mid = append(mid, rs)
+	}
+	if err := s2.Recover(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+
+	if len(mid) != 2 {
+		t.Fatalf("recovery hook fired %d times, want 2", len(mid))
+	}
+	for i, rs := range mid {
+		if rs.Status != "recovering" || rs.DesignsTotal != 2 {
+			t.Fatalf("progress %d = %+v, want status=recovering total=2", i, rs)
+		}
+		if rs.DesignsRecovered != i {
+			t.Fatalf("progress %d reports %d recovered, want %d", i, rs.DesignsRecovered, i)
+		}
+		if rs.Current == "" {
+			t.Fatalf("progress %d has empty current design", i)
+		}
+		if rs.Error.Code != codeNotReady {
+			t.Fatalf("progress %d error code = %q, want %q", i, rs.Error.Code, codeNotReady)
+		}
+	}
+	if code, _ := getWithHeaders(t, ts2.URL+"/v1/readyz", nil); code != http.StatusOK {
+		t.Fatalf("readyz after recovery = %d, want 200", code)
+	}
+}

@@ -12,6 +12,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"net/url"
 	"sort"
 	"strconv"
 	"strings"
@@ -20,6 +21,7 @@ import (
 	"time"
 
 	"repro/internal/circuits"
+	"repro/internal/cluster"
 	"repro/internal/device"
 	"repro/internal/incsta"
 	"repro/internal/layout"
@@ -40,16 +42,29 @@ type Server struct {
 	met   *metrics
 	store *Store
 	adm   *admission
+	node  *cluster.Node // nil = single-node
 
 	maxBody    int64
 	queueDepth int
 	reqTimeout time.Duration
 	ready      atomic.Bool
+	bootID     uint64 // distinguishes replication streams across restarts
 
 	mu      sync.Mutex
 	designs map[string]*design
 	loading map[string]bool // names reserved by an in-flight load
 	closed  bool
+
+	// replica-held designs: shipped by their owner, served read-only.
+	repMu sync.Mutex
+	reps  map[string]*replicaState
+
+	// recovery progress surfaced by /v1/readyz while not ready.
+	recMu       sync.Mutex
+	recTotal    int
+	recDone     int
+	recCurrent  string
+	recoverHook func(name string) // test seam: called before each design replays
 }
 
 // Option customises New. The zero configuration behaves exactly like the
@@ -89,6 +104,12 @@ func WithEditQueueDepth(n int) Option {
 	}
 }
 
+// WithCluster attaches a cluster membership view: the server routes every
+// design-scoped request by the node's ring (serving, redirecting or
+// proxying), ships snapshots of the designs it owns to their replicas, and
+// accepts shipped snapshots on /v1/internal/replicate.
+func WithCluster(n *cluster.Node) Option { return func(s *Server) { s.node = n } }
+
 // WithRequestTimeout puts a deadline on every request's context, so a stuck
 // client or an oversized query cannot pin server resources forever. 0
 // disables.
@@ -109,6 +130,8 @@ func New(lib *timinglib.File, opts ...Option) *Server {
 		maxBody: defaultMaxBodyBytes,
 		designs: map[string]*design{},
 		loading: map[string]bool{},
+		reps:    map[string]*replicaState{},
+		bootID:  uint64(time.Now().UnixNano()),
 	}
 	for _, o := range opts {
 		o(s)
@@ -122,12 +145,16 @@ func New(lib *timinglib.File, opts ...Option) *Server {
 	ungated := map[string]bool{
 		"GET /healthz": true, "GET /v1/healthz": true,
 		"GET /v1/readyz": true, "GET /metrics": true,
+		// Cluster introspection answers during recovery too, so peers and
+		// operators can inspect a recovering node's ring view.
+		"GET /v1/cluster": true, "GET /v1/cluster/route": true,
 	}
 	route := func(pattern string, h func(http.ResponseWriter, *http.Request)) {
 		gated := !ungated[pattern]
 		s.mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
 			t0 := time.Now()
 			if gated && !s.ready.Load() {
+				retryAfter(w, time.Second)
 				httpError(w, http.StatusServiceUnavailable, codeNotReady, "recovery in progress")
 				s.met.observe(pattern, t0)
 				return
@@ -174,6 +201,12 @@ func New(lib *timinglib.File, opts ...Option) *Server {
 	api("POST", "/designs/{name}/edits", s.handleEdit)
 	// Batch is v1-only: many queries against one pinned snapshot.
 	route("POST /v1/designs/{name}/batch", s.handleBatch)
+	// Cluster routes exist only when a cluster node is attached.
+	if s.node != nil {
+		route("POST /v1/internal/replicate", s.handleReplicate)
+		route("GET /v1/cluster", s.handleClusterStatus)
+		route("GET /v1/cluster/route", s.handleClusterRoute)
+	}
 	// Catch-all for unregistered paths: a JSON 404, counted under the
 	// bounded "other" series instead of minting a label per probed URL.
 	s.mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
@@ -184,8 +217,16 @@ func New(lib *timinglib.File, opts ...Option) *Server {
 	return s
 }
 
-// Handler returns the instrumented route table.
-func (s *Server) Handler() http.Handler { return s.mux }
+// Handler returns the instrumented route table. With a cluster node
+// attached, design-scoped requests first pass the ring-aware router, which
+// serves them locally, from a replica snapshot, or forwards them to the
+// design's owner.
+func (s *Server) Handler() http.Handler {
+	if s.node != nil {
+		return http.HandlerFunc(s.routeCluster)
+	}
+	return s.mux
+}
 
 // Close stops every design's edit queue and rejects further loads. Called
 // after http.Server.Shutdown has drained in-flight requests.
@@ -336,7 +377,22 @@ const (
 	codeOverloaded     = "overloaded"
 	codePayloadLarge   = "payload_too_large"
 	codeNotReady       = "not_ready"
+	// Cluster-mode codes: a forwarded request landed on a node that does not
+	// own the design (ring views diverged mid-hop), or the design's owner is
+	// unreachable (circuit breaker open / transport failure).
+	codeWrongNode       = "wrong_node"
+	codePeerUnavailable = "peer_unavailable"
 )
+
+// retryAfter sets the Retry-After hint on a back-pressure 503 (rounded up
+// to at least one second, the header's resolution).
+func retryAfter(w http.ResponseWriter, d time.Duration) {
+	secs := int64(d / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	w.Header().Set("Retry-After", strconv.FormatInt(secs, 10))
+}
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
 	w.Header().Set("Content-Type", "application/json")
@@ -386,12 +442,34 @@ func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 }
 
+// readyStatus is the /v1/readyz body while recovery is still replaying:
+// the error envelope every 503 carries, plus per-design progress so an
+// operator watching a long recovery can see it move.
+type readyStatus struct {
+	Status           string      `json:"status"`
+	DesignsTotal     int         `json:"designs_total"`
+	DesignsRecovered int         `json:"designs_recovered"`
+	Current          string      `json:"current,omitempty"` // design replaying right now
+	Error            ErrorDetail `json:"error"`
+}
+
 // handleReady is the readiness probe: 503 "not_ready" until recovery has
 // replayed every persisted design, so a load balancer does not route
-// traffic at a server still rebuilding engines.
+// traffic at a server still rebuilding engines. The 503 body reports how
+// far recovery has come (designs recovered / total, current design).
 func (s *Server) handleReady(w http.ResponseWriter, _ *http.Request) {
 	if !s.ready.Load() {
-		httpError(w, http.StatusServiceUnavailable, codeNotReady, "recovery in progress")
+		s.recMu.Lock()
+		total, done, current := s.recTotal, s.recDone, s.recCurrent
+		s.recMu.Unlock()
+		retryAfter(w, time.Second)
+		writeJSON(w, http.StatusServiceUnavailable, readyStatus{
+			Status: "recovering", DesignsTotal: total, DesignsRecovered: done, Current: current,
+			Error: ErrorDetail{
+				Code:    codeNotReady,
+				Message: fmt.Sprintf("recovery in progress (%d/%d designs)", done, total),
+			},
+		})
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
@@ -406,6 +484,7 @@ func (s *Server) admitted(h func(http.ResponseWriter, *http.Request)) func(http.
 	return func(w http.ResponseWriter, r *http.Request) {
 		if !s.adm.acquire(r.Context(), 1) {
 			mAdmissionRejected.Inc()
+			retryAfter(w, s.adm.maxWait)
 			httpError(w, http.StatusServiceUnavailable, codeOverloaded, "server at concurrent-query capacity")
 			return
 		}
@@ -429,14 +508,37 @@ func (s *Server) Recover(ctx context.Context) error {
 	if err != nil {
 		return fmt.Errorf("server: recover: %w", err)
 	}
+	valid := escaped[:0]
 	for _, esc := range escaped {
-		if !s.store.hasSnapshot(esc) {
-			continue // debris: crash mid-create or mid-delete, never acked
+		if s.store.hasSnapshot(esc) {
+			valid = append(valid, esc)
+		}
+		// else: debris — crash mid-create or mid-delete, never acked
+	}
+	s.recMu.Lock()
+	s.recTotal, s.recDone, s.recCurrent = len(valid), 0, ""
+	s.recMu.Unlock()
+	for _, esc := range valid {
+		display := esc
+		if name, derr := url.PathUnescape(esc); derr == nil {
+			display = name
+		}
+		s.recMu.Lock()
+		s.recCurrent = display
+		s.recMu.Unlock()
+		if s.recoverHook != nil {
+			s.recoverHook(display)
 		}
 		if err := s.recoverDesign(ctx, esc); err != nil {
 			return fmt.Errorf("server: recover %s: %w", esc, err)
 		}
+		s.recMu.Lock()
+		s.recDone++
+		s.recMu.Unlock()
 	}
+	s.recMu.Lock()
+	s.recCurrent = ""
+	s.recMu.Unlock()
 	s.ready.Store(true)
 	return nil
 }
@@ -500,6 +602,7 @@ func (s *Server) recoverDesign(ctx context.Context, escapedName string) error {
 	}
 	s.designs[snap.Name] = d
 	s.mu.Unlock()
+	s.startShipping(d)
 	return nil
 }
 
@@ -635,6 +738,7 @@ func (s *Server) handleLoad(w http.ResponseWriter, r *http.Request) {
 	}
 	s.designs[name] = d
 	s.mu.Unlock()
+	s.startShipping(d)
 
 	writeJSON(w, http.StatusCreated, s.summarize(d))
 }
@@ -659,6 +763,12 @@ func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
 			httpErrorDetail(w, http.StatusInternalServerError, codeInternal, "removing persisted design", err)
 			return
 		}
+	}
+	if s.node != nil {
+		// Tombstone the replicas so a deleted design does not linger as a
+		// stale read-only copy. Best effort: a missed replica re-converges
+		// when the name is reused (new boot epoch) or the replica restarts.
+		go s.broadcastDelete(name)
 	}
 	writeJSON(w, http.StatusOK, map[string]string{"deleted": name})
 }
@@ -708,7 +818,13 @@ func (s *Server) handleSummary(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusNotFound, codeNotFound, "no design %q", r.PathValue("name"))
 		return
 	}
-	snap := d.eng.Snapshot()
+	s.serveSummary(w, r, d, d.eng.Snapshot(), 0)
+}
+
+// serveSummary answers a summary query from a pinned snapshot. seq != 0
+// overrides the reported version — a replica reports the shipped sequence
+// number, not the version its rebuilt engine happens to count.
+func (s *Server) serveSummary(w http.ResponseWriter, r *http.Request, d *design, snap *incsta.Snapshot, seq uint64) {
 	ci, err := cornerOf(snap, r.URL.Query().Get("corner"))
 	if err != nil {
 		httpError(w, http.StatusBadRequest, codeInvalidRequest, "%v", err)
@@ -718,6 +834,9 @@ func (s *Server) handleSummary(w http.ResponseWriter, r *http.Request) {
 	if err != nil {
 		httpError(w, http.StatusInternalServerError, codeInternal, "%v", err)
 		return
+	}
+	if seq != 0 {
+		sum.Version = seq
 	}
 	writeJSON(w, http.StatusOK, sum)
 }
@@ -736,6 +855,10 @@ func (s *Server) handleGates(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusNotFound, codeNotFound, "no design %q", r.PathValue("name"))
 		return
 	}
+	s.serveGates(w, d)
+}
+
+func (s *Server) serveGates(w http.ResponseWriter, d *design) {
 	nl, _ := d.eng.CopyDesign()
 	gates := make([]GateInfo, len(nl.Gates))
 	for i, g := range nl.Gates {
@@ -772,6 +895,10 @@ func (s *Server) handlePaths(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusNotFound, codeNotFound, "no design %q", r.PathValue("name"))
 		return
 	}
+	s.servePaths(w, r, d, d.eng.Snapshot(), 0)
+}
+
+func (s *Server) servePaths(w http.ResponseWriter, r *http.Request, d *design, snap *incsta.Snapshot, seq uint64) {
 	k := 5
 	if q := r.URL.Query().Get("k"); q != "" {
 		var err error
@@ -780,7 +907,6 @@ func (s *Server) handlePaths(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
-	snap := d.eng.Snapshot()
 	ci, err := cornerOf(snap, r.URL.Query().Get("corner"))
 	if err != nil {
 		httpError(w, http.StatusBadRequest, codeInvalidRequest, "%v", err)
@@ -790,6 +916,9 @@ func (s *Server) handlePaths(w http.ResponseWriter, r *http.Request) {
 	if err != nil {
 		httpError(w, http.StatusInternalServerError, codeInternal, "paths: %v", err)
 		return
+	}
+	if seq != 0 {
+		payload["version"] = seq
 	}
 	writeJSON(w, http.StatusOK, payload)
 }
@@ -823,6 +952,10 @@ func (s *Server) handleSlacks(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusNotFound, codeNotFound, "no design %q", r.PathValue("name"))
 		return
 	}
+	s.serveSlacks(w, r, d.eng.Snapshot(), 0)
+}
+
+func (s *Server) serveSlacks(w http.ResponseWriter, r *http.Request, snap *incsta.Snapshot, seq uint64) {
 	periodPs, err := strconv.ParseFloat(r.URL.Query().Get("period_ps"), 64)
 	if err != nil || periodPs <= 0 {
 		httpError(w, http.StatusBadRequest, codeInvalidRequest, "period_ps must be a positive number")
@@ -835,7 +968,6 @@ func (s *Server) handleSlacks(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
-	snap := d.eng.Snapshot()
 	ci, err := cornerOf(snap, r.URL.Query().Get("corner"))
 	if err != nil {
 		httpError(w, http.StatusBadRequest, codeInvalidRequest, "%v", err)
@@ -845,6 +977,9 @@ func (s *Server) handleSlacks(w http.ResponseWriter, r *http.Request) {
 	if err != nil {
 		httpError(w, http.StatusBadRequest, codeInvalidRequest, "slacks: %v", err)
 		return
+	}
+	if seq != 0 {
+		payload["version"] = seq
 	}
 	writeJSON(w, http.StatusOK, payload)
 }
@@ -878,6 +1013,9 @@ func (s *Server) handleEdit(w http.ResponseWriter, r *http.Request) {
 			mAdmissionRejected.Inc()
 		}
 		status, code := editStatus(err)
+		if status == http.StatusServiceUnavailable {
+			retryAfter(w, time.Second)
+		}
 		httpError(w, status, code, "%v", err)
 		return
 	}
@@ -931,6 +1069,12 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusNotFound, codeNotFound, "no design %q", r.PathValue("name"))
 		return
 	}
+	// One snapshot serves the whole batch: every answer reflects the same
+	// edit version, however many edits land while we iterate.
+	s.serveBatch(w, r, d, d.eng.Snapshot(), 0)
+}
+
+func (s *Server) serveBatch(w http.ResponseWriter, r *http.Request, d *design, snap *incsta.Snapshot, seq uint64) {
 	var req BatchRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 		httpErrorDetail(w, http.StatusBadRequest, codeInvalidRequest, "bad batch request", err)
@@ -951,15 +1095,17 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	weight := int64(len(req.Queries))
 	if !s.adm.acquire(r.Context(), weight) {
 		mAdmissionRejected.Inc()
+		retryAfter(w, s.adm.maxWait)
 		httpError(w, http.StatusServiceUnavailable, codeOverloaded, "server at concurrent-query capacity")
 		return
 	}
 	defer s.adm.release(weight)
 
-	// One snapshot serves the whole batch: every answer reflects the same
-	// edit version, however many edits land while we iterate.
-	snap := d.eng.Snapshot()
-	resp := BatchResponse{Version: snap.Version(), Results: make([]BatchResult, len(req.Queries))}
+	version := snap.Version()
+	if seq != 0 {
+		version = seq
+	}
+	resp := BatchResponse{Version: version, Results: make([]BatchResult, len(req.Queries))}
 	for i, q := range req.Queries {
 		// A disconnected or timed-out client gets no response; stop burning
 		// CPU on the remaining queries.

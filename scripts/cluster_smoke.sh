@@ -1,0 +1,124 @@
+#!/usr/bin/env bash
+# cluster_smoke.sh — end-to-end sharded-cluster check against three real
+# timingd processes: boot a 3-node cluster, load a design through any node,
+# stream edits, require the replica's slacks to converge bit-identical to
+# the owner's, check the cluster metric families, then kill -9 one replica
+# and require reads and writes to keep serving from the survivors.
+#
+#   scripts/cluster_smoke.sh [path-to-timingd]
+#
+# Builds the binary itself when no path is given. Needs curl + jq.
+set -euo pipefail
+
+BIN=${1:-}
+if [[ -z "$BIN" ]]; then
+  BIN=$(mktemp -d)/timingd
+  go build -o "$BIN" ./cmd/timingd
+fi
+
+BASEPORT=${BASEPORT:-18470}
+CIRCUIT=${CIRCUIT:-c432}
+EDITS=${EDITS:-15}
+PORTS=("$BASEPORT" "$((BASEPORT + 1))" "$((BASEPORT + 2))")
+URLS=()
+for p in "${PORTS[@]}"; do URLS+=("http://127.0.0.1:$p"); done
+PEERS=$(IFS=,; echo "${URLS[*]}")
+PIDS=("" "" "")
+
+cleanup() {
+  for pid in "${PIDS[@]}"; do
+    [[ -n "$pid" ]] && kill -9 "$pid" 2>/dev/null || true
+  done
+}
+trap cleanup EXIT
+
+start() { # start <index>
+  local i=$1
+  "$BIN" -addr "127.0.0.1:${PORTS[$i]}" -lib synth \
+    -cluster-self "${URLS[$i]}" -cluster-peers "$PEERS" \
+    -cluster-replicas 1 -cluster-proxy \
+    -replicate-interval 200ms -heartbeat-interval 200ms -heartbeat-timeout 300ms &
+  PIDS[$i]=$!
+}
+
+wait_ready() { # wait_ready <url> <pid>
+  local url=$1 pid=$2
+  for _ in $(seq 1 100); do
+    if curl -fsS "$url/v1/readyz" >/dev/null 2>&1; then return 0; fi
+    kill -0 "$pid" 2>/dev/null || { echo "timingd at $url died during startup" >&2; exit 1; }
+    sleep 0.1
+  done
+  echo "timingd at $url never became ready" >&2
+  exit 1
+}
+
+echo "== boot 3-node cluster on ports ${PORTS[*]}"
+for i in 0 1 2; do start "$i"; done
+for i in 0 1 2; do wait_ready "${URLS[$i]}" "${PIDS[$i]}"; done
+
+echo "== load $CIRCUIT through node 0 and apply $EDITS edits"
+curl -fsS -X PUT "${URLS[0]}/v1/designs/smoke" -d "{\"circuit\":\"$CIRCUIT\"}" >/dev/null
+
+mapfile -t GATES < <(curl -fsS "${URLS[0]}/v1/designs/smoke/gates" | jq -r '.gates[].name' | head -8)
+STRENGTHS=(1 2 4 8)
+for i in $(seq 1 "$EDITS"); do
+  g=${GATES[$((i % ${#GATES[@]}))]}
+  s=${STRENGTHS[$((i % ${#STRENGTHS[@]}))]}
+  code=$(curl -sS -o /dev/null -w '%{http_code}' -X POST "${URLS[0]}/v1/designs/smoke/edits" \
+    -d "{\"op\":\"resize\",\"gate\":\"$g\",\"strength\":$s}")
+  [[ "$code" == 200 || "$code" == 400 ]] || { echo "edit $i: HTTP $code" >&2; exit 1; }
+done
+
+echo "== discover placement"
+route=$(curl -fsS "${URLS[0]}/v1/cluster/route?design=smoke")
+OWNER=$(echo "$route" | jq -r '.owner')
+REPLICA=$(echo "$route" | jq -r '.replicas[0]')
+echo "   owner=$OWNER replica=$REPLICA"
+[[ -n "$OWNER" && -n "$REPLICA" && "$OWNER" != "null" && "$REPLICA" != "null" ]] \
+  || { echo "FAIL: route did not name an owner and a replica: $route" >&2; exit 1; }
+
+echo "== wait for the replica to converge bit-identical to the owner"
+converged=0
+for _ in $(seq 1 100); do
+  o=$(curl -fsS "$OWNER/v1/designs/smoke/slacks?period_ps=2000" | jq -S .)
+  r=$(curl -fsS "$REPLICA/v1/designs/smoke/slacks?period_ps=2000" | jq -S . || true)
+  if [[ -n "$r" && "$o" == "$r" ]]; then converged=1; break; fi
+  sleep 0.1
+done
+if [[ "$converged" != 1 ]]; then
+  echo "FAIL: replica slacks never converged to the owner's" >&2
+  diff <(echo "$o") <(echo "$r") >&2 || true
+  exit 1
+fi
+echo "   $(echo "$o" | jq '.slacks_ps | length') endpoint slacks bit-identical at version $(echo "$o" | jq '.version')"
+
+echo "== cluster metric families on the owner"
+metrics=$(curl -fsS "$OWNER/metrics")
+for fam in cluster_replication_lag_seqs cluster_forwards_total cluster_breaker_open; do
+  echo "$metrics" | grep -q "^# TYPE $fam" \
+    || { echo "FAIL: metric family $fam missing from $OWNER/metrics" >&2; exit 1; }
+done
+
+echo "== kill -9 the replica; reads and writes must keep serving"
+for i in 0 1 2; do
+  if [[ "${URLS[$i]}" == "$REPLICA" ]]; then
+    kill -9 "${PIDS[$i]}"
+    wait "${PIDS[$i]}" 2>/dev/null || true
+    PIDS[$i]=""
+  fi
+done
+
+SURVIVORS=()
+for i in 0 1 2; do [[ -n "${PIDS[$i]}" ]] && SURVIVORS+=("${URLS[$i]}"); done
+for _ in $(seq 1 20); do
+  for u in "${SURVIVORS[@]}"; do
+    curl -fsS -L "$u/v1/designs/smoke/slacks?period_ps=2000" >/dev/null \
+      || { echo "FAIL: read via $u stopped serving after replica kill" >&2; exit 1; }
+  done
+  sleep 0.1
+done
+code=$(curl -sS -o /dev/null -w '%{http_code}' -X POST "${SURVIVORS[0]}/v1/designs/smoke/edits" \
+  -d "{\"op\":\"resize\",\"gate\":\"${GATES[0]}\",\"strength\":2}")
+[[ "$code" == 200 ]] || { echo "FAIL: edit via survivor after replica kill: HTTP $code" >&2; exit 1; }
+
+echo "OK: 3-node cluster replicated bit-identically, survived a replica kill -9, and kept serving reads and writes"
