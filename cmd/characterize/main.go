@@ -69,6 +69,7 @@ func main() {
 	if traceOut != "" {
 		obs.Trace.Enable(obs.DefaultSpanBuffer)
 	}
+	obs.RegisterRuntimeMetrics(obs.Default())
 	prof, err = profiling.Start(*cpuProfile, *memProfile)
 	if err != nil {
 		fatal(err)

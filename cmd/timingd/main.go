@@ -48,7 +48,13 @@
 // Observability: -log-level/-log-json configure structured logs, -pprof
 // (off by default) mounts the net/http/pprof handlers under /debug/pprof/,
 // and -trace-out records spans for the whole run and writes a Chrome
-// trace_event JSON file at shutdown.
+// trace_event JSON file at shutdown. Every request gets an X-Request-ID
+// (client-supplied or minted) echoed on every response and stamped on every
+// log line; -trace-sample head-samples requests into distributed traces
+// carried across nodes as W3C traceparent headers (merge per-node trace
+// files with cmd/tracemerge); GET /v1/debug/slow lists the -slow-log slowest
+// requests with their correlation IDs; /metrics includes process runtime
+// gauges (goroutines, heap, GC pause p99, open fds).
 //
 // SIGINT/SIGTERM drain in-flight requests and stop every design's edit
 // queue before exiting.
@@ -83,6 +89,8 @@ func main() {
 		drainFor = flag.Duration("drain", 10*time.Second, "shutdown drain timeout")
 		pprofOn  = flag.Bool("pprof", false, "mount net/http/pprof handlers under /debug/pprof/")
 		traceOut = flag.String("trace-out", "", "record spans and write a Chrome trace_event JSON file here at shutdown")
+		traceSmp = flag.Float64("trace-sample", 0, "head-sampling rate for requests arriving without a traceparent (0..1; incoming sampled traceparents always trace)")
+		slowKeep = flag.Int("slow-log", 32, "slowest requests retained for GET /v1/debug/slow")
 
 		dataDir       = flag.String("data-dir", "", "durability root: per-design WAL + snapshots, crash recovery on startup (empty = in-memory only)")
 		fsyncPolicy   = flag.String("fsync", "always", "WAL fsync policy: always (acknowledged edits are durable) or interval")
@@ -112,6 +120,7 @@ func main() {
 	if *traceOut != "" {
 		obs.Trace.Enable(obs.DefaultSpanBuffer)
 	}
+	obs.RegisterRuntimeMetrics(obs.Default())
 
 	var lib *timinglib.File
 	if *libPath == "synth" {
@@ -131,6 +140,8 @@ func main() {
 		server.WithAdmission(*maxQueries, *admWait),
 		server.WithEditQueueDepth(*editQueue),
 		server.WithRequestTimeout(*reqTimeout),
+		server.WithTraceSampling(*traceSmp),
+		server.WithSlowLogSize(*slowKeep),
 	}
 	if *dataDir != "" {
 		policy, err := wal.ParsePolicy(*fsyncPolicy)

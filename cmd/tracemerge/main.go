@@ -1,0 +1,53 @@
+// Command tracemerge stitches per-node Chrome trace files (the -trace-out
+// output of several timingd nodes) into one Perfetto-loadable timeline:
+//
+//	tracemerge -out merged.json node1.json node2.json node3.json
+//
+// Each input file becomes one process lane; spans carrying distributed-trace
+// identity (trace_id/span_id/parent_span_id args, written when requests are
+// sampled) are linked across files with flow arrows, so a proxied or
+// replicated request reads as one connected timeline across nodes.
+//
+// -trace <32-hex-id> keeps only one trace — the way to isolate a single slow
+// request pulled from GET /v1/debug/slow or an X-Request-ID-correlated log.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/obs"
+)
+
+func main() {
+	out := flag.String("out", "", "merged trace output file (default stdout)")
+	trace := flag.String("trace", "", "keep only this trace ID (32 lowercase hex digits)")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(),
+			"usage: tracemerge [-out merged.json] [-trace <id>] node1.json node2.json ...\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() == 0 {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	merged, err := obs.MergeTraceFiles(flag.Args(), obs.MergeOptions{TraceID: *trace})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tracemerge:", err)
+		os.Exit(1)
+	}
+	if *out == "" {
+		err = merged.Encode(os.Stdout)
+	} else {
+		err = merged.Write(*out)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tracemerge:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "tracemerge: %d files, %d spans, %d traces, %d cross-node flows\n",
+		merged.Files, merged.Spans, merged.Traces, merged.Flows)
+}

@@ -293,6 +293,12 @@ func (n *Node) probeAll() {
 	}
 }
 
+// InternalHeader marks cluster-originated internal traffic (heartbeats,
+// snapshot replication). Servers use it to keep internal calls out of the
+// per-route user-request metrics and to log them at debug level; its value
+// names the kind of call ("heartbeat", "replicate").
+const InternalHeader = "X-Timingd-Internal"
+
 // probe GETs the peer's health endpoint within HeartbeatTimeout.
 func (n *Node) probe(peer string) bool {
 	ctx, cancel := context.WithTimeout(context.Background(), n.cfg.HeartbeatTimeout)
@@ -301,6 +307,7 @@ func (n *Node) probe(peer string) bool {
 	if err != nil {
 		return false
 	}
+	req.Header.Set(InternalHeader, "heartbeat")
 	resp, err := n.client.Do(req)
 	if err != nil {
 		return false

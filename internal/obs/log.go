@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -8,6 +9,26 @@ import (
 	"os"
 	"strings"
 )
+
+type loggerCtxKey struct{}
+
+// ContextWithLogger attaches a request-scoped logger (typically one carrying
+// request_id/trace_id attrs) to ctx; LoggerFromContext retrieves it anywhere
+// downstream so every log line of that request stays greppable by ID.
+func ContextWithLogger(ctx context.Context, l *slog.Logger) context.Context {
+	return context.WithValue(ctx, loggerCtxKey{}, l)
+}
+
+// LoggerFromContext returns the logger attached by ContextWithLogger, or
+// slog.Default() when none is.
+func LoggerFromContext(ctx context.Context) *slog.Logger {
+	if ctx != nil {
+		if l, ok := ctx.Value(loggerCtxKey{}).(*slog.Logger); ok && l != nil {
+			return l
+		}
+	}
+	return slog.Default()
+}
 
 // LogOptions carries the shared logging flags every cmd/ binary registers:
 //

@@ -1,0 +1,163 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// MergeOptions tunes MergeTraceFiles.
+type MergeOptions struct {
+	// TraceID, when non-empty, keeps only events belonging to that trace
+	// (32 lowercase hex digits); metadata events are always kept.
+	TraceID string
+}
+
+// MergedTrace is the result of stitching several per-node Chrome trace
+// files into one Perfetto-loadable timeline.
+type MergedTrace struct {
+	TraceEvents     []map[string]any `json:"traceEvents"`
+	DisplayTimeUnit string           `json:"displayTimeUnit"`
+
+	// Files counts the input files, Spans the slice events kept, Flows the
+	// cross-node flow arrows emitted, Traces the distinct trace IDs seen.
+	Files, Spans, Flows, Traces int `json:"-"`
+}
+
+// MergeTraceFiles merges N per-node trace_event JSON files (each written by
+// Tracer.WriteFile on one node) into a single timeline:
+//
+//   - every input file becomes one "process": its events keep their thread
+//     (track) IDs but get a distinct pid, plus a process_name metadata event
+//     labeled with the file's base name, so Perfetto shows one lane group
+//     per node;
+//   - spans carrying distributed-trace identity (trace_id/span_id/
+//     parent_span_id args) are linked: where a span's parent lives in a
+//     different file, a flow arrow (ph "s"/"f") is emitted from the parent
+//     slice to the child slice — the visual owner→replica / proxy→owner hop.
+//
+// Events are ordered by timestamp. The inputs must share a clock for the
+// absolute alignment to be meaningful (same host, or NTP-close hosts);
+// flow arrows are correct regardless since they bind to slices, not times.
+func MergeTraceFiles(paths []string, opt MergeOptions) (*MergedTrace, error) {
+	if len(paths) == 0 {
+		return nil, fmt.Errorf("obs: merge: no input files")
+	}
+	type slice struct {
+		ev       map[string]any
+		pid      int
+		traceID  string
+		spanID   string
+		parentID string
+	}
+	var slices []slice
+	spanHome := map[string]int{} // span_id → index into slices
+	traces := map[string]bool{}
+	out := &MergedTrace{DisplayTimeUnit: "ns", Files: len(paths)}
+
+	for i, path := range paths {
+		raw, err := os.ReadFile(path)
+		if err != nil {
+			return nil, fmt.Errorf("obs: merge: %w", err)
+		}
+		var file struct {
+			TraceEvents []map[string]any `json:"traceEvents"`
+		}
+		if err := json.Unmarshal(raw, &file); err != nil {
+			return nil, fmt.Errorf("obs: merge %s: %w", path, err)
+		}
+		pid := i + 1
+		label := strings.TrimSuffix(filepath.Base(path), filepath.Ext(path))
+		out.TraceEvents = append(out.TraceEvents, map[string]any{
+			"name": "process_name", "ph": "M", "pid": pid, "tid": 0,
+			"args": map[string]any{"name": label},
+		})
+		for _, ev := range file.TraceEvents {
+			if ph, _ := ev["ph"].(string); ph == "M" {
+				continue // per-file metadata is replaced by ours
+			}
+			s := slice{ev: ev, pid: pid}
+			if args, ok := ev["args"].(map[string]any); ok {
+				s.traceID, _ = args["trace_id"].(string)
+				s.spanID, _ = args["span_id"].(string)
+				s.parentID, _ = args["parent_span_id"].(string)
+			}
+			if opt.TraceID != "" && s.traceID != opt.TraceID {
+				continue
+			}
+			ev["pid"] = pid
+			if s.traceID != "" {
+				traces[s.traceID] = true
+			}
+			if s.spanID != "" {
+				spanHome[s.spanID] = len(slices)
+			}
+			slices = append(slices, s)
+		}
+	}
+
+	flowID := 0
+	for _, s := range slices {
+		out.TraceEvents = append(out.TraceEvents, s.ev)
+		if s.parentID == "" {
+			continue
+		}
+		pi, ok := spanHome[s.parentID]
+		if !ok || slices[pi].pid == s.pid {
+			continue // local parent (same file) or parent span not captured
+		}
+		// Cross-node link: flow start bound to the parent slice, flow end
+		// (bp "e": bind to the enclosing slice) at the child slice.
+		parent := slices[pi]
+		flowID++
+		out.TraceEvents = append(out.TraceEvents,
+			map[string]any{
+				"name": "cross-node", "cat": "trace", "ph": "s", "id": flowID,
+				"pid": parent.pid, "tid": parent.ev["tid"], "ts": parent.ev["ts"],
+			},
+			map[string]any{
+				"name": "cross-node", "cat": "trace", "ph": "f", "bp": "e", "id": flowID,
+				"pid": s.pid, "tid": s.ev["tid"], "ts": s.ev["ts"],
+			},
+		)
+		out.Flows++
+	}
+	out.Spans = len(slices)
+	out.Traces = len(traces)
+
+	sort.SliceStable(out.TraceEvents, func(i, j int) bool {
+		// Metadata first (no ts), then by timestamp.
+		ti, iok := out.TraceEvents[i]["ts"].(float64)
+		tj, jok := out.TraceEvents[j]["ts"].(float64)
+		if !iok || !jok {
+			return !iok && jok
+		}
+		return ti < tj
+	})
+	return out, nil
+}
+
+// Encode renders the merged trace as Chrome trace_event JSON.
+func (m *MergedTrace) Encode(w io.Writer) error {
+	return json.NewEncoder(w).Encode(m)
+}
+
+// Write renders the merged trace as Chrome trace_event JSON at path.
+func (m *MergedTrace) Write(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("obs: merge export: %w", err)
+	}
+	err = m.Encode(f)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return fmt.Errorf("obs: merge export: %w", err)
+	}
+	return nil
+}

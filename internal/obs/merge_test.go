@@ -1,0 +1,123 @@
+package obs
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// twoNodeTraceFiles simulates a proxied request: node A records the client
+// span, node B records the server span as its remote child, each tracer
+// exports its own file — exactly what two timingd -trace-out nodes produce.
+func twoNodeTraceFiles(t *testing.T) (dir string, traceID string) {
+	t.Helper()
+	trA, trB := NewTracer(), NewTracer()
+	trA.Enable(0)
+	trB.Enable(0)
+
+	root := NewTraceContext(true)
+	ctxA := ContextWithTrace(context.Background(), root)
+	ctxA, spanA := trA.StartSpan(ctxA, "proxy_forward")
+	// The wire hop: A's context travels as a traceparent, B parses it.
+	tcWire, ok := TraceFromContext(ctxA)
+	if !ok || !tcWire.Propagatable() {
+		t.Fatalf("context after StartSpan not propagatable: %+v", tcWire)
+	}
+	parsed, err := ParseTraceparent(tcWire.Traceparent())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctxB := ContextWithTrace(context.Background(), parsed)
+	_, spanB := trB.StartSpan(ctxB, "http_request")
+	spanB.End()
+	spanA.End()
+
+	// An unrelated local span on A: no trace identity, must not link.
+	_, loose := trA.StartSpan(context.Background(), "local_work")
+	loose.End()
+
+	dir = t.TempDir()
+	if err := trA.WriteFile(filepath.Join(dir, "nodeA.json")); err != nil {
+		t.Fatal(err)
+	}
+	if err := trB.WriteFile(filepath.Join(dir, "nodeB.json")); err != nil {
+		t.Fatal(err)
+	}
+	return dir, root.TraceIDString()
+}
+
+func TestMergeTraceFilesLinksAcrossNodes(t *testing.T) {
+	dir, traceID := twoNodeTraceFiles(t)
+	m, err := MergeTraceFiles([]string{
+		filepath.Join(dir, "nodeA.json"),
+		filepath.Join(dir, "nodeB.json"),
+	}, MergeOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Files != 2 || m.Spans != 3 || m.Traces != 1 {
+		t.Fatalf("files=%d spans=%d traces=%d, want 2/3/1", m.Files, m.Spans, m.Traces)
+	}
+	if m.Flows != 1 {
+		t.Fatalf("flows=%d, want exactly one cross-node arrow", m.Flows)
+	}
+	pidsOfTrace := map[int]bool{}
+	var flowStarts, flowEnds int
+	for _, ev := range m.TraceEvents {
+		args, _ := ev["args"].(map[string]any)
+		if args != nil && args["trace_id"] == traceID {
+			pid, _ := ev["pid"].(int)
+			pidsOfTrace[pid] = true
+		}
+		switch ev["ph"] {
+		case "s":
+			flowStarts++
+		case "f":
+			flowEnds++
+			if ev["bp"] != "e" {
+				t.Error("flow end must bind to the enclosing slice (bp e)")
+			}
+		}
+	}
+	if len(pidsOfTrace) != 2 {
+		t.Fatalf("trace %s spans %d pids, want 2", traceID, len(pidsOfTrace))
+	}
+	if flowStarts != 1 || flowEnds != 1 {
+		t.Fatalf("flow events %d/%d, want 1/1", flowStarts, flowEnds)
+	}
+
+	// Round-trip through the file form tracemerge writes.
+	out := filepath.Join(dir, "merged.json")
+	if err := m.Write(out); err != nil {
+		t.Fatal(err)
+	}
+	fi, err := os.Stat(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fi.Size() == 0 {
+		t.Fatal("merged file is empty")
+	}
+}
+
+func TestMergeTraceFilesFilterByTrace(t *testing.T) {
+	dir, traceID := twoNodeTraceFiles(t)
+	paths := []string{filepath.Join(dir, "nodeA.json"), filepath.Join(dir, "nodeB.json")}
+	m, err := MergeTraceFiles(paths, MergeOptions{TraceID: traceID})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Spans != 2 {
+		t.Fatalf("filtered spans=%d, want 2 (local_work dropped)", m.Spans)
+	}
+	if m.Traces != 1 || m.Flows != 1 {
+		t.Fatalf("traces=%d flows=%d after filter", m.Traces, m.Flows)
+	}
+	if _, err := MergeTraceFiles(nil, MergeOptions{}); err == nil {
+		t.Fatal("empty input list must error")
+	}
+	if _, err := MergeTraceFiles([]string{filepath.Join(dir, "missing.json")}, MergeOptions{}); err == nil {
+		t.Fatal("missing input file must error")
+	}
+}

@@ -215,8 +215,19 @@ func (f *family) get(value string) any {
 // Registry holds metric families. The zero value is not usable; create with
 // NewRegistry or use Default.
 type Registry struct {
-	mu   sync.Mutex
-	fams map[string]*family
+	mu    sync.Mutex
+	fams  map[string]*family
+	hooks []func() // scrape-time collectors (see OnScrape)
+}
+
+// OnScrape registers a collector invoked at the start of every
+// WritePrometheus call, before any family renders — the hook point for
+// gauges that sample live process state (goroutines, heap, FDs) instead of
+// being pushed on every change.
+func (r *Registry) OnScrape(fn func()) {
+	r.mu.Lock()
+	r.hooks = append(r.hooks, fn)
+	r.mu.Unlock()
 }
 
 // NewRegistry returns an empty registry.
@@ -337,6 +348,12 @@ func (v *HistogramVec) With(value string) *Histogram { return v.f.get(value).(*H
 // Histograms render as summaries: {quantile="0.5|0.95|0.99"}, _sum and
 // _count, with quantiles estimated from the log buckets at scrape time.
 func (r *Registry) WritePrometheus(w io.Writer) {
+	r.mu.Lock()
+	hooks := append([]func(){}, r.hooks...)
+	r.mu.Unlock()
+	for _, fn := range hooks {
+		fn()
+	}
 	r.mu.Lock()
 	names := make([]string, 0, len(r.fams))
 	for n := range r.fams {

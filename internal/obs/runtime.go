@@ -1,0 +1,99 @@
+package obs
+
+import (
+	"math"
+	"os"
+	"runtime"
+	"runtime/metrics"
+	"sync"
+)
+
+// runtimeOnce guards per-registry runtime-metric registration, so repeated
+// RegisterRuntimeMetrics calls (e.g. several servers in one test process)
+// install a single scrape hook.
+var (
+	runtimeMu   sync.Mutex
+	runtimeRegs = map[*Registry]bool{}
+)
+
+// RegisterRuntimeMetrics installs process-level telemetry gauges on r,
+// refreshed lazily on every scrape (Registry.OnScrape):
+//
+//	process_goroutines            live goroutine count
+//	process_heap_inuse_bytes      heap memory in in-use spans
+//	process_gc_pause_p99_seconds  p99 stop-the-world GC pause, process lifetime
+//	process_open_fds              open file descriptors (-1 where unsupported)
+//
+// Collection costs a few runtime/metrics reads plus one /proc readdir per
+// scrape — nothing on the request path. Idempotent per registry.
+func RegisterRuntimeMetrics(r *Registry) {
+	runtimeMu.Lock()
+	if runtimeRegs[r] {
+		runtimeMu.Unlock()
+		return
+	}
+	runtimeRegs[r] = true
+	runtimeMu.Unlock()
+
+	goroutines := r.Gauge("process_goroutines", "Live goroutines.")
+	heapInuse := r.Gauge("process_heap_inuse_bytes", "Heap bytes in in-use spans (objects plus in-span slack).")
+	gcPauseP99 := r.Gauge("process_gc_pause_p99_seconds", "p99 stop-the-world GC pause over the process lifetime.")
+	openFDs := r.Gauge("process_open_fds", "Open file descriptors (-1 where /proc is unavailable).")
+
+	samples := []metrics.Sample{
+		{Name: "/memory/classes/heap/objects:bytes"},
+		{Name: "/memory/classes/heap/unused:bytes"},
+		{Name: "/sched/pauses/total/gc:seconds"},
+	}
+	r.OnScrape(func() {
+		goroutines.Set(float64(runtime.NumGoroutine()))
+		metrics.Read(samples)
+		heapInuse.Set(float64(samples[0].Value.Uint64() + samples[1].Value.Uint64()))
+		gcPauseP99.Set(histP(samples[2].Value.Float64Histogram(), 0.99))
+		openFDs.Set(countOpenFDs())
+	})
+}
+
+// histP estimates the q-quantile of a runtime/metrics histogram by walking
+// the cumulative bucket counts and reporting the matched bucket's upper
+// bound (the lower bound for the +Inf overflow bucket). 0 when empty.
+func histP(h *metrics.Float64Histogram, q float64) float64 {
+	if h == nil {
+		return 0
+	}
+	var total uint64
+	for _, c := range h.Counts {
+		total += c
+	}
+	if total == 0 {
+		return 0
+	}
+	target := uint64(math.Ceil(q * float64(total)))
+	if target < 1 {
+		target = 1
+	}
+	var cum uint64
+	for i, c := range h.Counts {
+		cum += c
+		if cum >= target {
+			// Bucket i spans [Buckets[i], Buckets[i+1]).
+			upper := h.Buckets[i+1]
+			if math.IsInf(upper, 1) {
+				return h.Buckets[i]
+			}
+			return upper
+		}
+	}
+	return 0
+}
+
+// countOpenFDs counts this process's open file descriptors via /proc
+// (Linux). Returns -1 where that is unavailable.
+func countOpenFDs() float64 {
+	ents, err := os.ReadDir("/proc/self/fd")
+	if err != nil {
+		return -1
+	}
+	// The ReadDir itself holds one fd open on the directory; exclude it.
+	return float64(len(ents) - 1)
+}

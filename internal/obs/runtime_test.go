@@ -1,0 +1,83 @@
+package obs
+
+import (
+	"bytes"
+	"math"
+	"regexp"
+	"runtime/metrics"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func TestRuntimeMetricsOnScrape(t *testing.T) {
+	r := NewRegistry()
+	RegisterRuntimeMetrics(r)
+	RegisterRuntimeMetrics(r) // idempotent: one hook, no duplicate families
+
+	var buf bytes.Buffer
+	r.WritePrometheus(&buf)
+	out := buf.String()
+	for _, fam := range []string{
+		"process_goroutines",
+		"process_heap_inuse_bytes",
+		"process_gc_pause_p99_seconds",
+		"process_open_fds",
+	} {
+		if n := strings.Count(out, "# TYPE "+fam+" "); n != 1 {
+			t.Errorf("family %s appears %d times, want 1\n%s", fam, n, out)
+		}
+	}
+
+	sample := func(fam string) float64 {
+		m := regexp.MustCompile(`(?m)^` + fam + ` (\S+)$`).FindStringSubmatch(out)
+		if m == nil {
+			t.Fatalf("no sample for %s", fam)
+		}
+		v, err := strconv.ParseFloat(m[1], 64)
+		if err != nil {
+			t.Fatalf("%s: %v", fam, err)
+		}
+		return v
+	}
+	if g := sample("process_goroutines"); g < 1 {
+		t.Errorf("goroutines %g, want >= 1", g)
+	}
+	if h := sample("process_heap_inuse_bytes"); h <= 0 {
+		t.Errorf("heap in-use %g, want > 0", h)
+	}
+	if p := sample("process_gc_pause_p99_seconds"); p < 0 || p > 10 {
+		t.Errorf("gc pause p99 %g out of sane range", p)
+	}
+	// /proc may be absent on non-Linux; the gauge then reports -1.
+	if f := sample("process_open_fds"); f != -1 && f < 3 {
+		t.Errorf("open fds %g, want -1 or >= 3 (stdio)", f)
+	}
+}
+
+func TestHistPQuantile(t *testing.T) {
+	if got := histP(nil, 0.99); got != 0 {
+		t.Errorf("nil histogram: %g", got)
+	}
+	h := &metrics.Float64Histogram{
+		Counts:  []uint64{0, 0, 0},
+		Buckets: []float64{0, 1, 2, 3},
+	}
+	if got := histP(h, 0.99); got != 0 {
+		t.Errorf("empty histogram: %g", got)
+	}
+	// 90 samples in [0,1), 10 in [2,3): p50 falls in the first bucket (upper
+	// bound 1), p99 in the last.
+	h.Counts = []uint64{90, 0, 10}
+	if got := histP(h, 0.5); got != 1 {
+		t.Errorf("p50 = %g, want 1", got)
+	}
+	if got := histP(h, 0.99); got != 3 {
+		t.Errorf("p99 = %g, want 3", got)
+	}
+	// +Inf upper bound falls back to the bucket's lower bound.
+	h.Buckets = []float64{0, 1, 2, math.Inf(1)}
+	if got := histP(h, 0.99); got != 2 {
+		t.Errorf("p99 with +Inf bucket = %g, want lower bound 2", got)
+	}
+}

@@ -2,6 +2,7 @@ package obs
 
 import (
 	"context"
+	"encoding/hex"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -24,39 +25,77 @@ func A(key string, value any) Attr { return Attr{Key: key, Value: value} }
 
 // Span is one timed section of work. A nil *Span (what StartSpan returns
 // while tracing is disabled) is inert: every method is a cheap no-op.
+// SetAttr and End are safe to call from different goroutines.
 type Span struct {
 	tr    *Tracer
 	name  string
 	start time.Time
 	track int32
 	root  bool // owns its track; released on End
+
+	// Distributed-trace identity, zero when the span is not part of a
+	// distributed trace (plain local tracing).
+	traceID  [16]byte
+	spanID   [8]byte
+	parentID [8]byte
+
+	mu    sync.Mutex // guards attrs and ended
 	attrs []Attr
+	ended bool
 }
 
 // SetAttr attaches an attribute after the span started (e.g. a result
-// count known only at the end).
+// count known only at the end). Safe for concurrent use with End; attrs
+// set after End are dropped.
 func (s *Span) SetAttr(key string, value any) {
 	if s == nil {
 		return
 	}
-	s.attrs = append(s.attrs, Attr{Key: key, Value: value})
+	s.mu.Lock()
+	if !s.ended {
+		s.attrs = append(s.attrs, Attr{Key: key, Value: value})
+	}
+	s.mu.Unlock()
 }
 
-// End records the span into the tracer's ring buffer.
+// End records the span into the tracer's ring buffer. Only the first End
+// records; later calls are no-ops.
 func (s *Span) End() {
 	if s == nil {
 		return
 	}
-	s.tr.record(s, time.Since(s.start))
+	dur := time.Since(s.start)
+	s.mu.Lock()
+	if s.ended {
+		s.mu.Unlock()
+		return
+	}
+	s.ended = true
+	attrs := append([]Attr(nil), s.attrs...)
+	s.mu.Unlock()
+	s.tr.record(s, attrs, dur)
+}
+
+// TraceContext returns the span's distributed-trace identity (its own span
+// ID as the current SpanID); ok is false for a nil span or one outside any
+// distributed trace.
+func (s *Span) TraceContext() (TraceContext, bool) {
+	if s == nil || s.traceID == zeroTraceID {
+		return TraceContext{}, false
+	}
+	return TraceContext{TraceID: s.traceID, SpanID: s.spanID, Sampled: true}, true
 }
 
 // spanEvent is one completed span in the ring buffer.
 type spanEvent struct {
-	name  string
-	track int32
-	start time.Duration // since tracer epoch
-	dur   time.Duration
-	attrs []Attr
+	name     string
+	track    int32
+	start    time.Duration // since tracer epoch
+	dur      time.Duration
+	attrs    []Attr
+	traceID  [16]byte
+	spanID   [8]byte
+	parentID [8]byte
 }
 
 // Tracer records spans into a bounded ring buffer (newest win) and exports
@@ -113,6 +152,14 @@ type spanCtxKey struct{}
 // so children started from it share its display track (the flame-graph
 // row); top-level spans get a track of their own, reused after End. While
 // the tracer is disabled both return values are usable no-ops.
+//
+// When ctx carries a TraceContext (see ContextWithTrace), the span joins
+// the distributed trace: it gets a fresh span ID with the context's span ID
+// as its parent, and the returned context carries the updated trace context
+// so children — local or remote via Traceparent — link under this span. An
+// unsampled trace context suppresses the span entirely (head-based
+// sampling): the caller gets an inert nil span at one atomic load plus one
+// context lookup.
 func (tr *Tracer) StartSpan(ctx context.Context, name string, attrs ...Attr) (context.Context, *Span) {
 	if ctx == nil {
 		ctx = context.Background()
@@ -120,7 +167,17 @@ func (tr *Tracer) StartSpan(ctx context.Context, name string, attrs ...Attr) (co
 	if !tr.enabled.Load() {
 		return ctx, nil
 	}
+	tc, hasTrace := TraceFromContext(ctx)
+	if hasTrace && !tc.Sampled {
+		return ctx, nil
+	}
 	s := &Span{tr: tr, name: name, start: time.Now(), attrs: attrs}
+	if hasTrace {
+		s.traceID = tc.TraceID
+		s.spanID = newSpanID()
+		s.parentID = tc.SpanID // zero for a freshly minted root context
+		ctx = ContextWithTrace(ctx, TraceContext{TraceID: tc.TraceID, SpanID: s.spanID, Sampled: true})
+	}
 	if parent, ok := ctx.Value(spanCtxKey{}).(*Span); ok && parent != nil {
 		s.track = parent.track
 	} else {
@@ -143,7 +200,7 @@ func StartSpan(ctx context.Context, name string, attrs ...Attr) (context.Context
 	return Trace.StartSpan(ctx, name, attrs...)
 }
 
-func (tr *Tracer) record(s *Span, dur time.Duration) {
+func (tr *Tracer) record(s *Span, attrs []Attr, dur time.Duration) {
 	tr.mu.Lock()
 	defer tr.mu.Unlock()
 	if tr.buf == nil {
@@ -153,11 +210,14 @@ func (tr *Tracer) record(s *Span, dur time.Duration) {
 		tr.dropped++
 	}
 	tr.buf[tr.next] = spanEvent{
-		name:  s.name,
-		track: s.track,
-		start: s.start.Sub(tr.epoch),
-		dur:   dur,
-		attrs: s.attrs,
+		name:     s.name,
+		track:    s.track,
+		start:    s.start.Sub(tr.epoch),
+		dur:      dur,
+		attrs:    attrs,
+		traceID:  s.traceID,
+		spanID:   s.spanID,
+		parentID: s.parentID,
 	}
 	tr.next++
 	if tr.next == len(tr.buf) {
@@ -223,10 +283,23 @@ func (tr *Tracer) WriteChromeTrace(w io.Writer) error {
 			Ts:  float64(e.start) / float64(time.Microsecond),
 			Dur: float64(e.dur) / float64(time.Microsecond),
 		}
-		if len(e.attrs) > 0 {
-			ev.Args = make(map[string]any, len(e.attrs))
+		nattrs := len(e.attrs)
+		if e.traceID != zeroTraceID {
+			nattrs += 3
+		}
+		if nattrs > 0 {
+			ev.Args = make(map[string]any, nattrs)
 			for _, a := range e.attrs {
 				ev.Args[a.Key] = a.Value
+			}
+			// Distributed-trace identity rides in args, where cmd/tracemerge
+			// finds it to stitch per-node files into one cross-node timeline.
+			if e.traceID != zeroTraceID {
+				ev.Args["trace_id"] = hex.EncodeToString(e.traceID[:])
+				ev.Args["span_id"] = hex.EncodeToString(e.spanID[:])
+				if e.parentID != zeroSpanID {
+					ev.Args["parent_span_id"] = hex.EncodeToString(e.parentID[:])
+				}
 			}
 		}
 		out.TraceEvents[i] = ev

@@ -1,0 +1,174 @@
+package obs
+
+import (
+	"context"
+	"encoding/hex"
+	"fmt"
+	"math/rand/v2"
+)
+
+// TraceContext is the distributed-trace identity carried across process
+// boundaries: a 128-bit trace ID shared by every span of one request, the
+// 64-bit span ID of the current parent, and the head-sampling decision. It
+// travels on context.Context inside a process and as a W3C traceparent
+// header between processes.
+type TraceContext struct {
+	TraceID [16]byte
+	SpanID  [8]byte
+	Sampled bool
+}
+
+// zeroTraceID / zeroSpanID are the invalid all-zero identifiers the W3C
+// spec forbids on the wire.
+var (
+	zeroTraceID [16]byte
+	zeroSpanID  [8]byte
+)
+
+// Valid reports whether the context names a trace at all (non-zero trace
+// ID). The span ID may be zero on a freshly minted root context — the first
+// span started under it becomes the trace root.
+func (tc TraceContext) Valid() bool { return tc.TraceID != zeroTraceID }
+
+// Propagatable reports whether the context can be rendered as a valid
+// traceparent header: the W3C wire form forbids zero IDs, so a root context
+// that has not recorded a span yet (span ID still zero) cannot travel.
+func (tc TraceContext) Propagatable() bool {
+	return tc.TraceID != zeroTraceID && tc.SpanID != zeroSpanID
+}
+
+// TraceIDString renders the trace ID as 32 lowercase hex digits.
+func (tc TraceContext) TraceIDString() string { return hex.EncodeToString(tc.TraceID[:]) }
+
+// SpanIDString renders the span ID as 16 lowercase hex digits.
+func (tc TraceContext) SpanIDString() string { return hex.EncodeToString(tc.SpanID[:]) }
+
+// NewTraceContext mints a fresh trace: random 128-bit trace ID, no parent
+// span yet (the first span started under it becomes the root), and the
+// given head-sampling decision.
+func NewTraceContext(sampled bool) TraceContext {
+	var tc TraceContext
+	for tc.TraceID == zeroTraceID {
+		putUint64(tc.TraceID[0:8], rand.Uint64())
+		putUint64(tc.TraceID[8:16], rand.Uint64())
+	}
+	tc.Sampled = sampled
+	return tc
+}
+
+// newSpanID mints a random non-zero 64-bit span ID.
+func newSpanID() [8]byte {
+	var id [8]byte
+	for id == zeroSpanID {
+		putUint64(id[:], rand.Uint64())
+	}
+	return id
+}
+
+func putUint64(b []byte, v uint64) {
+	_ = b[7]
+	for i := 0; i < 8; i++ {
+		b[i] = byte(v >> (56 - 8*i))
+	}
+}
+
+// Traceparent renders the context as a W3C traceparent header value
+// (version 00): 00-<trace-id>-<parent-id>-<trace-flags>.
+func (tc TraceContext) Traceparent() string {
+	flags := "00"
+	if tc.Sampled {
+		flags = "01"
+	}
+	return "00-" + tc.TraceIDString() + "-" + tc.SpanIDString() + "-" + flags
+}
+
+// ParseTraceparent parses a W3C traceparent header value. It accepts any
+// non-ff version whose first four fields have the version-00 layout
+// (forward compatibility per the spec) and rejects malformed input: wrong
+// field lengths, non-hex digits, uppercase hex, the ff version, and the
+// forbidden all-zero trace or span IDs.
+func ParseTraceparent(s string) (TraceContext, error) {
+	var tc TraceContext
+	if len(s) < 55 {
+		return tc, fmt.Errorf("obs: traceparent too short (%d bytes)", len(s))
+	}
+	if len(s) > 55 && s[55] != '-' {
+		return tc, fmt.Errorf("obs: traceparent version-00 layout violated")
+	}
+	if s[2] != '-' || s[35] != '-' || s[52] != '-' {
+		return tc, fmt.Errorf("obs: traceparent field separators misplaced")
+	}
+	ver, ok := hexByte(s[0], s[1])
+	if !ok {
+		return tc, fmt.Errorf("obs: traceparent version is not hex")
+	}
+	if ver == 0xff {
+		return tc, fmt.Errorf("obs: traceparent version ff is forbidden")
+	}
+	if ver == 0 && len(s) != 55 {
+		return tc, fmt.Errorf("obs: version-00 traceparent must be exactly 55 bytes")
+	}
+	for i := 0; i < 16; i++ {
+		b, ok := hexByte(s[3+2*i], s[4+2*i])
+		if !ok {
+			return tc, fmt.Errorf("obs: traceparent trace-id is not lowercase hex")
+		}
+		tc.TraceID[i] = b
+	}
+	for i := 0; i < 8; i++ {
+		b, ok := hexByte(s[36+2*i], s[37+2*i])
+		if !ok {
+			return tc, fmt.Errorf("obs: traceparent parent-id is not lowercase hex")
+		}
+		tc.SpanID[i] = b
+	}
+	flags, ok := hexByte(s[53], s[54])
+	if !ok {
+		return tc, fmt.Errorf("obs: traceparent flags are not hex")
+	}
+	if tc.TraceID == zeroTraceID {
+		return tc, fmt.Errorf("obs: traceparent trace-id is all zeros")
+	}
+	if tc.SpanID == zeroSpanID {
+		return tc, fmt.Errorf("obs: traceparent parent-id is all zeros")
+	}
+	tc.Sampled = flags&0x01 != 0
+	return tc, nil
+}
+
+// hexByte decodes two lowercase hex digits. Uppercase is rejected — the
+// W3C spec requires lowercase on the wire.
+func hexByte(hi, lo byte) (byte, bool) {
+	h, ok1 := hexNibble(hi)
+	l, ok2 := hexNibble(lo)
+	return h<<4 | l, ok1 && ok2
+}
+
+func hexNibble(c byte) (byte, bool) {
+	switch {
+	case c >= '0' && c <= '9':
+		return c - '0', true
+	case c >= 'a' && c <= 'f':
+		return c - 'a' + 10, true
+	}
+	return 0, false
+}
+
+type traceCtxKey struct{}
+
+// ContextWithTrace attaches a trace context; spans started from the
+// returned context join its trace (or are suppressed when it is unsampled).
+func ContextWithTrace(ctx context.Context, tc TraceContext) context.Context {
+	return context.WithValue(ctx, traceCtxKey{}, tc)
+}
+
+// TraceFromContext returns the trace context carried by ctx, if any. After
+// StartSpan the returned SpanID is the current span's — the value to
+// propagate downstream so remote children link to it.
+func TraceFromContext(ctx context.Context) (TraceContext, bool) {
+	if ctx == nil {
+		return TraceContext{}, false
+	}
+	tc, ok := ctx.Value(traceCtxKey{}).(TraceContext)
+	return tc, ok
+}

@@ -1,0 +1,122 @@
+package obs
+
+import (
+	"context"
+	"math/rand/v2"
+	"strings"
+	"testing"
+)
+
+func TestTraceparentRoundTrip(t *testing.T) {
+	for i := 0; i < 500; i++ {
+		var tc TraceContext
+		putUint64(tc.TraceID[0:8], rand.Uint64())
+		putUint64(tc.TraceID[8:16], rand.Uint64())
+		putUint64(tc.SpanID[:], rand.Uint64())
+		if tc.TraceID == zeroTraceID || tc.SpanID == zeroSpanID {
+			continue // the forbidden wire values; Traceparent callers guard with Propagatable
+		}
+		tc.Sampled = i%2 == 0
+		got, err := ParseTraceparent(tc.Traceparent())
+		if err != nil {
+			t.Fatalf("round-trip %q: %v", tc.Traceparent(), err)
+		}
+		if got != tc {
+			t.Fatalf("round-trip %q: got %+v want %+v", tc.Traceparent(), got, tc)
+		}
+	}
+}
+
+func TestTraceparentParseValid(t *testing.T) {
+	tc, err := ParseTraceparent("00-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-01")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tc.Sampled {
+		t.Error("flags 01 must parse as sampled")
+	}
+	if tc.TraceIDString() != "0af7651916cd43dd8448eb211c80319c" {
+		t.Errorf("trace id %s", tc.TraceIDString())
+	}
+	if tc.SpanIDString() != "b7ad6b7169203331" {
+		t.Errorf("span id %s", tc.SpanIDString())
+	}
+	// A future version may append fields after a dash; the first four fields
+	// still parse (W3C forward compatibility).
+	if _, err := ParseTraceparent("cc-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-01-extra"); err != nil {
+		t.Errorf("future version with suffix must parse: %v", err)
+	}
+	if tc2, err := ParseTraceparent("00-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-00"); err != nil || tc2.Sampled {
+		t.Errorf("flags 00 must parse unsampled (err %v)", err)
+	}
+}
+
+func TestTraceparentParseRejectsMalformed(t *testing.T) {
+	bad := []string{
+		"",
+		"00",
+		"00-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331",     // missing flags
+		"00-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-0",   // short flags
+		"00-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-01x", // version 00 with trailing junk
+		"ff-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-01",  // forbidden version
+		"00-00000000000000000000000000000000-b7ad6b7169203331-01",  // zero trace id
+		"00-0af7651916cd43dd8448eb211c80319c-0000000000000000-01",  // zero span id
+		"00-0AF7651916CD43DD8448EB211C80319C-b7ad6b7169203331-01",  // uppercase hex
+		"00-0af7651916cd43dd8448eb211c80319c-B7AD6B7169203331-01",  // uppercase hex
+		"0g-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-01",  // non-hex version
+		"00-0af7651916cd43dd8448eb211c8031-b7ad6b7169203331aa-01",  // shifted field widths
+		"00_0af7651916cd43dd8448eb211c80319c_b7ad6b7169203331_01",  // wrong separators
+		"00-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-zz",  // non-hex flags
+		strings.Repeat("0", 55),
+	}
+	for _, s := range bad {
+		if _, err := ParseTraceparent(s); err == nil {
+			t.Errorf("ParseTraceparent(%q) accepted malformed input", s)
+		}
+	}
+}
+
+func FuzzParseTraceparent(f *testing.F) {
+	f.Add("00-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-01")
+	f.Add("00-00000000000000000000000000000000-0000000000000000-00")
+	f.Add("ff-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-01")
+	f.Add("cc-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-01-what-ever")
+	f.Add("")
+	f.Add("garbage")
+	f.Fuzz(func(t *testing.T, s string) {
+		tc, err := ParseTraceparent(s)
+		if err != nil {
+			return
+		}
+		// Whatever parses must re-encode to a value that parses to the same
+		// identity (version and any suffix normalize to 00, five-field form).
+		if tc.TraceID == zeroTraceID || tc.SpanID == zeroSpanID {
+			t.Fatalf("ParseTraceparent(%q) accepted a forbidden zero ID", s)
+		}
+		again, err := ParseTraceparent(tc.Traceparent())
+		if err != nil {
+			t.Fatalf("re-encode of %q failed to parse: %v", s, err)
+		}
+		if again != tc {
+			t.Fatalf("re-encode of %q changed identity: %+v vs %+v", s, again, tc)
+		}
+	})
+}
+
+func TestContextWithTrace(t *testing.T) {
+	if _, ok := TraceFromContext(context.Background()); ok {
+		t.Fatal("empty context must carry no trace")
+	}
+	tc := NewTraceContext(true)
+	if !tc.Valid() || tc.SpanID != zeroSpanID {
+		t.Fatalf("NewTraceContext: %+v (want non-zero trace id, zero span id)", tc)
+	}
+	if tc.Propagatable() {
+		t.Fatal("root context without a span must not be propagatable")
+	}
+	ctx := ContextWithTrace(context.Background(), tc)
+	got, ok := TraceFromContext(ctx)
+	if !ok || got != tc {
+		t.Fatalf("TraceFromContext: %+v ok=%v", got, ok)
+	}
+}

@@ -1,0 +1,122 @@
+package obs
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"sync"
+	"testing"
+)
+
+// exportArgs decodes a tracer's Chrome export and returns each event's args
+// keyed by span name.
+func exportArgs(t *testing.T, tr *Tracer) map[string]map[string]any {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := tr.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var out struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &out); err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]map[string]any{}
+	for _, ev := range out.TraceEvents {
+		byName[ev.Name] = ev.Args
+	}
+	return byName
+}
+
+func TestSpanConcurrentSetAttrAndEnd(t *testing.T) {
+	tr := NewTracer()
+	tr.Enable(1 << 10)
+	for i := 0; i < 50; i++ {
+		_, s := tr.StartSpan(context.Background(), "contended")
+		var wg sync.WaitGroup
+		for w := 0; w < 4; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				for j := 0; j < 20; j++ {
+					s.SetAttr("k", w*100+j)
+				}
+			}(w)
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			s.End()
+			s.End() // second End must be a harmless no-op
+		}()
+		wg.Wait()
+		s.SetAttr("late", true) // after End: dropped, not raced
+	}
+	if tr.Len() != 50 {
+		t.Fatalf("recorded %d spans, want 50 (one per iteration, double End collapsed)", tr.Len())
+	}
+}
+
+func TestDistributedTraceIdentityExport(t *testing.T) {
+	tr := NewTracer()
+	tr.Enable(0)
+	root := NewTraceContext(true)
+	ctx := ContextWithTrace(context.Background(), root)
+
+	ctx, parent := tr.StartSpan(ctx, "parent")
+	pc, ok := parent.TraceContext()
+	if !ok || pc.TraceID != root.TraceID || pc.SpanID == zeroSpanID {
+		t.Fatalf("parent.TraceContext() = %+v ok=%v", pc, ok)
+	}
+	cur, _ := TraceFromContext(ctx)
+	if cur.SpanID != pc.SpanID || !cur.Sampled {
+		t.Fatalf("context after StartSpan carries %+v, want span %x", cur, pc.SpanID)
+	}
+	_, child := tr.StartSpan(ctx, "child")
+	child.End()
+	parent.End()
+
+	args := exportArgs(t, tr)
+	want := root.TraceIDString()
+	if args["parent"]["trace_id"] != want || args["child"]["trace_id"] != want {
+		t.Fatalf("trace ids: parent %v child %v want %s", args["parent"]["trace_id"], args["child"]["trace_id"], want)
+	}
+	if _, has := args["parent"]["parent_span_id"]; has {
+		t.Error("trace root (minted context, zero parent) must omit parent_span_id")
+	}
+	if got := args["child"]["parent_span_id"]; got != pc.SpanIDString() {
+		t.Errorf("child parent_span_id %v, want %s", got, pc.SpanIDString())
+	}
+}
+
+func TestUnsampledContextSuppressesSpans(t *testing.T) {
+	tr := NewTracer()
+	tr.Enable(0)
+	tc := NewTraceContext(false)
+	ctx := ContextWithTrace(context.Background(), tc)
+	ctx2, s := tr.StartSpan(ctx, "suppressed")
+	if s != nil {
+		t.Fatal("unsampled trace context must yield a nil span")
+	}
+	if ctx2 != ctx {
+		t.Fatal("unsampled StartSpan must return ctx unchanged")
+	}
+	s.SetAttr("k", 1) // nil-safe
+	s.End()
+	if tr.Len() != 0 {
+		t.Fatalf("suppressed span recorded (%d events)", tr.Len())
+	}
+	// No trace context at all still records (plain local tracing).
+	_, s2 := tr.StartSpan(context.Background(), "plain")
+	s2.End()
+	if tr.Len() != 1 {
+		t.Fatalf("plain span not recorded (%d events)", tr.Len())
+	}
+	if c, ok := s2.TraceContext(); ok {
+		t.Fatalf("plain span reports a trace context %+v", c)
+	}
+}

@@ -6,13 +6,16 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math/rand/v2"
 	"net/http"
 	"net/url"
 	"strings"
 	"sync"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/incsta"
+	"repro/internal/obs"
 )
 
 // hopHeader marks an intra-cluster forward. A request carrying it is never
@@ -155,10 +158,10 @@ func (s *Server) serveReplica(w http.ResponseWriter, r *http.Request, name strin
 		pattern = "POST /v1/designs/{name}/batch"
 	default:
 		httpError(w, http.StatusNotFound, codeUnknownRoute, "no such route: %s %s", r.Method, r.URL.Path)
-		s.met.observe(r.Method+" "+r.URL.Path, t0)
+		s.met.observe(r, r.Method+" "+r.URL.Path, t0)
 		return
 	}
-	defer s.met.observe(pattern, t0)
+	defer s.met.observe(r, pattern, t0)
 	if !s.ready.Load() {
 		retryAfter(w, time.Second)
 		httpError(w, http.StatusServiceUnavailable, codeNotReady, "recovery in progress")
@@ -208,7 +211,7 @@ func (s *Server) serveReplica(w http.ResponseWriter, r *http.Request, name strin
 func (s *Server) forward(w http.ResponseWriter, r *http.Request, owner string) {
 	t0 := time.Now()
 	pattern := "forward " + r.Method
-	defer s.met.observe(pattern, t0)
+	defer s.met.observe(r, pattern, t0)
 	if from := r.Header.Get(hopHeader); from != "" {
 		httpError(w, http.StatusMisdirectedRequest, codeWrongNode,
 			"node %s does not own this design (forwarded from %s; ring views diverged, retry)",
@@ -248,6 +251,11 @@ func (s *Server) forward(w http.ResponseWriter, r *http.Request, owner string) {
 		ctx, cancel = context.WithTimeout(ctx, s.reqTimeout)
 		defer cancel()
 	}
+	// The proxy hop is its own span: the owner's request span becomes its
+	// child via the refreshed traceparent on the outgoing request.
+	ctx, span := s.tracer.StartSpan(ctx, "proxy_forward",
+		obs.A("owner", owner), obs.A("method", r.Method))
+	defer span.End()
 	req, err := http.NewRequestWithContext(ctx, r.Method, owner+r.URL.RequestURI(), r.Body)
 	if err != nil {
 		httpErrorDetail(w, http.StatusInternalServerError, codeInternal, "building forward request", err)
@@ -255,6 +263,9 @@ func (s *Server) forward(w http.ResponseWriter, r *http.Request, owner string) {
 	}
 	req.Header = r.Header.Clone()
 	req.Header.Set(hopHeader, s.node.Self())
+	if tc, ok := obs.TraceFromContext(ctx); ok && tc.Propagatable() {
+		req.Header.Set(headerTraceparent, tc.Traceparent())
+	}
 	resp, err := s.node.Client().Do(req)
 	if err != nil {
 		if br != nil {
@@ -273,7 +284,13 @@ func (s *Server) forward(w http.ResponseWriter, r *http.Request, owner string) {
 	if resp.StatusCode >= http.StatusInternalServerError {
 		s.node.NoteForwardError(owner)
 	}
+	span.SetAttr("status", resp.StatusCode)
+	// The peer's headers win over any the local middleware pre-set (its
+	// Retry-After, its echoed correlation headers): replace per key rather
+	// than append, or the client would see duplicate X-Request-ID /
+	// traceparent lines on proxied responses.
 	for k, vs := range resp.Header {
+		w.Header().Del(k)
 		for _, v := range vs {
 			w.Header().Add(k, v)
 		}
@@ -337,6 +354,12 @@ func (s *Server) shipDesign(d *design, acked map[string]uint64, lastShip map[str
 		return // edit storm; next tick
 	}
 	iv := s.node.ReplicateInterval()
+	// Shipments are head-sampled like user requests: a sampled shipment's
+	// span links owner→replica through the traceparent postReplicate sends.
+	shipCtx := context.Background()
+	if s.sampleRate > 0 && rand.Float64() < s.sampleRate {
+		shipCtx = obs.ContextWithTrace(shipCtx, obs.NewTraceContext(true))
+	}
 	var payload []byte
 	for _, peer := range replicas {
 		if peer == s.node.Self() {
@@ -359,7 +382,11 @@ func (s *Server) shipDesign(d *design, acked map[string]uint64, lastShip map[str
 				return
 			}
 		}
-		resp, err := s.postReplicate(peer, payload)
+		ctx, span := s.tracer.StartSpan(shipCtx, "replicate_ship",
+			obs.A("design", d.name), obs.A("peer", peer), obs.A("seq", seq))
+		resp, err := s.postReplicate(ctx, peer, payload)
+		span.SetAttr("ok", err == nil)
+		span.End()
 		if err != nil {
 			if br != nil {
 				br.Record(false)
@@ -385,12 +412,15 @@ func min64(a, b uint64) uint64 {
 }
 
 // postReplicate ships one replicate payload to peer and decodes the ack.
-func (s *Server) postReplicate(peer string, payload []byte) (*replicateResponse, error) {
+// The request is marked cluster-internal (kept out of the peer's user-request
+// metrics), names its sender via hopHeader, and carries ctx's trace position
+// so the peer's ingest span links under the shipment span.
+func (s *Server) postReplicate(ctx context.Context, peer string, payload []byte) (*replicateResponse, error) {
 	timeout := 2 * s.node.ReplicateInterval()
 	if timeout < 2*time.Second {
 		timeout = 2 * time.Second
 	}
-	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	ctx, cancel := context.WithTimeout(ctx, timeout)
 	defer cancel()
 	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
 		peer+"/v1/internal/replicate", bytes.NewReader(payload))
@@ -398,6 +428,11 @@ func (s *Server) postReplicate(peer string, payload []byte) (*replicateResponse,
 		return nil, err
 	}
 	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set(cluster.InternalHeader, "replicate")
+	req.Header.Set(hopHeader, s.node.Self())
+	if tc, ok := obs.TraceFromContext(ctx); ok && tc.Propagatable() {
+		req.Header.Set(headerTraceparent, tc.Traceparent())
+	}
 	resp, err := s.node.Client().Do(req)
 	if err != nil {
 		return nil, err
@@ -425,7 +460,7 @@ func (s *Server) broadcastDelete(name string) {
 		if peer == s.node.Self() {
 			continue
 		}
-		_, _ = s.postReplicate(peer, payload)
+		_, _ = s.postReplicate(context.Background(), peer, payload)
 	}
 }
 

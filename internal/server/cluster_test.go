@@ -27,6 +27,13 @@ type clusterNode struct {
 // come first). Heartbeats and replication run at test cadence.
 func newTestCluster(t *testing.T, n int, proxy bool) []*clusterNode {
 	t.Helper()
+	return newTestClusterWith(t, n, proxy, nil)
+}
+
+// newTestClusterWith is newTestCluster plus per-node extra server options
+// (optFor may be nil; it receives the node index).
+func newTestClusterWith(t *testing.T, n int, proxy bool, optFor func(i int) []Option) []*clusterNode {
+	t.Helper()
 	lns := make([]net.Listener, n)
 	urls := make([]string, n)
 	for i := range lns {
@@ -54,7 +61,11 @@ func newTestCluster(t *testing.T, n int, proxy bool) []*clusterNode {
 			t.Fatal(err)
 		}
 		cn.Start()
-		s := New(libsynth.File(), WithCluster(cn))
+		opts := []Option{WithCluster(cn)}
+		if optFor != nil {
+			opts = append(opts, optFor(i)...)
+		}
+		s := New(libsynth.File(), opts...)
 		ts := httptest.NewUnstartedServer(s.Handler())
 		ts.Listener.Close()
 		ts.Listener = lns[i]

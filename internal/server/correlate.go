@@ -1,0 +1,187 @@
+package server
+
+import (
+	"encoding/hex"
+	"math/rand/v2"
+	"net/http"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/obs"
+)
+
+// Correlation headers: every request gets a request ID (client-supplied or
+// minted) echoed on every response — success and every error envelope alike —
+// and optionally a W3C traceparent tying the request into a distributed
+// trace. Both ride on r.Header too, so forward hops and 307 redirects carry
+// them to the next node unchanged.
+const (
+	headerRequestID   = "X-Request-ID"
+	headerTraceparent = "traceparent"
+)
+
+// newRequestID mints a 32-hex-digit request ID.
+func newRequestID() string {
+	var b [16]byte
+	for i := 0; i < 16; i += 8 {
+		v := rand.Uint64()
+		for j := 0; j < 8; j++ {
+			b[i+j] = byte(v >> (56 - 8*j))
+		}
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// validRequestID accepts client-supplied request IDs of 1–128 bytes drawn
+// from a log-safe alphabet; anything else (empty, oversized, control bytes,
+// header-splitting characters) is replaced with a minted ID.
+func validRequestID(s string) bool {
+	if len(s) == 0 || len(s) > 128 {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9':
+		case c == '-' || c == '_' || c == '.' || c == ':' || c == '@':
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// statusWriter captures the response status for the access log, slow log and
+// request span.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.status == 0 {
+		w.status = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	return w.ResponseWriter.Write(b)
+}
+
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// correlate is the outermost middleware: request-ID correlation, distributed
+// trace propagation with head-based sampling, per-request structured logging,
+// and the slow-request log. It runs before the cluster router so forwarded
+// requests carry their correlation headers to the next node.
+func (s *Server) correlate(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		t0 := time.Now()
+
+		rid := r.Header.Get(headerRequestID)
+		if !validRequestID(rid) {
+			rid = newRequestID()
+		}
+		r.Header.Set(headerRequestID, rid) // propagate on forwards
+		w.Header().Set(headerRequestID, rid)
+
+		// Trace identity: an incoming traceparent wins (its sampled flag is
+		// the upstream head-sampling decision); otherwise mint one per the
+		// local sampling rate. No incoming header and a zero rate leaves the
+		// request traceless — StartSpan then behaves exactly as before this
+		// middleware existed.
+		ctx := r.Context()
+		tc, haveTrace := obs.TraceContext{}, false
+		if tp := r.Header.Get(headerTraceparent); tp != "" {
+			if parsed, err := obs.ParseTraceparent(tp); err == nil {
+				tc, haveTrace = parsed, true
+			}
+		}
+		if !haveTrace && s.sampleRate > 0 {
+			tc, haveTrace = obs.NewTraceContext(rand.Float64() < s.sampleRate), true
+		}
+		var span *obs.Span
+		if haveTrace {
+			ctx = obs.ContextWithTrace(ctx, tc)
+			ctx, span = s.tracer.StartSpan(ctx, "http_request",
+				obs.A("method", r.Method), obs.A("path", r.URL.Path), obs.A("request_id", rid))
+		}
+		// Propagate the current trace position: the request span when one was
+		// recorded, the incoming context otherwise (tracer disabled locally but
+		// a downstream node may record). Unsampled contexts propagate too —
+		// flags 00 tells the next hop not to re-sample.
+		if cur, ok := obs.TraceFromContext(ctx); ok && cur.Propagatable() {
+			tp := cur.Traceparent()
+			r.Header.Set(headerTraceparent, tp)
+			w.Header().Set(headerTraceparent, tp)
+		}
+
+		l := s.log().With("request_id", rid)
+		if haveTrace && tc.Valid() {
+			l = l.With("trace_id", tc.TraceIDString())
+		}
+		ctx = obs.ContextWithLogger(ctx, l)
+
+		sw := &statusWriter{ResponseWriter: w}
+		next.ServeHTTP(sw, r.WithContext(ctx))
+
+		status := sw.status
+		if status == 0 {
+			status = http.StatusOK
+		}
+		dur := time.Since(t0)
+		span.SetAttr("status", status)
+		span.End()
+
+		// Cluster-originated internal calls (heartbeats, replication) log at
+		// debug so user-facing request logs stay greppable.
+		msg, attrs := "request", []any{
+			"method", r.Method, "path", r.URL.Path,
+			"status", status, "dur_ms", float64(dur) / float64(time.Millisecond),
+		}
+		if r.Header.Get(cluster.InternalHeader) != "" {
+			l.Debug(msg, attrs...)
+		} else {
+			l.Info(msg, attrs...)
+			s.recordSlow(r, tc, rid, status, dur)
+		}
+	})
+}
+
+// recordSlow feeds the bounded slow-request log; design name and corner
+// count are resolved only when the entry would actually be kept.
+func (s *Server) recordSlow(r *http.Request, tc obs.TraceContext, rid string, status int, dur time.Duration) {
+	if s.slow == nil || !s.slow.wouldRecord(dur) {
+		return
+	}
+	e := slowEntry{
+		Time:       time.Now().UTC().Format(time.RFC3339Nano),
+		Method:     r.Method,
+		Path:       r.URL.Path,
+		Status:     status,
+		DurationMS: float64(dur) / float64(time.Millisecond),
+		RequestID:  rid,
+	}
+	if tc.Valid() {
+		e.TraceID = tc.TraceIDString()
+	}
+	if name, ok := designPathName(r.URL.Path); ok {
+		e.Design = name
+		if d, loaded := s.design(name); loaded && d.eng != nil {
+			e.Corners = len(d.eng.Snapshot().Corners())
+		} else if rep := s.replica(name); rep != nil {
+			if eng, _ := rep.view(); eng != nil {
+				e.Corners = len(eng.Snapshot().Corners())
+			}
+		}
+	}
+	s.slow.record(e, dur)
+}

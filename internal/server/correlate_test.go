@@ -1,0 +1,321 @@
+package server
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/libsynth"
+	"repro/internal/obs"
+)
+
+const testTraceparent = "00-0123456789abcdef0123456789abcdef-0123456789abcdef-01"
+
+func TestRequestIDMintedAndEchoed(t *testing.T) {
+	_, ts := newTestServer(t)
+
+	// No client ID: the server mints a 32-hex one.
+	resp, err := http.Get(ts.URL + "/v1/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	rid := resp.Header.Get("X-Request-ID")
+	if !regexp.MustCompile(`^[0-9a-f]{32}$`).MatchString(rid) {
+		t.Fatalf("minted request id %q, want 32 hex digits", rid)
+	}
+
+	// A valid client ID is echoed verbatim — including on error envelopes.
+	for _, path := range []string{"/v1/healthz", "/v1/designs/absent", "/no/such/route"} {
+		req, _ := http.NewRequest(http.MethodGet, ts.URL+path, nil)
+		req.Header.Set("X-Request-ID", "client-id-42")
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if got := resp.Header.Get("X-Request-ID"); got != "client-id-42" {
+			t.Errorf("%s: echoed %q, want client-id-42 (status %d)", path, got, resp.StatusCode)
+		}
+	}
+
+	// An invalid client ID (header-splitting, oversized) is replaced.
+	for _, bad := range []string{"with space", "semi;colon", strings.Repeat("x", 200)} {
+		req, _ := http.NewRequest(http.MethodGet, ts.URL+"/v1/healthz", nil)
+		req.Header.Set("X-Request-ID", bad)
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if got := resp.Header.Get("X-Request-ID"); got == bad || got == "" {
+			t.Errorf("invalid id %q: echoed %q, want a minted replacement", bad, got)
+		}
+	}
+}
+
+func TestTraceparentEchoAndSampling(t *testing.T) {
+	tr := obs.NewTracer()
+	tr.Enable(0)
+	s := New(libsynth.File(), WithTracer(tr))
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() { ts.Close(); s.Close() })
+
+	// Sampled incoming traceparent: the response carries the request span's
+	// position — same trace ID, a fresh span ID.
+	req, _ := http.NewRequest(http.MethodGet, ts.URL+"/v1/healthz", nil)
+	req.Header.Set("traceparent", testTraceparent)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	tc, perr := obs.ParseTraceparent(resp.Header.Get("traceparent"))
+	if perr != nil {
+		t.Fatalf("response traceparent %q: %v", resp.Header.Get("traceparent"), perr)
+	}
+	if tc.TraceIDString() != "0123456789abcdef0123456789abcdef" || !tc.Sampled {
+		t.Fatalf("response traceparent %+v lost identity", tc)
+	}
+	if tc.SpanIDString() == "0123456789abcdef" {
+		t.Fatal("response must carry the server span's ID, not the client's")
+	}
+	if tr.Len() != 1 {
+		t.Fatalf("sampled request recorded %d spans, want 1", tr.Len())
+	}
+
+	// Unsampled incoming traceparent: no span recorded, flags 00 propagated.
+	req, _ = http.NewRequest(http.MethodGet, ts.URL+"/v1/healthz", nil)
+	req.Header.Set("traceparent", strings.TrimSuffix(testTraceparent, "01")+"00")
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if tr.Len() != 1 {
+		t.Fatalf("unsampled request recorded a span (%d total)", tr.Len())
+	}
+	if tp := resp.Header.Get("traceparent"); !strings.HasSuffix(tp, "-00") {
+		t.Fatalf("unsampled response traceparent %q, want flags 00", tp)
+	}
+
+	// No traceparent, no sampling configured: no trace headers, no span.
+	resp, err = http.Get(ts.URL + "/v1/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if tp := resp.Header.Get("traceparent"); tp != "" {
+		t.Fatalf("untraced response carries traceparent %q", tp)
+	}
+	if tr.Len() != 1 {
+		t.Fatalf("untraced request recorded a span (%d total)", tr.Len())
+	}
+}
+
+func TestTraceSamplingMintsTraces(t *testing.T) {
+	tr := obs.NewTracer()
+	tr.Enable(0)
+	s := New(libsynth.File(), WithTracer(tr), WithTraceSampling(1))
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() { ts.Close(); s.Close() })
+
+	resp, err := http.Get(ts.URL + "/v1/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if _, err := obs.ParseTraceparent(resp.Header.Get("traceparent")); err != nil {
+		t.Fatalf("rate-1 sampling: response traceparent %q: %v", resp.Header.Get("traceparent"), err)
+	}
+	if tr.Len() != 1 {
+		t.Fatalf("rate-1 sampling recorded %d spans, want 1", tr.Len())
+	}
+}
+
+func TestRequestLogCarriesRequestID(t *testing.T) {
+	var buf syncBuffer
+	logger := slog.New(slog.NewTextHandler(&buf, &slog.HandlerOptions{Level: slog.LevelDebug}))
+	s := New(libsynth.File(), WithLogger(logger))
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() { ts.Close(); s.Close() })
+
+	req, _ := http.NewRequest(http.MethodGet, ts.URL+"/v1/healthz", nil)
+	req.Header.Set("X-Request-ID", "log-probe-1")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if !strings.Contains(buf.String(), "request_id=log-probe-1") {
+		t.Fatalf("access log missing request id:\n%s", buf.String())
+	}
+	if !strings.Contains(buf.String(), "level=INFO") {
+		t.Fatalf("user request must log at info:\n%s", buf.String())
+	}
+
+	// Cluster-internal calls log at debug, keeping info logs user-only.
+	buf.Reset()
+	req, _ = http.NewRequest(http.MethodGet, ts.URL+"/v1/healthz", nil)
+	req.Header.Set(cluster.InternalHeader, "heartbeat")
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	out := buf.String()
+	if !strings.Contains(out, "level=DEBUG") || strings.Contains(out, "level=INFO") {
+		t.Fatalf("internal request must log at debug only:\n%s", out)
+	}
+}
+
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+func (b *syncBuffer) Reset() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.buf.Reset()
+}
+
+func TestInternalTrafficSeparateMetrics(t *testing.T) {
+	s := New(libsynth.File())
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() { ts.Close(); s.Close() })
+
+	scrape := func() string {
+		resp, err := http.Get(ts.URL + "/metrics")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		b, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(b)
+	}
+	counts := func(out string) (user, internal float64) {
+		re := regexp.MustCompile(`(?m)^timingd_(cluster_)?requests_total\{route="GET /v1/healthz"\} (\S+)$`)
+		for _, m := range re.FindAllStringSubmatch(out, -1) {
+			var v float64
+			fmt.Sscanf(m[2], "%g", &v)
+			if m[1] == "cluster_" {
+				internal = v
+			} else {
+				user = v
+			}
+		}
+		return
+	}
+	u0, i0 := counts(scrape())
+
+	req, _ := http.NewRequest(http.MethodGet, ts.URL+"/v1/healthz", nil)
+	req.Header.Set(cluster.InternalHeader, "heartbeat")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp2, err := http.Get(ts.URL + "/v1/healthz"); err == nil {
+		resp2.Body.Close()
+	}
+
+	u1, i1 := counts(scrape())
+	if i1 != i0+1 {
+		t.Errorf("internal healthz count %g → %g, want +1", i0, i1)
+	}
+	if u1 != u0+1 {
+		t.Errorf("user healthz count %g → %g, want +1 (internal call leaked into user series?)", u0, u1)
+	}
+}
+
+func TestSlowLogRecordsAndBounds(t *testing.T) {
+	s := New(libsynth.File(), WithSlowLogSize(2))
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() { ts.Close(); s.Close() })
+
+	if code, raw := do(t, http.MethodPut, ts.URL+"/v1/designs/c17", LoadRequest{
+		Bench: c17Bench, Corners: []CornerSpec{{Name: "fast"}, {Name: "slow", CapScale: 1.2}},
+	}, nil); code != http.StatusCreated {
+		t.Fatalf("load: %d %s", code, raw)
+	}
+	for i := 0; i < 5; i++ {
+		if code, raw := do(t, http.MethodGet, ts.URL+"/v1/designs/c17", nil, nil); code != http.StatusOK {
+			t.Fatalf("summary: %d %s", code, raw)
+		}
+	}
+
+	var out struct {
+		Capacity int         `json:"capacity"`
+		Slowest  []slowEntry `json:"slowest"`
+	}
+	if code, raw := do(t, http.MethodGet, ts.URL+"/v1/debug/slow", nil, &out); code != http.StatusOK {
+		t.Fatalf("debug/slow: %d %s", code, raw)
+	}
+	if out.Capacity != 2 || len(out.Slowest) != 2 {
+		t.Fatalf("capacity %d entries %d, want 2/2", out.Capacity, len(out.Slowest))
+	}
+	for i, e := range out.Slowest {
+		if e.RequestID == "" || e.Method == "" || e.Status == 0 {
+			t.Errorf("entry %d incomplete: %+v", i, e)
+		}
+		if i > 0 && e.DurationMS > out.Slowest[i-1].DurationMS {
+			t.Error("entries not sorted slowest-first")
+		}
+	}
+	// At least one kept entry should be the design-scoped query with its
+	// corner count resolved (the load PUT itself also qualifies).
+	seenDesign := false
+	for _, e := range out.Slowest {
+		if e.Design == "c17" {
+			seenDesign = true
+			if e.Corners != 2 && e.Method == http.MethodGet {
+				t.Errorf("design query entry has %d corners, want 2: %+v", e.Corners, e)
+			}
+		}
+	}
+	if !seenDesign {
+		t.Errorf("no design-scoped entry kept: %+v", out.Slowest)
+	}
+}
+
+func TestSlowLogKeepsSlowest(t *testing.T) {
+	sl := newSlowLog(2)
+	sl.record(slowEntry{Path: "/a"}, 10*time.Millisecond)
+	sl.record(slowEntry{Path: "/b"}, 30*time.Millisecond)
+	if !sl.wouldRecord(20 * time.Millisecond) {
+		t.Fatal("20ms must evict the 10ms entry")
+	}
+	sl.record(slowEntry{Path: "/c"}, 20*time.Millisecond)
+	if sl.wouldRecord(5 * time.Millisecond) {
+		t.Fatal("5ms must not enter a full log of 20/30ms")
+	}
+	got := sl.snapshot()
+	if len(got) != 2 || got[0].Path != "/b" || got[1].Path != "/c" {
+		t.Fatalf("snapshot %+v, want [/b /c]", got)
+	}
+}

@@ -3,9 +3,11 @@ package server
 import (
 	"fmt"
 	"io"
+	"net/http"
 	"sort"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/obs"
 )
 
@@ -18,6 +20,7 @@ var routePatterns = []string{
 	"GET /v1/healthz",
 	"GET /v1/readyz",
 	"GET /metrics",
+	"GET /v1/debug/slow",
 	"GET /v1/designs",
 	"PUT /v1/designs/{name}",
 	"DELETE /v1/designs/{name}",
@@ -57,6 +60,12 @@ var routePatterns = []string{
 type metrics struct {
 	requests *obs.CounterVec
 	latency  *obs.HistogramVec
+
+	// Cluster-originated internal traffic (heartbeats, snapshot replication —
+	// anything carrying cluster.InternalHeader) counts here instead, so the
+	// per-route user-request series are not polluted by machine chatter.
+	clusterRequests *obs.CounterVec
+	clusterLatency  *obs.HistogramVec
 }
 
 // Durability and overload counters, on the process-wide registry like the
@@ -80,12 +89,22 @@ func newMetrics() *metrics {
 			"HTTP requests served, by route.", "route", routePatterns...),
 		latency: obs.Default().HistogramVec("timingd_request_seconds",
 			"HTTP request latency in seconds, by route.", "route", routePatterns...),
+		clusterRequests: obs.Default().CounterVec("timingd_cluster_requests_total",
+			"Cluster-internal HTTP requests served (heartbeats, replication), by route.", "route", routePatterns...),
+		clusterLatency: obs.Default().HistogramVec("timingd_cluster_request_seconds",
+			"Cluster-internal HTTP request latency in seconds, by route.", "route", routePatterns...),
 	}
 }
 
 // observe records one served request. route may be any string; values
-// outside routePatterns aggregate under "other".
-func (m *metrics) observe(route string, t0 time.Time) {
+// outside routePatterns aggregate under "other". Requests marked
+// cluster-internal count in the cluster series instead of the user ones.
+func (m *metrics) observe(r *http.Request, route string, t0 time.Time) {
+	if r != nil && r.Header.Get(cluster.InternalHeader) != "" {
+		m.clusterRequests.With(route).Inc()
+		m.clusterLatency.With(route).ObserveSince(t0)
+		return
+	}
 	m.requests.With(route).Inc()
 	m.latency.With(route).ObserveSince(t0)
 }

@@ -11,6 +11,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"net/url"
 	"sort"
@@ -49,6 +50,15 @@ type Server struct {
 	reqTimeout time.Duration
 	ready      atomic.Bool
 	bootID     uint64 // distinguishes replication streams across restarts
+
+	// Observability: the tracer request spans record into, the head-based
+	// sampling rate for traces minted here (0 = only trace requests that
+	// arrive with a sampled traceparent), the base logger request-scoped
+	// loggers derive from, and the bounded slow-request log.
+	tracer     *obs.Tracer
+	sampleRate float64
+	logger     *slog.Logger
+	slow       *slowLog
 
 	mu      sync.Mutex
 	designs map[string]*design
@@ -117,6 +127,47 @@ func WithRequestTimeout(d time.Duration) Option {
 	return func(s *Server) { s.reqTimeout = d }
 }
 
+// WithTracer records request spans into tr instead of the process-wide
+// obs.Trace — tests hosting several servers in one process give each its own.
+func WithTracer(tr *obs.Tracer) Option {
+	return func(s *Server) {
+		if tr != nil {
+			s.tracer = tr
+		}
+	}
+}
+
+// WithTraceSampling head-samples requests that arrive without a traceparent:
+// rate is the probability each such request mints a sampled trace (clamped to
+// [0,1], default 0 = trace only what upstream already sampled). An incoming
+// traceparent always wins — its sampled flag is the upstream decision.
+func WithTraceSampling(rate float64) Option {
+	return func(s *Server) {
+		s.sampleRate = min(max(rate, 0), 1)
+	}
+}
+
+// WithLogger sets the base logger request-scoped loggers (request_id,
+// trace_id attrs) derive from; default slog.Default().
+func WithLogger(l *slog.Logger) Option {
+	return func(s *Server) { s.logger = l }
+}
+
+// WithSlowLogSize sets how many slowest requests GET /v1/debug/slow retains
+// (default 32).
+func WithSlowLogSize(n int) Option {
+	return func(s *Server) { s.slow = newSlowLog(n) }
+}
+
+// log returns the server's base logger, falling back to the process default
+// so SetupLogs after New still takes effect.
+func (s *Server) log() *slog.Logger {
+	if s.logger != nil {
+		return s.logger
+	}
+	return slog.Default()
+}
+
 // defaultMaxBodyBytes caps design-load request bodies (64 MiB).
 const defaultMaxBodyBytes = 64 << 20
 
@@ -132,6 +183,8 @@ func New(lib *timinglib.File, opts ...Option) *Server {
 		loading: map[string]bool{},
 		reps:    map[string]*replicaState{},
 		bootID:  uint64(time.Now().UnixNano()),
+		tracer:  obs.Trace,
+		slow:    newSlowLog(defaultSlowLogSize),
 	}
 	for _, o := range opts {
 		o(s)
@@ -148,6 +201,8 @@ func New(lib *timinglib.File, opts ...Option) *Server {
 		// Cluster introspection answers during recovery too, so peers and
 		// operators can inspect a recovering node's ring view.
 		"GET /v1/cluster": true, "GET /v1/cluster/route": true,
+		// Debug introspection: what made a recovering node slow matters too.
+		"GET /v1/debug/slow": true,
 	}
 	route := func(pattern string, h func(http.ResponseWriter, *http.Request)) {
 		gated := !ungated[pattern]
@@ -156,7 +211,7 @@ func New(lib *timinglib.File, opts ...Option) *Server {
 			if gated && !s.ready.Load() {
 				retryAfter(w, time.Second)
 				httpError(w, http.StatusServiceUnavailable, codeNotReady, "recovery in progress")
-				s.met.observe(pattern, t0)
+				s.met.observe(r, pattern, t0)
 				return
 			}
 			if s.reqTimeout > 0 {
@@ -165,7 +220,7 @@ func New(lib *timinglib.File, opts ...Option) *Server {
 				r = r.WithContext(ctx)
 			}
 			h(w, r)
-			s.met.observe(pattern, t0)
+			s.met.observe(r, pattern, t0)
 		})
 	}
 	// legacy wraps a v1 handler for its pre-v1 route: same behaviour, plus
@@ -191,6 +246,7 @@ func New(lib *timinglib.File, opts ...Option) *Server {
 	route("GET /v1/healthz", s.handleHealth)
 	route("GET /v1/readyz", s.handleReady)
 	route("GET /metrics", s.handleMetrics)
+	route("GET /v1/debug/slow", s.handleSlow)
 	api("GET", "/designs", s.handleList)
 	api("PUT", "/designs/{name}", s.handleLoad)
 	api("DELETE", "/designs/{name}", s.handleDelete)
@@ -212,20 +268,22 @@ func New(lib *timinglib.File, opts ...Option) *Server {
 	s.mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
 		t0 := time.Now()
 		httpError(w, http.StatusNotFound, codeUnknownRoute, "no such route: %s %s", r.Method, r.URL.Path)
-		s.met.observe(r.Method+" "+r.URL.Path, t0)
+		s.met.observe(r, r.Method+" "+r.URL.Path, t0)
 	})
 	return s
 }
 
-// Handler returns the instrumented route table. With a cluster node
-// attached, design-scoped requests first pass the ring-aware router, which
-// serves them locally, from a replica snapshot, or forwards them to the
-// design's owner.
+// Handler returns the instrumented route table, wrapped in the correlation
+// middleware (request IDs, trace propagation, access + slow logging). With a
+// cluster node attached, design-scoped requests then pass the ring-aware
+// router, which serves them locally, from a replica snapshot, or forwards
+// them to the design's owner.
 func (s *Server) Handler() http.Handler {
+	var inner http.Handler = s.mux
 	if s.node != nil {
-		return http.HandlerFunc(s.routeCluster)
+		inner = http.HandlerFunc(s.routeCluster)
 	}
-	return s.mux
+	return s.correlate(inner)
 }
 
 // Close stops every design's edit queue and rejects further loads. Called

@@ -1,0 +1,106 @@
+package server
+
+import (
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+)
+
+// defaultSlowLogSize is how many slowest requests the in-memory slow log
+// keeps when -slow-log is not set.
+const defaultSlowLogSize = 32
+
+// slowEntry is one kept request, as GET /v1/debug/slow renders it.
+type slowEntry struct {
+	Time       string  `json:"time"`
+	Method     string  `json:"method"`
+	Path       string  `json:"path"`
+	Design     string  `json:"design,omitempty"`
+	Corners    int     `json:"corners,omitempty"`
+	Status     int     `json:"status"`
+	DurationMS float64 `json:"duration_ms"`
+	RequestID  string  `json:"request_id"`
+	TraceID    string  `json:"trace_id,omitempty"`
+}
+
+// slowLog keeps the N slowest user requests seen since startup: a bounded
+// unordered buffer whose current minimum is evicted when a slower request
+// arrives. Cluster-internal calls never enter it.
+type slowLog struct {
+	mu      sync.Mutex
+	cap     int
+	entries []slowEntry
+	durs    []time.Duration
+	minIdx  int // index of the fastest kept entry, valid when full
+}
+
+func newSlowLog(capacity int) *slowLog {
+	if capacity <= 0 {
+		capacity = defaultSlowLogSize
+	}
+	return &slowLog{cap: capacity}
+}
+
+// wouldRecord reports whether a request of duration d would be kept —
+// callers use it to skip building an entry for the common fast path.
+func (sl *slowLog) wouldRecord(d time.Duration) bool {
+	sl.mu.Lock()
+	defer sl.mu.Unlock()
+	return len(sl.entries) < sl.cap || d > sl.durs[sl.minIdx]
+}
+
+func (sl *slowLog) record(e slowEntry, d time.Duration) {
+	sl.mu.Lock()
+	defer sl.mu.Unlock()
+	if len(sl.entries) < sl.cap {
+		sl.entries = append(sl.entries, e)
+		sl.durs = append(sl.durs, d)
+		if len(sl.entries) == sl.cap {
+			sl.refreshMin()
+		}
+		return
+	}
+	if d <= sl.durs[sl.minIdx] {
+		return // a faster request raced past wouldRecord; drop it
+	}
+	sl.entries[sl.minIdx] = e
+	sl.durs[sl.minIdx] = d
+	sl.refreshMin()
+}
+
+func (sl *slowLog) refreshMin() {
+	sl.minIdx = 0
+	for i, d := range sl.durs {
+		if d < sl.durs[sl.minIdx] {
+			sl.minIdx = i
+		}
+	}
+}
+
+// snapshot returns the kept entries, slowest first.
+func (sl *slowLog) snapshot() []slowEntry {
+	sl.mu.Lock()
+	idx := make([]int, len(sl.entries))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return sl.durs[idx[a]] > sl.durs[idx[b]] })
+	out := make([]slowEntry, len(idx))
+	for i, j := range idx {
+		out[i] = sl.entries[j]
+	}
+	sl.mu.Unlock()
+	return out
+}
+
+// handleSlow serves GET /v1/debug/slow: the slowest requests since startup,
+// slowest first, each with its correlation IDs so an operator can jump from
+// a latency outlier straight to its log lines and trace.
+func (s *Server) handleSlow(w http.ResponseWriter, _ *http.Request) {
+	entries := s.slow.snapshot()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"capacity": s.slow.cap,
+		"slowest":  entries,
+	})
+}

@@ -1,0 +1,220 @@
+package server
+
+import (
+	"encoding/json"
+	"log/slog"
+	"net/http"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// TestClusterTraceCorrelation is the acceptance path: a traced request
+// proxied through a non-owner node yields the same X-Request-ID on the
+// client response and in both nodes' logs, and the two nodes' trace files
+// merge into one trace whose spans link across nodes.
+func TestClusterTraceCorrelation(t *testing.T) {
+	tracers := make([]*obs.Tracer, 3)
+	logs := make([]*syncBuffer, 3)
+	nodes := newTestClusterWith(t, 3, true, func(i int) []Option {
+		tracers[i] = obs.NewTracer()
+		tracers[i].Enable(0)
+		logs[i] = &syncBuffer{}
+		return []Option{
+			WithTracer(tracers[i]),
+			WithLogger(slog.New(slog.NewTextHandler(logs[i], nil))),
+		}
+	})
+	const name = "c17-traced"
+	owner, _, neither := byRole(t, nodes, name)
+	ownerIdx, neitherIdx := -1, -1
+	for i, cn := range nodes {
+		switch cn {
+		case owner:
+			ownerIdx = i
+		case neither:
+			neitherIdx = i
+		}
+	}
+
+	if code, raw := do(t, http.MethodPut, owner.url+"/v1/designs/"+name, LoadRequest{Bench: c17Bench}, nil); code != http.StatusCreated {
+		t.Fatalf("load: %d %s", code, raw)
+	}
+
+	// The traced request: client-fixed request ID and sampled traceparent,
+	// sent to the NEITHER node, which must proxy it to the owner.
+	const rid = "trace-probe-7"
+	req, _ := http.NewRequest(http.MethodGet, neither.url+"/v1/designs/"+name, nil)
+	req.Header.Set("X-Request-ID", rid)
+	req.Header.Set("traceparent", testTraceparent)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("proxied GET: %d", resp.StatusCode)
+	}
+	if got := resp.Header.Values("X-Request-ID"); len(got) != 1 || got[0] != rid {
+		t.Fatalf("proxied response X-Request-ID %v, want exactly [%s]", got, rid)
+	}
+	tp, err := obs.ParseTraceparent(resp.Header.Get("traceparent"))
+	if err != nil || len(resp.Header.Values("traceparent")) != 1 {
+		t.Fatalf("proxied response traceparent %v: %v", resp.Header.Values("traceparent"), err)
+	}
+	if tp.TraceIDString() != "0123456789abcdef0123456789abcdef" {
+		t.Fatalf("proxied response trace id %s", tp.TraceIDString())
+	}
+
+	// Both the proxying node and the owner logged the same request ID.
+	waitUntil(t, "request id in both nodes' logs", func() bool {
+		return strings.Contains(logs[neitherIdx].String(), "request_id="+rid) &&
+			strings.Contains(logs[ownerIdx].String(), "request_id="+rid)
+	})
+
+	// Export both nodes' traces and merge them.
+	dir := t.TempDir()
+	paths := []string{filepath.Join(dir, "neither.json"), filepath.Join(dir, "owner.json")}
+	if err := tracers[neitherIdx].WriteFile(paths[0]); err != nil {
+		t.Fatal(err)
+	}
+	if err := tracers[ownerIdx].WriteFile(paths[1]); err != nil {
+		t.Fatal(err)
+	}
+	m, err := obs.MergeTraceFiles(paths, obs.MergeOptions{TraceID: "0123456789abcdef0123456789abcdef"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Traces != 1 || m.Spans < 3 {
+		t.Fatalf("merged traces=%d spans=%d, want 1 trace with >=3 spans (request, proxy hop, owner request)", m.Traces, m.Spans)
+	}
+	if m.Flows < 1 {
+		t.Fatal("merged trace has no cross-node flow arrow")
+	}
+
+	// Parent links: the owner-side request span's parent must be a span
+	// recorded on the neither node (the proxy hop).
+	type span struct {
+		pid      int
+		spanID   string
+		parentID string
+	}
+	var spans []span
+	ids := map[string]int{} // span id → pid
+	for _, ev := range m.TraceEvents {
+		args, _ := ev["args"].(map[string]any)
+		if args == nil {
+			continue
+		}
+		sid, _ := args["span_id"].(string)
+		if sid == "" {
+			continue
+		}
+		pid, _ := ev["pid"].(int)
+		par, _ := args["parent_span_id"].(string)
+		spans = append(spans, span{pid: pid, spanID: sid, parentID: par})
+		ids[sid] = pid
+	}
+	crossLinked := false
+	for _, sp := range spans {
+		if sp.parentID == "" {
+			continue
+		}
+		if ppid, ok := ids[sp.parentID]; ok && ppid != sp.pid {
+			crossLinked = true
+		}
+	}
+	if !crossLinked {
+		t.Fatalf("no span links to a parent on the other node: %+v", spans)
+	}
+}
+
+// TestClusterRedirectEchoesCorrelation covers the redirect (non-proxy) path:
+// the 307 from a non-owner and the owner's answer after following it both
+// echo the client's request ID.
+func TestClusterRedirectEchoesCorrelation(t *testing.T) {
+	nodes := newTestCluster(t, 3, false)
+	const name = "c17-redir-trace"
+	owner, _, neither := byRole(t, nodes, name)
+
+	if code, raw := do(t, http.MethodPut, owner.url+"/v1/designs/"+name, LoadRequest{Bench: c17Bench}, nil); code != http.StatusCreated {
+		t.Fatalf("load: %d %s", code, raw)
+	}
+
+	const rid = "redir-probe-3"
+	req, _ := http.NewRequest(http.MethodGet, neither.url+"/v1/designs/"+name, nil)
+	req.Header.Set("X-Request-ID", rid)
+	client := &http.Client{CheckRedirect: func(*http.Request, []*http.Request) error {
+		return http.ErrUseLastResponse
+	}}
+	resp, err := client.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTemporaryRedirect {
+		t.Fatalf("non-owner GET: %d, want 307", resp.StatusCode)
+	}
+	if got := resp.Header.Get("X-Request-ID"); got != rid {
+		t.Fatalf("307 X-Request-ID %q, want %s", got, rid)
+	}
+
+	// Follow the redirect by hand, as a client library would (it re-sends
+	// the original headers on the new location).
+	req2, _ := http.NewRequest(http.MethodGet, resp.Header.Get("Location"), nil)
+	req2.Header.Set("X-Request-ID", rid)
+	resp2, err := http.DefaultClient.Do(req2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum DesignSummary
+	if err := json.NewDecoder(resp2.Body).Decode(&sum); err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusOK || sum.Name != name {
+		t.Fatalf("redirected GET: %d %+v", resp2.StatusCode, sum)
+	}
+	if got := resp2.Header.Get("X-Request-ID"); got != rid {
+		t.Fatalf("owner response X-Request-ID %q, want %s", got, rid)
+	}
+}
+
+// TestForwardPreservesPeerHeaders pins the proxy-hop header fix: a peer's
+// Retry-After and correlation headers pass through a proxied response
+// without duplication.
+func TestForwardPreservesPeerHeaders(t *testing.T) {
+	nodes := newTestCluster(t, 3, true)
+	const name = "c17-hdrs"
+	owner, _, neither := byRole(t, nodes, name)
+
+	if code, raw := do(t, http.MethodPut, owner.url+"/v1/designs/"+name, LoadRequest{Bench: c17Bench}, nil); code != http.StatusCreated {
+		t.Fatalf("load: %d %s", code, raw)
+	}
+
+	// An edit with an unknown op through the proxy: the owner's 400 error
+	// envelope and headers must arrive exactly once each.
+	req, _ := http.NewRequest(http.MethodPost, neither.url+"/v1/designs/"+name+"/edits",
+		strings.NewReader(`{"op":"resize","gate":"no-such-gate","strength":4}`))
+	req.Header.Set("X-Request-ID", "hdr-probe")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var eb errorBody
+	if err := json.NewDecoder(resp.Body).Decode(&eb); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest || eb.Error.Code != codeEditRejected {
+		t.Fatalf("proxied bad edit: %d %+v", resp.StatusCode, eb)
+	}
+	if got := resp.Header.Values("X-Request-ID"); len(got) != 1 || got[0] != "hdr-probe" {
+		t.Fatalf("proxied error X-Request-ID %v, want exactly [hdr-probe]", got)
+	}
+	if got := resp.Header.Values("Content-Type"); len(got) != 1 {
+		t.Fatalf("proxied Content-Type duplicated: %v", got)
+	}
+}

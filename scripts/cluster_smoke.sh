@@ -2,19 +2,25 @@
 # cluster_smoke.sh — end-to-end sharded-cluster check against three real
 # timingd processes: boot a 3-node cluster, load a design through any node,
 # stream edits, require the replica's slacks to converge bit-identical to
-# the owner's, check the cluster metric families, then kill -9 one replica
-# and require reads and writes to keep serving from the survivors.
+# the owner's, check the cluster + runtime metric families, push a traced
+# and request-ID-correlated request through a proxy hop and a redirect,
+# merge the per-node trace files with cmd/tracemerge, then kill -9 one
+# replica and require reads and writes to keep serving from the survivors.
 #
 #   scripts/cluster_smoke.sh [path-to-timingd]
 #
-# Builds the binary itself when no path is given. Needs curl + jq.
+# Builds the binaries itself when no path is given. Needs curl + jq +
+# python3.
 set -euo pipefail
 
+WORK=$(mktemp -d)
 BIN=${1:-}
 if [[ -z "$BIN" ]]; then
-  BIN=$(mktemp -d)/timingd
+  BIN=$WORK/timingd
   go build -o "$BIN" ./cmd/timingd
 fi
+MERGEBIN=$WORK/tracemerge
+go build -o "$MERGEBIN" ./cmd/tracemerge
 
 BASEPORT=${BASEPORT:-18470}
 CIRCUIT=${CIRCUIT:-c432}
@@ -32,12 +38,17 @@ cleanup() {
 }
 trap cleanup EXIT
 
-start() { # start <index>
+start() { # start <index> [extra flags...]
   local i=$1
+  shift
+  # stderr appends to a per-node log (kept across restarts) so request-ID
+  # correlation can be grepped per node; -trace-sample 1 traces every
+  # request; the trace file is written at graceful shutdown.
   "$BIN" -addr "127.0.0.1:${PORTS[$i]}" -lib synth \
     -cluster-self "${URLS[$i]}" -cluster-peers "$PEERS" \
-    -cluster-replicas 1 -cluster-proxy \
-    -replicate-interval 200ms -heartbeat-interval 200ms -heartbeat-timeout 300ms &
+    -cluster-replicas 1 \
+    -replicate-interval 200ms -heartbeat-interval 200ms -heartbeat-timeout 300ms \
+    -trace-sample 1 "$@" 2>>"$WORK/node$i.log" &
   PIDS[$i]=$!
 }
 
@@ -53,7 +64,7 @@ wait_ready() { # wait_ready <url> <pid>
 }
 
 echo "== boot 3-node cluster on ports ${PORTS[*]}"
-for i in 0 1 2; do start "$i"; done
+for i in 0 1 2; do start "$i" -cluster-proxy -trace-out "$WORK/trace-node$i.json"; done
 for i in 0 1 2; do wait_ready "${URLS[$i]}" "${PIDS[$i]}"; done
 
 echo "== load $CIRCUIT through node 0 and apply $EDITS edits"
@@ -92,12 +103,71 @@ if [[ "$converged" != 1 ]]; then
 fi
 echo "   $(echo "$o" | jq '.slacks_ps | length') endpoint slacks bit-identical at version $(echo "$o" | jq '.version')"
 
-echo "== cluster metric families on the owner"
+echo "== cluster + runtime metric families on the owner"
 metrics=$(curl -fsS "$OWNER/metrics")
-for fam in cluster_replication_lag_seqs cluster_forwards_total cluster_breaker_open; do
+for fam in cluster_replication_lag_seqs cluster_forwards_total cluster_breaker_open \
+           timingd_cluster_requests_total timingd_requests_total \
+           process_goroutines process_heap_inuse_bytes process_gc_pause_p99_seconds; do
   echo "$metrics" | grep -q "^# TYPE $fam" \
     || { echo "FAIL: metric family $fam missing from $OWNER/metrics" >&2; exit 1; }
 done
+
+OWNER_I=-1 REPLICA_I=-1 NEITHER_I=-1
+for i in 0 1 2; do
+  case "${URLS[$i]}" in
+    "$OWNER") OWNER_I=$i ;;
+    "$REPLICA") REPLICA_I=$i ;;
+    *) NEITHER_I=$i ;;
+  esac
+done
+NEITHER=${URLS[$NEITHER_I]}
+
+grep_log() { # grep_log <pattern> <node-index> — retries: the access log lands
+  local pat=$1 i=$2 # just after the response, so allow a short settle window
+  for _ in $(seq 1 50); do
+    grep -q "$pat" "$WORK/node$i.log" 2>/dev/null && return 0
+    sleep 0.1
+  done
+  echo "FAIL: pattern '$pat' never appeared in node $i's log" >&2
+  tail -20 "$WORK/node$i.log" >&2 || true
+  exit 1
+}
+
+echo "== traced request through a proxy hop (via node $NEITHER_I, owner node $OWNER_I)"
+RID=smoke-trace-proxy
+TP="00-0123456789abcdef0123456789abcdef-0123456789abcdef-01"
+hdrs=$(curl -fsS -D - -o /dev/null -H "X-Request-ID: $RID" -H "traceparent: $TP" \
+  "$NEITHER/v1/designs/smoke")
+echo "$hdrs" | grep -qi "^x-request-id: $RID" \
+  || { echo "FAIL: proxied response did not echo X-Request-ID: $RID" >&2; echo "$hdrs" >&2; exit 1; }
+echo "$hdrs" | grep -qi "^traceparent: 00-0123456789abcdef0123456789abcdef-" \
+  || { echo "FAIL: proxied response did not carry the trace ID" >&2; echo "$hdrs" >&2; exit 1; }
+[[ $(echo "$hdrs" | grep -ci "^x-request-id:") == 1 ]] \
+  || { echo "FAIL: X-Request-ID duplicated on proxied response" >&2; echo "$hdrs" >&2; exit 1; }
+grep_log "request_id=$RID" "$NEITHER_I"
+grep_log "request_id=$RID" "$OWNER_I"
+echo "   request id $RID in both the proxying node's and the owner's logs"
+
+echo "== traced request through a redirect (restart node $NEITHER_I without -cluster-proxy)"
+kill "${PIDS[$NEITHER_I]}"
+wait "${PIDS[$NEITHER_I]}" 2>/dev/null || true  # SIGTERM → graceful, writes trace file
+start "$NEITHER_I" -trace-out "$WORK/trace-node$NEITHER_I-restart.json"
+wait_ready "$NEITHER" "${PIDS[$NEITHER_I]}"
+RID2=smoke-trace-redirect
+hdrs=$(curl -sS -D - -o /dev/null -H "X-Request-ID: $RID2" "$NEITHER/v1/designs/smoke")
+echo "$hdrs" | grep -q "HTTP/1.1 307" \
+  || { echo "FAIL: non-proxy node did not 307-redirect" >&2; echo "$hdrs" >&2; exit 1; }
+echo "$hdrs" | grep -qi "^x-request-id: $RID2" \
+  || { echo "FAIL: 307 did not echo X-Request-ID: $RID2" >&2; echo "$hdrs" >&2; exit 1; }
+code=$(curl -sS -o /dev/null -w '%{http_code}' -H "X-Request-ID: $RID2" -L \
+  "$NEITHER/v1/designs/smoke")
+[[ "$code" == 200 ]] || { echo "FAIL: following the redirect: HTTP $code" >&2; exit 1; }
+grep_log "request_id=$RID2" "$OWNER_I"
+echo "   request id $RID2 followed the 307 to the owner's log"
+
+echo "== slow-request log on the owner"
+curl -fsS "$OWNER/v1/debug/slow" | jq -e '.slowest | length > 0' >/dev/null \
+  || { echo "FAIL: owner slow-request log is empty" >&2; exit 1; }
 
 echo "== kill -9 the replica; reads and writes must keep serving"
 for i in 0 1 2; do
@@ -117,8 +187,41 @@ for _ in $(seq 1 20); do
   done
   sleep 0.1
 done
-code=$(curl -sS -o /dev/null -w '%{http_code}' -X POST "${SURVIVORS[0]}/v1/designs/smoke/edits" \
+# Write through the owner: the restarted neither node no longer proxies.
+code=$(curl -sS -o /dev/null -w '%{http_code}' -X POST "$OWNER/v1/designs/smoke/edits" \
   -d "{\"op\":\"resize\",\"gate\":\"${GATES[0]}\",\"strength\":2}")
 [[ "$code" == 200 ]] || { echo "FAIL: edit via survivor after replica kill: HTTP $code" >&2; exit 1; }
 
-echo "OK: 3-node cluster replicated bit-identically, survived a replica kill -9, and kept serving reads and writes"
+echo "== stop survivors gracefully and merge per-node trace files"
+for i in 0 1 2; do
+  if [[ -n "${PIDS[$i]}" ]]; then
+    kill "${PIDS[$i]}" 2>/dev/null || true
+    wait "${PIDS[$i]}" 2>/dev/null || true
+    PIDS[$i]=""
+  fi
+done
+for f in "$WORK/trace-node$OWNER_I.json" "$WORK/trace-node$NEITHER_I.json"; do
+  [[ -s "$f" ]] || { echo "FAIL: trace file $f missing or empty" >&2; exit 1; }
+done
+"$MERGEBIN" -trace 0123456789abcdef0123456789abcdef -out "$WORK/merged.json" \
+  "$WORK/trace-node$OWNER_I.json" "$WORK/trace-node$NEITHER_I.json"
+
+python3 - "$WORK/merged.json" <<'PY'
+import json, sys
+m = json.load(open(sys.argv[1]))
+evs = m["traceEvents"]
+spans = [e for e in evs if e.get("args", {}).get("span_id")]
+pids = {e["pid"] for e in spans}
+assert len(pids) >= 2, f"merged trace covers {len(pids)} node(s), want >= 2"
+ids = {e["args"]["span_id"]: e["pid"] for e in spans}
+cross = [e for e in spans
+         if e["args"].get("parent_span_id")
+         and ids.get(e["args"]["parent_span_id"], e["pid"]) != e["pid"]]
+assert cross, "no span links to a parent recorded on the other node"
+assert any(e.get("ph") == "s" for e in evs), "no flow-start events"
+assert any(e.get("ph") == "f" for e in evs), "no flow-finish events"
+print(f"   merged trace: {len(spans)} spans across {len(pids)} nodes, "
+      f"{len(cross)} cross-node parent link(s)")
+PY
+
+echo "OK: 3-node cluster replicated bit-identically, correlated one request ID across a proxy hop and a redirect, merged cross-node traces, survived a replica kill -9, and kept serving reads and writes"
