@@ -43,7 +43,15 @@
 // -cluster-replicas read replicas per design, snapshot shipping on
 // -replicate-interval, heartbeat-driven ejection of dead peers, and 307
 // redirects (or transparent proxying under -cluster-proxy) so any node
-// serves any request. See DESIGN.md "Cluster" and API.md.
+// serves any request. Ownership is held under a per-design lease with a
+// monotonic fencing epoch: when an owner dies, the most caught-up replica
+// elects itself under a strictly greater epoch (scan cadence
+// -promotion-interval) and the revived old owner is fenced with 409
+// stale_epoch until it re-wins. With -data-dir, replicas persist shipped
+// snapshots plus the replicated edit tail, so a promoted replica recovers
+// from its own durable state. -cluster-join <member-url> grows a running
+// cluster dynamically instead of listing every peer up front. See DESIGN.md
+// "Cluster" and API.md.
 //
 // Observability: -log-level/-log-json configure structured logs, -pprof
 // (off by default) mounts the net/http/pprof handlers under /debug/pprof/,
@@ -62,8 +70,10 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
+	"fmt"
 	"log/slog"
 	"net/http"
 	"net/http/pprof"
@@ -104,12 +114,14 @@ func main() {
 		reqTimeout    = flag.Duration("request-timeout", 2*time.Minute, "per-request context deadline (0 = none)")
 
 		clusterPeers = flag.String("cluster-peers", "", "comma-separated base URLs of every cluster node (including this one); empty = single-node")
-		clusterSelf  = flag.String("cluster-self", "", "this node's advertised base URL (required with -cluster-peers)")
+		clusterJoin  = flag.String("cluster-join", "", "base URL of an existing member: fetch its membership, start with it, and announce this node (dynamic alternative to -cluster-peers; requires -cluster-self)")
+		clusterSelf  = flag.String("cluster-self", "", "this node's advertised base URL (required with -cluster-peers or -cluster-join)")
 		clusterReps  = flag.Int("cluster-replicas", 1, "read replicas per design beyond its owner")
 		clusterProxy = flag.Bool("cluster-proxy", false, "proxy requests for designs owned elsewhere to their owner instead of answering 307 redirects")
 		replInterval = flag.Duration("replicate-interval", time.Second, "snapshot shipping cadence from owners to replicas")
 		hbInterval   = flag.Duration("heartbeat-interval", time.Second, "peer health probe cadence")
 		hbTimeout    = flag.Duration("heartbeat-timeout", 500*time.Millisecond, "per-probe timeout; 3 consecutive failures eject a peer from the ring")
+		promoEvery   = flag.Duration("promotion-interval", time.Second, "how often this node scans for designs whose lease owner is dead or unknown and elects itself")
 
 		logOpts = obs.RegisterLogFlags(flag.CommandLine)
 	)
@@ -156,11 +168,21 @@ func main() {
 		})))
 	}
 	var node *cluster.Node
-	if *clusterPeers != "" {
+	if *clusterPeers != "" || *clusterJoin != "" {
+		peers := strings.Split(*clusterPeers, ",")
+		if *clusterJoin != "" {
+			// Dynamic join: seed the membership from an existing member; the
+			// announcement (below, once we serve) spreads us to everyone else.
+			fetched, err := fetchMembers(*clusterJoin)
+			if err != nil {
+				fatal("timingd: -cluster-join", err)
+			}
+			peers = append(fetched, *clusterSelf)
+		}
 		var err error
 		node, err = cluster.NewNode(cluster.Config{
 			Self:              *clusterSelf,
-			Peers:             strings.Split(*clusterPeers, ","),
+			Peers:             peers,
 			Replicas:          *clusterReps,
 			Proxy:             *clusterProxy,
 			ReplicateInterval: *replInterval,
@@ -172,7 +194,7 @@ func main() {
 		}
 		node.Start()
 		defer node.Close()
-		opts = append(opts, server.WithCluster(node))
+		opts = append(opts, server.WithCluster(node), server.WithPromotionInterval(*promoEvery))
 		slog.Info("timingd: cluster mode", "self", node.Self(),
 			"peers", len(node.Ring().Peers()), "replicas", *clusterReps, "proxy", *clusterProxy)
 	}
@@ -218,6 +240,9 @@ func main() {
 			"arcs", len(lib.Arcs), "pprof", *pprofOn, "data_dir", *dataDir)
 		errc <- hs.ListenAndServe()
 	}()
+	if *clusterJoin != "" {
+		go announceJoin(*clusterJoin, node.Self())
+	}
 
 	select {
 	case err := <-errc:
@@ -245,6 +270,56 @@ func main() {
 		}
 	}
 	slog.Info("timingd: bye")
+}
+
+// fetchMembers asks an existing cluster member for its membership list.
+func fetchMembers(seed string) ([]string, error) {
+	client := &http.Client{Timeout: 5 * time.Second}
+	resp, err := client.Get(strings.TrimRight(seed, "/") + "/v1/cluster/members")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("seed %s answered %s", seed, resp.Status)
+	}
+	var body struct {
+		Members []struct {
+			URL string `json:"url"`
+		} `json:"members"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		return nil, err
+	}
+	urls := make([]string, 0, len(body.Members))
+	for _, m := range body.Members {
+		urls = append(urls, m.URL)
+	}
+	if len(urls) == 0 {
+		return nil, fmt.Errorf("seed %s reported no members", seed)
+	}
+	return urls, nil
+}
+
+// announceJoin POSTs this node to the seed's membership resource, which
+// broadcasts the grown list to every member. Retried briefly: the seed may
+// itself still be starting.
+func announceJoin(seed, self string) {
+	client := &http.Client{Timeout: 5 * time.Second}
+	body := fmt.Sprintf(`{"peer":%q}`, self)
+	for attempt := 0; attempt < 10; attempt++ {
+		resp, err := client.Post(strings.TrimRight(seed, "/")+"/v1/cluster/members",
+			"application/json", strings.NewReader(body))
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				slog.Info("timingd: joined cluster", "seed", seed)
+				return
+			}
+		}
+		time.Sleep(time.Second)
+	}
+	slog.Warn("timingd: could not announce join to seed", "seed", seed)
 }
 
 func fatal(msg string, err error) {

@@ -108,3 +108,20 @@ func (b *Breaker) State() BreakerState {
 	defer b.mu.Unlock()
 	return b.state
 }
+
+// RetryAfter is how long until an open breaker half-opens and lets the next
+// probe through — the Retry-After hint peer_unavailable responses carry so
+// clients back off for exactly the blackout the breaker enforces. Zero when
+// the breaker is not open (retry immediately).
+func (b *Breaker) RetryAfter() time.Duration {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state != BreakerOpen {
+		return 0
+	}
+	d := b.cooldown - b.now().Sub(b.openedAt)
+	if d < 0 {
+		return 0
+	}
+	return d
+}

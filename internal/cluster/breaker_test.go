@@ -60,6 +60,32 @@ func TestBreakerStateMachine(t *testing.T) {
 	}
 }
 
+func TestBreakerRetryAfter(t *testing.T) {
+	now := time.Unix(0, 0)
+	b := NewBreaker(1, 10*time.Second, nil)
+	b.now = func() time.Time { return now }
+
+	if got := b.RetryAfter(); got != 0 {
+		t.Fatalf("closed RetryAfter = %v, want 0", got)
+	}
+	b.Record(false) // opens (threshold 1)
+	if got := b.RetryAfter(); got != 10*time.Second {
+		t.Fatalf("just-opened RetryAfter = %v, want 10s", got)
+	}
+	now = now.Add(4 * time.Second)
+	if got := b.RetryAfter(); got != 6*time.Second {
+		t.Fatalf("mid-cooldown RetryAfter = %v, want 6s", got)
+	}
+	now = now.Add(20 * time.Second) // past the deadline, still formally open
+	if got := b.RetryAfter(); got != 0 {
+		t.Fatalf("expired-cooldown RetryAfter = %v, want 0", got)
+	}
+	b.Allow() // half-open now
+	if got := b.RetryAfter(); got != 0 {
+		t.Fatalf("half-open RetryAfter = %v, want 0", got)
+	}
+}
+
 func TestBreakerDefaults(t *testing.T) {
 	b := NewBreaker(0, 0, nil)
 	if b.threshold != 3 || b.cooldown != 5*time.Second {

@@ -10,12 +10,15 @@ type nodeMetrics struct {
 	forwards    *obs.CounterVec // requests redirected/proxied to an owner, by peer
 	forwardErrs *obs.CounterVec // proxy forwards failing transport or 5xx, by peer
 	breakerOpen *obs.GaugeVec   // 1 while the breaker to a peer is open
-	lag         *obs.GaugeVec   // replication lag in snapshot seqs, by replica peer
+	lag         *obs.GaugeVec   // replication lag in edit seqs, by replica peer
 	hbFails     *obs.CounterVec // failed heartbeat probes, by peer
 	shipped     *obs.CounterVec // snapshot shipments acked by a replica, by peer
 	alive       *obs.Gauge      // peers currently in the ring (incl. self)
 	applied     *obs.Counter    // replicated snapshots applied on this node
 	skipped     *obs.Counter    // replicated snapshots skipped as stale
+	promotions  *obs.Counter    // designs this node promoted itself to own
+	fenced      *obs.Counter    // stale-epoch internal requests rejected here
+	leaseEpoch  *obs.GaugeVec   // current lease epoch, by design
 }
 
 func newNodeMetrics(peers []string) *nodeMetrics {
@@ -28,7 +31,7 @@ func newNodeMetrics(peers []string) *nodeMetrics {
 		breakerOpen: r.GaugeVec("cluster_breaker_open",
 			"1 while the circuit breaker to a peer is open, else 0.", "peer", peers...),
 		lag: r.GaugeVec("cluster_replication_lag_seqs",
-			"Snapshot sequences a replica lags behind this owner, by peer.", "peer", peers...),
+			"Edit sequences a replica lags behind this owner, by peer.", "peer", peers...),
 		hbFails: r.CounterVec("cluster_heartbeat_failures_total",
 			"Failed heartbeat probes, by peer.", "peer", peers...),
 		shipped: r.CounterVec("cluster_replicate_shipped_total",
@@ -39,5 +42,30 @@ func newNodeMetrics(peers []string) *nodeMetrics {
 			"Replicated snapshots applied on this node."),
 		skipped: r.Counter("cluster_replicate_skipped_total",
 			"Replicated snapshots skipped as stale (idempotent re-ship)."),
+		promotions: r.Counter("cluster_promotions_total",
+			"Designs this node promoted itself to own after winning a lease claim."),
+		fenced: r.Counter("cluster_fenced_requests_total",
+			"Internal requests rejected with stale_epoch on this node."),
+		leaseEpoch: r.GaugeVec("cluster_lease_epoch",
+			"Current ownership-lease epoch of a design, by design.", "design"),
 	}
+}
+
+// ensurePeer merges a freshly joined peer's label value into the per-peer
+// families (a value registered late gets its own series instead of the
+// bounded "other" overflow). Re-registration returns the same underlying
+// family, so the vec fields themselves never change — no reassignment.
+func (m *nodeMetrics) ensurePeer(peer string) {
+	r := obs.Default()
+	r.CounterVec("cluster_forwards_total", "", "peer", peer)
+	r.CounterVec("cluster_forward_errors_total", "", "peer", peer)
+	r.GaugeVec("cluster_breaker_open", "", "peer", peer)
+	r.GaugeVec("cluster_replication_lag_seqs", "", "peer", peer)
+	r.CounterVec("cluster_heartbeat_failures_total", "", "peer", peer)
+	r.CounterVec("cluster_replicate_shipped_total", "", "peer", peer)
+}
+
+// ensureDesign merges a design's label value into the lease-epoch family.
+func (m *nodeMetrics) ensureDesign(design string) {
+	obs.Default().GaugeVec("cluster_lease_epoch", "", "design", design)
 }

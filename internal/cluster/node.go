@@ -13,12 +13,13 @@ import (
 	"time"
 )
 
-// Config describes one node's view of the cluster. Peers is the full static
-// membership list (including Self — it is appended if missing); everything
-// else has working defaults.
+// Config describes one node's view of the cluster. Peers seeds the initial
+// membership (including Self — it is appended if missing); membership is
+// dynamic after that via AddMember/RemoveMember. Everything else has working
+// defaults.
 type Config struct {
 	Self     string   // this node's advertised base URL, e.g. http://10.0.0.1:8080
-	Peers    []string // static membership (base URLs)
+	Peers    []string // initial membership (base URLs)
 	Replicas int      // read replicas per design beyond the owner (default 1)
 	VNodes   int      // virtual nodes per peer (default DefaultVNodes)
 
@@ -35,7 +36,7 @@ type Config struct {
 	Client *http.Client // transport for probes/forwards/shipping (default http.DefaultClient-like)
 }
 
-// PeerStatus is one row of the /v1/cluster introspection payload.
+// PeerStatus is one row of the /v1/cluster/members payload.
 type PeerStatus struct {
 	URL      string `json:"url"`
 	Self     bool   `json:"self,omitempty"`
@@ -44,25 +45,40 @@ type PeerStatus struct {
 	Failures int    `json:"heartbeat_failures,omitempty"` // consecutive
 }
 
-// Node is a live cluster membership view: the static peer list, which peers
-// are currently alive (heartbeat-driven), the consistent-hash ring over the
-// alive set, and a circuit breaker per remote peer. All methods are safe
-// for concurrent use. Start launches the heartbeat prober; Close stops it.
+// Node is a live cluster membership view: the member list (dynamic — join
+// and leave rebuild the ring), which members are currently alive
+// (heartbeat-driven), the consistent-hash ring over the alive set, and a
+// circuit breaker per remote peer. All methods are safe for concurrent use.
+// Start launches the heartbeat prober; Close stops it.
 type Node struct {
-	cfg      Config
-	client   *http.Client
-	breakers map[string]*Breaker
-	met      *nodeMetrics
-	ring     atomic.Pointer[Ring]
+	cfg    Config
+	client *http.Client
+	met    *nodeMetrics
+	ring   atomic.Pointer[Ring]
 
-	mu      sync.Mutex
-	alive   map[string]bool
-	fails   map[string]int       // consecutive probe failures
-	next    map[string]time.Time // backoff: earliest next probe per ejected peer
-	started bool
+	mu       sync.Mutex
+	members  []string // sorted, includes Self
+	breakers map[string]*Breaker
+	alive    map[string]bool
+	fails    map[string]int       // consecutive probe failures
+	next     map[string]time.Time // backoff: earliest next probe per ejected peer
+	started  bool
 
 	stop chan struct{}
 	done chan struct{}
+}
+
+// normalizePeer trims and validates a peer base URL.
+func normalizePeer(p string) (string, error) {
+	p = strings.TrimRight(strings.TrimSpace(p), "/")
+	if p == "" {
+		return "", fmt.Errorf("cluster: empty peer URL")
+	}
+	u, err := url.Parse(p)
+	if err != nil || (u.Scheme != "http" && u.Scheme != "https") || u.Host == "" {
+		return "", fmt.Errorf("cluster: peer %q is not an http(s) base URL", p)
+	}
+	return p, nil
 }
 
 // NewNode validates and normalizes cfg and builds the initial ring with
@@ -76,16 +92,18 @@ func NewNode(cfg Config) (*Node, error) {
 	peers := make([]string, 0, len(cfg.Peers)+1)
 	seen := map[string]bool{}
 	for _, p := range append([]string{cfg.Self}, cfg.Peers...) {
-		p = strings.TrimRight(strings.TrimSpace(p), "/")
-		if p == "" || seen[p] {
+		if strings.TrimSpace(p) == "" {
 			continue
 		}
-		u, err := url.Parse(p)
-		if err != nil || (u.Scheme != "http" && u.Scheme != "https") || u.Host == "" {
-			return nil, fmt.Errorf("cluster: peer %q is not an http(s) base URL", p)
+		norm, err := normalizePeer(p)
+		if err != nil {
+			return nil, err
 		}
-		seen[p] = true
-		peers = append(peers, p)
+		if seen[norm] {
+			continue
+		}
+		seen[norm] = true
+		peers = append(peers, norm)
 	}
 	sort.Strings(peers)
 	cfg.Peers = peers
@@ -122,8 +140,9 @@ func NewNode(cfg Config) (*Node, error) {
 	n := &Node{
 		cfg:      cfg,
 		client:   client,
-		breakers: make(map[string]*Breaker, len(peers)),
 		met:      newNodeMetrics(peers),
+		members:  peers,
+		breakers: make(map[string]*Breaker, len(peers)),
 		alive:    make(map[string]bool, len(peers)),
 		fails:    make(map[string]int, len(peers)),
 		next:     make(map[string]time.Time),
@@ -133,19 +152,22 @@ func NewNode(cfg Config) (*Node, error) {
 	for _, p := range peers {
 		n.alive[p] = true
 		if p != cfg.Self {
-			peer := p
-			n.breakers[p] = NewBreaker(cfg.BreakerThreshold, cfg.BreakerCooldown, func(open bool) {
-				v := 0.0
-				if open {
-					v = 1
-				}
-				n.met.breakerOpen.With(peer).Set(v)
-			})
+			n.breakers[p] = n.newPeerBreaker(p)
 		}
 	}
 	n.ring.Store(NewRing(peers, cfg.VNodes))
 	n.met.alive.Set(float64(len(peers)))
 	return n, nil
+}
+
+func (n *Node) newPeerBreaker(peer string) *Breaker {
+	return NewBreaker(n.cfg.BreakerThreshold, n.cfg.BreakerCooldown, func(open bool) {
+		v := 0.0
+		if open {
+			v = 1
+		}
+		n.met.breakerOpen.With(peer).Set(v)
+	})
 }
 
 // Start launches the heartbeat prober (idempotent).
@@ -188,7 +210,7 @@ func (n *Node) ReplicateInterval() time.Duration { return n.cfg.ReplicateInterva
 // Client returns the HTTP client used for all intra-cluster traffic.
 func (n *Node) Client() *http.Client { return n.client }
 
-// Ring returns the current ring over the alive peers.
+// Ring returns the current ring over the alive members.
 func (n *Node) Ring() *Ring { return n.ring.Load() }
 
 // Placement returns the owner and read replicas of key under the current
@@ -218,14 +240,150 @@ func (n *Node) Role(key string) (owner string, isOwner, isReplica bool) {
 
 // Breaker returns the circuit breaker guarding traffic to peer (nil for
 // self or unknown peers).
-func (n *Node) Breaker(peer string) *Breaker { return n.breakers[peer] }
+func (n *Node) Breaker(peer string) *Breaker {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.breakers[peer]
+}
 
-// Peers returns every configured peer with its live status, sorted by URL.
+// Members returns the current membership, sorted by URL.
+func (n *Node) Members() []string {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	out := make([]string, len(n.members))
+	copy(out, n.members)
+	return out
+}
+
+// IsMember reports whether peer (normalized) is in the membership.
+func (n *Node) IsMember(peer string) bool {
+	norm, err := normalizePeer(peer)
+	if err != nil {
+		return false
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	for _, m := range n.members {
+		if m == norm {
+			return true
+		}
+	}
+	return false
+}
+
+// AliveMember reports whether peer is a member currently in the ring.
+func (n *Node) AliveMember(peer string) bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.alive[peer]
+}
+
+// Quorum is the majority size of the full membership: lease claims and
+// write acceptance require this many nodes (counting self). It is computed
+// over configured members, not the alive subset — a partitioned minority
+// must not form its own majority.
+func (n *Node) Quorum() int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return len(n.members)/2 + 1
+}
+
+// HasMajority reports whether this node can currently see a majority of the
+// membership (itself included) — the gate for accepting edits and claiming
+// leases.
+func (n *Node) HasMajority() bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	alive := 0
+	for _, m := range n.members {
+		if n.alive[m] {
+			alive++
+		}
+	}
+	return alive >= len(n.members)/2+1
+}
+
+// AddMember joins peer to the membership (idempotent). The new member is
+// presumed alive and enters the ring immediately; replication catch-up to
+// it happens on the owners' next shipping ticks.
+func (n *Node) AddMember(peer string) (string, error) {
+	norm, err := normalizePeer(peer)
+	if err != nil {
+		return "", err
+	}
+	n.mu.Lock()
+	for _, m := range n.members {
+		if m == norm {
+			n.mu.Unlock()
+			return norm, nil
+		}
+	}
+	n.members = append(n.members, norm)
+	sort.Strings(n.members)
+	n.alive[norm] = true
+	n.fails[norm] = 0
+	delete(n.next, norm)
+	if norm != n.cfg.Self && n.breakers[norm] == nil {
+		n.breakers[norm] = n.newPeerBreaker(norm)
+	}
+	n.met.ensurePeer(norm)
+	n.rebuildRingLocked()
+	n.mu.Unlock()
+	return norm, nil
+}
+
+// RemoveMember removes peer from the membership (idempotent). Removing Self
+// is refused — a node leaves by asking the rest of the cluster to remove it
+// and then shutting down.
+func (n *Node) RemoveMember(peer string) (string, error) {
+	norm, err := normalizePeer(peer)
+	if err != nil {
+		return "", err
+	}
+	if norm == n.cfg.Self {
+		return "", fmt.Errorf("cluster: refusing to remove self from membership")
+	}
+	n.mu.Lock()
+	kept := n.members[:0]
+	found := false
+	for _, m := range n.members {
+		if m == norm {
+			found = true
+			continue
+		}
+		kept = append(kept, m)
+	}
+	n.members = kept
+	if found {
+		delete(n.alive, norm)
+		delete(n.fails, norm)
+		delete(n.next, norm)
+		delete(n.breakers, norm)
+		n.rebuildRingLocked()
+	}
+	n.mu.Unlock()
+	return norm, nil
+}
+
+// rebuildRingLocked rebuilds the ring over alive ∩ members and refreshes
+// the alive gauge. Caller holds n.mu.
+func (n *Node) rebuildRingLocked() {
+	live := make([]string, 0, len(n.members))
+	for _, m := range n.members {
+		if n.alive[m] {
+			live = append(live, m)
+		}
+	}
+	n.ring.Store(NewRing(live, n.cfg.VNodes))
+	n.met.alive.Set(float64(len(live)))
+}
+
+// Peers returns every member with its live status, sorted by URL.
 func (n *Node) Peers() []PeerStatus {
 	n.mu.Lock()
 	defer n.mu.Unlock()
-	out := make([]PeerStatus, 0, len(n.cfg.Peers))
-	for _, p := range n.cfg.Peers {
+	out := make([]PeerStatus, 0, len(n.members))
+	for _, p := range n.members {
 		st := PeerStatus{URL: p, Self: p == n.cfg.Self, Alive: n.alive[p], Failures: n.fails[p]}
 		if b := n.breakers[p]; b != nil {
 			st.Breaker = b.State().String()
@@ -250,12 +408,28 @@ func (n *Node) NoteReplicateApplied() { n.met.applied.Inc() }
 // NoteReplicateSkipped counts one shipped snapshot skipped as stale.
 func (n *Node) NoteReplicateSkipped() { n.met.skipped.Inc() }
 
-// SetReplicationLag records how many snapshot seqs peer's replica trails
-// this owner.
+// NotePromotion counts one design this node promoted itself to own.
+func (n *Node) NotePromotion() { n.met.promotions.Inc() }
+
+// NoteFenced counts one stale-epoch internal request rejected here.
+func (n *Node) NoteFenced() { n.met.fenced.Inc() }
+
+// SetLeaseEpoch records the current lease epoch of a design on the
+// cluster_lease_epoch gauge.
+func (n *Node) SetLeaseEpoch(design string, epoch uint64) {
+	n.met.ensureDesign(design)
+	n.met.leaseEpoch.With(design).Set(float64(epoch))
+}
+
+// ClearLeaseEpoch zeroes a deleted design's lease-epoch gauge.
+func (n *Node) ClearLeaseEpoch(design string) { n.met.leaseEpoch.With(design).Set(0) }
+
+// SetReplicationLag records how many edit seqs peer's replica trails this
+// owner.
 func (n *Node) SetReplicationLag(peer string, seqs float64) { n.met.lag.With(peer).Set(seqs) }
 
-// heartbeatLoop probes every remote peer each HeartbeatInterval, ejecting a
-// peer from the ring after FailAfter consecutive failures and re-admitting
+// heartbeatLoop probes every remote member each HeartbeatInterval, ejecting
+// a peer from the ring after FailAfter consecutive failures and re-admitting
 // it on the first success. Ejected peers are probed with exponential
 // backoff (capped at 8× the interval) so a long-dead peer costs little.
 func (n *Node) heartbeatLoop() {
@@ -275,8 +449,8 @@ func (n *Node) heartbeatLoop() {
 func (n *Node) probeAll() {
 	now := time.Now()
 	n.mu.Lock()
-	due := make([]string, 0, len(n.cfg.Peers))
-	for _, p := range n.cfg.Peers {
+	due := make([]string, 0, len(n.members))
+	for _, p := range n.members {
 		if p == n.cfg.Self || now.Before(n.next[p]) {
 			continue
 		}
@@ -293,21 +467,28 @@ func (n *Node) probeAll() {
 	}
 }
 
-// InternalHeader marks cluster-originated internal traffic (heartbeats,
-// snapshot replication). Servers use it to keep internal calls out of the
-// per-route user-request metrics and to log them at debug level; its value
-// names the kind of call ("heartbeat", "replicate").
+// InternalHeader marks cluster-originated internal traffic. Servers use it
+// to keep internal calls out of the per-route user-request metrics and to
+// log them at debug level; its value names the kind of call ("heartbeat",
+// "replicate", "edits", "lease-claim", "members"). The full enumeration is
+// documented in API.md.
 const InternalHeader = "X-Timingd-Internal"
 
-// probe GETs the peer's health endpoint within HeartbeatTimeout.
+// PeerHeader carries the sender's advertised base URL on every internal
+// request, so receivers can attribute traffic and answer fenced senders
+// with the current owner.
+const PeerHeader = "X-Timingd-Peer"
+
+// probe GETs the peer's internal health endpoint within HeartbeatTimeout.
 func (n *Node) probe(peer string) bool {
 	ctx, cancel := context.WithTimeout(context.Background(), n.cfg.HeartbeatTimeout)
 	defer cancel()
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, peer+"/v1/healthz", nil)
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, peer+"/v1/internal/health", nil)
 	if err != nil {
 		return false
 	}
 	req.Header.Set(InternalHeader, "heartbeat")
+	req.Header.Set(PeerHeader, n.cfg.Self)
 	resp, err := n.client.Do(req)
 	if err != nil {
 		return false
@@ -321,6 +502,17 @@ func (n *Node) probe(peer string) bool {
 // ring when a peer's aliveness flips.
 func (n *Node) notePeer(peer string, ok bool) {
 	n.mu.Lock()
+	isMember := false
+	for _, m := range n.members {
+		if m == peer {
+			isMember = true
+			break
+		}
+	}
+	if !isMember { // removed while the probe was in flight
+		n.mu.Unlock()
+		return
+	}
 	changed := false
 	if ok {
 		if !n.alive[peer] {
@@ -344,21 +536,8 @@ func (n *Node) notePeer(peer string, ok bool) {
 			n.next[peer] = time.Now().Add(n.cfg.HeartbeatInterval << shift)
 		}
 	}
-	aliveCount := 0
 	if changed {
-		live := make([]string, 0, len(n.cfg.Peers))
-		for _, p := range n.cfg.Peers {
-			if n.alive[p] {
-				live = append(live, p)
-			}
-		}
-		n.ring.Store(NewRing(live, n.cfg.VNodes))
-	}
-	for _, p := range n.cfg.Peers {
-		if n.alive[p] {
-			aliveCount++
-		}
+		n.rebuildRingLocked()
 	}
 	n.mu.Unlock()
-	n.met.alive.Set(float64(aliveCount))
 }

@@ -83,12 +83,97 @@ func TestNodeRoles(t *testing.T) {
 	}
 }
 
+func TestDynamicMembership(t *testing.T) {
+	n, err := NewNode(Config{Self: "http://a:1", Peers: []string{"http://b:1"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer n.Close()
+	if q := n.Quorum(); q != 2 {
+		t.Fatalf("2-node quorum = %d, want 2", q)
+	}
+	if !n.HasMajority() {
+		t.Fatal("all-alive 2-node cluster must have a majority")
+	}
+
+	// Join: normalized, idempotent, enters ring + breakers immediately.
+	if _, err := n.AddMember("not a url"); err == nil {
+		t.Fatal("bad join URL must be rejected")
+	}
+	norm, err := n.AddMember("http://c:1/")
+	if err != nil || norm != "http://c:1" {
+		t.Fatalf("AddMember = %q/%v", norm, err)
+	}
+	if _, err := n.AddMember("http://c:1"); err != nil {
+		t.Fatalf("idempotent re-join: %v", err)
+	}
+	if got := n.Members(); len(got) != 3 {
+		t.Fatalf("members = %v, want 3", got)
+	}
+	if !n.IsMember("http://c:1/") || n.IsMember("http://d:1") {
+		t.Fatal("IsMember misreports")
+	}
+	if n.Breaker("http://c:1") == nil {
+		t.Fatal("joined peer must get a breaker")
+	}
+	if q := n.Quorum(); q != 2 {
+		t.Fatalf("3-node quorum = %d, want 2", q)
+	}
+	inRing := func(url string) bool {
+		for _, p := range n.Ring().Peers() {
+			if p == url {
+				return true
+			}
+		}
+		return false
+	}
+	if !inRing("http://c:1") {
+		t.Fatal("joined peer missing from ring")
+	}
+
+	// A dead majority of members drops HasMajority even though self is fine.
+	n.notePeer("http://b:1", false)
+	n.notePeer("http://b:1", false)
+	n.notePeer("http://b:1", false)
+	n.notePeer("http://c:1", false)
+	n.notePeer("http://c:1", false)
+	n.notePeer("http://c:1", false)
+	if n.HasMajority() {
+		t.Fatal("1-of-3 alive must not have a majority")
+	}
+
+	// Leave: removed from ring, membership, breakers; self is refused.
+	if _, err := n.RemoveMember("http://a:1"); err == nil {
+		t.Fatal("removing self must be refused")
+	}
+	if _, err := n.RemoveMember("http://c:1"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n.RemoveMember("http://c:1"); err != nil {
+		t.Fatalf("idempotent re-leave: %v", err)
+	}
+	if n.IsMember("http://c:1") || inRing("http://c:1") || n.Breaker("http://c:1") != nil {
+		t.Fatal("left peer must be fully forgotten")
+	}
+	if q := n.Quorum(); q != 2 {
+		t.Fatalf("post-leave quorum = %d, want 2", q)
+	}
+	// b is still dead: 1 of 2 alive is not a majority.
+	if n.HasMajority() {
+		t.Fatal("1-of-2 alive must not have a majority")
+	}
+	n.notePeer("http://b:1", true)
+	if !n.HasMajority() {
+		t.Fatal("2-of-2 alive must have a majority")
+	}
+}
+
 // TestHeartbeatEjectsAndReadmits runs a real prober against one live
 // httptest peer and one dead port: the dead peer must leave the ring after
 // FailAfter probes, and a revived peer must rejoin.
 func TestHeartbeatEjectsAndReadmits(t *testing.T) {
 	live := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		if r.URL.Path != "/v1/healthz" {
+		if r.URL.Path != "/v1/internal/health" {
 			http.NotFound(w, r)
 			return
 		}

@@ -224,7 +224,11 @@ func TestClusterProxyReplicationAndBitIdentity(t *testing.T) {
 		if rep == nil {
 			return false
 		}
-		if _, seq := rep.view(); seq != want {
+		d, ok := owner.s.design(name)
+		if !ok {
+			t.Fatal("owner lost the design")
+		}
+		if _, seq, _ := rep.view(); seq != d.seq.Load() {
 			return false
 		}
 		var code int
@@ -337,7 +341,7 @@ func TestClusterSurvivesReplicaKill(t *testing.T) {
 		if !ok {
 			return false
 		}
-		_, seq := rep.view()
-		return seq == d.eng.Snapshot().Version()
+		_, seq, _ := rep.view()
+		return seq == d.seq.Load()
 	})
 }

@@ -178,7 +178,7 @@ func (s *Server) recordSlow(r *http.Request, tc obs.TraceContext, rid string, st
 		if d, loaded := s.design(name); loaded && d.eng != nil {
 			e.Corners = len(d.eng.Snapshot().Corners())
 		} else if rep := s.replica(name); rep != nil {
-			if eng, _ := rep.view(); eng != nil {
+			if eng, _, _ := rep.view(); eng != nil {
 				e.Corners = len(eng.Snapshot().Corners())
 			}
 		}

@@ -5,6 +5,8 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/incsta"
@@ -41,8 +43,27 @@ type design struct {
 	store *Store   // nil = in-memory only
 	reqs  chan editReq
 	snaps chan chan error
+	caps  chan chan *designSnapshot
 	quit  chan struct{}
 	done  chan struct{}
+
+	// Cluster-mode state. seq counts successfully applied edits — the
+	// replication sequence replicas ack and the owner persists as EditSeq;
+	// epoch is the ownership-lease fencing token the design serves under;
+	// fenced flips once a higher epoch is observed (a fenced design stops
+	// accepting edits and is demoted to a replica). ship, set before the
+	// design is published, synchronously replicates one applied edit; its
+	// error fails the edit's acknowledgement.
+	seq      atomic.Uint64
+	epoch    atomic.Uint64
+	fenced   atomic.Bool
+	demoting atomic.Bool // guards the once-only demotion of a fenced owner
+	// fateMu serializes ownership-fate transitions (fenceOwned vs
+	// promoteOwned): a stale fencing decision racing a re-promotion could
+	// otherwise tear down the copy a just-announced lease points at.
+	fateMu sync.Mutex
+	shp    *shipState // per-peer replication progress (cluster mode)
+	ship   func(seq uint64, payload []byte) error
 }
 
 type editReq struct {
@@ -69,6 +90,7 @@ func newDesign(name string, eng *incsta.Engine, log *wal.Log, store *Store, queu
 		store: store,
 		reqs:  make(chan editReq, queueDepth),
 		snaps: make(chan chan error, 1),
+		caps:  make(chan chan *designSnapshot, 1),
 		quit:  make(chan struct{}),
 		done:  make(chan struct{}),
 	}
@@ -93,6 +115,8 @@ func (d *design) serve() {
 			req.reply <- d.applyOne(req.ed)
 		case errc := <-d.snaps:
 			errc <- d.persist()
+		case c := <-d.caps:
+			c <- d.captureLocked()
 		}
 	}
 }
@@ -115,13 +139,20 @@ func (d *design) drainAndPersist() {
 	}
 }
 
-// applyOne logs (durably) then applies one edit.
+// applyOne logs (durably) then applies one edit; in cluster mode a
+// successful apply bumps the replication seq and ships the edit to the
+// design's replicas before acknowledging. A ship failure is reported
+// alongside the (already applied) report — the caller decides how hard to
+// fail the acknowledgement.
 func (d *design) applyOne(ed incsta.Edit) editResult {
-	if d.log != nil {
-		payload, err := json.Marshal(ed)
-		if err != nil {
+	var payload []byte
+	if d.log != nil || d.ship != nil {
+		var err error
+		if payload, err = json.Marshal(ed); err != nil {
 			return editResult{err: fmt.Errorf("server: encode edit: %w", err)}
 		}
+	}
+	if d.log != nil {
 		if _, err := d.log.Append(payload); err != nil {
 			// The edit never reached stable storage: refuse to apply it, or an
 			// acknowledged state transition could vanish on restart.
@@ -129,7 +160,16 @@ func (d *design) applyOne(ed incsta.Edit) editResult {
 		}
 	}
 	rep, err := d.eng.ApplyEdit(ed)
-	return editResult{rep: rep, err: err}
+	if err != nil {
+		return editResult{rep: rep, err: err}
+	}
+	seq := d.seq.Add(1)
+	if d.ship != nil {
+		if err := d.ship(seq, payload); err != nil {
+			return editResult{rep: rep, err: err}
+		}
+	}
+	return editResult{rep: rep}
 }
 
 // persist folds the current engine state into a durable snapshot and
@@ -143,7 +183,10 @@ func (d *design) persist() error {
 	if d.log != nil {
 		seq = d.log.LastSeq()
 	}
-	if err := d.store.saveSnapshot(snapshotOf(d.name, d.eng, seq)); err != nil {
+	snap := snapshotOf(d.name, d.eng, seq)
+	snap.EditSeq = d.seq.Load()
+	snap.Epoch = d.epoch.Load()
+	if err := d.store.saveSnapshot(snap); err != nil {
 		return err
 	}
 	if d.log != nil {
@@ -182,6 +225,36 @@ func (d *design) checkpoint() error {
 		return err
 	case <-d.done:
 		return ErrDesignClosed
+	}
+}
+
+// captureLocked snapshots the design state with a coherent replication seq
+// and epoch. Runs on the writer goroutine.
+func (d *design) captureLocked() *designSnapshot {
+	var walSeq uint64
+	if d.log != nil {
+		walSeq = d.log.LastSeq()
+	}
+	snap := snapshotOf(d.name, d.eng, walSeq)
+	snap.EditSeq = d.seq.Load()
+	snap.Epoch = d.epoch.Load()
+	return snap
+}
+
+// capture asks the writer loop for a coherent (state, seq, epoch) snapshot
+// — what a full replicate ship carries. Fails once the design is closed.
+func (d *design) capture() (*designSnapshot, error) {
+	c := make(chan *designSnapshot, 1)
+	select {
+	case d.caps <- c:
+	case <-d.quit:
+		return nil, ErrDesignClosed
+	}
+	select {
+	case snap := <-c:
+		return snap, nil
+	case <-d.done:
+		return nil, ErrDesignClosed
 	}
 }
 

@@ -44,8 +44,17 @@ var routePatterns = []string{
 	// pseudo-routes (a forwarded request is counted by method, not by the
 	// owner-side pattern it resolves to).
 	"POST /v1/internal/replicate",
+	"POST /v1/internal/edits",
+	"POST /v1/internal/lease/claim",
+	"POST /v1/internal/lease/adopt",
+	"POST /v1/internal/members",
+	"GET /v1/internal/health",
 	"GET /v1/cluster",
 	"GET /v1/cluster/route",
+	"GET /v1/cluster/members",
+	"POST /v1/cluster/members",
+	"DELETE /v1/cluster/members/{peer...}",
+	"GET /v1/cluster/designs/{name}",
 	"forward GET",
 	"forward PUT",
 	"forward POST",

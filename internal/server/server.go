@@ -49,7 +49,21 @@ type Server struct {
 	queueDepth int
 	reqTimeout time.Duration
 	ready      atomic.Bool
-	bootID     uint64 // distinguishes replication streams across restarts
+
+	// Per-design ownership leases (cluster mode; always non-nil so the
+	// router can consult it unconditionally) and the promotion loop that
+	// elects this node when a lease owner dies.
+	leases       *cluster.LeaseTable
+	promoteEvery time.Duration
+	promoStop    chan struct{}
+	promoDone    chan struct{}
+
+	// Per-design election stand-down deadlines: a candidate whose claim was
+	// refused because a strictly more caught-up copy exists stops claiming
+	// for a few scan intervals, so its own rising promise watermark cannot
+	// starve the better candidate's election.
+	standMu   sync.Mutex
+	standDown map[string]time.Time
 
 	// Observability: the tracer request spans record into, the head-based
 	// sampling rate for traces minted here (0 = only trace requests that
@@ -120,6 +134,16 @@ func WithEditQueueDepth(n int) Option {
 // accepts shipped snapshots on /v1/internal/replicate.
 func WithCluster(n *cluster.Node) Option { return func(s *Server) { s.node = n } }
 
+// WithPromotionInterval sets how often the promotion loop scans for designs
+// whose lease owner has died (default 1s). Tests use short intervals.
+func WithPromotionInterval(d time.Duration) Option {
+	return func(s *Server) {
+		if d > 0 {
+			s.promoteEvery = d
+		}
+	}
+}
+
 // WithRequestTimeout puts a deadline on every request's context, so a stuck
 // client or an oversized query cannot pin server resources forever. 0
 // disables.
@@ -175,19 +199,31 @@ const defaultMaxBodyBytes = 64 << 20
 // by every design).
 func New(lib *timinglib.File, opts ...Option) *Server {
 	s := &Server{
-		lib:     lib,
-		mux:     http.NewServeMux(),
-		met:     newMetrics(),
-		maxBody: defaultMaxBodyBytes,
-		designs: map[string]*design{},
-		loading: map[string]bool{},
-		reps:    map[string]*replicaState{},
-		bootID:  uint64(time.Now().UnixNano()),
-		tracer:  obs.Trace,
-		slow:    newSlowLog(defaultSlowLogSize),
+		lib:          lib,
+		mux:          http.NewServeMux(),
+		met:          newMetrics(),
+		maxBody:      defaultMaxBodyBytes,
+		designs:      map[string]*design{},
+		loading:      map[string]bool{},
+		reps:         map[string]*replicaState{},
+		leases:       cluster.NewLeaseTable(),
+		standDown:    map[string]time.Time{},
+		promoteEvery: time.Second,
+		tracer:       obs.Trace,
+		slow:         newSlowLog(defaultSlowLogSize),
 	}
 	for _, o := range opts {
 		o(s)
+	}
+	if s.store != nil && s.node != nil {
+		// Promises must survive a crash: a restarted node that re-granted an
+		// epoch it promised before the crash would break the at-most-one-
+		// winner-per-epoch invariant the fencing rests on.
+		s.leases.OnChange(func() {
+			if err := s.store.saveLeases(s.leases.Snapshot()); err != nil {
+				mPersistErrors.Inc()
+			}
+		})
 	}
 	// A durable server answers readyz only after Recover has replayed its
 	// persisted designs; an in-memory server has nothing to recover.
@@ -199,8 +235,11 @@ func New(lib *timinglib.File, opts ...Option) *Server {
 		"GET /healthz": true, "GET /v1/healthz": true,
 		"GET /v1/readyz": true, "GET /metrics": true,
 		// Cluster introspection answers during recovery too, so peers and
-		// operators can inspect a recovering node's ring view.
+		// operators can inspect a recovering node's ring view. The heartbeat
+		// target must answer ungated or a recovering node would be ejected.
 		"GET /v1/cluster": true, "GET /v1/cluster/route": true,
+		"GET /v1/cluster/members": true, "GET /v1/cluster/designs/{name}": true,
+		"GET /v1/internal/health": true,
 		// Debug introspection: what made a recovering node slow matters too.
 		"GET /v1/debug/slow": true,
 	}
@@ -257,11 +296,33 @@ func New(lib *timinglib.File, opts ...Option) *Server {
 	api("POST", "/designs/{name}/edits", s.handleEdit)
 	// Batch is v1-only: many queries against one pinned snapshot.
 	route("POST /v1/designs/{name}/batch", s.handleBatch)
-	// Cluster routes exist only when a cluster node is attached.
+	// Cluster routes exist only when a cluster node is attached. The
+	// /v1/internal/ surface is the versioned cluster-internal contract
+	// (API.md "Cluster-internal API"): every request carries the sender's
+	// identity and ownership epoch, and stale epochs are rejected with the
+	// standard error envelope under code "stale_epoch".
 	if s.node != nil {
 		route("POST /v1/internal/replicate", s.handleReplicate)
-		route("GET /v1/cluster", s.handleClusterStatus)
-		route("GET /v1/cluster/route", s.handleClusterRoute)
+		route("POST /v1/internal/edits", s.handleReplicateEdits)
+		route("POST /v1/internal/lease/claim", s.handleLeaseClaim)
+		route("POST /v1/internal/lease/adopt", s.handleLeaseAdopt)
+		route("POST /v1/internal/members", s.handleInternalMembers)
+		route("GET /v1/internal/health", s.handleInternalHealth)
+		// Resource-shaped cluster admin API.
+		route("GET /v1/cluster/members", s.handleMembersGet)
+		route("POST /v1/cluster/members", s.handleMembersAdd)
+		route("DELETE /v1/cluster/members/{peer...}", s.handleMembersRemove)
+		route("GET /v1/cluster/designs/{name}", s.handleClusterDesign)
+		// Deprecated aliases (RFC 8594 headers point at their successors).
+		deprecated := func(successor string, h func(http.ResponseWriter, *http.Request)) func(http.ResponseWriter, *http.Request) {
+			return func(w http.ResponseWriter, r *http.Request) {
+				w.Header().Set("Deprecation", "true")
+				w.Header().Set("Link", fmt.Sprintf("<%s>; rel=%q", successor, "successor-version"))
+				h(w, r)
+			}
+		}
+		route("GET /v1/cluster", deprecated("/v1/cluster/members", s.handleClusterStatus))
+		route("GET /v1/cluster/route", deprecated("/v1/cluster/designs/{name}", s.handleClusterRoute))
 	}
 	// Catch-all for unregistered paths: a JSON 404, counted under the
 	// bounded "other" series instead of minting a label per probed URL.
@@ -270,6 +331,11 @@ func New(lib *timinglib.File, opts ...Option) *Server {
 		httpError(w, http.StatusNotFound, codeUnknownRoute, "no such route: %s %s", r.Method, r.URL.Path)
 		s.met.observe(r, r.Method+" "+r.URL.Path, t0)
 	})
+	if s.node != nil {
+		s.promoStop = make(chan struct{})
+		s.promoDone = make(chan struct{})
+		go s.promotionLoop()
+	}
 	return s
 }
 
@@ -289,6 +355,14 @@ func (s *Server) Handler() http.Handler {
 // Close stops every design's edit queue and rejects further loads. Called
 // after http.Server.Shutdown has drained in-flight requests.
 func (s *Server) Close() {
+	if s.promoStop != nil {
+		select {
+		case <-s.promoStop:
+		default:
+			close(s.promoStop)
+		}
+		<-s.promoDone
+	}
 	s.mu.Lock()
 	s.closed = true
 	designs := make([]*design, 0, len(s.designs))
@@ -300,6 +374,21 @@ func (s *Server) Close() {
 	for _, d := range designs {
 		d.close()
 	}
+	s.repMu.Lock()
+	reps := make([]*replicaState, 0, len(s.reps))
+	for _, rep := range s.reps {
+		reps = append(reps, rep)
+	}
+	s.reps = map[string]*replicaState{}
+	s.repMu.Unlock()
+	for _, rep := range reps {
+		rep.mu.Lock()
+		if rep.log != nil {
+			rep.log.Close()
+			rep.log = nil
+		}
+		rep.mu.Unlock()
+	}
 }
 
 func (s *Server) design(name string) (*design, bool) {
@@ -307,6 +396,17 @@ func (s *Server) design(name string) (*design, bool) {
 	defer s.mu.Unlock()
 	d, ok := s.designs[name]
 	return d, ok
+}
+
+// clusterSeq is the version an owned design reports in cluster mode
+// (applied-edit seq + 1, continuous across promotion/recovery), or 0 in
+// single-node mode — the sentinel the serve* helpers read as "use the
+// engine's own version".
+func (s *Server) clusterSeq(d *design) uint64 {
+	if s.node == nil {
+		return 0
+	}
+	return d.seq.Load() + 1
 }
 
 // --- request/response shapes ---
@@ -436,10 +536,13 @@ const (
 	codePayloadLarge   = "payload_too_large"
 	codeNotReady       = "not_ready"
 	// Cluster-mode codes: a forwarded request landed on a node that does not
-	// own the design (ring views diverged mid-hop), or the design's owner is
-	// unreachable (circuit breaker open / transport failure).
+	// own the design (ring views diverged mid-hop), the design's owner is
+	// unreachable (circuit breaker open / transport failure), or the request
+	// carried an ownership epoch below the receiver's adopted lease — the
+	// sender is a fenced ex-owner and must stand down.
 	codeWrongNode       = "wrong_node"
 	codePeerUnavailable = "peer_unavailable"
+	codeStaleEpoch      = "stale_epoch"
 )
 
 // retryAfter sets the Retry-After hint on a back-pressure 503 (rounded up
@@ -485,6 +588,13 @@ func editStatus(err error) (int, string) {
 		return http.StatusBadRequest, codeEditRejected
 	case errors.Is(err, ErrOverloaded):
 		return http.StatusServiceUnavailable, codeOverloaded
+	case errors.Is(err, errStaleEpoch):
+		// The design was fenced mid-edit: ownership moved to a higher epoch.
+		// Retryable — the router sends the retry to the new owner.
+		return http.StatusServiceUnavailable, codeStaleEpoch
+	case errors.Is(err, errUnreplicated):
+		// Applied locally, acked by no replica: in doubt, retryable.
+		return http.StatusServiceUnavailable, codePeerUnavailable
 	case errors.Is(err, ErrDesignClosed):
 		return http.StatusServiceUnavailable, codeUnavailable
 	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
@@ -562,6 +672,18 @@ func (s *Server) Recover(ctx context.Context) error {
 	}
 	ctx, span := obs.StartSpan(ctx, "server.recover")
 	defer span.End()
+	if s.node != nil {
+		// Leases first: promises made before the crash must be honoured
+		// before any claim or internal request is answered.
+		m, err := s.store.loadLeases()
+		if err != nil {
+			return fmt.Errorf("server: recover leases: %w", err)
+		}
+		s.leases.Load(m)
+		for name, li := range m {
+			s.node.SetLeaseEpoch(name, li.Epoch)
+		}
+	}
 	escaped, err := s.store.listDesigns()
 	if err != nil {
 		return fmt.Errorf("server: recover: %w", err)
@@ -597,6 +719,7 @@ func (s *Server) Recover(ctx context.Context) error {
 	s.recMu.Lock()
 	s.recCurrent = ""
 	s.recMu.Unlock()
+	s.recoverReplicas(ctx)
 	s.ready.Store(true)
 	return nil
 }
@@ -652,6 +775,23 @@ func (s *Server) recoverDesign(ctx context.Context, escapedName string) error {
 		}
 	}
 	d := newDesign(snap.Name, eng, dlog, s.store, s.queueDepth)
+	if s.node != nil {
+		// The replication seq is the snapshot's acked count plus the edits
+		// the WAL replay just re-applied; the epoch is whatever the design
+		// last owned under. In a multi-node cluster the recovered design
+		// starts FENCED: this node may have been superseded while it was
+		// down, so it must win a fresh election (promotion loop) before it
+		// serves as owner again. A single-member cluster has nobody to ask.
+		d.seq.Store(snap.EditSeq + uint64(replayed))
+		d.epoch.Store(snap.Epoch)
+		s.attachCluster(d)
+		if len(s.node.Members()) > 1 {
+			d.fenced.Store(true)
+		} else {
+			s.leases.Adopt(snap.Name, s.node.Self(), snap.Epoch)
+			s.node.SetLeaseEpoch(snap.Name, snap.Epoch)
+		}
+	}
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
@@ -774,9 +914,24 @@ func (s *Server) handleLoad(w http.ResponseWriter, r *http.Request) {
 		s.mu.Unlock()
 	}()
 
+	// In cluster mode a fresh design starts under a quorum-granted lease:
+	// the load fails rather than create a design nobody is fenced against.
+	var epoch uint64
+	if s.node != nil {
+		epoch = s.leases.NextEpoch(name)
+		if !s.claimLease(name, epoch, 0, 0) {
+			retryAfter(w, time.Second)
+			httpError(w, http.StatusServiceUnavailable, codePeerUnavailable,
+				"cannot claim ownership lease for %q (no quorum)", name)
+			return
+		}
+	}
+
 	var dlog *wal.Log
 	if s.store != nil {
-		if err := s.store.saveSnapshot(snapshotOf(name, eng, 0)); err != nil {
+		snap := snapshotOf(name, eng, 0)
+		snap.Epoch = epoch
+		if err := s.store.saveSnapshot(snap); err != nil {
 			httpErrorDetail(w, http.StatusInternalServerError, codeInternal, "persisting design", err)
 			return
 		}
@@ -786,6 +941,8 @@ func (s *Server) handleLoad(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	d := newDesign(name, eng, dlog, s.store, s.queueDepth)
+	d.epoch.Store(epoch)
+	s.attachCluster(d)
 
 	s.mu.Lock()
 	if s.closed {
@@ -796,6 +953,11 @@ func (s *Server) handleLoad(w http.ResponseWriter, r *http.Request) {
 	}
 	s.designs[name] = d
 	s.mu.Unlock()
+	if s.node != nil {
+		s.leases.Adopt(name, s.node.Self(), epoch)
+		s.node.SetLeaseEpoch(name, epoch)
+		go s.announceLease(name, epoch)
+	}
 	s.startShipping(d)
 
 	writeJSON(w, http.StatusCreated, s.summarize(d))
@@ -823,10 +985,14 @@ func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	if s.node != nil {
-		// Tombstone the replicas so a deleted design does not linger as a
-		// stale read-only copy. Best effort: a missed replica re-converges
-		// when the name is reused (new boot epoch) or the replica restarts.
-		go s.broadcastDelete(name)
+		// Tombstone every copy so a deleted design does not linger as a
+		// stale read-only replica, and drop the lease — the name starts a
+		// fresh epoch sequence if reused. Best effort: a missed replica
+		// re-converges when the name is reused or the replica restarts.
+		epoch := d.epoch.Load()
+		s.leases.Forget(name)
+		s.node.ClearLeaseEpoch(name)
+		go s.broadcastDelete(name, epoch)
 	}
 	writeJSON(w, http.StatusOK, map[string]string{"deleted": name})
 }
@@ -876,7 +1042,7 @@ func (s *Server) handleSummary(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusNotFound, codeNotFound, "no design %q", r.PathValue("name"))
 		return
 	}
-	s.serveSummary(w, r, d, d.eng.Snapshot(), 0)
+	s.serveSummary(w, r, d, d.eng.Snapshot(), s.clusterSeq(d))
 }
 
 // serveSummary answers a summary query from a pinned snapshot. seq != 0
@@ -953,7 +1119,7 @@ func (s *Server) handlePaths(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusNotFound, codeNotFound, "no design %q", r.PathValue("name"))
 		return
 	}
-	s.servePaths(w, r, d, d.eng.Snapshot(), 0)
+	s.servePaths(w, r, d, d.eng.Snapshot(), s.clusterSeq(d))
 }
 
 func (s *Server) servePaths(w http.ResponseWriter, r *http.Request, d *design, snap *incsta.Snapshot, seq uint64) {
@@ -1010,7 +1176,7 @@ func (s *Server) handleSlacks(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusNotFound, codeNotFound, "no design %q", r.PathValue("name"))
 		return
 	}
-	s.serveSlacks(w, r, d.eng.Snapshot(), 0)
+	s.serveSlacks(w, r, d.eng.Snapshot(), s.clusterSeq(d))
 }
 
 func (s *Server) serveSlacks(w http.ResponseWriter, r *http.Request, snap *incsta.Snapshot, seq uint64) {
@@ -1048,6 +1214,24 @@ func (s *Server) handleEdit(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusNotFound, codeNotFound, "no design %q", r.PathValue("name"))
 		return
 	}
+	if s.node != nil {
+		// Fenced ex-owner: ownership moved to a higher epoch; the retry is
+		// routed to the new owner. Minority partition: accepting the edit
+		// could diverge from a majority-side owner — refuse.
+		if d.fenced.Load() {
+			li, _ := s.leases.Current(d.name)
+			retryAfter(w, time.Second)
+			httpError(w, http.StatusServiceUnavailable, codeStaleEpoch,
+				"design ownership moved (lease owner %s, epoch %d); retry", li.Owner, li.Epoch)
+			return
+		}
+		if !s.node.HasMajority() {
+			retryAfter(w, time.Second)
+			httpError(w, http.StatusServiceUnavailable, codePeerUnavailable,
+				"this node cannot reach a cluster majority; refusing writes")
+			return
+		}
+	}
 	var req EditRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 		httpErrorDetail(w, http.StatusBadRequest, codeInvalidRequest, "bad edit request", err)
@@ -1077,8 +1261,16 @@ func (s *Server) handleEdit(w http.ResponseWriter, r *http.Request) {
 		httpError(w, status, code, "%v", err)
 		return
 	}
+	version := d.eng.Snapshot().Version()
+	if s.node != nil {
+		// Cluster mode reports applied-edit seq + 1: identical to the engine
+		// version on an owner that never restarted, and — unlike the raw
+		// engine count, which resets on a rebuild — continuous across
+		// promotion and recovery.
+		version = d.seq.Load() + 1
+	}
 	writeJSON(w, http.StatusOK, EditResponse{
-		Version: d.eng.Snapshot().Version(), Op: rep.Op,
+		Version: version, Op: rep.Op,
 		Seeded: rep.Seeded, Reevaluated: rep.Reevaluated,
 		Cut: rep.Cut, Endpoints: rep.Endpoints,
 	})
@@ -1129,7 +1321,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	}
 	// One snapshot serves the whole batch: every answer reflects the same
 	// edit version, however many edits land while we iterate.
-	s.serveBatch(w, r, d, d.eng.Snapshot(), 0)
+	s.serveBatch(w, r, d, d.eng.Snapshot(), s.clusterSeq(d))
 }
 
 func (s *Server) serveBatch(w http.ResponseWriter, r *http.Request, d *design, snap *incsta.Snapshot, seq uint64) {

@@ -10,6 +10,7 @@ import (
 	"path/filepath"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/incsta"
 	"repro/internal/netlist"
 	"repro/internal/rctree"
@@ -25,8 +26,11 @@ import (
 //
 // Layout under root:
 //
-//	designs/<escaped-name>/snapshot.json   full design state + WAL high-water mark
-//	designs/<escaped-name>/wal.log         edits with sequence numbers > WALSeq
+//	designs/<escaped-name>/snapshot.json    full design state + WAL high-water mark
+//	designs/<escaped-name>/wal.log          edits with sequence numbers > WALSeq
+//	replicas/<escaped-name>/snapshot.json   last shipped snapshot of a design this node replicates
+//	replicas/<escaped-name>/wal.log         replicated edit tail past that snapshot
+//	leases.json                             per-design ownership leases and promises
 type Store struct {
 	fs   wal.FS
 	root string
@@ -68,6 +72,8 @@ func isNotExist(err error) bool { return errors.Is(err, os.ErrNotExist) }
 type designSnapshot struct {
 	Name        string                  `json:"name"`
 	WALSeq      uint64                  `json:"wal_seq"`
+	Epoch       uint64                  `json:"epoch,omitempty"`    // ownership-lease epoch (cluster mode)
+	EditSeq     uint64                  `json:"edit_seq,omitempty"` // replication seq the state includes
 	Epsilon     float64                 `json:"epsilon,omitempty"`
 	Parallelism int                     `json:"parallelism,omitempty"`
 	Corners     []sta.Corner            `json:"corners,omitempty"`
@@ -205,6 +211,159 @@ func (st *Store) hasSnapshot(escaped string) bool {
 	}
 	f.Close()
 	return true
+}
+
+// --- replica persistence ---------------------------------------------------
+//
+// A replica's durable state mirrors the owner layout under replicas/: the
+// last full snapshot the owner shipped plus a WAL of replicated edits whose
+// record seqs equal the owner's replication seqs (EnsureSeq keeps them
+// aligned). A promoted replica recovers a design from this subtree exactly
+// like an owner recovers from designs/.
+
+func (st *Store) replicasRoot() string { return filepath.Join(st.root, "replicas") }
+
+func (st *Store) replicaDir(name string) string {
+	return filepath.Join(st.replicasRoot(), url.PathEscape(name))
+}
+
+func (st *Store) replicaSnapshotPath(name string) string {
+	return filepath.Join(st.replicaDir(name), "snapshot.json")
+}
+
+func (st *Store) replicaWALPath(name string) string {
+	return filepath.Join(st.replicaDir(name), "wal.log")
+}
+
+// saveReplicaSnapshot persists a shipped snapshot crash-safely under the
+// replica subtree.
+func (st *Store) saveReplicaSnapshot(snap *designSnapshot) error {
+	dir := st.replicaDir(snap.Name)
+	if err := st.fs.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	err := wal.AtomicWrite(st.fs, st.replicaSnapshotPath(snap.Name), func(w io.Writer) error {
+		return json.NewEncoder(w).Encode(snap)
+	})
+	if err != nil {
+		return fmt.Errorf("server: persist replica snapshot of %q: %w", snap.Name, err)
+	}
+	return nil
+}
+
+// loadReplicaSnapshot reads one replicated design's snapshot by escaped
+// directory name.
+func (st *Store) loadReplicaSnapshot(escaped string) (*designSnapshot, error) {
+	p := filepath.Join(st.replicasRoot(), escaped, "snapshot.json")
+	f, err := st.fs.OpenFile(p, readOnlyFlag, 0)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var snap designSnapshot
+	if err := json.NewDecoder(f).Decode(&snap); err != nil {
+		return nil, fmt.Errorf("server: replica snapshot %s: %w", p, err)
+	}
+	if snap.Netlist == nil || snap.Trees == nil {
+		return nil, fmt.Errorf("server: replica snapshot %s: missing netlist or trees", p)
+	}
+	return &snap, nil
+}
+
+// openReplicaWAL opens (creating if missing) a design's replicated edit
+// tail, streaming valid records through replay.
+func (st *Store) openReplicaWAL(name string, replay func(seq uint64, payload []byte) error) (*wal.Log, wal.OpenResult, error) {
+	if err := st.fs.MkdirAll(st.replicaDir(name), 0o755); err != nil {
+		return nil, wal.OpenResult{}, err
+	}
+	return wal.Open(st.replicaWALPath(name), wal.Options{
+		FS:       st.fs,
+		Policy:   st.cfg.Policy,
+		Interval: st.cfg.FsyncInterval,
+	}, replay)
+}
+
+// listReplicas returns the escaped directory names of every replicated
+// design.
+func (st *Store) listReplicas() ([]string, error) {
+	names, err := st.fs.ReadDir(st.replicasRoot())
+	if err != nil {
+		if isNotExist(err) {
+			return nil, nil
+		}
+		return nil, err
+	}
+	return names, nil
+}
+
+// removeReplica deletes a design's replica state (promotion moved it under
+// designs/, or a DELETE tombstone retired it).
+func (st *Store) removeReplica(name string) error {
+	dir := st.replicaDir(name)
+	var firstErr error
+	for _, p := range []string{st.replicaSnapshotPath(name), st.replicaWALPath(name)} {
+		if err := st.fs.Remove(p); err != nil && !isNotExist(err) && firstErr == nil {
+			firstErr = err
+		}
+	}
+	if err := st.fs.SyncDir(dir); err != nil && !isNotExist(err) && firstErr == nil {
+		firstErr = err
+	}
+	if err := st.fs.Remove(dir); err != nil && !isNotExist(err) && firstErr == nil {
+		firstErr = err
+	}
+	if err := st.fs.SyncDir(st.replicasRoot()); err != nil && !isNotExist(err) && firstErr == nil {
+		firstErr = err
+	}
+	return firstErr
+}
+
+// hasReplicaSnapshot reports whether a replica directory holds a complete
+// snapshot (directories without one are debris and recovery skips them).
+func (st *Store) hasReplicaSnapshot(escaped string) bool {
+	f, err := st.fs.OpenFile(filepath.Join(st.replicasRoot(), escaped, "snapshot.json"), readOnlyFlag, 0)
+	if err != nil {
+		return false
+	}
+	f.Close()
+	return true
+}
+
+// --- lease persistence -----------------------------------------------------
+
+func (st *Store) leasesPath() string { return filepath.Join(st.root, "leases.json") }
+
+// saveLeases persists the lease table crash-safely. Durable promises are
+// load-bearing: a node that promised epoch E, crashed, and forgot the
+// promise could grant E again and break the at-most-one-winner property.
+func (st *Store) saveLeases(m map[string]cluster.LeaseInfo) error {
+	if err := st.fs.MkdirAll(st.root, 0o755); err != nil {
+		return err
+	}
+	err := wal.AtomicWrite(st.fs, st.leasesPath(), func(w io.Writer) error {
+		return json.NewEncoder(w).Encode(m)
+	})
+	if err != nil {
+		return fmt.Errorf("server: persist leases: %w", err)
+	}
+	return nil
+}
+
+// loadLeases reads the persisted lease table (empty map when none exists).
+func (st *Store) loadLeases() (map[string]cluster.LeaseInfo, error) {
+	f, err := st.fs.OpenFile(st.leasesPath(), readOnlyFlag, 0)
+	if err != nil {
+		if isNotExist(err) {
+			return map[string]cluster.LeaseInfo{}, nil
+		}
+		return nil, err
+	}
+	defer f.Close()
+	m := map[string]cluster.LeaseInfo{}
+	if err := json.NewDecoder(f).Decode(&m); err != nil {
+		return nil, fmt.Errorf("server: leases %s: %w", st.leasesPath(), err)
+	}
+	return m, nil
 }
 
 // rebuildEngine reconstructs a design's engine from its snapshot (one full
