@@ -7,8 +7,9 @@ import "sync"
 // strictly greater epoch and collecting promises from a majority of the
 // cluster membership (Paxos-promise style: a node that has promised epoch E
 // refuses every claim at or below E, and refuses replication traffic below
-// its *adopted* epoch). An old owner that was partitioned away keeps its
-// stale epoch; every replicate ship or edit it sends is rejected with
+// the highest epoch it has adopted *or promised*). An old owner that was
+// partitioned away keeps its stale epoch; every replicate ship or edit it
+// sends is rejected with
 // stale_epoch by any node that adopted the greater one — that rejection is
 // what fences it.
 //
@@ -99,14 +100,23 @@ func (t *LeaseTable) Adopt(design, owner string, epoch uint64) bool {
 	return true
 }
 
-// CheckEpoch accepts traffic at or above the adopted epoch. It returns the
-// current lease view either way, so a fenced sender can learn who owns the
-// design now.
+// CheckEpoch accepts traffic at or above this node's fencing epoch: the
+// maximum of the adopted epoch and every epoch promised to a claimant.
+// Fencing at the promise (not just the adopted lease) is standard promise
+// semantics, and it is load-bearing: a node that has promised E+1 to a new
+// claimant but still accepted an ex-owner's edits at E would let that owner
+// acknowledge a write which the E+1 winner's snapshot ship then erases.
+// It returns the current lease view either way, so a fenced sender can
+// learn who owns the design now.
 func (t *LeaseTable) CheckEpoch(design string, epoch uint64) (LeaseInfo, bool) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	li := t.leases[design]
-	return li, epoch >= li.Epoch
+	fence := li.Epoch
+	if li.Promised > fence {
+		fence = li.Promised
+	}
+	return li, epoch >= fence
 }
 
 // NextEpoch is the lowest epoch a fresh claim for design could win here:

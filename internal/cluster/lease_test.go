@@ -65,6 +65,33 @@ func TestLeaseTableStateMachine(t *testing.T) {
 	}
 }
 
+// TestCheckEpochFencesAtPromised is the acked-write-loss regression: once a
+// node has promised epoch E+k to a claimant, replication traffic below E+k
+// must be refused even though the adopted lease still names the old owner at
+// E — accepting it would let that owner acknowledge an edit which the E+k
+// winner's snapshot ship then erases cluster-wide.
+func TestCheckEpochFencesAtPromised(t *testing.T) {
+	lt := NewLeaseTable()
+	if !lt.Adopt("d", "http://old:1", 2) {
+		t.Fatal("adopt at 2 must succeed")
+	}
+	if _, ok := lt.CheckEpoch("d", 2); !ok {
+		t.Fatal("traffic at the adopted epoch must pass before any promise")
+	}
+	if !lt.Promise("d", 5) {
+		t.Fatal("promise at 5 must succeed")
+	}
+	if li, ok := lt.CheckEpoch("d", 2); ok {
+		t.Fatalf("traffic at the adopted epoch must be fenced by the promise; lease %+v", li)
+	}
+	if _, ok := lt.CheckEpoch("d", 4); ok {
+		t.Fatal("traffic below the promised epoch must be fenced")
+	}
+	if li, ok := lt.CheckEpoch("d", 5); !ok || li.Owner != "http://old:1" {
+		t.Fatalf("the promised claimant's own traffic must pass; lease %+v ok %v", li, ok)
+	}
+}
+
 func TestLeaseTableOnChange(t *testing.T) {
 	lt := NewLeaseTable()
 	calls := 0

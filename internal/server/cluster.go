@@ -536,11 +536,17 @@ func (s *Server) replicaTargets(name string) []string {
 
 // shipEdit synchronously replicates one applied edit to the design's
 // replica set before the client's acknowledgement. Runs on the design's
-// writer goroutine. A replica that reports a gap is repaired inline with a
-// full snapshot ship; a stale_epoch rejection fences (and demotes) this
-// owner; zero acknowledgements from a non-empty replica set fail the edit
-// with errUnreplicated.
+// writer goroutine. A replica that did not apply the edit is repaired
+// inline with a full snapshot ship before its ack counts; a stale_epoch
+// rejection fences this owner and fails the edit; zero acknowledgements
+// from a non-empty replica set fail the edit with errUnreplicated.
 func (s *Server) shipEdit(d *design, seq uint64, payload []byte) error {
+	if d.fenced.Load() {
+		// A fence landed between the edit's apply and its ship: a higher
+		// ownership epoch exists somewhere, so this node must not
+		// acknowledge the write.
+		return errStaleEpoch
+	}
 	targets := s.replicaTargets(d.name)
 	if len(targets) == 0 {
 		return nil
@@ -560,9 +566,9 @@ func (s *Server) shipEdit(d *design, seq uint64, payload []byte) error {
 		}
 		ack, err := s.postEdits(context.Background(), peer, d.name, body)
 		if errors.Is(err, errStaleEpoch) {
-			// A higher epoch exists: we are no longer the owner. Fence and
-			// demote; the already-applied edit dies with the demotion.
-			s.fenceOwned(d, true, epoch+1)
+			// A higher epoch exists: we are no longer the owner. Fence; the
+			// already-applied edit dies with the fencing.
+			s.fenceFromStale(d, epoch+1)
 			return errStaleEpoch
 		}
 		if err != nil {
@@ -575,13 +581,17 @@ func (s *Server) shipEdit(d *design, seq uint64, payload []byte) error {
 		if br != nil {
 			br.Record(true)
 		}
-		if !ack.Applied && ack.Seq < seq {
-			// Gap or epoch change on the replica: repair inline with a full
-			// snapshot. captureLocked (not capture) — we ARE the writer
+		if !ack.Applied {
+			// The replica did not store this edit — a gap, an epoch change,
+			// or a copy fed divergent by a zombie ex-owner (which can report
+			// Seq >= seq without ever holding our edit). Whatever sequence it
+			// reports, a non-applied response never stands in for an ack:
+			// repair with a full snapshot ship and count the ack only if that
+			// lands. captureLocked (not capture) — we ARE the writer
 			// goroutine the capture channel is served by.
 			if err := s.shipSnapshotTo(context.Background(), d.name, d.captureLocked(), peer); err != nil {
 				if errors.Is(err, errStaleEpoch) {
-					s.fenceOwned(d, true, epoch+1)
+					s.fenceFromStale(d, epoch+1)
 					return errStaleEpoch
 				}
 				continue
@@ -591,6 +601,12 @@ func (s *Server) shipEdit(d *design, seq uint64, payload []byte) error {
 		d.shp.note(peer, seq)
 		s.node.NoteShipped(peer)
 		s.node.SetReplicationLag(peer, 0)
+	}
+	if d.fenced.Load() {
+		// Fenced while shipping (e.g. a claim was granted locally mid-loop):
+		// the replica set may already be rebasing onto a higher epoch, so the
+		// collected acks no longer guarantee the edit survives.
+		return errStaleEpoch
 	}
 	if acks == 0 {
 		return errUnreplicated
@@ -670,7 +686,7 @@ func (s *Server) shipDesign(d *design) {
 		span.SetAttr("ok", err == nil)
 		span.End()
 		if errors.Is(err, errStaleEpoch) {
-			s.fenceOwned(d, true, snap.Epoch+1)
+			s.fenceFromStale(d, snap.Epoch+1)
 			return
 		}
 		if err != nil {
@@ -796,13 +812,18 @@ func (s *Server) aliveOthers() []string {
 // broadcastDelete tombstones a deleted design on every alive member (not
 // just its current placement — promotions may have scattered copies).
 func (s *Server) broadcastDelete(name string, epoch uint64) {
+	s.sendTombstones(name, epoch, s.aliveOthers())
+}
+
+// sendTombstones ships a delete tombstone for name at epoch to peers.
+func (s *Server) sendTombstones(name string, epoch uint64, peers []string) {
 	payload, err := json.Marshal(replicateRequest{
 		Delete: true, Name: name, Epoch: epoch, From: s.node.Self(),
 	})
 	if err != nil {
 		return
 	}
-	for _, peer := range s.aliveOthers() {
+	for _, peer := range peers {
 		_, _ = s.postReplicate(context.Background(), peer, "", payload)
 	}
 }
@@ -1067,6 +1088,23 @@ func (s *Server) fenceOwned(d *design, demote bool, below uint64) {
 	}
 }
 
+// fenceFromStale reacts to a stale_epoch rejection of this node's own
+// replication traffic. The design is fenced either way, but it is demoted
+// (closed, unpublished, durable owner state dropped) only when the lease —
+// just adopted from the rejection body by postInternal — names a different
+// live owner at an epoch above ours: real evidence a winner took over.
+// A promise-level rejection (a replica that promised an epoch to a claim
+// that may never win its quorum) fences without demoting, so the
+// fenced-owner re-claim path can recover the design at a higher epoch if
+// no winner ever emerges — demoting there would strand the design behind
+// a lease that still names this node.
+func (s *Server) fenceFromStale(d *design, below uint64) {
+	li, _ := s.leases.Current(d.name)
+	demote := li.Owner != "" && li.Owner != s.node.Self() &&
+		s.node.AliveMember(li.Owner) && li.Epoch >= below
+	s.fenceOwned(d, demote, below)
+}
+
 // demoteDesign unpublishes and closes a fenced ex-owner's design.
 func (s *Server) demoteDesign(d *design) {
 	s.mu.Lock()
@@ -1240,6 +1278,72 @@ func (s *Server) claimLease(name string, epoch, basisE, basisS uint64) bool {
 		}
 	}
 	return grants >= s.node.Quorum()
+}
+
+// claimFreshLease runs one ownership election for a design this node is
+// about to create (PUT load, basis zero). Unlike a promotion claim it must
+// win cleanly — every alive member answers with a grant and grants reach a
+// membership majority — because winning over a dissenter whose fencing
+// epoch exceeds the claimed one would create a design that is fenced by its
+// own replica set on the first ship.
+//
+// The second return value lists provably stale replicas: peers that refused
+// because they hold a copy of the name (non-zero basis) even though the
+// lease owner they report granted this very claim — which proves that owner
+// hosts neither the design nor a conflicting lease, i.e. the refuser's copy
+// is debris of a previously deleted design whose tombstone it missed. The
+// caller may tombstone those peers and retry. A refuser whose reported
+// owner is dead, unknown, or itself refusing is NOT debris — it may hold
+// acked edits awaiting promotion, and a fresh load must never destroy
+// those.
+func (s *Server) claimFreshLease(name string, epoch uint64) (bool, []string) {
+	if !s.leases.Promise(name, epoch) {
+		return false, nil
+	}
+	grants := map[string]bool{s.node.Self(): true}
+	payload, err := json.Marshal(leaseClaimRequest{
+		Design: name, Epoch: epoch, From: s.node.Self(),
+	})
+	if err != nil {
+		return false, nil
+	}
+	type refusal struct{ peer, owner string }
+	var basisRefusals []refusal
+	refused := false
+	for _, peer := range s.aliveOthers() {
+		resp, err := s.postClaim(context.Background(), peer, payload)
+		if err != nil {
+			// Unknown promise state somewhere: neither win nor tombstone.
+			return false, nil
+		}
+		if resp.Granted {
+			grants[peer] = true
+			continue
+		}
+		refused = true
+		// Learn why, exactly as promotion claims do: adopt the refuser's
+		// lease view and ratchet our promise watermark so the next attempt
+		// leapfrogs every epoch the refuser has already seen.
+		if resp.Lease.Epoch > 0 {
+			s.leases.Adopt(name, resp.Lease.Owner, resp.Lease.Epoch)
+		}
+		if resp.Lease.Promised > epoch {
+			s.leases.Promise(name, resp.Lease.Promised)
+		}
+		if resp.BasisEpoch > 0 || resp.BasisSeq > 0 {
+			basisRefusals = append(basisRefusals, refusal{peer, resp.Lease.Owner})
+		}
+	}
+	if !refused && len(grants) >= s.node.Quorum() {
+		return true, nil
+	}
+	var debris []string
+	for _, ref := range basisRefusals {
+		if ref.owner == s.node.Self() || (ref.owner != "" && grants[ref.owner]) {
+			debris = append(debris, ref.peer)
+		}
+	}
+	return false, debris
 }
 
 // promotionLoop periodically scans for designs whose ownership is lost —

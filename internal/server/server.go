@@ -218,8 +218,15 @@ func New(lib *timinglib.File, opts ...Option) *Server {
 	if s.store != nil && s.node != nil {
 		// Promises must survive a crash: a restarted node that re-granted an
 		// epoch it promised before the crash would break the at-most-one-
-		// winner-per-epoch invariant the fencing rests on.
+		// winner-per-epoch invariant the fencing rests on. The hook fires
+		// concurrently from any handler, so snapshot and write happen under
+		// one mutex: without it, a goroutine that snapshotted before another
+		// mutation could rename its older snapshot last and erase a
+		// just-granted promise from leases.json.
+		var leaseSaveMu sync.Mutex
 		s.leases.OnChange(func() {
+			leaseSaveMu.Lock()
+			defer leaseSaveMu.Unlock()
 			if err := s.store.saveLeases(s.leases.Snapshot()); err != nil {
 				mPersistErrors.Inc()
 			}
@@ -916,15 +923,32 @@ func (s *Server) handleLoad(w http.ResponseWriter, r *http.Request) {
 
 	// In cluster mode a fresh design starts under a quorum-granted lease:
 	// the load fails rather than create a design nobody is fenced against.
+	// A claim can be refused by members still holding replica debris of a
+	// previously deleted same-named design (missed tombstone); debris whose
+	// reported owner granted this very claim is provably stale, so it is
+	// tombstoned and the claim retried — without this, the PUT would 503
+	// forever against copies nobody will ever clean up.
 	var epoch uint64
 	if s.node != nil {
-		epoch = s.leases.NextEpoch(name)
-		if !s.claimLease(name, epoch, 0, 0) {
+		claimed := false
+		for attempt := 0; attempt < 3 && !claimed; attempt++ {
+			epoch = s.leases.NextEpoch(name)
+			var debris []string
+			claimed, debris = s.claimFreshLease(name, epoch)
+			if claimed || len(debris) == 0 {
+				break
+			}
+			s.sendTombstones(name, s.leases.NextEpoch(name), debris)
+		}
+		if !claimed {
 			retryAfter(w, time.Second)
 			httpError(w, http.StatusServiceUnavailable, codePeerUnavailable,
 				"cannot claim ownership lease for %q (no quorum)", name)
 			return
 		}
+		// Any stale local replica copy of the name is superseded by the
+		// design being created under the freshly won epoch.
+		s.dropReplica(name)
 	}
 
 	var dlog *wal.Log
@@ -987,9 +1011,15 @@ func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
 	if s.node != nil {
 		// Tombstone every copy so a deleted design does not linger as a
 		// stale read-only replica, and drop the lease — the name starts a
-		// fresh epoch sequence if reused. Best effort: a missed replica
-		// re-converges when the name is reused or the replica restarts.
-		epoch := d.epoch.Load()
+		// fresh epoch sequence if reused. The tombstone is broadcast at a
+		// fresh epoch claimed from this node's own watermark (one past
+		// everything it has adopted or promised, computed before Forget
+		// wipes the entry), so a replica that promised a concurrent claim
+		// this node granted still accepts it instead of refusing
+		// stale_epoch and serving the deleted design forever. Best effort:
+		// a replica that still refuses (or misses the broadcast) is
+		// reaped as provable debris if the name is ever loaded again.
+		epoch := s.leases.NextEpoch(name)
 		s.leases.Forget(name)
 		s.node.ClearLeaseEpoch(name)
 		go s.broadcastDelete(name, epoch)
